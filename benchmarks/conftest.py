@@ -1,0 +1,33 @@
+"""Shared helpers for the figure-regeneration benchmarks.
+
+Each benchmark regenerates one paper figure through the harness and
+records the series in ``benchmark.extra_info`` so the saved benchmark
+JSON doubles as the reproduced dataset.  Set ``REPRO_FULL=1`` to run
+the full workload lists (the default trims each suite to three
+workloads so ``pytest benchmarks/`` stays in minutes).
+"""
+
+import os
+
+import pytest
+
+
+def full_mode() -> bool:
+    return os.environ.get("REPRO_FULL", "0") == "1"
+
+
+@pytest.fixture(scope="session")
+def quick() -> bool:
+    return not full_mode()
+
+
+def attach_series(benchmark, result) -> None:
+    """Record the reproduced figure data on the benchmark entry."""
+    benchmark.extra_info["figure"] = result.figure
+    benchmark.extra_info["title"] = result.title
+    for label, values in result.series.items():
+        benchmark.extra_info[label] = {
+            name: round(value, 4) for name, value in values.items()
+        }
+    if result.notes:
+        benchmark.extra_info["notes"] = list(result.notes)

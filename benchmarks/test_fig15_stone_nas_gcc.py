@@ -1,0 +1,22 @@
+"""Figure 15: STONE & NAS speedups over GCC -O3 on Itanium II.
+
+Same protocol as Fig. 14 over the STONE and NAS corpora.
+"""
+
+from benchmarks.conftest import attach_series
+from repro.harness.figures import run_figure
+from repro.harness.report import render_figure
+
+
+def test_fig15(benchmark, quick):
+    result = benchmark.pedantic(
+        run_figure, args=("fig15",), kwargs={"quick": quick},
+        iterations=1, rounds=1,
+    )
+    attach_series(benchmark, result)
+    print()
+    print(render_figure(result))
+    series = result.series["slms_speedup"]
+    assert max(series.values()) > 1.3
+    wins = [v for v in series.values() if v > 1.0]
+    assert len(wins) >= len(series) // 2

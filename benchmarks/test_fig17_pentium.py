@@ -1,0 +1,25 @@
+"""Figure 17: SLMS on a superscalar (Pentium), GCC with and without -O3.
+
+The 8-register x86 model: SLMS gains are smaller and register
+pressure (spilling) produces the paper's kernel-10-style regressions.
+"""
+
+from benchmarks.conftest import attach_series
+from repro.harness.figures import run_figure
+from repro.harness.report import render_figure
+
+
+def test_fig17(benchmark, quick):
+    result = benchmark.pedantic(
+        run_figure, args=("fig17",), kwargs={"quick": quick},
+        iterations=1, rounds=1,
+    )
+    attach_series(benchmark, result)
+    print()
+    print(render_figure(result))
+    o3 = result.series["speedup_O3"]
+    assert all(v > 0 for v in o3.values())
+    # The register-starved machine shows at least one SLMS regression
+    # across the two series (the paper's kernel-10 effect).
+    combined = list(o3.values()) + list(result.series["speedup_O0"].values())
+    assert any(v < 1.0 for v in combined)

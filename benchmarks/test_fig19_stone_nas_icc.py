@@ -1,0 +1,20 @@
+"""Figure 19: STONE & NAS over ICC -O3 (machine-level MS ON).
+
+Same protocol as Fig. 18 over STONE and NAS.
+"""
+
+from benchmarks.conftest import attach_series
+from repro.harness.figures import run_figure
+from repro.harness.report import render_figure
+
+
+def test_fig19(benchmark, quick):
+    result = benchmark.pedantic(
+        run_figure, args=("fig19",), kwargs={"quick": quick},
+        iterations=1, rounds=1,
+    )
+    attach_series(benchmark, result)
+    print()
+    print(render_figure(result))
+    series = result.series["slms_speedup"]
+    assert any(v > 1.05 for v in series.values())

@@ -1,0 +1,23 @@
+"""Figure 20: Livermore & Linpack + NAS over XLC on POWER4.
+
+The third compiler/machine pair; includes the negative cases where
+SLMS raises MaxLive past 32 registers and blocks machine MS
+(the paper's idamax2 effect).
+"""
+
+from benchmarks.conftest import attach_series
+from repro.harness.figures import run_figure
+from repro.harness.report import render_figure
+
+
+def test_fig20(benchmark, quick):
+    result = benchmark.pedantic(
+        run_figure, args=("fig20",), kwargs={"quick": quick},
+        iterations=1, rounds=1,
+    )
+    attach_series(benchmark, result)
+    print()
+    print(render_figure(result))
+    series = result.series["slms_speedup"]
+    assert any(v > 1.1 for v in series.values())
+    assert any(v < 1.0 for v in series.values())

@@ -1,0 +1,22 @@
+"""Figure 21: ARM7TDMI power dissipation improvement.
+
+Sim-Panalyzer-style energy accounting; the paper's conclusion is
+that SLMS helps power on some loops and must be applied selectively.
+"""
+
+from benchmarks.conftest import attach_series
+from repro.harness.figures import run_figure
+from repro.harness.report import render_figure
+
+
+def test_fig21(benchmark, quick):
+    result = benchmark.pedantic(
+        run_figure, args=("fig21",), kwargs={"quick": quick},
+        iterations=1, rounds=1,
+    )
+    attach_series(benchmark, result)
+    print()
+    print(render_figure(result))
+    series = result.series["power_improvement_pct"]
+    assert any(v > 0 for v in series.values())
+    assert any(v < 0 for v in series.values())  # selective application

@@ -1,0 +1,20 @@
+"""Figure 22: ARM7TDMI total cycles improvement.
+
+Cycle counts correlate with the Fig. 21 power results.
+"""
+
+from benchmarks.conftest import attach_series
+from repro.harness.figures import run_figure
+from repro.harness.report import render_figure
+
+
+def test_fig22(benchmark, quick):
+    result = benchmark.pedantic(
+        run_figure, args=("fig22",), kwargs={"quick": quick},
+        iterations=1, rounds=1,
+    )
+    attach_series(benchmark, result)
+    print()
+    print(render_figure(result))
+    series = result.series["cycle_improvement_pct"]
+    assert any(v > 0 for v in series.values())

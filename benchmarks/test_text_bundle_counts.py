@@ -1,0 +1,24 @@
+"""§9.2 in-text evidence: bundles per iteration before/after SLMS.
+
+The paper: kernel 8 went from 23 to 16 bundles; the fma loop from
+5.8 to 4 bundles/iteration.  We check the direction on kernel 8 and
+no degradation on the recurrence-bound fma loop.
+"""
+
+from benchmarks.conftest import attach_series
+from repro.harness.figures import run_figure
+from repro.harness.report import render_figure
+
+
+def test_text_bundles(benchmark, quick):
+    result = benchmark.pedantic(
+        run_figure, args=("text_bundles",), kwargs={"quick": quick},
+        iterations=1, rounds=1,
+    )
+    attach_series(benchmark, result)
+    print()
+    print(render_figure(result))
+    before = result.series["bundles_before"]
+    after = result.series["bundles_after"]
+    assert after["kernel8"] < before["kernel8"]
+    assert after["fma_loop"] <= before["fma_loop"] * 1.05

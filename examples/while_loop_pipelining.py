@@ -1,0 +1,109 @@
+"""§10 extensions: pipelining while-loops and frequent-path kernels.
+
+Run:  python examples/while_loop_pipelining.py
+
+The paper's §10 argues SLMS generalizes past counted loops and
+demonstrates two cases by example; this script runs both through the
+implemented extensions and measures them on the machine models:
+
+1. the **shifted string copy** while-loop, unrolled and then software
+   pipelined with rotating load registers (the paper's reg1/reg2 form);
+2. a **frequent-path** loop (``if (A) B; else C; D;``) whose kernel is
+   built from the hot path only, with fix-up code off the fast path
+   (Fig. 23).
+"""
+
+from repro.backend.compiler import compile_and_run
+from repro.core.extensions import frequent_path_slms, pipeline_while, unroll_while
+from repro.lang import parse_program, parse_stmt, to_source
+from repro.lang.ast_nodes import Program
+from repro.machines import itanium2
+from repro.sim.interp import run_program, state_equal
+
+STRING_SETUP = """
+float a[512];
+for (k = 0; k < 400; k++) a[k] = 400 - k;
+a[400] = 0.0;
+int i = 0;
+"""
+STRING_LOOP = "while (a[i+2]) { a[i] = a[i+2]; i++; }"
+
+
+def measure(setup: str, stmts, label: str) -> int:
+    prog = parse_program(setup)
+    prog.body.extend(stmts)
+    _, run = compile_and_run(prog, itanium2(), "gcc_O3")
+    print(f"  {label:<22} {run.metrics.cycles:>8} cycles")
+    return run.metrics.cycles
+
+
+def part1_string_copy() -> None:
+    print("=== §10.1: the shifted string copy ===")
+    print(STRING_LOOP)
+    loop = parse_stmt(STRING_LOOP)
+
+    base = run_program(parse_program(STRING_SETUP + STRING_LOOP))
+    variants = {
+        "original": [loop.clone()],
+        "unrolled x2": unroll_while(loop, 2),
+        "pipelined (reg1/reg2)": pipeline_while(loop),
+    }
+    print()
+    print("pipelined form (paper notation):")
+    for stmt in variants["pipelined (reg1/reg2)"]:
+        print(to_source(stmt, style="paper"))
+    print()
+    for label, stmts in variants.items():
+        prog = parse_program(STRING_SETUP)
+        prog.body.extend([s.clone() for s in stmts])
+        out = run_program(prog)
+        assert state_equal(
+            base, out, ignore={"reg1", "reg2"}
+        ), label
+        measure(STRING_SETUP, stmts, label)
+    print("  (all variants verified bit-identical)")
+
+
+FREQ_SETUP = """
+float x[512], y[512], z[512];
+for (k = 0; k < 512; k++) {
+    x[k] = 0.5 * k + 1.0;
+    z[k] = 512 - k;
+}
+x[100] = -1.0;
+x[300] = -2.0;
+"""
+FREQ_LOOP = (
+    "for (i = 0; i < 480; i++) {"
+    " if (x[i] > 0.0) { y[i] = x[i] * 2.0; }"
+    " else { y[i] = 0.0 - x[i]; }"
+    " z[i] = z[i] + y[i];"
+    "}"
+)
+
+
+def part2_frequent_path() -> None:
+    print()
+    print("=== §10.2: frequent-path SLMS (Fig. 23) ===")
+    print("hot path A;B;D runs 478 of 480 iterations")
+    loop = parse_stmt(FREQ_LOOP)
+    transformed = frequent_path_slms(loop)
+
+    base = run_program(parse_program(FREQ_SETUP + FREQ_LOOP))
+    prog = parse_program(FREQ_SETUP)
+    prog.body.extend([s.clone() for s in transformed])
+    out = run_program(prog)
+    assert state_equal(base, out, ignore={"i"})
+    print("verified: fix-up path handles the two cold iterations exactly")
+    print()
+    measure(FREQ_SETUP, [loop.clone()], "original")
+    measure(FREQ_SETUP, transformed, "frequent-path kernel")
+
+
+def main() -> None:
+    part1_string_copy()
+    part2_frequent_path()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""repro — Source Level Modulo Scheduling (SLMS).
+
+A production-quality reproduction of *"Towards a Source Level Compiler:
+Source Level Modulo Scheduling"* (Ben-Asher & Meisler, ICPP 2006): a
+source-to-source software pipeliner for C loops, together with the full
+substrate needed to evaluate it — a C-subset frontend, array dependence
+analysis, classical loop transformations, a configurable "final
+compiler" backend (codegen, register allocation, list scheduling,
+machine-level iterative modulo scheduling), cycle-level machine
+simulation with cache and power models, and Livermore/Linpack/NAS/STONE
+loop corpora.
+
+Typical use::
+
+    from repro import slms, to_source
+
+    result = slms('''
+        float A[1000], B[1000];
+        float s = 0.0, t;
+        for (i = 0; i < 1000; i++) {
+            t = A[i] * B[i];
+            s = s + t;
+        }
+    ''')
+    print(to_source(result.program, style="paper"))
+"""
+
+from repro.core.pipeline import ProgramSLMSResult, slms, slms_loop
+from repro.core.slms import SLMSOptions, SLMSResult
+from repro.lang import parse_expr, parse_program, parse_stmt, to_source
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ProgramSLMSResult",
+    "SLMSOptions",
+    "SLMSResult",
+    "parse_expr",
+    "parse_program",
+    "parse_stmt",
+    "slms",
+    "slms_loop",
+    "to_source",
+    "__version__",
+]

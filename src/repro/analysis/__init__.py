@@ -1,0 +1,47 @@
+"""Array and scalar dependence analysis for SLMS.
+
+The SLMS algorithm consumes a loop body partitioned into
+multi-instructions (MIs) plus a dependence graph whose edges carry
+``<iteration-distance, delay>`` labels (paper §3, Fig. 6).  This package
+produces that graph:
+
+* :mod:`repro.analysis.affine` — normalizes subscripts to
+  ``coeff * i + offset (+ symbols)`` form;
+* :mod:`repro.analysis.deptests` — classic array dependence tests (ZIV,
+  strong/weak SIV, GCD, Banerjee) returning *constant iteration
+  distances* when they exist;
+* :mod:`repro.analysis.fourier_motzkin` — an integer linear feasibility
+  core (the "omega-lite" stand-in for Pugh's Omega test that Tiny used);
+* :mod:`repro.analysis.scalars` — scalar def/use dependences with kill
+  analysis;
+* :mod:`repro.analysis.ddg` — the MI-level dependence multigraph;
+* :mod:`repro.analysis.delays` — the paper's §3.5 source-level delay
+  rules.
+"""
+
+from repro.analysis.affine import AffineExpr, analyze_subscript
+from repro.analysis.ddg import (
+    Dependence,
+    DependenceGraph,
+    build_ddg,
+    raise_to_mi_edges,
+)
+from repro.analysis.delays import edge_delay
+from repro.analysis.deptests import DependenceResult, test_dependence
+from repro.analysis.fourier_motzkin import IntegerSystem, is_feasible
+from repro.analysis.scalars import scalar_dependences
+
+__all__ = [
+    "AffineExpr",
+    "Dependence",
+    "DependenceGraph",
+    "DependenceResult",
+    "IntegerSystem",
+    "analyze_subscript",
+    "build_ddg",
+    "edge_delay",
+    "is_feasible",
+    "raise_to_mi_edges",
+    "scalar_dependences",
+    "test_dependence",
+]

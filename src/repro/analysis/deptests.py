@@ -1,0 +1,201 @@
+"""Array dependence tests over affine subscript pairs.
+
+:func:`test_dependence` answers: for two references to the same array,
+for which iteration differences ``δ = i₂ − i₁`` can they touch the same
+element?  The result is one of
+
+* **no dependence** (``exists=False``),
+* an exact **constant distance** (strong SIV — the only form SLMS can
+  pipeline, since the modulo schedule needs a fixed iteration distance),
+* **all distances** (ZIV with identical subscripts, e.g. ``A[0]`` in
+  every iteration),
+* **unknown** (non-constant or symbolic; Fourier–Motzkin is used to
+  refute where possible, otherwise the loop is declined).
+
+Distances are reported in *iteration* units: a loop stepping by 2 whose
+subscripts differ by 4 has distance 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.analysis.affine import AffineExpr
+from repro.analysis.fourier_motzkin import (
+    FEASIBLE,
+    INFEASIBLE,
+    MAYBE,
+    IntegerSystem,
+    is_feasible,
+)
+
+
+@dataclass(frozen=True)
+class DependenceResult:
+    """Outcome of a dependence test between two references.
+
+    ``exists``
+        False only when the test *proved* independence.
+    ``distance``
+        The unique constant iteration distance when one exists
+        (may be negative: ref2's iteration precedes ref1's).
+    ``all_distances``
+        True for ZIV-style conflicts occurring at every distance.
+    ``exact``
+        True when the answer is proven, False for conservative MAYBEs.
+    """
+
+    exists: bool
+    distance: Optional[int] = None
+    all_distances: bool = False
+    exact: bool = True
+
+    @staticmethod
+    def independent() -> "DependenceResult":
+        return DependenceResult(exists=False)
+
+    @staticmethod
+    def at(distance: int) -> "DependenceResult":
+        return DependenceResult(exists=True, distance=distance)
+
+    @staticmethod
+    def everywhere() -> "DependenceResult":
+        return DependenceResult(exists=True, all_distances=True)
+
+    @staticmethod
+    def unknown() -> "DependenceResult":
+        return DependenceResult(exists=True, exact=False)
+
+    @property
+    def is_constant(self) -> bool:
+        return self.exists and self.distance is not None
+
+
+# Per-dimension verdicts used internally.
+_NO = "no"
+_ALL = "all"
+_CONST = "const"
+_UNKNOWN = "unknown"
+
+
+def _test_dim(
+    d1: AffineExpr, d2: AffineExpr
+) -> Tuple[str, Optional[int]]:
+    """Test one subscript dimension; returns (verdict, delta)."""
+    a1, a2 = d1.coeff, d2.coeff
+    if a1 == 0 and a2 == 0:
+        # ZIV: loop-invariant on both sides.
+        if d1 == d2:
+            return _ALL, None
+        if d1.syms == d2.syms:
+            return _NO, None  # same symbols, different constants
+        return _UNKNOWN, None  # e.g. A[j] vs A[k]
+    if a1 == a2:
+        # Strong SIV: a·i₁ + b₁ = a·i₂ + b₂  ⇒  δ = (b₁ − b₂)/a.
+        if d1.syms != d2.syms:
+            return _UNKNOWN, None
+        diff = d1.offset - d2.offset
+        if diff % a1 != 0:
+            return _NO, None
+        return _CONST, diff // a1
+    # Weak SIV / general: distance varies with i (e.g. A[i] vs A[2i]).
+    return _UNKNOWN, None
+
+
+def _fm_refute(
+    sub1: Sequence[AffineExpr],
+    sub2: Sequence[AffineExpr],
+    lo: Optional[int],
+    hi: Optional[int],
+) -> str:
+    """Build the full integer system for the reference pair and test it."""
+    system = IntegerSystem()
+    for d1, d2 in zip(sub1, sub2):
+        coeffs: dict = {}
+        if d1.coeff:
+            coeffs["i1"] = coeffs.get("i1", 0) + d1.coeff
+        if d2.coeff:
+            coeffs["i2"] = coeffs.get("i2", 0) - d2.coeff
+        for name, c in d1.syms:
+            coeffs[f"s_{name}"] = coeffs.get(f"s_{name}", 0) + c
+        for name, c in d2.syms:
+            coeffs[f"s_{name}"] = coeffs.get(f"s_{name}", 0) - c
+        system.add_eq(coeffs, d1.offset - d2.offset)
+    if lo is not None:
+        system.add_ge({"i1": 1}, -lo)
+        system.add_ge({"i2": 1}, -lo)
+    if hi is not None:
+        system.add_ge({"i1": -1}, hi - 1)
+        system.add_ge({"i2": -1}, hi - 1)
+    return is_feasible(system)
+
+
+def test_dependence(
+    sub1: Sequence[AffineExpr],
+    sub2: Sequence[AffineExpr],
+    lo: Optional[int] = None,
+    hi: Optional[int] = None,
+    step: int = 1,
+) -> DependenceResult:
+    """Test whether two same-array references can conflict.
+
+    ``sub1``/``sub2`` are per-dimension affine subscripts (same rank);
+    ``lo``/``hi`` are the loop's concrete bounds when known
+    (``for (i = lo; i < hi; …)``); ``step`` is the loop increment.
+    The distance in the result is ``(i₂ − i₁) / step`` — iteration units.
+    """
+    if len(sub1) != len(sub2):
+        raise ValueError("subscript rank mismatch")
+    if step == 0:
+        raise ValueError("loop step cannot be 0")
+
+    deltas: list[int] = []
+    saw_unknown = False
+    for d1, d2 in zip(sub1, sub2):
+        verdict, delta = _test_dim(d1, d2)
+        if verdict == _NO:
+            return DependenceResult.independent()
+        if verdict == _CONST:
+            deltas.append(delta)  # type: ignore[arg-type]
+        elif verdict == _UNKNOWN:
+            saw_unknown = True
+
+    if deltas:
+        if any(d != deltas[0] for d in deltas):
+            # Two dimensions demand different iteration differences —
+            # they can never be satisfied simultaneously.
+            return DependenceResult.independent()
+        delta = deltas[0]
+        if delta % step != 0:
+            return DependenceResult.independent()
+        # Exact division; for negative steps this flips the sign so the
+        # distance is always in execution-order iteration units.
+        distance = delta // step
+        # Bounds can kill a dependence whose distance exceeds the trip count.
+        if lo is not None and hi is not None:
+            trip = max(0, -(-(hi - lo) // abs(step)))  # ceil division
+            if abs(distance) >= trip:
+                return DependenceResult.independent()
+        if saw_unknown:
+            # Constant distance in one dim but another dim unresolved:
+            # try to refute the whole system, else conservative.
+            fm = _fm_refute(sub1, sub2, lo, hi)
+            if fm == INFEASIBLE:
+                return DependenceResult.independent()
+            return DependenceResult(
+                exists=True, distance=distance, exact=False
+            )
+        return DependenceResult.at(distance)
+
+    if saw_unknown:
+        fm = _fm_refute(sub1, sub2, lo, hi)
+        if fm == INFEASIBLE:
+            return DependenceResult.independent()
+        result = DependenceResult.unknown()
+        if fm == MAYBE:
+            return result
+        return result  # FEASIBLE but distance non-constant: still unknown
+
+    # Every dimension said "all": the same element every iteration.
+    return DependenceResult.everywhere()

@@ -1,0 +1,210 @@
+"""Integer linear feasibility via Fourier–Motzkin elimination.
+
+This is the "omega-lite" core standing in for Pugh's Omega test, which
+the paper's Tiny implementation used for exact dependence analysis.  It
+decides (or conservatively approximates) whether a system of integer
+linear constraints has a solution:
+
+* equalities are removed first by a GCD divisibility check and, where a
+  variable has a ±1 coefficient, exact substitution;
+* remaining variables are eliminated by combining lower and upper
+  bounds.  When either coefficient is 1 the combination is exact; when
+  both exceed 1 we also track Pugh's *dark shadow*
+  (``b·p + a·q ≥ (a−1)(b−1)``), giving a sound three-valued answer.
+
+The verdict is :data:`FEASIBLE`, :data:`INFEASIBLE`, or :data:`MAYBE`
+(real shadow feasible but dark shadow not — the classic Omega test would
+splinter; dependence analysis treats MAYBE as "assume dependent").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import gcd
+from typing import Dict, List, Tuple
+
+FEASIBLE = "feasible"
+INFEASIBLE = "infeasible"
+MAYBE = "maybe"
+
+# Elimination can square the constraint count per variable; bail out to
+# MAYBE (conservative) rather than burn unbounded time.
+_MAX_CONSTRAINTS = 4000
+
+
+@dataclass
+class _Linear:
+    """``Σ coeffs[v]·v + const`` with integer coefficients."""
+
+    coeffs: Dict[str, int]
+    const: int
+
+    def normalized(self) -> "_Linear":
+        coeffs = {v: c for v, c in self.coeffs.items() if c != 0}
+        divisor = 0
+        for c in coeffs.values():
+            divisor = gcd(divisor, abs(c))
+        if divisor > 1:
+            # For an inequality  Σ a_i x_i + c >= 0  dividing by g gives
+            # Σ (a_i/g) x_i + floor(c/g) >= 0  (tightening is sound).
+            coeffs = {v: c // divisor for v, c in coeffs.items()}
+            const = self.const // divisor  # floor division tightens >= 0
+            return _Linear(coeffs, const)
+        return _Linear(coeffs, self.const)
+
+
+@dataclass
+class IntegerSystem:
+    """A conjunction of integer linear equalities and inequalities.
+
+    Build with :meth:`add_eq` / :meth:`add_ge`; terms are ``{var: coeff}``
+    dicts plus a constant.  ``add_ge(t, c)`` asserts ``t + c >= 0``.
+    """
+
+    equalities: List[_Linear] = field(default_factory=list)
+    inequalities: List[_Linear] = field(default_factory=list)
+
+    def add_eq(self, coeffs: Dict[str, int], const: int = 0) -> None:
+        self.equalities.append(_Linear(dict(coeffs), const))
+
+    def add_ge(self, coeffs: Dict[str, int], const: int = 0) -> None:
+        self.inequalities.append(_Linear(dict(coeffs), const))
+
+    def variables(self) -> List[str]:
+        names = set()
+        for lin in self.equalities + self.inequalities:
+            names.update(v for v, c in lin.coeffs.items() if c != 0)
+        return sorted(names)
+
+
+def _substitute_eq(target: _Linear, var: str, replacement: _Linear, var_coeff: int) -> _Linear:
+    """Replace ``var`` in ``target`` given ``var_coeff·var + replacement = 0``
+    with ``|var_coeff| == 1`` (so ``var = -replacement/var_coeff`` exactly)."""
+    c = target.coeffs.get(var, 0)
+    if c == 0:
+        return target
+    # var = -replacement / var_coeff ; var_coeff is ±1.
+    coeffs = dict(target.coeffs)
+    coeffs[var] = 0
+    sign = -var_coeff  # var = sign * replacement
+    for v, rc in replacement.coeffs.items():
+        coeffs[v] = coeffs.get(v, 0) + c * sign * rc
+    const = target.const + c * sign * replacement.const
+    return _Linear(coeffs, const)
+
+
+def is_feasible(system: IntegerSystem) -> str:
+    """Decide integer feasibility; returns FEASIBLE / INFEASIBLE / MAYBE."""
+    # Equalities must NOT be GCD-normalized with floor division — the
+    # divisibility of the constant is exactly what the GCD test checks.
+    eqs = [_Linear(dict(lin.coeffs), lin.const) for lin in system.equalities]
+    ineqs = [lin.normalized() for lin in system.inequalities]
+    exact = True
+
+    # --- equality elimination -------------------------------------------
+    progress = True
+    while eqs and progress:
+        progress = False
+        for idx, eq in enumerate(eqs):
+            coeffs = {v: c for v, c in eq.coeffs.items() if c != 0}
+            if not coeffs:
+                if eq.const != 0:
+                    return INFEASIBLE
+                eqs.pop(idx)
+                progress = True
+                break
+            g = 0
+            for c in coeffs.values():
+                g = gcd(g, abs(c))
+            if eq.const % g != 0:
+                return INFEASIBLE  # GCD test
+            if g > 1:
+                coeffs = {v: c // g for v, c in coeffs.items()}
+                eq = _Linear(coeffs, eq.const // g)
+                eqs[idx] = eq
+            unit = next((v for v, c in coeffs.items() if abs(c) == 1), None)
+            if unit is not None:
+                var_coeff = coeffs[unit]
+                rest = _Linear({v: c for v, c in coeffs.items() if v != unit}, eq.const)
+                eqs = [
+                    _substitute_eq(other, unit, rest, var_coeff)
+                    for j, other in enumerate(eqs)
+                    if j != idx
+                ]
+                ineqs = [_substitute_eq(other, unit, rest, var_coeff) for other in ineqs]
+                ineqs = [lin.normalized() for lin in ineqs]
+                progress = True
+                break
+        else:
+            break
+    # Any leftover equalities (no unit coefficient): relax to two ineqs.
+    for eq in eqs:
+        if not any(eq.coeffs.values()):
+            if eq.const != 0:
+                return INFEASIBLE
+            continue
+        exact = False  # the pair of inequalities loses integrality info
+        ineqs.append(_Linear(dict(eq.coeffs), eq.const))
+        ineqs.append(_Linear({v: -c for v, c in eq.coeffs.items()}, -eq.const))
+
+    # --- Fourier–Motzkin on inequalities ------------------------------------
+    real = [lin.normalized() for lin in ineqs]
+    dark = [_Linear(dict(lin.coeffs), lin.const) for lin in real]
+
+    def eliminate(constraints: List[_Linear], dark_mode: bool) -> Tuple[str, List[_Linear]]:
+        nonlocal exact
+        current = constraints
+        while True:
+            variables = sorted(
+                {v for lin in current for v, c in lin.coeffs.items() if c != 0}
+            )
+            if not variables:
+                break
+            # Pick the variable with the fewest lower*upper combinations.
+            def cost(var: str) -> int:
+                lowers = sum(1 for lin in current if lin.coeffs.get(var, 0) > 0)
+                uppers = sum(1 for lin in current if lin.coeffs.get(var, 0) < 0)
+                return lowers * uppers - lowers - uppers
+
+            var = min(variables, key=cost)
+            lowers = [lin for lin in current if lin.coeffs.get(var, 0) > 0]
+            uppers = [lin for lin in current if lin.coeffs.get(var, 0) < 0]
+            others = [lin for lin in current if lin.coeffs.get(var, 0) == 0]
+            new: List[_Linear] = list(others)
+            for lo in lowers:
+                a = lo.coeffs[var]
+                for up in uppers:
+                    b = -up.coeffs[var]
+                    coeffs: Dict[str, int] = {}
+                    for v, c in lo.coeffs.items():
+                        if v != var:
+                            coeffs[v] = coeffs.get(v, 0) + b * c
+                    for v, c in up.coeffs.items():
+                        if v != var:
+                            coeffs[v] = coeffs.get(v, 0) + a * c
+                    const = b * lo.const + a * up.const
+                    if a > 1 and b > 1:
+                        if dark_mode:
+                            const -= (a - 1) * (b - 1)
+                        else:
+                            exact = False  # real shadow only: may overcount
+                    new.append(_Linear(coeffs, const).normalized())
+            if len(new) > _MAX_CONSTRAINTS:
+                return MAYBE, []
+            current = new
+        for lin in current:
+            if lin.const < 0:
+                return INFEASIBLE, []
+        return FEASIBLE, current
+
+    real_verdict, _ = eliminate(real, dark_mode=False)
+    if real_verdict == INFEASIBLE:
+        return INFEASIBLE
+    if real_verdict == MAYBE:
+        return MAYBE
+    if exact:
+        return FEASIBLE
+    dark_verdict, _ = eliminate(dark, dark_mode=True)
+    if dark_verdict == FEASIBLE:
+        return FEASIBLE
+    return MAYBE

@@ -1,0 +1,138 @@
+"""Canonical-loop recognition.
+
+SLMS (and every loop transformation here) operates on *analyzable* for
+loops: ``for (i = lo; i < hi; i += step)`` with an integer step and a
+loop-invariant bound.  :func:`LoopInfo.from_for` recognizes that shape
+(also ``<=``, ``>``/``>=`` with negative steps and ``i--``) and exposes
+the pieces; it returns ``None`` for anything else, which callers treat
+as "decline to transform".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.lang.ast_nodes import Assign, BinOp, Expr, For, IntLit, Var
+from repro.lang.visitors import collect_vars, defined_scalars
+
+
+@dataclass(frozen=True)
+class LoopInfo:
+    """The header of a canonical counted loop.
+
+    ``lo``/``hi`` are the *half-open* bounds in iteration order: the loop
+    executes for ``i = lo, lo+step, …`` while ``i`` is strictly before
+    ``hi`` (for negative steps, strictly after).  ``lo_const``/``hi_const``
+    are the concrete values when the bounds are integer literals.
+    """
+
+    var: str
+    lo: Expr
+    hi: Expr
+    step: int
+    lo_const: Optional[int]
+    hi_const: Optional[int]
+
+    @property
+    def trip_count(self) -> Optional[int]:
+        """Concrete iteration count when both bounds are literals."""
+        if self.lo_const is None or self.hi_const is None:
+            return None
+        if self.step > 0:
+            span = self.hi_const - self.lo_const
+            return max(0, -(-span // self.step))  # ceil(span/step)
+        span = self.lo_const - self.hi_const
+        return max(0, -(-span // (-self.step)))
+
+    @staticmethod
+    def from_for(loop: For) -> Optional["LoopInfo"]:
+        """Recognize a canonical counted loop; ``None`` if not canonical."""
+        # init:  i = lo
+        if not isinstance(loop.init, Assign) or loop.init.op is not None:
+            return None
+        if not isinstance(loop.init.target, Var):
+            return None
+        var = loop.init.target.name
+        lo = loop.init.value
+
+        # step:  i += c / i -= c (includes i++/i--), or the spelled-out
+        # forms i = i + c / i = i - c / i = c + i.
+        if not isinstance(loop.step, Assign):
+            return None
+        if not isinstance(loop.step.target, Var) or loop.step.target.name != var:
+            return None
+        step: Optional[int] = None
+        if isinstance(loop.step.value, IntLit) and loop.step.op in ("+", "-"):
+            step = (
+                loop.step.value.value
+                if loop.step.op == "+"
+                else -loop.step.value.value
+            )
+        elif loop.step.op is None and isinstance(loop.step.value, BinOp):
+            value = loop.step.value
+            if (
+                isinstance(value.left, Var)
+                and value.left.name == var
+                and isinstance(value.right, IntLit)
+                and value.op in ("+", "-")
+            ):
+                step = (
+                    value.right.value
+                    if value.op == "+"
+                    else -value.right.value
+                )
+            elif (
+                value.op == "+"
+                and isinstance(value.right, Var)
+                and value.right.name == var
+                and isinstance(value.left, IntLit)
+            ):
+                step = value.left.value
+        if step is None or step == 0:
+            return None
+
+        # cond:  i < hi | i <= hi | i > hi | i >= hi  (var on the left)
+        cond = loop.cond
+        if not isinstance(cond, BinOp):
+            return None
+        if not (isinstance(cond.left, Var) and cond.left.name == var):
+            return None
+        bound = cond.right
+        if cond.op == "<" and step > 0:
+            hi = bound
+        elif cond.op == "<=" and step > 0:
+            hi = BinOp("+", bound.clone(), IntLit(1))
+        elif cond.op == ">" and step < 0:
+            hi = bound
+        elif cond.op == ">=" and step < 0:
+            hi = BinOp("-", bound.clone(), IntLit(1))
+        else:
+            return None
+
+        # The bound and the index var must be loop-invariant w.r.t. the body.
+        body_defs = set()
+        for stmt in loop.body:
+            body_defs |= defined_scalars(stmt)
+        if var in body_defs:
+            return None  # body modifies the index: not canonical
+        if collect_vars(hi) & body_defs:
+            return None  # bound is loop-variant
+
+        lo_const = lo.value if isinstance(lo, IntLit) else None
+        hi_const: Optional[int]
+        if isinstance(hi, IntLit):
+            hi_const = hi.value
+        elif (
+            isinstance(hi, BinOp)
+            and isinstance(hi.left, IntLit)
+            and isinstance(hi.right, IntLit)
+        ):
+            hi_const = (
+                hi.left.value + hi.right.value
+                if hi.op == "+"
+                else hi.left.value - hi.right.value
+            )
+        else:
+            hi_const = None
+        return LoopInfo(var, lo, hi, step, lo_const, hi_const)

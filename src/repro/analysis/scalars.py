@@ -1,0 +1,126 @@
+"""Scalar (register) dependences between multi-instructions.
+
+Given the ordered list of MI statements of a loop body, this module
+computes flow/anti/output dependences carried by scalar variables, with
+iteration distances 0 (intra-iteration) or 1 (loop-carried through the
+back edge) and proper *kill* analysis: an unconditional redefinition of
+a scalar between a def and a use severs the dependence.
+
+Defs under an ``if`` (predicated MIs) are treated as *non-killing* defs:
+they generate dependences but do not terminate earlier values, which is
+the conservative contract predication requires.
+
+The loop's own index variable is excluded — the loop structure carries
+it, and SLMS rewrites it explicitly during kernel construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.lang.ast_nodes import Assign, If, Stmt, Var
+from repro.lang.visitors import used_scalars
+
+
+@dataclass(frozen=True)
+class ScalarDep:
+    """A scalar dependence edge between MI positions.
+
+    ``distance`` 0 means same iteration (``src`` precedes ``dst`` in the
+    body), 1 means carried to the next iteration.
+    """
+
+    kind: str  # "flow" | "anti" | "output"
+    src: int
+    dst: int
+    var: str
+    distance: int
+
+
+def _stmt_defs(stmt: Stmt) -> Tuple[Set[str], Set[str]]:
+    """Return (unconditional defs, conditional defs) of scalars."""
+    if isinstance(stmt, Assign):
+        if isinstance(stmt.target, Var):
+            return {stmt.target.name}, set()
+        return set(), set()
+    if isinstance(stmt, If):
+        cond_defs: Set[str] = set()
+        for s in list(stmt.then) + list(stmt.els):
+            uncond, cond = _stmt_defs(s)
+            cond_defs |= uncond | cond
+        return set(), cond_defs
+    return set(), set()
+
+
+def scalar_dependences(
+    stmts: Sequence[Stmt],
+    index_var: str,
+) -> List[ScalarDep]:
+    """All scalar dependences among the ordered MI statements."""
+    n = len(stmts)
+    uses: List[Set[str]] = []
+    kills: List[Set[str]] = []  # unconditional defs
+    defs: List[Set[str]] = []  # all defs (killing or not)
+    for stmt in stmts:
+        uncond, cond = _stmt_defs(stmt)
+        uses.append({v for v in used_scalars(stmt) if v != index_var})
+        kills.append({v for v in uncond if v != index_var})
+        defs.append({v for v in (uncond | cond) if v != index_var})
+
+    variables: Set[str] = set()
+    for s in defs:
+        variables |= s
+    # Only variables written somewhere in the body create dependences.
+
+    edges: List[ScalarDep] = []
+    seen: Set[Tuple[str, int, int, str, int]] = set()
+
+    def emit(kind: str, src: int, dst: int, var: str, distance: int) -> None:
+        key = (kind, src, dst, var, distance)
+        if key not in seen:
+            seen.add(key)
+            edges.append(ScalarDep(kind, src, dst, var, distance))
+
+    for var in sorted(variables):
+        def_positions = [m for m in range(n) if var in defs[m]]
+        use_positions = [m for m in range(n) if var in uses[m]]
+        kill_positions = [m for m in range(n) if var in kills[m]]
+
+        def killed_between(start: int, end: int) -> bool:
+            """Any kill at positions start < p < end (same iteration)?"""
+            return any(start < p < end for p in kill_positions)
+
+        def killed_wrapping(after: int, before: int) -> bool:
+            """Any kill after ``after`` to body end, or body start to
+            strictly before ``before`` (the back-edge path)?"""
+            return any(p > after for p in kill_positions) or any(
+                p < before for p in kill_positions
+            )
+
+        # ---- flow: def at a reaches use at b ------------------------------
+        for a in def_positions:
+            for b in use_positions:
+                if a < b and not killed_between(a, b):
+                    emit("flow", a, b, var, 0)
+                # Loop-carried: value leaves iteration i, read in i+1.
+                if not killed_wrapping(a, b):
+                    emit("flow", a, b, var, 1)
+
+        # ---- anti: use at a, later def at b overwrites --------------------
+        for a in use_positions:
+            for b in def_positions:
+                if a < b and not killed_between(a, b):
+                    emit("anti", a, b, var, 0)
+                if not killed_wrapping(a, b):
+                    emit("anti", a, b, var, 1)
+
+        # ---- output: def at a, def at b -----------------------------------
+        for a in def_positions:
+            for b in def_positions:
+                if a < b and not killed_between(a, b):
+                    emit("output", a, b, var, 0)
+                if not killed_wrapping(a, b):
+                    emit("output", a, b, var, 1)
+
+    return edges

@@ -1,0 +1,39 @@
+"""The "final compiler" — the backend that consumes (SLMSed) source.
+
+The paper's pipeline (Fig. 3/4) is: source → SLC/SLMS → *final
+compiler* → hardware.  This package is that final compiler, built so its
+optimization level can be dialed to imitate the paper's compilers:
+
+* :mod:`repro.backend.lir` — a three-address, virtual-register IR with
+  array load/store addressing and branch/label control flow;
+* :mod:`repro.backend.codegen` — AST → LIR with induction-variable
+  annotations on memory ops (feeding machine-level dependence checks);
+* :mod:`repro.backend.regalloc` — linear-scan register allocation with
+  spilling to stack slots (register pressure becomes memory traffic);
+* :mod:`repro.backend.listsched` — basic-block list scheduling into
+  machine "bundles" (VLIW rows / superscalar issue groups);
+* :mod:`repro.backend.ims` — Rau-style machine-level Iterative Modulo
+  Scheduling of innermost loop bodies, with the documented real-world
+  limitations SLMS exploits (§7): a loop-size cap, no index rewriting,
+  and abort on register pressure;
+* :mod:`repro.backend.compiler` — presets: ``gcc_O0``, ``gcc_O3`` (list
+  scheduling, no MS), ``icc_O3``/``xlc_O3`` (list scheduling + IMS).
+"""
+
+from repro.backend.compiler import (
+    COMPILER_PRESETS,
+    CompiledProgram,
+    CompilerConfig,
+    FinalCompiler,
+)
+from repro.backend.lir import Block, Instr, Module
+
+__all__ = [
+    "Block",
+    "COMPILER_PRESETS",
+    "CompiledProgram",
+    "CompilerConfig",
+    "FinalCompiler",
+    "Instr",
+    "Module",
+]

@@ -1,0 +1,657 @@
+"""AST → LIR code generation.
+
+Conventions:
+
+* every scalar gets a dedicated virtual register (``Module.scalar_regs``);
+* multi-dimensional arrays are flattened row-major; constant parts of a
+  subscript fold into the load/store displacement (modelling addressing
+  modes — the paper notes SLMS's shifted indices cost nothing because
+  ``A[i+1]`` is an addressing-mode displacement);
+* memory ops inside a counted loop are annotated with their induction
+  variable affinity when provable, which machine-level modulo
+  scheduling (:mod:`repro.backend.ims`) uses for dependence distances;
+* ``if`` statements lower to branches by default, or to select/
+  predicated-store form when the compiler config enables predication
+  (EPIC-style targets) — predication keeps SLMSed kernels straight-line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.affine import analyze_subscript
+from repro.lang.ast_nodes import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Break,
+    Call,
+    Continue,
+    Decl,
+    Expr,
+    ExprStmt,
+    FloatLit,
+    For,
+    If,
+    IntLit,
+    ParGroup,
+    Program,
+    Stmt,
+    Ternary,
+    UnaryOp,
+    Var,
+    While,
+)
+from repro.backend.lir import Block, Instr, IVInfo, LoopDesc, Module
+
+_CMP_OPS = {"<": "lt", "<=": "le", ">": "gt", ">=": "ge", "==": "eq", "!=": "ne"}
+_INTRINSIC_MAP = {
+    "min": "vmin",
+    "max": "vmax",
+    "abs": "vabs",
+    "sqrt": "sqrt",
+    "exp": "exp",
+    "log": "log",
+    "sin": "sin",
+    "cos": "cos",
+    "pow": "powr",
+    "floor": "floorr",
+    "ceil": "ceilr",
+}
+
+
+class CodegenError(Exception):
+    """Source construct the backend cannot lower."""
+
+
+@dataclass
+class _LoopCtx:
+    iv: Optional[str]  # source name of the induction variable
+    iv_reg: Optional[str]
+    break_label: str
+    continue_label: str
+
+
+class Codegen:
+    """One-shot code generator; use :func:`compile_to_lir`."""
+
+    def __init__(
+        self,
+        program: Program,
+        use_predication: bool = False,
+        use_fma: bool = False,
+    ):
+        self.program = program
+        self.use_predication = use_predication
+        self.use_fma = use_fma
+        self.module = Module()
+        self.current: Block = self.module.new_block("entry")
+        self.counter = 0
+        self.block_counter = 0
+        self.types: Dict[str, str] = {}
+        self.loop_stack: List[_LoopCtx] = []
+        self._infer_types()
+
+    # ------------------------------------------------------------------
+    # setup
+    # ------------------------------------------------------------------
+    def _infer_types(self) -> None:
+        from repro.lang.visitors import walk
+
+        for node in walk(self.program):
+            if isinstance(node, Decl):
+                self.types[node.name] = node.type
+        # Loop induction variables and subscript scalars default to int.
+        for node in walk(self.program):
+            if isinstance(node, For) and isinstance(node.init, Assign):
+                target = node.init.target
+                if isinstance(target, Var):
+                    self.types.setdefault(target.name, "int")
+            if isinstance(node, ArrayRef):
+                for idx in node.indices:
+                    for sub in walk(idx):
+                        if isinstance(sub, Var):
+                            self.types.setdefault(sub.name, "int")
+
+    def scalar_type(self, name: str) -> str:
+        return self.types.get(name, "float")
+
+    # ------------------------------------------------------------------
+    # registers and blocks
+    # ------------------------------------------------------------------
+    def fresh(self) -> str:
+        self.counter += 1
+        self.module.n_vregs = self.counter
+        return f"v{self.counter}"
+
+    def scalar_reg(self, name: str) -> str:
+        reg = self.module.scalar_regs.get(name)
+        if reg is None:
+            reg = self.fresh()
+            self.module.scalar_regs[name] = reg
+            self.module.scalar_types[name] = self.scalar_type(name)
+        return reg
+
+    def new_block(self, after: Optional[str] = None) -> Block:
+        """Create a block positioned after ``after`` (default: after the
+        current block) so fallthrough order matches source order."""
+        self.block_counter += 1
+        return self.module.new_block(
+            f"bb{self.block_counter}", after=after or self.current.name
+        )
+
+    def emit(self, **kwargs) -> Instr:
+        return self.current.emit(Instr(**kwargs))
+
+    # ------------------------------------------------------------------
+    # expression typing
+    # ------------------------------------------------------------------
+    def expr_type(self, expr: Expr) -> str:
+        if isinstance(expr, IntLit):
+            return "int"
+        if isinstance(expr, FloatLit):
+            return "float"
+        if isinstance(expr, Var):
+            return self.scalar_type(expr.name)
+        if isinstance(expr, ArrayRef):
+            meta = self.module.arrays.get(expr.name)
+            return meta[1] if meta else "float"
+        if isinstance(expr, UnaryOp):
+            if expr.op == "!":
+                return "int"
+            return self.expr_type(expr.operand)
+        if isinstance(expr, BinOp):
+            if expr.op in _CMP_OPS or expr.op in ("&&", "||"):
+                return "int"
+            left = self.expr_type(expr.left)
+            right = self.expr_type(expr.right)
+            return "float" if "float" in (left, right) else "int"
+        if isinstance(expr, Ternary):
+            then = self.expr_type(expr.then)
+            els = self.expr_type(expr.els)
+            return "float" if "float" in (then, els) else "int"
+        if isinstance(expr, Call):
+            return "float"
+        raise CodegenError(f"untypable expression {type(expr).__name__}")
+
+    # ------------------------------------------------------------------
+    # addressing
+    # ------------------------------------------------------------------
+    def _array_meta(self, ref: ArrayRef) -> Tuple[Tuple[int, ...], str]:
+        meta = self.module.arrays.get(ref.name)
+        if meta is None:
+            raise CodegenError(f"use of undeclared array {ref.name!r}")
+        dims, typ = meta
+        if len(ref.indices) != len(dims):
+            raise CodegenError(
+                f"array {ref.name!r} rank {len(dims)} indexed with "
+                f"{len(ref.indices)} subscripts"
+            )
+        return dims, typ
+
+    def _flat_address(self, ref: ArrayRef) -> Tuple[Optional[str], int, Optional[IVInfo]]:
+        """Lower subscripts to (index register or None, displacement, iv).
+
+        The displacement absorbs every constant contribution; the
+        returned register covers the variable part.  ``iv`` is the
+        affinity annotation relative to the innermost loop variable.
+        """
+        dims, _ = self._array_meta(ref)
+        strides = []
+        acc = 1
+        for d in reversed(dims):
+            strides.append(acc)
+            acc *= d
+        strides.reverse()
+
+        disp = 0
+        parts: List[str] = []
+        iv_coeff = 0
+        iv_known = True
+        ctx = self.loop_stack[-1] if self.loop_stack else None
+        iv_name = ctx.iv if ctx else None
+
+        for idx_expr, stride in zip(ref.indices, strides):
+            if isinstance(idx_expr, IntLit):
+                disp += idx_expr.value * stride
+                continue
+            affine = (
+                analyze_subscript(idx_expr, iv_name) if iv_name else None
+            )
+            if affine is not None:
+                disp += affine.offset * stride
+                if affine.coeff:
+                    iv_coeff += affine.coeff * stride
+                    # Variable part: coeff * iv (+ symbolic terms below).
+                    reg = self._scaled_iv(affine.coeff)
+                    if stride != 1:
+                        reg = self._scale(reg, stride)
+                    parts.append(reg)
+                for sym, coeff in affine.syms:
+                    iv_known = False
+                    reg = self.scalar_reg(sym)
+                    if coeff != 1:
+                        reg = self._scale(reg, coeff)
+                    if stride != 1:
+                        reg = self._scale(reg, stride)
+                    parts.append(reg)
+            else:
+                iv_known = False
+                reg = self.gen_expr(idx_expr)
+                if stride != 1:
+                    reg = self._scale(reg, stride)
+                parts.append(reg)
+
+        index_reg: Optional[str] = None
+        for part in parts:
+            if index_reg is None:
+                index_reg = part
+            else:
+                tmp = self.fresh()
+                self.emit(op="add", dst=tmp, srcs=(index_reg, part))
+                index_reg = tmp
+
+        iv_info = None
+        if ctx and ctx.iv_reg and iv_known and iv_coeff:
+            iv_info = IVInfo(iv=ctx.iv_reg, coeff=iv_coeff, offset=disp)
+        elif ctx and ctx.iv_reg and iv_known and index_reg is None:
+            iv_info = IVInfo(iv=ctx.iv_reg, coeff=0, offset=disp)
+        return index_reg, disp, iv_info
+
+    def _scaled_iv(self, coeff: int) -> str:
+        ctx = self.loop_stack[-1]
+        assert ctx.iv_reg is not None
+        if coeff == 1:
+            return ctx.iv_reg
+        return self._scale(ctx.iv_reg, coeff)
+
+    def _scale(self, reg: str, factor: int) -> str:
+        if factor == 1:
+            return reg
+        tmp = self.fresh()
+        const = self.fresh()
+        self.emit(op="movi", dst=const, imm=factor)
+        self.emit(op="mul", dst=tmp, srcs=(reg, const))
+        return tmp
+
+    # ------------------------------------------------------------------
+    # expressions
+    # ------------------------------------------------------------------
+    def gen_expr(self, expr: Expr) -> str:
+        if isinstance(expr, IntLit):
+            reg = self.fresh()
+            self.emit(op="movi", dst=reg, imm=expr.value)
+            return reg
+        if isinstance(expr, FloatLit):
+            reg = self.fresh()
+            self.emit(op="movi", dst=reg, imm=expr.value)
+            return reg
+        if isinstance(expr, Var):
+            return self.scalar_reg(expr.name)
+        if isinstance(expr, ArrayRef):
+            index_reg, disp, iv = self._flat_address(expr)
+            reg = self.fresh()
+            srcs = (index_reg,) if index_reg else ()
+            self.emit(op="ld", dst=reg, srcs=srcs, array=expr.name, disp=disp, iv=iv)
+            return reg
+        if isinstance(expr, UnaryOp):
+            inner = self.gen_expr(expr.operand)
+            reg = self.fresh()
+            if expr.op == "!":
+                self.emit(op="not", dst=reg, srcs=(inner,))
+            elif self.expr_type(expr.operand) == "float":
+                self.emit(op="fneg", dst=reg, srcs=(inner,))
+            else:
+                self.emit(op="neg", dst=reg, srcs=(inner,))
+            return reg
+        if isinstance(expr, BinOp):
+            return self._gen_binop(expr)
+        if isinstance(expr, Ternary):
+            cond = self.gen_expr(expr.cond)
+            then = self.gen_expr(expr.then)
+            els = self.gen_expr(expr.els)
+            reg = self.fresh()
+            self.emit(op="select", dst=reg, srcs=(cond, then, els))
+            return reg
+        if isinstance(expr, Call):
+            return self._gen_call(expr)
+        raise CodegenError(f"cannot lower {type(expr).__name__}")
+
+    def _gen_binop(self, expr: BinOp) -> str:
+        if expr.op in ("&&", "||"):
+            # Non-short-circuit logical: operands here are side-effect
+            # free (the dialect has no assignment expressions), so eager
+            # evaluation is sound and keeps blocks straight-line.
+            left = self.gen_expr(expr.left)
+            right = self.gen_expr(expr.right)
+            reg = self.fresh()
+            self.emit(
+                op="and" if expr.op == "&&" else "or",
+                dst=reg,
+                srcs=(left, right),
+            )
+            return reg
+        # FMA fusion: float x*y + z (either orientation) in one op.
+        if (
+            self.use_fma
+            and expr.op == "+"
+            and "float" in (self.expr_type(expr.left), self.expr_type(expr.right))
+        ):
+            mul_side, add_side = None, None
+            if isinstance(expr.left, BinOp) and expr.left.op == "*":
+                mul_side, add_side = expr.left, expr.right
+            elif isinstance(expr.right, BinOp) and expr.right.op == "*":
+                mul_side, add_side = expr.right, expr.left
+            if mul_side is not None:
+                a = self.gen_expr(mul_side.left)
+                b = self.gen_expr(mul_side.right)
+                c = self.gen_expr(add_side)
+                reg = self.fresh()
+                self.emit(op="fma", dst=reg, srcs=(a, b, c))
+                return reg
+        left = self.gen_expr(expr.left)
+        right = self.gen_expr(expr.right)
+        reg = self.fresh()
+        if expr.op in _CMP_OPS:
+            self.emit(op=_CMP_OPS[expr.op], dst=reg, srcs=(left, right))
+            return reg
+        is_float = "float" in (self.expr_type(expr.left), self.expr_type(expr.right))
+        if expr.op == "%":
+            if is_float:
+                raise CodegenError("% requires integer operands")
+            self.emit(op="mod", dst=reg, srcs=(left, right))
+            return reg
+        table = {"+": "add", "-": "sub", "*": "mul", "/": "div"}
+        op = table[expr.op]
+        if is_float:
+            op = "f" + op
+        self.emit(op=op, dst=reg, srcs=(left, right))
+        return reg
+
+    def _gen_call(self, expr: Call) -> str:
+        args = [self.gen_expr(a) for a in expr.args]
+        reg = self.fresh()
+        intrinsic = _INTRINSIC_MAP.get(expr.name)
+        if intrinsic is not None:
+            self.emit(op=intrinsic, dst=reg, srcs=tuple(args))
+        else:
+            self.emit(op="call", dst=reg, srcs=tuple(args), name=expr.name)
+        return reg
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+    def gen_stmt(self, stmt: Stmt) -> None:
+        if isinstance(stmt, Decl):
+            if stmt.dims:
+                self.module.arrays[stmt.name] = (stmt.dims, stmt.type)
+            else:
+                reg = self.scalar_reg(stmt.name)
+                if stmt.init is not None:
+                    value = self.gen_expr(stmt.init)
+                    if stmt.type == "int" and self.expr_type(stmt.init) == "float":
+                        self.emit(op="trunc", dst=reg, srcs=(value,))
+                    else:
+                        self.emit(op="mov", dst=reg, srcs=(value,))
+            return
+        if isinstance(stmt, Assign):
+            self._gen_assign(stmt)
+            return
+        if isinstance(stmt, ExprStmt):
+            self.gen_expr(stmt.expr)
+            return
+        if isinstance(stmt, ParGroup):
+            for inner in stmt.stmts:
+                self.gen_stmt(inner)
+            return
+        if isinstance(stmt, If):
+            self._gen_if(stmt)
+            return
+        if isinstance(stmt, For):
+            self._gen_for(stmt)
+            return
+        if isinstance(stmt, While):
+            self._gen_while(stmt)
+            return
+        if isinstance(stmt, Break):
+            if not self.loop_stack:
+                raise CodegenError("break outside a loop")
+            self.emit(op="br", label=self.loop_stack[-1].break_label)
+            self.current = self.new_block()
+            return
+        if isinstance(stmt, Continue):
+            if not self.loop_stack:
+                raise CodegenError("continue outside a loop")
+            self.emit(op="br", label=self.loop_stack[-1].continue_label)
+            self.current = self.new_block()
+            return
+        raise CodegenError(f"cannot lower statement {type(stmt).__name__}")
+
+    def _gen_assign(self, stmt: Assign) -> None:
+        value = self.gen_expr(stmt.expanded_value())
+        if isinstance(stmt.target, Var):
+            reg = self.scalar_reg(stmt.target.name)
+            # C semantics: assigning a float expression to an int scalar
+            # truncates toward zero — made explicit so register
+            # allocation can freely rename registers.
+            if (
+                self.scalar_type(stmt.target.name) == "int"
+                and self.expr_type(stmt.expanded_value()) == "float"
+            ):
+                self.emit(op="trunc", dst=reg, srcs=(value,))
+            else:
+                self.emit(op="mov", dst=reg, srcs=(value,))
+            return
+        index_reg, disp, iv = self._flat_address(stmt.target)
+        srcs = (value, index_reg) if index_reg else (value,)
+        self.emit(op="st", srcs=srcs, array=stmt.target.name, disp=disp, iv=iv)
+
+    def _single_scalar_assign(self, stmt: If) -> Optional[Assign]:
+        if stmt.els or len(stmt.then) != 1:
+            return None
+        inner = stmt.then[0]
+        if isinstance(inner, Assign):
+            return inner
+        return None
+
+    def _gen_if(self, stmt: If) -> None:
+        inner = self._single_scalar_assign(stmt)
+        if self.use_predication and inner is not None:
+            cond = self.gen_expr(stmt.cond)
+            value = self.gen_expr(inner.expanded_value())
+            if isinstance(inner.target, Var):
+                reg = self.scalar_reg(inner.target.name)
+                out = self.fresh()
+                self.emit(op="select", dst=out, srcs=(cond, value, reg))
+                self.emit(op="mov", dst=reg, srcs=(out,))
+            else:
+                # Predicated store: read-modify-write the same element.
+                index_reg, disp, iv = self._flat_address(inner.target)
+                old = self.fresh()
+                srcs = (index_reg,) if index_reg else ()
+                self.emit(
+                    op="ld", dst=old, srcs=srcs, array=inner.target.name,
+                    disp=disp, iv=iv,
+                )
+                out = self.fresh()
+                self.emit(op="select", dst=out, srcs=(cond, value, old))
+                st_srcs = (out, index_reg) if index_reg else (out,)
+                self.emit(
+                    op="st", srcs=st_srcs, array=inner.target.name,
+                    disp=disp, iv=iv,
+                )
+            return
+
+        cond = self.gen_expr(stmt.cond)
+        then_block = self.new_block()  # right after current
+        else_block = self.new_block(after=then_block.name)
+        end_block = (
+            self.new_block(after=else_block.name) if stmt.els else else_block
+        )
+        self.emit(op="brf", srcs=(cond,), label=else_block.name)
+        self.current = then_block
+        for s in stmt.then:
+            self.gen_stmt(s)
+        if stmt.els:
+            self.emit(op="br", label=end_block.name)
+            self.current = else_block
+            for s in stmt.els:
+                self.gen_stmt(s)
+            # else falls through to end_block, which must follow the
+            # last block the else body created.
+            self.module.order.remove(end_block.name)
+            self.module.order.insert(
+                self.module.order.index(self.current.name) + 1, end_block.name
+            )
+            self.current = end_block
+        else:
+            # then falls through to else_block (the join); keep the join
+            # after whatever blocks the then body created.
+            self.module.order.remove(else_block.name)
+            self.module.order.insert(
+                self.module.order.index(self.current.name) + 1, else_block.name
+            )
+            self.current = else_block
+
+    def _gen_for(self, stmt: For) -> None:
+        iv_name: Optional[str] = None
+        iv_reg: Optional[str] = None
+        step_const: Optional[int] = None
+        if stmt.init is not None:
+            self.gen_stmt(stmt.init)
+            if isinstance(stmt.init, Assign) and isinstance(stmt.init.target, Var):
+                iv_name = stmt.init.target.name
+                iv_reg = self.scalar_reg(iv_name)
+        if (
+            isinstance(stmt.step, Assign)
+            and isinstance(stmt.step.target, Var)
+            and stmt.step.target.name == iv_name
+        ):
+            if isinstance(stmt.step.value, IntLit) and stmt.step.op in ("+", "-"):
+                step_const = (
+                    stmt.step.value.value
+                    if stmt.step.op == "+"
+                    else -stmt.step.value.value
+                )
+            elif (
+                stmt.step.op is None
+                and isinstance(stmt.step.value, BinOp)
+                and isinstance(stmt.step.value.left, Var)
+                and stmt.step.value.left.name == iv_name
+                and isinstance(stmt.step.value.right, IntLit)
+                and stmt.step.value.op in ("+", "-")
+            ):
+                step_const = (
+                    stmt.step.value.right.value
+                    if stmt.step.value.op == "+"
+                    else -stmt.step.value.right.value
+                )
+
+        from repro.lang.visitors import walk as _walk
+
+        has_continue = any(
+            isinstance(node, Continue)
+            for s in stmt.body
+            for node in _walk(s)
+        )
+
+        cond_block = self.new_block()
+        self.emit(op="br", label=cond_block.name)
+        self.current = cond_block
+        body_block = self.new_block(after=cond_block.name)
+        exit_block = self.new_block(after=body_block.name)
+        self.current = cond_block
+        if stmt.cond is not None:
+            cond = self.gen_expr(stmt.cond)
+            self.emit(op="brf", srcs=(cond,), label=exit_block.name)
+        self.current = body_block
+
+        # `continue` must still run the step, so it targets a dedicated
+        # step block when present; otherwise the step inlines at the
+        # body's end (keeping single-block loops IMS-schedulable).
+        step_block = None
+        if has_continue:
+            step_block = self.new_block(after=body_block.name)
+            self.current = body_block
+
+        ctx = _LoopCtx(
+            iv=iv_name,
+            iv_reg=iv_reg,
+            break_label=exit_block.name,
+            continue_label=step_block.name if step_block else cond_block.name,
+        )
+        self.loop_stack.append(ctx)
+        start_block = self.current
+        for s in stmt.body:
+            self.gen_stmt(s)
+        self.loop_stack.pop()
+        if step_block is not None:
+            # Fallthrough from the body's last block into the step block:
+            # reposition the step block after it.
+            self.module.order.remove(step_block.name)
+            self.module.order.insert(
+                self.module.order.index(self.current.name) + 1,
+                step_block.name,
+            )
+            self.current = step_block
+        if stmt.step is not None:
+            self.gen_stmt(stmt.step)
+        self.emit(op="br", label=cond_block.name)
+
+        if (
+            iv_reg is not None
+            and step_const is not None
+            and self.current is start_block is body_block
+        ):
+            # Single-block loop body: an IMS candidate.
+            self.module.loops.append(
+                LoopDesc(
+                    cond_block=cond_block.name,
+                    body_block=body_block.name,
+                    iv_reg=iv_reg,
+                    step=step_const,
+                )
+            )
+        self.current = exit_block
+
+    def _gen_while(self, stmt: While) -> None:
+        cond_block = self.new_block()
+        self.emit(op="br", label=cond_block.name)
+        self.current = cond_block
+        body_block = self.new_block(after=cond_block.name)
+        exit_block = self.new_block(after=body_block.name)
+        self.current = cond_block
+        cond = self.gen_expr(stmt.cond)
+        self.emit(op="brf", srcs=(cond,), label=exit_block.name)
+        self.current = body_block
+        self.loop_stack.append(
+            _LoopCtx(
+                iv=None,
+                iv_reg=None,
+                break_label=exit_block.name,
+                continue_label=cond_block.name,
+            )
+        )
+        for s in stmt.body:
+            self.gen_stmt(s)
+        self.loop_stack.pop()
+        self.emit(op="br", label=cond_block.name)
+        self.current = exit_block
+
+    # ------------------------------------------------------------------
+    def run(self) -> Module:
+        for stmt in self.program.body:
+            self.gen_stmt(stmt)
+        return self.module
+
+
+def compile_to_lir(
+    program: Program,
+    use_predication: bool = False,
+    use_fma: bool = False,
+) -> Module:
+    """Lower a program to LIR."""
+    return Codegen(
+        program, use_predication=use_predication, use_fma=use_fma
+    ).run()

@@ -1,0 +1,225 @@
+"""Basic-block list scheduling into machine bundles.
+
+This is the paper's "final compiler" scheduler (Fig. 3): after SLMS the
+backend only needs classic list scheduling of basic blocks to pack
+independent operations — including operations SLMS hoisted from other
+iterations — into the same cycle (VLIW bundle / superscalar issue
+group).
+
+Dependences within a block:
+
+* register RAW with the producer's latency, WAR at latency 0 (operands
+  read at issue), WAW at latency 1;
+* memory ops on the same array serialize unless their addresses are
+  provably distinct (same index register with different displacements,
+  or both constant-addressed) — loads never conflict with loads;
+* calls are barriers; the terminating branch issues last.
+
+The scheduler is greedy critical-path list scheduling constrained by
+``issue_width`` and per-class unit counts.  The resulting
+``schedule_length`` in cycles is the block's contribution to execution
+time; for loop bodies it is the paper's "bundles per iteration" metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.backend.lir import Block, Instr, Module
+from repro.machines.model import MachineModel
+
+
+@dataclass
+class DepEdge:
+    src: int
+    dst: int
+    latency: int
+
+
+def _same_address(a: Instr, b: Instr) -> Optional[bool]:
+    """True/False when provable, None when unknown."""
+    a_idx = a.srcs[1] if a.op == "st" and len(a.srcs) > 1 else (
+        a.srcs[0] if a.op == "ld" and a.srcs else None
+    )
+    b_idx = b.srcs[1] if b.op == "st" and len(b.srcs) > 1 else (
+        b.srcs[0] if b.op == "ld" and b.srcs else None
+    )
+    if a_idx is None and b_idx is None:
+        return a.disp == b.disp
+    if a_idx == b_idx and a_idx is not None:
+        return a.disp == b.disp
+    if a.iv is not None and b.iv is not None and a.iv.iv == b.iv.iv:
+        if a.iv.coeff == b.iv.coeff:
+            return a.iv.offset == b.iv.offset
+    return None
+
+
+def build_dependences(instrs: List[Instr]) -> List[DepEdge]:
+    """Intra-block dependence edges (indices into ``instrs``)."""
+    edges: List[DepEdge] = []
+    last_def: Dict[str, int] = {}
+    uses_since_def: Dict[str, List[int]] = {}
+    mem_ops: List[int] = []
+    call_ops: List[int] = []
+    seen: set = set()
+
+    def add(src: int, dst: int, latency: int) -> None:
+        if src == dst:
+            return
+        key = (src, dst)
+        if key in seen:
+            # Keep the max latency for duplicate edges.
+            for e in edges:
+                if (e.src, e.dst) == key:
+                    e.latency = max(e.latency, latency)
+                    return
+        seen.add(key)
+        edges.append(DepEdge(src, dst, latency))
+
+    for idx, instr in enumerate(instrs):
+        latency_of = lambda j: max(  # noqa: E731
+            1, _latency_cache.get(instrs[j].op_class(), 1)
+        )
+        # Register dependences.
+        for src_reg in instr.srcs:
+            if src_reg in last_def:
+                add(last_def[src_reg], idx, latency_of(last_def[src_reg]))
+        if instr.dst is not None:
+            for use_idx in uses_since_def.get(instr.dst, []):
+                add(use_idx, idx, 0)  # WAR
+            if instr.dst in last_def:
+                add(last_def[instr.dst], idx, 1)  # WAW
+            last_def[instr.dst] = idx
+            uses_since_def[instr.dst] = []
+        for src_reg in instr.srcs:
+            uses_since_def.setdefault(src_reg, []).append(idx)
+
+        # Memory dependences.
+        if instr.op in ("ld", "st"):
+            for prev in mem_ops:
+                prev_instr = instrs[prev]
+                if instr.op == "ld" and prev_instr.op == "ld":
+                    continue
+                if prev_instr.array != instr.array:
+                    continue
+                same = _same_address(prev_instr, instr)
+                if same is False:
+                    continue
+                add(prev, idx, 1)
+            mem_ops.append(idx)
+
+        # Calls are barriers.
+        if instr.op == "call":
+            for prev in mem_ops:
+                add(prev, idx, 1)
+            for prev in call_ops:
+                add(prev, idx, 1)
+            call_ops.append(idx)
+        elif instr.op in ("ld", "st") and call_ops:
+            add(call_ops[-1], idx, 1)
+
+        # Branches issue after everything else in the block.
+        if instr.is_branch():
+            for prev in range(idx):
+                add(prev, idx, 0)
+
+    return edges
+
+
+# Latencies are machine-specific; build_dependences uses this module
+# cache set by schedule_block (keeps the edge builder signature simple).
+_latency_cache: Dict[str, int] = {}
+
+
+def schedule_block(block: Block, machine: MachineModel) -> int:
+    """Greedy list scheduling; fills ``block.schedule`` and returns its
+    length in cycles."""
+    instrs = block.instrs
+    n = len(instrs)
+    if n == 0:
+        block.schedule = []
+        block.schedule_length = 0
+        return 0
+
+    global _latency_cache
+    _latency_cache = dict(machine.latencies)
+    edges = build_dependences(instrs)
+
+    preds: Dict[int, List[Tuple[int, int]]] = {i: [] for i in range(n)}
+    succs: Dict[int, List[Tuple[int, int]]] = {i: [] for i in range(n)}
+    for e in edges:
+        preds[e.dst].append((e.src, e.latency))
+        succs[e.src].append((e.dst, e.latency))
+
+    # Critical-path heights (priority).
+    height = [1] * n
+    for i in range(n - 1, -1, -1):
+        for (j, lat) in succs[i]:
+            height[i] = max(height[i], height[j] + max(lat, 1))
+
+    indegree = [len(preds[i]) for i in range(n)]
+    earliest = [0] * n
+    scheduled: Dict[int, int] = {}
+    ready = [i for i in range(n) if indegree[i] == 0]
+    cycle = 0
+    schedule: List[List[int]] = []
+
+    remaining = n
+    while remaining > 0:
+        issued: List[int] = []
+        used: Dict[str, int] = {}
+        total = 0
+        # Highest priority first among ops whose operands are ready.
+        for i in sorted(ready, key=lambda k: (-height[k], k)):
+            if earliest[i] > cycle:
+                continue
+            cls = instrs[i].op_class()
+            if total >= machine.issue_width:
+                break
+            if used.get(cls, 0) >= machine.unit_count(cls):
+                continue
+            used[cls] = used.get(cls, 0) + 1
+            total += 1
+            issued.append(i)
+        for i in issued:
+            ready.remove(i)
+            scheduled[i] = cycle
+            remaining -= 1
+            for (j, lat) in succs[i]:
+                indegree[j] -= 1
+                earliest[j] = max(earliest[j], cycle + lat)
+                if indegree[j] == 0:
+                    ready.append(j)
+        schedule.append(issued)
+        cycle += 1
+        if cycle > 10000 + n * 64:
+            raise RuntimeError("list scheduler failed to converge")
+
+    # Trim trailing empty cycles (can't happen, but keep invariant tight).
+    while schedule and not schedule[-1]:
+        schedule.pop()
+    block.schedule = schedule
+    block.schedule_length = len(schedule)
+    return block.schedule_length
+
+
+def schedule_module(module: Module, machine: MachineModel) -> None:
+    """Schedule every block; unscheduled (-O0 style) callers skip this."""
+    for name in module.order:
+        schedule_block(module.blocks[name], machine)
+
+
+def sequential_lengths(module: Module, machine: Optional[MachineModel] = None) -> None:
+    """-O0 model: fully serialized issue — each operation completes
+    (pays its full latency) before the next issues.  Strictly no faster
+    than any list schedule on the same machine."""
+    for name in module.order:
+        block = module.blocks[name]
+        block.schedule = [[i] for i in range(len(block.instrs))]
+        if machine is None:
+            block.schedule_length = len(block.instrs)
+        else:
+            block.schedule_length = sum(
+                max(1, machine.latency(ins.op_class())) for ins in block.instrs
+            )

@@ -1,0 +1,72 @@
+"""Loop rotation (bottom-testing loops).
+
+Naive codegen emits ``br cond; cond: test; brf exit; body: …; br cond``,
+which charges the test block as a separate (serially scheduled) block
+every iteration.  Optimizing compilers rotate counted loops so the test
+sits at the *bottom* of the body and the body branches back to itself:
+
+.. code-block:: text
+
+    entry:  br cond
+    cond:   test; brf exit        (runs once: the zero-trip guard)
+    body:   …step…; test'; brt body
+    exit:
+
+After rotation a single-block loop body contains the whole recurrence —
+including the induction-variable update and the test — so both the list
+scheduler and the machine-level modulo scheduler see (and overlap) the
+loop control, exactly like real -O2/-O3 code.
+
+The pass runs on virtual registers before allocation; the duplicated
+test instructions reuse the cond block's registers (plain WAW reuse the
+allocator understands).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.backend.lir import Block, Instr, Module
+
+
+def rotate_loops(module: Module) -> int:
+    """Rotate every recorded single-block counted loop; returns count."""
+    rotated = 0
+    for loop in module.loops:
+        cond = module.blocks.get(loop.cond_block)
+        body = module.blocks.get(loop.body_block)
+        if cond is None or body is None:
+            continue
+        if not body.instrs or not cond.instrs:
+            continue
+        # The body must be a self-contained latch: ends with br -> cond.
+        last = body.instrs[-1]
+        if last.op != "br" or last.label != loop.cond_block:
+            continue
+        # The cond block must end with brf -> exit and contain only
+        # straight-line test computation before it.
+        if not cond.instrs or cond.instrs[-1].op != "brf":
+            continue
+        if any(ins.is_branch() for ins in cond.instrs[:-1]):
+            continue
+        brf = cond.instrs[-1]
+
+        test_copy: List[Instr] = [
+            Instr(
+                op=ins.op,
+                dst=ins.dst,
+                srcs=ins.srcs,
+                imm=ins.imm,
+                array=ins.array,
+                disp=ins.disp,
+                label=ins.label,
+                name=ins.name,
+                iv=ins.iv,
+            )
+            for ins in cond.instrs[:-1]
+        ]
+        body.instrs = body.instrs[:-1] + test_copy + [
+            Instr(op="brt", srcs=brf.srcs, label=loop.body_block)
+        ]
+        rotated += 1
+    return rotated

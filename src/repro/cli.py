@@ -1,0 +1,188 @@
+"""Command-line interface: ``slms``.
+
+Subcommands
+-----------
+
+``slms transform FILE``
+    Apply SLMS to a C-subset source file and print the transformed
+    program (``--paper`` for the paper's ``||`` notation, ``--force``
+    to bypass the §4 filter, ``--expansion`` to pick MVE / scalar
+    expansion).
+
+``slms figure NAME``
+    Regenerate one of the paper's figures (``fig14`` … ``fig22``,
+    ``text_bundles``, or ``all``); ``--quick`` trims the workload list.
+
+``slms bench WORKLOAD``
+    Run a single workload comparison on a machine/compiler pair.
+
+``slms explain FILE``
+    Per-loop SLC diagnostics: filter verdict, multi-instructions,
+    dependence edges, II search outcome and the Fig. 1 table view
+    (``--dot`` additionally prints the dependence graph in DOT).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_transform(args: argparse.Namespace) -> int:
+    from repro import SLMSOptions, slms, to_source
+
+    with open(args.file, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    options = SLMSOptions(
+        enable_filter=not args.no_filter,
+        force=args.force,
+        expansion=args.expansion,
+        reduction_lanes=args.reduction_lanes,
+        allow_reassociation=args.allow_reassociation,
+    )
+    outcome = slms(source, options)
+    style = "paper" if args.paper else "c"
+    print(to_source(outcome.program, style=style))
+    if args.report:
+        print("/*", file=sys.stderr)
+        for idx, report in enumerate(outcome.loops):
+            status = (
+                f"applied II={report.ii} stages={report.stages} "
+                f"expansion={report.expansion}"
+                if report.applied
+                else f"declined: {report.reason}"
+            )
+            print(f" loop {idx}: {status}", file=sys.stderr)
+        print("*/", file=sys.stderr)
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro import SLMSOptions, slms
+    from repro.core.explain import ddg_to_dot, explain
+    from repro.lang.ast_nodes import For, While
+    from repro.lang.parser import parse_program
+    from repro.lang.visitors import walk
+
+    with open(args.file, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    program = parse_program(source)
+    options = SLMSOptions(
+        enable_filter=not args.no_filter,
+        force=args.force,
+        reduction_lanes=args.reduction_lanes,
+        allow_reassociation=args.allow_reassociation,
+    )
+    outcome = slms(program, options)
+
+    # Pair reports with the attempted loops, in traversal order.
+    def innermost_loops(node):
+        for child in walk(node):
+            if isinstance(child, For) and not any(
+                isinstance(g, (For, While)) for s in child.body for g in walk(s)
+            ):
+                yield child
+
+    loops = list(innermost_loops(program))
+    for idx, (loop, report) in enumerate(zip(loops, outcome.loops)):
+        if idx:
+            print()
+        print(f"===== loop {idx} =====")
+        print(explain(loop, report))
+        if args.dot and report.ddg is not None:
+            print()
+            print(ddg_to_dot(report.ddg, report.final_mis or None))
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    from repro.harness.figures import FIGURES, run_figure
+    from repro.harness.report import render_figure
+
+    names = sorted(FIGURES) if args.name == "all" else [args.name]
+    for name in names:
+        print(render_figure(run_figure(name, quick=args.quick)))
+        print()
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.harness.experiment import run_experiment
+    from repro.workloads import get_workload
+
+    res = run_experiment(
+        get_workload(args.workload), args.machine, args.compiler
+    )
+    print(f"workload:  {res.workload} ({res.suite})")
+    print(f"machine:   {res.machine}   compiler: {res.compiler}")
+    print(f"SLMS:      {'applied, II=' + str(res.ii) if res.slms_applied else 'declined (' + res.slms_reason + ')'}")
+    print(f"cycles:    {res.base_cycles} -> {res.slms_cycles} "
+          f"(speedup {res.speedup:.3f}x)")
+    print(f"energy:    {res.base_energy / 1000:.1f} nJ -> "
+          f"{res.slms_energy / 1000:.1f} nJ")
+    print(f"machine MS: before={res.ims_base} after={res.ims_slms}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="slms",
+        description="Source Level Modulo Scheduling "
+        "(Ben-Asher & Meisler, ICPP 2006 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_transform = sub.add_parser("transform", help="SLMS a source file")
+    p_transform.add_argument("file")
+    p_transform.add_argument("--paper", action="store_true",
+                             help="print kernels in the paper's || notation")
+    p_transform.add_argument("--force", action="store_true",
+                             help="bypass the §4 bad-case filter")
+    p_transform.add_argument("--no-filter", action="store_true")
+    p_transform.add_argument(
+        "--expansion", choices=["auto", "mve", "scalar", "none"],
+        default="auto",
+    )
+    p_transform.add_argument(
+        "--reduction-lanes", type=int, default=0, metavar="N",
+        help="split min/max reductions into N lanes (§5's max-loop MVE)",
+    )
+    p_transform.add_argument(
+        "--allow-reassociation", action="store_true",
+        help="permit lane-splitting sum/product reductions "
+        "(reassociates floating point)",
+    )
+    p_transform.add_argument("--report", action="store_true",
+                             help="print per-loop reports to stderr")
+    p_transform.set_defaults(func=_cmd_transform)
+
+    p_explain = sub.add_parser(
+        "explain", help="per-loop SLC diagnostics for a source file"
+    )
+    p_explain.add_argument("file")
+    p_explain.add_argument("--force", action="store_true")
+    p_explain.add_argument("--no-filter", action="store_true")
+    p_explain.add_argument("--reduction-lanes", type=int, default=0)
+    p_explain.add_argument("--allow-reassociation", action="store_true")
+    p_explain.add_argument("--dot", action="store_true",
+                           help="also print the dependence graph as DOT")
+    p_explain.set_defaults(func=_cmd_explain)
+
+    p_figure = sub.add_parser("figure", help="regenerate a paper figure")
+    p_figure.add_argument("name")
+    p_figure.add_argument("--quick", action="store_true")
+    p_figure.set_defaults(func=_cmd_figure)
+
+    p_bench = sub.add_parser("bench", help="run one workload comparison")
+    p_bench.add_argument("workload")
+    p_bench.add_argument("--machine", default="itanium2")
+    p_bench.add_argument("--compiler", default="gcc_O3")
+    p_bench.set_defaults(func=_cmd_bench)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,23 @@
+"""The paper's contribution: Source Level Modulo Scheduling.
+
+Submodules follow the structure of the SLMS algorithm (paper §5):
+
+* :mod:`repro.core.filters` — §4 bad-case filtering (memory-ref ratio);
+* :mod:`repro.core.if_conversion` — §3.1 source-level predication;
+* :mod:`repro.core.mi` — §3 multi-instruction partitioning and
+  multi-def scalar renaming;
+* :mod:`repro.core.mii` — §3.5/§3.6 delays, difMin iterative shortest
+  path, cycle-ratio PMII, and the fixed-placement valid-II search;
+* :mod:`repro.core.decompose` — §3.2 MI decomposition;
+* :mod:`repro.core.schedule` — §1/§5 prologue/kernel/epilogue emission;
+* :mod:`repro.core.mve` — §3.3 modulo variable expansion;
+* :mod:`repro.core.scalar_expansion` — §3.4 scalar expansion;
+* :mod:`repro.core.slms` — the §5 driver tying it all together;
+* :mod:`repro.core.pipeline` — the user-facing ``slms()`` entry point;
+* :mod:`repro.core.extensions` — §10 while-loop and frequent-path SLMS.
+"""
+
+from repro.core.pipeline import slms, slms_loop
+from repro.core.slms import SLMSOptions, SLMSResult, slms_for_loop
+
+__all__ = ["SLMSOptions", "SLMSResult", "slms", "slms_for_loop", "slms_loop"]

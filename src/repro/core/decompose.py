@@ -1,0 +1,250 @@
+"""MI decomposition (paper §3.2).
+
+When a loop has too few MIs (a single statement cannot be pipelined) or
+a loop-carried *self* dependence pins the only MI, SLMS splits an MI in
+two by hoisting one array load into a fresh temporary::
+
+    A[i] = A[i-1] + A[i-2] + A[i+1] + A[i+2];
+        ⇓
+    reg1 = A[i+2];
+    A[i] = A[i-1] + A[i-2] + A[i+1] + reg1;
+
+The hoisted load must have **no flow dependence with the store** (§3.2):
+hoisting ``A[i-1]`` instead would create a backward flow edge
+(store → next-iteration load) that forces ``II ≥ 2`` and defeats the
+split.  Reads of arrays never written in the loop, and read-ahead
+references (anti/no dependence with every store), are the legal
+candidates; among them we prefer the largest read-ahead distance, which
+maximizes schedule slack.
+
+A second decomposition mode splits wide expressions to reduce per-MI
+resource usage (``x = A[i]+B[i]+C[i]+D[i]`` → two halves), used when a
+machine resource model is supplied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.affine import AffineExpr, analyze_subscript
+from repro.analysis.deptests import test_dependence
+from repro.analysis.loopinfo import LoopInfo
+from repro.core.names import NamePool
+from repro.lang.ast_nodes import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Expr,
+    If,
+    IntLit,
+    Stmt,
+    Var,
+)
+from repro.lang.visitors import NodeTransformer, collect_array_refs, count_ops
+
+
+@dataclass
+class Decomposition:
+    """Result of splitting one MI."""
+
+    load_mi: Stmt  # reg = A[expr];
+    rest_mi: Stmt  # original statement with the load replaced by reg
+    temp: str
+    array: str
+
+
+def _store_subscripts(
+    mis: Sequence[Stmt], index_var: str
+) -> Dict[str, List[Tuple[AffineExpr, ...]]]:
+    """Affine subscripts of every array *store* in the loop body."""
+    stores: Dict[str, List[Tuple[AffineExpr, ...]]] = {}
+
+    def visit(stmt: Stmt) -> None:
+        if isinstance(stmt, Assign) and isinstance(stmt.target, ArrayRef):
+            subs = []
+            for idx in stmt.target.indices:
+                a = analyze_subscript(idx, index_var)
+                if a is None:
+                    # Unknown store: poison the array (no candidate reads).
+                    stores.setdefault(stmt.target.name, []).append(None)  # type: ignore[arg-type]
+                    return
+                subs.append(a)
+            stores.setdefault(stmt.target.name, []).append(tuple(subs))
+        elif isinstance(stmt, If):
+            for s in list(stmt.then) + list(stmt.els):
+                visit(s)
+
+    for stmt in mis:
+        visit(stmt)
+    return stores
+
+
+def _read_ahead_score(
+    read_subs: Tuple[AffineExpr, ...],
+    stores: Dict[str, List[Tuple[AffineExpr, ...]]],
+    array: str,
+    info: LoopInfo,
+) -> Optional[int]:
+    """Score a candidate load: ``None`` if it has a flow dependence with
+    any store; otherwise the minimum read-ahead distance (≥ 0)."""
+    if array not in stores:
+        return 10**6  # array never written: perfect candidate
+    best = 10**6
+    for store_subs in stores[array]:
+        if store_subs is None or any(s is None for s in store_subs):
+            return None
+        if len(store_subs) != len(read_subs):
+            return None
+        result = test_dependence(
+            store_subs,
+            read_subs,
+            lo=info.lo_const,
+            hi=info.hi_const,
+            step=info.step,
+        )
+        if not result.exists:
+            continue
+        if not result.exact or result.distance is None:
+            return None  # unknown dependence: unsafe to hoist
+        if result.distance >= 0:
+            # store at iter i, load touches same element at iter i+d,
+            # d ≥ 0: the load would read a value the pipelined store has
+            # not yet (or just) produced — a flow dependence.  Reject.
+            return None
+        best = min(best, -result.distance)
+    return best
+
+
+class _ReplaceFirstRef(NodeTransformer):
+    """Replace the first occurrence (structural match) of a ref by a var."""
+
+    def __init__(self, ref: ArrayRef, temp: str):
+        self.ref = ref
+        self.temp = temp
+        self.done = False
+
+    def visit_ArrayRef(self, node: ArrayRef) -> Expr:
+        if not self.done and node == self.ref:
+            self.done = True
+            return Var(self.temp)
+        return ArrayRef(
+            node.name, [self.visit(i) for i in node.indices], node.loc
+        )
+
+
+def decompose_mi(
+    stmt: Stmt,
+    mis: Sequence[Stmt],
+    info: LoopInfo,
+    pool: NamePool,
+    temp_type: str = "float",
+) -> Optional[Decomposition]:
+    """Split ``stmt`` by hoisting its best read-ahead load, if any.
+
+    ``mis`` is the full MI list (store subscripts of *every* MI matter:
+    a load hoisted above its own statement can still collide with a
+    store in a different MI).
+    """
+    del temp_type  # the driver declares the temp; kept for API clarity
+    if isinstance(stmt, If):
+        return None  # predicated MIs are not decomposed (paper keeps them whole)
+    if not isinstance(stmt, Assign):
+        return None
+
+    stores = _store_subscripts(mis, info.var)
+    reads: List[ArrayRef] = collect_array_refs(stmt.expanded_value())
+    # Subscript loads inside the store target are address computation,
+    # not hoistable values; expanded_value covers compound reads.
+    best_ref: Optional[ArrayRef] = None
+    best_score = -1
+    for ref in reads:
+        subs = []
+        ok = True
+        for idx in ref.indices:
+            a = analyze_subscript(idx, info.var)
+            if a is None:
+                ok = False
+                break
+            subs.append(a)
+        if not ok:
+            continue
+        score = _read_ahead_score(tuple(subs), stores, ref.name, info)
+        if score is not None and score > best_score:
+            best_score = score
+            best_ref = ref
+    if best_ref is None:
+        return None
+
+    temp = pool.numbered("reg", start=1)
+    load_mi = Assign(Var(temp), best_ref.clone())
+    if stmt.op is not None:
+        # Compound assignment: expand so the replaced read can live
+        # anywhere in the full RHS.
+        expanded = stmt.expanded_value()
+        replacer = _ReplaceFirstRef(best_ref, temp)
+        new_value = replacer.visit(expanded)
+        rest = Assign(stmt.target.clone(), new_value, None, stmt.loc)
+    else:
+        replacer = _ReplaceFirstRef(best_ref, temp)
+        new_value = replacer.visit(stmt.value)
+        rest = Assign(stmt.target.clone(), new_value, stmt.op, stmt.loc)
+    if not replacer.done:
+        return None  # the ref was only in the target subscripts
+    return Decomposition(load_mi=load_mi, rest_mi=rest, temp=temp, array=best_ref.name)
+
+
+# ---------------------------------------------------------------------------
+# Resource-driven decomposition (§3.2 second form)
+# ---------------------------------------------------------------------------
+
+
+def decompose_by_resources(
+    stmt: Stmt,
+    max_loads: int,
+    max_arith: int,
+    pool: NamePool,
+) -> Optional[List[Stmt]]:
+    """Split a wide arithmetic MI so each piece fits the resource caps.
+
+    Splits a left-leaning chain of ``+``/``*`` at the midpoint, e.g.
+    ``x = A[i]+B[i]+C[i]+D[i]`` with a 2-load cap becomes
+    ``t = A[i]+B[i]; x = t+C[i]+D[i];``.  Returns ``None`` when the MI
+    already fits or has no splittable chain.
+    """
+    if not isinstance(stmt, Assign) or stmt.op is not None:
+        return None
+    counts = count_ops(stmt)
+    if counts["load"] <= max_loads and counts["arith"] <= max_arith:
+        return None
+
+    # Collect the top-level chain of a single associative operator.
+    def chain(expr: Expr, op: str) -> List[Expr]:
+        if isinstance(expr, BinOp) and expr.op == op:
+            return chain(expr.left, op) + [expr.right]
+        return [expr]
+
+    value = stmt.value
+    if not isinstance(value, BinOp) or value.op not in ("+", "*"):
+        return None
+    op = value.op
+    terms = chain(value, op)
+    if len(terms) < 3:
+        return None
+    half = len(terms) // 2
+    temp = pool.numbered("reg", start=1)
+
+    def rebuild(parts: List[Expr]) -> Expr:
+        acc = parts[0].clone()
+        for part in parts[1:]:
+            acc = BinOp(op, acc, part.clone())
+        return acc
+
+    first = Assign(Var(temp), rebuild(terms[:half]))
+    second = Assign(
+        stmt.target.clone(),
+        rebuild([Var(temp)] + terms[half:]),
+        None,
+        stmt.loc,
+    )
+    return [first, second]

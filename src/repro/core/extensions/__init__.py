@@ -1,0 +1,19 @@
+"""§10 extensions: SLMS beyond simple counted loops.
+
+The paper demonstrates (via examples, leaving "full implementation …
+beyond the scope of this work") that SLMS generalizes to while-loops and
+to loops with conditionals scheduled along their most frequent path.
+These modules implement working, oracle-verified versions of both for
+the loop shapes the paper uses:
+
+* :mod:`repro.core.extensions.while_loops` — unrolling and software
+  pipelining of index-advancing while loops (the shifted string copy);
+* :mod:`repro.core.extensions.freq_path` — frequent-path kernels for
+  ``for { if (A) B; else C; D; }`` loops with fix-up code off the fast
+  path (Fig. 23).
+"""
+
+from repro.core.extensions.freq_path import frequent_path_slms
+from repro.core.extensions.while_loops import pipeline_while, unroll_while
+
+__all__ = ["frequent_path_slms", "pipeline_while", "unroll_while"]

@@ -1,0 +1,185 @@
+"""Frequent-path SLMS for loops with conditionals (§10, second
+extension; Fig. 23).
+
+For ``for (i) { if (A) B; else C; D; }`` where profile information says
+``A;B;D`` is the hot path, §3.1-style if-conversion is wasteful (it
+predicates every statement).  Instead the kernel is built from the hot
+path only — ``[D(i) ‖ B(i+1)]`` — and runs as long as ``A`` keeps
+evaluating true; a fix-up path drains the pipe, handles the cold
+``C`` iteration, and re-enters the kernel at the next opportunity.
+
+The emitted structure (a verified refinement of the paper's sketch):
+
+.. code-block:: text
+
+    i = lo;
+    while (i < hi) {
+        if (A(i)) {
+            B(i);                            // fill the pipe
+            while (i+1 < hi && A(i+1)) {     // steady state
+                D(i) ‖ B(i+1); i++;          //   the KPf kernel row
+            }
+            D(i); i++;                       // drain
+        } else {
+            C(i); D(i); i++;                 // cold path
+        }
+    }
+
+Legality: evaluating ``A(i+1)`` before ``D(i)`` reorders them relative
+to the original program, so no store of ``D`` (or ``B``) may reach
+``A``'s reads one iteration later; conditions are checked with the
+dependence tests and the transformation declines otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.analysis.affine import analyze_subscript
+from repro.analysis.deptests import test_dependence
+from repro.analysis.loopinfo import LoopInfo
+from repro.lang.ast_nodes import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    For,
+    If,
+    IntLit,
+    ParGroup,
+    Stmt,
+    Var,
+    While,
+)
+from repro.lang.visitors import (
+    collect_array_refs,
+    collect_calls,
+    collect_vars,
+    defined_scalars,
+    substitute_index,
+    used_scalars,
+    walk,
+)
+from repro.transforms.errors import TransformError
+
+
+def _stores_reach_cond(
+    stmts: List[Stmt], cond_refs, iv: str, step: int
+) -> Optional[str]:
+    """Does a store in ``stmts`` alias a condition read one iteration
+    later?  Returns the array name or ``None``."""
+    for stmt in stmts:
+        for node in walk(stmt):
+            if isinstance(node, Assign) and isinstance(node.target, ArrayRef):
+                store = node.target
+                store_subs = []
+                for idx in store.indices:
+                    a = analyze_subscript(idx, iv)
+                    if a is None:
+                        return store.name
+                    store_subs.append(a)
+                for ref in cond_refs:
+                    if ref.name != store.name:
+                        continue
+                    ref_subs = []
+                    ok = True
+                    for idx in ref.indices:
+                        a = analyze_subscript(idx, iv)
+                        if a is None:
+                            ok = False
+                            break
+                        ref_subs.append(a)
+                    if not ok or len(ref_subs) != len(store_subs):
+                        return store.name
+                    dep = test_dependence(
+                        tuple(store_subs), tuple(ref_subs), step=step
+                    )
+                    if dep.exists and (dep.distance is None or dep.distance == 1):
+                        return store.name
+    return None
+
+
+def frequent_path_slms(loop: For) -> List[Stmt]:
+    """Transform ``for { if (A) B…; else C…; D…; }`` into a
+    frequent-path pipelined loop (see module docstring).
+
+    ``B``/``C``/``D`` may be multi-statement.  Raises
+    :class:`TransformError` when the loop does not match the shape or
+    the reordering cannot be proven safe.
+    """
+    info = LoopInfo.from_for(loop)
+    if info is None:
+        raise TransformError("loop is not in canonical counted form")
+    if len(loop.body) < 1 or not isinstance(loop.body[0], If):
+        raise TransformError("body must start with the branched statement")
+    branch = loop.body[0]
+    if not branch.els:
+        raise TransformError("frequent-path SLMS expects an else branch")
+    b_stmts = [s.clone() for s in branch.then]
+    c_stmts = [s.clone() for s in branch.els]
+    d_stmts = [s.clone() for s in loop.body[1:]]
+    if not d_stmts:
+        raise TransformError("need trailing statements (the D part)")
+    iv, step = info.var, info.step
+    if step <= 0:
+        raise TransformError("frequent-path SLMS supports positive steps")
+
+    for group in (b_stmts, c_stmts, d_stmts, [branch]):
+        for stmt in group:
+            if collect_calls(stmt):
+                raise TransformError("opaque calls are not supported")
+            for node in walk(stmt):
+                if isinstance(node, (For, While)):
+                    raise TransformError("nested loops are not supported")
+
+    # Reordering checks: A(i+1) is evaluated before D(i) and B(i+1)
+    # before... (B(i+1) runs after D(i) in the kernel row — original
+    # order, fine).  So only D's and B's stores vs A's reads matter.
+    cond_refs = collect_array_refs(branch.cond)
+    offender = _stores_reach_cond(d_stmts + b_stmts, cond_refs, iv, step)
+    if offender is not None:
+        raise TransformError(
+            f"a store to {offender!r} reaches the condition one iteration "
+            "later; cannot hoist the condition"
+        )
+    # Scalars written by B/D and read by A carry the same hazard.
+    cond_scalars = collect_vars(branch.cond)
+    for stmt in d_stmts + b_stmts:
+        written = defined_scalars(stmt)
+        if written & cond_scalars:
+            raise TransformError(
+                f"scalar {sorted(written & cond_scalars)[0]!r} written by "
+                "the hot path feeds the condition"
+            )
+
+    def shifted(stmts: List[Stmt], k: int) -> List[Stmt]:
+        return [substitute_index(s.clone(), iv, k * step) for s in stmts]
+
+    bound = info.hi.clone()
+    next_in_range = BinOp(
+        "<", BinOp("+", Var(iv), IntLit(step)), bound
+    )
+    kernel_row: List[Stmt] = []
+    kernel_row.extend(d_stmts)
+    kernel_row.extend(shifted(b_stmts, 1))
+    kernel = While(
+        BinOp("&&", next_in_range, substitute_index(branch.cond.clone(), iv, step)),
+        [ParGroup(kernel_row) if len(kernel_row) > 1 else kernel_row[0],
+         Assign(Var(iv), IntLit(step), "+")],
+    )
+
+    hot = If(
+        branch.cond.clone(),
+        [
+            *[s.clone() for s in b_stmts],
+            kernel,
+            *[s.clone() for s in d_stmts],
+            Assign(Var(iv), IntLit(step), "+"),
+        ],
+        [
+            *[s.clone() for s in c_stmts],
+            *[s.clone() for s in d_stmts],
+            Assign(Var(iv), IntLit(step), "+"),
+        ],
+    )
+    dispatch = While(BinOp("<", Var(iv), info.hi.clone()), [hot])
+    return [Assign(Var(iv), info.lo.clone()), dispatch]

@@ -1,0 +1,264 @@
+"""While-loop SLMS (§10, first extension).
+
+§10 observes that while-loops whose body advances an index can be
+unrolled despite the unknown trip count [Huang & Leng], and once
+unrollable they can be software pipelined.  The worked example is the
+shifted string copy::
+
+    i = 0;
+    while (a[i+2]) { a[i] = a[i+2]; i++; }
+
+:func:`unroll_while` produces the unrolled form with the conjunction
+condition and a residual loop; :func:`pipeline_while` additionally
+overlaps the unrolled copies through rotating load registers (the
+paper's ``reg1``/``reg2`` version).  Both transformations verify their
+legality with the dependence machinery and raise
+:class:`~repro.transforms.errors.TransformError` when the loop does not
+fit the supported shape:
+
+* the body is straight-line assignments ending with ``iv += step``;
+* the condition is side-effect free;
+* no body store can affect the condition or another copy's loads within
+  the unroll window (checked with the §3-style dependence tests).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.analysis.affine import analyze_subscript
+from repro.analysis.deptests import test_dependence
+from repro.core.names import NamePool, all_names
+from repro.lang.ast_nodes import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Expr,
+    IntLit,
+    ParGroup,
+    Stmt,
+    Var,
+    While,
+)
+from repro.lang.visitors import (
+    collect_array_refs,
+    collect_calls,
+    defined_scalars,
+    substitute_index,
+    walk,
+)
+from repro.transforms.errors import TransformError
+
+
+def _split_body(loop: While) -> Tuple[List[Stmt], str, int]:
+    """Return (body without increment, induction var, step)."""
+    if not loop.body:
+        raise TransformError("empty while body")
+    last = loop.body[-1]
+    if not (
+        isinstance(last, Assign)
+        and isinstance(last.target, Var)
+        and last.op in ("+", "-")
+        and isinstance(last.value, IntLit)
+    ):
+        raise TransformError(
+            "while body must end with an induction-variable increment"
+        )
+    iv = last.target.name
+    step = last.value.value if last.op == "+" else -last.value.value
+    if step == 0:
+        raise TransformError("zero-step while loop")
+    body = [s.clone() for s in loop.body[:-1]]
+    for stmt in body:
+        if not isinstance(stmt, Assign):
+            raise TransformError(
+                "while-loop SLMS supports straight-line assignment bodies"
+            )
+        if iv in defined_scalars(stmt):
+            raise TransformError("induction variable redefined mid-body")
+    if collect_calls(loop.cond):
+        raise TransformError("condition must be side-effect free")
+    return body, iv, step
+
+
+def _writes_conflict_with(
+    body: List[Stmt],
+    target_refs: List[ArrayRef],
+    iv: str,
+    step: int,
+    max_shift: int,
+) -> Optional[str]:
+    """Does any body store hit a target ref within 1..max_shift
+    iterations?  Returns the offending array name, else ``None``."""
+    for stmt in body:
+        if not (isinstance(stmt, Assign) and isinstance(stmt.target, ArrayRef)):
+            continue
+        store = stmt.target
+        store_subs = []
+        for idx in store.indices:
+            a = analyze_subscript(idx, iv)
+            if a is None:
+                return store.name
+            store_subs.append(a)
+        for ref in target_refs:
+            if ref.name != store.name:
+                continue
+            ref_subs = []
+            ok = True
+            for idx in ref.indices:
+                a = analyze_subscript(idx, iv)
+                if a is None:
+                    ok = False
+                    break
+                ref_subs.append(a)
+            if not ok or len(ref_subs) != len(store_subs):
+                return store.name
+            result = test_dependence(
+                tuple(store_subs), tuple(ref_subs), step=step
+            )
+            if not result.exists:
+                continue
+            if result.distance is None:
+                return store.name
+            if 1 <= result.distance <= max_shift:
+                return store.name
+    return None
+
+
+def unroll_while(loop: While, factor: int = 2) -> List[Stmt]:
+    """Unroll an index-advancing while loop.
+
+    Emits ``while (cond(0) && cond(step) && …) { copies…; iv += f·step }``
+    followed by the original loop as the residual.  Legal when no body
+    store can change the shifted condition evaluations within the
+    window.
+    """
+    if factor < 2:
+        raise TransformError("unroll factor must be >= 2")
+    body, iv, step = _split_body(loop)
+
+    cond_refs = collect_array_refs(loop.cond)
+    offender = _writes_conflict_with(body, cond_refs, iv, step, factor - 1)
+    if offender is not None:
+        raise TransformError(
+            f"a store to {offender!r} can change the unrolled condition"
+        )
+    # Copy k's loads must not see copy j<k's stores differently than in
+    # the original — sequential copy order preserves that automatically.
+
+    combined: Expr = loop.cond.clone()
+    for k in range(1, factor):
+        shifted = substitute_index(loop.cond.clone(), iv, k * step)
+        combined = BinOp("&&", combined, shifted)
+
+    new_body: List[Stmt] = []
+    for k in range(factor):
+        for stmt in body:
+            new_body.append(substitute_index(stmt.clone(), iv, k * step))
+    new_body.append(
+        Assign(Var(iv), IntLit(abs(step) * factor), "+" if step > 0 else "-")
+    )
+    unrolled = While(combined, new_body)
+    residual = loop.clone()
+    return [unrolled, residual]
+
+
+def pipeline_while(loop: While, pool: Optional[NamePool] = None) -> List[Stmt]:
+    """The paper's pipelined while loop: unroll by 2, then hoist each
+    copy's (single) safe load into rotating registers so the two copies
+    overlap — the §10 string-copy transformation.
+
+    Supported shape: one body statement ``A[f(i)] = A[g(i)]`` (plus the
+    increment) whose load reads ahead of the store, with the condition
+    guarding the read (``while (a[i+2]) { a[i] = a[i+2]; i++; }``).
+    """
+    body, iv, step = _split_body(loop)
+    if len(body) != 1:
+        raise TransformError("pipeline_while supports single-statement bodies")
+    stmt = body[0]
+    if not isinstance(stmt.target, ArrayRef) or stmt.op is not None:
+        raise TransformError("body must be a plain array-to-array copy")
+    loads = collect_array_refs(stmt.value)
+    if len(loads) != 1 or not isinstance(stmt.value, ArrayRef):
+        raise TransformError("body RHS must be a single array load")
+    load = loads[0]
+
+    # The load must be read-ahead of the store (anti dependence), and
+    # the condition must dominate it (same or further offset), so the
+    # rotated load never touches unchecked memory.
+    store_sub = analyze_subscript(stmt.target.indices[0], iv)
+    load_sub = analyze_subscript(load.indices[0], iv)
+    cond_refs = collect_array_refs(loop.cond)
+    if store_sub is None or load_sub is None or len(stmt.target.indices) != 1:
+        raise TransformError("subscripts must be affine in the index")
+    dep = test_dependence((store_sub,), (load_sub,), step=step)
+    if dep.exists and (dep.distance is None or dep.distance >= 0):
+        raise TransformError("load has a flow dependence with the store")
+    guard_ok = any(
+        ref.name == load.name
+        and analyze_subscript(ref.indices[0], iv) == load_sub
+        for ref in cond_refs
+        if len(ref.indices) == 1
+    )
+    if not guard_ok:
+        raise TransformError(
+            "the loop condition must test the load's element (bounds guard)"
+        )
+    offender = _writes_conflict_with(body, cond_refs, iv, step, 1)
+    if offender is not None:
+        raise TransformError(
+            f"a store to {offender!r} can change the unrolled condition"
+        )
+
+    pool = pool or NamePool(all_names(loop))
+    reg1 = pool.numbered("reg", start=1)
+    reg2 = pool.numbered("reg", start=1)
+
+    def shift(node, k: int):
+        return substitute_index(node.clone(), iv, k * step)
+
+    # Structure (maintains the invariant "cond(0) true, reg1 == load(0),
+    # iteration 0's store pending" at the kernel top; every load the
+    # kernel issues is an element the combined condition has tested):
+    #
+    #   if (cond) {                       // enter the pipe
+    #       reg1 = load(0);
+    #       while (cond(+1) && cond(+2)) {
+    #           [store(0) = reg1 || reg2 = load(+1)];
+    #           [store(+1) = reg2 || reg1 = load(+2)];
+    #           iv += 2*step;
+    #       }
+    #       store(0) = reg1;              // drain the pending iteration
+    #       iv += step;
+    #   }
+    #   while (cond) { body }             // residual iterations
+    from repro.lang.ast_nodes import If
+
+    kernel_body: List[Stmt] = [
+        ParGroup(
+            [
+                Assign(stmt.target.clone(), Var(reg1)),
+                Assign(Var(reg2), shift(load, 1)),
+            ]
+        ),
+        ParGroup(
+            [
+                Assign(shift(stmt.target, 1), Var(reg2)),
+                Assign(Var(reg1), shift(load, 2)),
+            ]
+        ),
+        Assign(Var(iv), IntLit(abs(step) * 2), "+" if step > 0 else "-"),
+    ]
+    combined = BinOp("&&", shift(loop.cond, 1), shift(loop.cond, 2))
+    pipelined = While(combined, kernel_body)
+    drain = [
+        Assign(stmt.target.clone(), Var(reg1)),
+        Assign(Var(iv), IntLit(abs(step)), "+" if step > 0 else "-"),
+    ]
+    entry = If(
+        loop.cond.clone(),
+        [Assign(Var(reg1), load.clone()), pipelined, *drain],
+        [],
+    )
+    residual = loop.clone()
+    return [entry, residual]

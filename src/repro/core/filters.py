@@ -1,0 +1,118 @@
+"""Bad-case filtering (paper §4).
+
+SLMS can hurt when the loop body is dominated by memory references:
+overlapping iterations then packs too many loads/stores into one row and
+the machine stalls on memory pressure.  The paper's filter computes the
+**memory-ref ratio** ``LS / (LS + AO)`` over the loop body and declines
+SLMS when it reaches 0.85.
+
+Counting rule (reverse-engineered from the paper's worked example, which
+assigns ``LS = 6, AO = 1`` to the three-statement swap loop): ``LS`` is
+array loads + array stores **plus accesses to scalars defined inside the
+body** (each def and each use counts — such temporaries may need memory
+in the worst case), and ``AO`` is arithmetic outside array subscripts.
+
+The conclusions section adds a second heuristic: loops with more than
+six arithmetic operations *per array reference* were never bad cases;
+we expose that as ``arith_per_ref``.  Both thresholds are configurable
+per machine, as §4 prescribes ("specific for both the final compiler and
+target machine").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.lang.ast_nodes import Stmt
+from repro.lang.visitors import count_ops, defined_scalars, used_scalars
+
+
+@dataclass(frozen=True)
+class FilterVerdict:
+    """Outcome of the §4 bad-case filter."""
+
+    apply_slms: bool
+    memory_ref_ratio: float
+    loads: int
+    stores: int
+    scalar_accesses: int
+    arith: int
+    reason: str = ""
+
+
+def memory_ref_ratio(body: Sequence[Stmt], index_var: str) -> FilterVerdict:
+    """Compute the §4 ratio for a loop body (verdict fields only)."""
+    loads = stores = arith = 0
+    for stmt in body:
+        counts = count_ops(stmt)
+        loads += counts["load"]
+        stores += counts["store"]
+        arith += counts["arith"]
+
+    # Scalars defined inside the body: each def and use is a potential
+    # memory access under register pressure.
+    body_defined = set()
+    for stmt in body:
+        body_defined |= defined_scalars(stmt)
+    body_defined.discard(index_var)
+    scalar_accesses = 0
+    for stmt in body:
+        scalar_accesses += len(defined_scalars(stmt) & body_defined)
+        scalar_accesses += len(used_scalars(stmt) & body_defined)
+
+    ls = loads + stores + scalar_accesses
+    total = ls + arith
+    ratio = ls / total if total else 0.0
+    return FilterVerdict(
+        apply_slms=True,
+        memory_ref_ratio=ratio,
+        loads=loads,
+        stores=stores,
+        scalar_accesses=scalar_accesses,
+        arith=arith,
+    )
+
+
+def bad_case_filter(
+    body: Sequence[Stmt],
+    index_var: str,
+    ratio_threshold: float = 0.85,
+    min_arith_per_ref: float = 0.0,
+) -> FilterVerdict:
+    """The §4 filter: decline SLMS for memory-bound bodies.
+
+    ``ratio_threshold`` is the paper's 0.85; ``min_arith_per_ref`` is
+    the optional §11 heuristic (pass e.g. ``1/6`` to require at least
+    one arithmetic op per six array references — 0 disables it).
+    """
+    verdict = memory_ref_ratio(body, index_var)
+    if verdict.memory_ref_ratio >= ratio_threshold:
+        return FilterVerdict(
+            apply_slms=False,
+            memory_ref_ratio=verdict.memory_ref_ratio,
+            loads=verdict.loads,
+            stores=verdict.stores,
+            scalar_accesses=verdict.scalar_accesses,
+            arith=verdict.arith,
+            reason=(
+                f"memory-ref ratio {verdict.memory_ref_ratio:.3f} >= "
+                f"{ratio_threshold} (§4 bad case)"
+            ),
+        )
+    refs = verdict.loads + verdict.stores
+    if refs and min_arith_per_ref > 0:
+        if verdict.arith / refs < min_arith_per_ref:
+            return FilterVerdict(
+                apply_slms=False,
+                memory_ref_ratio=verdict.memory_ref_ratio,
+                loads=verdict.loads,
+                stores=verdict.stores,
+                scalar_accesses=verdict.scalar_accesses,
+                arith=verdict.arith,
+                reason=(
+                    f"arith per array ref {verdict.arith / refs:.3f} < "
+                    f"{min_arith_per_ref:.3f} (§11 heuristic)"
+                ),
+            )
+    return verdict

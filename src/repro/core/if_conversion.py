@@ -1,0 +1,101 @@
+"""Source-level if-conversion (paper §3.1).
+
+``if (x < y) { x = x + 1; A[i] += x; } else { y = y + 1; }`` becomes::
+
+    c = x < y;
+    if (c) x = x + 1;
+    if (c) A[i] += x;
+    if (!c) y = y + 1;
+
+Each predicated statement is then a single MI that modulo scheduling can
+place independently.  The predicate is evaluated once into a fresh
+boolean temp so the condition cannot be perturbed by the converted
+statements (the paper's example does exactly this).
+
+Nested ifs convert recursively with conjoined predicates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.names import NamePool
+from repro.lang.ast_nodes import (
+    Assign,
+    BinOp,
+    Expr,
+    If,
+    Stmt,
+    UnaryOp,
+    Var,
+)
+
+
+@dataclass
+class IfConversionResult:
+    """Converted statement list plus the predicate temps introduced."""
+
+    stmts: List[Stmt]
+    predicates: List[str] = field(default_factory=list)
+    converted: bool = False
+
+
+def _predicated(pred: Optional[Expr], stmt: Stmt) -> Stmt:
+    if pred is None:
+        return stmt
+    return If(pred.clone(), [stmt], [])
+
+
+def _conjoin(a: Optional[Expr], b: Expr) -> Expr:
+    if a is None:
+        return b
+    return BinOp("&&", a.clone(), b)
+
+
+def if_convert(stmts: List[Stmt], pool: NamePool) -> IfConversionResult:
+    """Flatten every ``if`` in ``stmts`` into predicated single statements.
+
+    Statements that are not ifs pass through untouched (under the
+    enclosing predicate, if any).  Loops nested inside an ``if`` are not
+    supported — the caller has already declined such loops.
+    """
+    result = IfConversionResult(stmts=[])
+
+    def convert(block: List[Stmt], pred: Optional[Expr]) -> None:
+        for stmt in block:
+            if isinstance(stmt, If):
+                # Already-predicated single statements (if (p) s;) where p
+                # is a bare (possibly negated) variable pass through under
+                # the conjoined predicate without a fresh temp.
+                if (
+                    len(stmt.then) == 1
+                    and not stmt.els
+                    and _is_simple_pred(stmt.cond)
+                    and not isinstance(stmt.then[0], If)
+                ):
+                    result.stmts.append(
+                        _predicated(_conjoin(pred, stmt.cond.clone()), stmt.then[0].clone())
+                    )
+                    result.converted = result.converted or pred is not None
+                    continue
+                name = pool.numbered("pred", start=0)
+                result.predicates.append(name)
+                result.converted = True
+                result.stmts.append(
+                    _predicated(pred, Assign(Var(name), stmt.cond.clone()))
+                )
+                convert(stmt.then, _conjoin(pred, Var(name)))
+                convert(stmt.els, _conjoin(pred, UnaryOp("!", Var(name))))
+            else:
+                result.stmts.append(_predicated(pred, stmt.clone()))
+
+    def _is_simple_pred(expr: Expr) -> bool:
+        if isinstance(expr, Var):
+            return True
+        return isinstance(expr, UnaryOp) and expr.op == "!" and isinstance(
+            expr.operand, Var
+        )
+
+    convert(stmts, None)
+    return result

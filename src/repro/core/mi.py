@@ -1,0 +1,183 @@
+"""Multi-instruction (MI) partitioning — paper §3, §5 step 3.
+
+After if-conversion a loop body is a flat list of assignments,
+predicated assignments, and calls; each is one MI.  This module
+
+* hoists in-body declarations (``float t = e;`` → declaration outside,
+  ``t = e;`` as the MI) so the body is pure statements,
+* renames *multi-defined* scalars: when a scalar has several
+  unconditional definitions in the body, each definition web gets its
+  own name (§5 step 3 "Re-name multi defined-used scalars"), which
+  removes artificial output/anti dependences between unrelated uses of
+  the same temporary name.  The final web keeps the original name so the
+  scalar's live-out value is preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.names import NamePool
+from repro.lang.ast_nodes import (
+    Assign,
+    Decl,
+    ExprStmt,
+    If,
+    Stmt,
+    Var,
+)
+from repro.lang.visitors import rename_scalar, used_scalars
+
+
+@dataclass
+class MIPartition:
+    """The MI view of a loop body."""
+
+    mis: List[Stmt]
+    hoisted_decls: List[Decl] = field(default_factory=list)
+    renamed: Dict[str, List[str]] = field(default_factory=dict)
+
+    @property
+    def n(self) -> int:
+        return len(self.mis)
+
+
+class NotPartitionable(Exception):
+    """Body contains control flow MI partitioning cannot flatten."""
+
+
+def partition_mis(
+    body: List[Stmt],
+    index_var: str,
+    pool: NamePool,
+    rename_multi_defs: bool = True,
+) -> MIPartition:
+    """Partition a (post-if-conversion) loop body into MIs."""
+    mis: List[Stmt] = []
+    hoisted: List[Decl] = []
+    for stmt in body:
+        if isinstance(stmt, Decl):
+            if stmt.dims:
+                raise NotPartitionable("array declaration inside loop body")
+            hoisted.append(Decl(stmt.type, stmt.name, (), None, stmt.loc))
+            if stmt.init is not None:
+                mis.append(Assign(Var(stmt.name), stmt.init.clone(), None, stmt.loc))
+        elif isinstance(stmt, (Assign, ExprStmt)):
+            mis.append(stmt.clone())
+        elif isinstance(stmt, If):
+            # If-conversion has run; only simple predicated MIs remain.
+            if stmt.els or len(stmt.then) != 1 or isinstance(stmt.then[0], If):
+                raise NotPartitionable("unconverted if statement in body")
+            mis.append(stmt.clone())
+        else:
+            raise NotPartitionable(
+                f"{type(stmt).__name__} cannot be a multi-instruction"
+            )
+
+    partition = MIPartition(mis=mis, hoisted_decls=hoisted)
+    if rename_multi_defs:
+        _rename_multi_defined(partition, index_var, pool)
+    return partition
+
+
+def _unconditional_def(stmt: Stmt) -> Optional[str]:
+    if isinstance(stmt, Assign) and isinstance(stmt.target, Var):
+        return stmt.target.name
+    return None
+
+
+def _conditionally_defines(stmt: Stmt, var: str) -> bool:
+    if isinstance(stmt, If):
+        return any(
+            isinstance(s, Assign)
+            and isinstance(s.target, Var)
+            and s.target.name == var
+            for s in stmt.then
+        )
+    return False
+
+
+def _rename_multi_defined(
+    partition: MIPartition, index_var: str, pool: NamePool
+) -> None:
+    """Split multi-def scalars into one name per definition web.
+
+    Only *plain* (non-compound, unconditional) defs are split, and only
+    when no def participates in a loop-carried read (a use before the
+    first def would read the previous iteration's last web — splitting
+    that is MVE's job, not renaming).  The last web keeps the original
+    name so live-out values survive.
+    """
+    mis = partition.mis
+    n = len(mis)
+    candidates: Dict[str, List[int]] = {}
+    for pos, stmt in enumerate(mis):
+        name = _unconditional_def(stmt)
+        if name is None or name == index_var:
+            continue
+        candidates.setdefault(name, []).append(pos)
+
+    for var, def_positions in sorted(candidates.items()):
+        if len(def_positions) < 2:
+            continue
+        # Compound defs (x += …) read the previous web: not splittable.
+        if any(
+            isinstance(mis[p], Assign) and mis[p].op is not None
+            for p in def_positions
+        ):
+            continue
+        if any(_conditionally_defines(stmt, var) for stmt in mis):
+            continue
+        # A use before the first def reads across the back edge.
+        first_def = def_positions[0]
+        if any(
+            var in used_scalars(mis[p]) for p in range(0, first_def)
+        ):
+            continue
+        # Linear reaching-rename: walk the body once; uses read the name
+        # of the web currently live, each plain def opens the next web.
+        # The last web keeps the original name (live-out preservation).
+        web_names: List[str] = [
+            pool.fresh(f"{var}_w{j + 1}") for j in range(len(def_positions) - 1)
+        ] + [var]
+        current = var  # never read: uses before first_def were ruled out
+        web_idx = -1
+        for pos in range(n):
+            stmt = mis[pos]
+            if pos in def_positions:
+                stmt = _rename_uses(stmt, var, current)
+                web_idx += 1
+                current = web_names[web_idx]
+                assert isinstance(stmt, Assign)
+                mis[pos] = Assign(Var(current), stmt.value, stmt.op, stmt.loc)
+            else:
+                mis[pos] = _rename_uses(stmt, var, current)
+        new_names = web_names[:-1]
+        if new_names:
+            partition.renamed[var] = new_names
+            for name in new_names:
+                partition.hoisted_decls.append(Decl("float", name))
+
+
+def _rename_uses(stmt: Stmt, old: str, new: str) -> Stmt:
+    """Rename *reads* of scalar ``old`` (RHS, conditions, subscripts) but
+    not definition targets."""
+    if old == new:
+        return stmt
+    if isinstance(stmt, Assign):
+        value = rename_scalar(stmt.value, old, new)
+        target = stmt.target
+        if not isinstance(target, Var):
+            target = rename_scalar(target, old, new)
+        else:
+            target = target.clone()
+        return Assign(target, value, stmt.op, stmt.loc)
+    if isinstance(stmt, If):
+        return If(
+            rename_scalar(stmt.cond, old, new),
+            [_rename_uses(s, old, new) for s in stmt.then],
+            [_rename_uses(s, old, new) for s in stmt.els],
+            stmt.loc,
+        )
+    return rename_scalar(stmt, old, new)

@@ -1,0 +1,166 @@
+"""MII computation (paper §3.5–§3.6) and the valid-II search.
+
+Three views of the same question, cross-checked in the test suite:
+
+* :func:`pmii_cycle_ratio` — the recurrence-constrained MII as the
+  maximum over dependence cycles of ``⌈Σ delay / Σ distance⌉``
+  (enumerates cycles; exact for the small MI graphs SLMS sees).
+* :func:`difmin_feasible` / :func:`pmii_difmin` — the Iterative Shortest
+  Path formulation the paper adopts from [3, 23]: for a candidate II,
+  the ``difMin`` matrix is the all-pairs *longest* path under edge
+  weight ``delay − II·distance``; the II is feasible iff no positive
+  cycle exists (``difMin[v][v] ≤ 0``).  PMII is the smallest feasible II
+  found by iterating II upward, exactly as §5 describes.
+* :func:`find_valid_ii` — the II that SLMS's *fixed placement* actually
+  needs.  SLMS never reorders MIs inside an iteration (MI ``m`` of
+  iteration ``k`` sits at row ``k·II + m``; the final compiler's list
+  scheduler does intra-row scheduling).  A dependence
+  ``src → dst, distance d`` therefore requires
+  ``d·II + (dst − src) ≥ 1`` for flow edges (the consumed value must be
+  produced in a strictly earlier row) and ``≥ 0`` for anti/output edges
+  (a same-row overlap is legal because rows are emitted oldest-iteration
+  first — the paper's footnote-1 assumption made explicit).
+
+Per the paper, a valid II must also beat the sequential schedule:
+``II < number of MIs``.
+"""
+
+from __future__ import annotations
+
+from math import ceil, inf
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.analysis.ddg import DependenceGraph
+
+# SLMS only needs the smallest distance per (src, dst) pair — see
+# DependenceGraph.dominant_edges — so all functions below work on that
+# reduction.
+
+
+def pmii_cycle_ratio(graph: DependenceGraph) -> Optional[int]:
+    """Max-cycle-ratio PMII: ``max over cycles ⌈Σ delay / Σ distance⌉``.
+
+    Returns ``None`` when the graph has no dependence cycle (any II —
+    including 1 — satisfies the recurrence constraint), and ``inf``-like
+    behaviour is impossible because every cycle in a legal DDG carries
+    distance ≥ 1 (a zero-distance cycle would mean a dependence cycle
+    inside one iteration, i.e. the original program is contradictory).
+    """
+    g = nx.DiGraph()
+    g.add_nodes_from(range(graph.n))
+    for (src, dst), (delay, distance) in graph.dominant_edges().items():
+        g.add_edge(src, dst, delay=delay, distance=distance)
+    best: Optional[int] = None
+    for cycle in nx.simple_cycles(g):
+        delay_sum = 0
+        dist_sum = 0
+        for i, u in enumerate(cycle):
+            v = cycle[(i + 1) % len(cycle)]
+            data = g.edges[u, v]
+            delay_sum += data["delay"]
+            dist_sum += data["distance"]
+        if dist_sum == 0:
+            raise ValueError(
+                "zero-distance dependence cycle: inconsistent DDG "
+                f"(cycle {cycle})"
+            )
+        ratio = ceil(delay_sum / dist_sum)
+        if best is None or ratio > best:
+            best = ratio
+    return best
+
+
+def difmin_matrix(graph: DependenceGraph, ii: int) -> List[List[float]]:
+    """All-pairs longest path under weight ``delay − II·distance``.
+
+    This is the difMin matrix of [3]; entries are ``-inf`` where no path
+    exists.  Positive diagonal ⇒ II infeasible.
+    """
+    n = graph.n
+    dist: List[List[float]] = [[-inf] * n for _ in range(n)]
+    for (src, dst), (delay, distance) in graph.dominant_edges().items():
+        weight = delay - ii * distance
+        if weight > dist[src][dst]:
+            dist[src][dst] = weight
+    # Floyd–Warshall longest path.  A positive diagonal can amplify
+    # itself; one extra pass detecting it is enough because we only need
+    # feasibility, not the exact unbounded values.
+    for mid in range(n):
+        for a in range(n):
+            if dist[a][mid] == -inf:
+                continue
+            via = dist[a][mid]
+            row_mid = dist[mid]
+            row_a = dist[a]
+            for b in range(n):
+                if row_mid[b] == -inf:
+                    continue
+                candidate = via + row_mid[b]
+                if candidate > row_a[b]:
+                    row_a[b] = candidate
+    return dist
+
+
+def difmin_feasible(graph: DependenceGraph, ii: int) -> bool:
+    """Is ``ii`` feasible under the recurrence constraint (difMin test)?"""
+    matrix = difmin_matrix(graph, ii)
+    return all(matrix[v][v] <= 0 for v in range(graph.n))
+
+
+def pmii_difmin(graph: DependenceGraph, max_ii: Optional[int] = None) -> Optional[int]:
+    """Smallest feasible II by iterating the difMin test (paper §5).
+
+    ``max_ii`` defaults to the number of MIs; ``None`` is returned when
+    no II up to the bound is feasible (cannot happen for legal DDGs, but
+    the guard keeps the search total).
+    """
+    limit = max_ii if max_ii is not None else max(graph.n, 1)
+    for ii in range(1, limit + 1):
+        if difmin_feasible(graph, ii):
+            return ii
+    return None
+
+
+def find_valid_ii(
+    graph: DependenceGraph,
+    n_mis: int,
+    max_ii: Optional[int] = None,
+) -> Optional[int]:
+    """The smallest II valid for SLMS's fixed MI placement.
+
+    Checks every dependence edge against the row arithmetic
+    ``row(dst, k+d) − row(src, k) = d·II + (dst − src)`` with the
+    required minimum slack (1 for flow, 0 for anti/output).  Slack is
+    monotonically non-decreasing in II for every edge (distance ≥ 0), so
+    the first II that passes is the minimum.  Returns ``None`` when no
+    ``II < n_mis`` works — by the paper's definition such a schedule
+    would not beat the sequential loop, so SLMS must decompose or give
+    up.
+    """
+    upper = min(max_ii, n_mis - 1) if max_ii is not None else n_mis - 1
+    if upper < 1:
+        return None
+    binding: List[Tuple[int, int, int]] = []  # (distance, span, min_slack)
+    for edge in graph.edges:
+        span = edge.dst - edge.src
+        need = 1 if edge.kind == "flow" else 0
+        if edge.distance == 0:
+            # Distance-0 edges always have src < dst (span ≥ 1 ≥ need).
+            if span < need:
+                return None  # inconsistent graph; be safe
+            continue
+        binding.append((edge.distance, span, need))
+    for ii in range(1, upper + 1):
+        if all(d * ii + span >= need for d, span, need in binding):
+            return ii
+    return None
+
+
+def edge_slacks(graph: DependenceGraph, ii: int) -> Dict[Tuple[int, int, str], int]:
+    """Diagnostic: per-edge slack ``d·II + (dst−src)`` at a given II."""
+    return {
+        (e.src, e.dst, e.kind): e.distance * ii + (e.dst - e.src)
+        for e in graph.edges
+    }

@@ -1,0 +1,291 @@
+"""Modulo Variable Expansion (paper §3.3).
+
+A pipelined kernel overlaps iterations, so a scalar defined in one
+kernel iteration and consumed in a later one (a decomposition temp, or
+an original loop scalar like ``scal`` in Fig. 7) creates an
+anti-dependence between kernel rows that defeats the ``||`` parallelism.
+MVE removes it by unrolling the kernel ``U`` times and rotating the
+scalar through ``U`` names: the value produced for iteration ``g``
+always lives in ``name[g mod U]``.
+
+Eligibility: the scalar must have exactly one *plain unconditional*
+definition in the body whose RHS does not read the scalar itself.
+Conditional (``if (p) max0 = …``) and accumulating (``s += …``)
+definitions are reduction-style; rotating them splits the reduction into
+independent lanes and needs a user-written merge (the paper's max-loop
+does exactly that "manually"), so they are out of scope for the
+automatic transformation.
+
+MVE needs the full static trip count (kernel alignment and the live-out
+copy depend on ``N mod U``), so it applies only to loops with literal
+bounds and positive step; the driver falls back to scalar expansion or
+to the plain (sequentially-correct, less parallel) schedule otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.analysis.loopinfo import LoopInfo
+from repro.core.names import NamePool
+from repro.lang.ast_nodes import (
+    Assign,
+    BinOp,
+    Decl,
+    For,
+    IntLit,
+    ParGroup,
+    Stmt,
+    Var,
+)
+from repro.lang.visitors import (
+    collect_vars,
+    defined_scalars,
+    rename_scalar,
+    substitute_expr,
+    used_scalars,
+)
+
+
+@dataclass
+class RotationPlan:
+    """How one scalar rotates through U names."""
+
+    var: str
+    def_mi: int
+    lifetime: int  # Δ, in kernel iterations
+    use_mis_same: List[int] = field(default_factory=list)  # m > def_mi
+    use_mis_prev: List[int] = field(default_factory=list)  # m < def_mi
+    names: List[str] = field(default_factory=list)
+
+
+@dataclass
+class MVEResult:
+    """The fully expanded pipelined loop."""
+
+    stmts: List[Stmt]
+    new_decls: List[Decl]
+    unroll: int
+    plans: List[RotationPlan]
+
+
+def eligible_scalars(mis: Sequence[Stmt], index_var: str) -> Dict[str, int]:
+    """Scalars with exactly one plain unconditional def; → def MI index."""
+    defs: Dict[str, List[int]] = {}
+    plain: Dict[str, bool] = {}
+    for pos, stmt in enumerate(mis):
+        for var in defined_scalars(stmt):
+            if var == index_var:
+                continue
+            defs.setdefault(var, []).append(pos)
+            is_plain = (
+                isinstance(stmt, Assign)
+                and isinstance(stmt.target, Var)
+                and stmt.op is None
+                and var not in collect_vars(stmt.value)
+            )
+            plain[var] = plain.get(var, True) and is_plain
+    return {
+        var: positions[0]
+        for var, positions in defs.items()
+        if len(positions) == 1 and plain.get(var, False)
+    }
+
+
+def plan_rotations(
+    mis: Sequence[Stmt],
+    info: LoopInfo,
+    ii: int,
+    pool: NamePool,
+    only: Optional[Set[str]] = None,
+) -> List[RotationPlan]:
+    """Rotation plans for every eligible scalar with lifetime ≥ 1.
+
+    Lifetime of a value (def MI stage ``s_d``, use MI stage ``s_u``):
+    ``s_u − s_d`` kernel iterations for same-iteration uses, plus one
+    for uses positioned before the def (they read the previous
+    iteration's value).
+    """
+    n = len(mis)
+    stages = -(-n // ii)
+    del stages  # stage arithmetic is inline below; kept for readability
+
+    def stage(m: int) -> int:
+        return m // ii
+
+    plans: List[RotationPlan] = []
+    for var, def_mi in sorted(eligible_scalars(mis, info.var).items()):
+        if only is not None and var not in only:
+            continue
+        plan = RotationPlan(var=var, def_mi=def_mi, lifetime=0)
+        for pos, stmt in enumerate(mis):
+            if var not in used_scalars(stmt):
+                continue
+            if pos > def_mi:
+                plan.use_mis_same.append(pos)
+                plan.lifetime = max(plan.lifetime, stage(pos) - stage(def_mi))
+            elif pos < def_mi:
+                plan.use_mis_prev.append(pos)
+                plan.lifetime = max(plan.lifetime, stage(pos) - stage(def_mi) + 1)
+            # pos == def_mi: RHS self-reads were excluded by eligibility.
+        if plan.lifetime >= 1 and (plan.use_mis_same or plan.use_mis_prev):
+            plans.append(plan)
+
+    if not plans:
+        return []
+    unroll = max(p.lifetime for p in plans) + 1
+    for plan in plans:
+        # The paper keeps the original base: reg -> reg1, reg2, …;
+        # scal -> scal1, scal2, …
+        base = plan.var.rstrip("0123456789") or plan.var
+        plan.names = [pool.numbered(base, start=1) for _ in range(unroll)]
+    return plans
+
+
+def apply_mve(
+    mis: Sequence[Stmt],
+    info: LoopInfo,
+    ii: int,
+    plans: List[RotationPlan],
+    elem_types: Optional[Dict[str, str]] = None,
+) -> MVEResult:
+    """Emit the prologue / U-times-unrolled kernel / residual / epilogue
+    with rotation renaming applied per instance.
+
+    Requires literal bounds (``info.trip_count`` not ``None``), positive
+    step, and trip count ≥ stage count — the driver checks all three.
+    """
+    n = len(mis)
+    if not plans:
+        raise ValueError("apply_mve called with no rotation plans")
+    if info.trip_count is None:
+        raise ValueError("MVE requires literal loop bounds")
+    if info.step <= 0:
+        raise ValueError("MVE requires a positive loop step")
+    unroll = len(plans[0].names)
+    stages = -(-n // ii)
+    trips = info.trip_count
+    if trips < stages:
+        raise ValueError("trip count below stage count")
+    lo = info.lo_const
+    step = info.step
+    assert lo is not None
+
+    by_var = {p.var: p for p in plans}
+
+    def instantiate(m: int, g: int, index_offset_from_i: Optional[int]) -> Stmt:
+        """MI ``m`` for global iteration ``g`` (0-based).
+
+        ``index_offset_from_i`` is the loop-variable offset when inside
+        the kernel loop; ``None`` means emit with the literal index
+        ``lo + g*step``.
+        """
+        stmt = mis[m].clone()
+        if index_offset_from_i is None:
+            stmt = substitute_expr(stmt, info.var, IntLit(lo + g * step))
+        elif index_offset_from_i == 0:
+            pass
+        else:
+            stmt = substitute_expr(
+                stmt,
+                info.var,
+                BinOp("+", Var(info.var), IntLit(index_offset_from_i)),
+            )
+        for var, plan in by_var.items():
+            if m == plan.def_mi:
+                stmt = rename_scalar(stmt, var, plan.names[g % unroll])
+            elif m in plan.use_mis_same:
+                stmt = rename_scalar(stmt, var, plan.names[g % unroll])
+            elif m in plan.use_mis_prev:
+                stmt = rename_scalar(stmt, var, plan.names[(g - 1) % unroll])
+        return stmt
+
+    def row_group(row: List[Stmt]) -> Stmt:
+        return row[0] if len(row) == 1 else ParGroup(row)
+
+    out: List[Stmt] = []
+
+    # ---- preheader for previous-iteration uses at g = 0 ----------------
+    for plan in plans:
+        if plan.use_mis_prev:
+            out.append(Assign(Var(plan.names[(-1) % unroll]), Var(plan.var)))
+
+    # ---- prologue ---------------------------------------------------------
+    for t in range((stages - 1) * ii):
+        row: List[Stmt] = []
+        for k in range(0, t // ii + 1):
+            m = t - k * ii
+            if 0 <= m < n:
+                row.append(instantiate(m, k, None))
+        if row:
+            out.append(row_group(row))
+
+    # ---- kernel -----------------------------------------------------------
+    kernel_iters = trips - stages + 1
+    aligned = (kernel_iters // unroll) * unroll
+    if aligned > 0:
+        body: List[Stmt] = []
+        for c in range(unroll):
+            for r in range(ii):
+                row = []
+                for s in range(stages - 1, -1, -1):
+                    m = s * ii + r
+                    if m < n:
+                        # g = b + c + (S-1-s); b ≡ 0 (mod U), so the
+                        # rotation index is (c + S-1-s) mod U; rebuild a
+                        # concrete g with b = 0 for the renaming call.
+                        g = c + (stages - 1 - s)
+                        offset = (c + stages - 1 - s) * step
+                        row.append(instantiate(m, g, offset))
+                if row:
+                    body.append(row_group(row))
+        out.append(
+            For(
+                init=Assign(Var(info.var), IntLit(lo)),
+                cond=BinOp("<", Var(info.var), IntLit(lo + aligned * step)),
+                step=Assign(Var(info.var), IntLit(unroll * step), "+"),
+                body=body,
+            )
+        )
+
+    # ---- residual kernel iterations (trip not divisible by U) ----------
+    for kb in range(aligned, kernel_iters):
+        for r in range(ii):
+            row = []
+            for s in range(stages - 1, -1, -1):
+                m = s * ii + r
+                if m < n:
+                    g = kb + (stages - 1 - s)
+                    row.append(instantiate(m, g, None))
+            if row:
+                out.append(row_group(row))
+
+    # ---- epilogue ---------------------------------------------------------
+    for q in range(n - ii):
+        fq, r = divmod(q, ii)
+        row = []
+        for s in range(stages - 1, fq, -1):
+            m = s * ii + r
+            if m < n:
+                g = trips + fq - s
+                row.append(instantiate(m, g, None))
+        if row:
+            out.append(row_group(row))
+
+    # ---- live-out restoration ------------------------------------------------
+    # The scalar's final value is iteration N-1's value, and the loop
+    # variable must end at its original exit value.
+    for plan in plans:
+        out.append(
+            Assign(Var(plan.var), Var(plan.names[(trips - 1) % unroll]))
+        )
+    out.append(Assign(Var(info.var), IntLit(lo + trips * step)))
+
+    elem_types = elem_types or {}
+    decls = [
+        Decl(elem_types.get(plan.var, "float"), name)
+        for plan in plans
+        for name in plan.names
+    ]
+    return MVEResult(stmts=out, new_decls=decls, unroll=unroll, plans=plans)

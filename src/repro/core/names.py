@@ -1,0 +1,58 @@
+"""Fresh-name generation for SLMS temporaries.
+
+The paper introduces ``reg1``/``reg2`` (decomposition temps), ``pred0``
+(if-conversion predicates), ``scal1`` (MVE copies) and ``regArr``
+(scalar expansion).  We follow the same naming so transformed loops look
+like the paper's figures, but guarantee freshness against every name in
+the program.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Set
+
+from repro.lang.ast_nodes import ArrayRef, Call, Decl, Node, Var
+from repro.lang.visitors import walk
+
+
+def all_names(node: Node) -> Set[str]:
+    """Every name mentioned in a subtree: scalars, arrays, declared
+    names (even when never referenced) and call targets."""
+    names: Set[str] = set()
+    for n in walk(node):
+        if isinstance(n, (Var, ArrayRef, Call)):
+            names.add(n.name)
+        elif isinstance(n, Decl):
+            names.add(n.name)
+    return names
+
+
+class NamePool:
+    """Dispenses names that collide with nothing seen so far."""
+
+    def __init__(self, taken: Iterable[str] = ()):
+        self.taken: Set[str] = set(taken)
+
+    def reserve(self, names: Iterable[str]) -> None:
+        self.taken.update(names)
+
+    def fresh(self, base: str) -> str:
+        """``base`` itself if free, else ``base_2``, ``base_3``, …"""
+        if base not in self.taken:
+            self.taken.add(base)
+            return base
+        counter = 2
+        while f"{base}_{counter}" in self.taken:
+            counter += 1
+        name = f"{base}_{counter}"
+        self.taken.add(name)
+        return name
+
+    def numbered(self, prefix: str, start: int = 1) -> str:
+        """First free ``prefix<k>`` for k = start, start+1, …"""
+        counter = start
+        while f"{prefix}{counter}" in self.taken:
+            counter += 1
+        name = f"{prefix}{counter}"
+        self.taken.add(name)
+        return name

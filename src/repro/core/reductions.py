@@ -1,0 +1,270 @@
+"""Reduction lane splitting — the §5 max-loop transformation.
+
+The paper's find-max example applies MVE to the *reduction variable*
+itself: ``max`` becomes ``max0``/``max1`` accumulating the even and odd
+iterations independently, and a final ``if (max0 > max1) …`` merges the
+lanes ("the last line was added manually").  Rotating an accumulator is
+not ordinary MVE — the lanes are independent partial reductions — so
+this module implements it as its own transformation:
+
+* **min/max reductions** (``if (v < e) v = e;`` and the three other
+  comparison orientations): lanes are seeded with the incoming value of
+  ``v`` and merged with ``min``/``max`` — *bit-exact*, because min/max
+  are truly associative, commutative and idempotent;
+* **sum/product reductions** (``v += e``, ``v = v + e``, ``v *= e``):
+  lanes are seeded with ``v`` / the identity and merged with ``+``/``*``
+  — this **reassociates floating point** and is therefore only applied
+  when the caller passes ``allow_reassociation=True`` (the paper's
+  interactive user acknowledging a speculative transformation).
+
+:func:`split_reduction` rewrites the loop into a ``lanes``-way unrolled
+main loop over the lane variables plus a remainder loop, preheader and
+merge code; the driver then pipelines the main loop like any other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.analysis.loopinfo import LoopInfo
+from repro.core.names import NamePool
+from repro.lang.ast_nodes import (
+    Assign,
+    BinOp,
+    Call,
+    Decl,
+    Expr,
+    FloatLit,
+    For,
+    If,
+    IntLit,
+    Stmt,
+    Var,
+)
+from repro.lang.visitors import (
+    collect_calls,
+    collect_vars,
+    defined_scalars,
+    rename_scalar,
+    substitute_index,
+    used_scalars,
+)
+
+_MINMAX_FLIP = {"<": "max", "<=": "max", ">": "min", ">=": "min"}
+
+
+@dataclass
+class ReductionInfo:
+    """A recognized reduction statement."""
+
+    var: str
+    kind: str  # "max" | "min" | "sum" | "product"
+    stmt_index: int
+    exact: bool  # True when lane splitting is bit-exact
+
+
+@dataclass
+class SplitResult:
+    """The lane-split loop plus its supporting code."""
+
+    preheader: List[Stmt]
+    main_loop: For
+    remainder: For
+    merge: List[Stmt]
+    lane_names: List[str]
+    new_decls: List[Decl] = field(default_factory=list)
+    info: Optional[ReductionInfo] = None
+
+
+def _match_minmax(stmt: Stmt) -> Optional[Tuple[str, str, Expr]]:
+    """``if (v REL e) v = e;`` → (var, kind, e)."""
+    if not isinstance(stmt, If) or stmt.els or len(stmt.then) != 1:
+        return None
+    inner = stmt.then[0]
+    if not (
+        isinstance(inner, Assign)
+        and isinstance(inner.target, Var)
+        and inner.op is None
+    ):
+        return None
+    cond = stmt.cond
+    if not isinstance(cond, BinOp) or cond.op not in _MINMAX_FLIP:
+        return None
+    var = inner.target.name
+    # v REL e with the assignment v = e (same e structurally).
+    if (
+        isinstance(cond.left, Var)
+        and cond.left.name == var
+        and cond.right == inner.value
+    ):
+        return var, _MINMAX_FLIP[cond.op], inner.value
+    # e REL v orientation: if (arr[i] > max) max = arr[i];
+    flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}[cond.op]
+    if (
+        isinstance(cond.right, Var)
+        and cond.right.name == var
+        and cond.left == inner.value
+    ):
+        return var, _MINMAX_FLIP[flipped], inner.value
+    return None
+
+
+def _match_sum_product(stmt: Stmt) -> Optional[Tuple[str, str, Expr]]:
+    """``v += e`` / ``v = v + e`` / ``v *= e`` → (var, kind, e)."""
+    if not (isinstance(stmt, Assign) and isinstance(stmt.target, Var)):
+        return None
+    var = stmt.target.name
+    if stmt.op in ("+", "*"):
+        if var in collect_vars(stmt.value):
+            return None
+        return var, ("sum" if stmt.op == "+" else "product"), stmt.value
+    if stmt.op is None and isinstance(stmt.value, BinOp):
+        value = stmt.value
+        if value.op in ("+", "*"):
+            if isinstance(value.left, Var) and value.left.name == var:
+                if var in collect_vars(value.right):
+                    return None
+                return var, ("sum" if value.op == "+" else "product"), value.right
+    return None
+
+
+def find_reduction(
+    body: List[Stmt], index_var: str, allow_reassociation: bool
+) -> Optional[ReductionInfo]:
+    """The single splittable reduction in the body, if any.
+
+    The reduction variable must appear in exactly one statement (its
+    own), and the body must be call-free (calls could observe the
+    partial values).
+    """
+    for stmt in body:
+        if collect_calls(stmt):
+            return None
+    found: Optional[ReductionInfo] = None
+    for pos, stmt in enumerate(body):
+        match = _match_minmax(stmt)
+        exact = True
+        if match is None:
+            match = _match_sum_product(stmt)
+            exact = False
+            if match is not None and not allow_reassociation:
+                continue
+        if match is None:
+            continue
+        var, kind, expr = match
+        if var == index_var or var in collect_vars(expr):
+            continue
+        # The variable must not escape into other statements.
+        escapes = False
+        for other_pos, other in enumerate(body):
+            if other_pos == pos:
+                continue
+            if var in used_scalars(other) or var in defined_scalars(other):
+                escapes = True
+                break
+        if escapes:
+            continue
+        if found is not None:
+            return None  # two reductions: decline (keep it simple)
+        found = ReductionInfo(var=var, kind=kind, stmt_index=pos, exact=exact)
+    return found
+
+
+def _identity(kind: str) -> Expr:
+    if kind == "sum":
+        return FloatLit(0.0)
+    if kind == "product":
+        return FloatLit(1.0)
+    raise ValueError(kind)
+
+
+def split_reduction(
+    loop: For,
+    info: ReductionInfo,
+    pool: NamePool,
+    lanes: int = 2,
+    elem_type: str = "float",
+) -> Optional[SplitResult]:
+    """Rewrite the loop into a lane-parallel main loop + remainder.
+
+    Returns ``None`` for non-canonical loops or degenerate lane counts.
+    """
+    if lanes < 2:
+        return None
+    header = LoopInfo.from_for(loop)
+    if header is None:
+        return None
+    var, kind = info.var, info.kind
+    step = header.step
+
+    lane_names = [pool.fresh(f"{var}{k}") for k in range(lanes)]
+
+    # ---- preheader: seed the lanes ---------------------------------------
+    preheader: List[Stmt] = []
+    for k, lane in enumerate(lane_names):
+        if kind in ("max", "min"):
+            # Seeding every lane with v is exact: min/max is idempotent.
+            preheader.append(Assign(Var(lane), Var(var)))
+        else:
+            preheader.append(
+                Assign(Var(lane), Var(var) if k == 0 else _identity(kind))
+            )
+
+    # ---- main loop: `lanes`-way unroll, one lane per copy --------------
+    body: List[Stmt] = []
+    for k, lane in enumerate(lane_names):
+        for stmt in loop.body:
+            shifted = substitute_index(stmt.clone(), header.var, k * step)
+            body.append(rename_scalar(shifted, var, lane))
+
+    margin = (lanes - 1) * step
+    from repro.lang.visitors import fold_constants
+
+    if margin >= 0:
+        bound = fold_constants(BinOp("-", header.hi.clone(), IntLit(margin)))
+    else:
+        bound = fold_constants(BinOp("+", header.hi.clone(), IntLit(-margin)))
+    cmp_op = "<" if step > 0 else ">"
+    main_loop = For(
+        init=Assign(Var(header.var), header.lo.clone()),
+        cond=BinOp(cmp_op, Var(header.var), bound),
+        step=Assign(
+            Var(header.var), IntLit(abs(step) * lanes), "+" if step > 0 else "-"
+        ),
+        body=body,
+    )
+
+    # ---- remainder: finish stragglers on lane 0 --------------------------
+    remainder = For(
+        init=None,
+        cond=BinOp(cmp_op, Var(header.var), header.hi.clone()),
+        step=Assign(Var(header.var), IntLit(abs(step)), "+" if step > 0 else "-"),
+        body=[
+            rename_scalar(s.clone(), var, lane_names[0]) for s in loop.body
+        ],
+    )
+
+    # ---- merge --------------------------------------------------------------
+    merge: List[Stmt] = []
+    if kind in ("max", "min"):
+        acc: Expr = Var(lane_names[0])
+        for lane in lane_names[1:]:
+            acc = Call(kind, [acc, Var(lane)])
+        merge.append(Assign(Var(var), acc))
+    else:
+        op = "+" if kind == "sum" else "*"
+        acc = Var(lane_names[0])
+        for lane in lane_names[1:]:
+            acc = BinOp(op, acc, Var(lane))
+        merge.append(Assign(Var(var), acc))
+
+    return SplitResult(
+        preheader=preheader,
+        main_loop=main_loop,
+        remainder=remainder,
+        merge=merge,
+        lane_names=lane_names,
+        new_decls=[Decl(elem_type, lane) for lane in lane_names],
+        info=info,
+    )

@@ -1,0 +1,159 @@
+"""Scalar expansion (paper §3.4).
+
+The alternative to MVE: instead of rotating a scalar through U renamed
+copies, replace it by a temporary array indexed by the loop variable,
+so each iteration owns its element and the anti/output dependences
+vanish without unrolling::
+
+    reg1 = a[i+2];             regArr[i+2+σ] = a[i+2];
+    … + reg1 …         →       … + regArr[i+2+σ] …
+
+We index ``vArr[i + σ]`` with shift ``σ = step`` so that the
+previous-iteration use ``vArr[i + σ − step]`` and the preheader write
+``vArr[lo + σ − step]`` stay in bounds even at ``lo = 0``.
+
+Eligibility matches MVE (single plain unconditional def).  The array
+needs a static size, so literal loop bounds are required; the trade-off
+against MVE is the paper's: no code growth, but extra memory traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.analysis.loopinfo import LoopInfo
+from repro.core.mve import eligible_scalars
+from repro.core.names import NamePool
+from repro.lang.ast_nodes import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Decl,
+    IntLit,
+    Stmt,
+    Var,
+)
+from repro.lang.visitors import NodeTransformer, used_scalars
+
+
+@dataclass
+class ExpansionPlan:
+    """One scalar → temp-array replacement."""
+
+    var: str
+    array: str
+    def_mi: int
+    size: int
+    shift: int
+    has_prev_use: bool = False
+
+
+@dataclass
+class ExpansionResult:
+    """Rewritten MIs plus the supporting declarations and glue code."""
+
+    mis: List[Stmt]
+    new_decls: List[Decl] = field(default_factory=list)
+    preheader: List[Stmt] = field(default_factory=list)
+    liveout: List[Stmt] = field(default_factory=list)
+    plans: List[ExpansionPlan] = field(default_factory=list)
+
+
+class _ScalarToArray(NodeTransformer):
+    def __init__(self, var: str, array: str, index_offset: int, index_var: str):
+        self.var = var
+        self.array = array
+        self.index_offset = index_offset
+        self.index_var = index_var
+
+    def visit_Var(self, node: Var):
+        if node.name != self.var:
+            return node.clone()
+        if self.index_offset == 0:
+            idx: object = Var(self.index_var)
+        elif self.index_offset > 0:
+            idx = BinOp("+", Var(self.index_var), IntLit(self.index_offset))
+        else:
+            idx = BinOp("-", Var(self.index_var), IntLit(-self.index_offset))
+        return ArrayRef(self.array, [idx])
+
+
+def apply_scalar_expansion(
+    mis: Sequence[Stmt],
+    info: LoopInfo,
+    pool: NamePool,
+    only: Optional[Set[str]] = None,
+    elem_types: Optional[Dict[str, str]] = None,
+) -> ExpansionResult:
+    """Expand every eligible scalar (optionally restricted to ``only``).
+
+    Returns rewritten MIs; the caller re-runs dependence analysis and
+    scheduling on them (the new array dependences are strictly weaker:
+    the anti/output scalar edges disappear, the true flow remains as a
+    distance-0/1 array dependence).
+    """
+    if info.hi_const is None or info.lo_const is None:
+        raise ValueError("scalar expansion requires literal loop bounds")
+    if info.step <= 0:
+        raise ValueError("scalar expansion requires a positive loop step")
+    elem_types = elem_types or {}
+    shift = info.step
+    size = info.hi_const + shift + 1
+
+    result = ExpansionResult(mis=[s.clone() for s in mis])
+    for var, def_mi in sorted(eligible_scalars(mis, info.var).items()):
+        if only is not None and var not in only:
+            continue
+        uses_same = [
+            pos
+            for pos, stmt in enumerate(mis)
+            if pos > def_mi and var in used_scalars(stmt)
+        ]
+        uses_prev = [
+            pos
+            for pos, stmt in enumerate(mis)
+            if pos < def_mi and var in used_scalars(stmt)
+        ]
+        if not uses_same and not uses_prev:
+            continue
+        array = pool.fresh(f"{var}Arr")
+        plan = ExpansionPlan(
+            var=var,
+            array=array,
+            def_mi=def_mi,
+            size=size,
+            shift=shift,
+            has_prev_use=bool(uses_prev),
+        )
+        for pos in range(len(result.mis)):
+            if pos == def_mi or pos in uses_same:
+                result.mis[pos] = _ScalarToArray(var, array, shift, info.var).visit(
+                    result.mis[pos]
+                )
+            elif pos in uses_prev:
+                result.mis[pos] = _ScalarToArray(var, array, 0, info.var).visit(
+                    result.mis[pos]
+                )
+        result.new_decls.append(
+            Decl(elem_types.get(var, "float"), array, (size,))
+        )
+        if plan.has_prev_use:
+            # Iteration lo's previous-value read gets the scalar's
+            # pre-loop value.
+            result.preheader.append(
+                Assign(
+                    ArrayRef(array, [IntLit(info.lo_const)]),
+                    Var(var),
+                )
+            )
+        # Restore the scalar's live-out value (last iteration's def).
+        trips = info.trip_count
+        assert trips is not None
+        if trips > 0:
+            last_index = info.lo_const + (trips - 1) * info.step + shift
+            result.liveout.append(
+                Assign(Var(var), ArrayRef(array, [IntLit(last_index)]))
+            )
+        result.plans.append(plan)
+    return result

@@ -1,0 +1,208 @@
+"""Prologue / kernel / epilogue construction (paper §1 Fig. 1, §5 6b).
+
+The modulo-scheduling table places MI ``m`` of iteration ``k`` at row
+``t = k·II + m`` (iteration columns shifted by II — exactly Fig. 1).
+With ``n`` MIs and ``S = ⌈n/II⌉`` stages, rows split into:
+
+* **prologue**  — rows ``0 … (S−1)·II − 1``: partial early iterations,
+  emitted with concrete iteration offsets from ``lo``;
+* **kernel**    — rows ``(S−1)·II … N·II − 1``: the repeating II-row
+  pattern.  Kernel instance ``kb`` (the loop variable) runs MI ``m`` of
+  stage ``s = ⌊m/II⌋`` on iteration ``kb + (S−1−s)``; statements are
+  emitted per row in descending ``m`` (oldest iteration first), which
+  serializes the same-row anti-dependence overlaps legally;
+* **epilogue** — rows ``N·II … (N−1)·II + n − 1``: draining iterations,
+  emitted relative to the loop variable's exit value
+  (``i_exit = lo + (N−S+1)·step``), so symbolic bounds need no trip
+  count.
+
+The construction requires trip count ``N ≥ S``; for symbolic bounds a
+runtime guard ``if (trip ≥ S) {pipelined} else {original}`` is emitted
+(a correctness detail the paper leaves implicit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.analysis.loopinfo import LoopInfo
+from repro.lang.ast_nodes import (
+    Assign,
+    BinOp,
+    Expr,
+    For,
+    If,
+    IntLit,
+    ParGroup,
+    Stmt,
+    Var,
+)
+from repro.lang.visitors import fold_constants, substitute_expr, substitute_index
+
+
+@dataclass
+class ModuloSchedule:
+    """The emitted pipelined loop, plus structure for inspection."""
+
+    ii: int
+    stages: int
+    prologue: List[Stmt]
+    kernel_loop: For
+    epilogue: List[Stmt]
+    guard: Optional[If] = None
+    kernel_rows: List[List[Stmt]] = field(default_factory=list)
+
+    def stmts(self) -> List[Stmt]:
+        """The replacement statement sequence for the original loop."""
+        if self.guard is not None:
+            return [self.guard]
+        return [*self.prologue, self.kernel_loop, *self.epilogue]
+
+
+def _offset_expr(base: Expr, offset: int) -> Expr:
+    """``base + offset`` folded (offset in loop-variable units)."""
+    if offset == 0:
+        return fold_constants(base.clone())  # type: ignore[return-value]
+    if offset > 0:
+        combined = BinOp("+", base.clone(), IntLit(offset))
+    else:
+        combined = BinOp("-", base.clone(), IntLit(-offset))
+    return fold_constants(combined)  # type: ignore[return-value]
+
+
+def _row_group(stmts: List[Stmt]) -> Stmt:
+    return stmts[0] if len(stmts) == 1 else ParGroup(stmts)
+
+
+def build_modulo_schedule(
+    mis: Sequence[Stmt],
+    info: LoopInfo,
+    ii: int,
+) -> ModuloSchedule:
+    """Emit the software-pipelined form of the loop at the given II.
+
+    ``mis`` are the MI statements in body order, written in terms of the
+    loop variable ``info.var``; the caller has already verified ``ii``
+    with :func:`repro.core.mii.find_valid_ii`.
+    """
+    n = len(mis)
+    if n < 2:
+        raise ValueError("need at least two MIs to pipeline")
+    if not 1 <= ii < n:
+        raise ValueError(f"II={ii} invalid for {n} MIs")
+    stages = -(-n // ii)  # ceil
+    var = info.var
+    step = info.step
+
+    # ---- prologue: rows t = 0 .. (S-1)*II - 1 ---------------------------
+    # Row t holds MI m = t - k*II of iteration k, newest iteration last
+    # (ascending k == descending m).
+    prologue: List[Stmt] = []
+    for t in range((stages - 1) * ii):
+        row: List[Stmt] = []
+        for k in range(t // ii, -1, -1):
+            m = t - k * ii
+            if 0 <= m < n:
+                index = _offset_expr(info.lo, k * step)
+                row.append(substitute_expr(mis[m].clone(), var, index))
+        row.reverse()  # descending m == ascending k
+        if row:
+            prologue.append(_row_group(row))
+
+    # ---- kernel -------------------------------------------------------------
+    kernel_rows: List[List[Stmt]] = []
+    for r in range(ii):
+        row = []
+        for s in range(stages - 1, -1, -1):
+            m = s * ii + r
+            if m < n:
+                offset = (stages - 1 - s) * step
+                row.append(substitute_index(mis[m].clone(), var, offset))
+        kernel_rows.append(row)
+    kernel_body: List[Stmt] = [_row_group(row) for row in kernel_rows if row]
+
+    # Kernel bound: i strictly before hi - (S-1)*step (in step direction).
+    bound = _offset_expr(info.hi, -(stages - 1) * step)
+    cmp_op = "<" if step > 0 else ">"
+    kernel_loop = For(
+        init=Assign(Var(var), info.lo.clone()),
+        cond=BinOp(cmp_op, Var(var), bound),
+        step=Assign(Var(var), IntLit(abs(step)), "+" if step > 0 else "-"),
+        body=kernel_body,
+    )
+
+    # ---- epilogue: rows t = N*II .. (N-1)*II + n - 1 -------------------------
+    # Written q = t - N*II ∈ [0, n - II); iteration offset from the loop
+    # variable's exit value is j = ⌊q/II⌋ − s + (S−1)  (see module doc).
+    epilogue: List[Stmt] = []
+    for q in range(n - ii):
+        fq, r = divmod(q, ii)
+        row = []
+        for s in range(stages - 1, fq, -1):
+            m = s * ii + r
+            if m < n:
+                j = fq - s + stages - 1
+                epilogue_stmt = substitute_index(mis[m].clone(), var, j * step)
+                row.append(epilogue_stmt)
+        if row:
+            epilogue.append(_row_group(row))
+
+    # Restore the loop variable's exit value: the kernel loop stops
+    # (S-1) iterations short of the original loop, and the observable
+    # post-loop value of ``i`` must match the untransformed program.
+    epilogue.append(
+        Assign(
+            Var(var),
+            IntLit((stages - 1) * abs(step)),
+            "+" if step > 0 else "-",
+        )
+    )
+
+    schedule = ModuloSchedule(
+        ii=ii,
+        stages=stages,
+        prologue=prologue,
+        kernel_loop=kernel_loop,
+        epilogue=epilogue,
+        kernel_rows=kernel_rows,
+    )
+
+    # ---- trip-count guard -----------------------------------------------------
+    # Pipelining needs N >= S.  N >= S  ⇔  hi - lo > (S-1)*step  for
+    # step > 0 (mirrored for negative steps).  Statically decided when
+    # bounds are literal; otherwise a runtime guard keeps the original
+    # loop for short trips.
+    trip = info.trip_count
+    if trip is not None:
+        if trip < stages:
+            # Too short to pipeline at all — caller should keep original.
+            raise ShortTripCount(trip, stages)
+        return schedule
+
+    original = For(
+        init=Assign(Var(var), info.lo.clone()),
+        cond=BinOp(cmp_op, Var(var), info.hi.clone()),
+        step=Assign(Var(var), IntLit(abs(step)), "+" if step > 0 else "-"),
+        body=[s.clone() for s in mis],
+    )
+    threshold = _offset_expr(info.lo, (stages - 1) * step)
+    guard_cond = BinOp(">" if step > 0 else "<", info.hi.clone(), threshold)
+    schedule.guard = If(
+        guard_cond,
+        [*schedule.prologue, schedule.kernel_loop, *schedule.epilogue],
+        [original],
+    )
+    return schedule
+
+
+class ShortTripCount(Exception):
+    """The loop runs fewer iterations than the pipeline has stages."""
+
+    def __init__(self, trip: int, stages: int):
+        self.trip = trip
+        self.stages = stages
+        super().__init__(
+            f"trip count {trip} is below the stage count {stages}; "
+            "pipelining would read past the iteration space"
+        )

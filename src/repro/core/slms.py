@@ -1,0 +1,329 @@
+"""The SLMS driver — paper §5, steps 1–6.
+
+:func:`slms_for_loop` applies the full algorithm to one canonical for
+loop:
+
+1. bad-case filter (§4);
+2. source-level if-conversion (§3.1);
+3. MI partition + multi-def scalar renaming (§3);
+4. dependence graph with ``<distance, delay>`` labels (§3.5, §3.6);
+5. MII / valid-II search; on failure, decompose an MI (§3.2) and retry;
+6. prologue/kernel/epilogue emission (§1), then MVE (§3.3) or scalar
+   expansion (§3.4) to remove the false dependences decomposition and
+   loop scalars introduced.
+
+The driver *declines* rather than transforms whenever it cannot prove
+the result equivalent — imprecise dependences, non-canonical loops,
+nested control flow, short trip counts.  Declines carry a reason string
+so the harness (and the interactive user of §8) can see why.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.analysis.ddg import DependenceGraph, build_ddg
+from repro.analysis.loopinfo import LoopInfo
+from repro.core.decompose import decompose_mi
+from repro.core.filters import FilterVerdict, bad_case_filter
+from repro.core.if_conversion import if_convert
+from repro.core.mi import MIPartition, NotPartitionable, partition_mis
+from repro.core.mii import find_valid_ii, pmii_difmin
+from repro.core.mve import apply_mve, plan_rotations
+from repro.core.names import NamePool
+from repro.core.scalar_expansion import apply_scalar_expansion
+from repro.core.schedule import ShortTripCount, build_modulo_schedule
+from repro.lang.ast_nodes import Break, Continue, Decl, For, If, Stmt, While
+from repro.lang.visitors import walk
+
+
+@dataclass
+class SLMSOptions:
+    """Tuning knobs for the SLMS driver.
+
+    ``expansion``
+        ``"auto"`` (MVE when bounds are literal, else plain schedule),
+        ``"mve"``, ``"scalar"`` (scalar expansion), or ``"none"``.
+    ``ratio_threshold`` / ``min_arith_per_ref``
+        §4 / §11 filter thresholds; ``enable_filter=False`` or
+        ``force=True`` bypasses filtering entirely (the §8 interactive
+        user saying "do it anyway").
+    ``max_decompositions``
+        Bound on §3.2 retries before giving up.
+    ``max_unroll``
+        Cap on the MVE unroll factor (register pressure guard; the
+        paper's kernel-10 regression came from unbounded MVE).
+    """
+
+    enable_filter: bool = True
+    ratio_threshold: float = 0.85
+    min_arith_per_ref: float = 0.0
+    expansion: str = "auto"
+    max_decompositions: int = 8
+    max_unroll: int = 8
+    force: bool = False
+    # §5's max-loop lane splitting: rotate a reduction variable through
+    # N independent lanes and merge after the loop (0 disables).
+    # min/max merges are bit-exact; sum/product lanes reassociate
+    # floating point and additionally require allow_reassociation.
+    reduction_lanes: int = 0
+    allow_reassociation: bool = False
+    # §3.2's second decomposition form: split MIs whose resource usage
+    # exceeds the target VLIW's per-row capacity, e.g. ``(2, 2)`` for a
+    # machine allowing two load/stores and two additions per VLS.
+    # ``None`` disables resource-driven decomposition (the default —
+    # SLMS "ignores hardware resources", §7).
+    resource_limits: Optional[tuple] = None
+
+    def __post_init__(self) -> None:
+        if self.expansion not in ("auto", "mve", "scalar", "none"):
+            raise ValueError(f"unknown expansion mode {self.expansion!r}")
+        if self.resource_limits is not None:
+            loads, arith = self.resource_limits
+            if loads < 1 or arith < 1:
+                raise ValueError("resource limits must be >= 1")
+
+
+@dataclass
+class SLMSResult:
+    """Outcome of SLMS on one loop (or a whole program — see pipeline)."""
+
+    applied: bool
+    stmts: List[Stmt] = field(default_factory=list)
+    new_decls: List[Decl] = field(default_factory=list)
+    reason: str = ""
+    ii: Optional[int] = None
+    pmii: Optional[int] = None
+    stages: Optional[int] = None
+    n_mis: Optional[int] = None
+    decompositions: int = 0
+    expansion: str = "none"
+    unroll: int = 1
+    new_scalars: List[str] = field(default_factory=list)
+    filter_verdict: Optional[FilterVerdict] = None
+    ddg: Optional[DependenceGraph] = None
+    partition: Optional[MIPartition] = None
+    # The MI list the schedule was built from (after decomposition,
+    # before expansion) — what the Fig. 1 table view renders.
+    final_mis: List[Stmt] = field(default_factory=list)
+
+    @staticmethod
+    def declined(reason: str, **kwargs) -> "SLMSResult":
+        return SLMSResult(applied=False, reason=reason, **kwargs)
+
+
+def _has_inner_control(body: List[Stmt]) -> Optional[str]:
+    for stmt in body:
+        for node in walk(stmt):
+            if isinstance(node, (For, While)):
+                return "nested loop in body"
+            if isinstance(node, (Break, Continue)):
+                return "break/continue in body"
+    return None
+
+
+def _element_type(name: str, types: Dict[str, str]) -> str:
+    return types.get(name, "float")
+
+
+def slms_for_loop(
+    loop: For,
+    pool: NamePool,
+    options: Optional[SLMSOptions] = None,
+    types: Optional[Dict[str, str]] = None,
+) -> SLMSResult:
+    """Apply SLMS to one for loop; never mutates the input."""
+    options = options or SLMSOptions()
+    types = types or {}
+
+    # ---- step 0: canonical shape ----------------------------------------
+    info = LoopInfo.from_for(loop)
+    if info is None:
+        return SLMSResult.declined("loop is not in canonical counted form")
+    control = _has_inner_control(loop.body)
+    if control is not None:
+        return SLMSResult.declined(control)
+
+    # ---- step 1: §4 bad-case filter ---------------------------------------
+    verdict = bad_case_filter(
+        loop.body,
+        info.var,
+        ratio_threshold=options.ratio_threshold,
+        min_arith_per_ref=options.min_arith_per_ref,
+    )
+    if options.enable_filter and not options.force and not verdict.apply_slms:
+        return SLMSResult.declined(verdict.reason, filter_verdict=verdict)
+
+    # ---- step 2: if-conversion ----------------------------------------------
+    converted = if_convert([s.clone() for s in loop.body], pool)
+    new_decls: List[Decl] = [Decl("int", p) for p in converted.predicates]
+    new_scalars: List[str] = list(converted.predicates)
+
+    # ---- step 3: MI partition + multi-def renaming ----------------------------
+    try:
+        partition = partition_mis(converted.stmts, info.var, pool)
+    except NotPartitionable as exc:
+        return SLMSResult.declined(str(exc), filter_verdict=verdict)
+    new_decls.extend(partition.hoisted_decls)
+    for renames in partition.renamed.values():
+        new_scalars.extend(renames)
+    mis = partition.mis
+    if not mis:
+        return SLMSResult.declined("empty loop body", filter_verdict=verdict)
+
+    # ---- §3.2 second form: resource-driven decomposition ------------------
+    if options.resource_limits is not None:
+        from repro.core.decompose import decompose_by_resources
+
+        max_loads, max_arith = options.resource_limits
+        changed = True
+        rounds = 0
+        while changed and rounds < options.max_decompositions:
+            changed = False
+            for pos, stmt in enumerate(mis):
+                parts = decompose_by_resources(stmt, max_loads, max_arith, pool)
+                if parts is not None:
+                    temp = parts[0].target.name  # type: ignore[union-attr]
+                    mis = mis[:pos] + parts + mis[pos + 1 :]
+                    new_decls.append(Decl("float", temp))
+                    new_scalars.append(temp)
+                    changed = True
+                    rounds += 1
+                    break
+
+    # ---- steps 4+5: DDG, II search, decomposition loop -------------------------
+    decompositions = 0
+    while True:
+        graph = build_ddg(mis, info)
+        if not graph.precise:
+            return SLMSResult.declined(
+                "imprecise dependences: " + "; ".join(graph.reasons),
+                filter_verdict=verdict,
+                ddg=graph,
+            )
+        ii = find_valid_ii(graph, len(mis)) if len(mis) >= 2 else None
+        if ii is not None:
+            break
+        if decompositions >= options.max_decompositions:
+            return SLMSResult.declined(
+                "no valid II after maximum decompositions",
+                decompositions=decompositions,
+                filter_verdict=verdict,
+                ddg=graph,
+            )
+        # §3.2: pick an MI (sequential order, §5 footnote) and split it.
+        for pos, stmt in enumerate(mis):
+            decomposition = decompose_mi(stmt, mis, info, pool)
+            if decomposition is not None:
+                mis = mis[:pos] + [decomposition.load_mi, decomposition.rest_mi] + mis[pos + 1 :]
+                new_decls.append(
+                    Decl(_element_type(decomposition.array, types), decomposition.temp)
+                )
+                new_scalars.append(decomposition.temp)
+                decompositions += 1
+                break
+        else:
+            return SLMSResult.declined(
+                "no MI can be decomposed (§5 failure case)",
+                decompositions=decompositions,
+                filter_verdict=verdict,
+            )
+
+    # Recurrence MII for the report: the difMin iterative-shortest-path
+    # form (§3.6) — polynomial, unlike cycle enumeration, so dense
+    # scalar-dependence graphs cannot blow up the driver.
+    pmii = pmii_difmin(graph)
+    stages = -(-len(mis) // ii)
+
+    # ---- step 6: expansion choice + emission --------------------------------
+    expansion = options.expansion
+    literal_bounds = info.trip_count is not None and info.step > 0
+
+    if expansion in ("auto", "mve") and literal_bounds:
+        plans = plan_rotations(mis, info, ii, pool)
+        if plans and len(plans[0].names) <= options.max_unroll:
+            try:
+                mve = apply_mve(mis, info, ii, plans, elem_types=types)
+            except ValueError as exc:
+                return SLMSResult.declined(str(exc), filter_verdict=verdict)
+            new_decls.extend(mve.new_decls)
+            new_scalars.extend(n for p in mve.plans for n in p.names)
+            return SLMSResult(
+                applied=True,
+                stmts=mve.stmts,
+                new_decls=new_decls,
+                ii=ii,
+                pmii=pmii,
+                stages=stages,
+                n_mis=len(mis),
+                decompositions=decompositions,
+                expansion="mve",
+                unroll=mve.unroll,
+                new_scalars=new_scalars,
+                filter_verdict=verdict,
+                ddg=graph,
+                partition=partition,
+                final_mis=[m.clone() for m in mis],
+            )
+        # fall through to plain schedule when nothing needs rotation
+        expansion = "none" if expansion == "auto" else expansion
+
+    if expansion == "scalar" and literal_bounds:
+        expanded = apply_scalar_expansion(mis, info, pool, elem_types=types)
+        mis_x = expanded.mis
+        try:
+            schedule = build_modulo_schedule(mis_x, info, ii)
+        except ShortTripCount as exc:
+            return SLMSResult.declined(str(exc), filter_verdict=verdict)
+        new_decls.extend(expanded.new_decls)
+        return SLMSResult(
+            applied=True,
+            stmts=[*expanded.preheader, *schedule.stmts(), *expanded.liveout],
+            new_decls=new_decls,
+            ii=ii,
+            pmii=pmii,
+            stages=stages,
+            n_mis=len(mis),
+            decompositions=decompositions,
+            expansion="scalar",
+            new_scalars=new_scalars,
+            filter_verdict=verdict,
+            ddg=graph,
+            partition=partition,
+            final_mis=[m.clone() for m in mis],
+        )
+
+    if expansion == "mve" and not literal_bounds:
+        return SLMSResult.declined(
+            "MVE requires literal bounds and a positive step",
+            filter_verdict=verdict,
+        )
+    if expansion == "scalar" and not literal_bounds:
+        return SLMSResult.declined(
+            "scalar expansion requires literal bounds and a positive step",
+            filter_verdict=verdict,
+        )
+
+    # Plain schedule: sequentially correct; cross-row scalar anti-deps
+    # remain (the backend rebuilds exact dependences anyway).
+    try:
+        schedule = build_modulo_schedule(mis, info, ii)
+    except ShortTripCount as exc:
+        return SLMSResult.declined(str(exc), filter_verdict=verdict)
+    return SLMSResult(
+        applied=True,
+        stmts=schedule.stmts(),
+        new_decls=new_decls,
+        ii=ii,
+        pmii=pmii,
+        stages=stages,
+        n_mis=len(mis),
+        decompositions=decompositions,
+        expansion="none",
+        new_scalars=new_scalars,
+        filter_verdict=verdict,
+        ddg=graph,
+        partition=partition,
+        final_mis=[m.clone() for m in mis],
+    )

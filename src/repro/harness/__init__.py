@@ -1,0 +1,25 @@
+"""Experiment harness: run SLMS-vs-original comparisons and regenerate
+the paper's figures.
+
+* :mod:`repro.harness.experiment` — compile a workload both ways for a
+  (machine, compiler) pair, simulate, and report kernel-only cycles,
+  speedup, energy and diagnostics;
+* :mod:`repro.harness.figures` — one entry per paper figure (14–22 plus
+  the in-text bundle counts), producing the same series the paper plots;
+* :mod:`repro.harness.report` — text rendering of figure series.
+"""
+
+from repro.harness.experiment import (
+    ExperimentResult,
+    run_experiment,
+    run_suite,
+)
+from repro.harness.figures import FIGURES, run_figure
+
+__all__ = [
+    "ExperimentResult",
+    "FIGURES",
+    "run_experiment",
+    "run_figure",
+    "run_suite",
+]

@@ -1,0 +1,183 @@
+"""Core experiment: original vs SLMSed kernel on one machine/compiler.
+
+Methodology (mirrors the paper's §9 protocol):
+
+* SLMS transforms **only the kernel** — the setup code compiles
+  identically in both variants, so kernel cost is obtained exactly as
+  ``cycles(setup + kernel) − cycles(setup)`` (the simulator is
+  deterministic);
+* both variants use the *same* final-compiler preset and machine, as
+  the paper does ("both SLMSed and non SLMSed loops are compiled with
+  the same compilation flags");
+* every run is verified against the source-level interpreter before its
+  timing is trusted — a miscompiled speedup is a bug, not a result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.backend.compiler import COMPILER_PRESETS, CompilerConfig, FinalCompiler
+from repro.core.pipeline import _collect_types, slms
+from repro.core.slms import SLMSOptions
+from repro.lang.ast_nodes import Program
+from repro.lang.parser import parse_program
+from repro.machines.model import MachineModel
+from repro.machines.presets import machine_by_name
+from repro.sim.executor import ExecutionMetrics, execute
+from repro.sim.interp import run_program, state_equal
+from repro.workloads.base import Workload
+
+
+class VerificationError(AssertionError):
+    """Transformed or compiled code changed program semantics."""
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one workload × machine × compiler comparison."""
+
+    workload: str
+    suite: str
+    machine: str
+    compiler: str
+    base_cycles: int
+    slms_cycles: int
+    base_energy: float
+    slms_energy: float
+    slms_applied: bool
+    slms_reason: str = ""
+    ii: Optional[int] = None
+    ims_base: bool = False
+    ims_slms: bool = False
+    base_metrics: Optional[ExecutionMetrics] = None
+    slms_metrics: Optional[ExecutionMetrics] = None
+
+    @property
+    def speedup(self) -> float:
+        return self.base_cycles / self.slms_cycles if self.slms_cycles else 1.0
+
+    @property
+    def energy_ratio(self) -> float:
+        """base / slms energy: > 1 means SLMS saves power (Fig. 21)."""
+        return self.base_energy / self.slms_energy if self.slms_energy else 1.0
+
+
+def _kernel_cycles(
+    setup_prog: Program,
+    full_prog: Program,
+    machine: MachineModel,
+    config: CompilerConfig,
+) -> tuple:
+    compiler = FinalCompiler(machine, config)
+    compiled_setup = compiler.compile(setup_prog)
+    setup_run = execute(compiled_setup.module, machine)
+    compiled_full = compiler.compile(full_prog)
+    full_run = execute(compiled_full.module, machine)
+    kernel_cycles = full_run.metrics.cycles - setup_run.metrics.cycles
+    kernel_energy = full_run.metrics.energy_pj - setup_run.metrics.energy_pj
+    return compiled_full, full_run, max(1, kernel_cycles), max(1.0, kernel_energy)
+
+
+def transform_kernel(
+    workload: Workload, options: Optional[SLMSOptions] = None
+):
+    """SLMS the kernel fragment only; returns (program, reports)."""
+    full = workload.full_program()
+    types = _collect_types(full)
+    from repro.core.names import all_names
+
+    # Reserve every name in the full program (incl. setup scalars).
+    for name in all_names(full):
+        types.setdefault(name, types.get(name, "float"))
+    kernel_prog = parse_program(workload.kernel)
+    outcome = slms(kernel_prog, options, types=types)
+    combined = parse_program(workload.setup)
+    combined.body.extend(outcome.program.body)
+    return combined, outcome.loops
+
+
+def run_experiment(
+    workload: Workload,
+    machine: MachineModel | str,
+    compiler: CompilerConfig | str,
+    options: Optional[SLMSOptions] = None,
+    verify: bool = True,
+) -> ExperimentResult:
+    """Full comparison for one workload."""
+    if isinstance(machine, str):
+        machine = machine_by_name(machine)
+    if isinstance(compiler, str):
+        compiler = COMPILER_PRESETS[compiler]
+
+    setup_prog = workload.setup_program()
+    base_prog = workload.full_program()
+    slms_prog, reports = transform_kernel(workload, options)
+
+    compiled_base, base_run, base_cycles, base_energy = _kernel_cycles(
+        setup_prog, base_prog, machine, compiler
+    )
+    compiled_slms, slms_run, slms_cycles, slms_energy = _kernel_cycles(
+        setup_prog, slms_prog, machine, compiler
+    )
+
+    if verify:
+        oracle = run_program(base_prog)
+        ignore = {n for r in reports for n in r.new_scalars}
+        ignore |= {
+            k for k in slms_run.state if k.endswith("Arr") and k not in oracle
+        }
+        if not state_equal(oracle, base_run.state, ignore=set(base_run.state) - set(oracle) | ignore):
+            raise VerificationError(
+                f"{workload.name}: baseline compilation changed semantics"
+            )
+        if not state_equal(
+            oracle, slms_run.state, ignore=(set(slms_run.state) - set(oracle)) | ignore
+        ):
+            raise VerificationError(
+                f"{workload.name}: SLMS variant changed semantics"
+            )
+
+    def kernel_ims(compiled) -> bool:
+        """Did machine-level MS succeed on the kernel's (last) loop?"""
+        loops = compiled.module.loops
+        if not loops:
+            return False
+        last_body = loops[-1].body_block
+        return any(
+            r.success and r.loop == last_body for r in compiled.ims_reports
+        )
+
+    applied = [r for r in reports if r.applied]
+    return ExperimentResult(
+        workload=workload.name,
+        suite=workload.suite,
+        machine=machine.name,
+        compiler=compiler.name,
+        base_cycles=base_cycles,
+        slms_cycles=slms_cycles,
+        base_energy=base_energy,
+        slms_energy=slms_energy,
+        slms_applied=bool(applied),
+        slms_reason="" if applied else "; ".join(r.reason for r in reports),
+        ii=applied[0].ii if applied else None,
+        ims_base=kernel_ims(compiled_base),
+        ims_slms=kernel_ims(compiled_slms),
+        base_metrics=base_run.metrics,
+        slms_metrics=slms_run.metrics,
+    )
+
+
+def run_suite(
+    workloads: List[Workload],
+    machine: MachineModel | str,
+    compiler: CompilerConfig | str,
+    options: Optional[SLMSOptions] = None,
+    verify: bool = True,
+) -> List[ExperimentResult]:
+    """Run a list of workloads; failures surface as exceptions."""
+    return [
+        run_experiment(wl, machine, compiler, options, verify=verify)
+        for wl in workloads
+    ]

@@ -1,0 +1,56 @@
+"""Text rendering for reproduced figures."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.harness.figures import FigureResult
+
+
+def render_figure(result: FigureResult, width: int = 14) -> str:
+    """A fixed-width table: one row per workload, one column per series."""
+    lines: List[str] = []
+    lines.append(f"== {result.figure}: {result.title} ==")
+    labels = list(result.series)
+    header = f"{'workload':<{width}}" + "".join(
+        f"{label:>{max(len(label) + 2, 12)}}" for label in labels
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name in result.workloads():
+        row = f"{name:<{width}}"
+        for label in labels:
+            value = result.series[label].get(name)
+            cell = f"{value:.3f}" if value is not None else "-"
+            row += f"{cell:>{max(len(label) + 2, 12)}}"
+        lines.append(row)
+    if result.series:
+        lines.append("-" * len(header))
+        # Percentage series (improvements) summarize with the arithmetic
+        # mean over all entries; ratio series with the geometric mean.
+        summary_label = (
+            "mean" if all(l.endswith("_pct") for l in labels) else "geomean"
+        )
+        row = f"{summary_label:<{width}}"
+        for label in labels:
+            values = list(result.series[label].values())
+            cellw = max(len(label) + 2, 12)
+            if not values:
+                row += f"{'-':>{cellw}}"
+            elif label.endswith("_pct"):
+                mean = sum(values) / len(values)
+                row += f"{mean:>{cellw}.3f}"
+            else:
+                positives = [v for v in values if v > 0]
+                if positives:
+                    product = 1.0
+                    for v in positives:
+                        product *= v
+                    geo = product ** (1.0 / len(positives))
+                    row += f"{geo:>{cellw}.3f}"
+                else:
+                    row += f"{'-':>{cellw}}"
+        lines.append(row)
+    for note in result.notes:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)

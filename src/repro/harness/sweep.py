@@ -1,0 +1,132 @@
+"""Cross-product sweeps: workloads × machines × compilers.
+
+Beyond the paper's fixed figures, downstream users typically want a
+matrix view — "how does SLMS behave across every machine/compiler pair
+for my loop?"  :func:`run_sweep` produces that matrix, with CSV/JSON
+export for external analysis.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.slms import SLMSOptions
+from repro.harness.experiment import ExperimentResult, run_experiment
+from repro.machines.presets import ALL_MACHINES, machine_by_name
+from repro.backend.compiler import COMPILER_PRESETS
+from repro.workloads import get_workload
+from repro.workloads.base import Workload
+
+# Machine/compiler pairings that make sense together (the paper's).
+DEFAULT_PAIRS = [
+    ("itanium2", "gcc_O3"),
+    ("itanium2", "icc_O3"),
+    ("pentium", "gcc_O3"),
+    ("power4", "xlc_O3"),
+    ("arm7tdmi", "arm_gcc"),
+]
+
+
+@dataclass
+class SweepResult:
+    """The sweep matrix: (workload, machine, compiler) → result."""
+
+    results: List[ExperimentResult] = field(default_factory=list)
+
+    def speedup_matrix(self) -> Dict[str, Dict[str, float]]:
+        """workload → "machine/compiler" → speedup."""
+        matrix: Dict[str, Dict[str, float]] = {}
+        for res in self.results:
+            key = f"{res.machine}/{res.compiler}"
+            matrix.setdefault(res.workload, {})[key] = res.speedup
+        return matrix
+
+    def to_csv(self) -> str:
+        """Flat CSV with one row per (workload, machine, compiler)."""
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(
+            [
+                "workload", "suite", "machine", "compiler",
+                "base_cycles", "slms_cycles", "speedup",
+                "base_energy_pj", "slms_energy_pj",
+                "slms_applied", "ii", "ims_base", "ims_slms", "reason",
+            ]
+        )
+        for res in self.results:
+            writer.writerow(
+                [
+                    res.workload, res.suite, res.machine, res.compiler,
+                    res.base_cycles, res.slms_cycles,
+                    f"{res.speedup:.6f}",
+                    f"{res.base_energy:.1f}", f"{res.slms_energy:.1f}",
+                    int(res.slms_applied), res.ii if res.ii else "",
+                    int(res.ims_base), int(res.ims_slms), res.slms_reason,
+                ]
+            )
+        return buffer.getvalue()
+
+    def to_json(self) -> str:
+        """JSON list of result records (no metrics objects)."""
+        records = []
+        for res in self.results:
+            records.append(
+                {
+                    "workload": res.workload,
+                    "suite": res.suite,
+                    "machine": res.machine,
+                    "compiler": res.compiler,
+                    "base_cycles": res.base_cycles,
+                    "slms_cycles": res.slms_cycles,
+                    "speedup": round(res.speedup, 6),
+                    "base_energy_pj": round(res.base_energy, 1),
+                    "slms_energy_pj": round(res.slms_energy, 1),
+                    "slms_applied": res.slms_applied,
+                    "ii": res.ii,
+                    "ims_base": res.ims_base,
+                    "ims_slms": res.ims_slms,
+                    "reason": res.slms_reason,
+                }
+            )
+        return json.dumps(records, indent=2)
+
+    def best_pair_per_workload(self) -> Dict[str, str]:
+        """Where does SLMS pay off most for each workload?"""
+        best: Dict[str, str] = {}
+        matrix = self.speedup_matrix()
+        for workload, row in matrix.items():
+            best[workload] = max(row, key=row.get)  # type: ignore[arg-type]
+        return best
+
+
+def run_sweep(
+    workloads: Sequence[Workload | str],
+    pairs: Optional[Sequence[tuple]] = None,
+    options: Optional[SLMSOptions] = None,
+    verify: bool = True,
+) -> SweepResult:
+    """Run every workload on every (machine, compiler) pair."""
+    pairs = list(pairs or DEFAULT_PAIRS)
+    for machine, compiler in pairs:
+        if machine not in ALL_MACHINES:
+            raise ValueError(f"unknown machine {machine!r}")
+        if compiler not in COMPILER_PRESETS:
+            raise ValueError(f"unknown compiler preset {compiler!r}")
+    sweep = SweepResult()
+    for item in workloads:
+        workload = get_workload(item) if isinstance(item, str) else item
+        for machine, compiler in pairs:
+            sweep.results.append(
+                run_experiment(
+                    workload,
+                    machine_by_name(machine),
+                    compiler,
+                    options,
+                    verify=verify,
+                )
+            )
+    return sweep

@@ -1,0 +1,98 @@
+"""C-subset language frontend for the source-level compiler.
+
+This package implements the representation layer the SLMS algorithm works
+on: a lexer and recursive-descent parser for a small C dialect (the loops
+found in Livermore/Linpack/NAS-style kernels), an abstract syntax tree with
+structural equality, a pretty-printer that can round-trip programs back to
+compilable C, and visitor/transformer utilities used by every later stage.
+
+The dialect covers: ``int``/``float`` declarations with array dimensions,
+``for``/``while``/``if`` statements, assignments (including compound
+``+=``-style operators and ``++``/``--``), arithmetic/relational/logical
+expressions, multi-dimensional array references (both ``A[i][j]`` and the
+paper's ``A[i, j]`` spelling), ternary expressions, and opaque function
+calls.
+"""
+
+from repro.lang.ast_nodes import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Break,
+    Call,
+    Continue,
+    Decl,
+    ExprStmt,
+    FloatLit,
+    For,
+    If,
+    IntLit,
+    Node,
+    ParGroup,
+    Program,
+    Ternary,
+    UnaryOp,
+    Var,
+    While,
+)
+from repro.lang.errors import LexError, ParseError, SourceLocation
+from repro.lang.lexer import Lexer, Token, tokenize
+from repro.lang.parser import Parser, parse_expr, parse_program, parse_stmt
+from repro.lang.printer import to_source
+from repro.lang.visitors import (
+    NodeTransformer,
+    NodeVisitor,
+    collect_array_refs,
+    collect_calls,
+    collect_vars,
+    count_ops,
+    defined_scalars,
+    rename_scalar,
+    substitute_index,
+    used_scalars,
+    walk,
+)
+
+__all__ = [
+    "ArrayRef",
+    "Assign",
+    "BinOp",
+    "Break",
+    "Call",
+    "Continue",
+    "Decl",
+    "ExprStmt",
+    "FloatLit",
+    "For",
+    "If",
+    "IntLit",
+    "Lexer",
+    "LexError",
+    "Node",
+    "NodeTransformer",
+    "NodeVisitor",
+    "ParGroup",
+    "ParseError",
+    "Parser",
+    "Program",
+    "SourceLocation",
+    "Ternary",
+    "Token",
+    "UnaryOp",
+    "Var",
+    "While",
+    "collect_array_refs",
+    "collect_calls",
+    "collect_vars",
+    "count_ops",
+    "defined_scalars",
+    "parse_expr",
+    "parse_program",
+    "parse_stmt",
+    "rename_scalar",
+    "substitute_index",
+    "to_source",
+    "tokenize",
+    "used_scalars",
+    "walk",
+]

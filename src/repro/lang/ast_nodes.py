@@ -1,0 +1,556 @@
+"""Abstract syntax tree for the C subset.
+
+Nodes are small mutable classes with structural equality (location is
+ignored when comparing), ``clone()`` for deep copies, and ``children()``
+for generic traversal.  The SLMS passes rewrite trees functionally: they
+``clone()`` what they keep and build fresh nodes for what they change, so
+sharing bugs cannot leak between the original and transformed programs.
+
+Expression nodes: :class:`IntLit`, :class:`FloatLit`, :class:`Var`,
+:class:`ArrayRef`, :class:`BinOp`, :class:`UnaryOp`, :class:`Ternary`,
+:class:`Call`.
+
+Statement nodes: :class:`Decl`, :class:`Assign`, :class:`If`,
+:class:`For`, :class:`While`, :class:`Break`, :class:`Continue`,
+:class:`ExprStmt`, :class:`ParGroup` (a set of statements the scheduler
+has proven independent — the paper's ``s1 || s2`` rows), and
+:class:`Program` as the top-level container.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Sequence
+
+from repro.lang.errors import SourceLocation
+
+# Binary operators grouped by kind; used by the type checker, the printer
+# precedence table and the resource counters.
+ARITH_OPS = ("+", "-", "*", "/", "%")
+REL_OPS = ("<", "<=", ">", ">=", "==", "!=")
+LOGIC_OPS = ("&&", "||")
+ALL_BINOPS = ARITH_OPS + REL_OPS + LOGIC_OPS
+
+
+class Node:
+    """Base class for every AST node."""
+
+    __slots__ = ("loc",)
+
+    def __init__(self, loc: Optional[SourceLocation] = None):
+        self.loc = loc or SourceLocation()
+
+    # -- generic traversal ------------------------------------------------
+    def children(self) -> Iterator["Node"]:
+        """Yield direct child nodes (statements and expressions)."""
+        return iter(())
+
+    def clone(self) -> "Node":
+        """Return a deep copy of this subtree."""
+        raise NotImplementedError
+
+    # -- structural equality ----------------------------------------------
+    def _key(self) -> tuple:
+        """A tuple fully describing this node minus its location."""
+        raise NotImplementedError
+
+    def __eq__(self, other: object) -> bool:
+        if type(self) is not type(other):
+            return NotImplemented
+        return self._key() == other._key()  # type: ignore[union-attr]
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._key()))
+
+    def __repr__(self) -> str:
+        from repro.lang.printer import to_source
+
+        return f"<{type(self).__name__} {to_source(self)!r}>"
+
+
+class Expr(Node):
+    """Marker base class for expressions."""
+
+    __slots__ = ()
+
+
+class Stmt(Node):
+    """Marker base class for statements."""
+
+    __slots__ = ()
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+class IntLit(Expr):
+    """Integer literal."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int, loc: Optional[SourceLocation] = None):
+        super().__init__(loc)
+        self.value = int(value)
+
+    def clone(self) -> "IntLit":
+        return IntLit(self.value, self.loc)
+
+    def _key(self) -> tuple:
+        return (self.value,)
+
+
+class FloatLit(Expr):
+    """Floating point literal."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float, loc: Optional[SourceLocation] = None):
+        super().__init__(loc)
+        self.value = float(value)
+
+    def clone(self) -> "FloatLit":
+        return FloatLit(self.value, self.loc)
+
+    def _key(self) -> tuple:
+        return (self.value,)
+
+
+class Var(Expr):
+    """Scalar variable reference."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str, loc: Optional[SourceLocation] = None):
+        super().__init__(loc)
+        self.name = name
+
+    def clone(self) -> "Var":
+        return Var(self.name, self.loc)
+
+    def _key(self) -> tuple:
+        return (self.name,)
+
+
+class ArrayRef(Expr):
+    """Array element reference ``A[e0]`` or ``A[e0][e1]``/``A[e0, e1]``."""
+
+    __slots__ = ("name", "indices")
+
+    def __init__(
+        self,
+        name: str,
+        indices: Sequence[Expr],
+        loc: Optional[SourceLocation] = None,
+    ):
+        super().__init__(loc)
+        self.name = name
+        self.indices = list(indices)
+        if not self.indices:
+            raise ValueError("ArrayRef needs at least one index")
+
+    def children(self) -> Iterator[Node]:
+        return iter(self.indices)
+
+    def clone(self) -> "ArrayRef":
+        return ArrayRef(self.name, [i.clone() for i in self.indices], self.loc)
+
+    def _key(self) -> tuple:
+        return (self.name, tuple(self.indices))
+
+
+class BinOp(Expr):
+    """Binary operation; ``op`` is one of :data:`ALL_BINOPS`."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(
+        self, op: str, left: Expr, right: Expr, loc: Optional[SourceLocation] = None
+    ):
+        super().__init__(loc)
+        if op not in ALL_BINOPS:
+            raise ValueError(f"unknown binary operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def children(self) -> Iterator[Node]:
+        yield self.left
+        yield self.right
+
+    def clone(self) -> "BinOp":
+        return BinOp(self.op, self.left.clone(), self.right.clone(), self.loc)
+
+    def _key(self) -> tuple:
+        return (self.op, self.left, self.right)
+
+
+class UnaryOp(Expr):
+    """Unary ``-e`` or ``!e``."""
+
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op: str, operand: Expr, loc: Optional[SourceLocation] = None):
+        super().__init__(loc)
+        if op not in ("-", "!", "+"):
+            raise ValueError(f"unknown unary operator {op!r}")
+        self.op = op
+        self.operand = operand
+
+    def children(self) -> Iterator[Node]:
+        yield self.operand
+
+    def clone(self) -> "UnaryOp":
+        return UnaryOp(self.op, self.operand.clone(), self.loc)
+
+    def _key(self) -> tuple:
+        return (self.op, self.operand)
+
+
+class Ternary(Expr):
+    """Conditional expression ``cond ? then : els``."""
+
+    __slots__ = ("cond", "then", "els")
+
+    def __init__(
+        self, cond: Expr, then: Expr, els: Expr, loc: Optional[SourceLocation] = None
+    ):
+        super().__init__(loc)
+        self.cond = cond
+        self.then = then
+        self.els = els
+
+    def children(self) -> Iterator[Node]:
+        yield self.cond
+        yield self.then
+        yield self.els
+
+    def clone(self) -> "Ternary":
+        return Ternary(self.cond.clone(), self.then.clone(), self.els.clone(), self.loc)
+
+    def _key(self) -> tuple:
+        return (self.cond, self.then, self.els)
+
+
+class Call(Expr):
+    """Opaque function call ``f(a, b)``.
+
+    SLMS treats calls as barriers: an MI containing a call conflicts with
+    every memory reference, which is the conservative contract Tiny used.
+    """
+
+    __slots__ = ("name", "args")
+
+    def __init__(
+        self,
+        name: str,
+        args: Sequence[Expr],
+        loc: Optional[SourceLocation] = None,
+    ):
+        super().__init__(loc)
+        self.name = name
+        self.args = list(args)
+
+    def children(self) -> Iterator[Node]:
+        return iter(self.args)
+
+    def clone(self) -> "Call":
+        return Call(self.name, [a.clone() for a in self.args], self.loc)
+
+    def _key(self) -> tuple:
+        return (self.name, tuple(self.args))
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+class Decl(Stmt):
+    """Declaration ``int x = 0;`` / ``float A[100][4];``.
+
+    ``dims`` is empty for scalars.  Array dimensions must be integer
+    literals (constant-size arrays are all the workloads need).
+    """
+
+    __slots__ = ("type", "name", "dims", "init")
+
+    def __init__(
+        self,
+        type: str,
+        name: str,
+        dims: Sequence[int] = (),
+        init: Optional[Expr] = None,
+        loc: Optional[SourceLocation] = None,
+    ):
+        super().__init__(loc)
+        if type not in ("int", "float"):
+            raise ValueError(f"unsupported type {type!r}")
+        self.type = type
+        self.name = name
+        self.dims = tuple(int(d) for d in dims)
+        self.init = init
+
+    def children(self) -> Iterator[Node]:
+        if self.init is not None:
+            yield self.init
+
+    def clone(self) -> "Decl":
+        return Decl(
+            self.type,
+            self.name,
+            self.dims,
+            self.init.clone() if self.init is not None else None,
+            self.loc,
+        )
+
+    def _key(self) -> tuple:
+        return (self.type, self.name, self.dims, self.init)
+
+
+class Assign(Stmt):
+    """Assignment ``target = value;`` or compound ``target op= value;``.
+
+    ``op`` is ``None`` for plain assignment or one of the arithmetic
+    operators for compound forms (``+=`` stores ``op='+'``).  ``i++`` is
+    parsed as ``i += 1``.
+    """
+
+    __slots__ = ("target", "value", "op")
+
+    def __init__(
+        self,
+        target: Expr,
+        value: Expr,
+        op: Optional[str] = None,
+        loc: Optional[SourceLocation] = None,
+    ):
+        super().__init__(loc)
+        if not isinstance(target, (Var, ArrayRef)):
+            raise ValueError("assignment target must be a variable or array ref")
+        if op is not None and op not in ARITH_OPS:
+            raise ValueError(f"unsupported compound operator {op!r}")
+        self.target = target
+        self.value = value
+        self.op = op
+
+    def children(self) -> Iterator[Node]:
+        yield self.target
+        yield self.value
+
+    def clone(self) -> "Assign":
+        return Assign(self.target.clone(), self.value.clone(), self.op, self.loc)
+
+    def _key(self) -> tuple:
+        return (self.target, self.value, self.op)
+
+    def expanded_value(self) -> Expr:
+        """The full RHS with compound operators expanded.
+
+        ``x += e`` reads ``x`` as well as writing it; dependence analysis
+        works on the expanded ``x = x + e`` form.
+        """
+        if self.op is None:
+            return self.value
+        return BinOp(self.op, self.target.clone(), self.value.clone(), self.loc)
+
+
+class If(Stmt):
+    """``if (cond) { then } else { els }``; branches are statement lists."""
+
+    __slots__ = ("cond", "then", "els")
+
+    def __init__(
+        self,
+        cond: Expr,
+        then: Sequence[Stmt],
+        els: Sequence[Stmt] = (),
+        loc: Optional[SourceLocation] = None,
+    ):
+        super().__init__(loc)
+        self.cond = cond
+        self.then = list(then)
+        self.els = list(els)
+
+    def children(self) -> Iterator[Node]:
+        yield self.cond
+        yield from self.then
+        yield from self.els
+
+    def clone(self) -> "If":
+        return If(
+            self.cond.clone(),
+            [s.clone() for s in self.then],
+            [s.clone() for s in self.els],
+            self.loc,
+        )
+
+    def _key(self) -> tuple:
+        return (self.cond, tuple(self.then), tuple(self.els))
+
+
+class For(Stmt):
+    """``for (init; cond; step) { body }``.
+
+    ``init`` and ``step`` are single statements (or ``None``); the
+    canonical analyzable form is ``for (i = lo; i < hi; i++)`` — see
+    :mod:`repro.transforms.normalize` for the recognizer.
+    """
+
+    __slots__ = ("init", "cond", "step", "body")
+
+    def __init__(
+        self,
+        init: Optional[Stmt],
+        cond: Optional[Expr],
+        step: Optional[Stmt],
+        body: Sequence[Stmt],
+        loc: Optional[SourceLocation] = None,
+    ):
+        super().__init__(loc)
+        self.init = init
+        self.cond = cond
+        self.step = step
+        self.body = list(body)
+
+    def children(self) -> Iterator[Node]:
+        if self.init is not None:
+            yield self.init
+        if self.cond is not None:
+            yield self.cond
+        if self.step is not None:
+            yield self.step
+        yield from self.body
+
+    def clone(self) -> "For":
+        return For(
+            self.init.clone() if self.init is not None else None,
+            self.cond.clone() if self.cond is not None else None,
+            self.step.clone() if self.step is not None else None,
+            [s.clone() for s in self.body],
+            self.loc,
+        )
+
+    def _key(self) -> tuple:
+        return (self.init, self.cond, self.step, tuple(self.body))
+
+
+class While(Stmt):
+    """``while (cond) { body }``."""
+
+    __slots__ = ("cond", "body")
+
+    def __init__(
+        self,
+        cond: Expr,
+        body: Sequence[Stmt],
+        loc: Optional[SourceLocation] = None,
+    ):
+        super().__init__(loc)
+        self.cond = cond
+        self.body = list(body)
+
+    def children(self) -> Iterator[Node]:
+        yield self.cond
+        yield from self.body
+
+    def clone(self) -> "While":
+        return While(self.cond.clone(), [s.clone() for s in self.body], self.loc)
+
+    def _key(self) -> tuple:
+        return (self.cond, tuple(self.body))
+
+
+class Break(Stmt):
+    """``break;``"""
+
+    __slots__ = ()
+
+    def clone(self) -> "Break":
+        return Break(self.loc)
+
+    def _key(self) -> tuple:
+        return ()
+
+
+class Continue(Stmt):
+    """``continue;``"""
+
+    __slots__ = ()
+
+    def clone(self) -> "Continue":
+        return Continue(self.loc)
+
+    def _key(self) -> tuple:
+        return ()
+
+
+class ExprStmt(Stmt):
+    """An expression evaluated for effect — in this dialect, a call."""
+
+    __slots__ = ("expr",)
+
+    def __init__(self, expr: Expr, loc: Optional[SourceLocation] = None):
+        super().__init__(loc)
+        self.expr = expr
+
+    def children(self) -> Iterator[Node]:
+        yield self.expr
+
+    def clone(self) -> "ExprStmt":
+        return ExprStmt(self.expr.clone(), self.loc)
+
+    def _key(self) -> tuple:
+        return (self.expr,)
+
+
+class ParGroup(Stmt):
+    """Statements the scheduler proved mutually independent.
+
+    This is the paper's ``s1; || s2; || s3;`` kernel row.  Semantically a
+    ParGroup executes its statements in the listed order (which SLMS
+    guarantees is a legal serialization); the annotation tells the final
+    compiler's list scheduler it may issue them in the same cycle.
+    """
+
+    __slots__ = ("stmts",)
+
+    def __init__(self, stmts: Sequence[Stmt], loc: Optional[SourceLocation] = None):
+        super().__init__(loc)
+        self.stmts = list(stmts)
+
+    def children(self) -> Iterator[Node]:
+        return iter(self.stmts)
+
+    def clone(self) -> "ParGroup":
+        return ParGroup([s.clone() for s in self.stmts], self.loc)
+
+    def _key(self) -> tuple:
+        return (tuple(self.stmts),)
+
+
+class Program(Node):
+    """Top-level container: declarations followed by statements."""
+
+    __slots__ = ("body",)
+
+    def __init__(self, body: Sequence[Stmt], loc: Optional[SourceLocation] = None):
+        super().__init__(loc)
+        self.body = list(body)
+
+    def children(self) -> Iterator[Node]:
+        return iter(self.body)
+
+    def clone(self) -> "Program":
+        return Program([s.clone() for s in self.body], self.loc)
+
+    def _key(self) -> tuple:
+        return (tuple(self.body),)
+
+    def decls(self) -> Iterable[Decl]:
+        """Top-level declarations, in order."""
+        return (s for s in self.body if isinstance(s, Decl))
+
+    def stmts(self) -> Iterable[Stmt]:
+        """Top-level non-declaration statements, in order."""
+        return (s for s in self.body if not isinstance(s, Decl))

@@ -1,0 +1,32 @@
+"""Error types and source locations for the C-subset frontend."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class SourceLocation:
+    """A (line, column) position in the input text, both 1-based."""
+
+    line: int = 0
+    col: int = 0
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"{self.line}:{self.col}"
+
+
+class FrontendError(Exception):
+    """Base class for lexer/parser errors carrying a source location."""
+
+    def __init__(self, message: str, loc: SourceLocation | None = None):
+        self.loc = loc or SourceLocation()
+        super().__init__(f"{self.loc}: {message}" if loc else message)
+
+
+class LexError(FrontendError):
+    """Raised on an unrecognised character or malformed literal."""
+
+
+class ParseError(FrontendError):
+    """Raised when the token stream does not match the grammar."""

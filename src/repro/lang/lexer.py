@@ -1,0 +1,194 @@
+"""Hand-written lexer for the C subset.
+
+The token stream is a plain list of :class:`Token` objects; the parser
+indexes into it.  ``//`` and ``/* */`` comments are skipped.  The paper's
+``||`` parallel-set separator is tokenized as the ordinary logical-or
+operator; the parser decides from context whether it separates statements
+in a ParGroup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.lang.errors import LexError, SourceLocation
+
+KEYWORDS = frozenset(
+    {
+        "int",
+        "float",
+        "double",
+        "for",
+        "while",
+        "if",
+        "else",
+        "break",
+        "continue",
+        "return",
+    }
+)
+
+# Multi-character operators, longest first so maximal munch works.
+_MULTI_OPS = (
+    "<<=",
+    ">>=",
+    "++",
+    "--",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+)
+_SINGLE_OPS = "+-*/%<>=!?:;,(){}[]&|"
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    """A lexical token.
+
+    ``kind`` is one of ``"ident"``, ``"keyword"``, ``"int"``, ``"float"``,
+    ``"op"``, ``"eof"``; ``text`` is the matched lexeme.
+    """
+
+    kind: str
+    text: str
+    loc: SourceLocation
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.text!r}, {self.loc})"
+
+
+class Lexer:
+    """Tokenizes a source string; iterate or call :meth:`tokens`."""
+
+    def __init__(self, source: str):
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.col = 1
+
+    # -- low-level cursor --------------------------------------------------
+    def _peek(self, offset: int = 0) -> str:
+        idx = self.pos + offset
+        return self.source[idx] if idx < len(self.source) else ""
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self.pos < len(self.source):
+                if self.source[self.pos] == "\n":
+                    self.line += 1
+                    self.col = 1
+                else:
+                    self.col += 1
+                self.pos += 1
+
+    def _loc(self) -> SourceLocation:
+        return SourceLocation(self.line, self.col)
+
+    # -- whitespace and comments --------------------------------------------
+    def _skip_trivia(self) -> None:
+        while self.pos < len(self.source):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                start = self._loc()
+                self._advance(2)
+                while self.pos < len(self.source) and not (
+                    self._peek() == "*" and self._peek(1) == "/"
+                ):
+                    self._advance()
+                if self.pos >= len(self.source):
+                    raise LexError("unterminated block comment", start)
+                self._advance(2)
+            else:
+                return
+
+    # -- token scanners ------------------------------------------------------
+    def _scan_number(self) -> Token:
+        loc = self._loc()
+        start = self.pos
+        saw_dot = False
+        saw_exp = False
+        while self.pos < len(self.source):
+            ch = self._peek()
+            if ch.isdigit():
+                self._advance()
+            elif ch == "." and not saw_dot and not saw_exp:
+                saw_dot = True
+                self._advance()
+            elif ch in "eE" and not saw_exp and self.pos > start:
+                nxt = self._peek(1)
+                if nxt.isdigit() or (nxt in "+-" and self._peek(2).isdigit()):
+                    saw_exp = True
+                    self._advance()
+                    if self._peek() in "+-":
+                        self._advance()
+                else:
+                    break
+            else:
+                break
+        text = self.source[start : self.pos]
+        if text in (".",):
+            raise LexError("malformed number", loc)
+        kind = "float" if (saw_dot or saw_exp) else "int"
+        return Token(kind, text, loc)
+
+    def _scan_ident(self) -> Token:
+        loc = self._loc()
+        start = self.pos
+        while self.pos < len(self.source) and (
+            self._peek().isalnum() or self._peek() == "_"
+        ):
+            self._advance()
+        text = self.source[start : self.pos]
+        kind = "keyword" if text in KEYWORDS else "ident"
+        return Token(kind, text, loc)
+
+    def _scan_op(self) -> Token:
+        loc = self._loc()
+        for op in _MULTI_OPS:
+            if self.source.startswith(op, self.pos):
+                self._advance(len(op))
+                return Token("op", op, loc)
+        ch = self._peek()
+        if ch in _SINGLE_OPS:
+            self._advance()
+            return Token("op", ch, loc)
+        raise LexError(f"unexpected character {ch!r}", loc)
+
+    # -- public API ----------------------------------------------------------
+    def tokens(self) -> List[Token]:
+        """Scan the whole input, returning tokens plus a trailing EOF."""
+        out: List[Token] = []
+        while True:
+            self._skip_trivia()
+            if self.pos >= len(self.source):
+                out.append(Token("eof", "", self._loc()))
+                return out
+            ch = self._peek()
+            if ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
+                out.append(self._scan_number())
+            elif ch.isalpha() or ch == "_":
+                out.append(self._scan_ident())
+            else:
+                out.append(self._scan_op())
+
+    def __iter__(self) -> Iterator[Token]:
+        return iter(self.tokens())
+
+
+def tokenize(source: str) -> List[Token]:
+    """Convenience wrapper: tokenize ``source`` including the EOF token."""
+    return Lexer(source).tokens()

@@ -1,0 +1,387 @@
+"""Recursive-descent parser for the C subset.
+
+Grammar (expressions use standard C precedence):
+
+.. code-block:: text
+
+    program    := (decl | stmt)*
+    decl       := ("int"|"float"|"double") declarator ("," declarator)* ";"
+    declarator := ident ("[" INT "]")* ("=" expr)?
+    stmt       := decl | for | while | if | "break" ";" | "continue" ";"
+                | "{" stmt* "}" | simple ";"
+    for        := "for" "(" simple? ";" expr? ";" simple? ")" body
+    while      := "while" "(" expr ")" body
+    if         := "if" "(" expr ")" body ("else" body)?
+    simple     := lvalue ("="|"+="|"-="|"*="|"/="|"%=") expr
+                | lvalue "++" | lvalue "--" | "++" lvalue | "--" lvalue
+                | call
+    postfix    := primary ("[" expr ("," expr)* "]")*
+
+``double`` is accepted as a synonym for ``float``.  Both ``A[i][j]`` and
+the paper's ``A[i, j]`` index syntax produce a single multi-dimensional
+:class:`~repro.lang.ast_nodes.ArrayRef`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.lang.ast_nodes import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Break,
+    Call,
+    Continue,
+    Decl,
+    Expr,
+    ExprStmt,
+    FloatLit,
+    For,
+    If,
+    IntLit,
+    Program,
+    Stmt,
+    Ternary,
+    UnaryOp,
+    Var,
+    While,
+)
+from repro.lang.errors import ParseError
+from repro.lang.lexer import Token, tokenize
+
+_COMPOUND_ASSIGN = {"+=": "+", "-=": "-", "*=": "*", "/=": "/", "%=": "%"}
+
+
+class Parser:
+    """Parses a token list produced by :func:`repro.lang.lexer.tokenize`."""
+
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers -------------------------------------------------------
+    def _peek(self, offset: int = 0) -> Token:
+        idx = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[idx]
+
+    def _next(self) -> Token:
+        tok = self._peek()
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def _at(self, kind: str, text: Optional[str] = None) -> bool:
+        tok = self._peek()
+        return tok.kind == kind and (text is None or tok.text == text)
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> Token:
+        if not self._at(kind, text):
+            tok = self._peek()
+            want = text or kind
+            raise ParseError(f"expected {want!r}, found {tok.text!r}", tok.loc)
+        return self._next()
+
+    def _at_type(self) -> bool:
+        return self._at("keyword", "int") or self._at("keyword", "float") or self._at(
+            "keyword", "double"
+        )
+
+    # -- entry points ----------------------------------------------------------
+    def parse_program(self) -> Program:
+        body: List[Stmt] = []
+        while not self._at("eof"):
+            if self._at_type():
+                body.extend(self._decl())
+            else:
+                body.append(self._stmt())
+        return Program(body)
+
+    def parse_stmt(self) -> Stmt:
+        stmt = self._stmt()
+        self._expect("eof")
+        return stmt
+
+    def parse_expr(self) -> Expr:
+        expr = self._expr()
+        self._expect("eof")
+        return expr
+
+    # -- declarations ------------------------------------------------------------
+    def _decl(self) -> List[Decl]:
+        tok = self._next()
+        typ = "float" if tok.text == "double" else tok.text
+        decls: List[Decl] = []
+        while True:
+            name = self._expect("ident")
+            dims: List[int] = []
+            while self._at("op", "["):
+                self._next()
+                size = self._expect("int")
+                dims.append(int(size.text))
+                self._expect("op", "]")
+            init: Optional[Expr] = None
+            if self._at("op", "="):
+                self._next()
+                init = self._expr()
+            decls.append(Decl(typ, name.text, dims, init, name.loc))
+            if self._at("op", ","):
+                self._next()
+                continue
+            break
+        self._expect("op", ";")
+        return decls
+
+    # -- statements -----------------------------------------------------------------
+    def _stmt(self) -> Stmt:
+        if self._at_type():
+            decls = self._decl()
+            if len(decls) != 1:
+                # Multi-declarator statements only appear at top level where
+                # _decl() is called directly; inside bodies keep it single.
+                raise ParseError(
+                    "multiple declarators in one statement are only allowed "
+                    "at top level",
+                    decls[1].loc,
+                )
+            return decls[0]
+        if self._at("keyword", "for"):
+            return self._for()
+        if self._at("keyword", "while"):
+            return self._while()
+        if self._at("keyword", "if"):
+            return self._if()
+        if self._at("keyword", "break"):
+            tok = self._next()
+            self._expect("op", ";")
+            return Break(tok.loc)
+        if self._at("keyword", "continue"):
+            tok = self._next()
+            self._expect("op", ";")
+            return Continue(tok.loc)
+        if self._at("op", "{"):
+            raise ParseError(
+                "bare block statements are not supported outside loop/if bodies",
+                self._peek().loc,
+            )
+        stmt = self._simple()
+        self._expect("op", ";")
+        return stmt
+
+    def _body(self) -> List[Stmt]:
+        """A loop or branch body: either a braced list or one statement."""
+        if self._at("op", "{"):
+            self._next()
+            stmts: List[Stmt] = []
+            while not self._at("op", "}"):
+                if self._at("eof"):
+                    raise ParseError("unterminated block", self._peek().loc)
+                stmts.append(self._stmt())
+            self._next()
+            return stmts
+        if self._at("op", ";"):  # empty body
+            self._next()
+            return []
+        return [self._stmt()]
+
+    def _for(self) -> For:
+        tok = self._expect("keyword", "for")
+        self._expect("op", "(")
+        init = None if self._at("op", ";") else self._simple()
+        self._expect("op", ";")
+        cond = None if self._at("op", ";") else self._expr()
+        self._expect("op", ";")
+        step = None if self._at("op", ")") else self._simple()
+        self._expect("op", ")")
+        body = self._body()
+        return For(init, cond, step, body, tok.loc)
+
+    def _while(self) -> While:
+        tok = self._expect("keyword", "while")
+        self._expect("op", "(")
+        cond = self._expr()
+        self._expect("op", ")")
+        body = self._body()
+        return While(cond, body, tok.loc)
+
+    def _if(self) -> If:
+        tok = self._expect("keyword", "if")
+        self._expect("op", "(")
+        cond = self._expr()
+        self._expect("op", ")")
+        then = self._body()
+        els: List[Stmt] = []
+        if self._at("keyword", "else"):
+            self._next()
+            if self._at("keyword", "if"):
+                els = [self._if()]
+            else:
+                els = self._body()
+        return If(cond, then, els, tok.loc)
+
+    def _simple(self) -> Stmt:
+        """An assignment, increment/decrement, or expression-statement."""
+        tok = self._peek()
+        if self._at("op", "++") or self._at("op", "--"):
+            op = self._next().text
+            target = self._postfix()
+            if not isinstance(target, (Var, ArrayRef)):
+                raise ParseError("++/-- needs an lvalue", tok.loc)
+            return Assign(target, IntLit(1, tok.loc), op[0], tok.loc)
+        expr = self._expr_no_assign()
+        if self._at("op", "++") or self._at("op", "--"):
+            op = self._next().text
+            if not isinstance(expr, (Var, ArrayRef)):
+                raise ParseError("++/-- needs an lvalue", tok.loc)
+            return Assign(expr, IntLit(1, tok.loc), op[0], tok.loc)
+        if self._at("op", "="):
+            self._next()
+            if not isinstance(expr, (Var, ArrayRef)):
+                raise ParseError("assignment target must be an lvalue", tok.loc)
+            return Assign(expr, self._expr(), None, tok.loc)
+        for text, op in _COMPOUND_ASSIGN.items():
+            if self._at("op", text):
+                self._next()
+                if not isinstance(expr, (Var, ArrayRef)):
+                    raise ParseError("assignment target must be an lvalue", tok.loc)
+                return Assign(expr, self._expr(), op, tok.loc)
+        if isinstance(expr, Call):
+            return ExprStmt(expr, tok.loc)
+        raise ParseError("expression statement has no effect", tok.loc)
+
+    # -- expressions --------------------------------------------------------------
+    # _expr_no_assign exists so `_simple` can parse an lvalue-or-call prefix
+    # without consuming an `=` as equality's neighbour.
+
+    def _expr(self) -> Expr:
+        return self._ternary()
+
+    def _expr_no_assign(self) -> Expr:
+        return self._ternary()
+
+    def _ternary(self) -> Expr:
+        cond = self._or()
+        if self._at("op", "?"):
+            tok = self._next()
+            then = self._expr()
+            self._expect("op", ":")
+            els = self._ternary()
+            return Ternary(cond, then, els, tok.loc)
+        return cond
+
+    def _or(self) -> Expr:
+        left = self._and()
+        while self._at("op", "||"):
+            tok = self._next()
+            left = BinOp("||", left, self._and(), tok.loc)
+        return left
+
+    def _and(self) -> Expr:
+        left = self._equality()
+        while self._at("op", "&&"):
+            tok = self._next()
+            left = BinOp("&&", left, self._equality(), tok.loc)
+        return left
+
+    def _equality(self) -> Expr:
+        left = self._relational()
+        while self._at("op", "==") or self._at("op", "!="):
+            tok = self._next()
+            left = BinOp(tok.text, left, self._relational(), tok.loc)
+        return left
+
+    def _relational(self) -> Expr:
+        left = self._additive()
+        while any(self._at("op", op) for op in ("<", "<=", ">", ">=")):
+            tok = self._next()
+            left = BinOp(tok.text, left, self._additive(), tok.loc)
+        return left
+
+    def _additive(self) -> Expr:
+        left = self._multiplicative()
+        while self._at("op", "+") or self._at("op", "-"):
+            tok = self._next()
+            left = BinOp(tok.text, left, self._multiplicative(), tok.loc)
+        return left
+
+    def _multiplicative(self) -> Expr:
+        left = self._unary()
+        while any(self._at("op", op) for op in ("*", "/", "%")):
+            tok = self._next()
+            left = BinOp(tok.text, left, self._unary(), tok.loc)
+        return left
+
+    def _unary(self) -> Expr:
+        if self._at("op", "-") or self._at("op", "!") or self._at("op", "+"):
+            tok = self._next()
+            operand = self._unary()
+            # Fold negated literals so `-1` parses as a literal, which keeps
+            # affine subscript analysis and printing simple.
+            if tok.text == "-" and isinstance(operand, IntLit):
+                return IntLit(-operand.value, tok.loc)
+            if tok.text == "-" and isinstance(operand, FloatLit):
+                return FloatLit(-operand.value, tok.loc)
+            if tok.text == "+":
+                return operand
+            return UnaryOp(tok.text, operand, tok.loc)
+        return self._postfix()
+
+    def _postfix(self) -> Expr:
+        expr = self._primary()
+        while self._at("op", "["):
+            self._next()
+            indices = [self._expr()]
+            while self._at("op", ","):
+                self._next()
+                indices.append(self._expr())
+            self._expect("op", "]")
+            if isinstance(expr, Var):
+                expr = ArrayRef(expr.name, indices, expr.loc)
+            elif isinstance(expr, ArrayRef):
+                expr = ArrayRef(expr.name, expr.indices + indices, expr.loc)
+            else:
+                raise ParseError("cannot index a non-array expression", expr.loc)
+        return expr
+
+    def _primary(self) -> Expr:
+        tok = self._peek()
+        if tok.kind == "int":
+            self._next()
+            return IntLit(int(tok.text), tok.loc)
+        if tok.kind == "float":
+            self._next()
+            return FloatLit(float(tok.text), tok.loc)
+        if tok.kind == "ident":
+            self._next()
+            if self._at("op", "("):
+                self._next()
+                args: List[Expr] = []
+                if not self._at("op", ")"):
+                    args.append(self._expr())
+                    while self._at("op", ","):
+                        self._next()
+                        args.append(self._expr())
+                self._expect("op", ")")
+                return Call(tok.text, args, tok.loc)
+            return Var(tok.text, tok.loc)
+        if self._at("op", "("):
+            self._next()
+            expr = self._expr()
+            self._expect("op", ")")
+            return expr
+        raise ParseError(f"unexpected token {tok.text!r}", tok.loc)
+
+
+def parse_program(source: str) -> Program:
+    """Parse a full program (declarations + statements)."""
+    return Parser(tokenize(source)).parse_program()
+
+
+def parse_stmt(source: str) -> Stmt:
+    """Parse exactly one statement."""
+    return Parser(tokenize(source)).parse_stmt()
+
+
+def parse_expr(source: str) -> Expr:
+    """Parse exactly one expression."""
+    return Parser(tokenize(source)).parse_expr()

@@ -1,0 +1,225 @@
+"""Pretty-printer: AST back to C source.
+
+Two styles are supported:
+
+* ``style="c"`` (default) emits standard compilable C; ParGroups flatten
+  to sequential statements with a ``/* || */`` marker comment so the
+  parallelism annotation survives a round trip through a text editor.
+* ``style="paper"`` emits the notation used in the SLMS paper, joining
+  ParGroup members with `` || `` on one line, which makes transformed
+  loops easy to compare against the paper's figures.
+
+The printer inserts parentheses from a precedence table, so
+``to_source(parse_expr(s))`` reparses to a structurally equal tree.
+"""
+
+from __future__ import annotations
+
+from repro.lang.ast_nodes import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Break,
+    Call,
+    Continue,
+    Decl,
+    Expr,
+    ExprStmt,
+    FloatLit,
+    For,
+    If,
+    IntLit,
+    Node,
+    ParGroup,
+    Program,
+    Stmt,
+    Ternary,
+    UnaryOp,
+    Var,
+    While,
+)
+
+# Higher binds tighter.  Matches the parser's precedence ladder.
+_PREC = {
+    "||": 1,
+    "&&": 2,
+    "==": 3,
+    "!=": 3,
+    "<": 4,
+    "<=": 4,
+    ">": 4,
+    ">=": 4,
+    "+": 5,
+    "-": 5,
+    "*": 6,
+    "/": 6,
+    "%": 6,
+}
+_UNARY_PREC = 7
+_PRIMARY_PREC = 8
+
+
+def _fmt_float(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return f"{value:.1f}"
+    return repr(value)
+
+
+class Printer:
+    """Stateful printer; one instance per :func:`to_source` call."""
+
+    def __init__(self, indent: str = "    ", style: str = "c"):
+        if style not in ("c", "paper"):
+            raise ValueError(f"unknown style {style!r}")
+        self.indent = indent
+        self.style = style
+
+    # -- expressions ---------------------------------------------------------
+    def expr(self, node: Expr, parent_prec: int = 0) -> str:
+        text, prec = self._expr_prec(node)
+        if prec < parent_prec:
+            return f"({text})"
+        return text
+
+    def _expr_prec(self, node: Expr) -> tuple[str, int]:
+        if isinstance(node, IntLit):
+            return str(node.value), _PRIMARY_PREC
+        if isinstance(node, FloatLit):
+            return _fmt_float(node.value), _PRIMARY_PREC
+        if isinstance(node, Var):
+            return node.name, _PRIMARY_PREC
+        if isinstance(node, ArrayRef):
+            idx = "][".join(self.expr(i) for i in node.indices)
+            return f"{node.name}[{idx}]", _PRIMARY_PREC
+        if isinstance(node, Call):
+            args = ", ".join(self.expr(a) for a in node.args)
+            return f"{node.name}({args})", _PRIMARY_PREC
+        if isinstance(node, UnaryOp):
+            inner = self.expr(node.operand, _UNARY_PREC)
+            return f"{node.op}{inner}", _UNARY_PREC
+        if isinstance(node, BinOp):
+            prec = _PREC[node.op]
+            left = self.expr(node.left, prec)
+            # Right operand needs prec+1 for left-associative operators so
+            # a - (b - c) keeps its parentheses.
+            right = self.expr(node.right, prec + 1)
+            return f"{left} {node.op} {right}", prec
+        if isinstance(node, Ternary):
+            cond = self.expr(node.cond, 1)
+            then = self.expr(node.then)
+            els = self.expr(node.els, 1)
+            return f"{cond} ? {then} : {els}", 0
+        raise TypeError(f"cannot print expression node {type(node).__name__}")
+
+    # -- statements -------------------------------------------------------------
+    def stmt(self, node: Stmt, depth: int = 0) -> str:
+        pad = self.indent * depth
+        if isinstance(node, Decl):
+            dims = "".join(f"[{d}]" for d in node.dims)
+            init = f" = {self.expr(node.init)}" if node.init is not None else ""
+            return f"{pad}{node.type} {node.name}{dims}{init};"
+        if isinstance(node, Assign):
+            return f"{pad}{self._assign_text(node)};"
+        if isinstance(node, ExprStmt):
+            return f"{pad}{self.expr(node.expr)};"
+        if isinstance(node, Break):
+            return f"{pad}break;"
+        if isinstance(node, Continue):
+            return f"{pad}continue;"
+        if isinstance(node, If):
+            # Paper style prints predicated single statements inline, as
+            # the paper's figures do: `if (pred0) max0 = arr[i];`.
+            if (
+                self.style == "paper"
+                and not node.els
+                and len(node.then) == 1
+                and isinstance(node.then[0], (Assign, ExprStmt, Break, Continue))
+            ):
+                inner = self.stmt(node.then[0], 0)
+                return f"{pad}if ({self.expr(node.cond)}) {inner}"
+            out = f"{pad}if ({self.expr(node.cond)}) {{\n"
+            out += self.block(node.then, depth + 1)
+            out += f"{pad}}}"
+            if node.els:
+                out += " else {\n"
+                out += self.block(node.els, depth + 1)
+                out += f"{pad}}}"
+            return out
+        if isinstance(node, For):
+            init = self._inline_stmt(node.init)
+            cond = self.expr(node.cond) if node.cond is not None else ""
+            step = self._inline_stmt(node.step)
+            out = f"{pad}for ({init}; {cond}; {step}) {{\n"
+            out += self.block(node.body, depth + 1)
+            out += f"{pad}}}"
+            return out
+        if isinstance(node, While):
+            out = f"{pad}while ({self.expr(node.cond)}) {{\n"
+            out += self.block(node.body, depth + 1)
+            out += f"{pad}}}"
+            return out
+        if isinstance(node, ParGroup):
+            return self._pargroup(node, depth)
+        raise TypeError(f"cannot print statement node {type(node).__name__}")
+
+    def _assign_text(self, node: Assign) -> str:
+        target = self.expr(node.target)
+        if node.op is not None and node.value == IntLit(1):
+            if node.op == "+":
+                return f"{target}++"
+            if node.op == "-":
+                return f"{target}--"
+        op = f"{node.op}=" if node.op is not None else "="
+        return f"{target} {op} {self.expr(node.value)}"
+
+    def _inline_stmt(self, node: Stmt | None) -> str:
+        if node is None:
+            return ""
+        if isinstance(node, Assign):
+            return self._assign_text(node)
+        if isinstance(node, ExprStmt):
+            return self.expr(node.expr)
+        raise TypeError(
+            f"{type(node).__name__} cannot appear in a for-header"
+        )
+
+    def _pargroup(self, node: ParGroup, depth: int) -> str:
+        pad = self.indent * depth
+        if self.style == "paper":
+            parts = []
+            for stmt in node.stmts:
+                text = self.stmt(stmt, 0)
+                parts.append(text)
+            return pad + " || ".join(parts)
+        lines = []
+        for i, stmt in enumerate(node.stmts):
+            text = self.stmt(stmt, depth)
+            if i < len(node.stmts) - 1:
+                text += " /* || */"
+            lines.append(text)
+        return "\n".join(lines)
+
+    def block(self, stmts, depth: int) -> str:
+        out = ""
+        for stmt in stmts:
+            out += self.stmt(stmt, depth) + "\n"
+        return out
+
+    def program(self, node: Program) -> str:
+        return self.block(node.body, 0)
+
+
+def to_source(node: Node, style: str = "c", indent: str = "    ") -> str:
+    """Render any AST node back to source text.
+
+    ``style="paper"`` joins ParGroup members with `` || `` as in the
+    paper's figures; ``style="c"`` (default) emits compilable C.
+    """
+    printer = Printer(indent=indent, style=style)
+    if isinstance(node, Program):
+        return printer.program(node)
+    if isinstance(node, Stmt):
+        return printer.stmt(node)
+    if isinstance(node, Expr):
+        return printer.expr(node)
+    raise TypeError(f"cannot print {type(node).__name__}")

@@ -1,0 +1,30 @@
+"""Parametric CPU models standing in for the paper's testbeds.
+
+The evaluation ran on Itanium II (EPIC/VLIW bundles), Pentium
+(superscalar), POWER4, and ARM7TDMI (scalar embedded).  What SLMS's
+speedup *shape* depends on is captured here: issue width, functional
+unit mix, operation latencies, architected register count, memory ports,
+and an L1 model — plus per-operation energy for the ARM power figures.
+"""
+
+from repro.machines.model import CacheConfig, MachineModel, PowerProfile
+from repro.machines.presets import (
+    ALL_MACHINES,
+    arm7tdmi,
+    itanium2,
+    machine_by_name,
+    pentium,
+    power4,
+)
+
+__all__ = [
+    "ALL_MACHINES",
+    "CacheConfig",
+    "MachineModel",
+    "PowerProfile",
+    "arm7tdmi",
+    "itanium2",
+    "machine_by_name",
+    "pentium",
+    "power4",
+]

@@ -1,0 +1,18 @@
+"""Execution substrate: interpreters, cache model, cycle simulator, power.
+
+* :mod:`repro.sim.interp` — a direct AST interpreter for the C subset.
+  This is the **semantics oracle**: every transformation in the project is
+  validated by running original and transformed programs on identical
+  inputs and comparing final memory.
+* :mod:`repro.sim.lir_interp` — functional interpreter for the backend's
+  low-level IR, checked against the AST interpreter.
+* :mod:`repro.sim.cache` — a direct-mapped L1 data cache model.
+* :mod:`repro.sim.executor` — cycle-level execution of scheduled LIR over
+  a machine model (stand-in for the paper's hardware testbeds).
+* :mod:`repro.sim.power` — per-instruction energy accounting in the style
+  of Sim-Panalyzer (stand-in for the paper's ARM power measurements).
+"""
+
+from repro.sim.interp import InterpError, Interpreter, run_program, state_equal
+
+__all__ = ["InterpError", "Interpreter", "run_program", "state_equal"]

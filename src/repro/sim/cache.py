@@ -1,0 +1,85 @@
+"""Direct-mapped L1 data cache model.
+
+Arrays (and the spill area) are laid out contiguously in a flat byte
+address space; each access maps its element address to a cache line.
+The model tracks hits/misses only — latency and energy consequences are
+applied by the executor from the machine model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Tuple
+
+from repro.machines.model import CacheConfig
+
+SPILL_REGION_WORDS = 4096
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class DirectMappedCache:
+    """Classic direct-mapped cache with per-line tags."""
+
+    def __init__(self, config: CacheConfig):
+        self.config = config
+        self.tags: Dict[int, int] = {}
+        self.stats = CacheStats()
+
+    def reset(self) -> None:
+        self.tags.clear()
+        self.stats = CacheStats()
+
+    def access(self, byte_address: int) -> bool:
+        """Touch an address; returns True on hit."""
+        line = byte_address // self.config.line_bytes
+        index = line % self.config.num_lines
+        if self.tags.get(index) == line:
+            self.stats.hits += 1
+            return True
+        self.tags[index] = line
+        self.stats.misses += 1
+        return False
+
+
+class AddressMap:
+    """Assigns each array a contiguous, line-aligned base address."""
+
+    def __init__(
+        self,
+        arrays: Mapping[str, Tuple[Tuple[int, ...], str]],
+        word_bytes: int = 8,
+        line_bytes: int = 64,
+    ):
+        self.word_bytes = word_bytes
+        self.bases: Dict[str, int] = {}
+        cursor = 0
+
+        def align(value: int) -> int:
+            return -(-value // line_bytes) * line_bytes
+
+        for name in sorted(arrays):
+            dims, _typ = arrays[name]
+            size = 1
+            for d in dims:
+                size *= d
+            self.bases[name] = cursor
+            cursor = align(cursor + size * word_bytes)
+        # Spill area lives past all arrays (the "stack").
+        self.bases["__spill"] = cursor
+        self.limit = cursor + SPILL_REGION_WORDS * word_bytes
+
+    def address(self, array: str, flat_index: int) -> int:
+        return self.bases[array] + flat_index * self.word_bytes

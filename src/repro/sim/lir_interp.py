@@ -1,0 +1,280 @@
+"""Functional LIR interpreter.
+
+Executes a :class:`~repro.backend.lir.Module` with exact semantics
+(C integer division, IEEE doubles, bounds-checked arrays) so backend
+passes can be validated against the source-level interpreter: codegen,
+register allocation and scheduling must all leave final memory
+bit-identical.
+
+An :class:`Observer` receives block-execution and memory-access events;
+the cycle simulator (:mod:`repro.sim.executor`) plugs in there without
+duplicating the semantics.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, Mapping, Optional
+
+import numpy as np
+
+from repro.backend.lir import Instr, Module
+from repro.sim.interp import InterpError, _c_div, _c_mod
+
+
+class Observer:
+    """Execution event hooks; default implementation ignores everything."""
+
+    def on_block(self, block_name: str, module: Module) -> None:
+        """A basic block is about to execute."""
+
+    def on_mem(self, array: str, flat_index: int, is_store: bool) -> None:
+        """A load/store touches ``array[flat_index]``."""
+
+    def on_instr(self, instr: Instr) -> None:
+        """An instruction executed (for op-mix accounting)."""
+
+
+_BINOPS: Dict[str, Callable[[Any, Any], Any]] = {
+    "add": lambda a, b: int(a) + int(b),
+    "sub": lambda a, b: int(a) - int(b),
+    "mul": lambda a, b: int(a) * int(b),
+    "div": lambda a, b: _c_div(int(a), int(b)),
+    "mod": lambda a, b: _c_mod(int(a), int(b)),
+    "fadd": lambda a, b: float(a) + float(b),
+    "fsub": lambda a, b: float(a) - float(b),
+    "fmul": lambda a, b: float(a) * float(b),
+    "lt": lambda a, b: 1 if a < b else 0,
+    "le": lambda a, b: 1 if a <= b else 0,
+    "gt": lambda a, b: 1 if a > b else 0,
+    "ge": lambda a, b: 1 if a >= b else 0,
+    "eq": lambda a, b: 1 if a == b else 0,
+    "ne": lambda a, b: 1 if a != b else 0,
+    "and": lambda a, b: 1 if (a != 0 and b != 0) else 0,
+    "or": lambda a, b: 1 if (a != 0 or b != 0) else 0,
+    "vmin": min,
+    "vmax": max,
+    "powr": lambda a, b: float(a) ** float(b),
+}
+
+_UNOPS: Dict[str, Callable[[Any], Any]] = {
+    "neg": lambda a: -int(a),
+    "fneg": lambda a: -float(a),
+    "not": lambda a: 0 if a != 0 else 1,
+    "vabs": abs,
+    "sqrt": math.sqrt,
+    "exp": math.exp,
+    "log": math.log,
+    "sin": math.sin,
+    "cos": math.cos,
+    "floorr": math.floor,
+    "ceilr": math.ceil,
+}
+
+
+class LIRInterpreter:
+    """Interprets a module; see :func:`run_module` for the one-shot API."""
+
+    def __init__(
+        self,
+        module: Module,
+        env: Optional[Mapping[str, Any]] = None,
+        functions: Optional[Mapping[str, Callable[..., Any]]] = None,
+        observer: Optional[Observer] = None,
+        max_steps: int = 50_000_000,
+    ):
+        self.module = module
+        self.regs: Dict[str, Any] = {}
+        self.memory: Dict[str, np.ndarray] = {}
+        self.functions = dict(functions or {})
+        self.observer = observer or Observer()
+        self.max_steps = max_steps
+        self.steps = 0
+
+        self.spill: Dict[int, Any] = {}
+
+        env = env or {}
+        for name, (dims, typ) in module.arrays.items():
+            dtype = np.int64 if typ == "int" else np.float64
+            size = int(np.prod(dims))
+            if name in env and isinstance(env[name], np.ndarray):
+                flat = np.array(env[name], dtype=dtype).reshape(-1)
+                if flat.size != size:
+                    raise InterpError(
+                        f"array {name!r} env size {flat.size} != declared {size}"
+                    )
+                self.memory[name] = flat.copy()
+            else:
+                self.memory[name] = np.zeros(size, dtype=dtype)
+        for name, value in env.items():
+            if isinstance(value, np.ndarray):
+                continue
+            if name in module.scalar_slots:
+                self.spill[module.scalar_slots[name]] = (
+                    int(value)
+                    if module.scalar_types.get(name) == "int"
+                    else value
+                )
+                continue
+            reg = module.scalar_regs.get(name)
+            if reg is not None:
+                self.regs[reg] = (
+                    int(value)
+                    if module.scalar_types.get(name) == "int"
+                    else value
+                )
+
+    # ------------------------------------------------------------------
+    def _get(self, reg: str) -> Any:
+        try:
+            return self.regs[reg]
+        except KeyError:
+            # Uninitialized registers read as 0 (declared scalars default
+            # to zero in the source semantics).
+            return 0
+
+    def _set(self, reg: str, value: Any) -> None:
+        self.regs[reg] = value
+
+    def _address(self, instr: Instr, idx_value: Optional[Any]) -> int:
+        flat = instr.disp + (int(idx_value) if idx_value is not None else 0)
+        array = self.memory[instr.array]  # type: ignore[index]
+        if not 0 <= flat < array.size:
+            raise InterpError(
+                f"{instr.op} out of bounds: {instr.array}[{flat}] "
+                f"(size {array.size})"
+            )
+        return flat
+
+    # ------------------------------------------------------------------
+    def run(self) -> Dict[str, Any]:
+        """Execute from the entry block; returns the final state."""
+        order = self.module.order
+        block_idx = 0
+        while 0 <= block_idx < len(order):
+            name = order[block_idx]
+            block = self.module.blocks[name]
+            self.observer.on_block(name, self.module)
+            jump: Optional[str] = None
+            for instr in block.instrs:
+                self.steps += 1
+                if self.steps > self.max_steps:
+                    raise InterpError("LIR step budget exceeded")
+                jump = self._exec(instr)
+                if jump is not None:
+                    break
+            if jump is not None:
+                block_idx = order.index(jump)
+            else:
+                block_idx += 1
+        return self.state()
+
+    def _exec(self, instr: Instr) -> Optional[str]:
+        op = instr.op
+        self.observer.on_instr(instr)
+        if op == "movi":
+            self._set(instr.dst, instr.imm)  # type: ignore[arg-type]
+            return None
+        if op == "mov":
+            self._set(instr.dst, self._get(instr.srcs[0]))  # type: ignore[arg-type]
+            return None
+        if op == "trunc":
+            # C float->int conversion truncates toward zero.
+            self._set(instr.dst, int(self._get(instr.srcs[0])))  # type: ignore[arg-type]
+            return None
+        if op == "ld":
+            if instr.array == "__spill":
+                self.observer.on_mem("__spill", instr.disp, False)
+                self._set(instr.dst, self.spill.get(instr.disp, 0))  # type: ignore[arg-type]
+                return None
+            idx = self._get(instr.srcs[0]) if instr.srcs else None
+            flat = self._address(instr, idx)
+            self.observer.on_mem(instr.array, flat, False)  # type: ignore[arg-type]
+            value = self.memory[instr.array][flat]  # type: ignore[index]
+            array = self.memory[instr.array]  # type: ignore[index]
+            self._set(
+                instr.dst,  # type: ignore[arg-type]
+                int(value) if np.issubdtype(array.dtype, np.integer) else float(value),
+            )
+            return None
+        if op == "st":
+            value = self._get(instr.srcs[0])
+            if instr.array == "__spill":
+                self.observer.on_mem("__spill", instr.disp, True)
+                self.spill[instr.disp] = value
+                return None
+            idx = self._get(instr.srcs[1]) if len(instr.srcs) > 1 else None
+            flat = self._address(instr, idx)
+            self.observer.on_mem(instr.array, flat, True)  # type: ignore[arg-type]
+            self.memory[instr.array][flat] = value  # type: ignore[index]
+            return None
+        if op == "fma":
+            a, b, c = (self._get(x) for x in instr.srcs)
+            # Matches the unfused pair bit-for-bit: Python rounds a*b to
+            # double before adding (no single-rounding fusion).
+            self._set(instr.dst, float(a) * float(b) + float(c))  # type: ignore[arg-type]
+            return None
+        if op == "select":
+            cond, a, b = (self._get(s) for s in instr.srcs)
+            self._set(instr.dst, a if cond != 0 else b)  # type: ignore[arg-type]
+            return None
+        if op == "br":
+            return instr.label
+        if op == "brf":
+            return instr.label if self._get(instr.srcs[0]) == 0 else None
+        if op == "brt":
+            return instr.label if self._get(instr.srcs[0]) != 0 else None
+        if op == "call":
+            fn = self.functions.get(instr.name or "")
+            if fn is None:
+                raise InterpError(f"call to unknown function {instr.name!r}")
+            result = fn(*(self._get(s) for s in instr.srcs))
+            if instr.dst is not None:
+                self._set(instr.dst, result)
+            return None
+        if op == "fdiv":
+            a, b = (self._get(s) for s in instr.srcs)
+            if float(b) == 0.0:
+                raise InterpError("float division by zero")
+            self._set(instr.dst, float(a) / float(b))  # type: ignore[arg-type]
+            return None
+        fn2 = _BINOPS.get(op)
+        if fn2 is not None:
+            a, b = (self._get(s) for s in instr.srcs)
+            self._set(instr.dst, fn2(a, b))  # type: ignore[arg-type]
+            return None
+        fn1 = _UNOPS.get(op)
+        if fn1 is not None:
+            self._set(instr.dst, fn1(self._get(instr.srcs[0])))  # type: ignore[arg-type]
+            return None
+        raise InterpError(f"unknown LIR op {op!r}")
+
+    # ------------------------------------------------------------------
+    def state(self) -> Dict[str, Any]:
+        """Final state in source-level terms (scalars + shaped arrays)."""
+        out: Dict[str, Any] = {}
+        for name, (dims, _typ) in self.module.arrays.items():
+            out[name] = self.memory[name].reshape(dims).copy()
+        for name, reg in self.module.scalar_regs.items():
+            if name in self.module.scalar_slots:
+                value = self.spill.get(self.module.scalar_slots[name], 0)
+            else:
+                value = self._get(reg)
+            if self.module.scalar_types.get(name) == "int":
+                out[name] = int(value)
+            else:
+                out[name] = float(value)
+        return out
+
+
+def run_module(
+    module: Module,
+    env: Optional[Mapping[str, Any]] = None,
+    functions: Optional[Mapping[str, Callable[..., Any]]] = None,
+    observer: Optional[Observer] = None,
+    max_steps: int = 50_000_000,
+) -> Dict[str, Any]:
+    """One-shot: interpret ``module`` from ``env``, return final state."""
+    return LIRInterpreter(
+        module, env=env, functions=functions, observer=observer, max_steps=max_steps
+    ).run()

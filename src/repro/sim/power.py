@@ -1,0 +1,121 @@
+"""Power analysis utilities (Sim-Panalyzer-style reporting, §9.3).
+
+The cycle executor already accumulates total energy; this module adds
+the *breakdown* views the paper's power study relies on:
+
+* :func:`energy_breakdown` — joules per component (per-op dynamic
+  energy by class, clock/leakage, cache-miss refills) for one run;
+* :func:`power_report` — original-vs-SLMS comparison for a workload on
+  the ARM model (or any machine), returning the per-component deltas
+  that explain *why* a loop wins or loses energy;
+* :class:`EnergyBreakdown` — the typed result.
+
+The decomposition uses the same :class:`~repro.machines.model.PowerProfile`
+coefficients the executor charges, so the components sum exactly to the
+executor's ``energy_pj``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.machines.model import MachineModel
+from repro.sim.executor import ExecutionMetrics
+
+
+@dataclass
+class EnergyBreakdown:
+    """Energy per component, in picojoules."""
+
+    per_class: Dict[str, float] = field(default_factory=dict)
+    clock: float = 0.0
+    cache_misses: float = 0.0
+
+    @property
+    def dynamic(self) -> float:
+        return sum(self.per_class.values())
+
+    @property
+    def total(self) -> float:
+        return self.dynamic + self.clock + self.cache_misses
+
+    def as_dict(self) -> Dict[str, float]:
+        out = {f"op_{cls}": e for cls, e in sorted(self.per_class.items())}
+        out["clock"] = self.clock
+        out["cache_misses"] = self.cache_misses
+        out["total"] = self.total
+        return out
+
+
+def energy_breakdown(
+    metrics: ExecutionMetrics, machine: MachineModel
+) -> EnergyBreakdown:
+    """Decompose a run's energy by component.
+
+    The components reconstruct exactly what the executor charged:
+    ``Σ op_counts[c]·E_op(c) + cycles·E_cycle + misses·E_miss``.
+    """
+    profile = machine.power
+    breakdown = EnergyBreakdown()
+    for cls, count in metrics.op_counts.items():
+        breakdown.per_class[cls] = count * profile.op_energy(cls)
+    breakdown.clock = metrics.cycles * profile.energy_per_cycle
+    breakdown.cache_misses = metrics.cache_misses * profile.energy_cache_miss
+    return breakdown
+
+
+@dataclass
+class PowerComparison:
+    """Original vs SLMS energy for one workload."""
+
+    workload: str
+    machine: str
+    base: EnergyBreakdown
+    slms: EnergyBreakdown
+
+    @property
+    def improvement_pct(self) -> float:
+        if self.base.total == 0:
+            return 0.0
+        return (1.0 - self.slms.total / self.base.total) * 100.0
+
+    def dominant_delta(self) -> str:
+        """Which component moved the most (the 'why' of the result)."""
+        base = self.base.as_dict()
+        slms = self.slms.as_dict()
+        deltas = {
+            key: slms.get(key, 0.0) - base.get(key, 0.0)
+            for key in set(base) | set(slms)
+            if key != "total"
+        }
+        return max(deltas, key=lambda k: abs(deltas[k]))
+
+
+def power_report(
+    workload,
+    machine: MachineModel | str = "arm7tdmi",
+    compiler: str = "arm_gcc",
+    options=None,
+) -> PowerComparison:
+    """Run the §9.3 comparison for one workload and decompose both sides.
+
+    ``workload`` is a :class:`~repro.workloads.base.Workload` or a
+    workload name.
+    """
+    from repro.harness.experiment import run_experiment
+    from repro.machines.presets import machine_by_name
+    from repro.workloads import get_workload
+
+    if isinstance(workload, str):
+        workload = get_workload(workload)
+    if isinstance(machine, str):
+        machine = machine_by_name(machine)
+    result = run_experiment(workload, machine, compiler, options)
+    assert result.base_metrics is not None and result.slms_metrics is not None
+    return PowerComparison(
+        workload=workload.name,
+        machine=machine.name,
+        base=energy_breakdown(result.base_metrics, machine),
+        slms=energy_breakdown(result.slms_metrics, machine),
+    )

@@ -1,0 +1,36 @@
+"""Classical source-level loop transformations (paper §6).
+
+The point of a *source level* compiler is that modulo scheduling can be
+combined freely with the standard loop-restructuring toolkit — applied
+before SLMS to expose parallelism (interchange, fusion) or after it
+(fusion of SLMSed loops), and SLMS itself can *enable* transformations
+(Fig. 10: SLMS makes two unfusable loops fusable).
+
+All transformations here follow the same contract as SLMS: they take
+ASTs, never mutate their input, verify legality with the dependence
+machinery from :mod:`repro.analysis`, and *decline* (raising
+:class:`TransformError` or returning ``None``) when legality cannot be
+proven.
+"""
+
+from repro.transforms.errors import TransformError
+from repro.transforms.distribution import distribute
+from repro.transforms.fusion import can_fuse, fuse
+from repro.transforms.interchange import interchange
+from repro.transforms.peel import peel
+from repro.transforms.reversal import reverse
+from repro.transforms.tiling import strip_mine, tile
+from repro.transforms.unroll import unroll
+
+__all__ = [
+    "TransformError",
+    "can_fuse",
+    "distribute",
+    "fuse",
+    "interchange",
+    "peel",
+    "reverse",
+    "strip_mine",
+    "tile",
+    "unroll",
+]

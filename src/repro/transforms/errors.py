@@ -1,0 +1,6 @@
+"""Shared error type for loop transformations."""
+
+
+class TransformError(Exception):
+    """The transformation is illegal or the loop is not in the required
+    shape; the message says which."""

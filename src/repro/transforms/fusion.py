@@ -1,0 +1,151 @@
+"""Loop fusion (§6).
+
+Two adjacent loops with identical headers fuse into one loop running
+both bodies per iteration.  Fusion is legal iff no dependence from the
+first loop to the second has a *negative* iteration distance: a
+conflict ``L1 at iteration i₁ ↔ L2 at iteration i₂`` with ``i₂ < i₁``
+is satisfied by the original order (all of L1 before all of L2) but
+violated once the bodies interleave.
+
+Scalar dependences between the loops are handled conservatively: a
+scalar written in L1 and read in L2 would be read by iteration ``i`` of
+the fused loop *before* L1's later iterations rewrite it, so any scalar
+defined in L1 and touched in L2 (or vice versa) blocks fusion unless
+the def reaches L2 unchanged (single assignment per iteration is still
+order-sensitive — we decline).
+
+The paper's Fig. 9/10 workflows — SLMS→fusion, fusion→SLMS, and
+SLMS-enables-fusion — are exercised in the integration tests.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.analysis.affine import analyze_subscript
+from repro.analysis.deptests import test_dependence
+from repro.analysis.loopinfo import LoopInfo
+from repro.lang.ast_nodes import ArrayRef, Assign, For, If, Stmt
+from repro.lang.visitors import (
+    defined_scalars,
+    rename_scalar,
+    used_scalars,
+    walk,
+)
+from repro.transforms.errors import TransformError
+
+
+def _collect_refs(
+    body: List[Stmt], index_var: str
+) -> List[Tuple[str, Optional[tuple], bool]]:
+    """(array, affine subs or None, is_write) for every access in a body."""
+    refs: List[Tuple[str, Optional[tuple], bool]] = []
+
+    def affine(ref: ArrayRef):
+        subs = []
+        for idx in ref.indices:
+            a = analyze_subscript(idx, index_var)
+            if a is None:
+                return None
+            subs.append(a)
+        return tuple(subs)
+
+    def visit(stmt: Stmt) -> None:
+        if isinstance(stmt, Assign):
+            for node in walk(stmt.expanded_value()):
+                if isinstance(node, ArrayRef):
+                    refs.append((node.name, affine(node), False))
+            if isinstance(stmt.target, ArrayRef):
+                refs.append((stmt.target.name, affine(stmt.target), True))
+                for idx in stmt.target.indices:
+                    for node in walk(idx):
+                        if isinstance(node, ArrayRef):
+                            refs.append((node.name, affine(node), False))
+        elif isinstance(stmt, If):
+            for node in walk(stmt.cond):
+                if isinstance(node, ArrayRef):
+                    refs.append((node.name, affine(node), False))
+            for inner in list(stmt.then) + list(stmt.els):
+                visit(inner)
+        else:
+            for node in walk(stmt):
+                if isinstance(node, ArrayRef):
+                    refs.append((node.name, affine(node), False))
+
+    for stmt in body:
+        visit(stmt)
+    return refs
+
+
+def can_fuse(first: For, second: For) -> Tuple[bool, str]:
+    """Check header compatibility and dependence legality."""
+    info1 = LoopInfo.from_for(first)
+    info2 = LoopInfo.from_for(second)
+    if info1 is None or info2 is None:
+        return False, "both loops must be canonical counted loops"
+    if info1.step != info2.step:
+        return False, "step mismatch"
+    if info1.lo != info2.lo or info1.hi != info2.hi:
+        return False, "bound mismatch"
+
+    body2 = second.body
+    if info2.var != info1.var:
+        body2 = [rename_scalar(s, info2.var, info1.var) for s in body2]
+
+    # Scalar coupling between the loop bodies blocks fusion.
+    defs1 = set()
+    uses1 = set()
+    defs2 = set()
+    uses2 = set()
+    for s in first.body:
+        defs1 |= defined_scalars(s)
+        uses1 |= used_scalars(s)
+    for s in body2:
+        defs2 |= defined_scalars(s)
+        uses2 |= used_scalars(s)
+    defs1.discard(info1.var)
+    defs2.discard(info1.var)
+    coupled = (defs1 & (uses2 | defs2)) | (defs2 & uses1)
+    if coupled:
+        return False, f"scalar {sorted(coupled)[0]!r} couples the loop bodies"
+
+    refs1 = _collect_refs(first.body, info1.var)
+    refs2 = _collect_refs(body2, info1.var)
+    for name1, subs1, w1 in refs1:
+        for name2, subs2, w2 in refs2:
+            if name1 != name2 or not (w1 or w2):
+                continue
+            if subs1 is None or subs2 is None:
+                return False, f"non-affine access to {name1!r}"
+            if len(subs1) != len(subs2):
+                return False, f"rank mismatch on {name1!r}"
+            result = test_dependence(
+                subs1, subs2, lo=info1.lo_const, hi=info1.hi_const, step=info1.step
+            )
+            if not result.exists:
+                continue
+            if result.all_distances or not result.exact:
+                return False, f"unanalyzable dependence on {name1!r}"
+            if result.distance is not None and result.distance < 0:
+                return (
+                    False,
+                    f"fusion-preventing dependence on {name1!r} "
+                    f"(distance {result.distance})",
+                )
+    return True, ""
+
+
+def fuse(first: For, second: For) -> For:
+    """Fuse two adjacent compatible loops; raises on illegality."""
+    ok, reason = can_fuse(first, second)
+    if not ok:
+        raise TransformError(reason)
+    info1 = LoopInfo.from_for(first)
+    info2 = LoopInfo.from_for(second)
+    assert info1 is not None and info2 is not None
+    body2 = [s.clone() for s in second.body]
+    if info2.var != info1.var:
+        body2 = [rename_scalar(s, info2.var, info1.var) for s in body2]
+    fused = first.clone()
+    fused.body = [s.clone() for s in first.body] + body2
+    return fused

@@ -1,0 +1,200 @@
+"""Loop interchange (§6).
+
+Swaps the loops of a *perfect* 2-deep nest.  §6's motivating example:
+``for j { for i { t = a[i,j]; a[i,j+1] = t; } }`` cannot be SLMSed (the
+inner loop carries a flow dependence through ``a``), but after
+interchange the inner-loop dependence vanishes and SLMS gets II = 1.
+
+Legality: no dependence may have a direction vector that interchange
+turns lexicographically negative, i.e. none may be ``(δ_outer > 0,
+δ_inner < 0)``.  We compute exact per-variable distances for *separable*
+subscripts (each dimension indexed by at most one of the two loop
+variables — covers the paper's examples and the workload corpus) and
+decline anything else.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.analysis.affine import AffineExpr, analyze_subscript
+from repro.analysis.loopinfo import LoopInfo
+from repro.lang.ast_nodes import ArrayRef, Assign, For, If, Stmt
+from repro.lang.visitors import collect_vars, defined_scalars, walk
+from repro.transforms.errors import TransformError
+
+# Distance along one loop variable: an exact integer, FREE (conflicts at
+# every distance), or None meaning "no constraint computed yet".
+FREE = "free"
+
+
+def _per_var_distance(
+    subs1: Tuple[AffineExpr, ...],
+    subs2: Tuple[AffineExpr, ...],
+    outer: str,
+    inner: str,
+) -> Optional[Tuple[object, object]]:
+    """Exact (δ_outer, δ_inner) for separable subscript pairs.
+
+    Returns ``None`` when provably independent; raises
+    :class:`TransformError` for non-separable / non-affine shapes.
+    """
+    d_outer: object = FREE
+    d_inner: object = FREE
+    for a1, a2 in zip(subs1, subs2):
+        # a1/a2 are affine in `inner`; the outer variable appears in syms.
+        outer1 = dict(a1.syms).get(outer, 0)
+        outer2 = dict(a2.syms).get(outer, 0)
+        inner1, inner2 = a1.coeff, a2.coeff
+        if (inner1 and outer1) or (inner2 and outer2):
+            raise TransformError("coupled subscript (uses both loop vars)")
+        rest1 = tuple((n, c) for n, c in a1.syms if n != outer)
+        rest2 = tuple((n, c) for n, c in a2.syms if n != outer)
+        if rest1 != rest2:
+            raise TransformError("symbolic subscript mismatch")
+        diff = a1.offset - a2.offset
+        if inner1 or inner2:
+            if inner1 != inner2:
+                raise TransformError("weak-SIV subscript in interchange")
+            if diff % inner1 != 0:
+                return None
+            delta = diff // inner1
+            if d_inner is FREE:
+                d_inner = delta
+            elif d_inner != delta:
+                return None
+        elif outer1 or outer2:
+            if outer1 != outer2:
+                raise TransformError("weak-SIV subscript in interchange")
+            if diff % outer1 != 0:
+                return None
+            delta = diff // outer1
+            if d_outer is FREE:
+                d_outer = delta
+            elif d_outer != delta:
+                return None
+        else:
+            if diff != 0:
+                return None  # distinct constants: no conflict
+    return d_outer, d_inner
+
+
+def _all_refs(body: List[Stmt]) -> List[Tuple[ArrayRef, bool]]:
+    refs: List[Tuple[ArrayRef, bool]] = []
+
+    def visit(stmt: Stmt) -> None:
+        if isinstance(stmt, Assign):
+            for node in walk(stmt.expanded_value()):
+                if isinstance(node, ArrayRef):
+                    refs.append((node, False))
+            if isinstance(stmt.target, ArrayRef):
+                refs.append((stmt.target, True))
+        elif isinstance(stmt, If):
+            for node in walk(stmt.cond):
+                if isinstance(node, ArrayRef):
+                    refs.append((node, False))
+            for inner in list(stmt.then) + list(stmt.els):
+                visit(inner)
+
+    for stmt in body:
+        visit(stmt)
+    return refs
+
+
+def _can_be_positive(delta: object) -> bool:
+    return delta is FREE or (isinstance(delta, int) and delta > 0)
+
+
+def _can_be_negative(delta: object) -> bool:
+    return delta is FREE or (isinstance(delta, int) and delta < 0)
+
+
+def interchange(outer: For) -> For:
+    """Interchange a perfect 2-deep nest; raises on illegality."""
+    if len(outer.body) != 1 or not isinstance(outer.body[0], For):
+        raise TransformError("interchange needs a perfect 2-deep nest")
+    inner = outer.body[0]
+    info_outer = LoopInfo.from_for(outer)
+    info_inner = LoopInfo.from_for(inner)
+    if info_outer is None or info_inner is None:
+        raise TransformError("both loops must be canonical")
+    # The inner bounds must not depend on the outer variable (rectangular).
+    header_vars = collect_vars(info_inner.lo) | collect_vars(info_inner.hi)
+    if info_outer.var in header_vars:
+        raise TransformError("non-rectangular nest")
+    if info_inner.var in collect_vars(info_outer.lo) | collect_vars(info_outer.hi):
+        raise TransformError("outer bounds depend on inner variable")
+
+    # Scalars written in the body make iteration order observable unless
+    # they are privatizable: unconditionally defined before any use in
+    # the same iteration (§6's temporary `t`).  Privatizable scalars get
+    # the same final value either way because both orders end with the
+    # same last iteration of a rectangular nest.
+    writes = set()
+    for stmt in inner.body:
+        writes |= defined_scalars(stmt)
+    writes.discard(info_inner.var)
+    for var in sorted(writes):
+        first_def = None
+        for pos, stmt in enumerate(inner.body):
+            is_plain_def = (
+                isinstance(stmt, Assign)
+                and getattr(stmt.target, "name", None) == var
+                and not isinstance(stmt.target, ArrayRef)
+            )
+            if is_plain_def and first_def is None:
+                # A compound def (v += e) reads the carried value.
+                if stmt.op is not None or var in collect_vars(stmt.value):
+                    raise TransformError(
+                        f"scalar {var!r} carries a value across iterations"
+                    )
+                first_def = pos
+                continue
+            mentioned = var in collect_vars(stmt)
+            if mentioned and first_def is None:
+                raise TransformError(
+                    f"scalar {var!r} read before its definition "
+                    "(loop-carried) — not privatizable"
+                )
+        if first_def is None:
+            raise TransformError(
+                f"scalar {var!r} conditionally defined in the nest body"
+            )
+
+    refs = _all_refs(inner.body)
+    for idx, (r1, w1) in enumerate(refs):
+        for r2, w2 in refs[idx:]:
+            if r1.name != r2.name or not (w1 or w2):
+                continue
+            subs1 = tuple(
+                analyze_subscript(e, info_inner.var) for e in r1.indices
+            )
+            subs2 = tuple(
+                analyze_subscript(e, info_inner.var) for e in r2.indices
+            )
+            if any(s is None for s in subs1) or any(s is None for s in subs2):
+                raise TransformError(f"non-affine access to {r1.name!r}")
+            if len(subs1) != len(subs2):
+                raise TransformError(f"rank mismatch on {r1.name!r}")
+            pair = _per_var_distance(
+                subs1, subs2, info_outer.var, info_inner.var
+            )
+            if pair is None:
+                continue
+            d_out, d_in = pair
+            # Check both orientations of the dependence.
+            if _can_be_positive(d_out) and _can_be_negative(d_in):
+                raise TransformError(
+                    f"direction vector (+,-) on {r1.name!r} forbids interchange"
+                )
+            if _can_be_negative(d_out) and _can_be_positive(d_in):
+                # The mirrored dependence (swap source/sink) is (+,-) too.
+                raise TransformError(
+                    f"direction vector (+,-) on {r1.name!r} forbids interchange"
+                )
+
+    new_outer = inner.clone()
+    new_inner = outer.clone()
+    new_inner.body = [s.clone() for s in inner.body]
+    new_outer.body = [new_inner]
+    return new_outer

@@ -1,0 +1,67 @@
+"""Loop peeling.
+
+Peels ``count`` iterations off the front or back of a counted loop into
+straight-line statements.  Always legal (execution order is unchanged);
+§6 mentions peeling (with reversal) as the classical — and clumsy —
+alternative to SLMS-enabled fusion.
+
+Literal bounds are required: the peeled copies need concrete indices,
+and a loop shorter than ``count`` must be fully unrolled rather than
+given a negative-trip remainder.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.loopinfo import LoopInfo
+from repro.lang.ast_nodes import Assign, BinOp, For, IntLit, Stmt, Var
+from repro.lang.visitors import substitute_expr
+from repro.transforms.errors import TransformError
+
+
+def peel(loop: For, count: int, where: str = "front") -> List[Stmt]:
+    """Peel ``count`` iterations; returns the replacement statements."""
+    if where not in ("front", "back"):
+        raise TransformError(f"unknown peel position {where!r}")
+    if count < 1:
+        raise TransformError("peel count must be >= 1")
+    info = LoopInfo.from_for(loop)
+    if info is None:
+        raise TransformError("loop is not in canonical counted form")
+    trip = info.trip_count
+    if trip is None:
+        raise TransformError("peeling requires literal loop bounds")
+    count = min(count, trip)
+    lo, step, var = info.lo_const, info.step, info.var
+    assert lo is not None
+
+    def iteration(k: int) -> List[Stmt]:
+        index = IntLit(lo + k * step)
+        return [substitute_expr(s.clone(), var, index) for s in loop.body]
+
+    out: List[Stmt] = []
+    if where == "front":
+        for k in range(count):
+            out.extend(iteration(k))
+        if trip > count:
+            new_loop = loop.clone()
+            new_loop.init = Assign(Var(var), IntLit(lo + count * step))
+            out.append(new_loop)
+        else:
+            # Fully peeled: restore the loop variable's exit value.
+            out.append(Assign(Var(var), IntLit(lo + trip * step)))
+        return out
+
+    # back peel
+    if trip > count:
+        new_loop = loop.clone()
+        last_kept = lo + (trip - count) * step
+        cmp_op = "<" if step > 0 else ">"
+        new_loop.cond = BinOp(cmp_op, Var(var), IntLit(last_kept))
+        out.append(new_loop)
+    for k in range(trip - count, trip):
+        out.extend(iteration(k))
+    # Preserve the loop variable's observable exit value.
+    out.append(Assign(Var(var), IntLit(lo + trip * step)))
+    return out

@@ -1,0 +1,72 @@
+"""Loop reversal.
+
+Legal only when the loop carries no dependence across iterations (every
+dependence distance is 0): running iterations backwards then touches
+disjoint data per iteration.  Loop-carried scalar dependences (including
+floating-point accumulators, whose reassociation would change results
+bit-for-bit) make reversal illegal and are declined.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.ddg import build_ddg
+from repro.analysis.loopinfo import LoopInfo
+from repro.lang.ast_nodes import Assign, BinOp, For, IntLit, Var
+from repro.lang.visitors import fold_constants
+from repro.transforms.errors import TransformError
+
+
+def reverse(loop: For) -> For:
+    """Return the reversed loop; raises :class:`TransformError` if illegal."""
+    info = LoopInfo.from_for(loop)
+    if info is None:
+        raise TransformError("loop is not in canonical counted form")
+    graph = build_ddg(loop.body, info)
+    if not graph.precise:
+        raise TransformError(
+            "cannot prove reversal legal: " + "; ".join(graph.reasons)
+        )
+    carried = graph.loop_carried()
+    if carried:
+        edge = carried[0]
+        raise TransformError(
+            f"loop-carried dependence on {edge.var!r} "
+            f"(distance {edge.distance}) forbids reversal"
+        )
+
+    var = info.var
+    step = info.step
+    if step > 0:
+        # for (i = lo; i < hi; i += s)  ->  runs lo, lo+s, ..., last.
+        # Reversed: for (i = last; i >= lo; i -= s), with last = the
+        # final executed value.  For literal bounds compute it exactly;
+        # for symbolic bounds only step 1 has a closed form (hi - 1).
+        if info.trip_count is not None:
+            last = info.lo_const + (info.trip_count - 1) * step
+            new_lo: object = IntLit(last)
+        elif step == 1:
+            new_lo = fold_constants(BinOp("-", info.hi.clone(), IntLit(1)))
+        else:
+            raise TransformError(
+                "reversal of a symbolic-bound loop needs step 1"
+            )
+        return For(
+            init=Assign(Var(var), new_lo),
+            cond=BinOp(">", Var(var), fold_constants(BinOp("-", info.lo.clone(), IntLit(1)))),
+            step=Assign(Var(var), IntLit(step), "-"),
+            body=[s.clone() for s in loop.body],
+        )
+    # Downward loop: mirror of the above.
+    if info.trip_count is not None:
+        last = info.lo_const + (info.trip_count - 1) * step
+        new_lo = IntLit(last)
+    elif step == -1:
+        new_lo = fold_constants(BinOp("+", info.hi.clone(), IntLit(1)))
+    else:
+        raise TransformError("reversal of a symbolic-bound loop needs step -1")
+    return For(
+        init=Assign(Var(var), new_lo),
+        cond=BinOp("<", Var(var), fold_constants(BinOp("+", info.lo.clone(), IntLit(1)))),
+        step=Assign(Var(var), IntLit(-step), "+"),
+        body=[s.clone() for s in loop.body],
+    )

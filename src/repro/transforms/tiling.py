@@ -1,0 +1,80 @@
+"""Strip-mining and loop tiling.
+
+Strip-mining is always legal: it only re-brackets the iteration space
+into chunks.  Tiling a 2-deep nest = strip-mine the inner loop, then
+interchange the strip loop outward — so tiling inherits interchange's
+legality check.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.loopinfo import LoopInfo
+from repro.core.names import NamePool, all_names
+from repro.lang.ast_nodes import Assign, BinOp, Call, For, IntLit, Stmt, Var
+from repro.transforms.errors import TransformError
+from repro.transforms.interchange import interchange
+
+
+def strip_mine(loop: For, width: int, pool: NamePool | None = None) -> For:
+    """``for i in [lo,hi)`` → ``for is by width { for i in [is, min(is+width, hi)) }``."""
+    if width < 2:
+        raise TransformError("strip width must be >= 2")
+    info = LoopInfo.from_for(loop)
+    if info is None:
+        raise TransformError("loop is not in canonical counted form")
+    if info.step != 1:
+        raise TransformError("strip-mining requires unit step")
+    pool = pool or NamePool(all_names(loop))
+    strip_var = pool.fresh(f"{info.var}s")
+
+    inner = For(
+        init=Assign(Var(info.var), Var(strip_var)),
+        cond=BinOp(
+            "<",
+            Var(info.var),
+            Call(
+                "min",
+                [BinOp("+", Var(strip_var), IntLit(width)), info.hi.clone()],
+            ),
+        ),
+        step=Assign(Var(info.var), IntLit(1), "+"),
+        body=[s.clone() for s in loop.body],
+    )
+    outer = For(
+        init=Assign(Var(strip_var), info.lo.clone()),
+        cond=BinOp("<", Var(strip_var), info.hi.clone()),
+        step=Assign(Var(strip_var), IntLit(width), "+"),
+        body=[inner],
+    )
+    return outer
+
+
+def tile(outer: For, width: int) -> List[Stmt]:
+    """Tile the inner loop of a perfect 2-deep nest.
+
+    ``for j { for i { body } }`` becomes
+    ``for is { for j { for i in strip { body } } }`` — the strip loop is
+    hoisted across ``j``, which is exactly an interchange and therefore
+    checked with interchange's legality rules on the original nest.
+    """
+    if len(outer.body) != 1 or not isinstance(outer.body[0], For):
+        raise TransformError("tiling needs a perfect 2-deep nest")
+    # Legality: the strip-then-hoist is an interchange of the nest.
+    interchange(outer)  # raises TransformError when illegal
+
+    inner = outer.body[0]
+    strip = strip_mine(inner, width)
+    # strip = for is { for i { body } }; hoist `for is` over `outer`.
+    strip_outer_header = strip
+    inner_strip_loop = strip.body[0]
+    new_mid = outer.clone()
+    new_mid.body = [inner_strip_loop]
+    result = For(
+        init=strip_outer_header.init,
+        cond=strip_outer_header.cond,
+        step=strip_outer_header.step,
+        body=[new_mid],
+    )
+    return [result]

@@ -1,0 +1,64 @@
+"""Loop unrolling.
+
+§6 uses unrolling in two roles: resolving cases where the II is too
+close to the MI count, and improving resource utilization of an SLMSed
+kernel.  Unrolling is always legal: the main loop runs groups of
+``factor`` consecutive iterations (bodies index-shifted by
+``0, step, …, (factor−1)·step``) and a remainder loop finishes the
+stragglers.  With literal bounds the remainder is emitted as
+straight-line code.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.loopinfo import LoopInfo
+from repro.lang.ast_nodes import Assign, BinOp, For, IntLit, Stmt, Var
+from repro.lang.visitors import fold_constants, substitute_expr, substitute_index
+from repro.transforms.errors import TransformError
+
+
+def unroll(loop: For, factor: int) -> List[Stmt]:
+    """Unroll ``loop`` by ``factor``; returns the replacement statements."""
+    if factor < 2:
+        raise TransformError("unroll factor must be >= 2")
+    info = LoopInfo.from_for(loop)
+    if info is None:
+        raise TransformError("loop is not in canonical counted form")
+    step = info.step
+    var = info.var
+
+    body: List[Stmt] = []
+    for copy in range(factor):
+        for stmt in loop.body:
+            body.append(substitute_index(stmt.clone(), var, copy * step))
+
+    # Main loop: run while a full group of `factor` iterations remains:
+    # i + (factor-1)*step must still satisfy the bound.
+    margin = (factor - 1) * step
+    if margin >= 0:
+        bound = BinOp("-", info.hi.clone(), IntLit(margin))
+    else:
+        bound = BinOp("+", info.hi.clone(), IntLit(-margin))
+    bound = fold_constants(bound)
+    cmp_op = "<" if step > 0 else ">"
+    main = For(
+        init=Assign(Var(var), info.lo.clone()),
+        cond=BinOp(cmp_op, Var(var), bound),
+        step=Assign(Var(var), IntLit(abs(step) * factor), "+" if step > 0 else "-"),
+        body=body,
+    )
+
+    # Remainder: continue from wherever the main loop stopped.
+    remainder = For(
+        init=None,
+        cond=BinOp(cmp_op, Var(var), info.hi.clone()),
+        step=Assign(Var(var), IntLit(abs(step)), "+" if step > 0 else "-"),
+        body=[s.clone() for s in loop.body],
+    )
+
+    trip = info.trip_count
+    if trip is not None and trip % factor == 0:
+        return [main]
+    return [main, remainder]

@@ -1,0 +1,31 @@
+"""Benchmark loop corpora in the C subset.
+
+The paper evaluates SLMS on the Livermore loops, Linpack loops, the NAS
+kernel benchmark and "STONE"; these modules carry faithful (sometimes
+simplified — see each docstring) C-subset versions of those kernels.
+Each :class:`Workload` separates *setup* (declarations + data
+initialization) from the *kernel* (the timed loops) so the harness can
+subtract setup cycles exactly.
+"""
+
+from repro.workloads.base import Workload
+from repro.workloads.corpus import (
+    all_workloads,
+    by_suite,
+    get_workload,
+)
+from repro.workloads.linpack import LINPACK
+from repro.workloads.livermore import LIVERMORE
+from repro.workloads.nas import NAS
+from repro.workloads.stone import STONE
+
+__all__ = [
+    "LINPACK",
+    "LIVERMORE",
+    "NAS",
+    "STONE",
+    "Workload",
+    "all_workloads",
+    "by_suite",
+    "get_workload",
+]

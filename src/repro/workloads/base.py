@@ -1,0 +1,41 @@
+"""Workload dataclass shared by every corpus."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lang.ast_nodes import Program
+from repro.lang.parser import parse_program
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One benchmark loop.
+
+    ``setup`` declares and initializes all data; ``kernel`` is the timed
+    region.  ``full_program()`` = setup + kernel; the harness subtracts
+    ``setup_program()`` cycles from ``full_program()`` cycles to obtain
+    the kernel's cost (the simulator is deterministic, so the
+    subtraction is exact).
+    """
+
+    name: str
+    suite: str
+    setup: str
+    kernel: str
+    description: str = ""
+
+    def full_source(self) -> str:
+        return self.setup + "\n" + self.kernel
+
+    def full_program(self) -> Program:
+        return parse_program(self.full_source())
+
+    def setup_program(self) -> Program:
+        return parse_program(self.setup)
+
+    def validate(self) -> None:
+        """Parse + dry-run the full program (raises on any error)."""
+        from repro.sim.interp import run_program
+
+        run_program(self.full_program())

@@ -1,0 +1,42 @@
+"""Corpus registry: lookup and enumeration over all suites."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.workloads.base import Workload
+from repro.workloads.linpack import LINPACK
+from repro.workloads.livermore import LIVERMORE
+from repro.workloads.nas import NAS
+from repro.workloads.stone import STONE
+
+_SUITES: Dict[str, List[Workload]] = {
+    "livermore": LIVERMORE,
+    "linpack": LINPACK,
+    "nas": NAS,
+    "stone": STONE,
+}
+
+
+def all_workloads() -> List[Workload]:
+    """Every workload, livermore → linpack → nas → stone."""
+    out: List[Workload] = []
+    for suite in ("livermore", "linpack", "nas", "stone"):
+        out.extend(_SUITES[suite])
+    return out
+
+
+def by_suite(suite: str) -> List[Workload]:
+    try:
+        return list(_SUITES[suite])
+    except KeyError:
+        raise ValueError(
+            f"unknown suite {suite!r}; choose from {sorted(_SUITES)}"
+        ) from None
+
+
+def get_workload(name: str) -> Workload:
+    for wl in all_workloads():
+        if wl.name == name:
+            return wl
+    raise ValueError(f"unknown workload {name!r}")

@@ -1,0 +1,141 @@
+"""Linpack loops in the C subset.
+
+The paper's figures name ``daxpy``, ``ddot``/``ddot2``, ``dscal``,
+``idamax``/``idamax2`` and ``dmxpy``; the ``…2`` variants are the
+2-unrolled source forms Linpack ships for loop-unrolled BLAS.  These
+loops are small, memory-heavy and often floating-point bound — exactly
+the population where the paper saw both SLMS's wins and its Itanium
+floating-point "bad cases".
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.workloads.base import Workload
+
+N = 240
+_SETUP = f"""
+float dx[512], dy[512];
+float da = 0.35;
+for (i = 0; i < 512; i++) {{
+    dx[i] = 0.01 * i + 0.3;
+    dy[i] = 0.5 - 0.002 * i;
+}}
+"""
+
+
+def _wl(name: str, kernel: str, description: str, setup: str = _SETUP) -> Workload:
+    return Workload(
+        name=name, suite="linpack", setup=setup, kernel=kernel, description=description
+    )
+
+
+LINPACK: List[Workload] = [
+    _wl(
+        "daxpy",
+        f"""
+        for (i = 0; i < {N}; i++)
+            dy[i] = dy[i] + da * dx[i];
+        """,
+        "y += a*x: one fma per element",
+    ),
+    _wl(
+        "ddot",
+        f"""
+        float dtemp = 0.0;
+        for (i = 0; i < {N}; i++)
+            dtemp = dtemp + dx[i] * dy[i];
+        """,
+        "dot product: accumulator recurrence",
+    ),
+    _wl(
+        "ddot2",
+        f"""
+        float dt1 = 0.0, dt2 = 0.0, dtemp = 0.0;
+        for (i = 0; i < {N}; i += 2) {{
+            dt1 = dt1 + dx[i] * dy[i];
+            dt2 = dt2 + dx[i+1] * dy[i+1];
+        }}
+        dtemp = dt1 + dt2;
+        """,
+        "2-unrolled dot product (Linpack's unrolled form)",
+    ),
+    _wl(
+        "dscal",
+        f"""
+        for (i = 0; i < {N}; i++)
+            dx[i] = da * dx[i];
+        """,
+        "x = a*x: scale in place (memory-ref heavy)",
+    ),
+    _wl(
+        "idamax",
+        f"""
+        int itemp = 0;
+        float dmax = 0.0;
+        dmax = abs(dx[0]);
+        for (i = 1; i < {N}; i++) {{
+            dm = abs(dx[i]);
+            if (dm > dmax) {{
+                itemp = i;
+                dmax = dm;
+            }}
+        }}
+        """,
+        "index of max |x|: conditional reduction",
+        setup=_SETUP + "float dm;\n",
+    ),
+    _wl(
+        "idamax2",
+        f"""
+        int itemp = 0;
+        float dmax = 0.0;
+        dmax = abs(dx[0]);
+        for (i = 1; i < {N}; i += 2) {{
+            dm = abs(dx[i]);
+            if (dm > dmax) {{ itemp = i; dmax = dm; }}
+            dm2 = abs(dx[i+1]);
+            if (dm2 > dmax) {{ itemp = i + 1; dmax = dm2; }}
+        }}
+        """,
+        "2-unrolled idamax (the paper's negative ICC case)",
+        setup=_SETUP + "float dm, dm2;\n",
+    ),
+    _wl(
+        "dmxpy",
+        """
+        for (j = 0; j < 48; j++) {
+            for (i = 0; i < 48; i++) {
+                yv[i] = yv[i] + xv[j] * m2[i][j];
+            }
+        }
+        """,
+        "matrix-vector multiply-accumulate (column sweep)",
+        setup="""
+        float m2[48][48], xv[48], yv[48];
+        for (i = 0; i < 48; i++) {
+            xv[i] = 0.02 * i + 0.1;
+            yv[i] = 0.5;
+            for (j = 0; j < 48; j++) {
+                m2[i][j] = 0.001 * (i * 48 + j) + 0.2;
+            }
+        }
+        """,
+    ),
+    _wl(
+        "dgefa_elim",
+        f"""
+        for (i = 0; i < {N}; i++)
+            col[i] = col[i] + 0.75 * piv[i];
+        """,
+        "Gaussian elimination inner loop (a daxpy over a column)",
+        setup="""
+        float col[512], piv[512];
+        for (i = 0; i < 512; i++) {
+            col[i] = 0.01 * i + 1.0;
+            piv[i] = 0.5 - 0.001 * i;
+        }
+        """,
+    ),
+]

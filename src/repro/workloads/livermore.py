@@ -1,0 +1,382 @@
+"""The 24 Livermore loops (McMahon's Fortran kernels) in the C subset.
+
+Each kernel keeps the original's loop-carried dependence structure and
+operation mix — that is what drives SLMS's decisions — while the
+surrounding driver code is reduced to array initialization.  Kernels
+whose original uses indirect indexing (13, 14, 16) keep it, which makes
+the dependence analysis decline them: the paper's Tiny had the same
+behaviour, and the harness reports them as "SLMS not applied".
+
+Sizes are scaled to a few hundred iterations so a full figure sweep
+stays laptop-fast; the *relative* costs are what the figures use.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.workloads.base import Workload
+
+N = 200  # base loop length
+_COMMON = f"""
+float x[512], y[512], z[512], u[512], v[512], w[512];
+float q = 0.5, r = 0.25, t = 0.35, a11 = 1.5;
+for (i = 0; i < 512; i++) {{
+    x[i] = 0.01 * i + 1.0;
+    y[i] = 0.02 * i + 2.0;
+    z[i] = 0.015 * i + 0.5;
+    u[i] = 0.004 * i + 3.0;
+    v[i] = 1.0 + 0.001 * i;
+    w[i] = 0.5 + 0.003 * i;
+}}
+"""
+
+
+def _wl(name: str, kernel: str, description: str, setup: str = _COMMON) -> Workload:
+    return Workload(
+        name=name,
+        suite="livermore",
+        setup=setup,
+        kernel=kernel,
+        description=description,
+    )
+
+
+LIVERMORE: List[Workload] = [
+    _wl(
+        "kernel1",
+        f"""
+        for (k = 0; k < {N}; k++)
+            x[k] = q + y[k] * (r * z[k+10] + t * z[k+11]);
+        """,
+        "hydro fragment: fully parallel, multiply-add chain",
+    ),
+    _wl(
+        "kernel2",
+        f"""
+        for (k = 0; k < {N}; k += 2) {{
+            x[k] = x[k] - z[k] * x[k+1] - z[k+1] * x[k+2];
+            x[k+1] = x[k+1] - z[k+1] * x[k+2];
+        }}
+        """,
+        "ICCG excerpt (simplified): strided elimination step",
+    ),
+    _wl(
+        "kernel3",
+        f"""
+        float q3 = 0.0;
+        for (k = 0; k < {N}; k++)
+            q3 = q3 + z[k] * x[k];
+        """,
+        "inner product: accumulator recurrence",
+    ),
+    _wl(
+        "kernel4",
+        f"""
+        for (k = 5; k < {N}; k += 5)
+            x[k] = x[k] - x[k-5] * y[k] - x[k-4] * y[k+1];
+        """,
+        "banded linear equations (simplified): strided recurrence",
+    ),
+    _wl(
+        "kernel5",
+        f"""
+        for (i = 1; i < {N}; i++)
+            x[i] = z[i] * (y[i] - x[i-1]);
+        """,
+        "tri-diagonal elimination: tight serial recurrence",
+    ),
+    _wl(
+        "kernel6",
+        f"""
+        for (i = 1; i < {N}; i++)
+            w[i] = w[i] + y[i] * w[i-1];
+        """,
+        "general linear recurrence (simplified)",
+    ),
+    _wl(
+        "kernel7",
+        f"""
+        for (k = 0; k < {N}; k++)
+            x[k] = u[k] + r * (z[k] + r * y[k]) +
+                   t * (u[k+3] + r * (u[k+2] + r * u[k+1]) +
+                   t * (u[k+6] + q * (u[k+5] + q * u[k+4])));
+        """,
+        "equation of state fragment: wide parallel body",
+    ),
+    _wl(
+        "kernel8",
+        f"""
+        for (ky = 1; ky < {N}; ky++) {{
+            DU1[ky] = U1[ky+1] - U1[ky-1];
+            DU2[ky] = U2[ky+1] - U2[ky-1];
+            DU3[ky] = U3[ky+1] - U3[ky-1];
+            U1[ky+101] = U1[ky] + a11 * DU1[ky] + a11 * DU2[ky] + a11 * DU3[ky];
+            U2[ky+101] = U2[ky] + a11 * DU1[ky] + a11 * DU2[ky] + a11 * DU3[ky];
+            U3[ky+101] = U3[ky] + a11 * DU1[ky] + a11 * DU2[ky] + a11 * DU3[ky];
+        }}
+        """,
+        "ADI integration (paper's kernel 8: big body, no carried deps)",
+        setup=f"""
+        float DU1[320], DU2[320], DU3[320], U1[320], U2[320], U3[320];
+        float a11 = 1.5;
+        for (i = 0; i < 320; i++) {{
+            U1[i] = 1.0 + 0.001 * i; U2[i] = 2.0 - 0.001 * i;
+            U3[i] = 0.5 + 0.002 * i;
+            DU1[i] = 0.0; DU2[i] = 0.0; DU3[i] = 0.0;
+        }}
+        """,
+    ),
+    _wl(
+        "kernel9",
+        f"""
+        for (i = 0; i < {N}; i++)
+            x[i] = x[i] + q * y[i] + r * z[i] + t * u[i]
+                 + 0.0021 * v[i] + 0.0039 * w[i];
+        """,
+        "numerical integration: parallel multiply-accumulate fan-in",
+    ),
+    _wl(
+        "kernel10",
+        f"""
+        for (i = 0; i < 60; i++) {{
+            ar = cx[i][4];
+            br = ar - px[i][4];
+            px[i][4] = ar;
+            cr = br - px[i][5];
+            px[i][5] = br;
+            ar = cr - px[i][6];
+            px[i][6] = cr;
+            br = ar - px[i][7];
+            px[i][7] = ar;
+            cr = br - px[i][8];
+            px[i][8] = br;
+            px[i][10] = cr - px[i][9];
+            px[i][9] = cr;
+        }}
+        """,
+        "numerical differentiation: many loop temps (the Pentium "
+        "register-pressure case)",
+        setup="""
+        float ar, br, cr;
+        float px[64][16], cx[64][16];
+        for (i = 0; i < 64; i++) {
+            for (j = 0; j < 16; j++) {
+                px[i][j] = 0.01 * (i + j) + 1.0;
+                cx[i][j] = 0.02 * (i * j + 1);
+            }
+        }
+        """,
+    ),
+    _wl(
+        "kernel11",
+        f"""
+        for (k = 1; k < {N}; k++)
+            x[k] = x[k-1] + y[k];
+        """,
+        "first sum: prefix-sum serial recurrence",
+    ),
+    _wl(
+        "kernel12",
+        f"""
+        for (k = 0; k < {N}; k++)
+            x[k] = y[k+1] - y[k];
+        """,
+        "first difference: fully parallel",
+    ),
+    _wl(
+        "kernel13",
+        f"""
+        for (ip = 0; ip < 128; ip++) {{
+            i1 = ix[ip];
+            p2[ip] = p2[ip] + b2[i1];
+        }}
+        """,
+        "2-D particle in cell (simplified): indirect indexing; the §4 "
+        "filter catches it (ratio 0.857) before the non-affine gather "
+        "would",
+        setup="""
+        int i1;
+        int ix[256];
+        float p2[256], b2[256];
+        for (i = 0; i < 256; i++) {
+            ix[i] = (i * 7) % 128;
+            p2[i] = 0.1 * i; b2[i] = 0.2 * i;
+        }
+        """,
+    ),
+    _wl(
+        "kernel14",
+        f"""
+        for (k = 0; k < 128; k++) {{
+            ii = ir[k];
+            xx[k] = xx[k] + vx[k] * grd[ii];
+        }}
+        """,
+        "1-D particle in cell (simplified): gather through ir[k]",
+        setup="""
+        int ii;
+        int ir[256];
+        float vx[256], xx[256], grd[256];
+        for (i = 0; i < 256; i++) {
+            ir[i] = (i * 3) % 200;
+            vx[i] = 0.001 * i; xx[i] = 0.5 * i; grd[i] = 2.0 + 0.01 * i;
+        }
+        """,
+    ),
+    _wl(
+        "kernel15",
+        f"""
+        for (i = 1; i < 31; i++) {{
+            for (j = 1; j < 31; j++) {{
+                vy[i][j] = vs[i][j-1] * vs[i][j] + vy[i][j];
+            }}
+        }}
+        """,
+        "casual Fortran 2-D fragment (simplified)",
+        setup="""
+        float vy[32][32], vs[32][32];
+        for (i = 0; i < 32; i++) {
+            for (j = 0; j < 32; j++) {
+                vy[i][j] = 0.01 * (i + j);
+                vs[i][j] = 1.0 + 0.001 * i * j;
+            }
+        }
+        """,
+    ),
+    _wl(
+        "kernel16",
+        f"""
+        m16 = 0;
+        for (k = 1; k < {N}; k++) {{
+            if (x[k] < x[k-1]) m16 = m16 + 1;
+            if (y[k] * 0.99 > z[k]) m16 = m16 + 2;
+        }}
+        """,
+        "Monte Carlo search (simplified to its branchy scan)",
+        setup=_COMMON + "int m16;\n",
+    ),
+    _wl(
+        "kernel17",
+        f"""
+        for (k = 1; k < {N}; k++) {{
+            if (z[k] < 1.0) {{
+                x[k] = y[k] + z[k] * 0.5;
+            }} else {{
+                x[k] = y[k] - z[k] * 0.3;
+            }}
+        }}
+        """,
+        "implicit conditional computation",
+    ),
+    _wl(
+        "kernel18",
+        f"""
+        for (j = 1; j < 39; j++) {{
+            for (k = 1; k < 39; k++) {{
+                zu[j][k] = zu[j][k] + 0.175 *
+                    (za[j][k] * (zv[j][k] - zv[j][k+1]) -
+                     zb[j][k] * (zv[j][k] - zv[j-1][k]));
+            }}
+        }}
+        """,
+        "2-D explicit hydrodynamics fragment",
+        setup="""
+        float za[40][40], zb[40][40], zu[40][40], zv[40][40];
+        for (i = 0; i < 40; i++) {
+            for (j = 0; j < 40; j++) {
+                za[i][j] = 0.01 * (i + j) + 1.0;
+                zb[i][j] = 0.02 * (i - j) + 2.0;
+                zu[i][j] = 1.0; zv[i][j] = 0.5;
+            }
+        }
+        """,
+    ),
+    _wl(
+        "kernel19",
+        f"""
+        for (k = 1; k < {N}; k++)
+            x[k] = x[k] + y[k] * x[k-1] - z[k] * x[k];
+        """,
+        "general linear recurrence (forward sweep)",
+    ),
+    _wl(
+        "kernel20",
+        f"""
+        for (k = 1; k < {N}; k++) {{
+            dk = y[k] / (x[k-1] + z[k] + 0.5);
+            x[k] = dk * (u[k] + 1.0);
+        }}
+        """,
+        "discrete ordinates transport: divide inside a recurrence",
+        setup=_COMMON + "float dk;\n",
+    ),
+    _wl(
+        "kernel21",
+        """
+        for (i = 0; i < 24; i++) {
+            for (j = 0; j < 24; j++) {
+                for (k = 0; k < 24; k++) {
+                    pa[i][j] = pa[i][j] + pb[i][k] * pc[k][j];
+                }
+            }
+        }
+        """,
+        "matrix * matrix product (triple nest; inner is an accumulator)",
+        setup="""
+        float pa[24][24], pb[24][24], pc[24][24];
+        for (i = 0; i < 24; i++) {
+            for (j = 0; j < 24; j++) {
+                pa[i][j] = 0.0;
+                pb[i][j] = 0.01 * (i + 2 * j) + 1.0;
+                pc[i][j] = 0.02 * (2 * i + j) + 0.5;
+            }
+        }
+        """,
+    ),
+    _wl(
+        "kernel22",
+        f"""
+        for (k = 0; k < {N}; k++) {{
+            yk = u[k] / v[k];
+            w[k] = x[k] / (exp(yk) - 1.0);
+        }}
+        """,
+        "Planckian distribution: exp call — SLMS declines (opaque call)",
+        setup=_COMMON + "float yk;\n",
+    ),
+    _wl(
+        "kernel23",
+        f"""
+        for (j = 1; j < 39; j++) {{
+            for (k = 1; k < 39; k++) {{
+                qa = zz[j][k+1] * zr[j][k] + zz[j][k-1] * 0.5 +
+                     zz[j+1][k] * 0.25 + zz[j-1][k] * 0.125;
+                zz[j][k] = zz[j][k] + 0.3 * (qa - zz[j][k]);
+            }}
+        }}
+        """,
+        "2-D implicit hydrodynamics fragment",
+        setup="""
+        float qa;
+        float zz[40][40], zr[40][40];
+        for (i = 0; i < 40; i++) {
+            for (j = 0; j < 40; j++) {
+                zz[i][j] = 0.01 * (i + j) + 0.1;
+                zr[i][j] = 0.02 * i - 0.01 * j + 2.0;
+            }
+        }
+        """,
+    ),
+    _wl(
+        "kernel24",
+        f"""
+        m24 = 0;
+        for (k = 1; k < {N}; k++)
+            if (x[k] < x[m24]) m24 = k;
+        """,
+        "location of first minimum (the paper's conditional kernel 24) — "
+        "x[m24] is indirect through a scalar, SLMS declines",
+        setup=_COMMON + "int m24;\n",
+    ),
+]

@@ -1,0 +1,163 @@
+"""NAS kernel benchmark loops (Bailey's seven kernels), simplified.
+
+The original NAS kernel program exercises MXM (matrix multiply), CFFT2D
+(2-D FFT), CHOLSKY (Cholesky factorization), BTRIX (block tridiagonal),
+GMTRY (Gaussian elimination for geometry), EMIT (vortex emission) and
+VPENTA (pentadiagonal inversion).  Each entry below keeps the innermost
+loop's dependence/operation structure at a reduced size — the properties
+SLMS keys on — with driver code reduced to initialization.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.workloads.base import Workload
+
+
+def _wl(name: str, setup: str, kernel: str, description: str) -> Workload:
+    return Workload(
+        name=name, suite="nas", setup=setup, kernel=kernel, description=description
+    )
+
+
+NAS: List[Workload] = [
+    _wl(
+        "mxm",
+        """
+        float ma[32][32], mb[32][32], mc[32][32];
+        for (i = 0; i < 32; i++) {
+            for (j = 0; j < 32; j++) {
+                ma[i][j] = 0.0;
+                mb[i][j] = 0.01 * (i + j) + 1.0;
+                mc[i][j] = 0.02 * (i - j) + 2.0;
+            }
+        }
+        """,
+        """
+        for (i = 0; i < 32; i++) {
+            for (k = 0; k < 32; k++) {
+                for (j = 0; j < 32; j++) {
+                    ma[i][j] = ma[i][j] + mb[i][k] * mc[k][j];
+                }
+            }
+        }
+        """,
+        "MXM: matrix multiply, ikj order (parallel inner loop)",
+    ),
+    _wl(
+        "cfft2d",
+        """
+        float re[256], im[256], wr[256], wi[256];
+        for (i = 0; i < 256; i++) {
+            re[i] = 0.01 * i + 1.0;
+            im[i] = 0.5 - 0.003 * i;
+            wr[i] = 0.8; wi[i] = 0.6;
+        }
+        float tr, ti;
+        """,
+        """
+        for (k = 0; k < 120; k++) {
+            tr = wr[k] * re[k+128] - wi[k] * im[k+128];
+            ti = wr[k] * im[k+128] + wi[k] * re[k+128];
+            re[k+128] = re[k] - tr;
+            im[k+128] = im[k] - ti;
+            re[k] = re[k] + tr;
+            im[k] = im[k] + ti;
+        }
+        """,
+        "CFFT2D: one radix-2 butterfly stage (big parallel body)",
+    ),
+    _wl(
+        "cholsky",
+        """
+        float ch[64][64];
+        for (i = 0; i < 64; i++) {
+            for (j = 0; j < 64; j++) {
+                ch[i][j] = 0.001 * (i * 64 + j) + 1.0;
+            }
+        }
+        """,
+        """
+        for (j = 1; j < 60; j++) {
+            for (i = 1; i < 60; i++) {
+                ch[i][j] = ch[i][j] - ch[i][j-1] * ch[i-1][j];
+            }
+        }
+        """,
+        "CHOLSKY: factorization update (carried deps in both dims)",
+    ),
+    _wl(
+        "btrix",
+        """
+        float bt1[200], bt2[200], bt3[200], bt4[200], bt5[200];
+        for (i = 0; i < 200; i++) {
+            bt1[i] = 0.01 * i + 1.0;
+            bt2[i] = 0.5 + 0.002 * i;
+            bt3[i] = 1.5 - 0.001 * i;
+            bt4[i] = 0.25; bt5[i] = 0.0;
+        }
+        """,
+        """
+        for (j = 1; j < 180; j++) {
+            bt5[j] = bt1[j] * bt2[j] + bt3[j] * bt4[j]
+                   + bt1[j+1] * bt2[j-1] + bt3[j+1] * bt4[j-1];
+        }
+        """,
+        "BTRIX: block-tridiagonal row combine (wide fma body)",
+    ),
+    _wl(
+        "gmtry",
+        """
+        float gm[64][64], rhs[64];
+        for (i = 0; i < 64; i++) {
+            rhs[i] = 0.3 * i + 1.0;
+            for (j = 0; j < 64; j++) {
+                gm[i][j] = 0.002 * (i + 2 * j) + 1.0;
+            }
+        }
+        """,
+        """
+        for (i = 1; i < 60; i++) {
+            for (j = 0; j < 60; j++) {
+                gm[i][j] = gm[i][j] - gm[i-1][j] * 0.37;
+            }
+        }
+        """,
+        "GMTRY: Gaussian elimination sweep (parallel inner loop)",
+    ),
+    _wl(
+        "emit",
+        """
+        float ex[256], ey[256], gam[256];
+        for (i = 0; i < 256; i++) {
+            ex[i] = 0.01 * i; ey[i] = 0.5 - 0.001 * i;
+            gam[i] = 0.002 * i + 0.1;
+        }
+        """,
+        """
+        for (i = 0; i < 200; i++) {
+            ex[i] = ex[i] + gam[i] * (ey[i+1] - ey[i]) * 0.5;
+            ey[i] = ey[i] + gam[i] * (ex[i+1] - ex[i]) * 0.5;
+        }
+        """,
+        "EMIT: vortex update (cross-coupled streams)",
+    ),
+    _wl(
+        "vpenta",
+        """
+        float va[256], vb[256], vc[256], vd[256], ve[256], vf[256];
+        for (i = 0; i < 256; i++) {
+            va[i] = 0.01 * i + 2.0; vb[i] = 0.5;
+            vc[i] = 1.0 + 0.002 * i; vd[i] = 0.25;
+            ve[i] = 0.1 * i; vf[i] = 0.0;
+        }
+        """,
+        """
+        for (i = 2; i < 250; i++) {
+            vf[i] = (ve[i] - va[i] * vf[i-2] - vb[i] * vf[i-1]) / vc[i];
+        }
+        """,
+        "VPENTA: pentadiagonal back-substitution (distance-1/2 recurrence)",
+    ),
+]

@@ -1,0 +1,123 @@
+"""STONE benchmark loops.
+
+The paper cites "the STONE benchmark" without a reference; the loops
+here follow the classic *-stone* (Whetstone/Dhrystone-style) module
+structure — array arithmetic modules, conditional modules, integer
+modules and a trigonometric-flavoured module — restricted to the C
+subset.  What matters for the reproduction is the population's mix of
+MI counts, memory-ref ratios and control flow, which these preserve.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.workloads.base import Workload
+
+N = 220
+_SETUP = f"""
+float e1[512], e2[512], e3[512], e4[512];
+float t1 = 0.499975, t2 = 2.0;
+for (i = 0; i < 512; i++) {{
+    e1[i] = 1.0 + 0.002 * i;
+    e2[i] = -1.0 + 0.003 * i;
+    e3[i] = 0.5 - 0.001 * i;
+    e4[i] = 0.25 + 0.0005 * i;
+}}
+"""
+
+
+def _wl(name: str, kernel: str, description: str, setup: str = _SETUP) -> Workload:
+    return Workload(
+        name=name, suite="stone", setup=setup, kernel=kernel, description=description
+    )
+
+
+STONE: List[Workload] = [
+    _wl(
+        "stone1",
+        f"""
+        for (i = 0; i < {N}; i++) {{
+            e1[i] = (e1[i] + e2[i] + e3[i] - e4[i]) * t1;
+            e2[i] = (e1[i] + e2[i] - e3[i] + e4[i]) * t1;
+        }}
+        """,
+        "module 1: coupled array arithmetic",
+    ),
+    _wl(
+        "stone2",
+        f"""
+        for (i = 0; i < {N}; i++) {{
+            e3[i] = (e1[i+1] - e2[i]) * t1;
+            e4[i] = (e1[i] + e2[i+1]) * t1;
+            e1[i] = e3[i] * 0.5 + e4[i] * 0.5;
+        }}
+        """,
+        "module 2: three-statement pipeline-friendly body",
+    ),
+    _wl(
+        "stone3",
+        f"""
+        for (i = 1; i < {N}; i++)
+            e2[i] = e2[i-1] * t1 + e1[i];
+        """,
+        "module 3: first-order recurrence",
+    ),
+    _wl(
+        "stone4",
+        f"""
+        for (i = 0; i < {N}; i++) {{
+            if (e1[i] > 0.0) {{
+                e2[i] = e1[i] * t1;
+            }} else {{
+                e2[i] = e1[i] * t2;
+            }}
+        }}
+        """,
+        "module 4: conditional select body",
+    ),
+    _wl(
+        "stone5",
+        f"""
+        int k5 = 0;
+        for (i = 0; i < {N}; i++) {{
+            k5 = k5 + 1;
+            if (k5 > 9) k5 = k5 - 10;
+            e3[i] = e3[i] + 0.125 * k5;
+        }}
+        """,
+        "module 5: integer counter + float update",
+    ),
+    _wl(
+        "stone6",
+        f"""
+        for (i = 0; i < {N}; i++) {{
+            e4[i] = t1 * (e1[i] * e1[i] + e2[i] * e2[i])
+                  + t2 * (e3[i] * e3[i] + 0.5 * e1[i] * e2[i]);
+        }}
+        """,
+        "module 6: arithmetic-dense body (trig module's FP load)",
+    ),
+    _wl(
+        "stone7",
+        f"""
+        for (i = 0; i < {N}; i++) {{
+            e1[i] = e2[i];
+            e2[i] = e3[i];
+            e3[i] = e1[i];
+        }}
+        """,
+        "module 7: pure copies — high memory-ref ratio (filter case)",
+    ),
+    _wl(
+        "stone8",
+        f"""
+        float s8 = 1.0;
+        for (i = 0; i < {N}; i++) {{
+            s8 = (s8 + e1[i] * t1) * 0.9995;
+            e4[i] = s8;
+        }}
+        """,
+        "module 8: scalar chain feeding stores",
+    ),
+]

@@ -1,0 +1,106 @@
+"""Unit tests for affine subscript normalization."""
+
+from repro.analysis.affine import AffineExpr, analyze_subscript
+from repro.lang import parse_expr
+
+
+def sub(text, var="i"):
+    return analyze_subscript(parse_expr(text), var)
+
+
+class TestBasicForms:
+    def test_constant(self):
+        assert sub("3") == AffineExpr.constant(3)
+
+    def test_negative_constant(self):
+        assert sub("-2") == AffineExpr.constant(-2)
+
+    def test_index(self):
+        assert sub("i") == AffineExpr.index()
+
+    def test_other_var_is_symbol(self):
+        assert sub("j") == AffineExpr.symbol("j")
+
+    def test_index_plus_constant(self):
+        assert sub("i + 1") == AffineExpr(1, 1)
+
+    def test_index_minus_constant(self):
+        assert sub("i - 3") == AffineExpr(1, -3)
+
+    def test_scaled_index(self):
+        assert sub("2 * i") == AffineExpr(2, 0)
+
+    def test_index_times_constant_right(self):
+        assert sub("i * 4") == AffineExpr(4, 0)
+
+    def test_full_affine(self):
+        assert sub("2 * i + j - 5") == AffineExpr(2, -5, (("j", 1),))
+
+    def test_negated_index(self):
+        assert sub("-i") == AffineExpr(-1, 0)
+
+    def test_subtraction_of_index(self):
+        assert sub("10 - i") == AffineExpr(-1, 10)
+
+    def test_nested_parens(self):
+        assert sub("2 * (i + 1)") == AffineExpr(2, 2)
+
+    def test_symbol_coefficient(self):
+        assert sub("3 * n + i") == AffineExpr(1, 0, (("n", 3),))
+
+    def test_symbol_cancellation(self):
+        assert sub("j - j + i") == AffineExpr(1, 0)
+
+
+class TestNonAffine:
+    def test_index_squared(self):
+        assert sub("i * i") is None
+
+    def test_product_of_symbols(self):
+        assert sub("i * j") is None
+
+    def test_array_subscript(self):
+        assert sub("B[i]") is None
+
+    def test_modulo(self):
+        assert sub("i % 2") is None
+
+    def test_float_literal(self):
+        assert sub("1.5") is None
+
+    def test_call(self):
+        assert sub("f(i)") is None
+
+    def test_inexact_division(self):
+        assert sub("i / 2") is None
+
+    def test_exact_division(self):
+        assert sub("(4 * i + 8) / 2") == AffineExpr(2, 4)
+
+
+class TestArithmetic:
+    def test_add(self):
+        assert AffineExpr(1, 2) + AffineExpr(3, -1) == AffineExpr(4, 1)
+
+    def test_sub_cancels_symbols(self):
+        a = AffineExpr(1, 2, (("j", 1),))
+        b = AffineExpr(1, 0, (("j", 1),))
+        assert a - b == AffineExpr(0, 2)
+
+    def test_scale(self):
+        assert AffineExpr(2, 3, (("j", 1),)).scale(-2) == AffineExpr(
+            -4, -6, (("j", -2),)
+        )
+
+    def test_same_shape(self):
+        assert AffineExpr(1, 2, (("j", 1),)).same_shape(AffineExpr(1, 9, (("j", 1),)))
+        assert not AffineExpr(1, 2).same_shape(AffineExpr(2, 2))
+
+    def test_is_constant(self):
+        assert AffineExpr(0, 7).is_constant
+        assert not AffineExpr(1, 0).is_constant
+        assert not AffineExpr(0, 0, (("j", 1),)).is_constant
+
+    def test_canonical_zero_coeff_symbols_removed(self):
+        a = AffineExpr.symbol("j") - AffineExpr.symbol("j")
+        assert a.syms == ()

@@ -1,0 +1,153 @@
+"""Unit tests for the array dependence tests."""
+
+import pytest
+
+from repro.analysis.affine import AffineExpr, analyze_subscript
+from repro.analysis.deptests import test_dependence as dep_test
+from repro.lang import parse_expr
+
+
+def subs(*texts, var="i"):
+    return tuple(analyze_subscript(parse_expr(t), var) for t in texts)
+
+
+class TestZIV:
+    def test_same_constant_conflicts_everywhere(self):
+        r = dep_test(subs("0"), subs("0"))
+        assert r.exists and r.all_distances
+
+    def test_different_constants_independent(self):
+        r = dep_test(subs("0"), subs("1"))
+        assert not r.exists
+
+    def test_same_symbol_conflicts(self):
+        r = dep_test(subs("j"), subs("j"))
+        assert r.exists and r.all_distances
+
+    def test_symbol_plus_offset_independent(self):
+        r = dep_test(subs("j"), subs("j + 1"))
+        assert not r.exists
+
+    def test_different_symbols_unknown(self):
+        r = dep_test(subs("j"), subs("k"))
+        assert r.exists and not r.exact
+
+
+class TestStrongSIV:
+    def test_distance_one(self):
+        # A[i] (write) vs A[i-1] (read): read at iter i+1 touches what
+        # the write produced at iter i -> delta = +1.
+        r = dep_test(subs("i"), subs("i - 1"))
+        assert r.is_constant and r.distance == 1
+
+    def test_distance_negative(self):
+        r = dep_test(subs("i"), subs("i + 2"))
+        assert r.is_constant and r.distance == -2
+
+    def test_distance_zero(self):
+        r = dep_test(subs("i"), subs("i"))
+        assert r.is_constant and r.distance == 0
+
+    def test_scaled_integral(self):
+        r = dep_test(subs("2 * i"), subs("2 * i - 4"))
+        assert r.is_constant and r.distance == 2
+
+    def test_scaled_nonintegral_independent(self):
+        r = dep_test(subs("2 * i"), subs("2 * i + 1"))
+        assert not r.exists
+
+    def test_symbolic_offset_cancels(self):
+        r = dep_test(subs("i + j"), subs("i + j - 1"))
+        assert r.is_constant and r.distance == 1
+
+    def test_symbolic_mismatch_unknown(self):
+        r = dep_test(subs("i + j"), subs("i + k"))
+        assert r.exists and not r.exact
+
+
+class TestStep:
+    def test_step_two_halves_distance(self):
+        r = dep_test(subs("i"), subs("i - 4"), step=2)
+        assert r.is_constant and r.distance == 2
+
+    def test_step_two_odd_delta_independent(self):
+        r = dep_test(subs("i"), subs("i - 3"), step=2)
+        assert not r.exists
+
+    def test_negative_step(self):
+        # Downward loop: i, i-1, ...; A[i] written then A[i+1] read one
+        # iteration later.
+        r = dep_test(subs("i"), subs("i + 1"), step=-1)
+        assert r.is_constant and r.distance == 1
+
+    def test_zero_step_rejected(self):
+        with pytest.raises(ValueError):
+            dep_test(subs("i"), subs("i"), step=0)
+
+
+class TestBounds:
+    def test_distance_beyond_trip_count_killed(self):
+        r = dep_test(subs("i"), subs("i - 100"), lo=0, hi=50)
+        assert not r.exists
+
+    def test_distance_within_trip_count_kept(self):
+        r = dep_test(subs("i"), subs("i - 10"), lo=0, hi=50)
+        assert r.is_constant and r.distance == 10
+
+    def test_unbounded_keeps_dependence(self):
+        r = dep_test(subs("i"), subs("i - 100"))
+        assert r.exists
+
+
+class TestWeakSIVAndFM:
+    def test_nonconstant_distance_unknown(self):
+        # A[i] vs A[2i]: conflicts exist but at varying distances.
+        r = dep_test(subs("i"), subs("2 * i"), lo=0, hi=100)
+        assert r.exists and not r.exact
+
+    def test_fm_refutes_parity(self):
+        # 2i vs 2i'+1: never equal.
+        r = dep_test(subs("2 * i"), subs("2 * i + 1"))
+        assert not r.exists
+
+    def test_fm_refutes_disjoint_ranges(self):
+        # i in [0,10); 2i' + 100 >= 100 > 9: no conflict within bounds.
+        r = dep_test(subs("i"), subs("2 * i + 100"), lo=0, hi=10)
+        assert not r.exists
+
+    def test_multidim_consistent(self):
+        r = dep_test(subs("i", "0"), subs("i - 1", "0"))
+        assert r.is_constant and r.distance == 1
+
+    def test_multidim_conflicting_distances_independent(self):
+        # dim0 demands delta=1, dim1 demands delta=2: impossible.
+        r = dep_test(subs("i", "i"), subs("i - 1", "i - 2"))
+        assert not r.exists
+
+    def test_multidim_different_const_dim_independent(self):
+        r = dep_test(subs("i", "0"), subs("i", "1"))
+        assert not r.exists
+
+    def test_rank_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            dep_test(subs("i"), subs("i", "0"))
+
+
+class TestPaperExamples:
+    def test_recurrence_a_i_minus_1(self):
+        # A[i] += A[i-1]: the Fig. 6 self dependence, distance 1.
+        r = dep_test(subs("i"), subs("i - 1"))
+        assert r.distance == 1
+
+    def test_read_ahead_is_anti(self):
+        # A[i] written, A[i+2] read: read of iter i touches the element
+        # written at iter i+2 -> delta -2 (anti when roles applied).
+        r = dep_test(subs("i"), subs("i + 2"))
+        assert r.distance == -2
+
+    def test_mi_with_two_distances(self):
+        # §3.6: edge with several <distance, delay> pairs comes from two
+        # reference pairs; each is tested independently.
+        r1 = dep_test(subs("i"), subs("i - 2"))
+        r2 = dep_test(subs("i"), subs("i - 3"))
+        assert (r1.distance, r2.distance) == (2, 3)

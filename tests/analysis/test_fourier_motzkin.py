@@ -1,0 +1,128 @@
+"""Unit tests for the integer feasibility core (omega-lite)."""
+
+from repro.analysis.fourier_motzkin import (
+    FEASIBLE,
+    INFEASIBLE,
+    MAYBE,
+    IntegerSystem,
+    is_feasible,
+)
+
+
+class TestEqualities:
+    def test_trivially_feasible(self):
+        s = IntegerSystem()
+        s.add_eq({"x": 1}, -5)  # x = 5
+        assert is_feasible(s) == FEASIBLE
+
+    def test_contradictory_constants(self):
+        s = IntegerSystem()
+        s.add_eq({}, 3)  # 3 = 0
+        assert is_feasible(s) == INFEASIBLE
+
+    def test_gcd_test_refutes(self):
+        s = IntegerSystem()
+        s.add_eq({"x": 2, "y": 4}, 1)  # 2x + 4y + 1 = 0: parity
+        assert is_feasible(s) == INFEASIBLE
+
+    def test_gcd_passes_then_feasible(self):
+        s = IntegerSystem()
+        s.add_eq({"x": 2, "y": 4}, 2)  # x = -1 - 2y works
+        assert is_feasible(s) == FEASIBLE
+
+    def test_substitution_chain(self):
+        s = IntegerSystem()
+        s.add_eq({"x": 1, "y": -1})  # x = y
+        s.add_eq({"y": 1}, -7)  # y = 7
+        s.add_ge({"x": 1}, -7)  # x >= 7
+        assert is_feasible(s) == FEASIBLE
+
+    def test_substitution_reveals_contradiction(self):
+        s = IntegerSystem()
+        s.add_eq({"x": 1, "y": -1})  # x = y
+        s.add_ge({"x": 1, "y": -1}, -1)  # x - y >= 1  -> 0 >= 1
+        assert is_feasible(s) == INFEASIBLE
+
+
+class TestInequalities:
+    def test_empty_system(self):
+        assert is_feasible(IntegerSystem()) == FEASIBLE
+
+    def test_simple_interval(self):
+        s = IntegerSystem()
+        s.add_ge({"x": 1})  # x >= 0
+        s.add_ge({"x": -1}, 10)  # x <= 10
+        assert is_feasible(s) == FEASIBLE
+
+    def test_empty_interval(self):
+        s = IntegerSystem()
+        s.add_ge({"x": 1}, -5)  # x >= 5
+        s.add_ge({"x": -1}, 3)  # x <= 3
+        assert is_feasible(s) == INFEASIBLE
+
+    def test_two_variable_chain(self):
+        s = IntegerSystem()
+        s.add_ge({"x": 1, "y": -1})  # x >= y
+        s.add_ge({"y": 1}, -3)  # y >= 3
+        s.add_ge({"x": -1}, 2)  # x <= 2
+        assert is_feasible(s) == INFEASIBLE
+
+    def test_integer_hole_detected_or_maybe(self):
+        # 2 <= 2x <= 3 has no integer solution; real shadow is feasible.
+        # Dark shadow (a=b=2) is infeasible, so the verdict must not be
+        # a false FEASIBLE.
+        s = IntegerSystem()
+        s.add_ge({"x": 2}, -2)  # 2x >= 2  -> x >= 1 ... wait: 2x - 2 >= 0
+        s.add_ge({"x": -2}, 3)  # 3 - 2x >= 0 -> x <= 1.5
+        # x = 1 is integral and satisfies both; ensure FEASIBLE.
+        assert is_feasible(s) == FEASIBLE
+
+    def test_true_integer_hole(self):
+        # 3 <= 2x <= 3: only x = 1.5.
+        s = IntegerSystem()
+        s.add_ge({"x": 2}, -3)
+        s.add_ge({"x": -2}, 3)
+        assert is_feasible(s) in (INFEASIBLE, MAYBE)
+        # Normalization tightens 2x >= 3 to x >= 2 and 2x <= 3 to x <= 1,
+        # so this specific hole is proven infeasible.
+        assert is_feasible(s) == INFEASIBLE
+
+    def test_unbounded_variable(self):
+        s = IntegerSystem()
+        s.add_ge({"x": 1, "y": 1})  # x + y >= 0: always satisfiable
+        assert is_feasible(s) == FEASIBLE
+
+
+class TestDependenceShapedSystems:
+    def test_siv_conflict(self):
+        # i1 = i2 - 1, 0 <= i1,i2 < 100.
+        s = IntegerSystem()
+        s.add_eq({"i1": 1, "i2": -1}, 1)
+        s.add_ge({"i1": 1})
+        s.add_ge({"i2": 1})
+        s.add_ge({"i1": -1}, 99)
+        s.add_ge({"i2": -1}, 99)
+        assert is_feasible(s) == FEASIBLE
+
+    def test_siv_out_of_range(self):
+        # i1 = i2 - 200 cannot hold within [0, 100).
+        s = IntegerSystem()
+        s.add_eq({"i1": 1, "i2": -1}, 200)
+        s.add_ge({"i1": 1})
+        s.add_ge({"i2": 1})
+        s.add_ge({"i1": -1}, 99)
+        s.add_ge({"i2": -1}, 99)
+        assert is_feasible(s) == INFEASIBLE
+
+    def test_coupled_subscripts(self):
+        # A[i, i] vs A[j, j+1]: i = j and i = j+1 simultaneously.
+        s = IntegerSystem()
+        s.add_eq({"i": 1, "j": -1})
+        s.add_eq({"i": 1, "j": -1}, -1)
+        assert is_feasible(s) == INFEASIBLE
+
+    def test_variables_listing(self):
+        s = IntegerSystem()
+        s.add_eq({"b": 1, "a": 2})
+        s.add_ge({"c": 1})
+        assert s.variables() == ["a", "b", "c"]

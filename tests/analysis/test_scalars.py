@@ -1,0 +1,97 @@
+"""Unit tests for scalar dependence analysis with kill analysis."""
+
+from repro.analysis.scalars import ScalarDep, scalar_dependences
+from repro.lang import parse_program
+
+
+def deps(source, index_var="i"):
+    prog = parse_program(source)
+    return scalar_dependences(list(prog.body), index_var)
+
+
+def has(edges, kind, src, dst, var, distance):
+    return ScalarDep(kind, src, dst, var, distance) in edges
+
+
+class TestFlowDeps:
+    def test_intra_iteration_flow(self):
+        edges = deps("t = A[i]; B[i] = t;")
+        assert has(edges, "flow", 0, 1, "t", 0)
+
+    def test_def_kills_loop_carried_flow(self):
+        # t's previous-iteration value is overwritten before the use.
+        edges = deps("t = A[i]; B[i] = t;")
+        assert not has(edges, "flow", 0, 1, "t", 1)
+
+    def test_accumulator_self_flow(self):
+        edges = deps("s = s + A[i];")
+        assert has(edges, "flow", 0, 0, "s", 1)
+
+    def test_use_before_def_is_loop_carried(self):
+        edges = deps("B[i] = t; t = A[i];")
+        assert has(edges, "flow", 1, 0, "t", 1)
+        assert not has(edges, "flow", 1, 0, "t", 0)
+
+    def test_kill_between_defs(self):
+        edges = deps("t = A[i]; t = B[i]; C[i] = t;")
+        assert has(edges, "flow", 1, 2, "t", 0)
+        assert not has(edges, "flow", 0, 2, "t", 0)
+
+
+class TestAntiDeps:
+    def test_intra_iteration_anti(self):
+        edges = deps("B[i] = t; t = A[i];")
+        assert has(edges, "anti", 0, 1, "t", 0)
+
+    def test_loop_carried_anti(self):
+        # Use at MI1 (of t defined in MI0) then MI0 redefines next iter.
+        edges = deps("t = A[i]; B[i] = t;")
+        assert has(edges, "anti", 1, 0, "t", 1)
+
+    def test_compound_assign_is_use_and_def(self):
+        edges = deps("s += A[i];")
+        assert has(edges, "anti", 0, 0, "s", 1)
+        assert has(edges, "output", 0, 0, "s", 1)
+
+
+class TestOutputDeps:
+    def test_intra_iteration_output(self):
+        edges = deps("t = A[i]; t = B[i];")
+        assert has(edges, "output", 0, 1, "t", 0)
+
+    def test_loop_carried_output_self(self):
+        edges = deps("t = A[i]; B[i] = t;")
+        assert has(edges, "output", 0, 0, "t", 1)
+
+
+class TestPredication:
+    def test_conditional_def_does_not_kill(self):
+        # if (c) t = A[i]; preserves the previous t when c is false, so
+        # the loop-carried flow from MI0's def to MI2's use survives the
+        # conditional def at MI1.
+        edges = deps("t = A[i]; if (c) t = B[i]; C[i] = t;", index_var="i")
+        assert has(edges, "flow", 0, 2, "t", 0)
+        assert has(edges, "flow", 1, 2, "t", 0)
+
+    def test_conditional_self_flow(self):
+        # if (max < arr[i]) max = arr[i]: max flows across iterations.
+        edges = deps("if (max < arr[i]) max = arr[i];")
+        assert has(edges, "flow", 0, 0, "max", 1)
+
+
+class TestIndexVarExcluded:
+    def test_index_var_generates_no_edges(self):
+        edges = deps("A[i] = i; B[i] = i;")
+        assert all(e.var != "i" for e in edges)
+
+    def test_index_increment_excluded(self):
+        # lw++ style statements over the *index* don't self-depend here,
+        # but a non-index counter does.
+        edges = deps("lw = lw + 1;")
+        assert has(edges, "flow", 0, 0, "lw", 1)
+
+
+class TestReadOnlyScalars:
+    def test_pure_reads_no_edges(self):
+        edges = deps("A[i] = c * B[i];")
+        assert edges == []

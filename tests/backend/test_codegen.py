@@ -1,0 +1,181 @@
+"""Codegen tests: LIR output validated against the source interpreter."""
+
+import numpy as np
+import pytest
+
+from repro.backend.codegen import CodegenError, compile_to_lir
+from repro.lang import parse_program
+from repro.sim.interp import run_program, state_equal
+from repro.sim.lir_interp import run_module
+
+
+def roundtrip(source, env=None, predication=False):
+    prog = parse_program(source)
+    expected = run_program(prog, env=env)
+    module = compile_to_lir(prog, use_predication=predication)
+    actual = run_module(module, env=env)
+    assert state_equal(expected, actual), source
+    return module
+
+
+class TestExpressions:
+    def test_arithmetic(self):
+        roundtrip("x = 1 + 2 * 3 - 4;")
+
+    def test_float_arithmetic(self):
+        roundtrip("x = 1.5 * 2.0 + 0.25;")
+
+    def test_division_semantics(self):
+        roundtrip("int a; a = -7 / 2; int b; b = -7 % 2; c = 7.0 / 2.0;")
+
+    def test_comparisons_and_logic(self):
+        roundtrip("a = (1 < 2) && (3 >= 3); b = (1 == 2) || !(0 != 0);")
+
+    def test_ternary(self):
+        roundtrip("x = 1 ? 10 : 20; y = 0 ? 10 : 20;")
+
+    def test_unary(self):
+        roundtrip("x = -5; y = -2.5; z = !3;")
+
+    def test_intrinsics(self):
+        roundtrip("a = max(2, 7); b = min(2, 7); c = abs(0 - 4); d = sqrt(16.0);")
+
+    def test_float_to_int_truncation(self):
+        roundtrip("int k; k = 7.9; int m; m = 0.0 - 7.9;")
+
+
+class TestArrays:
+    def test_1d_load_store(self):
+        roundtrip("float A[8]; A[3] = 1.5; x = A[3];")
+
+    def test_constant_index_folds_to_disp(self):
+        module = roundtrip("float A[8]; A[3] = 1.0;")
+        stores = [i for i in module.all_instrs() if i.op == "st"]
+        assert stores[0].disp == 3
+        assert stores[0].srcs[1:] == ()  # no index register needed
+
+    def test_offset_folds_to_disp(self):
+        module = roundtrip(
+            "float A[8]; for (i = 0; i < 6; i++) A[i + 2] = 1.0;"
+        )
+        stores = [i for i in module.all_instrs() if i.op == "st"]
+        assert stores[0].disp == 2
+
+    def test_2d_row_major(self):
+        roundtrip(
+            "float X[3][4]; X[2][3] = 7.0; x = X[2][3];"
+        )
+
+    def test_2d_flattening_matches_interpreter(self):
+        roundtrip(
+            """
+            float X[4][5];
+            for (i = 0; i < 4; i++) {
+                for (j = 0; j < 5; j++) {
+                    X[i][j] = i * 10 + j;
+                }
+            }
+            s = 0.0;
+            for (i = 0; i < 4; i++) s = s + X[i][2];
+            """
+        )
+
+    def test_int_array(self):
+        roundtrip("int A[4]; A[0] = 3; A[1] = A[0] * 2; x = A[1];")
+
+    def test_undeclared_array_rejected(self):
+        with pytest.raises(CodegenError):
+            compile_to_lir(parse_program("x = B[0];"))
+
+    def test_rank_mismatch_rejected(self):
+        with pytest.raises(CodegenError):
+            compile_to_lir(parse_program("float A[4]; x = A[0][1];"))
+
+
+class TestIVAnnotations:
+    def test_simple_loop_annotated(self):
+        module = roundtrip(
+            "float A[16]; for (i = 0; i < 16; i++) A[i] = 1.0;"
+        )
+        stores = [i for i in module.all_instrs() if i.op == "st" and i.array == "A"]
+        assert all(s.iv is not None and s.iv.coeff == 1 for s in stores)
+
+    def test_offset_in_annotation(self):
+        module = roundtrip(
+            "float A[16]; for (i = 0; i < 12; i++) A[i + 3] = 1.0;"
+        )
+        stores = [i for i in module.all_instrs() if i.op == "st" and i.array == "A"]
+        assert stores[0].iv.offset == 3
+
+    def test_symbolic_subscript_not_annotated(self):
+        module = roundtrip(
+            "float A[32]; j = 2; for (i = 0; i < 8; i++) A[i + j] = 1.0;"
+        )
+        stores = [i for i in module.all_instrs() if i.op == "st" and i.array == "A"]
+        assert stores[0].iv is None
+
+
+class TestControlFlow:
+    def test_if_else(self):
+        roundtrip("x = 5; if (x > 3) y = 1; else y = 2;")
+        roundtrip("x = 1; if (x > 3) y = 1; else y = 2;")
+
+    def test_nested_if(self):
+        roundtrip(
+            "x = 5; if (x > 0) { if (x > 10) y = 1; else y = 2; } else y = 3;"
+        )
+
+    def test_while(self):
+        roundtrip("int k = 100; n = 0; while (k > 1) { k = k / 3; n++; }")
+
+    def test_for_with_break_continue(self):
+        roundtrip(
+            "c = 0; for (i = 0; i < 20; i++) {"
+            " if (i % 3 == 0) continue; if (i > 11) break; c++; }"
+        )
+
+    def test_loop_metadata_recorded(self):
+        module = roundtrip(
+            "float A[8]; for (i = 0; i < 8; i++) A[i] = 1.0;"
+        )
+        assert len(module.loops) == 1
+        assert module.loops[0].step == 1
+
+    def test_branchy_body_not_ims_candidate(self):
+        module = roundtrip(
+            "float A[8]; for (i = 0; i < 8; i++) { if (i > 2) A[i] = 1.0; }"
+        )
+        assert module.loops == []
+
+
+class TestPredication:
+    def test_scalar_select(self):
+        for x in (1.0, -1.0):
+            prog = parse_program("if (x > 0.0) y = 1.0; else { }")
+            # else-less single assign becomes select under predication
+            module = compile_to_lir(
+                parse_program("y = 5.0; if (x > 0.0) y = 1.0;"),
+                use_predication=True,
+            )
+            out = run_module(module, env={"x": x})
+            assert out["y"] == (1.0 if x > 0 else 5.0)
+
+    def test_predicated_store(self):
+        src = (
+            "float A[4]; A[1] = 9.0;"
+            "if (c > 0) A[1] = 1.0;"
+        )
+        for c in (1, -1):
+            module = compile_to_lir(parse_program(src), use_predication=True)
+            out = run_module(module, env={"c": c})
+            assert out["A"][1] == (1.0 if c > 0 else 9.0)
+
+    def test_predication_keeps_loop_single_block(self):
+        src = (
+            "float A[16], B[16];"
+            "for (i = 0; i < 16; i++) { if (B[i] > 0.0) A[i] = B[i]; }"
+        )
+        module = compile_to_lir(parse_program(src), use_predication=True)
+        assert len(module.loops) == 1
+        plain = compile_to_lir(parse_program(src), use_predication=False)
+        assert plain.loops == []

@@ -1,0 +1,96 @@
+"""Codegen error paths and miscellaneous lowering corners."""
+
+import pytest
+
+from repro.backend.codegen import CodegenError, compile_to_lir
+from repro.lang import parse_program
+from repro.sim.interp import run_program, state_equal
+from repro.sim.lir_interp import run_module
+
+
+class TestErrors:
+    def test_float_modulo_rejected(self):
+        with pytest.raises(CodegenError):
+            compile_to_lir(parse_program("x = 1.5; y = x % 2;"))
+
+    def test_break_outside_loop_rejected(self):
+        from repro.lang.ast_nodes import Break, Program
+
+        with pytest.raises(CodegenError):
+            compile_to_lir(Program([Break()]))
+
+    def test_continue_outside_loop_rejected(self):
+        from repro.lang.ast_nodes import Continue, Program
+
+        with pytest.raises(CodegenError):
+            compile_to_lir(Program([Continue()]))
+
+
+class TestCorners:
+    def roundtrip(self, source, env=None):
+        prog = parse_program(source)
+        expected = run_program(prog, env=env)
+        module = compile_to_lir(prog)
+        assert state_equal(expected, run_module(module, env=env)), source
+
+    def test_pargroup_lowering(self):
+        from repro import SLMSOptions, slms
+
+        source = """
+        float A[32], B[32];
+        for (i = 0; i < 32; i++) B[i] = i;
+        for (i = 0; i < 30; i++) { A[i] = B[i] * 2.0; B[i] = A[i] + 1.0; }
+        """
+        outcome = slms(source, SLMSOptions(enable_filter=False))
+        prog = outcome.program
+        expected = run_program(prog)
+        module = compile_to_lir(prog)
+        assert state_equal(expected, run_module(module))
+
+    def test_negative_disp_address(self):
+        # A[i-2] with i >= 2: negative displacement addressing.
+        self.roundtrip(
+            "float A[16]; for (i = 2; i < 16; i++) A[i-2] = i * 1.0;"
+        )
+
+    def test_scaled_subscript(self):
+        self.roundtrip(
+            "float A[32]; for (i = 0; i < 15; i++) A[2*i] = i * 0.5;"
+        )
+
+    def test_symbolic_plus_iv_subscript(self):
+        self.roundtrip(
+            "float A[32]; int j = 3;"
+            "for (i = 0; i < 20; i++) A[i + j] = i * 1.0;"
+        )
+
+    def test_ternary_in_loop(self):
+        self.roundtrip(
+            "float A[16]; for (i = 0; i < 16; i++) "
+            "A[i] = i % 2 == 0 ? 1.0 : 2.0;"
+        )
+
+    def test_downward_loop(self):
+        self.roundtrip(
+            "float A[16]; for (i = 15; i > 2; i--) A[i] = i * 0.25;"
+        )
+
+    def test_spelled_out_step(self):
+        module = compile_to_lir(
+            parse_program(
+                "float A[32]; for (i = 0; i < 30; i = i + 2) A[i] = 1.0;"
+            )
+        )
+        assert module.loops and module.loops[0].step == 2
+
+    def test_deeply_nested_expressions(self):
+        self.roundtrip(
+            "x = ((1.0 + 2.0) * (3.0 - 0.5)) / (2.0 * (1.0 + 0.25));"
+        )
+
+    def test_logical_ops_lowering(self):
+        self.roundtrip(
+            "a = 1; b = 0;"
+            "c = a && b; d = a || b; e = !a;"
+            "f = (a < 2) && (b >= 0);"
+        )

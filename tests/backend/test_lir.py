@@ -1,0 +1,95 @@
+"""LIR data-structure tests: blocks, successors, module utilities."""
+
+import pytest
+
+from repro.backend.lir import Block, Instr, IVInfo, Module
+
+
+class TestInstr:
+    def test_op_class_mapping(self):
+        assert Instr(op="ld", array="A").op_class() == "mem"
+        assert Instr(op="st", array="A").op_class() == "mem"
+        assert Instr(op="fadd").op_class() == "fadd"
+        assert Instr(op="fmul").op_class() == "fmul"
+        assert Instr(op="mul").op_class() == "fmul"  # shares the multiplier
+        assert Instr(op="fdiv").op_class() == "div"
+        assert Instr(op="sqrt").op_class() == "div"
+        assert Instr(op="br").op_class() == "branch"
+        assert Instr(op="brt").op_class() == "branch"
+        assert Instr(op="add").op_class() == "alu"
+        assert Instr(op="select").op_class() == "alu"
+
+    def test_is_branch(self):
+        assert Instr(op="br").is_branch()
+        assert Instr(op="brf").is_branch()
+        assert Instr(op="brt").is_branch()
+        assert not Instr(op="add").is_branch()
+
+    def test_str_smoke(self):
+        text = str(Instr(op="ld", dst="v1", srcs=("v2",), array="A", disp=3))
+        assert "ld" in text and "A+3" in text
+
+
+class TestBlockSuccessors:
+    def test_fallthrough_only(self):
+        block = Block("a", [Instr(op="add", dst="v1", srcs=())])
+        assert block.successors("b") == ["b"]
+
+    def test_unconditional_branch_ends_flow(self):
+        block = Block("a", [Instr(op="br", label="x")])
+        assert block.successors("b") == ["x"]
+
+    def test_conditional_branch_keeps_fallthrough(self):
+        block = Block("a", [Instr(op="brf", srcs=("c",), label="x")])
+        assert block.successors("b") == ["x", "b"]
+
+    def test_brt_counts(self):
+        block = Block("a", [Instr(op="brt", srcs=("c",), label="x")])
+        assert "x" in block.successors("b")
+
+    def test_last_block_no_fallthrough(self):
+        block = Block("a", [])
+        assert block.successors(None) == []
+
+
+class TestModule:
+    def test_block_ordering_with_after(self):
+        module = Module()
+        module.new_block("a")
+        module.new_block("c", after="a")
+        module.new_block("b", after="a")
+        assert module.order == ["a", "b", "c"]
+
+    def test_duplicate_block_rejected(self):
+        module = Module()
+        module.new_block("a")
+        with pytest.raises(ValueError):
+            module.new_block("a")
+
+    def test_next_of(self):
+        module = Module()
+        module.new_block("a")
+        module.new_block("b")
+        assert module.next_of("a") == "b"
+        assert module.next_of("b") is None
+
+    def test_all_instrs_in_order(self):
+        module = Module()
+        a = module.new_block("a")
+        b = module.new_block("b")
+        a.emit(Instr(op="movi", dst="v1", imm=1))
+        b.emit(Instr(op="movi", dst="v2", imm=2))
+        ops = module.all_instrs()
+        assert [i.dst for i in ops] == ["v1", "v2"]
+
+    def test_dump_smoke(self):
+        module = Module()
+        module.new_block("entry").emit(Instr(op="movi", dst="v1", imm=7))
+        text = module.dump()
+        assert "entry:" in text and "movi" in text
+
+
+class TestIVInfo:
+    def test_fields(self):
+        info = IVInfo(iv="v3", coeff=2, offset=-1)
+        assert (info.iv, info.coeff, info.offset) == ("v3", 2, -1)

@@ -1,0 +1,249 @@
+"""List scheduler and machine-level IMS tests."""
+
+import pytest
+
+from repro.backend.codegen import compile_to_lir
+from repro.backend.compiler import FinalCompiler
+from repro.backend.ims import (
+    build_loop_dependences,
+    rec_mii,
+    res_mii,
+    run_ims,
+)
+from repro.backend.listsched import schedule_block, schedule_module
+from repro.backend.lir import Instr
+from repro.backend.rotate import rotate_loops
+from repro.lang import parse_program
+from repro.machines import arm7tdmi, itanium2, pentium
+from repro.sim.interp import run_program, state_equal
+from repro.sim.lir_interp import run_module
+
+
+def module_for(source, machine=None, rotate=False):
+    module = compile_to_lir(parse_program(source))
+    if rotate:
+        rotate_loops(module)
+    if machine is not None:
+        schedule_module(module, machine)
+    return module
+
+
+class TestListScheduling:
+    def test_schedule_covers_all_instructions(self):
+        module = module_for(
+            "float A[8], B[8]; for (i = 0; i < 8; i++) A[i] = B[i] + 1.0;",
+            itanium2(),
+        )
+        for name in module.order:
+            block = module.blocks[name]
+            scheduled = sorted(i for cycle in block.schedule for i in cycle)
+            assert scheduled == list(range(len(block.instrs)))
+
+    def test_wide_machine_packs_tighter(self):
+        src = (
+            "float A[8], B[8], C[8], D[8];"
+            "for (i = 0; i < 8; i++) {"
+            " A[i] = A[i] + 1.0; B[i] = B[i] + 2.0;"
+            " C[i] = C[i] + 3.0; D[i] = D[i] + 4.0; }"
+        )
+        wide = module_for(src, itanium2())
+        narrow = module_for(src, arm7tdmi())
+        body = lambda m: max(  # noqa: E731
+            b.schedule_length for b in m.blocks.values() if b.instrs
+        )
+        assert body(wide) < body(narrow)
+
+    def test_issue_width_respected(self):
+        module = module_for(
+            "float A[8]; for (i = 0; i < 8; i++) A[i] = A[i] + 1.0;",
+            arm7tdmi(),
+        )
+        for block in module.blocks.values():
+            for cycle in block.schedule or []:
+                assert len(cycle) <= 1
+
+    def test_unit_limits_respected(self):
+        machine = pentium()  # 1 mem port
+        module = module_for(
+            "float A[8], B[8], C[8];"
+            "for (i = 0; i < 8; i++) { A[i] = 1.0; B[i] = 2.0; C[i] = 3.0; }",
+            machine,
+        )
+        for block in module.blocks.values():
+            for cycle in block.schedule or []:
+                mems = sum(
+                    1
+                    for idx in cycle
+                    if block.instrs[idx].op_class() == "mem"
+                )
+                assert mems <= 1
+
+    def test_latency_respected_for_dependent_ops(self):
+        machine = itanium2()  # fmul latency 4
+        module = module_for("x = 2.0; y = x * x; z = y * y;", machine)
+        entry = module.blocks["entry"]
+        pos = {}
+        for cycle_idx, cycle in enumerate(entry.schedule):
+            for instr_idx in cycle:
+                pos[instr_idx] = cycle_idx
+        fmuls = [
+            i for i, ins in enumerate(entry.instrs) if ins.op == "fmul"
+        ]
+        assert pos[fmuls[1]] >= pos[fmuls[0]] + 4
+
+    def test_scheduling_preserves_semantics_via_execution(self):
+        # Scheduling never reorders the executed instruction list (it
+        # only assigns cycles), so functional equality must hold.
+        src = """
+        float A[16];
+        s = 0.0;
+        for (i = 0; i < 16; i++) { A[i] = i * 0.25; s = s + A[i]; }
+        """
+        expected = run_program(parse_program(src))
+        module = module_for(src, itanium2(), rotate=True)
+        assert state_equal(expected, run_module(module))
+
+
+class TestRotation:
+    def test_rotation_count(self):
+        module = compile_to_lir(
+            parse_program(
+                "float A[8]; for (i = 0; i < 8; i++) A[i] = 1.0;"
+            )
+        )
+        assert rotate_loops(module) == 1
+
+    def test_rotated_loop_still_correct(self):
+        src = (
+            "float A[9], B[9]; c = 0;"
+            "for (i = 0; i < 9; i++) { A[i] = B[i] * 2.0; c = c + 1; }"
+        )
+        expected = run_program(parse_program(src))
+        module = module_for(src, rotate=True)
+        assert state_equal(expected, run_module(module))
+
+    def test_rotated_body_ends_with_brt(self):
+        module = module_for(
+            "float A[8]; for (i = 0; i < 8; i++) A[i] = 1.0;", rotate=True
+        )
+        body = module.blocks[module.loops[0].body_block]
+        assert body.instrs[-1].op == "brt"
+
+    def test_zero_trip_guard_preserved(self):
+        src = "float A[8]; n = 0; for (i = 0; i < n; i++) A[i] = 1.0;"
+        expected = run_program(parse_program(src))
+        module = module_for(src, rotate=True)
+        assert state_equal(expected, run_module(module))
+
+
+class TestResMII:
+    def test_mem_bound(self):
+        machine = pentium()  # 1 mem port
+        instrs = [
+            Instr(op="ld", dst="v1", array="A", disp=0),
+            Instr(op="ld", dst="v2", array="A", disp=1),
+            Instr(op="ld", dst="v3", array="A", disp=2),
+        ]
+        assert res_mii(instrs, machine) == 3
+
+    def test_issue_width_bound(self):
+        machine = arm7tdmi()  # 1-wide
+        instrs = [Instr(op="add", dst=f"v{i}", srcs=()) for i in range(5)]
+        assert res_mii(instrs, machine) >= 5
+
+
+class TestRecMII:
+    def test_accumulator_recurrence(self):
+        # s = s + x each iteration: RecMII >= fadd latency.
+        machine = itanium2()
+        instrs = [
+            Instr(op="fadd", dst="s", srcs=("s", "x")),
+        ]
+        edges, _ = build_loop_dependences(instrs, 1, machine)
+        assert rec_mii(edges, 1) >= machine.latency("fadd")
+
+    def test_independent_ops_mii_1(self):
+        machine = itanium2()
+        instrs = [
+            Instr(op="add", dst="a", srcs=("b", "c")),
+            Instr(op="add", dst="d", srcs=("e", "f")),
+        ]
+        edges, _ = build_loop_dependences(instrs, 1, machine)
+        assert rec_mii(edges, 2) == 1
+
+    def test_memory_recurrence(self):
+        # A[i] written, A[i-1] read next iteration.
+        machine = itanium2()
+        instrs = [
+            Instr(
+                op="st",
+                srcs=("v", "i"),
+                array="A",
+                disp=0,
+                iv=__import__(
+                    "repro.backend.lir", fromlist=["IVInfo"]
+                ).IVInfo(iv="i", coeff=1, offset=0),
+            ),
+            Instr(
+                op="ld",
+                dst="w",
+                srcs=("i",),
+                array="A",
+                disp=-1,
+                iv=__import__(
+                    "repro.backend.lir", fromlist=["IVInfo"]
+                ).IVInfo(iv="i", coeff=1, offset=-1),
+            ),
+        ]
+        edges, precise = build_loop_dependences(instrs, 1, machine)
+        assert precise
+        assert any(e.distance == 1 for e in edges)
+
+
+class TestRunIMS:
+    def _compiled(self, source, machine, ims=True):
+        compiler = FinalCompiler(
+            machine, "icc_O3" if ims else "gcc_O3"
+        )
+        return compiler.compile(source)
+
+    def test_parallel_loop_gets_small_ii(self):
+        src = (
+            "float A[64], B[64];"
+            "for (i = 0; i < 64; i++) A[i] = B[i] * 2.0 + 1.0;"
+        )
+        compiled = self._compiled(src, itanium2())
+        assert compiled.ims_applied
+        report = next(r for r in compiled.ims_reports if r.success)
+        body = compiled.module.blocks[report.loop]
+        assert body.ims_ii < body.schedule_length
+
+    def test_big_loop_skipped(self):
+        machine = itanium2()
+        stmts = "".join(
+            f"A[i] = A[i] + {k}.0;\n" for k in range(30)
+        )
+        src = f"float A[64]; for (i = 0; i < 64; i++) {{ {stmts} }}"
+        compiled = self._compiled(src, machine)
+        skipped = [r for r in compiled.ims_reports if not r.attempted]
+        assert any("too large" in r.reason for r in skipped)
+
+    def test_ims_respects_recurrence(self):
+        src = (
+            "float A[64]; s = 0.0;"
+            "for (i = 0; i < 64; i++) s = s + A[i];"
+        )
+        compiled = self._compiled(src, itanium2())
+        for r in compiled.ims_reports:
+            if r.success:
+                assert r.ii >= r.rec_mii
+
+    def test_ims_execution_still_correct(self):
+        src = """
+        float A[64], B[64];
+        for (i = 0; i < 64; i++) B[i] = i * 0.5;
+        for (i = 0; i < 64; i++) A[i] = B[i] * 2.0 + 1.0;
+        """
+        expected = run_program(parse_program(src))
+        compiled = self._compiled(src, itanium2())
+        assert state_equal(expected, run_module(compiled.module))

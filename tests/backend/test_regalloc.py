@@ -1,0 +1,102 @@
+"""Register allocation tests: correctness under pressure + spill stats."""
+
+import pytest
+
+from repro.backend.codegen import compile_to_lir
+from repro.backend.regalloc import RegAllocError, allocate
+from repro.lang import parse_program
+from repro.sim.interp import run_program, state_equal
+from repro.sim.lir_interp import run_module
+
+WIDE = """
+float A[32], B[32], C[32], D[32];
+float s = 0.0, t, u, w, v1, v2;
+for (i = 0; i < 32; i++) { A[i] = i * 0.5; B[i] = 32 - i; }
+for (i = 0; i < 32; i++) {
+    t = A[i] * B[i];
+    u = t + A[i];
+    w = u * u - t;
+    v1 = w + t * u;
+    v2 = v1 * 0.5 + w;
+    C[i] = v2;
+    D[i] = t + u + w + v1 + v2;
+    s = s + v2;
+}
+"""
+
+
+def check(source, num_registers, env=None):
+    prog = parse_program(source)
+    expected = run_program(prog, env=env)
+    module = compile_to_lir(prog)
+    stats = allocate(module, num_registers)
+    actual = run_module(module, env=env)
+    assert state_equal(expected, actual), f"K={num_registers}"
+    return module, stats
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("num_registers", [64, 32, 16, 12, 8, 6])
+    def test_wide_program_all_register_counts(self, num_registers):
+        check(WIDE, num_registers)
+
+    def test_env_injection_with_spilled_scalar(self):
+        source = """
+        float A[8];
+        for (i = 0; i < 8; i++) A[i] = base + i * scale + i * i * 0.25
+            + i * 0.125 + 1.0;
+        """
+        module, stats = check(source, 6, env={"base": 2.0, "scale": 0.5})
+
+    def test_control_flow_with_spills(self):
+        source = """
+        float A[16];
+        s = 0.0;
+        for (i = 0; i < 16; i++) {
+            a1 = i * 0.5; a2 = a1 + 1.0; a3 = a2 * a1; a4 = a3 - a2;
+            if (a4 > 2.0) { s = s + a4; } else { s = s - a1; }
+            A[i] = s;
+        }
+        """
+        check(source, 6)
+
+    def test_too_few_registers_rejected(self):
+        module = compile_to_lir(parse_program("x = 1;"))
+        with pytest.raises(RegAllocError):
+            allocate(module, 3)
+
+
+class TestStatistics:
+    def test_no_spills_with_plenty_of_registers(self):
+        _, stats = check(WIDE, 64)
+        assert stats.n_spilled == 0
+
+    def test_spills_increase_as_registers_shrink(self):
+        _, many = check(WIDE, 32)
+        _, few = check(WIDE, 6)
+        assert few.n_spilled > many.n_spilled
+
+    def test_pressure_reported(self):
+        _, stats = check(WIDE, 32)
+        assert stats.max_pressure >= 6  # 6 live scalars at least
+
+    def test_spill_traffic_visible_as_memory_ops(self):
+        prog = parse_program(WIDE)
+        few = compile_to_lir(prog)
+        allocate(few, 6)
+        spill_ops = [
+            i for i in few.all_instrs() if i.array == "__spill"
+        ]
+        assert spill_ops, "expected spill loads/stores"
+
+    def test_scalar_slot_extraction(self):
+        # Even if a scalar lands in a spill slot its final value must be
+        # extractable (state correctness is covered above; check the
+        # mapping is recorded).
+        prog = parse_program(WIDE)
+        module = compile_to_lir(prog)
+        stats = allocate(module, 6)
+        if stats.n_spilled:
+            # At least the binding table stays consistent.
+            for name in module.scalar_slots:
+                assert name in module.scalar_regs

@@ -1,0 +1,113 @@
+"""Unit tests for MI decomposition (§3.2)."""
+
+from repro.analysis.loopinfo import LoopInfo
+from repro.core.decompose import decompose_by_resources, decompose_mi
+from repro.core.names import NamePool
+from repro.lang import parse_stmt, to_source
+
+
+def try_decompose(loop_src, mi_index=0):
+    loop = parse_stmt(loop_src)
+    info = LoopInfo.from_for(loop)
+    pool = NamePool({"A", "B", "C", "D", "x", "i", "reg"})
+    return decompose_mi(loop.body[mi_index], loop.body, info, pool)
+
+
+class TestLoadHoisting:
+    def test_paper_recurrence_example(self):
+        # §3.2: A[i] = A[i-1] + A[i-2] + A[i+1] + A[i+2]
+        d = try_decompose(
+            "for (i = 2; i < 60; i++) "
+            "{ A[i] = A[i-1] + A[i-2] + A[i+1] + A[i+2]; }"
+        )
+        assert d is not None
+        # Largest read-ahead wins: A[i+2].
+        assert to_source(d.load_mi) == "reg1 = A[i + 2];"
+        assert (
+            to_source(d.rest_mi)
+            == "A[i] = A[i - 1] + A[i - 2] + A[i + 1] + reg1;"
+        )
+
+    def test_flow_dependent_loads_rejected(self):
+        # Every read has a flow dependence with the store: no candidate.
+        d = try_decompose("for (i = 1; i < 60; i++) { A[i] = A[i-1] * 2.0; }")
+        assert d is None
+
+    def test_other_array_is_candidate(self):
+        d = try_decompose("for (i = 1; i < 60; i++) { A[i] = A[i-1] + B[i]; }")
+        assert d is not None
+        assert d.array == "B"
+        assert to_source(d.load_mi) == "reg1 = B[i];"
+
+    def test_scalar_target_any_read(self):
+        d = try_decompose("for (i = 0; i < 60; i++) { x = B[i] + 1.0; }")
+        assert d is not None
+        assert d.array == "B"
+
+    def test_compound_assignment(self):
+        # §8: temp -= x[lw] * y[j] style; here s += A[i] * B[i].
+        d = try_decompose("for (i = 0; i < 60; i++) { s += A[i] * B[i]; }")
+        assert d is not None
+        assert to_source(d.rest_mi).startswith("s = ")
+
+    def test_read_written_elsewhere_respects_stores(self):
+        # B is written by MI1 at B[i]; hoisting B[i-1] from MI0 would
+        # carry a flow dependence — but B[i+1] is fine.
+        d = try_decompose(
+            "for (i = 1; i < 60; i++) { A[i] = B[i-1] + B[i+1]; B[i] = A[i-1]; }",
+            mi_index=0,
+        )
+        assert d is not None
+        assert to_source(d.load_mi) == "reg1 = B[i + 1];"
+
+    def test_predicated_mi_not_decomposed(self):
+        d = try_decompose(
+            "for (i = 0; i < 60; i++) { if (c) A[i] = B[i]; }"
+        )
+        assert d is None
+
+    def test_fresh_temp_name(self):
+        loop = parse_stmt("for (i = 0; i < 60; i++) { x = B[i] + 1.0; }")
+        info = LoopInfo.from_for(loop)
+        pool = NamePool({"reg1", "reg2", "B", "x", "i"})
+        d = decompose_mi(loop.body[0], loop.body, info, pool)
+        assert d.temp == "reg3"
+
+
+class TestResourceDecomposition:
+    def test_paper_four_load_example(self):
+        # §3.2: x = A[i]+B[i]+C[i]+D[i] with a 2-load cap.
+        stmt = parse_stmt("x = A[i] + B[i] + C[i] + D[i];")
+        pool = NamePool({"A", "B", "C", "D", "x", "i"})
+        parts = decompose_by_resources(stmt, max_loads=2, max_arith=2, pool=pool)
+        assert parts is not None
+        assert to_source(parts[0]) == "reg1 = A[i] + B[i];"
+        assert to_source(parts[1]) == "x = reg1 + C[i] + D[i];"
+
+    def test_fitting_mi_untouched(self):
+        stmt = parse_stmt("x = A[i] + B[i];")
+        pool = NamePool(set())
+        assert decompose_by_resources(stmt, 2, 2, pool) is None
+
+    def test_multiplication_chain(self):
+        stmt = parse_stmt("x = A[i] * B[i] * C[i] * D[i];")
+        pool = NamePool(set())
+        parts = decompose_by_resources(stmt, 2, 2, pool)
+        assert parts is not None
+
+    def test_split_preserves_association_order(self):
+        # Left-leaning split keeps FP evaluation order bit-exact:
+        # ((A+B)+C)+D -> t=(A+B); ((t+C)+D).
+        stmt = parse_stmt("x = a + b + c + d;")
+        pool = NamePool(set())
+        parts = decompose_by_resources(stmt, 0, 1, pool)
+        assert to_source(parts[0]) == "reg1 = a + b;"
+        assert to_source(parts[1]) == "x = reg1 + c + d;"
+
+    def test_short_chain_not_split(self):
+        stmt = parse_stmt("x = a + b;")
+        assert decompose_by_resources(stmt, 0, 0, NamePool(set())) is None
+
+    def test_compound_not_split(self):
+        stmt = parse_stmt("x += a + b + c + d;")
+        assert decompose_by_resources(stmt, 0, 1, NamePool(set())) is None

@@ -1,0 +1,235 @@
+"""Tests for the §10 extensions: while-loop SLMS and frequent-path SLMS."""
+
+import numpy as np
+import pytest
+
+from repro.core.extensions import frequent_path_slms, pipeline_while, unroll_while
+from repro.lang import parse_program, parse_stmt, to_source
+from repro.lang.ast_nodes import For, Program, While
+from repro.sim.interp import run_program, state_equal
+from repro.transforms.errors import TransformError
+
+
+def _check(setup, loop_src, transform, ignore=(), envs=(None,)):
+    loop = parse_stmt(loop_src)
+    replacement = transform(loop)
+    for env in envs:
+        base = run_program(parse_program(setup + loop_src), env=env)
+        prog = parse_program(setup)
+        prog.body.extend(replacement)
+        out = run_program(prog, env=env)
+        assert state_equal(base, out, ignore=set(ignore)), loop_src
+    return replacement
+
+
+STRING_COPY_SETUP = """
+float a[64];
+for (k = 0; k < 40; k++) a[k] = 40 - k;
+a[40] = 0.0;
+int i = 0;
+"""
+
+
+class TestUnrollWhile:
+    def test_paper_string_copy(self):
+        stmts = _check(
+            STRING_COPY_SETUP,
+            "while (a[i+2]) { a[i] = a[i+2]; i++; }",
+            lambda l: unroll_while(l, 2),
+        )
+        unrolled = stmts[0]
+        assert isinstance(unrolled, While)
+        assert "&&" in to_source(unrolled.cond)
+
+    def test_factor_three(self):
+        _check(
+            STRING_COPY_SETUP,
+            "while (a[i+2]) { a[i] = a[i+2]; i++; }",
+            lambda l: unroll_while(l, 3),
+        )
+
+    def test_odd_length_residual(self):
+        setup = STRING_COPY_SETUP.replace("a[40] = 0.0;", "a[37] = 0.0;")
+        _check(
+            setup,
+            "while (a[i+2]) { a[i] = a[i+2]; i++; }",
+            lambda l: unroll_while(l, 2),
+        )
+
+    def test_empty_string(self):
+        setup = "float a[64];\nint i = 0;\n"  # all zeros: zero trips
+        _check(
+            setup,
+            "while (a[i+2]) { a[i] = a[i+2]; i++; }",
+            lambda l: unroll_while(l, 2),
+        )
+
+    def test_condition_clobber_rejected(self):
+        # Store a[i+3] lands exactly on the next shifted condition read.
+        loop = parse_stmt("while (a[i+2]) { a[i+3] = 0.0; i++; }")
+        with pytest.raises(TransformError):
+            unroll_while(loop, 2)
+
+    def test_no_increment_rejected(self):
+        loop = parse_stmt("while (a[0] > 0.0) { a[0] -= 1.0; }")
+        with pytest.raises(TransformError):
+            unroll_while(loop, 2)
+
+    def test_downward_index(self):
+        setup = """
+        float a[64];
+        for (k = 20; k < 60; k++) a[k] = k;
+        a[19] = 0.0;
+        int i = 57;
+        """
+        _check(
+            setup,
+            "while (a[i-2]) { a[i] = a[i-2]; i--; }",
+            lambda l: unroll_while(l, 2),
+        )
+
+
+class TestPipelineWhile:
+    def test_paper_string_copy(self):
+        stmts = _check(
+            STRING_COPY_SETUP,
+            "while (a[i+2]) { a[i] = a[i+2]; i++; }",
+            pipeline_while,
+            ignore={"reg1", "reg2"},
+        )
+        text = "\n".join(to_source(s, style="paper") for s in stmts)
+        assert "reg1" in text and "reg2" in text
+        assert "||" in text
+
+    def test_various_lengths(self):
+        for stop in (2, 3, 4, 5, 11, 38):
+            setup = (
+                "float a[64];\n"
+                "for (k = 0; k < 40; k++) a[k] = 40 - k;\n"
+                f"a[{stop}] = 0.0;\n"
+                "int i = 0;\n"
+            )
+            _check(
+                setup,
+                "while (a[i+2]) { a[i] = a[i+2]; i++; }",
+                pipeline_while,
+                ignore={"reg1", "reg2"},
+            )
+
+    def test_zero_trip(self):
+        setup = "float a[64];\nint i = 0;\n"
+        _check(
+            setup,
+            "while (a[i+2]) { a[i] = a[i+2]; i++; }",
+            pipeline_while,
+            ignore={"reg1", "reg2"},
+        )
+
+    def test_flow_dependent_copy_rejected(self):
+        loop = parse_stmt("while (a[i+2]) { a[i+2] = a[i]; i++; }")
+        with pytest.raises(TransformError):
+            pipeline_while(loop)
+
+    def test_unguarded_load_rejected(self):
+        # Condition tests a[i+2] but the load reads b[i+2]: the rotated
+        # load would touch unchecked memory.
+        loop = parse_stmt("while (a[i+2]) { a[i] = b[i+2]; i++; }")
+        with pytest.raises(TransformError):
+            pipeline_while(loop)
+
+    def test_multi_statement_rejected(self):
+        loop = parse_stmt(
+            "while (a[i+2]) { a[i] = a[i+2]; b[i] = a[i]; i++; }"
+        )
+        with pytest.raises(TransformError):
+            pipeline_while(loop)
+
+
+FREQ_SETUP = """
+float x[128], y[128], z[128];
+for (k = 0; k < 128; k++) {
+    x[k] = 0.5 * k + 1.0;
+    y[k] = 0.0;
+    z[k] = 128 - k;
+}
+x[50] = -1.0;
+x[51] = -2.0;
+x[90] = -3.0;
+"""
+
+
+class TestFrequentPath:
+    LOOP = (
+        "for (i = 0; i < 120; i++) {"
+        " if (x[i] > 0.0) { y[i] = x[i] * 2.0; }"
+        " else { y[i] = 0.0 - x[i]; }"
+        " z[i] = z[i] + y[i];"
+        "}"
+    )
+
+    def test_semantics_mixed_paths(self):
+        _check(FREQ_SETUP, self.LOOP, frequent_path_slms, ignore={"i"})
+
+    def test_all_hot(self):
+        setup = FREQ_SETUP.replace("x[50] = -1.0;", "").replace(
+            "x[51] = -2.0;", ""
+        ).replace("x[90] = -3.0;", "")
+        _check(setup, self.LOOP, frequent_path_slms, ignore={"i"})
+
+    def test_all_cold(self):
+        setup = FREQ_SETUP + "for (k = 0; k < 128; k++) x[k] = -1.0;\n"
+        _check(setup, self.LOOP, frequent_path_slms, ignore={"i"})
+
+    def test_zero_trip(self):
+        loop = self.LOOP.replace("i < 120", "i < 0")
+        _check(FREQ_SETUP, loop, frequent_path_slms, ignore={"i"})
+
+    def test_kernel_row_is_pargroup(self):
+        loop = parse_stmt(self.LOOP)
+        stmts = frequent_path_slms(loop)
+        text = "\n".join(to_source(s, style="paper") for s in stmts)
+        assert "||" in text
+
+    def test_multi_statement_sections(self):
+        loop_src = (
+            "for (i = 0; i < 100; i++) {"
+            " if (x[i] > 0.0) { y[i] = x[i]; z[i] = x[i] * 0.5; }"
+            " else { y[i] = 0.0; }"
+            " z[i+1] = z[i+1] + 1.0;"
+            "}"
+        )
+        _check(FREQ_SETUP, loop_src, frequent_path_slms, ignore={"i"})
+
+    def test_store_feeding_condition_rejected(self):
+        loop = parse_stmt(
+            "for (i = 0; i < 100; i++) {"
+            " if (x[i] > 0.0) { y[i] = 1.0; } else { y[i] = 2.0; }"
+            " x[i+1] = 0.0 - x[i+1];"
+            "}"
+        )
+        with pytest.raises(TransformError):
+            frequent_path_slms(loop)
+
+    def test_scalar_feeding_condition_rejected(self):
+        loop = parse_stmt(
+            "for (i = 0; i < 100; i++) {"
+            " if (t > 0.0) { y[i] = 1.0; } else { y[i] = 2.0; }"
+            " t = x[i];"
+            "}"
+        )
+        with pytest.raises(TransformError):
+            frequent_path_slms(loop)
+
+    def test_no_else_rejected(self):
+        loop = parse_stmt(
+            "for (i = 0; i < 10; i++) { if (x[i] > 0.0) y[i] = 1.0; z[i] = 1.0; }"
+        )
+        with pytest.raises(TransformError):
+            frequent_path_slms(loop)
+
+    def test_missing_tail_rejected(self):
+        loop = parse_stmt(
+            "for (i = 0; i < 10; i++) { if (x[i] > 0.0) y[i] = 1.0; else y[i] = 2.0; }"
+        )
+        with pytest.raises(TransformError):
+            frequent_path_slms(loop)

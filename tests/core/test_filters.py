@@ -1,0 +1,91 @@
+"""Unit tests for the §4 bad-case filter."""
+
+from repro.core.filters import bad_case_filter, memory_ref_ratio
+from repro.lang import parse_program
+
+
+def body(source):
+    return list(parse_program(source).body)
+
+
+class TestPaperSwapLoop:
+    SRC = "CT = X[k, i]; X[k, i] = X[k, j] * 2; X[k, j] = CT;"
+
+    def test_counts_match_paper(self):
+        # §4 gives LS = 6, AO = 1 for this body.
+        v = memory_ref_ratio(body(self.SRC), "k")
+        assert v.loads + v.stores + v.scalar_accesses == 6
+        assert v.arith == 1
+
+    def test_ratio_is_0857(self):
+        v = memory_ref_ratio(body(self.SRC), "k")
+        assert abs(v.memory_ref_ratio - 6 / 7) < 1e-9
+
+    def test_filtered_at_default_threshold(self):
+        v = bad_case_filter(body(self.SRC), "k")
+        assert not v.apply_slms
+        assert "0.85" in v.reason
+
+
+class TestGoodCases:
+    def test_dot_product_passes(self):
+        v = bad_case_filter(body("t = A[i] * B[i]; s = s + t;"), "i")
+        assert v.apply_slms
+        assert v.memory_ref_ratio < 0.85
+
+    def test_compute_heavy_loop_passes(self):
+        v = bad_case_filter(
+            body("X[i] = X[i-1] * X[i-1] * X[i-1] + X[i+1] * X[i+1];"), "i"
+        )
+        assert v.apply_slms
+
+    def test_pure_copy_filtered(self):
+        v = bad_case_filter(body("A[i] = B[i];"), "i")
+        assert not v.apply_slms
+        assert v.memory_ref_ratio == 1.0
+
+
+class TestCountingRules:
+    def test_index_var_not_a_scalar_access(self):
+        v = memory_ref_ratio(body("A[i] = B[i] + 1.0;"), "i")
+        assert v.scalar_accesses == 0
+
+    def test_loop_invariant_scalar_not_counted(self):
+        # q is read-only (defined outside): not a body temp.
+        v = memory_ref_ratio(body("A[i] = q * B[i];"), "i")
+        assert v.scalar_accesses == 0
+
+    def test_body_temp_def_and_use_counted(self):
+        v = memory_ref_ratio(body("t = A[i]; B[i] = t;"), "i")
+        assert v.scalar_accesses == 2
+
+    def test_subscript_arith_not_ao(self):
+        v = memory_ref_ratio(body("A[i+1] = B[i-1];"), "i")
+        assert v.arith == 0
+
+    def test_empty_body(self):
+        v = memory_ref_ratio([], "i")
+        assert v.memory_ref_ratio == 0.0
+
+
+class TestThresholds:
+    SRC = "A[i] = B[i];"
+
+    def test_custom_threshold_admits(self):
+        v = bad_case_filter(body(self.SRC), "i", ratio_threshold=1.01)
+        assert v.apply_slms
+
+    def test_arith_per_ref_heuristic(self):
+        # 1 arith per 2 refs = 0.5 < 6 required -> filtered.
+        v = bad_case_filter(
+            body("A[i] = B[i] + 1.0;"),
+            "i",
+            ratio_threshold=1.01,
+            min_arith_per_ref=6.0,
+        )
+        assert not v.apply_slms
+        assert "§11" in v.reason
+
+    def test_arith_per_ref_disabled_by_default(self):
+        v = bad_case_filter(body("t = A[i] * B[i]; s = s + t;"), "i")
+        assert v.apply_slms

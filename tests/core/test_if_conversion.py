@@ -1,0 +1,126 @@
+"""Unit tests for source-level if-conversion (§3.1)."""
+
+from repro.core.if_conversion import if_convert
+from repro.core.names import NamePool
+from repro.lang import If, parse_program, to_source
+from repro.sim.interp import run_program, state_equal
+
+import numpy as np
+
+
+def convert(source):
+    prog = parse_program(source)
+    pool = NamePool({"x", "y", "c", "A", "i", "max", "arr"})
+    return if_convert(list(prog.body), pool)
+
+
+class TestBasicConversion:
+    def test_paper_example_shape(self):
+        # §3.1: if (x<y) { x=x+1; A[i]+=x; } else y=y+1;
+        result = convert(
+            "if (x < y) { x = x + 1; A[i] += x; } else y = y + 1;"
+        )
+        texts = [to_source(s) for s in result.stmts]
+        assert texts[0] == "pred0 = x < y;"
+        assert texts[1] == "if (pred0) {\n    x = x + 1;\n}"
+        assert texts[2] == "if (pred0) {\n    A[i] += x;\n}"
+        assert texts[3] == "if (!pred0) {\n    y = y + 1;\n}"
+        assert result.predicates == ["pred0"]
+        assert result.converted
+
+    def test_if_without_else(self):
+        result = convert("if (max < arr[i]) max = arr[i];")
+        assert len(result.stmts) == 2
+        assert to_source(result.stmts[0]) == "pred0 = max < arr[i];"
+
+    def test_plain_statements_pass_through(self):
+        result = convert("x = 1; y = 2;")
+        assert len(result.stmts) == 2
+        assert not result.converted
+        assert result.predicates == []
+
+    def test_each_output_is_single_mi(self):
+        result = convert("if (c) { x = 1; y = 2; }")
+        for stmt in result.stmts:
+            if isinstance(stmt, If):
+                assert len(stmt.then) == 1
+                assert not stmt.els
+
+    def test_fresh_predicate_names(self):
+        prog = parse_program("if (c > 0) x = 1;")
+        pool = NamePool({"pred0", "c", "x"})
+        result = if_convert(list(prog.body), pool)
+        assert result.predicates == ["pred1"]
+
+    def test_bare_variable_condition_needs_no_temp(self):
+        # if (c) s; is already in predicated form — reused as-is.
+        prog = parse_program("if (c) x = 1;")
+        pool = NamePool({"c", "x"})
+        result = if_convert(list(prog.body), pool)
+        assert result.predicates == []
+        assert to_source(result.stmts[0]) == "if (c) {\n    x = 1;\n}"
+
+
+class TestNestedIfs:
+    def test_nested_then(self):
+        result = convert("if (c) { if (x < y) x = 1; }")
+        # pred for outer, pred for inner; inner statement guarded by both.
+        assert len(result.predicates) == 2
+        inner = result.stmts[-1]
+        assert isinstance(inner, If)
+        assert "&&" in to_source(inner.cond)
+
+    def test_else_if_chain(self):
+        result = convert("if (c) x = 1; else if (x < y) x = 2; else x = 3;")
+        assert len(result.predicates) == 2
+
+
+class TestSemantics:
+    def _states(self, body_src, env):
+        original = parse_program(body_src)
+        pool = NamePool(set(env) | {"pred0", "pred1"})
+        result = if_convert(list(original.body), pool)
+        from repro.lang.ast_nodes import Program
+
+        converted = Program(result.stmts)
+        a = run_program(original, env=env)
+        b = run_program(converted, env=env)
+        return a, b, set(result.predicates)
+
+    def test_then_branch_semantics(self):
+        a, b, preds = self._states(
+            "if (x < y) { x = x + 1; } else { y = y + 1; }",
+            {"x": 1, "y": 5},
+        )
+        assert state_equal(a, b, ignore=preds)
+
+    def test_else_branch_semantics(self):
+        a, b, preds = self._states(
+            "if (x < y) { x = x + 1; } else { y = y + 1; }",
+            {"x": 9, "y": 5},
+        )
+        assert state_equal(a, b, ignore=preds)
+
+    def test_predicate_frozen_before_mutation(self):
+        # The then-branch changes x, which appears in the condition; the
+        # frozen predicate must keep the else branch suppressed.
+        a, b, preds = self._states(
+            "if (x < y) { x = 100; } else { y = 100; }",
+            {"x": 0, "y": 1},
+        )
+        assert state_equal(a, b, ignore=preds)
+
+    def test_array_side_effects(self):
+        a, b, preds = self._states(
+            "if (A[0] > 0.0) { A[1] = 5.0; A[2] = 6.0; } else A[3] = 7.0;",
+            {"A": np.array([1.0, 0.0, 0.0, 0.0])},
+        )
+        assert state_equal(a, b, ignore=preds)
+
+    def test_nested_semantics(self):
+        for x, y in [(0, 5), (5, 0), (3, 3)]:
+            a, b, preds = self._states(
+                "if (x < y) { if (x < 2) x = 10; else x = 20; } else y = 30;",
+                {"x": x, "y": y},
+            )
+            assert state_equal(a, b, ignore=preds), (x, y)

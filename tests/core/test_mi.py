@@ -1,0 +1,130 @@
+"""Unit tests for MI partitioning and multi-def scalar renaming."""
+
+import pytest
+
+from repro.core.mi import NotPartitionable, partition_mis
+from repro.core.names import NamePool
+from repro.lang import parse_program, to_source
+from repro.lang.ast_nodes import Program
+from repro.sim.interp import run_program, state_equal
+
+
+def partition(source, index_var="i", rename=True):
+    prog = parse_program(source)
+    pool = NamePool({index_var} | {"A", "B", "C", "t", "s", "x"})
+    return partition_mis(list(prog.body), index_var, pool, rename_multi_defs=rename)
+
+
+class TestPartitioning:
+    def test_assignments_become_mis(self):
+        p = partition("t = A[i]; B[i] = t;")
+        assert p.n == 2
+
+    def test_decl_hoisted(self):
+        p = partition("float t = A[i]; B[i] = t;")
+        assert p.n == 2
+        assert [d.name for d in p.hoisted_decls] == ["t"]
+        assert to_source(p.mis[0]) == "t = A[i];"
+
+    def test_decl_without_init_hoisted_silently(self):
+        p = partition("float t; B[i] = 1.0;")
+        assert p.n == 1
+        assert p.hoisted_decls[0].name == "t"
+
+    def test_predicated_if_is_one_mi(self):
+        p = partition("if (c) x = A[i];")
+        assert p.n == 1
+
+    def test_call_statement_is_mi(self):
+        p = partition("f(i);")
+        assert p.n == 1
+
+    def test_unconverted_if_rejected(self):
+        with pytest.raises(NotPartitionable):
+            partition("if (c) x = 1; else x = 2;")
+
+    def test_nested_loop_rejected(self):
+        with pytest.raises(NotPartitionable):
+            partition("for (j = 0; j < 4; j++) A[j] = 0;")
+
+    def test_array_decl_rejected(self):
+        with pytest.raises(NotPartitionable):
+            partition("float T[8];")
+
+
+class TestMultiDefRenaming:
+    def test_independent_webs_split(self):
+        p = partition("t = A[i]; B[i] = t; t = C[i]; x = t;")
+        texts = [to_source(s) for s in p.mis]
+        # First web renamed, last web keeps the original name.
+        assert texts[0] == "t_w1 = A[i];"
+        assert texts[1] == "B[i] = t_w1;"
+        assert texts[2] == "t = C[i];"
+        assert texts[3] == "x = t;"
+        assert p.renamed == {"t": ["t_w1"]}
+
+    def test_def_reading_previous_web(self):
+        p = partition("t = A[i]; t = t + 1.0; B[i] = t;")
+        texts = [to_source(s) for s in p.mis]
+        assert texts[0] == "t_w1 = A[i];"
+        assert texts[1] == "t = t_w1 + 1.0;"
+        assert texts[2] == "B[i] = t;"
+
+    def test_single_def_untouched(self):
+        p = partition("t = A[i]; B[i] = t;")
+        assert p.renamed == {}
+
+    def test_compound_def_blocks_renaming(self):
+        p = partition("t = A[i]; t += B[i]; C[i] = t;")
+        assert p.renamed == {}
+
+    def test_use_before_first_def_blocks_renaming(self):
+        # B[i] = t reads last iteration's value: webs wrap the back edge.
+        p = partition("B[i] = t; t = A[i]; t = C[i];")
+        assert p.renamed == {}
+
+    def test_conditional_def_blocks_renaming(self):
+        p = partition("t = A[i]; if (c) t = B[i]; C[i] = t;")
+        assert p.renamed == {}
+
+    def test_renaming_disabled(self):
+        p = partition("t = A[i]; B[i] = t; t = C[i]; x = t;", rename=False)
+        assert p.renamed == {}
+        assert to_source(p.mis[0]) == "t = A[i];"
+
+    def test_renaming_preserves_semantics(self):
+        source = """
+        float A[8], B[8], C[8], D[8];
+        float t = 0.0, x = 0.0;
+        for (i = 0; i < 8; i++) { A[i] = i; C[i] = 10 + i; }
+        for (i = 0; i < 8; i++) {
+            t = A[i];
+            B[i] = t * 2.0;
+            t = C[i];
+            D[i] = t + 1.0;
+        }
+        """
+        prog = parse_program(source)
+        pool = NamePool({"A", "B", "C", "D", "t", "x", "i"})
+        # Partition only the second loop body, then rebuild the program.
+        loop = [s for s in prog.body if type(s).__name__ == "For"][1]
+        p = partition_mis(list(loop.body), "i", pool)
+        loop_clone = loop.clone()
+        loop_clone.body = p.mis
+        new_body = []
+        for stmt in prog.body:
+            if stmt is loop:
+                new_body.extend(p.hoisted_decls)
+                new_body.append(loop_clone)
+            else:
+                new_body.append(stmt)
+        a = run_program(prog)
+        b = run_program(Program(new_body))
+        ignore = {n for names in p.renamed.values() for n in names}
+        assert state_equal(a, b, ignore=ignore)
+
+    def test_fresh_names_avoid_collisions(self):
+        prog = parse_program("t = A[i]; B[i] = t; t = C[i]; x = t;")
+        pool = NamePool({"t", "t_w1", "A", "B", "C", "x", "i"})
+        p = partition_mis(list(prog.body), "i", pool)
+        assert p.renamed["t"] != ["t_w1"]

@@ -1,0 +1,191 @@
+"""Unit tests for Modulo Variable Expansion (§3.3)."""
+
+from repro.analysis.loopinfo import LoopInfo
+from repro.core.mve import apply_mve, eligible_scalars, plan_rotations
+from repro.core.names import NamePool
+from repro.lang import parse_program, parse_stmt, to_source
+from repro.lang.ast_nodes import Program
+from repro.sim.interp import run_program, state_equal
+
+
+def loop_parts(loop_src):
+    loop = parse_stmt(loop_src)
+    info = LoopInfo.from_for(loop)
+    assert info is not None
+    return loop.body, info
+
+
+class TestEligibility:
+    def test_plain_single_def_eligible(self):
+        mis, _ = loop_parts(
+            "for (i = 0; i < 10; i++) { t = A[i]; B[i] = t; }"
+        )
+        assert eligible_scalars(mis, "i") == {"t": 0}
+
+    def test_compound_def_excluded(self):
+        mis, _ = loop_parts("for (i = 0; i < 10; i++) { s += A[i]; }")
+        assert eligible_scalars(mis, "i") == {}
+
+    def test_self_reading_def_excluded(self):
+        mis, _ = loop_parts("for (i = 0; i < 10; i++) { t = t + A[i]; }")
+        assert eligible_scalars(mis, "i") == {}
+
+    def test_conditional_def_excluded(self):
+        mis, _ = loop_parts(
+            "for (i = 0; i < 10; i++) { if (c) t = A[i]; B[i] = t; }"
+        )
+        assert eligible_scalars(mis, "i") == {}
+
+    def test_multi_def_excluded(self):
+        mis, _ = loop_parts(
+            "for (i = 0; i < 10; i++) { t = A[i]; B[i] = t; t = C[i]; }"
+        )
+        assert eligible_scalars(mis, "i") == {}
+
+    def test_index_var_excluded(self):
+        mis, _ = loop_parts("for (i = 0; i < 10; i++) { A[i] = 1.0; }")
+        assert "i" not in eligible_scalars(mis, "i")
+
+
+class TestRotationPlanning:
+    def test_paper_332_lifetime(self):
+        # reg defined in MI0 (stage 0), used in MI1 (stage 1) at II=1:
+        # lifetime 1, unroll 2 — the paper's reg1/reg2.
+        mis, info = loop_parts(
+            "for (i = 0; i < 20; i++) { reg = A[i+2]; "
+            "A[i] = A[i-1] + reg; }"
+        )
+        plans = plan_rotations(mis, info, 1, NamePool({"reg", "A", "i"}))
+        assert len(plans) == 1
+        assert plans[0].lifetime == 1
+        assert plans[0].names == ["reg1", "reg2"]
+
+    def test_same_stage_use_needs_no_rotation(self):
+        # II=2 puts def and use in the same stage: lifetime 0.
+        mis, info = loop_parts(
+            "for (i = 0; i < 20; i++) { t = A[i]; B[i] = t; }"
+        )
+        plans = plan_rotations(mis, info, 2, NamePool(set()))
+        assert plans == []
+
+    def test_fig7_two_scalars_two_names_each(self):
+        mis, info = loop_parts(
+            "for (i = 1; i < 20; i++) { reg = A[i+1]; A[i] = A[i-1] + reg;"
+            " scal = B[i] / 2.0; C[i] = scal * 3.0; }"
+        )
+        plans = plan_rotations(mis, info, 1, NamePool({"reg", "scal"}))
+        names = {p.var: p.names for p in plans}
+        assert names == {
+            "reg": ["reg1", "reg2"],
+            "scal": ["scal1", "scal2"],
+        }
+
+    def test_longer_lifetime_more_names(self):
+        mis, info = loop_parts(
+            "for (i = 0; i < 20; i++) { t = A[i]; B[i] = 1.0; C[i] = 1.0;"
+            " D[i] = t; }"
+        )
+        plans = plan_rotations(mis, info, 1, NamePool({"t"}))
+        assert len(plans[0].names) == 4  # lifetime 3 at II=1
+
+
+class TestApplyMVESemantics:
+    INIT = (
+        "float A[64], B[64], C[64], D[64];\n"
+        "float reg = 0.0, scal = 0.0, t = 0.0;\n"
+        "for (i = 0; i < 64; i++) { A[i] = i * 0.25 + 1.0; B[i] = 64 - i; }\n"
+    )
+
+    def _check(self, loop_src, ii):
+        mis, info = loop_parts(loop_src)
+        pool = NamePool({"A", "B", "C", "D", "reg", "scal", "t", "i"})
+        plans = plan_rotations(mis, info, ii, pool)
+        assert plans, "expected rotation plans"
+        result = apply_mve(mis, info, ii, plans)
+        original = parse_program(self.INIT + loop_src)
+        base = run_program(original)
+        transformed = parse_program(self.INIT)
+        transformed.body.extend(result.new_decls)
+        transformed.body.extend(result.stmts)
+        out = run_program(transformed)
+        new_names = {n for p in result.plans for n in p.names}
+        assert state_equal(base, out, ignore=new_names)
+        return result
+
+    def test_paper_332_example(self):
+        self._check(
+            "for (i = 2; i < 60; i++) { reg = A[i+2]; "
+            "A[i] = A[i-1] + A[i-2] + A[i+1] + reg; }",
+            ii=1,
+        )
+
+    def test_fig7_example(self):
+        result = self._check(
+            "for (i = 1; i < 60; i++) { reg = A[i+1]; A[i] = A[i-1] + reg;"
+            " scal = B[i] / 2.0; C[i] = scal * 3.0; }",
+            ii=1,
+        )
+        assert result.unroll == 2
+
+    def test_trip_count_not_divisible_by_unroll(self):
+        # 57 iterations, U=2: residual single-kernel instances execute.
+        self._check(
+            "for (i = 2; i < 59; i++) { reg = A[i+2]; "
+            "A[i] = A[i-1] + A[i-2] + reg; }",
+            ii=1,
+        )
+
+    def test_odd_and_even_trip_counts(self):
+        for hi in (58, 59, 60, 61):
+            self._check(
+                f"for (i = 2; i < {hi}; i++) {{ reg = A[i+2]; "
+                "A[i] = A[i-1] + reg; }",
+                ii=1,
+            )
+
+    def test_live_out_scalar_restored(self):
+        result = self._check(
+            "for (i = 0; i < 40; i++) { t = A[i] * 2.0; D[i] = t; }",
+            ii=1,
+        )
+        texts = [to_source(s) for s in result.stmts]
+        assert any(t.startswith("t = t") for t in texts)
+
+    def test_ii_2_with_four_mis(self):
+        self._check(
+            "for (i = 1; i < 40; i++) { reg = A[i+1]; C[i] = reg + 1.0;"
+            " scal = B[i]; D[i] = scal * reg; }",
+            ii=2,
+        )
+
+    def test_step_two_loop(self):
+        self._check(
+            "for (i = 0; i < 40; i += 2) { reg = A[i+2]; "
+            "C[i] = reg * 0.5; }",
+            ii=1,
+        )
+
+
+class TestKernelShape:
+    def test_kernel_is_unrolled(self):
+        mis, info = loop_parts(
+            "for (i = 2; i < 62; i++) { reg = A[i+2]; A[i] = A[i-1] + reg; }"
+        )
+        pool = NamePool({"reg", "A", "i"})
+        plans = plan_rotations(mis, info, 1, pool)
+        result = apply_mve(mis, info, 1, plans)
+        loops = [s for s in result.stmts if type(s).__name__ == "For"]
+        assert len(loops) == 1
+        assert to_source(loops[0].step) == "i += 2;"
+
+    def test_rotated_names_alternate(self):
+        mis, info = loop_parts(
+            "for (i = 2; i < 62; i++) { reg = A[i+2]; A[i] = A[i-1] + reg; }"
+        )
+        pool = NamePool({"reg", "A", "i"})
+        plans = plan_rotations(mis, info, 1, pool)
+        result = apply_mve(mis, info, 1, plans)
+        loop = next(s for s in result.stmts if type(s).__name__ == "For")
+        text = to_source(loop)
+        # Copy 0 consumes reg1 and defines reg2; copy 1 the reverse.
+        assert "reg1" in text and "reg2" in text

@@ -1,0 +1,56 @@
+"""NamePool and name-collection tests."""
+
+from repro.core.names import NamePool, all_names
+from repro.lang import parse_program
+
+
+class TestNamePool:
+    def test_fresh_returns_base_when_free(self):
+        pool = NamePool()
+        assert pool.fresh("reg") == "reg"
+
+    def test_fresh_suffixes_on_collision(self):
+        pool = NamePool({"reg"})
+        assert pool.fresh("reg") == "reg_2"
+        assert pool.fresh("reg") == "reg_3"
+
+    def test_fresh_registers_result(self):
+        pool = NamePool()
+        first = pool.fresh("t")
+        assert pool.fresh("t") != first
+
+    def test_numbered_skips_taken(self):
+        pool = NamePool({"reg1", "reg2"})
+        assert pool.numbered("reg") == "reg3"
+
+    def test_numbered_start(self):
+        pool = NamePool()
+        assert pool.numbered("pred", start=0) == "pred0"
+
+    def test_numbered_sequence(self):
+        pool = NamePool()
+        assert [pool.numbered("r") for _ in range(3)] == ["r1", "r2", "r3"]
+
+    def test_reserve(self):
+        pool = NamePool()
+        pool.reserve({"a", "b"})
+        assert pool.fresh("a") == "a_2"
+
+
+class TestAllNames:
+    def test_collects_scalars_and_arrays(self):
+        prog = parse_program(
+            "float A[4]; x = A[i] + y; B[j] = 0.0;"
+        )
+        names = all_names(prog)
+        assert {"A", "B", "x", "y", "i", "j"} <= names
+
+    def test_decl_names_included(self):
+        # Declared-but-unused names must be reserved too, or an SLMS
+        # temporary could clobber a user variable.
+        prog = parse_program("float q;")
+        assert "q" in all_names(prog)
+
+    def test_call_names_included(self):
+        prog = parse_program("x = helper(1);")
+        assert "helper" in all_names(prog)

@@ -1,0 +1,150 @@
+"""Reduction lane splitting tests (§5's max-loop MVE)."""
+
+import pytest
+
+from repro import SLMSOptions, slms, to_source
+from repro.analysis.loopinfo import LoopInfo
+from repro.core.names import NamePool
+from repro.core.reductions import find_reduction, split_reduction
+from repro.lang import parse_program, parse_stmt
+from repro.sim.interp import run_program, state_equal
+
+
+def body_of(loop_src):
+    loop = parse_stmt(loop_src)
+    info = LoopInfo.from_for(loop)
+    return loop, loop.body, info.var
+
+
+class TestDetection:
+    def test_paper_max_pattern(self):
+        _, body, iv = body_of(
+            "for (i = 0; i < 40; i++) if (max < arr[i]) max = arr[i];"
+        )
+        info = find_reduction(body, iv, allow_reassociation=False)
+        assert info is not None
+        assert info.var == "max" and info.kind == "max" and info.exact
+
+    def test_flipped_orientation(self):
+        _, body, iv = body_of(
+            "for (i = 0; i < 40; i++) if (arr[i] > max) max = arr[i];"
+        )
+        info = find_reduction(body, iv, allow_reassociation=False)
+        assert info is not None and info.kind == "max"
+
+    def test_min_pattern(self):
+        _, body, iv = body_of(
+            "for (i = 0; i < 40; i++) if (lo > arr[i]) lo = arr[i];"
+        )
+        info = find_reduction(body, iv, allow_reassociation=False)
+        assert info is not None and info.kind == "min"
+
+    def test_sum_needs_reassociation_flag(self):
+        _, body, iv = body_of("for (i = 0; i < 40; i++) s += arr[i];")
+        assert find_reduction(body, iv, allow_reassociation=False) is None
+        info = find_reduction(body, iv, allow_reassociation=True)
+        assert info is not None and info.kind == "sum" and not info.exact
+
+    def test_product_pattern(self):
+        _, body, iv = body_of("for (i = 1; i < 20; i++) p = p * arr[i];")
+        info = find_reduction(body, iv, allow_reassociation=True)
+        assert info is not None and info.kind == "product"
+
+    def test_escaping_variable_declined(self):
+        _, body, iv = body_of(
+            "for (i = 0; i < 40; i++) { if (max < arr[i]) max = arr[i]; "
+            "out[i] = max; }"
+        )
+        assert find_reduction(body, iv, allow_reassociation=True) is None
+
+    def test_self_referential_expr_declined(self):
+        _, body, iv = body_of(
+            "for (i = 0; i < 40; i++) s = s + s * 0.5;"
+        )
+        assert find_reduction(body, iv, allow_reassociation=True) is None
+
+    def test_call_in_body_declined(self):
+        _, body, iv = body_of(
+            "for (i = 0; i < 40; i++) { if (max < f(i)) max = f(i); }"
+        )
+        assert find_reduction(body, iv, allow_reassociation=True) is None
+
+
+MAX_SOURCE = """
+float arr[64];
+float max;
+for (i = 0; i < 64; i++) arr[i] = (i * 29) % 64 + 0.25;
+max = arr[0];
+for (i = 0; i < 61; i++)
+    if (max < arr[i]) max = arr[i];
+"""
+
+
+class TestSplitSemantics:
+    def _check(self, source, options, ignore_extra=()):
+        outcome = slms(source, options)
+        base = run_program(parse_program(source))
+        out = run_program(outcome.program)
+        ignore = {n for r in outcome.loops for n in r.new_scalars}
+        ignore |= set(ignore_extra)
+        ignore |= {k for k in out if k not in base}
+        assert state_equal(base, out, ignore=ignore)
+        return outcome
+
+    def test_max_loop_bit_exact(self):
+        outcome = self._check(
+            MAX_SOURCE,
+            SLMSOptions(force=True, reduction_lanes=2),
+        )
+        report = outcome.loops[-1]
+        assert report.applied
+        text = to_source(outcome.program)
+        # The paper's max0/max1 lanes and final merge.
+        assert "max0" in text and "max1" in text
+        assert "max(max0, max1)" in text
+
+    def test_odd_trip_count_remainder(self):
+        for hi in (60, 61, 62, 63):
+            src = MAX_SOURCE.replace("i < 61", f"i < {hi}")
+            self._check(src, SLMSOptions(force=True, reduction_lanes=2))
+
+    def test_three_lanes(self):
+        self._check(
+            MAX_SOURCE, SLMSOptions(force=True, reduction_lanes=3)
+        )
+
+    def test_sum_with_reassociation_close(self):
+        source = """
+        float arr[64];
+        float s = 0.0;
+        for (i = 0; i < 64; i++) arr[i] = 0.5 * i + 1.0;
+        for (i = 0; i < 60; i++) s += arr[i];
+        """
+        outcome = slms(
+            source,
+            SLMSOptions(
+                force=True, reduction_lanes=2, allow_reassociation=True
+            ),
+        )
+        assert outcome.loops[-1].applied
+        base = run_program(parse_program(source))
+        out = run_program(outcome.program)
+        # Reassociated: approximately equal, not bit-exact.
+        assert out["s"] == pytest.approx(base["s"], rel=1e-12)
+
+    def test_off_by_default(self):
+        outcome = slms(MAX_SOURCE, SLMSOptions(force=True))
+        text = to_source(outcome.program)
+        assert "max0" not in text
+
+    def test_symbolic_bounds(self):
+        source = MAX_SOURCE.replace("i < 61", "i < n")
+        outcome = slms(
+            source, SLMSOptions(force=True, reduction_lanes=2)
+        )
+        if outcome.loops[-1].applied:
+            for n in (0, 1, 2, 5, 64):
+                base = run_program(parse_program(source), env={"n": n})
+                out = run_program(outcome.program, env={"n": n})
+                ignore = {k for k in out if k not in base}
+                assert state_equal(base, out, ignore=ignore), f"n={n}"

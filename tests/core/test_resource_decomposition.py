@@ -1,0 +1,86 @@
+"""Driver-level tests for resource-driven decomposition (§3.2, 2nd form)."""
+
+import pytest
+
+from repro import SLMSOptions, slms, to_source
+from repro.lang import parse_program
+from repro.sim.interp import run_program, state_equal
+
+SOURCE = """
+float A[64], B[64], C[64], D[64], x[64];
+for (i = 0; i < 64; i++) {
+    A[i] = 0.1 * i; B[i] = 0.2 * i; C[i] = 0.3 * i; D[i] = 0.4 * i;
+}
+for (i = 0; i < 60; i++) {
+    x[i] = A[i] + B[i] + C[i] + D[i];
+}
+"""
+
+
+def outcome_for(options):
+    return slms(SOURCE, options)
+
+
+class TestResourceDecomposition:
+    def test_wide_mi_split_under_limits(self):
+        # The paper's example: four loads, cap of two -> split in half.
+        outcome = outcome_for(
+            SLMSOptions(enable_filter=False, resource_limits=(2, 2))
+        )
+        report = outcome.loops[-1]
+        assert report.applied
+        text = to_source(outcome.program)
+        assert "reg" in text  # the resource temp
+
+    def test_semantics_preserved(self):
+        outcome = outcome_for(
+            SLMSOptions(enable_filter=False, resource_limits=(2, 2))
+        )
+        base = run_program(parse_program(SOURCE))
+        out = run_program(outcome.program)
+        ignore = {n for r in outcome.loops for n in r.new_scalars}
+        assert state_equal(base, out, ignore=ignore)
+
+    def test_resource_split_preempts_dependence_decomposition(self):
+        # Without limits the single wide MI needs a §3.2 load-hoist
+        # decomposition to become pipelineable; with limits the resource
+        # split already produced two MIs, so no dependence-driven
+        # decomposition is needed.
+        wide = outcome_for(SLMSOptions(enable_filter=False))
+        narrow = outcome_for(
+            SLMSOptions(enable_filter=False, resource_limits=(2, 2))
+        )
+        assert wide.loops[-1].decompositions == 1
+        assert narrow.loops[-1].decompositions == 0
+        assert narrow.loops[-1].applied
+
+    def test_limits_validation(self):
+        with pytest.raises(ValueError):
+            SLMSOptions(resource_limits=(0, 2))
+
+    def test_fitting_body_untouched(self):
+        src = """
+        float A[32], B[32];
+        for (i = 0; i < 30; i++) { B[i] = A[i] + 1.0; A[i] = B[i] * 0.5; }
+        """
+        with_limits = slms(
+            src, SLMSOptions(enable_filter=False, resource_limits=(4, 4))
+        )
+        without = slms(src, SLMSOptions(enable_filter=False))
+        assert with_limits.loops[-1].n_mis == without.loops[-1].n_mis
+
+    def test_split_improves_wide_machine_rows(self):
+        # After splitting, each MI fits a 2-load row, so the kernel rows
+        # interleave cleanly; just assert the transformation is usable
+        # end-to-end through the backend.
+        from repro.backend.compiler import compile_and_run
+        from repro.machines import itanium2
+
+        outcome = outcome_for(
+            SLMSOptions(enable_filter=False, resource_limits=(2, 2))
+        )
+        _, run = compile_and_run(outcome.program, itanium2(), "gcc_O3")
+        base = run_program(parse_program(SOURCE))
+        ignore = {n for r in outcome.loops for n in r.new_scalars}
+        ignore |= set(run.state) - set(base)
+        assert state_equal(base, run.state, ignore=ignore)

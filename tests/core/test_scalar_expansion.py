@@ -1,0 +1,119 @@
+"""Unit tests for scalar expansion (§3.4)."""
+
+import pytest
+
+from repro.analysis.loopinfo import LoopInfo
+from repro.core.names import NamePool
+from repro.core.scalar_expansion import apply_scalar_expansion
+from repro.core.schedule import build_modulo_schedule
+from repro.lang import parse_program, parse_stmt, to_source
+from repro.sim.interp import run_program, state_equal
+
+
+def loop_parts(loop_src):
+    loop = parse_stmt(loop_src)
+    info = LoopInfo.from_for(loop)
+    assert info is not None
+    return loop.body, info
+
+
+class TestRewriting:
+    def test_def_and_use_become_array_refs(self):
+        mis, info = loop_parts(
+            "for (i = 0; i < 20; i++) { reg = A[i+2]; B[i] = reg; }"
+        )
+        result = apply_scalar_expansion(mis, info, NamePool({"reg", "A", "B"}))
+        texts = [to_source(s) for s in result.mis]
+        assert texts[0] == "regArr[i + 1] = A[i + 2];"
+        assert texts[1] == "B[i] = regArr[i + 1];"
+
+    def test_array_declared_with_margin(self):
+        mis, info = loop_parts(
+            "for (i = 0; i < 20; i++) { reg = A[i]; B[i] = reg; }"
+        )
+        result = apply_scalar_expansion(mis, info, NamePool(set()))
+        decl = result.new_decls[0]
+        assert decl.name == "regArr"
+        assert decl.dims[0] >= 21
+
+    def test_previous_iteration_use(self):
+        mis, info = loop_parts(
+            "for (i = 0; i < 20; i++) { B[i] = t; t = A[i]; }"
+        )
+        result = apply_scalar_expansion(mis, info, NamePool(set()))
+        texts = [to_source(s) for s in result.mis]
+        assert texts[0] == "B[i] = tArr[i];"
+        assert texts[1] == "tArr[i + 1] = A[i];"
+        assert len(result.preheader) == 1
+        assert to_source(result.preheader[0]) == "tArr[0] = t;"
+
+    def test_liveout_restored(self):
+        mis, info = loop_parts(
+            "for (i = 0; i < 20; i++) { t = A[i]; B[i] = t; }"
+        )
+        result = apply_scalar_expansion(mis, info, NamePool(set()))
+        assert [to_source(s) for s in result.liveout] == ["t = tArr[20];"]
+
+    def test_symbolic_bounds_rejected(self):
+        mis, info = loop_parts(
+            "for (i = 0; i < n; i++) { t = A[i]; B[i] = t; }"
+        )
+        with pytest.raises(ValueError):
+            apply_scalar_expansion(mis, info, NamePool(set()))
+
+    def test_only_filter(self):
+        mis, info = loop_parts(
+            "for (i = 0; i < 20; i++) { t = A[i]; u = B[i]; C[i] = t + u; }"
+        )
+        result = apply_scalar_expansion(
+            mis, info, NamePool(set()), only={"t"}
+        )
+        assert len(result.plans) == 1
+        assert result.plans[0].var == "t"
+
+
+class TestSemantics:
+    INIT = (
+        "float A[64], B[64], C[64];\n"
+        "float t = 0.0, reg = 0.0;\n"
+        "for (i = 0; i < 64; i++) { A[i] = 0.5 * i + 1.0; }\n"
+    )
+
+    def _check(self, loop_src, ii=1):
+        mis, info = loop_parts(loop_src)
+        pool = NamePool({"A", "B", "C", "t", "reg", "i"})
+        expanded = apply_scalar_expansion(mis, info, pool)
+        schedule = build_modulo_schedule(expanded.mis, info, ii)
+        original = parse_program(self.INIT + loop_src)
+        base = run_program(original)
+        transformed = parse_program(self.INIT)
+        transformed.body.extend(expanded.new_decls)
+        transformed.body.extend(expanded.preheader)
+        transformed.body.extend(schedule.stmts())
+        transformed.body.extend(expanded.liveout)
+        out = run_program(transformed)
+        new_arrays = {p.array for p in expanded.plans}
+        assert state_equal(base, out, ignore=new_arrays)
+
+    def test_paper_34_example(self):
+        self._check(
+            "for (i = 2; i < 60; i++) { reg = A[i+2]; "
+            "A[i] = A[i-1] + A[i-2] + A[i+1] + reg; }"
+        )
+
+    def test_previous_iteration_value(self):
+        self._check(
+            "for (i = 0; i < 40; i++) { B[i] = t; t = A[i] * 2.0; }"
+        )
+
+    def test_step_two(self):
+        self._check(
+            "for (i = 0; i < 40; i += 2) { t = A[i+2]; B[i] = t + 1.0; }"
+        )
+
+    def test_with_ii_2(self):
+        self._check(
+            "for (i = 1; i < 40; i++) { t = A[i+1]; B[i] = t; "
+            "reg = A[i]; C[i] = reg * t; }",
+            ii=2,
+        )

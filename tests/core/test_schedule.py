@@ -1,0 +1,206 @@
+"""Unit tests for prologue/kernel/epilogue construction."""
+
+import pytest
+
+from repro.analysis.loopinfo import LoopInfo
+from repro.core.schedule import ShortTripCount, build_modulo_schedule
+from repro.lang import ParGroup, parse_program, parse_stmt, to_source
+from repro.lang.ast_nodes import Program
+from repro.sim.interp import run_program, state_equal
+
+
+def schedule_loop(source, ii):
+    loop = parse_stmt(source)
+    info = LoopInfo.from_for(loop)
+    assert info is not None
+    return build_modulo_schedule(loop.body, info, ii), loop, info
+
+
+class TestStructure:
+    SRC = (
+        "for (i = 0; i < 10; i++) { A[i] = B[i]; C[i] = A[i]; "
+        "D[i] = C[i]; E[i] = D[i]; }"
+    )
+
+    def test_stage_count(self):
+        sched, _, _ = schedule_loop(self.SRC, 2)
+        assert sched.stages == 2
+
+    def test_prologue_row_count(self):
+        # (S-1)*II rows.
+        sched, _, _ = schedule_loop(self.SRC, 2)
+        assert len(sched.prologue) == 2
+
+    def test_kernel_row_count(self):
+        sched, _, _ = schedule_loop(self.SRC, 2)
+        assert len(sched.kernel_rows) == 2
+
+    def test_epilogue_rows_plus_index_restore(self):
+        # n - II rows plus the loop-variable restoration statement.
+        sched, _, _ = schedule_loop(self.SRC, 2)
+        assert len(sched.epilogue) == (4 - 2) + 1
+
+    def test_kernel_bound_shrinks(self):
+        sched, _, _ = schedule_loop(self.SRC, 2)
+        assert to_source(sched.kernel_loop.cond) == "i < 9"
+
+    def test_kernel_rows_are_pargroups_when_parallel(self):
+        sched, _, _ = schedule_loop(self.SRC, 1)
+        assert any(isinstance(s, ParGroup) for s in sched.kernel_loop.body)
+
+    def test_invalid_ii_rejected(self):
+        with pytest.raises(ValueError):
+            schedule_loop(self.SRC, 4)  # II must be < n
+        with pytest.raises(ValueError):
+            schedule_loop(self.SRC, 0)
+
+    def test_single_mi_rejected(self):
+        with pytest.raises(ValueError):
+            schedule_loop("for (i = 0; i < 10; i++) { A[i] = 0.0; }", 1)
+
+    def test_short_trip_raises(self):
+        with pytest.raises(ShortTripCount):
+            schedule_loop(
+                "for (i = 0; i < 1; i++) { A[i] = B[i]; C[i] = A[i]; }", 1
+            )
+
+
+class TestPaperFigure1:
+    """The 6-MI, II=2 table of Fig. 1 (checked structurally)."""
+
+    SRC = (
+        "for (i = 1; i < 9; i++) { S0[i] = 0.0; S1[i] = 0.0; S2[i] = 0.0;"
+        " S3[i] = 0.0; S4[i] = 0.0; S5[i] = 0.0; }"
+    )
+
+    def test_stages(self):
+        sched, _, _ = schedule_loop(self.SRC, 2)
+        assert sched.stages == 3
+
+    def test_kernel_row_contents(self):
+        sched, _, _ = schedule_loop(self.SRC, 2)
+        row0 = [to_source(s) for s in sched.kernel_rows[0]]
+        row1 = [to_source(s) for s in sched.kernel_rows[1]]
+        # Fig. 1 kernel: S4(i); S2(i+1); S0(i+2) / S5(i); S3(i+1); S1(i+2)
+        assert row0 == ["S4[i] = 0.0;", "S2[i + 1] = 0.0;", "S0[i + 2] = 0.0;"]
+        assert row1 == ["S5[i] = 0.0;", "S3[i + 1] = 0.0;", "S1[i + 2] = 0.0;"]
+
+    def test_prologue_first_rows(self):
+        sched, _, _ = schedule_loop(self.SRC, 2)
+        texts = [to_source(s, style="paper") for s in sched.prologue]
+        assert texts[0] == "S0[1] = 0.0;"
+        assert texts[1] == "S1[1] = 0.0;"
+        assert texts[2] == "S2[1] = 0.0; || S0[2] = 0.0;"
+        assert texts[3] == "S3[1] = 0.0; || S1[2] = 0.0;"
+
+    def test_epilogue_first_rows(self):
+        sched, _, _ = schedule_loop(self.SRC, 2)
+        texts = [to_source(s, style="paper") for s in sched.epilogue]
+        # After the kernel i = 7 (= n-2 in paper terms, n = 9).
+        assert texts[0] == "S4[i] = 0.0; || S2[i + 1] = 0.0;"
+        assert texts[1] == "S5[i] = 0.0; || S3[i + 1] = 0.0;"
+        assert texts[2] == "S4[i + 1] = 0.0;"
+        assert texts[3] == "S5[i + 1] = 0.0;"
+
+
+class TestSemanticPreservation:
+    def _check(self, body, n=17, lo=0, decls="float A[40], B[40], C[40], D[40], E[40];", ii_list=(1, 2, 3)):
+        init = (
+            f"{decls}\n"
+            f"for (i = 0; i < 40; i++) {{ A[i] = i * 0.5; B[i] = 40 - i; }}\n"
+        )
+        loop_src = f"for (i = {lo}; i < {n}; i++) {{ {body} }}"
+        original = parse_program(init + loop_src)
+        base = run_program(original)
+        loop = parse_stmt(loop_src)
+        info = LoopInfo.from_for(loop)
+        n_mis = len(loop.body)
+        for ii in ii_list:
+            if not 1 <= ii < n_mis:
+                continue
+            try:
+                sched = build_modulo_schedule(loop.body, info, ii)
+            except ShortTripCount:
+                continue
+            pipelined = parse_program(init)
+            pipelined.body.extend(sched.stmts())
+            out = run_program(pipelined)
+            assert state_equal(base, out), f"ii={ii} body={body}"
+
+    def test_independent_statements(self):
+        self._check("C[i] = A[i] + 1.0; D[i] = B[i] * 2.0; E[i] = A[i] - B[i];")
+
+    def test_forward_flow(self):
+        self._check("C[i] = A[i]; D[i] = C[i] + 1.0;")
+
+    def test_loop_carried_flow(self):
+        self._check("C[i+1] = A[i]; D[i] = C[i];", lo=0)
+
+    def test_read_ahead(self):
+        self._check("C[i] = A[i+2] + B[i]; D[i] = C[i];", n=30)
+
+    def test_step_two(self):
+        loop_src = "for (i = 0; i < 20; i += 2) { C[i] = A[i]; D[i] = C[i] + B[i]; }"
+        init = (
+            "float A[40], B[40], C[40], D[40];\n"
+            "for (i = 0; i < 40; i++) { A[i] = i * 1.5; B[i] = i; }\n"
+        )
+        original = parse_program(init + loop_src)
+        base = run_program(original)
+        loop = parse_stmt(loop_src)
+        info = LoopInfo.from_for(loop)
+        sched = build_modulo_schedule(loop.body, info, 1)
+        pipelined = parse_program(init)
+        pipelined.body.extend(sched.stmts())
+        assert state_equal(base, run_program(pipelined))
+
+    def test_downward_loop(self):
+        loop_src = "for (i = 19; i > 1; i--) { C[i] = A[i]; D[i] = C[i] + 1.0; }"
+        init = (
+            "float A[40], C[40], D[40];\n"
+            "for (i = 0; i < 40; i++) { A[i] = i * 2.0; }\n"
+        )
+        original = parse_program(init + loop_src)
+        base = run_program(original)
+        loop = parse_stmt(loop_src)
+        info = LoopInfo.from_for(loop)
+        assert info is not None and info.step == -1
+        sched = build_modulo_schedule(loop.body, info, 1)
+        pipelined = parse_program(init)
+        pipelined.body.extend(sched.stmts())
+        assert state_equal(base, run_program(pipelined))
+
+    def test_trip_equals_stages(self):
+        # Minimum legal trip count: everything lands in prologue+epilogue.
+        loop_src = "for (i = 0; i < 2; i++) { C[i] = A[i]; D[i] = C[i]; }"
+        init = "float A[8], C[8], D[8];\nfor (i = 0; i < 8; i++) A[i] = i;\n"
+        original = parse_program(init + loop_src)
+        base = run_program(original)
+        loop = parse_stmt(loop_src)
+        sched = build_modulo_schedule(loop.body, LoopInfo.from_for(loop), 1)
+        pipelined = parse_program(init)
+        pipelined.body.extend(sched.stmts())
+        assert state_equal(base, run_program(pipelined))
+
+
+class TestSymbolicBoundsGuard:
+    def test_guard_emitted_for_symbolic_bound(self):
+        loop = parse_stmt("for (i = 0; i < n; i++) { C[i] = A[i]; D[i] = C[i]; }")
+        info = LoopInfo.from_for(loop)
+        sched = build_modulo_schedule(loop.body, info, 1)
+        assert sched.guard is not None
+        assert len(sched.stmts()) == 1
+
+    def test_guard_semantics_across_trip_counts(self):
+        loop_src = "for (i = 0; i < n; i++) { C[i] = A[i]; D[i] = C[i] + 1.0; }"
+        init = "float A[30], C[30], D[30];\nfor (i = 0; i < 30; i++) A[i] = i;\n"
+        loop = parse_stmt(loop_src)
+        info = LoopInfo.from_for(loop)
+        sched = build_modulo_schedule(loop.body, info, 1)
+        for n in [0, 1, 2, 3, 7, 30]:
+            original = parse_program(init + loop_src)
+            base = run_program(original, env={"n": n})
+            pipelined = parse_program(init)
+            pipelined.body.extend(sched.stmts())
+            out = run_program(pipelined, env={"n": n})
+            assert state_equal(base, out), f"n={n}"

@@ -1,0 +1,67 @@
+"""CLI smoke tests."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def loop_file(tmp_path):
+    path = tmp_path / "loop.c"
+    path.write_text(
+        """
+        float A[64], B[64];
+        float s = 0.0, t;
+        for (i = 0; i < 64; i++) { A[i] = i; B[i] = 2.0; }
+        for (i = 0; i < 64; i++) { t = A[i] * B[i]; s = s + t; }
+        """
+    )
+    return str(path)
+
+
+class TestTransform:
+    def test_basic(self, loop_file, capsys):
+        assert main(["transform", loop_file]) == 0
+        out = capsys.readouterr().out
+        assert "for (i = 0; i < 62; i += 2)" in out
+
+    def test_paper_style(self, loop_file, capsys):
+        main(["transform", loop_file, "--paper"])
+        assert "||" in capsys.readouterr().out
+
+    def test_report(self, loop_file, capsys):
+        main(["transform", loop_file, "--report"])
+        err = capsys.readouterr().err
+        assert "applied II=1" in err
+
+    def test_expansion_none(self, loop_file, capsys):
+        main(["transform", loop_file, "--expansion", "none"])
+        out = capsys.readouterr().out
+        assert "i += 2" not in out  # no MVE unrolling
+
+    def test_output_is_reparseable(self, loop_file, capsys):
+        from repro.lang import parse_program
+
+        main(["transform", loop_file])
+        parse_program(capsys.readouterr().out)
+
+
+class TestBench:
+    def test_bench_daxpy(self, capsys):
+        assert main(["bench", "daxpy", "--machine", "itanium2",
+                     "--compiler", "gcc_O3"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert "daxpy" in out
+
+    def test_bench_arm(self, capsys):
+        main(["bench", "dscal", "--machine", "arm7tdmi",
+              "--compiler", "arm_gcc"])
+        assert "nJ" in capsys.readouterr().out
+
+
+class TestFigure:
+    def test_quick_figure(self, capsys):
+        assert main(["figure", "text_bundles", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "kernel8" in out

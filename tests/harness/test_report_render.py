@@ -1,0 +1,52 @@
+"""Report-rendering edge cases."""
+
+from repro.harness.figures import FigureResult
+from repro.harness.report import render_figure
+
+
+def make(series, notes=()):
+    result = FigureResult(figure="figX", title="Test figure")
+    result.series = series
+    result.notes = list(notes)
+    return result
+
+
+class TestRenderFigure:
+    def test_geomean_for_ratio_series(self):
+        text = render_figure(make({"speedup": {"a": 2.0, "b": 0.5}}))
+        assert "geomean" in text
+        assert "1.000" in text  # sqrt(2 * 0.5)
+
+    def test_mean_for_percentage_series(self):
+        text = render_figure(
+            make({"improvement_pct": {"a": 10.0, "b": -30.0}})
+        )
+        assert "mean" in text and "geomean" not in text
+        assert "-10.000" in text
+
+    def test_mixed_series_uses_geomean_label(self):
+        text = render_figure(
+            make({"speedup": {"a": 1.0}, "other_pct": {"a": 5.0}})
+        )
+        assert "geomean" in text
+
+    def test_missing_cells_rendered_as_dash(self):
+        text = render_figure(
+            make({"s1": {"a": 1.0}, "s2": {"b": 2.0}})
+        )
+        assert "-" in text
+
+    def test_notes_appended(self):
+        text = render_figure(make({"s": {"a": 1.0}}, notes=["hello note"]))
+        assert "note: hello note" in text
+
+    def test_workload_order_preserved(self):
+        result = make({"s": {}})
+        result.series["s"] = {"zeta": 1.0, "alpha": 2.0}
+        lines = render_figure(result).splitlines()
+        names = [l.split()[0] for l in lines if l.startswith(("zeta", "alpha"))]
+        assert names == ["zeta", "alpha"]  # insertion order, not sorted
+
+    def test_empty_series(self):
+        text = render_figure(make({"s": {}}))
+        assert "figX" in text

@@ -1,0 +1,63 @@
+"""Sweep-matrix tests."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.harness.sweep import DEFAULT_PAIRS, SweepResult, run_sweep
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_sweep(
+        ["daxpy", "kernel12"],
+        pairs=[("itanium2", "gcc_O3"), ("arm7tdmi", "arm_gcc")],
+    )
+
+
+class TestRunSweep:
+    def test_result_count(self, sweep):
+        assert len(sweep.results) == 4
+
+    def test_matrix_shape(self, sweep):
+        matrix = sweep.speedup_matrix()
+        assert set(matrix) == {"daxpy", "kernel12"}
+        assert set(matrix["daxpy"]) == {
+            "itanium2/gcc_O3", "arm7tdmi/arm_gcc",
+        }
+
+    def test_unknown_machine_rejected(self):
+        with pytest.raises(ValueError):
+            run_sweep(["daxpy"], pairs=[("vax", "gcc_O3")])
+
+    def test_unknown_compiler_rejected(self):
+        with pytest.raises(ValueError):
+            run_sweep(["daxpy"], pairs=[("itanium2", "tcc")])
+
+    def test_default_pairs_are_valid(self):
+        from repro.backend.compiler import COMPILER_PRESETS
+        from repro.machines.presets import ALL_MACHINES
+
+        for machine, compiler in DEFAULT_PAIRS:
+            assert machine in ALL_MACHINES
+            assert compiler in COMPILER_PRESETS
+
+
+class TestExports:
+    def test_csv_parses(self, sweep):
+        rows = list(csv.DictReader(io.StringIO(sweep.to_csv())))
+        assert len(rows) == 4
+        assert float(rows[0]["speedup"]) > 0
+        assert rows[0]["machine"] in ("itanium2", "arm7tdmi")
+
+    def test_json_parses(self, sweep):
+        records = json.loads(sweep.to_json())
+        assert len(records) == 4
+        assert all("speedup" in r for r in records)
+
+    def test_best_pair(self, sweep):
+        best = sweep.best_pair_per_workload()
+        assert set(best) == {"daxpy", "kernel12"}
+        assert all("/" in pair for pair in best.values())

@@ -1,0 +1,33 @@
+"""Every example script must run cleanly end to end.
+
+The examples are part of the public API surface (they're what a new
+user copies from), so they execute as part of the test suite.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).resolve().parents[2] / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(path, capsys):
+    runpy.run_path(str(path), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{path.name} produced no output"
+
+
+def test_expected_examples_present():
+    names = {p.stem for p in EXAMPLES}
+    assert {
+        "quickstart",
+        "loop_transformation_lab",
+        "embedded_power_tuning",
+        "interactive_slc_session",
+        "while_loop_pipelining",
+    } <= names

@@ -1,0 +1,60 @@
+"""System-level verification: workloads through the whole stack.
+
+For a representative slice of the corpus, run the complete experiment
+(SLMS the kernel, compile both variants at a strong preset, simulate)
+with verification enabled — any semantic deviation raises.
+"""
+
+import pytest
+
+from repro.harness.experiment import run_experiment
+from repro.machines import arm7tdmi, itanium2, pentium, power4
+from repro.workloads import get_workload
+
+REPRESENTATIVE = [
+    # one of each dependence archetype
+    "kernel1",   # parallel multiply-add
+    "kernel5",   # tight serial recurrence
+    "kernel8",   # wide body, no carried deps
+    "kernel10",  # many temps / register pressure
+    "kernel16",  # branchy scan
+    "kernel17",  # if/else body
+    "kernel21",  # triple nest accumulator
+    "daxpy",
+    "ddot2",
+    "idamax",    # filtered conditional reduction
+    "cfft2d",
+    "vpenta",    # distance-2 recurrence with divide
+    "stone5",    # integer counter
+]
+
+
+@pytest.mark.parametrize("name", REPRESENTATIVE)
+def test_verified_on_itanium_icc(name):
+    res = run_experiment(get_workload(name), itanium2(), "icc_O3", verify=True)
+    assert res.base_cycles > 0 and res.slms_cycles > 0
+
+
+@pytest.mark.parametrize("name", ["kernel1", "kernel10", "daxpy", "stone5"])
+@pytest.mark.parametrize(
+    "machine_factory,preset",
+    [
+        (pentium, "gcc_O3"),
+        (power4, "xlc_O3"),
+        (arm7tdmi, "arm_gcc"),
+        (itanium2, "gcc_O0"),
+        (itanium2, "icc_O0"),
+    ],
+)
+def test_verified_across_machines(name, machine_factory, preset):
+    res = run_experiment(
+        get_workload(name), machine_factory(), preset, verify=True
+    )
+    assert res.base_cycles > 0
+
+
+def test_filtered_workload_runs_identically():
+    res = run_experiment(get_workload("idamax"), itanium2(), "gcc_O3")
+    assert not res.slms_applied
+    assert res.base_cycles == res.slms_cycles
+    assert res.base_energy == res.slms_energy

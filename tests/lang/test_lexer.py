@@ -1,0 +1,117 @@
+"""Unit tests for the C-subset lexer."""
+
+import pytest
+
+from repro.lang.errors import LexError
+from repro.lang.lexer import tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)[:-1]]  # drop eof
+
+
+class TestBasicTokens:
+    def test_empty_input_yields_only_eof(self):
+        toks = tokenize("")
+        assert len(toks) == 1
+        assert toks[0].kind == "eof"
+
+    def test_identifier(self):
+        toks = tokenize("reg1")
+        assert toks[0].kind == "ident"
+        assert toks[0].text == "reg1"
+
+    def test_underscore_identifier(self):
+        assert tokenize("_tmp_0")[0].text == "_tmp_0"
+
+    def test_keywords_are_classified(self):
+        for kw in ("int", "float", "for", "while", "if", "else", "break"):
+            assert tokenize(kw)[0].kind == "keyword"
+
+    def test_keyword_prefix_is_identifier(self):
+        assert tokenize("format")[0].kind == "ident"
+
+    def test_int_literal(self):
+        tok = tokenize("1234")[0]
+        assert tok.kind == "int"
+        assert tok.text == "1234"
+
+    def test_float_literal(self):
+        assert tokenize("3.5")[0].kind == "float"
+        assert tokenize("0.0")[0].kind == "float"
+
+    def test_float_exponent(self):
+        assert tokenize("1e10")[0].kind == "float"
+        assert tokenize("2.5e-3")[0].kind == "float"
+        assert tokenize("1E+4")[0].kind == "float"
+
+    def test_leading_dot_float(self):
+        tok = tokenize(".5")[0]
+        assert tok.kind == "float"
+        assert tok.text == ".5"
+
+    def test_number_then_ident(self):
+        assert texts("2x") == ["2", "x"]
+
+
+class TestOperators:
+    def test_multichar_operators_maximal_munch(self):
+        assert texts("a+=b") == ["a", "+=", "b"]
+        assert texts("a<=b") == ["a", "<=", "b"]
+        assert texts("a==b") == ["a", "==", "b"]
+        assert texts("a&&b") == ["a", "&&", "b"]
+        assert texts("a||b") == ["a", "||", "b"]
+        assert texts("i++") == ["i", "++"]
+        assert texts("i--") == ["i", "--"]
+
+    def test_adjacent_single_ops(self):
+        assert texts("a<-b") == ["a", "<", "-", "b"]
+
+    def test_brackets_and_punctuation(self):
+        assert texts("A[i,j](x);{}") == [
+            "A", "[", "i", ",", "j", "]", "(", "x", ")", ";", "{", "}",
+        ]
+
+
+class TestCommentsAndWhitespace:
+    def test_line_comment_skipped(self):
+        assert texts("a // comment here\n b") == ["a", "b"]
+
+    def test_block_comment_skipped(self):
+        assert texts("a /* x = 1; */ b") == ["a", "b"]
+
+    def test_multiline_block_comment(self):
+        assert texts("a /* line1\nline2 */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(LexError):
+            tokenize("a /* never closed")
+
+    def test_whitespace_variants(self):
+        assert texts("a\t b\r\n c") == ["a", "b", "c"]
+
+
+class TestLocations:
+    def test_line_and_column_tracking(self):
+        toks = tokenize("a\n  b")
+        assert toks[0].loc.line == 1 and toks[0].loc.col == 1
+        assert toks[1].loc.line == 2 and toks[1].loc.col == 3
+
+    def test_location_after_comment(self):
+        toks = tokenize("// c\nx")
+        assert toks[0].loc.line == 2
+
+
+class TestErrors:
+    def test_unknown_character_raises(self):
+        with pytest.raises(LexError):
+            tokenize("a @ b")
+
+    def test_error_carries_location(self):
+        with pytest.raises(LexError) as exc:
+            tokenize("ab\n  @")
+        assert exc.value.loc.line == 2

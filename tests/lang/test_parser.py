@@ -1,0 +1,272 @@
+"""Unit tests for the recursive-descent parser."""
+
+import pytest
+
+from repro.lang import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Break,
+    Call,
+    Decl,
+    ExprStmt,
+    FloatLit,
+    For,
+    If,
+    IntLit,
+    ParseError,
+    Ternary,
+    UnaryOp,
+    Var,
+    While,
+    parse_expr,
+    parse_program,
+    parse_stmt,
+)
+
+
+class TestExpressions:
+    def test_int_literal(self):
+        assert parse_expr("42") == IntLit(42)
+
+    def test_negative_literal_folds(self):
+        assert parse_expr("-3") == IntLit(-3)
+
+    def test_float_literal(self):
+        assert parse_expr("2.5") == FloatLit(2.5)
+
+    def test_precedence_mul_over_add(self):
+        expr = parse_expr("a + b * c")
+        assert expr == BinOp("+", Var("a"), BinOp("*", Var("b"), Var("c")))
+
+    def test_left_associativity(self):
+        expr = parse_expr("a - b - c")
+        assert expr == BinOp("-", BinOp("-", Var("a"), Var("b")), Var("c"))
+
+    def test_parentheses_override(self):
+        expr = parse_expr("(a + b) * c")
+        assert expr == BinOp("*", BinOp("+", Var("a"), Var("b")), Var("c"))
+
+    def test_relational_below_additive(self):
+        expr = parse_expr("a + 1 < b")
+        assert expr == BinOp("<", BinOp("+", Var("a"), IntLit(1)), Var("b"))
+
+    def test_logical_chain(self):
+        expr = parse_expr("a < b && c != d || e")
+        assert expr.op == "||"
+        assert expr.left.op == "&&"
+
+    def test_unary_not(self):
+        assert parse_expr("!c") == UnaryOp("!", Var("c"))
+
+    def test_unary_minus_variable(self):
+        assert parse_expr("-x") == UnaryOp("-", Var("x"))
+
+    def test_ternary(self):
+        expr = parse_expr("c ? a : b")
+        assert expr == Ternary(Var("c"), Var("a"), Var("b"))
+
+    def test_ternary_right_associative(self):
+        expr = parse_expr("c ? a : d ? b : e")
+        assert isinstance(expr.els, Ternary)
+
+    def test_array_ref_1d(self):
+        assert parse_expr("A[i]") == ArrayRef("A", [Var("i")])
+
+    def test_array_ref_2d_bracket_pairs(self):
+        assert parse_expr("X[k][j]") == ArrayRef("X", [Var("k"), Var("j")])
+
+    def test_array_ref_2d_comma_paper_syntax(self):
+        # The paper writes X[k, i]; it must equal X[k][i].
+        assert parse_expr("X[k, i]") == parse_expr("X[k][i]")
+
+    def test_array_subscript_expression(self):
+        assert parse_expr("A[2*i+1]") == ArrayRef(
+            "A", [BinOp("+", BinOp("*", IntLit(2), Var("i")), IntLit(1))]
+        )
+
+    def test_call_no_args(self):
+        assert parse_expr("f()") == Call("f", [])
+
+    def test_call_with_args(self):
+        assert parse_expr("max(a, b + 1)") == Call(
+            "max", [Var("a"), BinOp("+", Var("b"), IntLit(1))]
+        )
+
+    def test_indexing_call_result_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expr("f()[0]")
+
+
+class TestStatements:
+    def test_plain_assignment(self):
+        stmt = parse_stmt("x = 1;")
+        assert stmt == Assign(Var("x"), IntLit(1))
+
+    def test_compound_assignment(self):
+        stmt = parse_stmt("s += A[i];")
+        assert stmt == Assign(Var("s"), ArrayRef("A", [Var("i")]), "+")
+
+    def test_all_compound_operators(self):
+        for text, op in [("+=", "+"), ("-=", "-"), ("*=", "*"), ("/=", "/"), ("%=", "%")]:
+            stmt = parse_stmt(f"x {text} 2;")
+            assert stmt.op == op
+
+    def test_postincrement(self):
+        assert parse_stmt("i++;") == Assign(Var("i"), IntLit(1), "+")
+
+    def test_postdecrement(self):
+        assert parse_stmt("i--;") == Assign(Var("i"), IntLit(1), "-")
+
+    def test_preincrement(self):
+        assert parse_stmt("++i;") == Assign(Var("i"), IntLit(1), "+")
+
+    def test_array_increment(self):
+        assert parse_stmt("A[i]++;") == Assign(ArrayRef("A", [Var("i")]), IntLit(1), "+")
+
+    def test_array_target_assignment(self):
+        stmt = parse_stmt("A[i+1] = t;")
+        assert isinstance(stmt.target, ArrayRef)
+
+    def test_call_statement(self):
+        assert parse_stmt("f(x);") == ExprStmt(Call("f", [Var("x")]))
+
+    def test_assignment_to_literal_rejected(self):
+        with pytest.raises(ParseError):
+            parse_stmt("1 = x;")
+
+    def test_useless_expression_rejected(self):
+        with pytest.raises(ParseError):
+            parse_stmt("a + b;")
+
+    def test_missing_semicolon_rejected(self):
+        with pytest.raises(ParseError):
+            parse_stmt("x = 1")
+
+
+class TestControlFlow:
+    def test_for_loop_canonical(self):
+        stmt = parse_stmt("for (i = 0; i < n; i++) { A[i] = 0; }")
+        assert isinstance(stmt, For)
+        assert stmt.init == Assign(Var("i"), IntLit(0))
+        assert stmt.cond == BinOp("<", Var("i"), Var("n"))
+        assert stmt.step == Assign(Var("i"), IntLit(1), "+")
+        assert len(stmt.body) == 1
+
+    def test_for_loop_unbraced_body(self):
+        stmt = parse_stmt("for (i = 0; i < n; i++) A[i] = 0;")
+        assert len(stmt.body) == 1
+
+    def test_for_loop_step_two(self):
+        stmt = parse_stmt("for (i = 0; i < n; i += 2) { }")
+        assert stmt.step == Assign(Var("i"), IntLit(2), "+")
+
+    def test_for_empty_header_parts(self):
+        stmt = parse_stmt("for (;;) { break; }")
+        assert stmt.init is None and stmt.cond is None and stmt.step is None
+        assert stmt.body == [Break()]
+
+    def test_while_loop(self):
+        stmt = parse_stmt("while (a[i+2] > 0) { i++; }")
+        assert isinstance(stmt, While)
+
+    def test_if_else(self):
+        stmt = parse_stmt("if (x < y) x = x + 1; else y = y + 1;")
+        assert isinstance(stmt, If)
+        assert len(stmt.then) == 1 and len(stmt.els) == 1
+
+    def test_if_without_else(self):
+        stmt = parse_stmt("if (c) x = 1;")
+        assert stmt.els == []
+
+    def test_else_if_chain(self):
+        stmt = parse_stmt("if (a) x = 1; else if (b) x = 2; else x = 3;")
+        assert isinstance(stmt.els[0], If)
+        assert stmt.els[0].els[0] == Assign(Var("x"), IntLit(3))
+
+    def test_nested_loops(self):
+        stmt = parse_stmt(
+            "for (i = 0; i < n; i++) { for (j = 0; j < n; j++) { A[i][j] = 0; } }"
+        )
+        assert isinstance(stmt.body[0], For)
+
+    def test_empty_body_semicolon(self):
+        stmt = parse_stmt("for (i = 0; i < n; i++) ;")
+        assert stmt.body == []
+
+    def test_unterminated_block_rejected(self):
+        with pytest.raises(ParseError):
+            parse_stmt("for (i = 0; i < n; i++) { x = 1;")
+
+
+class TestDeclarations:
+    def test_scalar_decl(self):
+        prog = parse_program("int x;")
+        assert prog.body == [Decl("int", "x")]
+
+    def test_scalar_decl_with_init(self):
+        prog = parse_program("float s = 0.0;")
+        assert prog.body == [Decl("float", "s", (), FloatLit(0.0))]
+
+    def test_array_decl(self):
+        prog = parse_program("float A[100];")
+        assert prog.body == [Decl("float", "A", (100,))]
+
+    def test_array_decl_2d(self):
+        prog = parse_program("float X[10][20];")
+        assert prog.body == [Decl("float", "X", (10, 20))]
+
+    def test_double_is_float(self):
+        prog = parse_program("double d;")
+        assert prog.body[0].type == "float"
+
+    def test_multi_declarator(self):
+        prog = parse_program("int a, b = 1, c;")
+        assert [d.name for d in prog.body] == ["a", "b", "c"]
+        assert prog.body[1].init == IntLit(1)
+
+    def test_decl_inside_loop_body(self):
+        stmt = parse_stmt("for (i = 0; i < n; i++) { float t = 0.0; }")
+        assert isinstance(stmt.body[0], Decl)
+
+
+class TestPrograms:
+    def test_paper_dot_product(self):
+        prog = parse_program(
+            """
+            float A[1000], B[1000];
+            float s = 0.0, t;
+            for (i = 0; i < n; i++) {
+                t = A[i] * B[i];
+                s = s + t;
+            }
+            """
+        )
+        loops = [s for s in prog.body if isinstance(s, For)]
+        assert len(loops) == 1
+        assert len(loops[0].body) == 2
+
+    def test_paper_swap_loop(self):
+        prog = parse_program(
+            """
+            for (k = 0; k < n; k++) {
+                CT = X[k, i];
+                X[k, i] = X[k, j] * 2;
+                X[k, j] = CT;
+            }
+            """
+        )
+        loop = prog.body[0]
+        assert len(loop.body) == 3
+
+    def test_structural_equality_ignores_location(self):
+        a = parse_program("x = 1;\ny = 2;")
+        b = parse_program("x = 1; y = 2;")
+        assert a == b
+
+    def test_clone_is_deep(self):
+        prog = parse_program("for (i = 0; i < n; i++) { A[i] = 0; }")
+        copy = prog.clone()
+        assert copy == prog
+        copy.body[0].body[0].target.indices[0] = Var("j")
+        assert copy != prog

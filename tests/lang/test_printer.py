@@ -1,0 +1,129 @@
+"""Unit tests for the pretty-printer, including round-trip guarantees."""
+
+import pytest
+
+from repro.lang import (
+    Assign,
+    IntLit,
+    ParGroup,
+    Var,
+    parse_expr,
+    parse_program,
+    parse_stmt,
+    to_source,
+)
+
+
+class TestExpressionPrinting:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "a + b * c",
+            "(a + b) * c",
+            "a - (b - c)",
+            "a / b / c",
+            "a % 2",
+            "-x",
+            "!done",
+            "-x * y",
+            "a < b && c >= d",
+            "x == 0 || y != 1",
+            "c ? a + 1 : b",
+            "A[i]",
+            "A[i + 1]",
+            "A[2 * i + 1]",
+            "X[k][j]",
+            "f(a, b + 1)",
+            "max(a, b)",
+            "a + (b ? 1 : 0)",
+        ],
+    )
+    def test_round_trip(self, source):
+        expr = parse_expr(source)
+        assert parse_expr(to_source(expr)) == expr
+
+    def test_precedence_parentheses_emitted(self):
+        assert to_source(parse_expr("(a + b) * c")) == "(a + b) * c"
+
+    def test_no_redundant_parentheses(self):
+        assert to_source(parse_expr("a + b + c")) == "a + b + c"
+
+    def test_right_assoc_parens_kept(self):
+        assert to_source(parse_expr("a - (b - c)")) == "a - (b - c)"
+
+    def test_float_formatting(self):
+        assert to_source(parse_expr("2.0")) == "2.0"
+        assert to_source(parse_expr("0.5")) == "0.5"
+
+    def test_multidim_prints_bracket_pairs(self):
+        assert to_source(parse_expr("X[k, j]")) == "X[k][j]"
+
+
+class TestStatementPrinting:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "x = 1;",
+            "s += A[i];",
+            "A[i + 1] = t;",
+            "f(x);",
+            "if (c) {\n    x = 1;\n}",
+            "for (i = 0; i < n; i++) {\n    A[i] = 0;\n}",
+            "while (x > 0) {\n    x--;\n}",
+        ],
+    )
+    def test_statement_round_trip(self, source):
+        stmt = parse_stmt(source)
+        assert parse_stmt(to_source(stmt)) == stmt
+
+    def test_increment_sugar(self):
+        assert to_source(parse_stmt("i++;")) == "i++;"
+        assert to_source(parse_stmt("i--;")) == "i--;"
+
+    def test_compound_op_printed(self):
+        assert to_source(parse_stmt("s += 2;")) == "s += 2;"
+
+    def test_program_round_trip(self):
+        source = """
+        float A[100];
+        float s = 0.0;
+        for (i = 0; i < 100; i++) {
+            s = s + A[i];
+            if (s > 10.0) {
+                s = 0.0;
+            }
+        }
+        """
+        prog = parse_program(source)
+        assert parse_program(to_source(prog)) == prog
+
+
+class TestParGroupPrinting:
+    def _group(self):
+        return ParGroup(
+            [
+                Assign(Var("x"), IntLit(1)),
+                Assign(Var("y"), IntLit(2)),
+            ]
+        )
+
+    def test_c_style_keeps_statements_separate(self):
+        text = to_source(self._group())
+        assert "x = 1;" in text
+        assert "y = 2;" in text
+        assert "/* || */" in text
+
+    def test_paper_style_joins_with_bars(self):
+        text = to_source(self._group(), style="paper")
+        assert text == "x = 1; || y = 2;"
+
+    def test_c_style_is_reparseable(self):
+        # ParGroup flattens to plain C that parses back to the same
+        # statements (minus the parallel annotation).
+        text = to_source(self._group())
+        prog = parse_program(text)
+        assert [to_source(s) for s in prog.body] == ["x = 1;", "y = 2;"]
+
+    def test_unknown_style_rejected(self):
+        with pytest.raises(ValueError):
+            to_source(self._group(), style="fancy")

@@ -1,0 +1,40 @@
+"""Paper-style printing details."""
+
+from repro.lang import ParGroup, parse_stmt, to_source
+
+
+class TestPaperStyle:
+    def test_predicated_single_statement_inline(self):
+        stmt = parse_stmt("if (pred0) max0 = arr[i];")
+        assert (
+            to_source(stmt, style="paper")
+            == "if (pred0) max0 = arr[i];"
+        )
+
+    def test_if_else_still_blocked(self):
+        stmt = parse_stmt("if (c) x = 1; else x = 2;")
+        text = to_source(stmt, style="paper")
+        assert "{" in text  # else-ful ifs keep block form
+
+    def test_pargroup_of_predicated_statements(self):
+        group = ParGroup(
+            [
+                parse_stmt("if (p1) m1 = a[i];"),
+                parse_stmt("p2 = m2 < a[i + 1];"),
+            ]
+        )
+        text = to_source(group, style="paper")
+        assert text == "if (p1) m1 = a[i]; || p2 = m2 < a[i + 1];"
+
+    def test_c_style_unchanged(self):
+        stmt = parse_stmt("if (pred0) max0 = arr[i];")
+        text = to_source(stmt)  # default C style
+        assert "{" in text
+
+    def test_nested_pargroup_in_loop(self):
+        loop = parse_stmt("for (i = 0; i < 4; i++) { x = 1; }")
+        loop.body = [
+            ParGroup([parse_stmt("x = 1;"), parse_stmt("y = 2;")])
+        ]
+        text = to_source(loop, style="paper")
+        assert "x = 1; || y = 2;" in text

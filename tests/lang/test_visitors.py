@@ -1,0 +1,197 @@
+"""Unit tests for AST traversal and rewriting utilities."""
+
+from repro.lang import (
+    ArrayRef,
+    Var,
+    parse_expr,
+    parse_program,
+    parse_stmt,
+    to_source,
+)
+from repro.lang.visitors import (
+    collect_array_refs,
+    collect_calls,
+    collect_vars,
+    count_ops,
+    defined_scalars,
+    fold_constants,
+    rename_scalar,
+    rename_scalars,
+    substitute_expr,
+    substitute_index,
+    used_scalars,
+    walk,
+)
+
+
+class TestWalk:
+    def test_walk_yields_all_nodes(self):
+        expr = parse_expr("a + b * c")
+        names = {n.name for n in walk(expr) if isinstance(n, Var)}
+        assert names == {"a", "b", "c"}
+
+    def test_walk_includes_subscripts(self):
+        stmt = parse_stmt("A[i+1] = B[j];")
+        assert collect_vars(stmt) == {"i", "j"}
+
+
+class TestCollectors:
+    def test_collect_array_refs(self):
+        stmt = parse_stmt("A[i] = B[i-1] + B[i+1];")
+        refs = collect_array_refs(stmt)
+        assert sorted(r.name for r in refs) == ["A", "B", "B"]
+
+    def test_collect_calls(self):
+        stmt = parse_stmt("x = f(g(1), 2);")
+        assert [c.name for c in collect_calls(stmt)] == ["f", "g"]
+
+
+class TestDefUse:
+    def test_plain_assign_target_not_used(self):
+        stmt = parse_stmt("x = y + z;")
+        assert used_scalars(stmt) == {"y", "z"}
+        assert defined_scalars(stmt) == {"x"}
+
+    def test_compound_assign_target_is_used(self):
+        stmt = parse_stmt("x += y;")
+        assert used_scalars(stmt) == {"x", "y"}
+        assert defined_scalars(stmt) == {"x"}
+
+    def test_array_store_defines_no_scalar(self):
+        stmt = parse_stmt("A[i] = t;")
+        assert defined_scalars(stmt) == set()
+        assert used_scalars(stmt) == {"i", "t"}
+
+    def test_subscript_vars_are_uses(self):
+        stmt = parse_stmt("x = A[i+k];")
+        assert used_scalars(stmt) == {"i", "k"}
+
+    def test_if_statement_def_use(self):
+        stmt = parse_stmt("if (c) x = a; else y = b;")
+        assert used_scalars(stmt) == {"c", "a", "b"}
+        assert defined_scalars(stmt) == {"x", "y"}
+
+    def test_increment_is_def_and_use(self):
+        stmt = parse_stmt("i++;")
+        assert used_scalars(stmt) == {"i"}
+        assert defined_scalars(stmt) == {"i"}
+
+
+class TestSubstituteIndex:
+    def test_positive_shift(self):
+        stmt = parse_stmt("A[i] = A[i-1];")
+        shifted = substitute_index(stmt, "i", 2)
+        assert to_source(shifted) == "A[i + 2] = A[i + 1];"
+
+    def test_negative_shift(self):
+        stmt = parse_stmt("A[i+1] = t;")
+        shifted = substitute_index(stmt, "i", -1)
+        assert to_source(shifted) == "A[i] = t;"
+
+    def test_zero_shift_is_identity(self):
+        stmt = parse_stmt("A[i] = A[i-1] + 1;")
+        assert substitute_index(stmt, "i", 0) == stmt
+
+    def test_shift_folds_constants(self):
+        expr = parse_expr("A[i - 2]")
+        shifted = substitute_index(expr, "i", 2)
+        assert to_source(shifted) == "A[i]"
+
+    def test_original_is_untouched(self):
+        stmt = parse_stmt("A[i] = 0;")
+        before = to_source(stmt)
+        substitute_index(stmt, "i", 5)
+        assert to_source(stmt) == before
+
+    def test_only_named_var_substituted(self):
+        stmt = parse_stmt("A[i] = B[j];")
+        shifted = substitute_index(stmt, "i", 1)
+        assert to_source(shifted) == "A[i + 1] = B[j];"
+
+    def test_scaled_subscript(self):
+        # A[2*i] shifted by 1 -> A[2*(i+1)] which folds to 2*i+2.
+        expr = parse_expr("A[2*i]")
+        shifted = substitute_index(expr, "i", 1)
+        assert parse_expr(to_source(shifted)) == parse_expr("A[2 * (i + 1)]") or (
+            "2" in to_source(shifted)
+        )
+
+    def test_substitute_arbitrary_expr(self):
+        stmt = parse_stmt("x = A[i];")
+        out = substitute_expr(stmt, "i", parse_expr("j * 2"))
+        assert to_source(out) == "x = A[j * 2];"
+
+
+class TestRenaming:
+    def test_rename_scalar(self):
+        stmt = parse_stmt("t = A[i] + t;")
+        renamed = rename_scalar(stmt, "t", "t1")
+        assert to_source(renamed) == "t1 = A[i] + t1;"
+
+    def test_rename_does_not_touch_arrays(self):
+        stmt = parse_stmt("t = t + 1;")
+        prog = parse_stmt("A[t] = t;")
+        renamed = rename_scalar(prog, "t", "u")
+        assert to_source(renamed) == "A[u] = u;"
+        assert to_source(rename_scalar(stmt, "A", "B")) == "t = t + 1;"
+
+    def test_rename_many(self):
+        stmt = parse_stmt("x = y + z;")
+        renamed = rename_scalars(stmt, {"x": "a", "y": "b"})
+        assert to_source(renamed) == "a = b + z;"
+
+
+class TestFoldConstants:
+    def test_fold_addition(self):
+        assert to_source(fold_constants(parse_expr("1 + 2"))) == "3"
+
+    def test_fold_nested_offsets(self):
+        assert to_source(fold_constants(parse_expr("i + 2 - 2"))) == "i"
+
+    def test_fold_in_subscript(self):
+        assert to_source(fold_constants(parse_expr("A[i + 1 + 1]"))) == "A[i + 2]"
+
+    def test_fold_respects_float(self):
+        # Float arithmetic is not folded (keeps numerics bit-exact).
+        assert to_source(fold_constants(parse_expr("1.5 + 2.5"))) == "1.5 + 2.5"
+
+
+class TestCountOps:
+    def test_dot_product_body(self):
+        prog = parse_program("t = A[i] * B[i]; s = s + t;")
+        counts = count_ops(prog)
+        assert counts["load"] == 2
+        assert counts["store"] == 0
+        assert counts["arith"] == 2
+        assert counts["mul"] == 1
+
+    def test_store_counted(self):
+        counts = count_ops(parse_stmt("A[i] = t;"))
+        assert counts["store"] == 1
+        assert counts["load"] == 0
+
+    def test_compound_array_assign_is_load_and_store(self):
+        counts = count_ops(parse_stmt("A[i] += 1;"))
+        assert counts["load"] == 1
+        assert counts["store"] == 1
+        assert counts["arith"] == 1
+
+    def test_subscript_arith_counted_separately(self):
+        counts = count_ops(parse_stmt("x = A[i + 1];"))
+        assert counts["arith"] == 0
+        assert counts["addr_arith"] == 1
+
+    def test_paper_swap_loop_ao_is_one(self):
+        # §4: CT = X[k,i]; X[k,i] = X[k,j]*2; X[k,j] = CT; has AO = 1.
+        prog = parse_program(
+            "CT = X[k, i]; X[k, i] = X[k, j] * 2; X[k, j] = CT;"
+        )
+        counts = count_ops(prog)
+        assert counts["arith"] == 1
+        assert counts["load"] == 2
+        assert counts["store"] == 2
+
+    def test_div_and_call(self):
+        counts = count_ops(parse_stmt("x = f(a) / b;"))
+        assert counts["div"] == 1
+        assert counts["call"] == 1

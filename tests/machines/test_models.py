@@ -1,0 +1,98 @@
+"""Machine model and preset tests."""
+
+import pytest
+
+from repro.machines import (
+    ALL_MACHINES,
+    arm7tdmi,
+    itanium2,
+    machine_by_name,
+    pentium,
+    power4,
+)
+from repro.machines.model import CacheConfig, MachineModel, PowerProfile
+
+
+class TestPresets:
+    def test_all_presets_validate(self):
+        for factory in (itanium2, pentium, power4, arm7tdmi):
+            factory().validate()
+
+    def test_lookup_by_name(self):
+        for name in ALL_MACHINES:
+            assert machine_by_name(name).name == name
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            machine_by_name("cray1")
+
+    def test_relative_widths(self):
+        assert itanium2().issue_width > power4().issue_width >= pentium().issue_width
+        assert arm7tdmi().issue_width == 1
+
+    def test_register_famine_ordering(self):
+        assert pentium().num_registers < arm7tdmi().num_registers
+        assert arm7tdmi().num_registers < power4().num_registers
+        assert power4().num_registers < itanium2().num_registers
+
+    def test_arm_soft_float_latencies(self):
+        arm = arm7tdmi()
+        assert arm.latency("fadd") > itanium2().latency("fadd")
+
+    def test_unit_counts_defaults(self):
+        model = itanium2()
+        assert model.unit_count("mem") == 4
+        assert model.unit_count("branch") >= 1
+
+
+class TestModelValidation:
+    def test_unknown_unit_class_rejected(self):
+        model = MachineModel(
+            name="bad",
+            issue_width=2,
+            units={"teleport": 1},
+            latencies={},
+            num_registers=16,
+        )
+        with pytest.raises(ValueError):
+            model.validate()
+
+    def test_degenerate_rejected(self):
+        model = MachineModel(
+            name="bad",
+            issue_width=0,
+            units={},
+            latencies={},
+            num_registers=16,
+        )
+        with pytest.raises(ValueError):
+            model.validate()
+
+    def test_latency_default(self):
+        model = itanium2()
+        assert model.latency("branch") == 1
+
+
+class TestCacheConfig:
+    def test_num_lines(self):
+        config = CacheConfig(size_bytes=1024, line_bytes=64)
+        assert config.num_lines == 16
+
+    def test_tiny_cache_floor(self):
+        config = CacheConfig(size_bytes=16, line_bytes=64)
+        assert config.num_lines == 1
+
+
+class TestPowerProfile:
+    def test_op_energy_lookup(self):
+        profile = PowerProfile()
+        assert profile.op_energy("fmul") > profile.op_energy("alu")
+
+    def test_unknown_class_default(self):
+        assert PowerProfile().op_energy("mystery") > 0
+
+    def test_arm_profile_cheaper_ops(self):
+        assert (
+            arm7tdmi().power.op_energy("alu")
+            < itanium2().power.op_energy("alu")
+        )

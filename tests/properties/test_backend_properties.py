@@ -1,0 +1,139 @@
+"""Property tests: the final compiler preserves semantics at every
+preset and machine, and schedules respect their dependence constraints.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.backend.codegen import compile_to_lir
+from repro.backend.compiler import COMPILER_PRESETS, FinalCompiler
+from repro.backend.listsched import build_dependences, schedule_block
+from repro.lang import parse_program
+from repro.machines import arm7tdmi, itanium2, pentium, power4
+from repro.sim.executor import execute
+from repro.sim.interp import run_program, state_equal
+from repro.sim.lir_interp import run_module
+
+MACHINES = [itanium2, pentium, power4, arm7tdmi]
+SIZE = 32
+
+
+@st.composite
+def programs(draw):
+    """Random straight-line + loop + branch programs."""
+    lines = [
+        f"float A[{SIZE}], B[{SIZE}];",
+        "float s = 0.0, t = 1.5, u = 0.25;",
+        f"for (i = 0; i < {SIZE}; i++) "
+        "{ A[i] = 0.5 * i + 1.0; B[i] = 8.0 - 0.25 * i; }",
+    ]
+    n_stmts = draw(st.integers(1, 5))
+    for _ in range(n_stmts):
+        kind = draw(st.integers(0, 3))
+        if kind == 0:
+            off = draw(st.integers(0, 3))
+            lines.append(
+                f"for (i = 0; i < {SIZE - 4}; i++) "
+                f"A[i] = A[i + {off}] * u + B[i];"
+            )
+        elif kind == 1:
+            lines.append(
+                f"s = s + t * {draw(st.integers(1, 5))}.5 - u;"
+            )
+        elif kind == 2:
+            cmp_rhs = draw(st.integers(0, 9))
+            lines.append(
+                f"if (s > {cmp_rhs}.0) {{ t = t + 1.0; }} "
+                "else { u = u + 0.5; }"
+            )
+        else:
+            lines.append(
+                f"for (i = 1; i < {SIZE - 2}; i++) "
+                "{ B[i] = B[i-1] * 0.5 + A[i]; s = s + B[i]; }"
+            )
+    return "\n".join(lines)
+
+
+@settings(max_examples=40, deadline=None)
+@given(programs(), st.sampled_from(sorted(COMPILER_PRESETS)))
+def test_compiler_presets_preserve_semantics(source, preset):
+    prog = parse_program(source)
+    expected = run_program(prog)
+    for machine_factory in MACHINES:
+        machine = machine_factory()
+        compiled = FinalCompiler(machine, preset).compile(prog)
+        result = execute(compiled.module, machine)
+        assert state_equal(expected, result.state), (
+            f"{preset} on {machine.name}:\n{source}"
+        )
+
+
+@settings(max_examples=30, deadline=None)
+@given(programs())
+def test_optimization_never_slower_than_O0(source):
+    """The -O0 model is an upper bound on the scheduled cycle count."""
+    prog = parse_program(source)
+    for machine_factory in (itanium2, arm7tdmi):
+        machine = machine_factory()
+        o0 = FinalCompiler(machine, "gcc_O0").compile(prog)
+        o3 = FinalCompiler(machine, "gcc_O3").compile(prog)
+        c0 = execute(o0.module, machine).metrics.cycles
+        c3 = execute(o3.module, machine).metrics.cycles
+        assert c3 <= c0, f"{machine.name}:\n{source}"
+
+
+@settings(max_examples=40, deadline=None)
+@given(programs())
+def test_schedule_respects_dependences(source):
+    """Every dependence edge's latency holds in the emitted schedule."""
+    machine = itanium2()
+    module = compile_to_lir(parse_program(source))
+    for name in module.order:
+        block = module.blocks[name]
+        schedule_block(block, machine)
+        position = {}
+        for cycle, ops in enumerate(block.schedule or []):
+            for op in ops:
+                position[op] = cycle
+        for edge in build_dependences(block.instrs):
+            src_cycle = position[edge.src]
+            dst_cycle = position[edge.dst]
+            if edge.latency == 0:
+                assert dst_cycle >= src_cycle
+            else:
+                assert dst_cycle >= src_cycle + edge.latency, (
+                    f"{block.instrs[edge.src]} -> {block.instrs[edge.dst]}"
+                )
+
+
+@settings(max_examples=40, deadline=None)
+@given(programs())
+def test_schedule_respects_resources(source):
+    """No cycle exceeds issue width or per-class unit counts."""
+    machine = pentium()
+    module = compile_to_lir(parse_program(source))
+    for name in module.order:
+        block = module.blocks[name]
+        schedule_block(block, machine)
+        for ops in block.schedule or []:
+            assert len(ops) <= machine.issue_width
+            by_class = {}
+            for op in ops:
+                cls = block.instrs[op].op_class()
+                by_class[cls] = by_class.get(cls, 0) + 1
+            for cls, count in by_class.items():
+                assert count <= machine.unit_count(cls)
+
+
+@settings(max_examples=30, deadline=None)
+@given(programs(), st.integers(6, 32))
+def test_regalloc_any_register_count(source, num_registers):
+    from repro.backend.regalloc import allocate
+
+    prog = parse_program(source)
+    expected = run_program(prog)
+    module = compile_to_lir(prog)
+    allocate(module, num_registers)
+    assert state_equal(expected, run_module(module)), (
+        f"K={num_registers}:\n{source}"
+    )

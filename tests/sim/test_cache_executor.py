@@ -1,0 +1,172 @@
+"""Cache model, address map, and cycle-executor tests."""
+
+import pytest
+
+from repro.backend.compiler import FinalCompiler, compile_and_run
+from repro.lang import parse_program
+from repro.machines import arm7tdmi, itanium2, pentium
+from repro.machines.model import CacheConfig
+from repro.sim.cache import AddressMap, DirectMappedCache
+from repro.sim.executor import execute
+from repro.sim.interp import run_program, state_equal
+
+
+class TestDirectMappedCache:
+    def _cache(self, size=256, line=64):
+        return DirectMappedCache(CacheConfig(size_bytes=size, line_bytes=line))
+
+    def test_cold_miss_then_hit(self):
+        cache = self._cache()
+        assert not cache.access(0)
+        assert cache.access(0)
+
+    def test_same_line_hits(self):
+        cache = self._cache(line=64)
+        cache.access(0)
+        assert cache.access(63)
+        assert not cache.access(64)
+
+    def test_conflict_eviction(self):
+        # 256B cache, 64B lines -> 4 lines; addresses 0 and 256 collide.
+        cache = self._cache(size=256, line=64)
+        cache.access(0)
+        assert not cache.access(256)
+        assert not cache.access(0)  # evicted
+
+    def test_stats(self):
+        cache = self._cache()
+        cache.access(0)
+        cache.access(0)
+        cache.access(512)
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 2
+        assert cache.stats.accesses == 3
+
+    def test_reset(self):
+        cache = self._cache()
+        cache.access(0)
+        cache.reset()
+        assert cache.stats.accesses == 0
+        assert not cache.access(0)
+
+
+class TestAddressMap:
+    def test_arrays_disjoint_and_aligned(self):
+        amap = AddressMap(
+            {"A": ((100,), "float"), "B": ((50,), "float")},
+            word_bytes=8,
+            line_bytes=64,
+        )
+        a_base = amap.bases["A"]
+        b_base = amap.bases["B"]
+        assert a_base % 64 == 0 and b_base % 64 == 0
+        lo, hi = sorted([(a_base, 100), (b_base, 50)])
+        assert lo[0] + lo[1] * 8 <= hi[0]
+
+    def test_spill_region_present(self):
+        amap = AddressMap({"A": ((4,), "float")})
+        assert "__spill" in amap.bases
+
+    def test_element_addressing(self):
+        amap = AddressMap({"A": ((10,), "float")}, word_bytes=8)
+        assert amap.address("A", 3) == amap.bases["A"] + 24
+
+
+class TestExecutor:
+    SRC = """
+    float A[64], B[64];
+    s = 0.0;
+    for (i = 0; i < 64; i++) { A[i] = i * 0.5; B[i] = 1.0; }
+    for (i = 0; i < 64; i++) s = s + A[i] * B[i];
+    """
+
+    def test_functional_state_matches_oracle(self):
+        machine = itanium2()
+        compiled, result = compile_and_run(self.SRC, machine, "gcc_O3")
+        oracle = run_program(parse_program(self.SRC))
+        assert state_equal(oracle, result.state)
+
+    def test_cycles_positive_and_sane(self):
+        machine = itanium2()
+        _, result = compile_and_run(self.SRC, machine, "gcc_O3")
+        assert result.metrics.cycles > 0
+        assert result.metrics.instructions > 0
+        assert result.metrics.cycles < result.metrics.instructions * 50
+
+    def test_unscheduled_never_faster(self):
+        machine = itanium2()
+        _, o0 = compile_and_run(self.SRC, machine, "gcc_O0")
+        _, o3 = compile_and_run(self.SRC, machine, "gcc_O3")
+        assert o0.metrics.cycles >= o3.metrics.cycles
+
+    def test_narrow_machine_slower(self):
+        _, wide = compile_and_run(self.SRC, itanium2(), "gcc_O3")
+        _, narrow = compile_and_run(self.SRC, arm7tdmi(), "arm_gcc")
+        assert narrow.metrics.cycles > wide.metrics.cycles
+
+    def test_cache_misses_counted(self):
+        machine = pentium()
+        _, result = compile_and_run(self.SRC, machine, "gcc_O3")
+        assert result.metrics.cache_misses > 0
+        assert (
+            result.metrics.cache_hits + result.metrics.cache_misses
+            == result.metrics.mem_accesses
+        )
+
+    def test_sequential_scan_mostly_hits(self):
+        machine = itanium2()  # 64B lines, 8 words per line
+        _, result = compile_and_run(self.SRC, machine, "gcc_O3")
+        assert result.metrics.miss_rate < 0.3
+
+    def test_energy_accumulates(self):
+        machine = arm7tdmi()
+        _, result = compile_and_run(self.SRC, machine, "arm_gcc")
+        assert result.metrics.energy_pj > 0
+        # Energy must be at least per-cycle floor * cycles.
+        floor = machine.power.energy_per_cycle * result.metrics.cycles
+        assert result.metrics.energy_pj >= floor
+
+    def test_op_counts_recorded(self):
+        machine = itanium2()
+        _, result = compile_and_run(self.SRC, machine, "gcc_O3")
+        assert result.metrics.op_counts.get("mem", 0) > 0
+        assert result.metrics.op_counts.get("fmul", 0) > 0
+
+    def test_ims_lowers_loop_cost(self):
+        src = (
+            "float A[128], B[128];"
+            "for (i = 0; i < 128; i++) B[i] = i * 0.25;"
+            "for (i = 0; i < 128; i++) A[i] = B[i] * 2.0 + 1.0;"
+        )
+        machine = itanium2()
+        _, without = compile_and_run(src, machine, "gcc_O3")
+        compiled, with_ims = compile_and_run(src, machine, "icc_O3")
+        assert compiled.ims_applied
+        assert with_ims.metrics.cycles < without.metrics.cycles
+
+    def test_determinism(self):
+        machine = pentium()
+        _, a = compile_and_run(self.SRC, machine, "gcc_O3")
+        _, b = compile_and_run(self.SRC, machine, "gcc_O3")
+        assert a.metrics.cycles == b.metrics.cycles
+        assert a.metrics.energy_pj == b.metrics.energy_pj
+
+    def test_spill_traffic_costs_cycles(self):
+        wide_src = """
+        float A[32];
+        s = 0.0;
+        for (i = 0; i < 32; i++) {
+            a1 = i * 0.5; a2 = a1 + 1.0; a3 = a2 * a1; a4 = a3 - a2;
+            a5 = a4 * a1; a6 = a5 + a3; a7 = a6 * a2; a8 = a7 - a5;
+            s = s + a8;
+            A[i] = s;
+        }
+        """
+        few = pentium()  # 8 registers
+        import dataclasses
+
+        many = dataclasses.replace(few, num_registers=64)
+        _, spilled = compile_and_run(wide_src, few, "gcc_O3")
+        _, clean = compile_and_run(wide_src, many, "gcc_O3")
+        assert spilled.metrics.mem_accesses > clean.metrics.mem_accesses
+        assert spilled.metrics.cycles > clean.metrics.cycles

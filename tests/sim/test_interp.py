@@ -1,0 +1,296 @@
+"""Unit tests for the source-level interpreter (the semantics oracle)."""
+
+import numpy as np
+import pytest
+
+from repro.lang import parse_program
+from repro.sim.interp import InterpError, Interpreter, run_program, state_equal
+
+
+def run(source, **env):
+    return run_program(parse_program(source), env=env)
+
+
+class TestScalars:
+    def test_plain_assignment(self):
+        state = run("x = 3;")
+        assert state["x"] == 3
+
+    def test_compound_assignment(self):
+        assert run("x = 2; x += 5;")["x"] == 7
+        assert run("x = 2; x *= 3;")["x"] == 6
+
+    def test_increment_decrement(self):
+        state = run("i = 0; i++; i++; i--;")
+        assert state["i"] == 1
+
+    def test_declared_int_truncates(self):
+        state = run("int x; x = 7 / 2;")
+        assert state["x"] == 3
+
+    def test_declared_float_holds_double(self):
+        state = run("float x; x = 1; x = x / 2;")
+        assert state["x"] == 0.5
+
+    def test_decl_with_init(self):
+        assert run("float s = 2.5;")["s"] == 2.5
+
+    def test_default_initialization(self):
+        state = run("int a; float b;")
+        assert state["a"] == 0
+        assert state["b"] == 0.0
+
+    def test_read_unbound_raises(self):
+        with pytest.raises(InterpError):
+            run("x = y + 1;")
+
+
+class TestIntSemantics:
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [(7, 2, 3), (-7, 2, -3), (7, -2, -3), (-7, -2, 3)],
+    )
+    def test_c_division_truncates_toward_zero(self, a, b, expected):
+        assert run(f"int x; x = {a} / ({b});")["x"] == expected
+
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [(7, 3, 1), (-7, 3, -1), (7, -3, 1), (-7, -3, -1)],
+    )
+    def test_c_modulo_sign_of_dividend(self, a, b, expected):
+        assert run(f"int x; x = {a} % ({b});")["x"] == expected
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(InterpError):
+            run("int x; x = 1 / 0;")
+
+    def test_int_float_mix_promotes(self):
+        assert run("x = 1 / 2.0;")["x"] == 0.5
+
+
+class TestComparisonsAndLogic:
+    def test_comparisons_return_01(self):
+        state = run("a = 1 < 2; b = 2 < 1; c = 3 == 3; d = 3 != 3;")
+        assert (state["a"], state["b"], state["c"], state["d"]) == (1, 0, 1, 0)
+
+    def test_logical_and_or(self):
+        state = run("a = 1 && 0; b = 1 || 0; c = 0 || 0;")
+        assert (state["a"], state["b"], state["c"]) == (0, 1, 0)
+
+    def test_short_circuit_and_skips_rhs(self):
+        # RHS would divide by zero if evaluated.
+        assert run("x = 0 && (1 / 0);")["x"] == 0
+
+    def test_short_circuit_or_skips_rhs(self):
+        assert run("x = 1 || (1 / 0);")["x"] == 1
+
+    def test_not(self):
+        state = run("a = !0; b = !5;")
+        assert (state["a"], state["b"]) == (1, 0)
+
+    def test_ternary_lazy(self):
+        assert run("x = 1 ? 7 : (1 / 0);")["x"] == 7
+
+
+class TestArrays:
+    def test_declared_array_zeroed(self):
+        state = run("float A[4];")
+        assert np.array_equal(state["A"], np.zeros(4))
+
+    def test_store_and_load(self):
+        state = run("float A[4]; A[1] = 2.5; x = A[1];")
+        assert state["x"] == 2.5
+
+    def test_int_array_dtype(self):
+        state = run("int A[3]; A[0] = 7;")
+        assert state["A"].dtype == np.int64
+
+    def test_2d_array(self):
+        state = run("float X[2][3]; X[1][2] = 9.0; y = X[1, 2];")
+        assert state["y"] == 9.0
+
+    def test_env_array_is_copied(self):
+        original = np.arange(4, dtype=np.float64)
+        run_program(parse_program("A[0] = 99.0;"), env={"A": original})
+        assert original[0] == 0.0
+
+    def test_out_of_bounds_read_raises(self):
+        with pytest.raises(InterpError):
+            run("float A[4]; x = A[4];")
+
+    def test_negative_index_raises(self):
+        with pytest.raises(InterpError):
+            run("float A[4]; x = A[0 - 1];")
+
+    def test_wrong_rank_raises(self):
+        with pytest.raises(InterpError):
+            run("float A[4]; x = A[1][2];")
+
+    def test_undeclared_array_raises(self):
+        with pytest.raises(InterpError):
+            run("x = B[0];")
+
+    def test_compound_array_update(self):
+        state = run("float A[4]; A[2] = 1.0; A[2] += 2.0;")
+        assert state["A"][2] == 3.0
+
+
+class TestControlFlow:
+    def test_for_loop_sums(self):
+        state = run(
+            "float A[10]; float s = 0.0;"
+            "for (i = 0; i < 10; i++) A[i] = i;"
+            "for (i = 0; i < 10; i++) s += A[i];"
+        )
+        assert state["s"] == 45.0
+
+    def test_for_step_two(self):
+        state = run("c = 0; for (i = 0; i < 10; i += 2) c++;")
+        assert state["c"] == 5
+
+    def test_zero_trip_loop(self):
+        state = run("c = 0; for (i = 5; i < 5; i++) c++;")
+        assert state["c"] == 0
+
+    def test_while_loop(self):
+        state = run("x = 16; n = 0; while (x > 1) { x /= 2; n++; }")
+        assert state["n"] == 4
+
+    def test_if_else(self):
+        state = run("x = 3; if (x > 2) y = 1; else y = 2;")
+        assert state["y"] == 1
+
+    def test_break(self):
+        state = run("c = 0; for (i = 0; i < 100; i++) { if (i == 3) break; c++; }")
+        assert state["c"] == 3
+
+    def test_continue(self):
+        state = run(
+            "c = 0; for (i = 0; i < 10; i++) { if (i % 2 == 0) continue; c++; }"
+        )
+        assert state["c"] == 5
+
+    def test_break_in_while(self):
+        state = run("i = 0; while (1) { i++; if (i == 7) break; }")
+        assert state["i"] == 7
+
+    def test_nested_loop_break_only_inner(self):
+        state = run(
+            "c = 0;"
+            "for (i = 0; i < 3; i++) {"
+            "  for (j = 0; j < 10; j++) { if (j == 1) break; c++; }"
+            "}"
+        )
+        assert state["c"] == 3
+
+    def test_step_budget(self):
+        with pytest.raises(InterpError):
+            run_program(parse_program("x = 0; while (1) x++;"), max_steps=1000)
+
+
+class TestCalls:
+    def test_builtin_max(self):
+        assert run("x = max(3, 7);")["x"] == 7
+
+    def test_builtin_sqrt(self):
+        assert run("x = sqrt(9.0);")["x"] == 3.0
+
+    def test_custom_function(self):
+        prog = parse_program("x = twice(4);")
+        state = run_program(prog, functions={"twice": lambda v: 2 * v})
+        assert state["x"] == 8
+
+    def test_unknown_function_raises(self):
+        with pytest.raises(InterpError):
+            run("x = mystery(1);")
+
+
+class TestEnvAndParams:
+    def test_env_scalar_binding(self):
+        state = run("y = n * 2;", n=21)
+        assert state["y"] == 42
+
+    def test_env_preserves_float_type(self):
+        state = run("y = v / 2;", v=1.0)
+        assert state["y"] == 0.5
+
+    def test_decl_does_not_clobber_env_array(self):
+        init = np.array([1.0, 2.0, 3.0])
+        prog = parse_program("float A[3]; x = A[1];")
+        state = run_program(prog, env={"A": init})
+        assert state["x"] == 2.0
+
+
+class TestStateEqual:
+    def test_equal_states(self):
+        a = run("float A[4]; A[0] = 1.0; x = 2;")
+        b = run("float A[4]; A[0] = 1.0; x = 2;")
+        assert state_equal(a, b)
+
+    def test_array_difference_detected(self):
+        a = run("float A[4]; A[0] = 1.0;")
+        b = run("float A[4]; A[0] = 2.0;")
+        assert not state_equal(a, b)
+
+    def test_ignore_set(self):
+        a = run("x = 1; t = 99;")
+        b = run("x = 1;")
+        assert state_equal(a, b, ignore={"t"})
+
+    def test_arrays_only_mode(self):
+        a = run("float A[2]; A[0] = 1.0; reg1 = 5;")
+        b = run("float A[2]; A[0] = 1.0; tmp = 6;")
+        assert state_equal(a, b, arrays_only=True)
+
+    def test_nan_equal_to_nan(self):
+        a = {"x": float("nan")}
+        b = {"x": float("nan")}
+        assert state_equal(a, b)
+
+    def test_extra_key_detected(self):
+        assert not state_equal({"x": 1}, {"x": 1, "y": 2})
+
+    def test_int_float_scalar_distinguished(self):
+        # 1 and 1.0 compare equal in Python but types must not silently
+        # diverge between original and transformed runs for arrays.
+        a = {"A": np.zeros(2, dtype=np.int64)}
+        b = {"A": np.zeros(2, dtype=np.float64)}
+        assert not state_equal(a, b)
+
+
+class TestPaperPrograms:
+    """Worked examples from the paper run correctly when interpreted."""
+
+    def test_dot_product(self):
+        source = """
+        float A[8], B[8];
+        float s = 0.0, t;
+        for (i = 0; i < 8; i++) { A[i] = i; B[i] = 2; }
+        for (i = 0; i < 8; i++) {
+            t = A[i] * B[i];
+            s = s + t;
+        }
+        """
+        assert run(source)["s"] == 2.0 * sum(range(8))
+
+    def test_find_max_loop(self):
+        source = """
+        float arr[6];
+        arr[0] = 3.0; arr[1] = 9.0; arr[2] = 1.0;
+        arr[3] = 9.5; arr[4] = 0.0; arr[5] = 2.0;
+        max = arr[0];
+        for (i = 0; i < 6; i++)
+            if (max < arr[i]) max = arr[i];
+        """
+        assert run(source)["max"] == 9.5
+
+    def test_recurrence_loop(self):
+        source = """
+        float a[10];
+        a[0] = 1.0; a[1] = 1.0;
+        for (i = 2; i < 10; i++) a[i] = a[i-1] + a[i-2];
+        """
+        fib = [1.0, 1.0]
+        for _ in range(8):
+            fib.append(fib[-1] + fib[-2])
+        assert np.array_equal(run(source)["a"], np.array(fib))

@@ -1,0 +1,76 @@
+"""Unit tests for loop unrolling."""
+
+import pytest
+
+from repro.lang import parse_program, parse_stmt, to_source
+from repro.lang.ast_nodes import For, Program
+from repro.sim.interp import run_program, state_equal
+from repro.transforms import TransformError, unroll
+
+
+INIT = "float A[40], B[40];\nfor (i = 0; i < 40; i++) { A[i] = i * 0.5; }\n"
+
+
+def check(loop_src, factor, env=None):
+    loop = parse_stmt(loop_src)
+    replacement = unroll(loop, factor)
+    base = run_program(parse_program(INIT + loop_src), env=env)
+    prog = parse_program(INIT)
+    prog.body.extend(replacement)
+    out = run_program(prog, env=env)
+    assert state_equal(base, out), f"factor={factor}: {loop_src}"
+    return replacement
+
+
+class TestSemantics:
+    def test_exact_multiple(self):
+        stmts = check("for (i = 0; i < 40; i++) { B[i] = A[i] + 1.0; }", 4)
+        assert len(stmts) == 1  # no remainder loop
+
+    def test_with_remainder(self):
+        stmts = check("for (i = 0; i < 39; i++) { B[i] = A[i] + 1.0; }", 4)
+        assert len(stmts) == 2
+
+    def test_factor_two(self):
+        check("for (i = 0; i < 37; i++) { B[i] = A[i] * 2.0; }", 2)
+
+    def test_recurrence_unrolled_correctly(self):
+        check("for (i = 1; i < 33; i++) { A[i] = A[i-1] + 1.0; }", 3)
+
+    def test_symbolic_bound(self):
+        loop_src = "for (i = 0; i < n; i++) { B[i] = A[i] + 1.0; }"
+        loop = parse_stmt(loop_src)
+        replacement = unroll(loop, 2)
+        for n in (0, 1, 2, 7, 40):
+            base = run_program(parse_program(INIT + loop_src), env={"n": n})
+            prog = parse_program(INIT)
+            prog.body.extend(replacement)
+            out = run_program(prog, env={"n": n})
+            assert state_equal(base, out), f"n={n}"
+
+    def test_downward_loop(self):
+        check("for (i = 39; i > 3; i--) { B[i] = A[i] - 1.0; }", 2)
+
+    def test_step_two(self):
+        check("for (i = 0; i < 40; i += 2) { B[i] = A[i]; }", 3)
+
+
+class TestStructure:
+    def test_body_copies_shifted(self):
+        loop = parse_stmt("for (i = 0; i < 40; i++) { B[i] = A[i]; }")
+        stmts = unroll(loop, 2)
+        main = stmts[0]
+        assert isinstance(main, For)
+        texts = [to_source(s) for s in main.body]
+        assert texts == ["B[i] = A[i];", "B[i + 1] = A[i + 1];"]
+        assert to_source(main.step) == "i += 2;"
+
+    def test_invalid_factor(self):
+        loop = parse_stmt("for (i = 0; i < 40; i++) { B[i] = A[i]; }")
+        with pytest.raises(TransformError):
+            unroll(loop, 1)
+
+    def test_non_canonical_rejected(self):
+        loop = parse_stmt("for (i = 0; A[i] < 3.0; i++) { B[i] = 1.0; }")
+        with pytest.raises(TransformError):
+            unroll(loop, 2)

@@ -1,0 +1,79 @@
+"""Workload corpus tests: parseability, executability, lookup."""
+
+import pytest
+
+from repro.workloads import (
+    LINPACK,
+    LIVERMORE,
+    NAS,
+    STONE,
+    all_workloads,
+    by_suite,
+    get_workload,
+)
+
+
+class TestInventory:
+    def test_livermore_has_24_kernels(self):
+        assert len(LIVERMORE) == 24
+        assert [w.name for w in LIVERMORE] == [
+            f"kernel{i}" for i in range(1, 25)
+        ]
+
+    def test_linpack_names(self):
+        names = {w.name for w in LINPACK}
+        assert {"daxpy", "ddot", "ddot2", "dscal", "idamax", "idamax2"} <= names
+
+    def test_nas_has_seven_kernels(self):
+        assert {w.name for w in NAS} == {
+            "mxm", "cfft2d", "cholsky", "btrix", "gmtry", "emit", "vpenta",
+        }
+
+    def test_stone_count(self):
+        assert len(STONE) == 8
+
+    def test_all_workloads_order(self):
+        suites = [w.suite for w in all_workloads()]
+        assert suites == sorted(
+            suites,
+            key=["livermore", "linpack", "nas", "stone"].index,
+        )
+
+    def test_unique_names(self):
+        names = [w.name for w in all_workloads()]
+        assert len(names) == len(set(names))
+
+
+class TestLookup:
+    def test_by_suite(self):
+        assert by_suite("nas") == NAS
+
+    def test_by_suite_returns_copy(self):
+        listing = by_suite("nas")
+        listing.clear()
+        assert by_suite("nas") == NAS
+
+    def test_unknown_suite(self):
+        with pytest.raises(ValueError):
+            by_suite("specfp")
+
+    def test_get_workload(self):
+        assert get_workload("daxpy").suite == "linpack"
+
+    def test_unknown_workload(self):
+        with pytest.raises(ValueError):
+            get_workload("kernel99")
+
+
+@pytest.mark.parametrize("workload", all_workloads(), ids=lambda w: w.name)
+def test_workload_runs(workload):
+    """Every workload parses and executes without interpreter errors."""
+    workload.validate()
+
+
+@pytest.mark.parametrize("workload", all_workloads(), ids=lambda w: w.name)
+def test_workload_setup_is_prefix(workload):
+    """Setup alone must also be a valid program (harness subtracts it)."""
+    from repro.sim.interp import run_program
+
+    run_program(workload.setup_program())
