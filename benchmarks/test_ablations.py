@@ -15,7 +15,7 @@ These isolate the knobs the paper discusses qualitatively:
 
 from repro.core.slms import SLMSOptions
 from repro.backend.compiler import CompilerConfig, compile_and_run
-from repro.harness.experiment import run_experiment, transform_kernel
+from repro.harness.experiment import run_experiment
 from repro.machines import itanium2, pentium
 from repro.workloads import by_suite, get_workload
 from repro.workloads.base import Workload

@@ -1,0 +1,8 @@
+/* Linpack's daxpy: y += alpha * x, the paper's bread-and-butter
+ * SLMS win on in-order machines. */
+float dx[300], dy[300];
+float da = 0.25;
+for (i = 0; i < 300; i++) { dx[i] = 0.5 * i; dy[i] = 300 - i; }
+for (i = 0; i < 300; i++) {
+    dy[i] = dy[i] + da * dx[i];
+}

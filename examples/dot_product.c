@@ -1,0 +1,9 @@
+/* The README/quickstart dot product: SLMS pipelines the second loop
+ * to II = 1 with two rotating MVE temporaries. */
+float A[256], B[256];
+float s = 0.0, t;
+for (i = 0; i < 256; i++) { A[i] = i * 0.5; B[i] = 256 - i; }
+for (i = 0; i < 256; i++) {
+    t = A[i] * B[i];
+    s = s + t;
+}

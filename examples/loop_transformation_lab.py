@@ -12,7 +12,7 @@ Reproduces the paper's three §6 interaction patterns:
    SLMS restructures the first.
 """
 
-from repro import SLMSOptions, slms, to_source
+from repro import SLMSOptions, slms
 from repro.lang import parse_program, parse_stmt
 from repro.sim.interp import run_program, state_equal
 from repro.transforms import can_fuse, fuse, interchange

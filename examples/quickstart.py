@@ -12,7 +12,7 @@ Walks the full tool path on the paper's opening example (§1):
    simulated cycles on the Itanium II machine model.
 """
 
-from repro import SLMSOptions, slms, to_source
+from repro import slms, to_source
 from repro.backend.compiler import compile_and_run
 from repro.lang import parse_program
 from repro.machines import itanium2

@@ -1,0 +1,6 @@
+/* 1-D Jacobi-style relaxation pair from the transformation lab:
+ * fusable neighbors with a loop-carried flow dependence each. */
+float a[40], b[40];
+for (i = 0; i < 40; i++) { a[i] = 0.02 * i + 1.0; b[i] = 2.0 - 0.02 * i; }
+for (i = 1; i < 30; i++) { a[i] = a[i-1] * 0.5 + a[i+1] * 0.5; }
+for (i = 1; i < 30; i++) { b[i] = b[i-1] * 0.5 + b[i+1] * 0.5; }

@@ -1,0 +1,11 @@
+/* The paper's §8 interactive session, after the user's edit: lw is
+ * advanced before its use so MVE can rename it. */
+float x[128], y[128];
+float temp = 100.0;
+int lw;
+for (i = 0; i < 128; i++) { x[i] = 0.01 * i + 0.5; y[i] = 0.02 * i + 1.0; }
+lw = 6;
+for (j = 4; j < 100; j = j + 2) {
+    lw++;
+    temp -= x[lw] * y[j];
+}

@@ -16,7 +16,6 @@ implemented extensions and measures them on the machine models:
 from repro.backend.compiler import compile_and_run
 from repro.core.extensions import frequent_path_slms, pipeline_while, unroll_while
 from repro.lang import parse_program, parse_stmt, to_source
-from repro.lang.ast_nodes import Program
 from repro.machines import itanium2
 from repro.sim.interp import run_program, state_equal
 

@@ -23,7 +23,6 @@ from typing import Optional, Sequence, Tuple
 
 from repro.analysis.affine import AffineExpr
 from repro.analysis.fourier_motzkin import (
-    FEASIBLE,
     INFEASIBLE,
     MAYBE,
     IntegerSystem,

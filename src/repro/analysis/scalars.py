@@ -17,7 +17,7 @@ it, and SLMS rewrites it explicitly during kernel construction.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import List, Sequence, Set, Tuple
 
 from repro.lang.ast_nodes import Assign, If, Stmt, Var
 from repro.lang.visitors import used_scalars

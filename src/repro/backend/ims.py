@@ -26,13 +26,12 @@ paper exploits in §7:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from math import ceil
 from typing import Dict, List, Optional, Tuple
 
-import networkx as nx
 
-from repro.backend.lir import Block, Instr, LoopDesc, Module
+from repro.backend.lir import Instr, Module
 from repro.machines.model import MachineModel
 
 

@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
-from repro.backend.lir import Block, Instr, Module
+from repro.backend.lir import Instr, Module
 
 # Registers reserved for spill-reload scratch (cycled within one instr).
 SCRATCH_COUNT = 3

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from typing import List
 
-from repro.backend.lir import Block, Instr, Module
+from repro.backend.lir import Instr, Module
 
 
 def rotate_loops(module: Module) -> int:

@@ -19,21 +19,36 @@ Subcommands
 ``slms explain FILE``
     Per-loop SLC diagnostics: filter verdict, multi-instructions,
     dependence edges, II search outcome and the Fig. 1 table view
-    (``--dot`` additionally prints the dependence graph in DOT).
+    (``--dot`` additionally prints the dependence graph in DOT;
+    ``--check`` also runs the semantic checker).
+
+``slms check FILE``
+    Static verification: semantic-check the source, transform every
+    canonical loop, and validate each emitted schedule independently
+    (``--json`` for machine-readable output, ``--Werror`` to fail on
+    warnings).
+
+Bad input never produces a traceback: lexer/parser errors exit with
+status 1 and a ``file:line:col: error: …`` diagnostic on stderr.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
+
+
+def _read_source(path: str) -> str:
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
 
 
 def _cmd_transform(args: argparse.Namespace) -> int:
     from repro import SLMSOptions, slms, to_source
 
-    with open(args.file, "r", encoding="utf-8") as handle:
-        source = handle.read()
+    source = _read_source(args.file)
     options = SLMSOptions(
         enable_filter=not args.no_filter,
         force=args.force,
@@ -65,9 +80,19 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     from repro.lang.parser import parse_program
     from repro.lang.visitors import walk
 
-    with open(args.file, "r", encoding="utf-8") as handle:
-        source = handle.read()
+    source = _read_source(args.file)
     program = parse_program(source)
+
+    if args.check:
+        from repro.verify import check_program, has_errors
+
+        diags = check_program(program)
+        print(f"===== semantic check: {len(diags)} finding(s) =====")
+        for diag in diags:
+            print(diag.format(args.file))
+        if has_errors(diags):
+            print("(semantic errors; the filter verdicts below may be moot)")
+        print()
     options = SLMSOptions(
         enable_filter=not args.no_filter,
         force=args.force,
@@ -94,6 +119,69 @@ def _cmd_explain(args: argparse.Namespace) -> int:
             print()
             print(ddg_to_dot(report.ddg, report.final_mis or None))
     return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    """Full static verification of one source file.
+
+    Runs the semantic checker over the program, then transforms every
+    canonical loop with the schedule validator enabled and reports its
+    findings alongside.  Exit status 1 when any error (or, under
+    ``--Werror``, any warning) is found.
+    """
+    from repro import SLMSOptions, slms
+    from repro.lang.parser import parse_program
+    from repro.verify import check_program, has_errors, sort_diagnostics
+
+    source = _read_source(args.file)
+    program = parse_program(source)
+    diags = list(check_program(program))
+
+    options = SLMSOptions(enable_filter=not args.no_filter, verify=True)
+    outcome = slms(program, options)
+    loop_reports = []
+    for idx, report in enumerate(outcome.loops):
+        loop_reports.append(
+            {
+                "loop": idx,
+                "applied": report.applied,
+                "ii": report.ii,
+                "stages": report.stages,
+                "reason": report.reason,
+                "diagnostics": [d.to_dict() for d in report.diagnostics],
+            }
+        )
+        diags.extend(report.diagnostics)
+    diags = sort_diagnostics(diags)
+
+    failed = has_errors(diags, werror=args.werror)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "file": args.file,
+                    "ok": not failed,
+                    "diagnostics": [d.to_dict() for d in diags],
+                    "loops": loop_reports,
+                },
+                indent=2,
+            )
+        )
+    else:
+        for diag in diags:
+            print(diag.format(args.file))
+        applied = sum(1 for r in outcome.loops if r.applied)
+        validated = sum(
+            1
+            for r in outcome.loops
+            if r.applied and not has_errors(r.diagnostics)
+        )
+        print(
+            f"{args.file}: {len(diags)} finding(s); "
+            f"{applied}/{len(outcome.loops)} loop(s) transformed, "
+            f"{validated}/{applied} schedule(s) validated"
+        )
+    return 1 if failed else 0
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
@@ -167,7 +255,23 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_explain.add_argument("--allow-reassociation", action="store_true")
     p_explain.add_argument("--dot", action="store_true",
                            help="also print the dependence graph as DOT")
+    p_explain.add_argument("--check", action="store_true",
+                           help="run the semantic checker before the "
+                           "per-loop verdicts")
     p_explain.set_defaults(func=_cmd_explain)
+
+    p_check = sub.add_parser(
+        "check", help="static verification: semantic checker + "
+        "independent schedule validation"
+    )
+    p_check.add_argument("file")
+    p_check.add_argument("--json", action="store_true",
+                         help="emit diagnostics as JSON")
+    p_check.add_argument("--Werror", dest="werror", action="store_true",
+                         help="treat warnings as errors")
+    p_check.add_argument("--no-filter", action="store_true",
+                         help="attempt SLMS even on filtered-out loops")
+    p_check.set_defaults(func=_cmd_check)
 
     p_figure = sub.add_parser("figure", help="regenerate a paper figure")
     p_figure.add_argument("name")
@@ -181,7 +285,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_bench.set_defaults(func=_cmd_bench)
 
     args = parser.parse_args(argv)
-    return args.func(args)
+    from repro.lang.errors import FrontendError
+
+    try:
+        return args.func(args)
+    except FrontendError as exc:
+        path = getattr(args, "file", None)
+        print(exc.format(path), file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

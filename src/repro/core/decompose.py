@@ -31,16 +31,7 @@ from repro.analysis.affine import AffineExpr, analyze_subscript
 from repro.analysis.deptests import test_dependence
 from repro.analysis.loopinfo import LoopInfo
 from repro.core.names import NamePool
-from repro.lang.ast_nodes import (
-    ArrayRef,
-    Assign,
-    BinOp,
-    Expr,
-    If,
-    IntLit,
-    Stmt,
-    Var,
-)
+from repro.lang.ast_nodes import ArrayRef, Assign, BinOp, Expr, If, Stmt, Var
 from repro.lang.visitors import NodeTransformer, collect_array_refs, count_ops
 
 

@@ -22,7 +22,7 @@ from typing import List, Optional
 
 from repro.analysis.ddg import DependenceGraph
 from repro.analysis.loopinfo import LoopInfo
-from repro.core.mii import edge_slacks, find_valid_ii
+from repro.core.mii import edge_slacks
 from repro.core.slms import SLMSResult
 from repro.lang.ast_nodes import For, Stmt
 from repro.lang.printer import to_source

@@ -33,7 +33,7 @@ dependence tests and the transformation declines otherwise.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from repro.analysis.affine import analyze_subscript
 from repro.analysis.deptests import test_dependence
@@ -56,7 +56,6 @@ from repro.lang.visitors import (
     collect_vars,
     defined_scalars,
     substitute_index,
-    used_scalars,
     walk,
 )
 from repro.transforms.errors import TransformError

@@ -45,7 +45,6 @@ from repro.lang.visitors import (
     collect_calls,
     defined_scalars,
     substitute_index,
-    walk,
 )
 from repro.transforms.errors import TransformError
 

@@ -22,7 +22,7 @@ target machine").
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import Sequence
 
 from repro.lang.ast_nodes import Stmt
 from repro.lang.visitors import count_ops, defined_scalars, used_scalars

@@ -16,7 +16,7 @@ predicated assignments, and calls; each is one MI.  This module
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional
 
 from repro.core.names import NamePool
 from repro.lang.ast_nodes import (

@@ -116,6 +116,7 @@ def slms(
             split.preheader + result.stmts + [split.remainder] + split.merge
         )
         result.unroll = max(result.unroll, options.reduction_lanes)
+        result.lanes = options.reduction_lanes
         return result
 
     def transform_block(stmts: List[Stmt]) -> List[Stmt]:
@@ -125,6 +126,14 @@ def slms(
                 result = try_reduction_lanes(stmt)
                 if result is None:
                     result = slms_for_loop(stmt, pool, options, types)
+                if options.verify and result.applied:
+                    # Imported lazily: verify depends on core for the
+                    # result types, so the top level must not cycle.
+                    from repro.verify.schedule import validate_result
+
+                    result.diagnostics.extend(
+                        validate_result(result, stmt).diagnostics
+                    )
                 reports.append(result)
                 if result.applied:
                     out.extend(result.new_decls)

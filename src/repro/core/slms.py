@@ -34,7 +34,7 @@ from repro.core.mve import apply_mve, plan_rotations
 from repro.core.names import NamePool
 from repro.core.scalar_expansion import apply_scalar_expansion
 from repro.core.schedule import ShortTripCount, build_modulo_schedule
-from repro.lang.ast_nodes import Break, Continue, Decl, For, If, Stmt, While
+from repro.lang.ast_nodes import Break, Continue, Decl, For, Stmt, While
 from repro.lang.visitors import walk
 
 
@@ -75,6 +75,9 @@ class SLMSOptions:
     # ``None`` disables resource-driven decomposition (the default —
     # SLMS "ignores hardware resources", §7).
     resource_limits: Optional[tuple] = None
+    # Run the independent schedule validator (repro.verify.schedule) on
+    # every applied result and attach its diagnostics to the report.
+    verify: bool = False
 
     def __post_init__(self) -> None:
         if self.expansion not in ("auto", "mve", "scalar", "none"):
@@ -107,6 +110,11 @@ class SLMSResult:
     # The MI list the schedule was built from (after decomposition,
     # before expansion) — what the Fig. 1 table view renders.
     final_mis: List[Stmt] = field(default_factory=list)
+    # Reduction lanes used (≥ 2 when §5 lane splitting rewrote the loop
+    # header; the schedule validator skips such results).
+    lanes: int = 0
+    # Validator findings, populated when SLMSOptions.verify is set.
+    diagnostics: List = field(default_factory=list)
 
     @staticmethod
     def declined(reason: str, **kwargs) -> "SLMSResult":

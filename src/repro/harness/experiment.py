@@ -15,8 +15,8 @@ Methodology (mirrors the paper's §9 protocol):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass, replace
+from typing import List, Optional
 
 from repro.backend.compiler import COMPILER_PRESETS, CompilerConfig, FinalCompiler
 from repro.core.pipeline import _collect_types, slms
@@ -113,7 +113,21 @@ def run_experiment(
 
     setup_prog = workload.setup_program()
     base_prog = workload.full_program()
+    if verify:
+        # Static schedule validation rides along with the interpreter
+        # oracle: every applied result must satisfy the re-derived
+        # modulo constraints and replay its iteration space exactly.
+        options = replace(options or SLMSOptions(), verify=True)
     slms_prog, reports = transform_kernel(workload, options)
+    if verify:
+        for report in reports:
+            bad = [d for d in report.diagnostics if d.severity == "error"]
+            if bad:
+                raise VerificationError(
+                    f"{workload.name}: schedule validator rejected the "
+                    "SLMS result: "
+                    + "; ".join(d.format() for d in bad[:3])
+                )
 
     compiled_base, base_run, base_cycles, base_energy = _kernel_cycles(
         setup_prog, base_prog, machine, compiler

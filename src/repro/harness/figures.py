@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from repro.core.slms import SLMSOptions
-from repro.harness.experiment import run_experiment, run_suite, transform_kernel
+from repro.harness.experiment import run_experiment, run_suite
 from repro.machines.presets import arm7tdmi, itanium2, pentium, power4
 from repro.workloads import by_suite
 from repro.workloads.base import Workload

@@ -29,7 +29,7 @@ def render_figure(result: FigureResult, width: int = 14) -> str:
         # Percentage series (improvements) summarize with the arithmetic
         # mean over all entries; ratio series with the geometric mean.
         summary_label = (
-            "mean" if all(l.endswith("_pct") for l in labels) else "geomean"
+            "mean" if all(lab.endswith("_pct") for lab in labels) else "geomean"
         )
         row = f"{summary_label:<{width}}"
         for label in labels:

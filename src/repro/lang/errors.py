@@ -7,10 +7,19 @@ from dataclasses import dataclass
 
 @dataclass(frozen=True, slots=True)
 class SourceLocation:
-    """A (line, column) position in the input text, both 1-based."""
+    """A (line, column) position in the input text, both 1-based.
+
+    ``SourceLocation(0, 0)`` is the "unknown" sentinel: positions are
+    1-based, so line 0 never names a real place in the input and must
+    never be rendered (``is_known`` guards that).
+    """
 
     line: int = 0
     col: int = 0
+
+    @property
+    def is_known(self) -> bool:
+        return self.line > 0
 
     def __str__(self) -> str:  # pragma: no cover - trivial
         return f"{self.line}:{self.col}"
@@ -21,7 +30,21 @@ class FrontendError(Exception):
 
     def __init__(self, message: str, loc: SourceLocation | None = None):
         self.loc = loc or SourceLocation()
-        super().__init__(f"{self.loc}: {message}" if loc else message)
+        self.message = message
+        super().__init__(
+            f"{self.loc}: {message}" if self.loc.is_known else message
+        )
+
+    def format(self, path: str | None = None) -> str:
+        """Compiler-style one-liner: ``file:line:col: error: message``."""
+        parts = []
+        if path:
+            parts.append(path)
+        if self.loc.is_known:
+            parts.append(str(self.loc))
+        prefix = ":".join(parts)
+        body = f"error: {self.message}"
+        return f"{prefix}: {body}" if prefix else body
 
 
 class LexError(FrontendError):

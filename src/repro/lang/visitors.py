@@ -15,7 +15,7 @@ rewriters every SLMS pass needs:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterator, List, Set
+from typing import Dict, Iterator, List, Set
 
 from repro.lang.ast_nodes import (
     ARITH_OPS,

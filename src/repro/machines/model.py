@@ -20,7 +20,7 @@ Operation classes used throughout the backend:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Mapping
+from typing import Mapping
 
 OP_CLASSES = ("alu", "fadd", "fmul", "div", "mem", "branch")
 

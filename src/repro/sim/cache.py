@@ -8,7 +8,7 @@ applied by the executor from the machine model.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Mapping, Tuple
 
 from repro.machines.model import CacheConfig

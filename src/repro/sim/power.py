@@ -18,7 +18,7 @@ executor's ``energy_pj``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.machines.model import MachineModel
 from repro.sim.executor import ExecutionMetrics

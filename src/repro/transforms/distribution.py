@@ -16,7 +16,7 @@ import networkx as nx
 
 from repro.analysis.ddg import build_ddg
 from repro.analysis.loopinfo import LoopInfo
-from repro.lang.ast_nodes import For, Stmt
+from repro.lang.ast_nodes import For
 from repro.transforms.errors import TransformError
 
 

@@ -15,7 +15,7 @@ from typing import List
 
 from repro.analysis.loopinfo import LoopInfo
 from repro.lang.ast_nodes import Assign, BinOp, For, IntLit, Stmt, Var
-from repro.lang.visitors import fold_constants, substitute_expr, substitute_index
+from repro.lang.visitors import fold_constants, substitute_index
 from repro.transforms.errors import TransformError
 
 

@@ -1,0 +1,40 @@
+"""Static verification layer: semantic checking and schedule validation.
+
+Two independent analyses over the SLMS pipeline's inputs and outputs:
+
+* :func:`check_program` — a semantic checker for the C subset
+  (use-before-def, declaration conflicts, type and bounds errors,
+  unsupported constructs), producing :class:`Diagnostic` records;
+* :func:`validate_result` — an independent re-derivation of the
+  dependence constraints and a structural replay of the emitted
+  prologue/kernel/epilogue for every applied :class:`SLMSResult`.
+
+``slms check`` drives both from the command line;
+``SLMSOptions(verify=True)`` attaches validator diagnostics to each
+transformation result.
+"""
+
+from repro.verify.diagnostics import (
+    DIAGNOSTIC_CODES,
+    Diagnostic,
+    ERROR,
+    NOTE,
+    WARNING,
+    has_errors,
+    sort_diagnostics,
+)
+from repro.verify.schedule import ValidationReport, validate_result
+from repro.verify.semantic import check_program
+
+__all__ = [
+    "DIAGNOSTIC_CODES",
+    "Diagnostic",
+    "ERROR",
+    "NOTE",
+    "WARNING",
+    "ValidationReport",
+    "check_program",
+    "has_errors",
+    "sort_diagnostics",
+    "validate_result",
+]

@@ -1,0 +1,464 @@
+"""Semantic checker over the C-subset AST.
+
+A linear, scope-aware walk of a :class:`~repro.lang.ast_nodes.Program`
+that reports :class:`~repro.verify.diagnostics.Diagnostic` records for:
+
+* use-before-def of scalars (``E101``; the loop-carried first-iteration
+  variant is ``W115``),
+* duplicate (``E102``) and shadowing (``W103``) declarations,
+* type errors: float subscripts (``E104``), rank mismatches (``E105``),
+  subscripted scalars (``E109``), arrays used as scalars (``E110``),
+  and int ← float narrowing assignments (``W108``),
+* out-of-bounds subscripts: constant indices against the declared
+  ``Decl`` sizes (``E106``) and affine in-loop indices whose range over
+  literal loop bounds can escape (``W107``),
+* unsupported / analysis-defeating constructs: ``break``/``continue``
+  outside a loop (``E111``), constant division by zero (``E112``),
+  opaque calls (``W113``), and non-canonical loops (``N120``).
+
+The checker is intentionally conservative the *other* way from the SLMS
+filters: it never blocks a transformation, it only reports.  Undeclared
+scalars (loop counters like ``i``) are legal in this dialect and assumed
+``int``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.affine import analyze_subscript
+from repro.analysis.loopinfo import LoopInfo
+from repro.lang.ast_nodes import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Break,
+    Call,
+    Continue,
+    Decl,
+    Expr,
+    ExprStmt,
+    FloatLit,
+    For,
+    If,
+    IntLit,
+    ParGroup,
+    Program,
+    Stmt,
+    Ternary,
+    UnaryOp,
+    Var,
+    While,
+)
+from repro.lang.visitors import defined_scalars, fold_constants, walk
+from repro.verify.diagnostics import Diagnostic, DiagnosticBag, sort_diagnostics
+
+
+@dataclass
+class _Sym:
+    """One declared name: its type and array dimensions (empty = scalar)."""
+
+    type: str
+    dims: Tuple[int, ...]
+    decl: Decl
+
+
+class _Scope:
+    """A stack of declaration maps; lookup walks outward."""
+
+    def __init__(self) -> None:
+        self.frames: List[Dict[str, _Sym]] = [{}]
+
+    def push(self) -> None:
+        self.frames.append({})
+
+    def pop(self) -> None:
+        self.frames.pop()
+
+    def declare(self, decl: Decl) -> Tuple[bool, Optional[_Sym]]:
+        """Register ``decl``; returns (duplicate_in_scope, shadowed_sym)."""
+        frame = self.frames[-1]
+        duplicate = decl.name in frame
+        shadowed = None
+        for outer in self.frames[:-1]:
+            if decl.name in outer:
+                shadowed = outer[decl.name]
+        frame[decl.name] = _Sym(decl.type, decl.dims, decl)
+        return duplicate, shadowed
+
+    def lookup(self, name: str) -> Optional[_Sym]:
+        for frame in reversed(self.frames):
+            if name in frame:
+                return frame[name]
+        return None
+
+
+class SemanticChecker:
+    """Single-use checker; call :meth:`check` once per program."""
+
+    def __init__(self) -> None:
+        self.bag = DiagnosticBag()
+        self.scope = _Scope()
+        # Scalars with a value available at the current program point
+        # (decl-with-init or a textually earlier assignment).
+        self.initialized: Set[str] = set()
+        # Scalars assigned somewhere inside the loop bodies currently on
+        # the traversal stack — a read of one of these before its def is
+        # a loop-carried (previous-iteration) read, not a plain E101.
+        self.loop_defined: List[Set[str]] = []
+        self.loop_depth = 0
+        # Loop headers enclosing the current point, innermost last, for
+        # the affine range check on subscripts.
+        self.loop_infos: List[LoopInfo] = []
+
+    # -- entry point --------------------------------------------------------
+    def check(self, program: Program) -> List[Diagnostic]:
+        for stmt in program.body:
+            self._stmt(stmt)
+        return sort_diagnostics(self.bag.diagnostics)
+
+    # -- type inference ------------------------------------------------------
+    def _expr_type(self, expr: Expr) -> Optional[str]:
+        """``"int"``, ``"float"``, or ``None`` when unknown (calls)."""
+        if isinstance(expr, IntLit):
+            return "int"
+        if isinstance(expr, FloatLit):
+            return "float"
+        if isinstance(expr, Var):
+            sym = self.scope.lookup(expr.name)
+            # Undeclared scalars (loop counters) default to int.
+            return sym.type if sym is not None else "int"
+        if isinstance(expr, ArrayRef):
+            sym = self.scope.lookup(expr.name)
+            return sym.type if sym is not None else None
+        if isinstance(expr, BinOp):
+            if expr.op not in ("+", "-", "*", "/", "%"):
+                return "int"  # relational / logical
+            left = self._expr_type(expr.left)
+            right = self._expr_type(expr.right)
+            if left is None or right is None:
+                return None
+            return "float" if "float" in (left, right) else "int"
+        if isinstance(expr, UnaryOp):
+            if expr.op == "!":
+                return "int"
+            return self._expr_type(expr.operand)
+        if isinstance(expr, Ternary):
+            then = self._expr_type(expr.then)
+            els = self._expr_type(expr.els)
+            if then is None or els is None:
+                return None
+            return "float" if "float" in (then, els) else "int"
+        return None  # Call: unknown signature
+
+    # -- expression checks ---------------------------------------------------
+    def _check_expr(self, expr: Expr, reading: bool = True) -> None:
+        """Validate one expression tree (reads, subscripts, div-by-zero)."""
+        if isinstance(expr, Var):
+            sym = self.scope.lookup(expr.name)
+            if sym is not None and sym.dims:
+                self.bag.error(
+                    "E110",
+                    expr.loc,
+                    f"array {expr.name!r} used as a scalar "
+                    f"(declared {sym.type} "
+                    f"{expr.name}{''.join(f'[{d}]' for d in sym.dims)})",
+                )
+                return
+            if reading:
+                self._check_scalar_read(expr)
+            return
+        if isinstance(expr, ArrayRef):
+            self._check_array_ref(expr)
+            for idx in expr.indices:
+                self._check_expr(idx)
+            return
+        if isinstance(expr, BinOp):
+            self._check_expr(expr.left)
+            self._check_expr(expr.right)
+            if expr.op in ("/", "%"):
+                if isinstance(expr.right, IntLit) and expr.right.value == 0:
+                    self.bag.error(
+                        "E112", expr.loc, f"constant {expr.op} by zero"
+                    )
+            return
+        if isinstance(expr, Call):
+            self.bag.warning(
+                "W113",
+                expr.loc,
+                f"call to {expr.name!r} is opaque; SLMS treats it as a "
+                "barrier against every memory reference",
+            )
+            for arg in expr.args:
+                self._check_expr(arg)
+            return
+        for child in expr.children():
+            if isinstance(child, Expr):
+                self._check_expr(child)
+
+    def _check_scalar_read(self, var: Var) -> None:
+        if var.name in self.initialized:
+            return
+        sym = self.scope.lookup(var.name)
+        if sym is not None and sym.dims:
+            return  # reported as E110 by the caller
+        carried = any(var.name in defs for defs in self.loop_defined)
+        if carried:
+            self.bag.warning(
+                "W115",
+                var.loc,
+                f"{var.name!r} is read before its definition in this loop "
+                "body; the first iteration sees an uninitialized value",
+            )
+            # One report per name is enough.
+            self.initialized.add(var.name)
+        elif self._assigned_later(var.name):
+            # Defined later at the same nesting level without a loop in
+            # between carrying it back: plain use-before-def.
+            self.bag.error(
+                "E101",
+                var.loc,
+                f"{var.name!r} is read before any definition reaches it",
+            )
+            self.initialized.add(var.name)
+        else:
+            self.bag.error(
+                "E101",
+                var.loc,
+                f"{var.name!r} is never assigned before this read",
+            )
+            self.initialized.add(var.name)
+
+    def _assigned_later(self, name: str) -> bool:
+        return name in self._all_defs
+
+    def _check_array_ref(self, ref: ArrayRef) -> None:
+        sym = self.scope.lookup(ref.name)
+        if sym is None:
+            return  # undeclared array: dims unknown, nothing to check
+        if not sym.dims:
+            self.bag.error(
+                "E109",
+                ref.loc,
+                f"{ref.name!r} is declared as a scalar but is subscripted",
+            )
+            return
+        if len(ref.indices) != len(sym.dims):
+            self.bag.error(
+                "E105",
+                ref.loc,
+                f"{ref.name!r} has rank {len(sym.dims)} but is indexed "
+                f"with {len(ref.indices)} subscript(s)",
+            )
+            return
+        for dim, idx in zip(sym.dims, ref.indices):
+            idx_type = self._expr_type(idx)
+            if idx_type == "float":
+                self.bag.error(
+                    "E104",
+                    idx.loc,
+                    f"subscript of {ref.name!r} has floating-point type",
+                )
+                continue
+            self._check_bounds(ref.name, dim, idx)
+
+    def _check_bounds(self, array: str, dim: int, idx: Expr) -> None:
+        folded = fold_constants(idx.clone())
+        if isinstance(folded, IntLit):
+            idx = folded
+        if isinstance(idx, IntLit):
+            if not 0 <= idx.value < dim:
+                self.bag.error(
+                    "E106",
+                    idx.loc,
+                    f"index {idx.value} is outside {array!r} "
+                    f"(size {dim})",
+                )
+            return
+        # Affine in an enclosing loop variable with literal bounds: the
+        # index range over the whole iteration space is computable.
+        for info in reversed(self.loop_infos):
+            if info.lo_const is None or info.trip_count is None:
+                continue
+            if info.trip_count == 0:
+                continue
+            affine = analyze_subscript(idx, info.var)
+            if affine is None or affine.syms or affine.coeff == 0:
+                continue
+            first = affine.coeff * info.lo_const + affine.offset
+            last_i = info.lo_const + (info.trip_count - 1) * info.step
+            last = affine.coeff * last_i + affine.offset
+            lo_val, hi_val = min(first, last), max(first, last)
+            if hi_val < 0 or lo_val >= dim:
+                self.bag.error(
+                    "E106",
+                    idx.loc,
+                    f"index range [{lo_val}, {hi_val}] of {array!r} never "
+                    f"intersects [0, {dim})",
+                )
+            elif lo_val < 0 or hi_val >= dim:
+                self.bag.warning(
+                    "W107",
+                    idx.loc,
+                    f"index of {array!r} spans [{lo_val}, {hi_val}] over "
+                    f"loop {info.var!r}; array size is {dim}",
+                )
+            return
+
+    # -- statements ---------------------------------------------------------
+    def _stmt(self, stmt: Stmt) -> None:
+        if isinstance(stmt, Decl):
+            self._decl(stmt)
+        elif isinstance(stmt, Assign):
+            self._assign(stmt)
+        elif isinstance(stmt, If):
+            self._check_expr(stmt.cond)
+            self.scope.push()
+            for s in stmt.then:
+                self._stmt(s)
+            self.scope.pop()
+            self.scope.push()
+            for s in stmt.els:
+                self._stmt(s)
+            self.scope.pop()
+        elif isinstance(stmt, For):
+            self._for(stmt)
+        elif isinstance(stmt, While):
+            self._loop_body(stmt.body, info=None, cond=stmt.cond)
+        elif isinstance(stmt, (Break, Continue)):
+            if self.loop_depth == 0:
+                kw = "break" if isinstance(stmt, Break) else "continue"
+                self.bag.error(
+                    "E111", stmt.loc, f"{kw!r} outside any loop"
+                )
+        elif isinstance(stmt, ExprStmt):
+            self._check_expr(stmt.expr)
+        elif isinstance(stmt, ParGroup):
+            for s in stmt.stmts:
+                self._stmt(s)
+
+    def _decl(self, decl: Decl) -> None:
+        duplicate, shadowed = self.scope.declare(decl)
+        if duplicate:
+            self.bag.error(
+                "E102",
+                decl.loc,
+                f"{decl.name!r} is already declared in this scope",
+            )
+        elif shadowed is not None:
+            self.bag.warning(
+                "W103",
+                decl.loc,
+                f"declaration of {decl.name!r} shadows an outer declaration",
+            )
+        if decl.init is not None:
+            self._check_expr(decl.init)
+            init_type = self._expr_type(decl.init)
+            if decl.type == "int" and init_type == "float":
+                self.bag.warning(
+                    "W108",
+                    decl.loc,
+                    f"initializing int {decl.name!r} with a float value "
+                    "truncates",
+                )
+            self.initialized.add(decl.name)
+
+    def _assign(self, stmt: Assign) -> None:
+        self._check_expr(stmt.expanded_value())
+        target = stmt.target
+        if isinstance(target, Var):
+            sym = self.scope.lookup(target.name)
+            if sym is not None and sym.dims:
+                self.bag.error(
+                    "E110",
+                    target.loc,
+                    f"array {target.name!r} assigned as a scalar",
+                )
+            else:
+                value_type = self._expr_type(stmt.expanded_value())
+                target_type = sym.type if sym is not None else "int"
+                if (
+                    sym is not None
+                    and target_type == "int"
+                    and value_type == "float"
+                ):
+                    self.bag.warning(
+                        "W108",
+                        stmt.loc,
+                        f"assigning a float value to int {target.name!r} "
+                        "truncates",
+                    )
+            self.initialized.add(target.name)
+        else:
+            self._check_array_ref(target)
+            for idx in target.indices:
+                self._check_expr(idx)
+
+    def _for(self, loop: For) -> None:
+        info = LoopInfo.from_for(loop)
+        if info is None:
+            self.bag.note(
+                "N120",
+                loop.loc,
+                "loop is not in canonical counted form "
+                "(for (i = lo; i < hi; i += c)); SLMS will decline it",
+            )
+        if loop.init is not None:
+            self._stmt(loop.init)
+        if loop.cond is not None:
+            self._check_expr(loop.cond)
+        if info is not None:
+            self.loop_infos.append(info)
+        self._loop_body(loop.body, info=info, step=loop.step)
+        if info is not None:
+            self.loop_infos.pop()
+
+    def _loop_body(
+        self,
+        body: List[Stmt],
+        info: Optional[LoopInfo],
+        cond: Optional[Expr] = None,
+        step: Optional[Stmt] = None,
+    ) -> None:
+        if cond is not None:
+            self._check_expr(cond)
+        defs: Set[str] = set()
+        for s in body:
+            defs |= defined_scalars(s)
+        if step is not None:
+            defs |= defined_scalars(step)
+        self.loop_defined.append(defs)
+        self.loop_depth += 1
+        self.scope.push()
+        for s in body:
+            self._stmt(s)
+        if step is not None:
+            self._stmt(step)
+        self.scope.pop()
+        self.loop_depth -= 1
+        self.loop_defined.pop()
+        # Anything the body assigns is available after the loop (zero-trip
+        # loops excepted; being flow-insensitive here avoids false E101s).
+        self.initialized |= defs
+
+    # -- prepass -------------------------------------------------------------
+    @property
+    def _all_defs(self) -> Set[str]:
+        return self.__dict__.setdefault("_all_defs_cache", set())
+
+    def _collect_defs(self, program: Program) -> None:
+        cache: Set[str] = set()
+        for node in walk(program):
+            if isinstance(node, Assign) and isinstance(node.target, Var):
+                cache.add(node.target.name)
+            elif isinstance(node, Decl) and node.init is not None:
+                cache.add(node.name)
+        self.__dict__["_all_defs_cache"] = cache
+
+
+def check_program(program: Program) -> List[Diagnostic]:
+    """Run the semantic checker; returns sorted diagnostics."""
+    checker = SemanticChecker()
+    checker._collect_defs(program)
+    return checker.check(program)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.analysis.affine import AffineExpr, analyze_subscript
+from repro.analysis.affine import analyze_subscript
 from repro.analysis.deptests import test_dependence as dep_test
 from repro.lang import parse_expr
 

@@ -1,6 +1,5 @@
 """Codegen tests: LIR output validated against the source interpreter."""
 
-import numpy as np
 import pytest
 
 from repro.backend.codegen import CodegenError, compile_to_lir

@@ -1,6 +1,5 @@
 """FMA fusion tests (Itanium/POWER4 fused multiply-add pipes)."""
 
-import pytest
 
 from repro.backend.codegen import compile_to_lir
 from repro.backend.compiler import COMPILER_PRESETS, FinalCompiler

@@ -1,16 +1,10 @@
 """List scheduler and machine-level IMS tests."""
 
-import pytest
 
 from repro.backend.codegen import compile_to_lir
 from repro.backend.compiler import FinalCompiler
-from repro.backend.ims import (
-    build_loop_dependences,
-    rec_mii,
-    res_mii,
-    run_ims,
-)
-from repro.backend.listsched import schedule_block, schedule_module
+from repro.backend.ims import build_loop_dependences, rec_mii, res_mii
+from repro.backend.listsched import schedule_module
 from repro.backend.lir import Instr
 from repro.backend.rotate import rotate_loops
 from repro.lang import parse_program

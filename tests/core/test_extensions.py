@@ -1,11 +1,10 @@
 """Tests for the §10 extensions: while-loop SLMS and frequent-path SLMS."""
 
-import numpy as np
 import pytest
 
 from repro.core.extensions import frequent_path_slms, pipeline_while, unroll_while
 from repro.lang import parse_program, parse_stmt, to_source
-from repro.lang.ast_nodes import For, Program, While
+from repro.lang.ast_nodes import While
 from repro.sim.interp import run_program, state_equal
 from repro.transforms.errors import TransformError
 
@@ -35,7 +34,7 @@ class TestUnrollWhile:
         stmts = _check(
             STRING_COPY_SETUP,
             "while (a[i+2]) { a[i] = a[i+2]; i++; }",
-            lambda l: unroll_while(l, 2),
+            lambda lp: unroll_while(lp, 2),
         )
         unrolled = stmts[0]
         assert isinstance(unrolled, While)
@@ -45,7 +44,7 @@ class TestUnrollWhile:
         _check(
             STRING_COPY_SETUP,
             "while (a[i+2]) { a[i] = a[i+2]; i++; }",
-            lambda l: unroll_while(l, 3),
+            lambda lp: unroll_while(lp, 3),
         )
 
     def test_odd_length_residual(self):
@@ -53,7 +52,7 @@ class TestUnrollWhile:
         _check(
             setup,
             "while (a[i+2]) { a[i] = a[i+2]; i++; }",
-            lambda l: unroll_while(l, 2),
+            lambda lp: unroll_while(lp, 2),
         )
 
     def test_empty_string(self):
@@ -61,7 +60,7 @@ class TestUnrollWhile:
         _check(
             setup,
             "while (a[i+2]) { a[i] = a[i+2]; i++; }",
-            lambda l: unroll_while(l, 2),
+            lambda lp: unroll_while(lp, 2),
         )
 
     def test_condition_clobber_rejected(self):
@@ -85,7 +84,7 @@ class TestUnrollWhile:
         _check(
             setup,
             "while (a[i-2]) { a[i] = a[i-2]; i--; }",
-            lambda l: unroll_while(l, 2),
+            lambda lp: unroll_while(lp, 2),
         )
 
 

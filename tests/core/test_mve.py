@@ -4,7 +4,6 @@ from repro.analysis.loopinfo import LoopInfo
 from repro.core.mve import apply_mve, eligible_scalars, plan_rotations
 from repro.core.names import NamePool
 from repro.lang import parse_program, parse_stmt, to_source
-from repro.lang.ast_nodes import Program
 from repro.sim.interp import run_program, state_equal
 
 

@@ -1,6 +1,5 @@
 """Pipeline structural tests: nesting, while wrappers, report pairing."""
 
-import pytest
 
 from repro import SLMSOptions, slms
 from repro.lang import parse_program, to_source

@@ -4,8 +4,7 @@ import pytest
 
 from repro import SLMSOptions, slms, to_source
 from repro.analysis.loopinfo import LoopInfo
-from repro.core.names import NamePool
-from repro.core.reductions import find_reduction, split_reduction
+from repro.core.reductions import find_reduction
 from repro.lang import parse_program, parse_stmt
 from repro.sim.interp import run_program, state_equal
 

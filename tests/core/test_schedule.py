@@ -5,7 +5,6 @@ import pytest
 from repro.analysis.loopinfo import LoopInfo
 from repro.core.schedule import ShortTripCount, build_modulo_schedule
 from repro.lang import ParGroup, parse_program, parse_stmt, to_source
-from repro.lang.ast_nodes import Program
 from repro.sim.interp import run_program, state_equal
 
 

@@ -44,7 +44,7 @@ class TestRenderFigure:
         result = make({"s": {}})
         result.series["s"] = {"zeta": 1.0, "alpha": 2.0}
         lines = render_figure(result).splitlines()
-        names = [l.split()[0] for l in lines if l.startswith(("zeta", "alpha"))]
+        names = [ln.split()[0] for ln in lines if ln.startswith(("zeta", "alpha"))]
         assert names == ["zeta", "alpha"]  # insertion order, not sorted
 
     def test_empty_series(self):

@@ -6,7 +6,7 @@ import json
 
 import pytest
 
-from repro.harness.sweep import DEFAULT_PAIRS, SweepResult, run_sweep
+from repro.harness.sweep import DEFAULT_PAIRS, run_sweep
 
 
 @pytest.fixture(scope="module")

@@ -5,7 +5,6 @@ user copies from), so they execute as part of the test suite.
 """
 
 import runpy
-import sys
 from pathlib import Path
 
 import pytest

@@ -6,9 +6,8 @@ kernel shapes, decomposition choices) and verifies semantics against
 the interpreter oracle.
 """
 
-import pytest
 
-from repro import SLMSOptions, slms, slms_loop, to_source
+from repro import SLMSOptions, slms, to_source
 from repro.lang import parse_program, parse_stmt
 from repro.sim.interp import run_program, state_equal
 

@@ -1,13 +1,6 @@
 """Unit tests for AST traversal and rewriting utilities."""
 
-from repro.lang import (
-    ArrayRef,
-    Var,
-    parse_expr,
-    parse_program,
-    parse_stmt,
-    to_source,
-)
+from repro.lang import Var, parse_expr, parse_program, parse_stmt, to_source
 from repro.lang.visitors import (
     collect_array_refs,
     collect_calls,

@@ -10,7 +10,6 @@
 
 import itertools
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.analysis.affine import AffineExpr
@@ -20,7 +19,6 @@ from repro.analysis.deptests import test_dependence as dep_test
 from repro.analysis.fourier_motzkin import (
     FEASIBLE,
     INFEASIBLE,
-    MAYBE,
     IntegerSystem,
     is_feasible,
 )

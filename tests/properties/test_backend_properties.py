@@ -2,7 +2,6 @@
 preset and machine, and schedules respect their dependence constraints.
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.backend.codegen import compile_to_lir

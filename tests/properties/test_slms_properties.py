@@ -7,7 +7,6 @@ decline (identity) or produce a program with bit-identical final memory
 and original scalar values.
 """
 
-import numpy as np
 from hypothesis import given, settings, strategies as st
 
 from repro import SLMSOptions, slms

@@ -5,7 +5,6 @@ randomly generated affine loops (the transformations either succeed or
 decline with :class:`TransformError`; success must be bit-exact).
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.lang import parse_program, parse_stmt
@@ -78,7 +77,7 @@ def check_transform(loop_src, transform, ignore=()):
 @settings(max_examples=80, deadline=None)
 @given(loop_sources(), st.integers(2, 4))
 def test_unroll_preserves_semantics(loop_src, factor):
-    check_transform(loop_src, lambda l: unroll(l, factor))
+    check_transform(loop_src, lambda lp: unroll(lp, factor))
 
 
 @settings(max_examples=80, deadline=None)
@@ -91,13 +90,13 @@ def test_distribute_preserves_semantics(loop_src):
 @given(loop_sources(), st.integers(1, 4),
        st.sampled_from(["front", "back"]))
 def test_peel_preserves_semantics(loop_src, count, where):
-    check_transform(loop_src, lambda l: peel(l, count, where))
+    check_transform(loop_src, lambda lp: peel(lp, count, where))
 
 
 @settings(max_examples=60, deadline=None)
 @given(loop_sources(), st.integers(2, 8))
 def test_strip_mine_preserves_semantics(loop_src, width):
-    check_transform(loop_src, lambda l: strip_mine(l, width), ignore={"is"})
+    check_transform(loop_src, lambda lp: strip_mine(lp, width), ignore={"is"})
 
 
 @settings(max_examples=60, deadline=None)

@@ -1,0 +1,160 @@
+"""Verification-layer properties.
+
+* The schedule validator accepts every ``applied=True`` result the
+  pipeline produces — on the whole benchmark corpus and on randomly
+  generated canonical loops (the validator re-derives the dependence
+  graph and replays the iteration space independently, so agreement is
+  a real cross-check, not a tautology);
+* the semantic checker reports no errors on any corpus workload.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.pipeline import slms
+from repro.core.slms import SLMSOptions
+from repro.lang.parser import parse_program
+from repro.verify import check_program
+from repro.workloads import all_workloads
+
+SIZE = 96
+ARRAYS = ["A", "B", "C"]
+SCALARS = ["s", "t", "u"]
+
+
+def _errors(diags):
+    return [d for d in diags if d.severity == "error"]
+
+
+# ---------------------------------------------------------------------------
+# Corpus-wide guarantees
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "workload", all_workloads(), ids=lambda w: w.name
+)
+def test_validator_accepts_corpus_results(workload):
+    outcome = slms(
+        workload.full_source(), SLMSOptions(verify=True)
+    )
+    for report in outcome.loops:
+        assert not _errors(report.diagnostics), (
+            f"{workload.name}: validator rejected an applied schedule: "
+            + "; ".join(d.format() for d in _errors(report.diagnostics))
+        )
+
+
+@pytest.mark.parametrize(
+    "workload", all_workloads(), ids=lambda w: w.name
+)
+def test_semantic_checker_clean_on_corpus(workload):
+    diags = check_program(parse_program(workload.full_source()))
+    assert not _errors(diags), (
+        f"{workload.name}: " + "; ".join(d.format() for d in _errors(diags))
+    )
+
+
+def test_forced_expansions_still_validate():
+    """Even with the filter off and each expansion strategy forced, no
+    applied result may fail validation."""
+    option_sets = [
+        SLMSOptions(verify=True, enable_filter=False, expansion="auto"),
+        SLMSOptions(verify=True, enable_filter=False, expansion="scalar"),
+        SLMSOptions(verify=True, enable_filter=False, expansion="none"),
+    ]
+    checked = 0
+    for workload in all_workloads():
+        for options in option_sets:
+            outcome = slms(workload.full_source(), options)
+            for report in outcome.loops:
+                if report.applied:
+                    checked += 1
+                    assert not _errors(report.diagnostics), (
+                        f"{workload.name} ({options.expansion}): "
+                        + "; ".join(
+                            d.format()
+                            for d in _errors(report.diagnostics)
+                        )
+                    )
+    assert checked > 50  # the sweep must actually exercise the validator
+
+
+# ---------------------------------------------------------------------------
+# Random canonical loops
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def small_exprs(draw, depth=0):
+    choice = draw(st.integers(0, 4 if depth < 2 else 3))
+    if choice == 0:
+        off = draw(st.integers(-2, 2))
+        idx = f"i + {off}".replace("+ -", "- ") if off else "i"
+        return f"{draw(st.sampled_from(ARRAYS))}[{idx}]"
+    if choice == 1:
+        return draw(st.sampled_from(SCALARS))
+    if choice == 2:
+        return str(draw(st.integers(1, 4)))
+    if choice == 3:
+        return f"{draw(st.integers(1, 9))}.5"
+    op = draw(st.sampled_from(["+", "-", "*"]))
+    return (
+        f"({draw(small_exprs(depth=depth + 1))} {op} "
+        f"{draw(small_exprs(depth=depth + 1))})"
+    )
+
+
+@st.composite
+def verify_loops(draw):
+    n_stmts = draw(st.integers(1, 3))
+    body = []
+    for _ in range(n_stmts):
+        if draw(st.booleans()):
+            arr = draw(st.sampled_from(ARRAYS))
+            off = draw(st.integers(-2, 2))
+            idx = f"i + {off}".replace("+ -", "- ") if off else "i"
+            body.append(f"{arr}[{idx}] = {draw(small_exprs())};")
+        else:
+            body.append(
+                f"{draw(st.sampled_from(SCALARS))} = {draw(small_exprs())};"
+            )
+    lo = draw(st.integers(2, 4))
+    hi = draw(st.integers(lo + 2, SIZE - 4))
+    step = draw(st.sampled_from([1, 1, 2]))
+    decls = (
+        f"float A[{SIZE}], B[{SIZE}], C[{SIZE}];\n"
+        "float s = 0.5, t = 1.5, u = 0.0;\n"
+    )
+    newline = "\n"
+    return (
+        decls
+        + f"for (i = {lo}; i < {hi}; i += {step}) {{\n"
+        + newline.join(body)
+        + "\n}"
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(verify_loops())
+def test_validator_accepts_random_applied_results(source):
+    outcome = slms(source, SLMSOptions(verify=True, enable_filter=False))
+    for report in outcome.loops:
+        if report.applied:
+            assert not _errors(report.diagnostics), (
+                "validator rejected a pipeline result:\n"
+                + source
+                + "\n"
+                + "; ".join(d.format() for d in _errors(report.diagnostics))
+            )
+
+
+@settings(max_examples=40, deadline=None)
+@given(verify_loops())
+def test_semantic_checker_no_errors_on_generated_loops(source):
+    """Generated loops stay within declared bounds and initialize every
+    scalar, so the checker must stay quiet about errors."""
+    diags = check_program(parse_program(source))
+    assert not _errors(diags), "; ".join(
+        d.format() for d in _errors(diags)
+    )

@@ -1,13 +1,11 @@
 """Cache model, address map, and cycle-executor tests."""
 
-import pytest
 
-from repro.backend.compiler import FinalCompiler, compile_and_run
+from repro.backend.compiler import compile_and_run
 from repro.lang import parse_program
 from repro.machines import arm7tdmi, itanium2, pentium
 from repro.machines.model import CacheConfig
 from repro.sim.cache import AddressMap, DirectMappedCache
-from repro.sim.executor import execute
 from repro.sim.interp import run_program, state_equal
 
 

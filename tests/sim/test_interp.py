@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.lang import parse_program
-from repro.sim.interp import InterpError, Interpreter, run_program, state_equal
+from repro.sim.interp import InterpError, run_program, state_equal
 
 
 def run(source, **env):

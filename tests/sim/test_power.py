@@ -4,11 +4,7 @@ import pytest
 
 from repro.backend.compiler import compile_and_run
 from repro.machines import arm7tdmi, itanium2
-from repro.sim.power import (
-    EnergyBreakdown,
-    energy_breakdown,
-    power_report,
-)
+from repro.sim.power import energy_breakdown, power_report
 
 SRC = """
 float A[64], B[64];

@@ -15,7 +15,6 @@ from repro.transforms import (
     reverse,
     strip_mine,
     tile,
-    unroll,
 )
 
 INIT = (
@@ -186,7 +185,7 @@ class TestDistribution:
             "B[i] = 2.0; }"
         )
         loops = distribute(loop)
-        sizes = sorted(len(l.body) for l in loops)
+        sizes = sorted(len(lp.body) for lp in loops)
         assert sizes == [1, 2]
         base = run_with([loop.clone()])
         assert state_equal(base, run_with(list(loops)))

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.lang import parse_program, parse_stmt, to_source
-from repro.lang.ast_nodes import For, Program
+from repro.lang.ast_nodes import For
 from repro.sim.interp import run_program, state_equal
 from repro.transforms import TransformError, unroll
 

@@ -1,0 +1,131 @@
+"""CLI tests for ``slms check``, ``slms explain --check``, and the
+no-traceback frontend-error contract."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def clean_file(tmp_path):
+    path = tmp_path / "clean.c"
+    path.write_text(
+        """
+        float a[256]; float b[256]; float c[256];
+        for (i = 0; i < 200; i += 1) {
+            a[i] = b[i] * 2.0;
+            c[i] = a[i] + b[i];
+        }
+        """
+    )
+    return str(path)
+
+
+@pytest.fixture()
+def warning_file(tmp_path):
+    # In-bounds loop over a but the index range escapes d: W107.
+    path = tmp_path / "warn.c"
+    path.write_text(
+        """
+        float a[256]; float d[100];
+        for (i = 0; i < 200; i += 1) {
+            a[i] = d[i] * 2.0;
+        }
+        """
+    )
+    return str(path)
+
+
+@pytest.fixture()
+def error_file(tmp_path):
+    path = tmp_path / "err.c"
+    path.write_text("float a[10];\na[12] = 1.0;\n")
+    return str(path)
+
+
+@pytest.fixture()
+def parse_error_file(tmp_path):
+    path = tmp_path / "bad.c"
+    path.write_text("float a[10];\na[3] = = 1.0;\n")
+    return str(path)
+
+
+class TestCheck:
+    def test_clean_file_exits_zero(self, clean_file, capsys):
+        assert main(["check", clean_file]) == 0
+        out = capsys.readouterr().out
+        assert "0 finding(s)" in out
+        assert "schedule(s) validated" in out
+
+    def test_semantic_error_exits_nonzero(self, error_file, capsys):
+        assert main(["check", error_file]) == 1
+        out = capsys.readouterr().out
+        assert "[E106]" in out
+        assert "error:" in out
+
+    def test_diagnostics_carry_location(self, error_file, capsys):
+        main(["check", error_file])
+        out = capsys.readouterr().out
+        assert f"{error_file}:2:" in out
+
+    def test_warning_exits_zero(self, warning_file, capsys):
+        assert main(["check", warning_file]) == 0
+        assert "[W107]" in capsys.readouterr().out
+
+    def test_werror_promotes_warning(self, warning_file):
+        assert main(["check", warning_file, "--Werror"]) == 1
+
+    def test_json_output(self, clean_file, capsys):
+        assert main(["check", clean_file, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["file"] == clean_file
+        assert payload["diagnostics"] == []
+        assert payload["loops"]
+        assert all("applied" in loop for loop in payload["loops"])
+
+    def test_json_on_error(self, error_file, capsys):
+        assert main(["check", error_file, "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert any(d["code"] == "E106" for d in payload["diagnostics"])
+
+    def test_no_filter_flag(self, clean_file):
+        assert main(["check", clean_file, "--no-filter"]) == 0
+
+
+class TestFrontendErrors:
+    """Bad input exits 1 with a formatted diagnostic, never a traceback."""
+
+    def test_check_parse_error(self, parse_error_file, capsys):
+        assert main(["check", parse_error_file]) == 1
+        err = capsys.readouterr().err
+        assert parse_error_file in err
+        assert "error:" in err
+        assert ":2:" in err  # real location, not 0:0
+
+    def test_transform_parse_error(self, parse_error_file, capsys):
+        assert main(["transform", parse_error_file]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_explain_parse_error(self, parse_error_file, capsys):
+        assert main(["explain", parse_error_file]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_file(self, tmp_path, capsys):
+        assert main(["check", str(tmp_path / "nope.c")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestExplainCheck:
+    def test_explain_check_section(self, error_file, capsys):
+        assert main(["explain", error_file, "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "semantic check:" in out
+        assert "[E106]" in out
+
+    def test_explain_without_check_is_unchanged(self, clean_file, capsys):
+        main(["explain", clean_file])
+        assert "semantic check" not in capsys.readouterr().out

@@ -1,0 +1,203 @@
+"""Unit tests for the semantic checker: one per diagnostic code, plus
+the no-false-positive guarantees the SLMS corpus dialect relies on."""
+
+import pytest
+
+from repro.lang.parser import parse_program
+from repro.verify import check_program, has_errors
+from repro.verify.diagnostics import (
+    DIAGNOSTIC_CODES,
+    Diagnostic,
+    sort_diagnostics,
+)
+from repro.lang.errors import SourceLocation
+
+
+def codes(source: str):
+    return [d.code for d in check_program(parse_program(source))]
+
+
+# ---------------------------------------------------------------------------
+# One test per diagnostic code
+# ---------------------------------------------------------------------------
+
+
+def test_e101_use_before_any_def():
+    assert "E101" in codes("int x; int y = x + 1;")
+
+
+def test_e101_use_before_later_def():
+    assert "E101" in codes("float x; float y; y = x; x = 1.0;")
+
+
+def test_e102_duplicate_declaration():
+    assert "E102" in codes("int x; float x;")
+
+
+def test_e104_float_subscript():
+    assert "E104" in codes(
+        "float a[10]; float f; f = 0.5; a[f] = 1.0;"
+    )
+
+
+def test_e105_rank_mismatch():
+    assert "E105" in codes(
+        "float a[10]; int i; for (i=0;i<5;i+=1) { a[i][i] = 1.0; }"
+    )
+
+
+def test_e106_constant_out_of_bounds():
+    assert "E106" in codes("float a[10]; a[12] = 1.0;")
+    assert "E106" in codes("float a[10]; float x; x = a[10];")
+
+
+def test_e106_negative_index():
+    assert "E106" in codes("float a[10]; a[0-1] = 1.0;")
+
+
+def test_e109_subscripted_scalar():
+    assert "E109" in codes("float x; x[3] = 1.0;")
+
+
+def test_e110_array_used_as_scalar():
+    assert "E110" in codes("float a[10]; float y; y = a + 1.0;")
+    assert "E110" in codes("float a[10]; a = 1.0;")
+
+
+def test_e111_break_outside_loop():
+    assert "E111" in codes("break;")
+    assert "E111" in codes("continue;")
+
+
+def test_e111_not_inside_loop():
+    assert "E111" not in codes(
+        "int i; for (i=0;i<5;i+=1) { break; }"
+    )
+
+
+def test_e112_constant_division_by_zero():
+    assert "E112" in codes("int x; x = 5 / 0;")
+    assert "E112" in codes("int x; x = 5 % 0;")
+
+
+def test_w103_shadowed_declaration():
+    assert "W103" in codes(
+        "int x; int i; for (i=0;i<3;i+=1) { float x; x = 1.0; }"
+    )
+
+
+def test_w107_loop_range_exceeds_bounds():
+    assert "W107" in codes(
+        "float a[10]; int i; for (i=0;i<20;i+=1) { a[i] = 1.0; }"
+    )
+
+
+def test_w107_in_bounds_is_silent():
+    assert codes(
+        "float a[20]; int i; for (i=0;i<20;i+=1) { a[i] = 1.0; }"
+    ) == []
+
+
+def test_w108_float_to_int_narrowing():
+    assert "W108" in codes("int x; x = 1.5;")
+    assert "W108" in codes("int x = 2.5;")
+
+
+def test_w113_opaque_call():
+    assert "W113" in codes("float y; y = sqrt(2.0);")
+
+
+def test_w115_loop_carried_first_read():
+    source = (
+        "float s; int i; float a[10]; "
+        "for (i=0;i<5;i+=1) { a[i] = s; s = a[i] + 1.0; }"
+    )
+    result = codes(source)
+    assert "W115" in result
+    assert "E101" not in result  # carried, not plain use-before-def
+
+
+def test_n120_non_canonical_loop():
+    assert "N120" in codes(
+        "int i; for (i = 0; i*i < 10; i += 1) { i = i; }"
+    )
+
+
+# ---------------------------------------------------------------------------
+# No false positives on the corpus dialect
+# ---------------------------------------------------------------------------
+
+
+def test_undeclared_loop_counter_is_fine():
+    # Corpus kernels use bare `for (i = 0; ...)` with no declaration.
+    assert codes(
+        "float a[10]; for (i = 0; i < 10; i += 1) { a[i] = 1.0; }"
+    ) == []
+
+
+def test_scalar_defined_in_loop_readable_after():
+    assert codes(
+        "float a[10]; float s; int i; "
+        "for (i=0;i<10;i+=1) { s = a[i]; } float t; t = s;"
+    ) == []
+
+
+def test_compound_assign_reads_after_init_ok():
+    assert codes("float s = 0.0; s = s + 1.0;") == []
+
+
+def test_clean_kernel_is_silent():
+    assert codes(
+        "float a[100]; float b[100]; int i; "
+        "for (i = 0; i < 100; i += 1) { a[i] = b[i] * 2.0; }"
+    ) == []
+
+
+# ---------------------------------------------------------------------------
+# Diagnostic machinery
+# ---------------------------------------------------------------------------
+
+
+def test_every_reported_code_is_registered():
+    for code in ("E101", "W107", "V201", "N208"):
+        assert code in DIAGNOSTIC_CODES
+
+
+def test_unknown_code_rejected():
+    with pytest.raises(ValueError):
+        Diagnostic("error", "E999", SourceLocation(1, 1), "nope")
+
+
+def test_unknown_severity_rejected():
+    with pytest.raises(ValueError):
+        Diagnostic("fatal", "E101", SourceLocation(1, 1), "nope")
+
+
+def test_format_omits_unknown_location():
+    diag = Diagnostic("error", "E101", SourceLocation(), "msg")
+    assert "0:0" not in diag.format("file.c")
+    assert diag.format("file.c").startswith("file.c: error:")
+
+
+def test_format_includes_known_location():
+    diag = Diagnostic("warning", "W107", SourceLocation(3, 9), "msg")
+    assert diag.format("k.c") == "k.c:3:9: warning: [W107] msg"
+
+
+def test_has_errors_werror_promotes_warnings():
+    diags = check_program(parse_program("float y; y = sqrt(2.0);"))
+    assert not has_errors(diags)
+    assert has_errors(diags, werror=True)
+
+
+def test_sort_is_by_position():
+    diags = check_program(
+        parse_program("int x; float x; int y = z + 1;")
+    )
+    lines = [d.loc.line for d in sort_diagnostics(diags)]
+    assert lines == sorted(lines)
+
+
+def test_locations_are_real():
+    diags = check_program(parse_program("float a[10];\na[12] = 1.0;"))
+    assert all(d.loc.line > 0 for d in diags)
