@@ -14,7 +14,19 @@ Subcommands
     ``text_bundles``, or ``all``); ``--quick`` trims the workload list.
 
 ``slms bench WORKLOAD``
-    Run a single workload comparison on a machine/compiler pair.
+    Run a single workload comparison on a machine/compiler pair
+    (``--profile`` prints per-phase wall-clock times).
+
+``slms sweep [WORKLOAD ...]``
+    The full workloads × machine/compiler matrix (default: every corpus
+    workload × the paper's pairs).  ``--csv``/``--json`` export the
+    matrix; ``--workers`` fans experiments out over processes,
+    ``--no-cache`` bypasses the on-disk result cache, ``--profile``
+    prints per-phase totals and ``--bench-json`` writes the
+    machine-readable perf record (``BENCH_sweep.json``).
+
+``slms cache stats|clear``
+    Inspect or empty the experiment result cache.
 
 ``slms explain FILE``
     Per-loop SLC diagnostics: filter verdict, multi-instructions,
@@ -184,14 +196,27 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _print_phases(phase_totals, file=None) -> None:
+    file = file if file is not None else sys.stdout
+    print("per-phase wall clock:", file=file)
+    for phase in ("parse", "transform", "compile", "simulate", "verify",
+                  "total"):
+        if phase in phase_totals:
+            print(f"  {phase:<10} {phase_totals[phase]:8.3f} s", file=file)
+
+
 def _cmd_figure(args: argparse.Namespace) -> int:
+    from repro.harness.engine import engine_defaults
     from repro.harness.figures import FIGURES, run_figure
     from repro.harness.report import render_figure
 
     names = sorted(FIGURES) if args.name == "all" else [args.name]
-    for name in names:
-        print(render_figure(run_figure(name, quick=args.quick)))
-        print()
+    with engine_defaults(
+        workers=args.workers, use_cache=not args.no_cache
+    ):
+        for name in names:
+            print(render_figure(run_figure(name, quick=args.quick)))
+            print()
     return 0
 
 
@@ -210,6 +235,93 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     print(f"energy:    {res.base_energy / 1000:.1f} nJ -> "
           f"{res.slms_energy / 1000:.1f} nJ")
     print(f"machine MS: before={res.ims_base} after={res.ims_slms}")
+    if args.profile:
+        _print_phases(res.phase_times)
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.harness.sweep import DEFAULT_PAIRS, bench_record, run_sweep
+    from repro.workloads import by_suite
+
+    workloads = list(args.workloads)
+    for suite in args.suite or []:
+        workloads.extend(wl.name for wl in by_suite(suite))
+    pairs = None
+    if args.pairs:
+        pairs = []
+        for spec in args.pairs:
+            machine, _, compiler = spec.partition("/")
+            if not compiler:
+                raise ValueError(
+                    f"bad pair {spec!r}; expected MACHINE/COMPILER"
+                )
+            pairs.append((machine, compiler))
+
+    sweep = run_sweep(
+        workloads or None,
+        pairs=pairs,
+        workers=args.workers,
+        use_cache=not args.no_cache,
+    )
+
+    wrote_stdout = False
+    exports = (
+        (args.csv, sweep.to_csv().rstrip("\n") + "\n"),
+        (args.json, sweep.to_json() + "\n"),
+    )
+    for path, payload in exports:
+        if not path:
+            continue
+        if path == "-":
+            sys.stdout.write(payload)
+            wrote_stdout = True
+        else:
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+    if not wrote_stdout and not (args.csv or args.json):
+        matrix = sweep.speedup_matrix()
+        columns = sorted({key for row in matrix.values() for key in row})
+        print("workload".ljust(14) + "".join(c.rjust(18) for c in columns))
+        for workload, row in matrix.items():
+            cells = "".join(
+                (f"{row[c]:.3f}x" if c in row else "-").rjust(18)
+                for c in columns
+            )
+            print(workload.ljust(14) + cells)
+
+    stats = sweep.stats
+    if stats is not None:
+        print(
+            f"# {stats.experiments} experiments in {stats.wall_s:.2f} s "
+            f"({stats.workers} worker(s), cache: {stats.cache_hits} hit(s) / "
+            f"{stats.cache_misses} miss(es))",
+            file=sys.stderr,
+        )
+        if args.profile:
+            _print_phases(stats.phase_totals, file=sys.stderr)
+    if args.bench_json:
+        label = "sweep:" + (
+            ",".join(workloads) if workloads else "all_workloads"
+        )
+        with open(args.bench_json, "w", encoding="utf-8") as handle:
+            json.dump(bench_record(sweep, label=label), handle, indent=2)
+            handle.write("\n")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.harness.expcache import ExperimentCache
+
+    cache = ExperimentCache(args.dir)
+    if args.action == "stats":
+        stats = cache.stats()
+        print(f"cache dir: {stats['dir']}")
+        print(f"entries:   {stats['entries']}")
+        print(f"size:      {stats['bytes']} bytes")
+    else:  # clear
+        removed = cache.clear()
+        print(f"removed {removed} cached result(s) from {cache.dir}")
     return 0
 
 
@@ -276,13 +388,56 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_figure = sub.add_parser("figure", help="regenerate a paper figure")
     p_figure.add_argument("name")
     p_figure.add_argument("--quick", action="store_true")
+    p_figure.add_argument("--workers", type=int, default=None, metavar="N",
+                          help="experiment processes (default: one per CPU)")
+    p_figure.add_argument("--no-cache", action="store_true",
+                          help="bypass the experiment result cache")
     p_figure.set_defaults(func=_cmd_figure)
 
     p_bench = sub.add_parser("bench", help="run one workload comparison")
     p_bench.add_argument("workload")
     p_bench.add_argument("--machine", default="itanium2")
     p_bench.add_argument("--compiler", default="gcc_O3")
+    p_bench.add_argument("--profile", action="store_true",
+                         help="print per-phase wall-clock times")
     p_bench.set_defaults(func=_cmd_bench)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="workloads × machine/compiler matrix"
+    )
+    p_sweep.add_argument("workloads", nargs="*", metavar="WORKLOAD",
+                         help="workload names (default: the whole corpus)")
+    p_sweep.add_argument("--suite", action="append", metavar="SUITE",
+                         help="add every workload of a suite "
+                         "(livermore/linpack/nas/stone; repeatable)")
+    p_sweep.add_argument("--pairs", nargs="+", metavar="MACHINE/COMPILER",
+                         help="machine/compiler pairs "
+                         "(default: the paper's five)")
+    p_sweep.add_argument("--csv", metavar="PATH",
+                         help="write the matrix as CSV ('-' for stdout)")
+    p_sweep.add_argument("--json", metavar="PATH",
+                         help="write the matrix as JSON ('-' for stdout)")
+    p_sweep.add_argument("--workers", type=int, default=None, metavar="N",
+                         help="experiment processes (default: one per CPU; "
+                         "1 = serial)")
+    p_sweep.add_argument("--no-cache", action="store_true",
+                         help="bypass the experiment result cache")
+    p_sweep.add_argument("--profile", action="store_true",
+                         help="print per-phase wall-clock totals")
+    p_sweep.add_argument("--bench-json", nargs="?", const="BENCH_sweep.json",
+                         metavar="PATH",
+                         help="write the machine-readable perf record "
+                         "(default path: BENCH_sweep.json)")
+    p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_cache = sub.add_parser(
+        "cache", help="experiment result cache maintenance"
+    )
+    p_cache.add_argument("action", choices=["stats", "clear"])
+    p_cache.add_argument("--dir", default=None,
+                         help="cache directory (default: "
+                         "$SLMS_CACHE_DIR or ~/.cache/slms/experiments)")
+    p_cache.set_defaults(func=_cmd_cache)
 
     args = parser.parse_args(argv)
     from repro.lang.errors import FrontendError
@@ -292,6 +447,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     except FrontendError as exc:
         path = getattr(args, "file", None)
         print(exc.format(path), file=sys.stderr)
+        return 1
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
         return 1
     except OSError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -4,22 +4,44 @@ the paper's figures.
 * :mod:`repro.harness.experiment` — compile a workload both ways for a
   (machine, compiler) pair, simulate, and report kernel-only cycles,
   speedup, energy and diagnostics;
+* :mod:`repro.harness.engine` — the evaluation engine: parallel
+  experiment fan-out plus content-addressed result memoization;
+* :mod:`repro.harness.expcache` — the on-disk experiment cache;
 * :mod:`repro.harness.figures` — one entry per paper figure (14–22 plus
   the in-text bundle counts), producing the same series the paper plots;
+* :mod:`repro.harness.sweep` — the full workloads × machines × compilers
+  matrix with CSV/JSON export;
 * :mod:`repro.harness.report` — text rendering of figure series.
 """
 
+from repro.harness.engine import (
+    ENGINE_VERSION,
+    EngineConfig,
+    EngineStats,
+    ExperimentSpec,
+    engine_defaults,
+    run_experiments,
+)
 from repro.harness.experiment import (
     ExperimentResult,
     run_experiment,
     run_suite,
 )
 from repro.harness.figures import FIGURES, run_figure
+from repro.harness.sweep import SweepResult, run_sweep
 
 __all__ = [
+    "ENGINE_VERSION",
+    "EngineConfig",
+    "EngineStats",
     "ExperimentResult",
+    "ExperimentSpec",
     "FIGURES",
+    "SweepResult",
+    "engine_defaults",
     "run_experiment",
+    "run_experiments",
     "run_figure",
     "run_suite",
+    "run_sweep",
 ]

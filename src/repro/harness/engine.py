@@ -1,0 +1,229 @@
+"""The evaluation engine: parallel, memoized experiment execution.
+
+The paper's evaluation (§9) is a cross-product of workloads × machines ×
+compilers, re-run constantly while reproducing figures.  Three
+cooperating layers make that cheap:
+
+1. the LIR interpreter's pre-decoded fast path and the executor's static
+   per-block accounting (:mod:`repro.sim.lir_interp`,
+   :mod:`repro.sim.executor`) cut per-experiment cost;
+2. this module fans independent experiments out over a
+   ``ProcessPoolExecutor`` — experiments are deterministic pure
+   functions of their spec, so results are collected back in submission
+   order and are byte-identical to a serial run;
+3. an on-disk content-addressed cache (:mod:`repro.harness.expcache`)
+   memoizes each :class:`~repro.harness.experiment.ExperimentResult`,
+   so warm figure/sweep re-runs are near-instant.
+
+:func:`run_experiments` is the single entry point; ``run_suite``,
+``run_sweep`` and the figure harness all route through it.  Defaults
+(worker count, cache on/off, cache directory) come from a module-level
+:class:`EngineConfig`, overridable per call or temporarily via
+:func:`engine_defaults` (how the CLI's ``--workers``/``--no-cache``
+flags reach the figure suite without threading knobs through every
+figure function).
+
+``ENGINE_VERSION`` participates in every cache key.  Bump it whenever a
+change anywhere in the pipeline (transforms, backend, simulator
+accounting) can alter experiment results, or stale entries will be
+served.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.backend.compiler import CompilerConfig
+from repro.core.slms import SLMSOptions
+from repro.harness.expcache import ExperimentCache, experiment_key
+from repro.harness.experiment import ExperimentResult, run_experiment
+from repro.machines.model import MachineModel
+from repro.workloads.base import Workload
+
+# Version of the whole evaluation pipeline as far as results are
+# concerned.  "2" = PR 2's fast-path interpreter + static block
+# accounting (bit-identical to "1", but keyed separately on principle).
+ENGINE_VERSION = "2"
+
+PHASES = ("parse", "transform", "compile", "simulate", "verify", "total")
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """How :func:`run_experiments` schedules and memoizes work.
+
+    ``workers=None`` means "one per CPU" (capped by the number of
+    uncached experiments); ``workers=1`` is the serial fallback that
+    never spawns processes.
+    """
+
+    workers: Optional[int] = None
+    use_cache: bool = True
+    cache_dir: Optional[str] = None
+
+
+_default_config = EngineConfig()
+
+
+def get_default_engine() -> EngineConfig:
+    return _default_config
+
+
+def set_default_engine(config: EngineConfig) -> EngineConfig:
+    """Install ``config`` as the process-wide default; returns the old."""
+    global _default_config
+    previous = _default_config
+    _default_config = config
+    return previous
+
+
+@contextmanager
+def engine_defaults(**overrides) -> Iterator[EngineConfig]:
+    """Temporarily override fields of the default engine config."""
+    previous = set_default_engine(replace(_default_config, **overrides))
+    try:
+        yield _default_config
+    finally:
+        set_default_engine(previous)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One experiment's full input tuple (picklable, hashable)."""
+
+    workload: Workload
+    machine: MachineModel
+    compiler: CompilerConfig
+    options: Optional[SLMSOptions] = None
+    verify: bool = True
+
+    def cache_key(self) -> str:
+        return experiment_key(
+            self.workload,
+            self.machine,
+            self.compiler,
+            self.options,
+            self.verify,
+            ENGINE_VERSION,
+        )
+
+
+@dataclass
+class EngineStats:
+    """What one :func:`run_experiments` call did and cost."""
+
+    experiments: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    workers: int = 1
+    wall_s: float = 0.0
+    phase_totals: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache_hits / self.experiments if self.experiments else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "engine_version": ENGINE_VERSION,
+            "experiments": self.experiments,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": round(self.hit_rate, 4),
+            "workers": self.workers,
+            "wall_s": round(self.wall_s, 3),
+            "phase_totals_s": {
+                phase: round(seconds, 3)
+                for phase, seconds in self.phase_totals.items()
+            },
+        }
+
+
+def _run_spec(spec: ExperimentSpec) -> ExperimentResult:
+    """Top-level worker entry point (must stay picklable)."""
+    return run_experiment(
+        spec.workload,
+        spec.machine,
+        spec.compiler,
+        spec.options,
+        verify=spec.verify,
+    )
+
+
+def _resolve_workers(requested: Optional[int], n_tasks: int) -> int:
+    if requested is None:
+        requested = os.cpu_count() or 1
+    if requested < 1:
+        raise ValueError(f"workers must be >= 1, got {requested}")
+    return max(1, min(requested, n_tasks))
+
+
+def run_experiments(
+    specs: Sequence[ExperimentSpec],
+    config: Optional[EngineConfig] = None,
+    workers: Optional[int] = None,
+    use_cache: Optional[bool] = None,
+    cache_dir: Optional[str] = None,
+) -> Tuple[List[ExperimentResult], EngineStats]:
+    """Run every spec; returns results in spec order plus stats.
+
+    Cached results are filled in first (no process overhead for hits);
+    the remaining specs run on a process pool — or serially when one
+    worker suffices.  Result order, and result *content*, never depend
+    on the worker count or the cache state: the pipeline is
+    deterministic and the cache key covers every input.
+    """
+    base = config or get_default_engine()
+    if workers is not None or use_cache is not None or cache_dir is not None:
+        base = replace(
+            base,
+            workers=base.workers if workers is None else workers,
+            use_cache=base.use_cache if use_cache is None else use_cache,
+            cache_dir=base.cache_dir if cache_dir is None else cache_dir,
+        )
+
+    t_start = time.perf_counter()
+    stats = EngineStats(experiments=len(specs))
+    cache = ExperimentCache(base.cache_dir) if base.use_cache else None
+
+    results: List[Optional[ExperimentResult]] = [None] * len(specs)
+    pending: List[Tuple[int, ExperimentSpec, Optional[str]]] = []
+    for index, spec in enumerate(specs):
+        key = spec.cache_key() if cache is not None else None
+        hit = cache.get(key) if cache is not None else None
+        if hit is not None:
+            results[index] = hit
+            stats.cache_hits += 1
+        else:
+            pending.append((index, spec, key))
+    stats.cache_misses = len(pending)
+
+    n_workers = _resolve_workers(base.workers, len(pending))
+    stats.workers = n_workers
+    if pending:
+        todo = [spec for _, spec, _ in pending]
+        if n_workers == 1:
+            computed = [_run_spec(spec) for spec in todo]
+        else:
+            chunksize = max(1, len(todo) // (n_workers * 4))
+            with ProcessPoolExecutor(max_workers=n_workers) as pool:
+                computed = list(
+                    pool.map(_run_spec, todo, chunksize=chunksize)
+                )
+        for (index, _spec, key), result in zip(pending, computed):
+            results[index] = result
+            if cache is not None and key is not None:
+                cache.put(key, result)
+
+    totals: Dict[str, float] = {}
+    for result in results:
+        for phase, seconds in (result.phase_times or {}).items():  # type: ignore[union-attr]
+            totals[phase] = totals.get(phase, 0.0) + seconds
+    stats.phase_totals = totals
+    stats.wall_s = time.perf_counter() - t_start
+    return results, stats  # type: ignore[return-value]

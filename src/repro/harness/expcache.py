@@ -1,0 +1,155 @@
+"""Content-addressed on-disk cache for experiment results.
+
+Experiments are pure functions of their inputs: the simulator is
+deterministic, so an :class:`~repro.harness.experiment.ExperimentResult`
+is fully determined by the kernel source, the SLMS options, the machine
+model, the final-compiler preset and the engine version.  The cache key
+is the SHA-256 of exactly that tuple (canonical JSON, sorted keys), so
+
+* editing a workload's setup/kernel source invalidates its entries;
+* changing any :class:`~repro.core.slms.SLMSOptions` field, machine
+  parameter or compiler pass toggle produces a different key;
+* bumping :data:`~repro.harness.engine.ENGINE_VERSION` (required
+  whenever accounting or transform semantics change results)
+  invalidates everything at once.
+
+Entries are one JSON file each under ``<cache_dir>/<key[:2]>/<key>.json``
+(sharded to keep directories small), written atomically via rename.
+The default directory is ``~/.cache/slms/experiments``; override with
+the ``SLMS_CACHE_DIR`` environment variable or the ``cache_dir``
+argument.  All failures (unreadable entry, read-only filesystem) degrade
+to cache misses — caching is an optimization, never a correctness
+dependency.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.backend.compiler import CompilerConfig
+from repro.core.slms import SLMSOptions
+from repro.harness.experiment import ExperimentResult
+from repro.machines.model import MachineModel
+from repro.workloads.base import Workload
+
+
+def default_cache_dir() -> Path:
+    env = os.environ.get("SLMS_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "slms" / "experiments"
+
+
+def _jsonable(value: Any) -> Any:
+    """Canonical JSON-compatible form of dataclass/mapping inputs."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _jsonable(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+def experiment_key(
+    workload: Workload,
+    machine: MachineModel,
+    compiler: CompilerConfig,
+    options: Optional[SLMSOptions],
+    verify: bool,
+    engine_version: str,
+) -> str:
+    """Content hash identifying one experiment's full input tuple."""
+    payload = {
+        "engine": engine_version,
+        "workload": {
+            "name": workload.name,
+            "suite": workload.suite,
+            "setup": workload.setup,
+            "kernel": workload.kernel,
+        },
+        "machine": _jsonable(machine),
+        "compiler": _jsonable(compiler),
+        "options": _jsonable(options or SLMSOptions()),
+        "verify": bool(verify),
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class ExperimentCache:
+    """Get/put of :class:`ExperimentResult` keyed by content hash."""
+
+    def __init__(self, cache_dir: Optional[str | Path] = None):
+        self.dir = Path(cache_dir) if cache_dir else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.dir / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[ExperimentResult]:
+        try:
+            with open(self._path(key), "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+            result = ExperimentResult.from_dict(data)
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: ExperimentResult) -> bool:
+        path = self._path(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=path.parent, prefix=".tmp-", suffix=".json"
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(result.to_dict(), handle)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            return False  # read-only cache dir etc.: silently skip
+        return True
+
+    # -- maintenance ---------------------------------------------------
+    def entries(self) -> list:
+        if not self.dir.is_dir():
+            return []
+        return sorted(self.dir.glob("*/*.json"))
+
+    def stats(self) -> Dict[str, Any]:
+        entries = self.entries()
+        return {
+            "dir": str(self.dir),
+            "entries": len(entries),
+            "bytes": sum(p.stat().st_size for p in entries),
+        }
+
+    def clear(self) -> int:
+        """Remove every entry; returns how many were deleted."""
+        removed = 0
+        for path in self.entries():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

@@ -15,8 +15,9 @@ Methodology (mirrors the paper's §9 protocol):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import List, Optional
+import time
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Mapping, Optional
 
 from repro.backend.compiler import COMPILER_PRESETS, CompilerConfig, FinalCompiler
 from repro.core.pipeline import _collect_types, slms
@@ -53,6 +54,10 @@ class ExperimentResult:
     ims_slms: bool = False
     base_metrics: Optional[ExecutionMetrics] = None
     slms_metrics: Optional[ExecutionMetrics] = None
+    # Wall-clock seconds per harness phase (parse/transform/compile/
+    # simulate/verify + total).  Timing metadata only: deliberately not
+    # part of exports or equality-sensitive comparisons.
+    phase_times: Dict[str, float] = field(default_factory=dict)
 
     @property
     def speedup(self) -> float:
@@ -63,18 +68,81 @@ class ExperimentResult:
         """base / slms energy: > 1 means SLMS saves power (Fig. 21)."""
         return self.base_energy / self.slms_energy if self.slms_energy else 1.0
 
+    # -- cache serialization (see repro.harness.expcache) --------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Lossless JSON form (floats round-trip via repr)."""
+        return {
+            "workload": self.workload,
+            "suite": self.suite,
+            "machine": self.machine,
+            "compiler": self.compiler,
+            "base_cycles": self.base_cycles,
+            "slms_cycles": self.slms_cycles,
+            "base_energy": self.base_energy,
+            "slms_energy": self.slms_energy,
+            "slms_applied": self.slms_applied,
+            "slms_reason": self.slms_reason,
+            "ii": self.ii,
+            "ims_base": self.ims_base,
+            "ims_slms": self.ims_slms,
+            "base_metrics": (
+                self.base_metrics.to_dict() if self.base_metrics else None
+            ),
+            "slms_metrics": (
+                self.slms_metrics.to_dict() if self.slms_metrics else None
+            ),
+            "phase_times": dict(self.phase_times),
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping[str, Any]) -> "ExperimentResult":
+        return ExperimentResult(
+            workload=data["workload"],
+            suite=data["suite"],
+            machine=data["machine"],
+            compiler=data["compiler"],
+            base_cycles=int(data["base_cycles"]),
+            slms_cycles=int(data["slms_cycles"]),
+            base_energy=float(data["base_energy"]),
+            slms_energy=float(data["slms_energy"]),
+            slms_applied=bool(data["slms_applied"]),
+            slms_reason=data["slms_reason"],
+            ii=data["ii"],
+            ims_base=bool(data["ims_base"]),
+            ims_slms=bool(data["ims_slms"]),
+            base_metrics=(
+                ExecutionMetrics.from_dict(data["base_metrics"])
+                if data.get("base_metrics")
+                else None
+            ),
+            slms_metrics=(
+                ExecutionMetrics.from_dict(data["slms_metrics"])
+                if data.get("slms_metrics")
+                else None
+            ),
+            phase_times=dict(data.get("phase_times") or {}),
+        )
+
 
 def _kernel_cycles(
     setup_prog: Program,
     full_prog: Program,
     machine: MachineModel,
     config: CompilerConfig,
+    times: Optional[Dict[str, float]] = None,
+    accounting: str = "auto",
 ) -> tuple:
     compiler = FinalCompiler(machine, config)
+    t0 = time.perf_counter()
     compiled_setup = compiler.compile(setup_prog)
-    setup_run = execute(compiled_setup.module, machine)
     compiled_full = compiler.compile(full_prog)
-    full_run = execute(compiled_full.module, machine)
+    t1 = time.perf_counter()
+    setup_run = execute(compiled_setup.module, machine, accounting=accounting)
+    full_run = execute(compiled_full.module, machine, accounting=accounting)
+    t2 = time.perf_counter()
+    if times is not None:
+        times["compile"] = times.get("compile", 0.0) + (t1 - t0)
+        times["simulate"] = times.get("simulate", 0.0) + (t2 - t1)
     kernel_cycles = full_run.metrics.cycles - setup_run.metrics.cycles
     kernel_energy = full_run.metrics.energy_pj - setup_run.metrics.energy_pj
     return compiled_full, full_run, max(1, kernel_cycles), max(1.0, kernel_energy)
@@ -111,14 +179,19 @@ def run_experiment(
     if isinstance(compiler, str):
         compiler = COMPILER_PRESETS[compiler]
 
+    times: Dict[str, float] = {}
+    t_start = time.perf_counter()
     setup_prog = workload.setup_program()
     base_prog = workload.full_program()
+    times["parse"] = time.perf_counter() - t_start
     if verify:
         # Static schedule validation rides along with the interpreter
         # oracle: every applied result must satisfy the re-derived
         # modulo constraints and replay its iteration space exactly.
         options = replace(options or SLMSOptions(), verify=True)
+    t0 = time.perf_counter()
     slms_prog, reports = transform_kernel(workload, options)
+    times["transform"] = time.perf_counter() - t0
     if verify:
         for report in reports:
             bad = [d for d in report.diagnostics if d.severity == "error"]
@@ -130,12 +203,13 @@ def run_experiment(
                 )
 
     compiled_base, base_run, base_cycles, base_energy = _kernel_cycles(
-        setup_prog, base_prog, machine, compiler
+        setup_prog, base_prog, machine, compiler, times
     )
     compiled_slms, slms_run, slms_cycles, slms_energy = _kernel_cycles(
-        setup_prog, slms_prog, machine, compiler
+        setup_prog, slms_prog, machine, compiler, times
     )
 
+    t0 = time.perf_counter()
     if verify:
         oracle = run_program(base_prog)
         ignore = {n for r in reports for n in r.new_scalars}
@@ -152,6 +226,8 @@ def run_experiment(
             raise VerificationError(
                 f"{workload.name}: SLMS variant changed semantics"
             )
+    times["verify"] = time.perf_counter() - t0
+    times["total"] = time.perf_counter() - t_start
 
     def kernel_ims(compiled) -> bool:
         """Did machine-level MS succeed on the kernel's (last) loop?"""
@@ -180,6 +256,7 @@ def run_experiment(
         ims_slms=kernel_ims(compiled_slms),
         base_metrics=base_run.metrics,
         slms_metrics=slms_run.metrics,
+        phase_times=times,
     )
 
 
@@ -189,9 +266,25 @@ def run_suite(
     compiler: CompilerConfig | str,
     options: Optional[SLMSOptions] = None,
     verify: bool = True,
+    workers: Optional[int] = None,
+    use_cache: Optional[bool] = None,
 ) -> List[ExperimentResult]:
-    """Run a list of workloads; failures surface as exceptions."""
-    return [
-        run_experiment(wl, machine, compiler, options, verify=verify)
+    """Run a list of workloads; failures surface as exceptions.
+
+    Experiments are independent, so they fan out over the evaluation
+    engine's process pool and memoize through its result cache;
+    ``workers``/``use_cache`` override the engine defaults (see
+    :mod:`repro.harness.engine`).
+    """
+    from repro.harness.engine import ExperimentSpec, run_experiments
+
+    if isinstance(machine, str):
+        machine = machine_by_name(machine)
+    if isinstance(compiler, str):
+        compiler = COMPILER_PRESETS[compiler]
+    specs = [
+        ExperimentSpec(wl, machine, compiler, options, verify)
         for wl in workloads
     ]
+    results, _ = run_experiments(specs, workers=workers, use_cache=use_cache)
+    return results

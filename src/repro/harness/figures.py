@@ -113,9 +113,10 @@ def fig16(quick: bool = False) -> FigureResult:
     slms_at_o0: Dict[str, float] = {}
     o3_gap: Dict[str, float] = {}
     closure: Dict[str, float] = {}
-    for wl in _workloads(["livermore"], quick):
-        weak = run_experiment(wl, machine, "icc_O0")
-        strong = run_experiment(wl, machine, "icc_O3")
+    workloads = _workloads(["livermore"], quick)
+    weak_runs = run_suite(workloads, machine, "icc_O0")
+    strong_runs = run_suite(workloads, machine, "icc_O3")
+    for wl, weak, strong in zip(workloads, weak_runs, strong_runs):
         # weak.base = -O0 original; weak.slms = -O0 + SLMS;
         # strong.base = -O3 original.
         slms_at_o0[wl.name] = weak.speedup

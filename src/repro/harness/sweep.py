@@ -15,10 +15,11 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.slms import SLMSOptions
-from repro.harness.experiment import ExperimentResult, run_experiment
+from repro.harness.engine import EngineStats, ExperimentSpec, run_experiments
+from repro.harness.experiment import ExperimentResult
 from repro.machines.presets import ALL_MACHINES, machine_by_name
 from repro.backend.compiler import COMPILER_PRESETS
-from repro.workloads import get_workload
+from repro.workloads import all_workloads, get_workload
 from repro.workloads.base import Workload
 
 # Machine/compiler pairings that make sense together (the paper's).
@@ -36,6 +37,9 @@ class SweepResult:
     """The sweep matrix: (workload, machine, compiler) → result."""
 
     results: List[ExperimentResult] = field(default_factory=list)
+    # Engine bookkeeping for the run that produced the matrix (wall
+    # clock, cache hits, per-phase totals); not part of the exports.
+    stats: Optional[EngineStats] = None
 
     def speedup_matrix(self) -> Dict[str, Dict[str, float]]:
         """workload → "machine/compiler" → speedup."""
@@ -104,29 +108,59 @@ class SweepResult:
 
 
 def run_sweep(
-    workloads: Sequence[Workload | str],
+    workloads: Optional[Sequence[Workload | str]] = None,
     pairs: Optional[Sequence[tuple]] = None,
     options: Optional[SLMSOptions] = None,
     verify: bool = True,
+    workers: Optional[int] = None,
+    use_cache: Optional[bool] = None,
+    cache_dir: Optional[str] = None,
 ) -> SweepResult:
-    """Run every workload on every (machine, compiler) pair."""
+    """Run every workload on every (machine, compiler) pair.
+
+    ``workloads`` defaults to the whole corpus
+    (:func:`~repro.workloads.all_workloads`); names are resolved through
+    :func:`~repro.workloads.get_workload`, which rejects unknown names
+    with the list of valid ones.  Experiments fan out over the
+    evaluation engine (:mod:`repro.harness.engine`): ``workers`` picks
+    the process count (default: one per CPU; 1 = serial),
+    ``use_cache``/``cache_dir`` control result memoization.  The matrix
+    is returned in deterministic (workload-major) order regardless of
+    worker count.
+    """
+    if workloads is None:
+        workloads = all_workloads()
     pairs = list(pairs or DEFAULT_PAIRS)
     for machine, compiler in pairs:
         if machine not in ALL_MACHINES:
             raise ValueError(f"unknown machine {machine!r}")
         if compiler not in COMPILER_PRESETS:
             raise ValueError(f"unknown compiler preset {compiler!r}")
-    sweep = SweepResult()
-    for item in workloads:
-        workload = get_workload(item) if isinstance(item, str) else item
-        for machine, compiler in pairs:
-            sweep.results.append(
-                run_experiment(
-                    workload,
-                    machine_by_name(machine),
-                    compiler,
-                    options,
-                    verify=verify,
-                )
-            )
-    return sweep
+    specs = [
+        ExperimentSpec(
+            workload=get_workload(item) if isinstance(item, str) else item,
+            machine=machine_by_name(machine),
+            compiler=COMPILER_PRESETS[compiler],
+            options=options,
+            verify=verify,
+        )
+        for item in workloads
+        for machine, compiler in pairs
+    ]
+    results, stats = run_experiments(
+        specs, workers=workers, use_cache=use_cache, cache_dir=cache_dir
+    )
+    return SweepResult(results=results, stats=stats)
+
+
+def bench_record(sweep: SweepResult, label: str = "") -> dict:
+    """Machine-readable perf record for one sweep (``BENCH_sweep.json``).
+
+    Captures wall clock, worker count, cache hit rate and per-phase
+    timing totals so successive PRs can track the engine's performance
+    trajectory.
+    """
+    record: dict = {"label": label, "experiments": len(sweep.results)}
+    if sweep.stats is not None:
+        record.update(sweep.stats.to_dict())
+    return record

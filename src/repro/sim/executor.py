@@ -13,6 +13,17 @@ and energy as blocks execute:
 * energy accumulates per executed operation class, per cycle, and per
   miss, in the Sim-Panalyzer style used for the ARM figures.
 
+Accounting is *static per block* whenever possible: a block's executed
+instruction mix is invariant across executions (branches only transfer
+control at the end of the straight-line portion), so its instruction
+count, op-class mix and per-op energy are precomputed once and charged
+per block execution instead of via 10⁴–10⁵ per-instruction Python
+callbacks.  Memory/cache events stay dynamic — they depend on the
+addresses actually touched.  Blocks whose executed mix *does* vary (a
+conditional branch followed by more instructions) fall back to the
+per-instruction observer, which is also available explicitly via
+``execute(..., accounting="dynamic")`` as the reference implementation.
+
 The functional result is returned alongside the metrics so every
 benchmark doubles as a correctness check against the source
 interpreter.
@@ -21,9 +32,9 @@ interpreter.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Mapping, Optional
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
-from repro.backend.lir import Instr, Module
+from repro.backend.lir import Block, Instr, Module
 from repro.machines.model import MachineModel
 from repro.sim.cache import AddressMap, DirectMappedCache
 from repro.sim.lir_interp import LIRInterpreter, Observer
@@ -52,9 +63,109 @@ class ExecutionMetrics:
             self.cache_misses / self.mem_accesses if self.mem_accesses else 0.0
         )
 
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "mem_accesses": self.mem_accesses,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "energy_pj": self.energy_pj,
+            "op_counts": dict(self.op_counts),
+            "block_executions": dict(self.block_executions),
+        }
 
-class _TimingObserver(Observer):
-    def __init__(self, module: Module, machine: MachineModel):
+    @staticmethod
+    def from_dict(data: Mapping[str, Any]) -> "ExecutionMetrics":
+        return ExecutionMetrics(
+            cycles=int(data["cycles"]),
+            instructions=int(data["instructions"]),
+            mem_accesses=int(data["mem_accesses"]),
+            cache_hits=int(data["cache_hits"]),
+            cache_misses=int(data["cache_misses"]),
+            energy_pj=float(data["energy_pj"]),
+            op_counts={k: int(v) for k, v in data["op_counts"].items()},
+            block_executions={
+                k: int(v) for k, v in data["block_executions"].items()
+            },
+        )
+
+
+def _block_cost(block: Block) -> int:
+    """Cycles one execution of ``block`` costs (before cache misses)."""
+    if block.ims_ii is not None:
+        return block.ims_ii
+    if block.schedule is not None:
+        return block.schedule_length
+    return len(block.instrs)  # unscheduled: sequential issue
+
+
+def _executed_prefix(block: Block) -> Optional[List[Instr]]:
+    """The instructions every execution of ``block`` runs, or ``None``.
+
+    Control only leaves a block through a branch; a *taken* branch stops
+    execution at that point.  Therefore the executed mix is invariant
+    when no conditional branch has instructions after it (both outcomes
+    then execute the same prefix), and anything after an unconditional
+    ``br`` is dead.  A conditional branch mid-block makes the mix
+    path-dependent → ``None`` (caller must account dynamically).
+    """
+    executed: List[Instr] = []
+    last = len(block.instrs) - 1
+    for pos, instr in enumerate(block.instrs):
+        executed.append(instr)
+        if instr.op == "br":
+            break
+        if instr.op in ("brf", "brt") and pos != last:
+            return None
+    return executed
+
+
+@dataclass
+class _BlockProfile:
+    """Static per-execution charge for one block."""
+
+    cost: int
+    instructions: int
+    op_items: Tuple[Tuple[str, int], ...]
+    energy: float  # op energy + cost × energy-per-cycle
+
+
+def _profile_blocks(
+    module: Module, machine: MachineModel
+) -> Optional[Dict[str, _BlockProfile]]:
+    """Per-block static profiles, or ``None`` if any block's executed
+    instruction mix is path-dependent."""
+    profiles: Dict[str, _BlockProfile] = {}
+    for name, block in module.blocks.items():
+        executed = _executed_prefix(block)
+        if executed is None:
+            return None
+        cost = _block_cost(block)
+        op_counts: Dict[str, int] = {}
+        op_energy = 0.0
+        for instr in executed:
+            cls = instr.op_class()
+            op_counts[cls] = op_counts.get(cls, 0) + 1
+            op_energy += machine.power.op_energy(cls)
+        profiles[name] = _BlockProfile(
+            cost=cost,
+            instructions=len(executed),
+            op_items=tuple(op_counts.items()),
+            energy=op_energy + cost * machine.power.energy_per_cycle,
+        )
+    return profiles
+
+
+class _MemObserverMixin(Observer):
+    """Shared dynamic cache/memory accounting."""
+
+    machine: MachineModel
+    metrics: ExecutionMetrics
+    cache: DirectMappedCache
+    addresses: AddressMap
+
+    def _init_mem(self, module: Module, machine: MachineModel) -> None:
         self.machine = machine
         self.metrics = ExecutionMetrics()
         self.cache = DirectMappedCache(machine.cache)
@@ -63,25 +174,6 @@ class _TimingObserver(Observer):
             word_bytes=machine.cache.word_bytes,
             line_bytes=machine.cache.line_bytes,
         )
-
-    def on_block(self, block_name: str, module: Module) -> None:
-        block = module.blocks[block_name]
-        if block.ims_ii is not None:
-            cost = block.ims_ii
-        elif block.schedule is not None:
-            cost = block.schedule_length
-        else:
-            cost = len(block.instrs)  # unscheduled: sequential issue
-        self.metrics.cycles += cost
-        self.metrics.energy_pj += cost * self.machine.power.energy_per_cycle
-        counts = self.metrics.block_executions
-        counts[block_name] = counts.get(block_name, 0) + 1
-
-    def on_instr(self, instr: Instr) -> None:
-        self.metrics.instructions += 1
-        cls = instr.op_class()
-        self.metrics.op_counts[cls] = self.metrics.op_counts.get(cls, 0) + 1
-        self.metrics.energy_pj += self.machine.power.op_energy(cls)
 
     def on_mem(self, array: str, flat_index: int, is_store: bool) -> None:
         self.metrics.mem_accesses += 1
@@ -99,6 +191,62 @@ class _TimingObserver(Observer):
             )
 
 
+class _TimingObserver(_MemObserverMixin):
+    """Static per-block accounting (the fast path).
+
+    Requires every block's executed mix to be invariant — callers must
+    check :func:`_profile_blocks` first.  Deliberately does *not*
+    override ``on_instr``, so the interpreter skips per-instruction
+    callbacks entirely.
+    """
+
+    def __init__(
+        self,
+        module: Module,
+        machine: MachineModel,
+        profiles: Optional[Dict[str, _BlockProfile]] = None,
+    ):
+        self._init_mem(module, machine)
+        if profiles is None:
+            profiles = _profile_blocks(module, machine)
+        if profiles is None:
+            raise ValueError("module needs dynamic accounting")
+        self._profiles = profiles
+
+    def on_block(self, block_name: str, module: Module) -> None:
+        profile = self._profiles[block_name]
+        metrics = self.metrics
+        metrics.cycles += profile.cost
+        metrics.instructions += profile.instructions
+        metrics.energy_pj += profile.energy
+        op_counts = metrics.op_counts
+        for cls, count in profile.op_items:
+            op_counts[cls] = op_counts.get(cls, 0) + count
+        counts = metrics.block_executions
+        counts[block_name] = counts.get(block_name, 0) + 1
+
+
+class _DynamicTimingObserver(_MemObserverMixin):
+    """Per-instruction accounting — the reference implementation, and
+    the fallback for modules with path-dependent blocks."""
+
+    def __init__(self, module: Module, machine: MachineModel):
+        self._init_mem(module, machine)
+
+    def on_block(self, block_name: str, module: Module) -> None:
+        cost = _block_cost(module.blocks[block_name])
+        self.metrics.cycles += cost
+        self.metrics.energy_pj += cost * self.machine.power.energy_per_cycle
+        counts = self.metrics.block_executions
+        counts[block_name] = counts.get(block_name, 0) + 1
+
+    def on_instr(self, instr: Instr) -> None:
+        self.metrics.instructions += 1
+        cls = instr.op_class()
+        self.metrics.op_counts[cls] = self.metrics.op_counts.get(cls, 0) + 1
+        self.metrics.energy_pj += self.machine.power.op_energy(cls)
+
+
 @dataclass
 class ExecutionResult:
     state: Dict[str, Any]
@@ -111,9 +259,27 @@ def execute(
     env: Optional[Mapping[str, Any]] = None,
     functions: Optional[Mapping[str, Any]] = None,
     max_steps: int = 50_000_000,
+    accounting: str = "auto",
 ) -> ExecutionResult:
-    """Functionally execute ``module`` while accounting cycles/energy."""
-    observer = _TimingObserver(module, machine)
+    """Functionally execute ``module`` while accounting cycles/energy.
+
+    ``accounting`` selects the observer: ``"auto"`` uses static
+    per-block charging whenever the module allows it, ``"static"``
+    requires it, ``"dynamic"`` forces the per-instruction reference
+    path (primarily for cross-checking the fast path in tests).
+    """
+    if accounting not in ("auto", "static", "dynamic"):
+        raise ValueError(f"unknown accounting mode {accounting!r}")
+    profiles = (
+        _profile_blocks(module, machine) if accounting != "dynamic" else None
+    )
+    if accounting == "static" and profiles is None:
+        raise ValueError("module has path-dependent blocks; use auto/dynamic")
+    observer: _MemObserverMixin = (
+        _TimingObserver(module, machine, profiles)
+        if profiles is not None
+        else _DynamicTimingObserver(module, machine)
+    )
     interp = LIRInterpreter(
         module,
         env=env,

@@ -9,16 +9,25 @@ bit-identical.
 An :class:`Observer` receives block-execution and memory-access events;
 the cycle simulator (:mod:`repro.sim.executor`) plugs in there without
 duplicating the semantics.
+
+Performance: every instruction is pre-decoded into a bound closure at
+:class:`LIRInterpreter` construction — operand slots, immediates, array
+buffers and binop/unop callables are resolved exactly once, so the step
+loop is a plain ``for fn in ops: fn()`` with no per-instruction string
+dispatch.  The ``on_instr`` / ``on_mem`` observer hooks are only wired
+into the closures when the observer actually overrides them, which lets
+the cycle simulator do static per-block accounting (see
+:mod:`repro.sim.executor`) without paying a Python call per instruction.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Any, Callable, Dict, Mapping, Optional
+from typing import Any, Callable, Dict, List, Mapping, Optional
 
 import numpy as np
 
-from repro.backend.lir import Instr, Module
+from repro.backend.lir import Block, Instr, Module
 from repro.sim.interp import InterpError, _c_div, _c_mod
 
 
@@ -32,7 +41,13 @@ class Observer:
         """A load/store touches ``array[flat_index]``."""
 
     def on_instr(self, instr: Instr) -> None:
-        """An instruction executed (for op-mix accounting)."""
+        """An instruction executed (for op-mix accounting).
+
+        Only delivered when the observer *overrides* this method; the
+        default executor replaces per-instruction callbacks with static
+        per-block profiles, so overriding costs a Python call per
+        executed instruction.
+        """
 
 
 _BINOPS: Dict[str, Callable[[Any, Any], Any]] = {
@@ -124,130 +139,296 @@ class LIRInterpreter:
                     else value
                 )
 
+        # Pre-decode: one closure per instruction, bound to the final
+        # register file / arrays, grouped per block in fallthrough order.
+        wants_instr = type(self.observer).on_instr is not Observer.on_instr
+        wants_mem = type(self.observer).on_mem is not Observer.on_mem
+        self._program: List[List[Callable[[], Optional[str]]]] = [
+            self._compile_block(module.blocks[name], wants_instr, wants_mem)
+            for name in module.order
+        ]
+        self._block_index: Dict[str, int] = {
+            name: idx for idx, name in enumerate(module.order)
+        }
+
     # ------------------------------------------------------------------
     def _get(self, reg: str) -> Any:
-        try:
-            return self.regs[reg]
-        except KeyError:
-            # Uninitialized registers read as 0 (declared scalars default
-            # to zero in the source semantics).
-            return 0
+        # Uninitialized registers read as 0 (declared scalars default to
+        # zero in the source semantics).
+        return self.regs.get(reg, 0)
 
     def _set(self, reg: str, value: Any) -> None:
         self.regs[reg] = value
 
-    def _address(self, instr: Instr, idx_value: Optional[Any]) -> int:
-        flat = instr.disp + (int(idx_value) if idx_value is not None else 0)
+    # ------------------------------------------------------------------
+    def _compile_block(
+        self, block: Block, wants_instr: bool, wants_mem: bool
+    ) -> List[Callable[[], Optional[str]]]:
+        ops = [self._bind(instr, wants_mem) for instr in block.instrs]
+        if wants_instr:
+            on_instr = self.observer.on_instr
+
+            def wrap(fn, instr):
+                def stepped() -> Optional[str]:
+                    on_instr(instr)
+                    return fn()
+
+                return stepped
+
+            ops = [wrap(fn, instr) for fn, instr in zip(ops, block.instrs)]
+        return ops
+
+    def _bind(
+        self, instr: Instr, wants_mem: bool
+    ) -> Callable[[], Optional[str]]:
+        """Pre-decode one instruction into a zero-argument closure.
+
+        The closure returns the branch target label when control
+        transfers, else ``None``.  All operand lookups are resolved here,
+        once, rather than per executed instruction.
+        """
+        op = instr.op
+        regs = self.regs
+        dst = instr.dst
+        srcs = instr.srcs
+
+        if op == "movi":
+            imm = instr.imm
+
+            def movi() -> None:
+                regs[dst] = imm
+
+            return movi
+        if op == "mov":
+            src = srcs[0]
+
+            def mov() -> None:
+                regs[dst] = regs.get(src, 0)
+
+            return mov
+        if op == "trunc":
+            src = srcs[0]
+
+            # C float->int conversion truncates toward zero.
+            def trunc() -> None:
+                regs[dst] = int(regs.get(src, 0))
+
+            return trunc
+        if op == "ld":
+            if instr.array == "__spill":
+                spill = self.spill
+                disp = instr.disp
+                if wants_mem:
+                    on_mem = self.observer.on_mem
+
+                    def ld_spill_obs() -> None:
+                        on_mem("__spill", disp, False)
+                        regs[dst] = spill.get(disp, 0)
+
+                    return ld_spill_obs
+
+                def ld_spill() -> None:
+                    regs[dst] = spill.get(disp, 0)
+
+                return ld_spill
+            return self._bind_ld(instr, wants_mem)
+        if op == "st":
+            if instr.array == "__spill":
+                spill = self.spill
+                disp = instr.disp
+                val = srcs[0]
+                if wants_mem:
+                    on_mem = self.observer.on_mem
+
+                    def st_spill_obs() -> None:
+                        on_mem("__spill", disp, True)
+                        spill[disp] = regs.get(val, 0)
+
+                    return st_spill_obs
+
+                def st_spill() -> None:
+                    spill[disp] = regs.get(val, 0)
+
+                return st_spill
+            return self._bind_st(instr, wants_mem)
+        if op == "fma":
+            a, b, c = srcs
+
+            # Matches the unfused pair bit-for-bit: Python rounds a*b to
+            # double before adding (no single-rounding fusion).
+            def fma() -> None:
+                regs[dst] = float(regs.get(a, 0)) * float(
+                    regs.get(b, 0)
+                ) + float(regs.get(c, 0))
+
+            return fma
+        if op == "select":
+            cond, a, b = srcs
+
+            def select() -> None:
+                regs[dst] = (
+                    regs.get(a, 0) if regs.get(cond, 0) != 0 else regs.get(b, 0)
+                )
+
+            return select
+        if op == "br":
+            label = instr.label
+
+            def br() -> Optional[str]:
+                return label
+
+            return br
+        if op == "brf":
+            label = instr.label
+            src = srcs[0]
+
+            def brf() -> Optional[str]:
+                return label if regs.get(src, 0) == 0 else None
+
+            return brf
+        if op == "brt":
+            label = instr.label
+            src = srcs[0]
+
+            def brt() -> Optional[str]:
+                return label if regs.get(src, 0) != 0 else None
+
+            return brt
+        if op == "call":
+            functions = self.functions
+            fname = instr.name or ""
+
+            def call() -> None:
+                fn = functions.get(fname)
+                if fn is None:
+                    raise InterpError(f"call to unknown function {fname!r}")
+                result = fn(*(regs.get(s, 0) for s in srcs))
+                if dst is not None:
+                    regs[dst] = result
+
+            return call
+        if op == "fdiv":
+            a, b = srcs
+
+            def fdiv() -> None:
+                denom = float(regs.get(b, 0))
+                if denom == 0.0:
+                    raise InterpError("float division by zero")
+                regs[dst] = float(regs.get(a, 0)) / denom
+
+            return fdiv
+        fn2 = _BINOPS.get(op)
+        if fn2 is not None:
+            a, b = srcs
+
+            def binop() -> None:
+                regs[dst] = fn2(regs.get(a, 0), regs.get(b, 0))
+
+            return binop
+        fn1 = _UNOPS.get(op)
+        if fn1 is not None:
+            src = srcs[0]
+
+            def unop() -> None:
+                regs[dst] = fn1(regs.get(src, 0))
+
+            return unop
+
+        # Unknown ops stay lazy: they only raise if actually executed,
+        # matching the pre-decode-free interpreter's behavior.
+        def unknown() -> None:
+            raise InterpError(f"unknown LIR op {op!r}")
+
+        return unknown
+
+    def _bind_ld(
+        self, instr: Instr, wants_mem: bool
+    ) -> Callable[[], Optional[str]]:
+        regs = self.regs
+        dst = instr.dst
         array = self.memory[instr.array]  # type: ignore[index]
-        if not 0 <= flat < array.size:
-            raise InterpError(
-                f"{instr.op} out of bounds: {instr.array}[{flat}] "
-                f"(size {array.size})"
+        array_name = instr.array
+        disp = instr.disp
+        size = array.size
+        is_int = bool(np.issubdtype(array.dtype, np.integer))
+        idx_reg = instr.srcs[0] if instr.srcs else None
+        on_mem = self.observer.on_mem if wants_mem else None
+
+        def ld() -> None:
+            flat = (
+                disp + int(regs.get(idx_reg, 0)) if idx_reg is not None else disp
             )
-        return flat
+            if not 0 <= flat < size:
+                raise InterpError(
+                    f"ld out of bounds: {array_name}[{flat}] (size {size})"
+                )
+            if on_mem is not None:
+                on_mem(array_name, flat, False)
+            value = array[flat]
+            regs[dst] = int(value) if is_int else float(value)
+
+        return ld
+
+    def _bind_st(
+        self, instr: Instr, wants_mem: bool
+    ) -> Callable[[], Optional[str]]:
+        regs = self.regs
+        array = self.memory[instr.array]  # type: ignore[index]
+        array_name = instr.array
+        disp = instr.disp
+        size = array.size
+        val_reg = instr.srcs[0]
+        idx_reg = instr.srcs[1] if len(instr.srcs) > 1 else None
+        on_mem = self.observer.on_mem if wants_mem else None
+
+        def st() -> None:
+            flat = (
+                disp + int(regs.get(idx_reg, 0)) if idx_reg is not None else disp
+            )
+            if not 0 <= flat < size:
+                raise InterpError(
+                    f"st out of bounds: {array_name}[{flat}] (size {size})"
+                )
+            if on_mem is not None:
+                on_mem(array_name, flat, True)
+            array[flat] = regs.get(val_reg, 0)
+
+        return st
 
     # ------------------------------------------------------------------
     def run(self) -> Dict[str, Any]:
         """Execute from the entry block; returns the final state."""
+        program = self._program
+        block_index = self._block_index
         order = self.module.order
-        block_idx = 0
-        while 0 <= block_idx < len(order):
-            name = order[block_idx]
-            block = self.module.blocks[name]
-            self.observer.on_block(name, self.module)
-            jump: Optional[str] = None
-            for instr in block.instrs:
-                self.steps += 1
-                if self.steps > self.max_steps:
+        module = self.module
+        on_block = self.observer.on_block
+        max_steps = self.max_steps
+        steps = self.steps
+        idx = 0
+        n = len(program)
+        try:
+            while 0 <= idx < n:
+                on_block(order[idx], module)
+                ops = program[idx]
+                steps += len(ops)
+                if steps > max_steps:
                     raise InterpError("LIR step budget exceeded")
-                jump = self._exec(instr)
-                if jump is not None:
-                    break
-            if jump is not None:
-                block_idx = order.index(jump)
-            else:
-                block_idx += 1
+                jump: Optional[str] = None
+                for fn in ops:
+                    jump = fn()
+                    if jump is not None:
+                        break
+                if jump is None:
+                    idx += 1
+                else:
+                    target = block_index.get(jump)
+                    if target is None:
+                        raise InterpError(f"branch to unknown block {jump!r}")
+                    idx = target
+        finally:
+            self.steps = steps
         return self.state()
-
-    def _exec(self, instr: Instr) -> Optional[str]:
-        op = instr.op
-        self.observer.on_instr(instr)
-        if op == "movi":
-            self._set(instr.dst, instr.imm)  # type: ignore[arg-type]
-            return None
-        if op == "mov":
-            self._set(instr.dst, self._get(instr.srcs[0]))  # type: ignore[arg-type]
-            return None
-        if op == "trunc":
-            # C float->int conversion truncates toward zero.
-            self._set(instr.dst, int(self._get(instr.srcs[0])))  # type: ignore[arg-type]
-            return None
-        if op == "ld":
-            if instr.array == "__spill":
-                self.observer.on_mem("__spill", instr.disp, False)
-                self._set(instr.dst, self.spill.get(instr.disp, 0))  # type: ignore[arg-type]
-                return None
-            idx = self._get(instr.srcs[0]) if instr.srcs else None
-            flat = self._address(instr, idx)
-            self.observer.on_mem(instr.array, flat, False)  # type: ignore[arg-type]
-            value = self.memory[instr.array][flat]  # type: ignore[index]
-            array = self.memory[instr.array]  # type: ignore[index]
-            self._set(
-                instr.dst,  # type: ignore[arg-type]
-                int(value) if np.issubdtype(array.dtype, np.integer) else float(value),
-            )
-            return None
-        if op == "st":
-            value = self._get(instr.srcs[0])
-            if instr.array == "__spill":
-                self.observer.on_mem("__spill", instr.disp, True)
-                self.spill[instr.disp] = value
-                return None
-            idx = self._get(instr.srcs[1]) if len(instr.srcs) > 1 else None
-            flat = self._address(instr, idx)
-            self.observer.on_mem(instr.array, flat, True)  # type: ignore[arg-type]
-            self.memory[instr.array][flat] = value  # type: ignore[index]
-            return None
-        if op == "fma":
-            a, b, c = (self._get(x) for x in instr.srcs)
-            # Matches the unfused pair bit-for-bit: Python rounds a*b to
-            # double before adding (no single-rounding fusion).
-            self._set(instr.dst, float(a) * float(b) + float(c))  # type: ignore[arg-type]
-            return None
-        if op == "select":
-            cond, a, b = (self._get(s) for s in instr.srcs)
-            self._set(instr.dst, a if cond != 0 else b)  # type: ignore[arg-type]
-            return None
-        if op == "br":
-            return instr.label
-        if op == "brf":
-            return instr.label if self._get(instr.srcs[0]) == 0 else None
-        if op == "brt":
-            return instr.label if self._get(instr.srcs[0]) != 0 else None
-        if op == "call":
-            fn = self.functions.get(instr.name or "")
-            if fn is None:
-                raise InterpError(f"call to unknown function {instr.name!r}")
-            result = fn(*(self._get(s) for s in instr.srcs))
-            if instr.dst is not None:
-                self._set(instr.dst, result)
-            return None
-        if op == "fdiv":
-            a, b = (self._get(s) for s in instr.srcs)
-            if float(b) == 0.0:
-                raise InterpError("float division by zero")
-            self._set(instr.dst, float(a) / float(b))  # type: ignore[arg-type]
-            return None
-        fn2 = _BINOPS.get(op)
-        if fn2 is not None:
-            a, b = (self._get(s) for s in instr.srcs)
-            self._set(instr.dst, fn2(a, b))  # type: ignore[arg-type]
-            return None
-        fn1 = _UNOPS.get(op)
-        if fn1 is not None:
-            self._set(instr.dst, fn1(self._get(instr.srcs[0])))  # type: ignore[arg-type]
-            return None
-        raise InterpError(f"unknown LIR op {op!r}")
 
     # ------------------------------------------------------------------
     def state(self) -> Dict[str, Any]:

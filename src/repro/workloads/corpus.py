@@ -36,7 +36,9 @@ def by_suite(suite: str) -> List[Workload]:
 
 
 def get_workload(name: str) -> Workload:
-    for wl in all_workloads():
+    everything = all_workloads()
+    for wl in everything:
         if wl.name == name:
             return wl
-    raise ValueError(f"unknown workload {name!r}")
+    valid = ", ".join(wl.name for wl in everything)
+    raise ValueError(f"unknown workload {name!r}; valid names: {valid}")

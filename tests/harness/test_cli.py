@@ -65,3 +65,72 @@ class TestFigure:
         assert main(["figure", "text_bundles", "--quick"]) == 0
         out = capsys.readouterr().out
         assert "kernel8" in out
+
+
+class TestSweep:
+    def test_sweep_table_and_stats(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("SLMS_CACHE_DIR", str(tmp_path / "cache"))
+        assert main(["sweep", "daxpy", "--pairs", "itanium2/gcc_O3",
+                     "--workers", "1"]) == 0
+        captured = capsys.readouterr()
+        assert "daxpy" in captured.out
+        assert "itanium2/gcc_O3" in captured.out
+        assert "1 experiments" in captured.err
+
+    def test_sweep_csv_export_and_warm_cache(self, tmp_path, monkeypatch,
+                                             capsys):
+        monkeypatch.setenv("SLMS_CACHE_DIR", str(tmp_path / "cache"))
+        csv_path = tmp_path / "matrix.csv"
+        args = ["sweep", "daxpy", "--pairs", "itanium2/gcc_O3",
+                "--workers", "1", "--csv", str(csv_path)]
+        assert main(args) == 0
+        first = csv_path.read_text()
+        capsys.readouterr()
+        assert main(args) == 0
+        captured = capsys.readouterr()
+        assert csv_path.read_text() == first  # warm run byte-identical
+        assert "1 hit(s)" in captured.err
+
+    def test_sweep_bench_json(self, tmp_path, monkeypatch, capsys):
+        import json as json_mod
+
+        monkeypatch.setenv("SLMS_CACHE_DIR", str(tmp_path / "cache"))
+        bench = tmp_path / "BENCH_sweep.json"
+        assert main(["sweep", "daxpy", "--pairs", "itanium2/gcc_O3",
+                     "--workers", "1", "--profile",
+                     "--bench-json", str(bench)]) == 0
+        record = json_mod.loads(bench.read_text())
+        assert record["experiments"] == 1
+        assert "phase_totals_s" in record and "wall_s" in record
+        assert "per-phase wall clock" in capsys.readouterr().err
+
+    def test_sweep_unknown_workload_errors(self, capsys):
+        assert main(["sweep", "not_a_workload"]) == 1
+        err = capsys.readouterr().err
+        assert "valid names" in err
+
+    def test_sweep_bad_pair_errors(self, capsys):
+        assert main(["sweep", "daxpy", "--pairs", "itanium2"]) == 1
+        assert "MACHINE/COMPILER" in capsys.readouterr().err
+
+
+class TestCacheCommand:
+    def test_stats_and_clear(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("SLMS_CACHE_DIR", str(tmp_path / "cache"))
+        main(["sweep", "daxpy", "--pairs", "itanium2/gcc_O3",
+              "--workers", "1"])
+        capsys.readouterr()
+        assert main(["cache", "stats"]) == 0
+        assert "entries:   1" in capsys.readouterr().out
+        assert main(["cache", "clear"]) == 0
+        assert "removed 1" in capsys.readouterr().out
+        assert main(["cache", "stats"]) == 0
+        assert "entries:   0" in capsys.readouterr().out
+
+
+class TestBenchProfile:
+    def test_bench_profile_prints_phases(self, capsys):
+        assert main(["bench", "daxpy", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "per-phase wall clock" in out
+        assert "simulate" in out

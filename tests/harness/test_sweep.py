@@ -61,3 +61,58 @@ class TestExports:
         best = sweep.best_pair_per_workload()
         assert set(best) == {"daxpy", "kernel12"}
         assert all("/" in pair for pair in best.values())
+
+
+class TestDefaults:
+    def test_workloads_default_to_whole_corpus(self, monkeypatch):
+        """run_sweep() with no workloads covers all_workloads() × pairs
+        (engine stubbed out — this tests spec construction, not 235
+        simulations)."""
+        from repro.harness import sweep as sweep_mod
+        from repro.harness.engine import EngineStats
+        from repro.workloads import all_workloads
+
+        captured = {}
+
+        def fake_run(specs, **kwargs):
+            captured["specs"] = list(specs)
+            return [], EngineStats(experiments=len(specs))
+
+        monkeypatch.setattr(sweep_mod, "run_experiments", fake_run)
+        result = run_sweep()
+        specs = captured["specs"]
+        expected = [wl.name for wl in all_workloads()]
+        assert len(specs) == len(expected) * len(DEFAULT_PAIRS)
+        assert sorted({s.workload.name for s in specs}) == sorted(expected)
+        assert result.stats.experiments == len(specs)
+
+    def test_unknown_workload_name_lists_valid_names(self):
+        with pytest.raises(ValueError) as excinfo:
+            run_sweep(["definitely_not_a_workload"])
+        message = str(excinfo.value)
+        assert "definitely_not_a_workload" in message
+        assert "daxpy" in message and "kernel1" in message
+
+    def test_stats_attached(self):
+        result = run_sweep(
+            ["daxpy"], pairs=[("itanium2", "gcc_O3")],
+            workers=1, use_cache=False,
+        )
+        assert result.stats is not None
+        assert result.stats.experiments == 1
+        assert result.stats.phase_totals["total"] > 0
+
+
+class TestBenchRecord:
+    def test_record_shape(self):
+        from repro.harness.sweep import bench_record
+
+        result = run_sweep(
+            ["daxpy"], pairs=[("itanium2", "gcc_O3")],
+            workers=1, use_cache=False,
+        )
+        record = bench_record(result, label="unit")
+        assert record["label"] == "unit"
+        assert record["experiments"] == 1
+        assert record["cache_hits"] == 0
+        assert "wall_s" in record and "phase_totals_s" in record

@@ -1,0 +1,126 @@
+"""Static per-block accounting must match per-instruction accounting.
+
+The executor's fast path charges each block execution a precomputed
+profile (instruction count, op mix, op energy) instead of firing an
+``on_instr`` callback per instruction.  These tests pin the contract:
+on every corpus workload the static observer produces *exactly* the
+metrics of the dynamic reference — cycles, energy, instructions,
+op_counts, cache behavior — and modules whose executed mix is
+path-dependent fall back to the dynamic observer.
+"""
+
+import pytest
+
+from repro.backend.compiler import COMPILER_PRESETS, FinalCompiler
+from repro.backend.lir import Instr, Module
+from repro.machines.presets import arm7tdmi, itanium2
+from repro.sim.executor import _executed_prefix, _profile_blocks, execute
+from repro.sim.lir_interp import LIRInterpreter, Observer
+from repro.workloads import all_workloads
+
+
+@pytest.mark.parametrize(
+    "workload", all_workloads(), ids=lambda wl: wl.name
+)
+def test_static_matches_dynamic_on_corpus(workload):
+    """Cycles, energy, op_counts bit-equal on every corpus workload
+    (icc_O3 exercises list scheduling, IMS-pipelined blocks and
+    predicated selects)."""
+    machine = itanium2()
+    compiled = FinalCompiler(machine, COMPILER_PRESETS["icc_O3"]).compile(
+        workload.full_program()
+    )
+    static = execute(compiled.module, machine, accounting="static")
+    dynamic = execute(compiled.module, machine, accounting="dynamic")
+    assert static.metrics == dynamic.metrics
+
+
+def test_static_matches_dynamic_unscheduled():
+    """-O0 code paths (no schedule, cost = instruction count) agree too."""
+    machine = arm7tdmi()
+    wl = all_workloads()[0]
+    compiled = FinalCompiler(machine, COMPILER_PRESETS["gcc_O0"]).compile(
+        wl.full_program()
+    )
+    static = execute(compiled.module, machine, accounting="static")
+    dynamic = execute(compiled.module, machine, accounting="dynamic")
+    assert static.metrics == dynamic.metrics
+
+
+def _module_with_midblock_branch() -> Module:
+    module = Module()
+    entry = module.new_block("entry")
+    entry.emit(Instr("movi", dst="r0", imm=0))
+    entry.emit(Instr("brt", srcs=("r0",), label="exit"))
+    entry.emit(Instr("movi", dst="r1", imm=7))  # only runs when not taken
+    module.new_block("exit")
+    return module
+
+
+class TestPathDependentBlocks:
+    def test_profile_refuses_midblock_conditional(self):
+        module = _module_with_midblock_branch()
+        assert _profile_blocks(module, itanium2()) is None
+
+    def test_static_mode_raises(self):
+        module = _module_with_midblock_branch()
+        with pytest.raises(ValueError):
+            execute(module, itanium2(), accounting="static")
+
+    def test_auto_falls_back_and_counts_exactly(self):
+        module = _module_with_midblock_branch()
+        result = execute(module, itanium2())  # accounting="auto"
+        # brt not taken (r0 == 0): all three entry instrs + empty exit.
+        assert result.metrics.instructions == 3
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            execute(_module_with_midblock_branch(), itanium2(),
+                    accounting="bogus")
+
+
+class TestExecutedPrefix:
+    def test_dead_code_after_unconditional_br(self):
+        module = Module()
+        block = module.new_block("entry")
+        block.emit(Instr("movi", dst="r0", imm=1))
+        block.emit(Instr("br", label="exit"))
+        block.emit(Instr("movi", dst="r1", imm=2))  # dead
+        module.new_block("exit")
+        prefix = _executed_prefix(module.blocks["entry"])
+        assert [i.op for i in prefix] == ["movi", "br"]
+
+    def test_terminal_conditional_is_static(self):
+        module = Module()
+        block = module.new_block("entry")
+        block.emit(Instr("movi", dst="r0", imm=1))
+        block.emit(Instr("brf", srcs=("r0",), label="exit"))
+        module.new_block("exit")
+        prefix = _executed_prefix(module.blocks["entry"])
+        assert prefix is not None and len(prefix) == 2
+
+
+class TestObserverCompat:
+    def test_on_instr_still_fires_when_overridden(self):
+        """Observers that override on_instr keep per-instruction events
+        (the fast path only skips the callback for non-overriders)."""
+
+        class Counting(Observer):
+            def __init__(self):
+                self.instrs = 0
+                self.blocks = 0
+
+            def on_block(self, name, module):
+                self.blocks += 1
+
+            def on_instr(self, instr):
+                self.instrs += 1
+
+        module = Module()
+        block = module.new_block("entry")
+        block.emit(Instr("movi", dst="r0", imm=5))
+        block.emit(Instr("add", dst="r1", srcs=("r0", "r0")))
+        observer = Counting()
+        LIRInterpreter(module, observer=observer).run()
+        assert observer.instrs == 2
+        assert observer.blocks == 1
