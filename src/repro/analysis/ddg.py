@@ -335,4 +335,16 @@ def build_ddg(
     for dep in scalar_dependences(stmts, info.var):
         add(dep.kind, dep.src, dep.dst, dep.distance, dep.var, True)
 
+    from repro.obs import get_tracer
+
+    tracer = get_tracer()
+    if tracer.enabled:
+        tracer.event(
+            "ddg.build",
+            nodes=graph.n,
+            edges=len(graph.edges),
+            loop_carried=len(graph.loop_carried()),
+            precise=graph.precise,
+            reasons=list(graph.reasons),
+        )
     return graph

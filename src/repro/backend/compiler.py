@@ -106,8 +106,19 @@ class FinalCompiler:
         self.config = config
 
     def compile(self, program: Program | str) -> CompiledProgram:
+        from repro.obs import get_tracer
+
+        tracer = get_tracer()
         if isinstance(program, str):
             program = parse_program(program)
+        with tracer.span(
+            "backend.compile",
+            machine=self.machine.name,
+            preset=self.config.name,
+        ):
+            return self._compile(program, tracer)
+
+    def _compile(self, program: Program, tracer) -> CompiledProgram:
         module = compile_to_lir(
             program,
             use_predication=self.config.predication,
@@ -123,6 +134,15 @@ class FinalCompiler:
             schedule_module(module, self.machine)
             if self.config.ims:
                 ims_reports = run_ims(module, self.machine)
+                if tracer.enabled:
+                    for report in ims_reports:
+                        tracer.event(
+                            "backend.ims",
+                            loop=report.loop,
+                            success=report.success,
+                            ii=report.ii,
+                            reason=report.reason or "",
+                        )
         alloc = None
         if self.config.regalloc:
             alloc = allocate(module, self.machine.num_registers)

@@ -26,7 +26,18 @@ Subcommands
     machine-readable perf record (``BENCH_sweep.json``).
 
 ``slms cache stats|clear``
-    Inspect or empty the experiment result cache.
+    Inspect or empty the experiment result cache (``stats`` also reports
+    lifetime hit/miss/evict counters from the cache's sidecar).
+
+``slms trace WORKLOAD``
+    Run one workload comparison with the observability layer enabled
+    and print the decision log: filter verdict, per-candidate-II search,
+    decomposition rounds, expansion choice, phase spans.  ``--trace-out``
+    writes the JSON trace, ``--chrome-out`` the Chrome ``trace_event``
+    form (loadable in chrome://tracing), ``--metrics`` the metrics dump;
+    ``--json`` emits everything as one machine-readable object.  The
+    ``figure``/``bench``/``sweep`` subcommands accept
+    ``--trace/--trace-out/--metrics`` to observe whole harness runs.
 
 ``slms explain FILE``
     Per-loop SLC diagnostics: filter verdict, multi-instructions,
@@ -200,9 +211,81 @@ def _print_phases(phase_totals, file=None) -> None:
     file = file if file is not None else sys.stdout
     print("per-phase wall clock:", file=file)
     for phase in ("parse", "transform", "compile", "simulate", "verify",
-                  "total"):
+                  "cache", "total"):
         if phase in phase_totals:
             print(f"  {phase:<10} {phase_totals[phase]:8.3f} s", file=file)
+
+
+class _Observed:
+    """Tracing/metrics scope for a CLI command, driven by its flags.
+
+    Enables the ambient tracer when any of ``--trace``/``--trace-out``/
+    ``--chrome-out`` is set and always collects metrics into a fresh
+    registry; on exit writes/prints whatever the flags asked for.
+    """
+
+    def __init__(self, args):
+        self._trace_out = getattr(args, "trace_out", None)
+        self._chrome_out = getattr(args, "chrome_out", None)
+        self._show_trace = getattr(args, "trace", False)
+        self._show_metrics = getattr(args, "metrics", False)
+        self.tracing = bool(
+            self._show_trace or self._trace_out or self._chrome_out
+        )
+
+    def __enter__(self):
+        from repro.obs import MetricsRegistry, Tracer, set_metrics, set_tracer
+
+        self._prev_registry = set_metrics(MetricsRegistry())
+        self._prev_tracer = set_tracer(Tracer() if self.tracing else None)
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        from repro.obs import (
+            format_metrics,
+            get_metrics,
+            get_tracer,
+            render_trace,
+            set_metrics,
+            set_tracer,
+            write_chrome_trace,
+            write_json_trace,
+        )
+
+        tracer = get_tracer()
+        registry = get_metrics()
+        set_tracer(self._prev_tracer)
+        set_metrics(self._prev_registry)
+        if exc_type is not None:
+            return False
+        if self.tracing:
+            trace = tracer.to_dict()
+            if self._trace_out:
+                write_json_trace(trace, self._trace_out)
+                print(f"# trace written to {self._trace_out}",
+                      file=sys.stderr)
+            if self._chrome_out:
+                write_chrome_trace(trace, self._chrome_out)
+                print(f"# chrome trace written to {self._chrome_out}",
+                      file=sys.stderr)
+            if self._show_trace:
+                print(render_trace(trace), file=sys.stderr)
+        if self._show_metrics:
+            print(format_metrics(registry.to_dict()), file=sys.stderr)
+        return False
+
+
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace", action="store_true",
+                        help="collect a pipeline trace and print the "
+                        "decision log to stderr")
+    parser.add_argument("--trace-out", metavar="PATH",
+                        help="write the JSON trace (implies tracing)")
+    parser.add_argument("--chrome-out", metavar="PATH",
+                        help="write a Chrome trace_event file for "
+                        "chrome://tracing (implies tracing)")
+    parser.add_argument("--metrics", action="store_true",
+                        help="print the metrics registry dump to stderr")
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
@@ -211,7 +294,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     from repro.harness.report import render_figure
 
     names = sorted(FIGURES) if args.name == "all" else [args.name]
-    with engine_defaults(
+    with _Observed(args), engine_defaults(
         workers=args.workers, use_cache=not args.no_cache
     ):
         for name in names:
@@ -224,9 +307,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.harness.experiment import run_experiment
     from repro.workloads import get_workload
 
-    res = run_experiment(
-        get_workload(args.workload), args.machine, args.compiler
-    )
+    with _Observed(args):
+        res = run_experiment(
+            get_workload(args.workload), args.machine, args.compiler
+        )
     print(f"workload:  {res.workload} ({res.suite})")
     print(f"machine:   {res.machine}   compiler: {res.compiler}")
     print(f"SLMS:      {'applied, II=' + str(res.ii) if res.slms_applied else 'declined (' + res.slms_reason + ')'}")
@@ -258,12 +342,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 )
             pairs.append((machine, compiler))
 
-    sweep = run_sweep(
-        workloads or None,
-        pairs=pairs,
-        workers=args.workers,
-        use_cache=not args.no_cache,
-    )
+    with _Observed(args):
+        sweep = run_sweep(
+            workloads or None,
+            pairs=pairs,
+            workers=args.workers,
+            use_cache=not args.no_cache,
+        )
 
     wrote_stdout = False
     exports = (
@@ -310,15 +395,88 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """One traced workload comparison: the introspection entry point."""
+    from repro.harness.experiment import run_experiment
+    from repro.obs import (
+        MetricsRegistry,
+        Tracer,
+        format_metrics,
+        metrics_scope,
+        render_trace,
+        tracing,
+        write_chrome_trace,
+        write_json_trace,
+    )
+    from repro.workloads import get_workload
+
+    workload = get_workload(args.workload)
+    # Deliberately bypasses the engine cache: a trace of a cache lookup
+    # would show none of the decisions the user is here to see.
+    with tracing(Tracer()) as tracer, metrics_scope(MetricsRegistry()) as reg:
+        res = run_experiment(
+            workload, args.machine, args.compiler, verify=not args.no_verify
+        )
+    trace = tracer.to_dict()
+    metrics = reg.to_dict()
+    if args.trace_out:
+        write_json_trace(trace, args.trace_out)
+    if args.chrome_out:
+        write_chrome_trace(trace, args.chrome_out)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "workload": res.workload,
+                    "machine": res.machine,
+                    "compiler": res.compiler,
+                    "slms_applied": res.slms_applied,
+                    "slms_reason": res.slms_reason,
+                    "ii": res.ii,
+                    "speedup": round(res.speedup, 6),
+                    "trace": trace,
+                    "metrics": metrics,
+                },
+                indent=1,
+            )
+        )
+        return 0
+    print(f"== trace: {res.workload} on {res.machine}/{res.compiler} ==")
+    print(render_trace(trace))
+    print()
+    status = (
+        f"applied, II={res.ii}"
+        if res.slms_applied
+        else f"declined ({res.slms_reason})"
+    )
+    print(f"SLMS:    {status}")
+    print(f"cycles:  {res.base_cycles} -> {res.slms_cycles} "
+          f"(speedup {res.speedup:.3f}x)")
+    if args.trace_out:
+        print(f"trace:   {args.trace_out}")
+    if args.chrome_out:
+        print(f"chrome:  {args.chrome_out} (open in chrome://tracing)")
+    if args.metrics:
+        print()
+        print(format_metrics(metrics))
+    return 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     from repro.harness.expcache import ExperimentCache
 
     cache = ExperimentCache(args.dir)
     if args.action == "stats":
         stats = cache.stats()
+        lifetime = stats["lifetime"]
         print(f"cache dir: {stats['dir']}")
         print(f"entries:   {stats['entries']}")
         print(f"size:      {stats['bytes']} bytes")
+        print(
+            "lifetime:  "
+            f"{lifetime['hits']} hit(s), {lifetime['misses']} miss(es), "
+            f"{lifetime['evictions']} eviction(s)"
+        )
     else:  # clear
         removed = cache.clear()
         print(f"removed {removed} cached result(s) from {cache.dir}")
@@ -392,6 +550,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                           help="experiment processes (default: one per CPU)")
     p_figure.add_argument("--no-cache", action="store_true",
                           help="bypass the experiment result cache")
+    _add_obs_flags(p_figure)
     p_figure.set_defaults(func=_cmd_figure)
 
     p_bench = sub.add_parser("bench", help="run one workload comparison")
@@ -400,6 +559,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_bench.add_argument("--compiler", default="gcc_O3")
     p_bench.add_argument("--profile", action="store_true",
                          help="print per-phase wall-clock times")
+    _add_obs_flags(p_bench)
     p_bench.set_defaults(func=_cmd_bench)
 
     p_sweep = sub.add_parser(
@@ -428,7 +588,28 @@ def main(argv: Optional[List[str]] = None) -> int:
                          metavar="PATH",
                          help="write the machine-readable perf record "
                          "(default path: BENCH_sweep.json)")
+    _add_obs_flags(p_sweep)
     p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_trace = sub.add_parser(
+        "trace", help="traced single-workload run with the decision log"
+    )
+    p_trace.add_argument("workload")
+    p_trace.add_argument("--machine", default="itanium2")
+    p_trace.add_argument("--compiler", default="gcc_O3")
+    p_trace.add_argument("--no-verify", action="store_true",
+                         help="skip the interpreter oracle (faster)")
+    p_trace.add_argument("--trace-out", metavar="PATH",
+                         help="write the JSON trace")
+    p_trace.add_argument("--chrome-out", metavar="PATH",
+                         help="write a Chrome trace_event file for "
+                         "chrome://tracing")
+    p_trace.add_argument("--metrics", action="store_true",
+                         help="also print the metrics registry dump")
+    p_trace.add_argument("--json", action="store_true",
+                         help="emit result + trace + metrics as one "
+                         "JSON object")
+    p_trace.set_defaults(func=_cmd_trace)
 
     p_cache = sub.add_parser(
         "cache", help="experiment result cache maintenance"

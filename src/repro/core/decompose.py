@@ -33,6 +33,7 @@ from repro.analysis.loopinfo import LoopInfo
 from repro.core.names import NamePool
 from repro.lang.ast_nodes import ArrayRef, Assign, BinOp, Expr, If, Stmt, Var
 from repro.lang.visitors import NodeTransformer, collect_array_refs, count_ops
+from repro.obs import get_tracer
 
 
 @dataclass
@@ -167,6 +168,13 @@ def decompose_mi(
     if best_ref is None:
         return None
 
+    tracer = get_tracer()
+    if tracer.enabled:
+        tracer.event(
+            "decompose.hoist",
+            array=best_ref.name,
+            read_ahead=best_score,
+        )
     temp = pool.numbered("reg", start=1)
     load_mi = Assign(Var(temp), best_ref.clone())
     if stmt.op is not None:

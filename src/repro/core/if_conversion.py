@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.core.names import NamePool
+from repro.obs import get_tracer
 from repro.lang.ast_nodes import (
     Assign,
     BinOp,
@@ -98,4 +99,12 @@ def if_convert(stmts: List[Stmt], pool: NamePool) -> IfConversionResult:
         )
 
     convert(stmts, None)
+    if result.converted:
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event(
+                "if_conversion.apply",
+                predicates=list(result.predicates),
+                stmts=len(result.stmts),
+            )
     return result

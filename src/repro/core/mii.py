@@ -33,6 +33,7 @@ from typing import Dict, List, Optional, Tuple
 import networkx as nx
 
 from repro.analysis.ddg import DependenceGraph
+from repro.obs import get_tracer
 
 # SLMS only needs the smallest distance per (src, dst) pair — see
 # DependenceGraph.dominant_edges — so all functions below work on that
@@ -117,8 +118,12 @@ def pmii_difmin(graph: DependenceGraph, max_ii: Optional[int] = None) -> Optiona
     the guard keeps the search total).
     """
     limit = max_ii if max_ii is not None else max(graph.n, 1)
+    tracer = get_tracer()
     for ii in range(1, limit + 1):
-        if difmin_feasible(graph, ii):
+        feasible = difmin_feasible(graph, ii)
+        if tracer.enabled:
+            tracer.event("mii.difmin", ii=ii, feasible=feasible)
+        if feasible:
             return ii
     return None
 
@@ -139,8 +144,11 @@ def find_valid_ii(
     would not beat the sequential loop, so SLMS must decompose or give
     up.
     """
+    tracer = get_tracer()
     upper = min(max_ii, n_mis - 1) if max_ii is not None else n_mis - 1
     if upper < 1:
+        if tracer.enabled:
+            tracer.event("ii.search", upper=upper, outcome="no room")
         return None
     binding: List[Tuple[int, int, int]] = []  # (distance, span, min_slack)
     for edge in graph.edges:
@@ -153,8 +161,13 @@ def find_valid_ii(
             continue
         binding.append((edge.distance, span, need))
     for ii in range(1, upper + 1):
-        if all(d * ii + span >= need for d, span, need in binding):
+        valid = all(d * ii + span >= need for d, span, need in binding)
+        if tracer.enabled:
+            tracer.event("ii.candidate", ii=ii, valid=valid)
+        if valid:
             return ii
+    if tracer.enabled:
+        tracer.event("ii.search", upper=upper, outcome="exhausted")
     return None
 
 

@@ -46,6 +46,7 @@ from repro.lang.visitors import (
     substitute_expr,
     used_scalars,
 )
+from repro.obs import get_tracer
 
 
 @dataclass
@@ -164,6 +165,14 @@ def apply_mve(
     if info.step <= 0:
         raise ValueError("MVE requires a positive loop step")
     unroll = len(plans[0].names)
+    tracer = get_tracer()
+    if tracer.enabled:
+        tracer.event(
+            "mve.apply",
+            unroll=unroll,
+            rotated=[p.var for p in plans],
+            lifetimes=[p.lifetime for p in plans],
+        )
     stages = -(-n // ii)
     trips = info.trip_count
     if trips < stages:

@@ -21,6 +21,7 @@ from repro.core.slms import SLMSOptions, SLMSResult, slms_for_loop
 from repro.lang.ast_nodes import Decl, For, Program, Stmt, While
 from repro.lang.parser import parse_program
 from repro.lang.visitors import walk
+from repro.obs import get_tracer
 
 
 @dataclass
@@ -119,13 +120,21 @@ def slms(
         result.lanes = options.reduction_lanes
         return result
 
+    tracer = get_tracer()
+
     def transform_block(stmts: List[Stmt]) -> List[Stmt]:
         out: List[Stmt] = []
         for stmt in stmts:
             if isinstance(stmt, For) and _is_innermost(stmt):
-                result = try_reduction_lanes(stmt)
-                if result is None:
-                    result = slms_for_loop(stmt, pool, options, types)
+                with tracer.span("slms.loop", index=len(reports)) as span:
+                    result = try_reduction_lanes(stmt)
+                    if result is None:
+                        result = slms_for_loop(stmt, pool, options, types)
+                    span.set(
+                        applied=result.applied,
+                        reason=result.reason,
+                        ii=result.ii,
+                    )
                 if options.verify and result.applied:
                     # Imported lazily: verify depends on core for the
                     # result types, so the top level must not cycle.

@@ -35,6 +35,7 @@ from repro.lang.ast_nodes import (
     Var,
 )
 from repro.lang.visitors import NodeTransformer, used_scalars
+from repro.obs import get_tracer
 
 
 @dataclass
@@ -156,4 +157,12 @@ def apply_scalar_expansion(
                 Assign(Var(var), ArrayRef(array, [IntLit(last_index)]))
             )
         result.plans.append(plan)
+    tracer = get_tracer()
+    if result.plans and tracer.enabled:
+        tracer.event(
+            "scalar_expansion.apply",
+            expanded=[p.var for p in result.plans],
+            arrays=[p.array for p in result.plans],
+            size=size,
+        )
     return result

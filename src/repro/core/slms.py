@@ -36,6 +36,7 @@ from repro.core.scalar_expansion import apply_scalar_expansion
 from repro.core.schedule import ShortTripCount, build_modulo_schedule
 from repro.lang.ast_nodes import Break, Continue, Decl, For, Stmt, While
 from repro.lang.visitors import walk
+from repro.obs import get_tracer
 
 
 @dataclass
@@ -135,6 +136,26 @@ def _element_type(name: str, types: Dict[str, str]) -> str:
     return types.get(name, "float")
 
 
+def _trace_applied(
+    tracer,
+    ii: int,
+    pmii: Optional[int],
+    stages: int,
+    n_mis: int,
+    decompositions: int,
+    expansion: str,
+) -> None:
+    tracer.event(
+        "slms.applied",
+        ii=ii,
+        pmii=pmii,
+        stages=stages,
+        n_mis=n_mis,
+        decompositions=decompositions,
+        expansion=expansion,
+    )
+
+
 def slms_for_loop(
     loop: For,
     pool: NamePool,
@@ -144,14 +165,20 @@ def slms_for_loop(
     """Apply SLMS to one for loop; never mutates the input."""
     options = options or SLMSOptions()
     types = types or {}
+    tracer = get_tracer()
+
+    def declined(reason: str, **kwargs) -> SLMSResult:
+        if tracer.enabled:
+            tracer.event("slms.decline", reason=reason)
+        return SLMSResult.declined(reason, **kwargs)
 
     # ---- step 0: canonical shape ----------------------------------------
     info = LoopInfo.from_for(loop)
     if info is None:
-        return SLMSResult.declined("loop is not in canonical counted form")
+        return declined("loop is not in canonical counted form")
     control = _has_inner_control(loop.body)
     if control is not None:
-        return SLMSResult.declined(control)
+        return declined(control)
 
     # ---- step 1: §4 bad-case filter ---------------------------------------
     verdict = bad_case_filter(
@@ -160,8 +187,19 @@ def slms_for_loop(
         ratio_threshold=options.ratio_threshold,
         min_arith_per_ref=options.min_arith_per_ref,
     )
+    if tracer.enabled:
+        tracer.event(
+            "filter.verdict",
+            apply_slms=verdict.apply_slms,
+            ratio=round(verdict.memory_ref_ratio, 6),
+            loads=verdict.loads,
+            stores=verdict.stores,
+            scalar_accesses=verdict.scalar_accesses,
+            arith=verdict.arith,
+            enforced=options.enable_filter and not options.force,
+        )
     if options.enable_filter and not options.force and not verdict.apply_slms:
-        return SLMSResult.declined(verdict.reason, filter_verdict=verdict)
+        return declined(verdict.reason, filter_verdict=verdict)
 
     # ---- step 2: if-conversion ----------------------------------------------
     converted = if_convert([s.clone() for s in loop.body], pool)
@@ -172,13 +210,20 @@ def slms_for_loop(
     try:
         partition = partition_mis(converted.stmts, info.var, pool)
     except NotPartitionable as exc:
-        return SLMSResult.declined(str(exc), filter_verdict=verdict)
+        return declined(str(exc), filter_verdict=verdict)
     new_decls.extend(partition.hoisted_decls)
     for renames in partition.renamed.values():
         new_scalars.extend(renames)
     mis = partition.mis
     if not mis:
-        return SLMSResult.declined("empty loop body", filter_verdict=verdict)
+        return declined("empty loop body", filter_verdict=verdict)
+    if tracer.enabled:
+        tracer.event(
+            "mi.partition",
+            n_mis=len(mis),
+            renamed=sorted(partition.renamed),
+            predicates=len(converted.predicates),
+        )
 
     # ---- §3.2 second form: resource-driven decomposition ------------------
     if options.resource_limits is not None:
@@ -205,7 +250,7 @@ def slms_for_loop(
     while True:
         graph = build_ddg(mis, info)
         if not graph.precise:
-            return SLMSResult.declined(
+            return declined(
                 "imprecise dependences: " + "; ".join(graph.reasons),
                 filter_verdict=verdict,
                 ddg=graph,
@@ -214,7 +259,7 @@ def slms_for_loop(
         if ii is not None:
             break
         if decompositions >= options.max_decompositions:
-            return SLMSResult.declined(
+            return declined(
                 "no valid II after maximum decompositions",
                 decompositions=decompositions,
                 filter_verdict=verdict,
@@ -230,9 +275,18 @@ def slms_for_loop(
                 )
                 new_scalars.append(decomposition.temp)
                 decompositions += 1
+                if tracer.enabled:
+                    tracer.event(
+                        "decompose.round",
+                        round=decompositions,
+                        mi_index=pos,
+                        array=decomposition.array,
+                        temp=decomposition.temp,
+                        n_mis=len(mis),
+                    )
                 break
         else:
-            return SLMSResult.declined(
+            return declined(
                 "no MI can be decomposed (§5 failure case)",
                 decompositions=decompositions,
                 filter_verdict=verdict,
@@ -243,6 +297,15 @@ def slms_for_loop(
     # scalar-dependence graphs cannot blow up the driver.
     pmii = pmii_difmin(graph)
     stages = -(-len(mis) // ii)
+    if tracer.enabled:
+        tracer.event(
+            "ii.found",
+            ii=ii,
+            pmii=pmii,
+            stages=stages,
+            n_mis=len(mis),
+            decompositions=decompositions,
+        )
 
     # ---- step 6: expansion choice + emission --------------------------------
     expansion = options.expansion
@@ -254,9 +317,18 @@ def slms_for_loop(
             try:
                 mve = apply_mve(mis, info, ii, plans, elem_types=types)
             except ValueError as exc:
-                return SLMSResult.declined(str(exc), filter_verdict=verdict)
+                return declined(str(exc), filter_verdict=verdict)
             new_decls.extend(mve.new_decls)
             new_scalars.extend(n for p in mve.plans for n in p.names)
+            if tracer.enabled:
+                tracer.event(
+                    "expansion.choice",
+                    strategy="mve",
+                    unroll=mve.unroll,
+                    rotated=sorted(p.var for p in mve.plans),
+                )
+                _trace_applied(tracer, ii, pmii, stages, len(mis),
+                               decompositions, "mve")
             return SLMSResult(
                 applied=True,
                 stmts=mve.stmts,
@@ -283,8 +355,16 @@ def slms_for_loop(
         try:
             schedule = build_modulo_schedule(mis_x, info, ii)
         except ShortTripCount as exc:
-            return SLMSResult.declined(str(exc), filter_verdict=verdict)
+            return declined(str(exc), filter_verdict=verdict)
         new_decls.extend(expanded.new_decls)
+        if tracer.enabled:
+            tracer.event(
+                "expansion.choice",
+                strategy="scalar",
+                expanded=sorted(p.var for p in expanded.plans),
+            )
+            _trace_applied(tracer, ii, pmii, stages, len(mis),
+                           decompositions, "scalar")
         return SLMSResult(
             applied=True,
             stmts=[*expanded.preheader, *schedule.stmts(), *expanded.liveout],
@@ -303,12 +383,12 @@ def slms_for_loop(
         )
 
     if expansion == "mve" and not literal_bounds:
-        return SLMSResult.declined(
+        return declined(
             "MVE requires literal bounds and a positive step",
             filter_verdict=verdict,
         )
     if expansion == "scalar" and not literal_bounds:
-        return SLMSResult.declined(
+        return declined(
             "scalar expansion requires literal bounds and a positive step",
             filter_verdict=verdict,
         )
@@ -318,7 +398,11 @@ def slms_for_loop(
     try:
         schedule = build_modulo_schedule(mis, info, ii)
     except ShortTripCount as exc:
-        return SLMSResult.declined(str(exc), filter_verdict=verdict)
+        return declined(str(exc), filter_verdict=verdict)
+    if tracer.enabled:
+        tracer.event("expansion.choice", strategy="none")
+        _trace_applied(tracer, ii, pmii, stages, len(mis), decompositions,
+                       "none")
     return SLMSResult(
         applied=True,
         stmts=schedule.stmts(),

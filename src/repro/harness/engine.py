@@ -43,6 +43,14 @@ from repro.core.slms import SLMSOptions
 from repro.harness.expcache import ExperimentCache, experiment_key
 from repro.harness.experiment import ExperimentResult, run_experiment
 from repro.machines.model import MachineModel
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    get_metrics,
+    get_tracer,
+    metrics_scope,
+    tracing,
+)
 from repro.workloads.base import Workload
 
 # Version of the whole evaluation pipeline as far as results are
@@ -115,11 +123,19 @@ class ExperimentSpec:
 
 @dataclass
 class EngineStats:
-    """What one :func:`run_experiments` call did and cost."""
+    """What one :func:`run_experiments` call did and cost.
+
+    ``cache_hits``/``cache_misses``/``cache_evictions`` mirror the
+    :class:`~repro.harness.expcache.ExperimentCache` session counters
+    for the run (evictions are nonzero only if the cache was cleared
+    mid-run, but the field keeps the stats aligned with the cache's
+    counter triple).
+    """
 
     experiments: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    cache_evictions: int = 0
     workers: int = 1
     wall_s: float = 0.0
     phase_totals: Dict[str, float] = field(default_factory=dict)
@@ -128,14 +144,23 @@ class EngineStats:
     def hit_rate(self) -> float:
         return self.cache_hits / self.experiments if self.experiments else 0.0
 
+    @property
+    def utilization(self) -> float:
+        """Busy-fraction of the worker pool: Σ experiment wall / (wall × N)."""
+        busy = self.phase_totals.get("total", 0.0)
+        capacity = self.wall_s * self.workers
+        return busy / capacity if capacity else 0.0
+
     def to_dict(self) -> Dict[str, object]:
         return {
             "engine_version": ENGINE_VERSION,
             "experiments": self.experiments,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "cache_evictions": self.cache_evictions,
             "cache_hit_rate": round(self.hit_rate, 4),
             "workers": self.workers,
+            "worker_utilization": round(self.utilization, 4),
             "wall_s": round(self.wall_s, 3),
             "phase_totals_s": {
                 phase: round(seconds, 3)
@@ -153,6 +178,19 @@ def _run_spec(spec: ExperimentSpec) -> ExperimentResult:
         spec.options,
         verify=spec.verify,
     )
+
+
+def _run_spec_traced(spec: ExperimentSpec) -> Tuple[ExperimentResult, dict, dict]:
+    """Worker entry point when the parent is tracing.
+
+    Collects the experiment's spans/events and metrics into fresh
+    per-task instances and ships their JSON forms back; the parent
+    absorbs them in spec order, so the merged sequence is independent
+    of worker count (see :meth:`repro.obs.Tracer.absorb`).
+    """
+    with tracing(Tracer()) as tracer, metrics_scope(MetricsRegistry()) as reg:
+        result = _run_spec(spec)
+    return result, tracer.to_dict(), reg.to_dict()
 
 
 def _resolve_workers(requested: Optional[int], n_tasks: int) -> int:
@@ -190,40 +228,103 @@ def run_experiments(
     t_start = time.perf_counter()
     stats = EngineStats(experiments=len(specs))
     cache = ExperimentCache(base.cache_dir) if base.use_cache else None
+    tracer = get_tracer()
 
-    results: List[Optional[ExperimentResult]] = [None] * len(specs)
-    pending: List[Tuple[int, ExperimentSpec, Optional[str]]] = []
-    for index, spec in enumerate(specs):
-        key = spec.cache_key() if cache is not None else None
-        hit = cache.get(key) if cache is not None else None
-        if hit is not None:
-            results[index] = hit
-            stats.cache_hits += 1
-        else:
-            pending.append((index, spec, key))
-    stats.cache_misses = len(pending)
+    with tracer.span("engine.run", specs=len(specs)) as engine_span:
+        results: List[Optional[ExperimentResult]] = [None] * len(specs)
+        pending: List[Tuple[int, ExperimentSpec, Optional[str]]] = []
+        for index, spec in enumerate(specs):
+            key = spec.cache_key() if cache is not None else None
+            t_lookup = time.perf_counter()
+            hit = cache.get(key) if cache is not None else None
+            if hit is not None:
+                # A hit's stored phase times describe the *original*
+                # computation; report what this run actually did instead.
+                hit.phase_times = {
+                    "cache": time.perf_counter() - t_lookup
+                }
+                results[index] = hit
+                if tracer.enabled:
+                    tracer.event(
+                        "engine.cache.hit",
+                        workload=spec.workload.name,
+                        machine=spec.machine.name,
+                        compiler=spec.compiler.name,
+                    )
+            else:
+                pending.append((index, spec, key))
+                if tracer.enabled and cache is not None:
+                    tracer.event(
+                        "engine.cache.miss",
+                        workload=spec.workload.name,
+                        machine=spec.machine.name,
+                        compiler=spec.compiler.name,
+                    )
+        stats.cache_hits = cache.hits if cache is not None else 0
+        stats.cache_misses = len(pending)
 
-    n_workers = _resolve_workers(base.workers, len(pending))
-    stats.workers = n_workers
-    if pending:
-        todo = [spec for _, spec, _ in pending]
-        if n_workers == 1:
-            computed = [_run_spec(spec) for spec in todo]
-        else:
-            chunksize = max(1, len(todo) // (n_workers * 4))
-            with ProcessPoolExecutor(max_workers=n_workers) as pool:
-                computed = list(
-                    pool.map(_run_spec, todo, chunksize=chunksize)
-                )
-        for (index, _spec, key), result in zip(pending, computed):
-            results[index] = result
-            if cache is not None and key is not None:
-                cache.put(key, result)
+        n_workers = _resolve_workers(base.workers, len(pending))
+        stats.workers = n_workers
+        if pending:
+            todo = [spec for _, spec, _ in pending]
+            if tracer.enabled:
+                # Trace-collecting path: each task runs under its own
+                # tracer/registry (in-process for the serial case too, so
+                # the merged sequence matches the pooled one exactly) and
+                # the parent absorbs payloads in spec order.
+                if n_workers == 1:
+                    traced = [_run_spec_traced(spec) for spec in todo]
+                else:
+                    chunksize = max(1, len(todo) // (n_workers * 4))
+                    with ProcessPoolExecutor(max_workers=n_workers) as pool:
+                        traced = list(
+                            pool.map(
+                                _run_spec_traced, todo, chunksize=chunksize
+                            )
+                        )
+                registry = get_metrics()
+                computed = []
+                for result, trace_data, metrics_data in traced:
+                    tracer.absorb(trace_data)
+                    registry.merge(metrics_data)
+                    computed.append(result)
+            elif n_workers == 1:
+                computed = [_run_spec(spec) for spec in todo]
+            else:
+                chunksize = max(1, len(todo) // (n_workers * 4))
+                with ProcessPoolExecutor(max_workers=n_workers) as pool:
+                    computed = list(
+                        pool.map(_run_spec, todo, chunksize=chunksize)
+                    )
+            for (index, _spec, key), result in zip(pending, computed):
+                results[index] = result
+                if cache is not None and key is not None:
+                    cache.put(key, result)
 
-    totals: Dict[str, float] = {}
-    for result in results:
-        for phase, seconds in (result.phase_times or {}).items():  # type: ignore[union-attr]
-            totals[phase] = totals.get(phase, 0.0) + seconds
-    stats.phase_totals = totals
-    stats.wall_s = time.perf_counter() - t_start
+        totals: Dict[str, float] = {}
+        for result in results:
+            for phase, seconds in (result.phase_times or {}).items():  # type: ignore[union-attr]
+                totals[phase] = totals.get(phase, 0.0) + seconds
+        stats.phase_totals = totals
+        if cache is not None:
+            stats.cache_evictions = cache.evictions
+            cache.flush_counters()
+        stats.wall_s = time.perf_counter() - t_start
+
+        # Engine-side metrics: coarse, once per run.
+        registry = get_metrics()
+        registry.counter("engine.runs").inc()
+        registry.counter("engine.experiments").inc(len(specs))
+        registry.counter("engine.cache.hits").inc(stats.cache_hits)
+        registry.counter("engine.cache.misses").inc(stats.cache_misses)
+        registry.gauge("engine.workers").set(stats.workers)
+        registry.gauge("engine.worker_utilization").set(stats.utilization)
+        for phase, seconds in totals.items():
+            registry.histogram(f"engine.phase.{phase}_s").observe(seconds)
+        if tracer.enabled:
+            engine_span.set(
+                workers=stats.workers,
+                cache_hits=stats.cache_hits,
+                cache_misses=stats.cache_misses,
+            )
     return results, stats  # type: ignore[return-value]

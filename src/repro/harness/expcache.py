@@ -87,15 +87,80 @@ def experiment_key(
 
 
 class ExperimentCache:
-    """Get/put of :class:`ExperimentResult` keyed by content hash."""
+    """Get/put of :class:`ExperimentResult` keyed by content hash.
+
+    Counts hits/misses/evictions per instance (session counters) and —
+    best effort — accumulates them into a ``counters.json`` sidecar in
+    the cache directory via :meth:`flush_counters`, so ``slms cache
+    stats`` can report lifetime traffic, not just on-disk entry counts.
+    """
+
+    COUNTER_NAMES = ("hits", "misses", "evictions")
 
     def __init__(self, cache_dir: Optional[str | Path] = None):
         self.dir = Path(cache_dir) if cache_dir else default_cache_dir()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self._flushed = {name: 0 for name in self.COUNTER_NAMES}
 
     def _path(self, key: str) -> Path:
         return self.dir / key[:2] / f"{key}.json"
+
+    # -- lifetime counters ---------------------------------------------
+    @property
+    def _counters_path(self) -> Path:
+        return self.dir / "counters.json"
+
+    def lifetime_counters(self) -> Dict[str, int]:
+        """Accumulated counters from the sidecar (zeros when absent)."""
+        try:
+            with open(self._counters_path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+            return {
+                name: int(data.get(name, 0)) for name in self.COUNTER_NAMES
+            }
+        except (OSError, ValueError, TypeError):
+            return {name: 0 for name in self.COUNTER_NAMES}
+
+    def flush_counters(self) -> None:
+        """Add this session's not-yet-flushed traffic to the sidecar.
+
+        Idempotent across repeated calls; all I/O failures are silently
+        ignored (counters are observability, never correctness).
+        """
+        session = {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+        delta = {
+            name: session[name] - self._flushed[name]
+            for name in self.COUNTER_NAMES
+        }
+        if not any(delta.values()):
+            return
+        totals = self.lifetime_counters()
+        for name in self.COUNTER_NAMES:
+            totals[name] += delta[name]
+        try:
+            self.dir.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=self.dir, prefix=".tmp-counters-", suffix=".json"
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(totals, handle)
+                os.replace(tmp, self._counters_path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            return
+        self._flushed = dict(session)
 
     def get(self, key: str) -> Optional[ExperimentResult]:
         try:
@@ -141,7 +206,22 @@ class ExperimentCache:
             "dir": str(self.dir),
             "entries": len(entries),
             "bytes": sum(p.stat().st_size for p in entries),
+            "lifetime": self.lifetime_counters(),
+            "session": {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            },
         }
+
+    def evict(self, key: str) -> bool:
+        """Remove one entry; returns whether it existed."""
+        try:
+            self._path(key).unlink()
+        except OSError:
+            return False
+        self.evictions += 1
+        return True
 
     def clear(self) -> int:
         """Remove every entry; returns how many were deleted."""
@@ -152,4 +232,6 @@ class ExperimentCache:
                 removed += 1
             except OSError:
                 pass
+        self.evictions += removed
+        self.flush_counters()
         return removed

@@ -26,9 +26,17 @@ from repro.lang.ast_nodes import Program
 from repro.lang.parser import parse_program
 from repro.machines.model import MachineModel
 from repro.machines.presets import machine_by_name
+from repro.obs import get_tracer
 from repro.sim.executor import ExecutionMetrics, execute
 from repro.sim.interp import run_program, state_equal
 from repro.workloads.base import Workload
+
+# Harness phases every ExperimentResult reports wall-clock times for.
+# Cache hits instead carry the single pseudo-phase ``{"cache": seconds}``
+# (see repro.harness.engine) — downstream aggregation must treat keys as
+# optional but can rely on phase_times never being empty.
+EXPERIMENT_PHASES = ("parse", "transform", "compile", "simulate", "verify",
+                     "total")
 
 
 class VerificationError(AssertionError):
@@ -132,13 +140,20 @@ def _kernel_cycles(
     times: Optional[Dict[str, float]] = None,
     accounting: str = "auto",
 ) -> tuple:
+    tracer = get_tracer()
     compiler = FinalCompiler(machine, config)
     t0 = time.perf_counter()
-    compiled_setup = compiler.compile(setup_prog)
-    compiled_full = compiler.compile(full_prog)
+    with tracer.span("phase.compile"):
+        compiled_setup = compiler.compile(setup_prog)
+        compiled_full = compiler.compile(full_prog)
     t1 = time.perf_counter()
-    setup_run = execute(compiled_setup.module, machine, accounting=accounting)
-    full_run = execute(compiled_full.module, machine, accounting=accounting)
+    with tracer.span("phase.simulate"):
+        setup_run = execute(
+            compiled_setup.module, machine, accounting=accounting
+        )
+        full_run = execute(
+            compiled_full.module, machine, accounting=accounting
+        )
     t2 = time.perf_counter()
     if times is not None:
         times["compile"] = times.get("compile", 0.0) + (t1 - t0)
@@ -179,55 +194,76 @@ def run_experiment(
     if isinstance(compiler, str):
         compiler = COMPILER_PRESETS[compiler]
 
-    times: Dict[str, float] = {}
-    t_start = time.perf_counter()
-    setup_prog = workload.setup_program()
-    base_prog = workload.full_program()
-    times["parse"] = time.perf_counter() - t_start
-    if verify:
-        # Static schedule validation rides along with the interpreter
-        # oracle: every applied result must satisfy the re-derived
-        # modulo constraints and replay its iteration space exactly.
-        options = replace(options or SLMSOptions(), verify=True)
-    t0 = time.perf_counter()
-    slms_prog, reports = transform_kernel(workload, options)
-    times["transform"] = time.perf_counter() - t0
-    if verify:
-        for report in reports:
-            bad = [d for d in report.diagnostics if d.severity == "error"]
-            if bad:
-                raise VerificationError(
-                    f"{workload.name}: schedule validator rejected the "
-                    "SLMS result: "
-                    + "; ".join(d.format() for d in bad[:3])
-                )
+    tracer = get_tracer()
+    # Every phase key is always present (0.0 when a phase does no work)
+    # so downstream aggregation never KeyErrors on declined-SLMS or
+    # otherwise short-circuited results.
+    times: Dict[str, float] = {phase: 0.0 for phase in EXPERIMENT_PHASES}
+    with tracer.span(
+        "experiment",
+        workload=workload.name,
+        suite=workload.suite,
+        machine=machine.name,
+        compiler=compiler.name,
+    ) as exp_span:
+        t_start = time.perf_counter()
+        with tracer.span("phase.parse"):
+            setup_prog = workload.setup_program()
+            base_prog = workload.full_program()
+        times["parse"] = time.perf_counter() - t_start
+        if verify:
+            # Static schedule validation rides along with the interpreter
+            # oracle: every applied result must satisfy the re-derived
+            # modulo constraints and replay its iteration space exactly.
+            options = replace(options or SLMSOptions(), verify=True)
+        t0 = time.perf_counter()
+        with tracer.span("phase.transform"):
+            slms_prog, reports = transform_kernel(workload, options)
+        times["transform"] = time.perf_counter() - t0
+        if verify:
+            for report in reports:
+                bad = [d for d in report.diagnostics if d.severity == "error"]
+                if bad:
+                    raise VerificationError(
+                        f"{workload.name}: schedule validator rejected the "
+                        "SLMS result: "
+                        + "; ".join(d.format() for d in bad[:3])
+                    )
 
-    compiled_base, base_run, base_cycles, base_energy = _kernel_cycles(
-        setup_prog, base_prog, machine, compiler, times
-    )
-    compiled_slms, slms_run, slms_cycles, slms_energy = _kernel_cycles(
-        setup_prog, slms_prog, machine, compiler, times
-    )
+        compiled_base, base_run, base_cycles, base_energy = _kernel_cycles(
+            setup_prog, base_prog, machine, compiler, times
+        )
+        compiled_slms, slms_run, slms_cycles, slms_energy = _kernel_cycles(
+            setup_prog, slms_prog, machine, compiler, times
+        )
 
-    t0 = time.perf_counter()
-    if verify:
-        oracle = run_program(base_prog)
-        ignore = {n for r in reports for n in r.new_scalars}
-        ignore |= {
-            k for k in slms_run.state if k.endswith("Arr") and k not in oracle
-        }
-        if not state_equal(oracle, base_run.state, ignore=set(base_run.state) - set(oracle) | ignore):
-            raise VerificationError(
-                f"{workload.name}: baseline compilation changed semantics"
+        t0 = time.perf_counter()
+        with tracer.span("phase.verify"):
+            if verify:
+                oracle = run_program(base_prog)
+                ignore = {n for r in reports for n in r.new_scalars}
+                ignore |= {
+                    k for k in slms_run.state
+                    if k.endswith("Arr") and k not in oracle
+                }
+                if not state_equal(oracle, base_run.state, ignore=set(base_run.state) - set(oracle) | ignore):
+                    raise VerificationError(
+                        f"{workload.name}: baseline compilation changed semantics"
+                    )
+                if not state_equal(
+                    oracle, slms_run.state, ignore=(set(slms_run.state) - set(oracle)) | ignore
+                ):
+                    raise VerificationError(
+                        f"{workload.name}: SLMS variant changed semantics"
+                    )
+        times["verify"] = time.perf_counter() - t0
+        times["total"] = time.perf_counter() - t_start
+        if tracer.enabled:
+            exp_span.set(
+                slms_applied=bool([r for r in reports if r.applied]),
+                base_cycles=base_cycles,
+                slms_cycles=slms_cycles,
             )
-        if not state_equal(
-            oracle, slms_run.state, ignore=(set(slms_run.state) - set(oracle)) | ignore
-        ):
-            raise VerificationError(
-                f"{workload.name}: SLMS variant changed semantics"
-            )
-    times["verify"] = time.perf_counter() - t0
-    times["total"] = time.perf_counter() - t_start
 
     def kernel_ims(compiled) -> bool:
         """Did machine-level MS succeed on the kernel's (last) loop?"""

@@ -1,0 +1,63 @@
+"""Observability: tracing, metrics and exporters for the SLMS pipeline.
+
+Zero-dependency.  The ambient tracer defaults to a no-op singleton so
+an untraced pipeline pays one attribute check per instrumentation site;
+enable collection for a scope with::
+
+    from repro.obs import tracing
+
+    with tracing() as tr:
+        run_experiment(...)
+    print(render_trace(tr.to_dict()))
+
+See ``docs/OBSERVABILITY.md`` for the span/event schema, the exporter
+formats, and how to read a decline trace.
+"""
+
+from repro.obs.export import (
+    format_metrics,
+    render_trace,
+    to_chrome_trace,
+    validate_trace,
+    write_chrome_trace,
+    write_json_trace,
+)
+from repro.obs.metrics import (
+    METRICS_SCHEMA,
+    MetricsRegistry,
+    get_metrics,
+    merged,
+    metrics_scope,
+    set_metrics,
+)
+from repro.obs.tracer import (
+    NULL_TRACER,
+    TRACE_SCHEMA,
+    NullTracer,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    tracing,
+)
+
+__all__ = [
+    "METRICS_SCHEMA",
+    "NULL_TRACER",
+    "TRACE_SCHEMA",
+    "MetricsRegistry",
+    "NullTracer",
+    "Tracer",
+    "format_metrics",
+    "get_metrics",
+    "get_tracer",
+    "merged",
+    "metrics_scope",
+    "render_trace",
+    "set_metrics",
+    "set_tracer",
+    "to_chrome_trace",
+    "tracing",
+    "validate_trace",
+    "write_chrome_trace",
+    "write_json_trace",
+]

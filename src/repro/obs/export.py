@@ -1,0 +1,218 @@
+"""Trace/metrics exporters and the trace schema validator.
+
+Three consumers, three formats:
+
+* **JSON trace** (:func:`write_json_trace`) — the ``slms-trace/1``
+  schema exactly as :meth:`repro.obs.tracer.Tracer.to_dict` produces
+  it; the stable machine-readable form tests and CI validate.
+* **Chrome trace_event** (:func:`to_chrome_trace`,
+  :func:`write_chrome_trace`) — loadable in ``chrome://tracing`` /
+  Perfetto: spans become ``"X"`` complete events (one row per track,
+  i.e. per absorbed worker batch), instant events become ``"i"``.
+* **Decision log** (:func:`render_trace`) — the human-readable view
+  ``slms trace`` prints: spans indented by nesting with wall-clock
+  durations, decision events with their key/value payloads.
+
+:func:`validate_trace` is the schema check (hand-rolled — no jsonschema
+dependency): it returns a list of problems, empty meaning valid, and is
+what the CI trace-smoke job runs against a fresh export.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Mapping
+
+from repro.obs.tracer import TRACE_SCHEMA
+
+_SCALAR = (str, int, float, bool, type(None))
+
+
+def write_json_trace(trace: Mapping[str, Any], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(trace, handle, indent=1)
+        handle.write("\n")
+
+
+def to_chrome_trace(trace: Mapping[str, Any]) -> Dict[str, Any]:
+    """Convert an ``slms-trace/1`` payload to Chrome trace_event JSON."""
+    out: List[Dict[str, Any]] = []
+    for span in trace.get("spans", []):
+        start_us = span["start_ns"] / 1000.0
+        dur_us = max(span["end_ns"] - span["start_ns"], 0) / 1000.0
+        out.append(
+            {
+                "ph": "X",
+                "name": span["name"],
+                "cat": span["name"].split(".", 1)[0],
+                "ts": start_us,
+                "dur": dur_us,
+                "pid": 1,
+                "tid": span.get("track", 0),
+                "args": dict(span.get("attrs") or {}),
+            }
+        )
+    for event in trace.get("events", []):
+        out.append(
+            {
+                "ph": "i",
+                "name": event["name"],
+                "cat": event["name"].split(".", 1)[0],
+                "ts": event["ts_ns"] / 1000.0,
+                "pid": 1,
+                "tid": event.get("track", 0),
+                "s": "t",
+                "args": dict(event.get("attrs") or {}),
+            }
+        )
+    return {"traceEvents": out, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(trace: Mapping[str, Any], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(to_chrome_trace(trace), handle, indent=1)
+        handle.write("\n")
+
+
+# ---------------------------------------------------------------------------
+# Schema validation
+# ---------------------------------------------------------------------------
+
+
+def _check_attrs(attrs: Any, where: str, problems: List[str]) -> None:
+    if not isinstance(attrs, dict):
+        problems.append(f"{where}: attrs is not an object")
+        return
+    for key, value in attrs.items():
+        if not isinstance(key, str):
+            problems.append(f"{where}: non-string attr key {key!r}")
+        ok = isinstance(value, _SCALAR) or (
+            isinstance(value, list)
+            and all(isinstance(item, _SCALAR) for item in value)
+        )
+        if not ok:
+            problems.append(
+                f"{where}: attr {key!r} is not a scalar or scalar list"
+            )
+
+
+def validate_trace(trace: Mapping[str, Any]) -> List[str]:
+    """Validate an ``slms-trace/1`` payload; returns problems (empty=ok)."""
+    problems: List[str] = []
+    if trace.get("schema") != TRACE_SCHEMA:
+        problems.append(
+            f"schema is {trace.get('schema')!r}, expected {TRACE_SCHEMA!r}"
+        )
+    spans = trace.get("spans")
+    events = trace.get("events")
+    if not isinstance(spans, list) or not isinstance(events, list):
+        problems.append("spans/events must be lists")
+        return problems
+    span_ids = set()
+    for pos, span in enumerate(spans):
+        where = f"span[{pos}]"
+        if not isinstance(span, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        if span.get("id") != pos:
+            problems.append(f"{where}: id {span.get('id')!r} != index {pos}")
+        if not isinstance(span.get("name"), str) or not span.get("name"):
+            problems.append(f"{where}: missing name")
+        parent = span.get("parent")
+        if not isinstance(parent, int) or (
+            parent != -1 and parent not in span_ids
+        ):
+            problems.append(f"{where}: bad parent {parent!r}")
+        for key in ("start_ns", "end_ns"):
+            if not isinstance(span.get(key), int) or span[key] < 0:
+                problems.append(f"{where}: bad {key} {span.get(key)!r}")
+        if (
+            isinstance(span.get("start_ns"), int)
+            and isinstance(span.get("end_ns"), int)
+            and span["end_ns"] < span["start_ns"]
+        ):
+            problems.append(f"{where}: end_ns before start_ns")
+        if not isinstance(span.get("track"), int) or span["track"] < 0:
+            problems.append(f"{where}: bad track {span.get('track')!r}")
+        _check_attrs(span.get("attrs"), where, problems)
+        span_ids.add(pos)
+    for pos, event in enumerate(events):
+        where = f"event[{pos}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        if not isinstance(event.get("name"), str) or not event.get("name"):
+            problems.append(f"{where}: missing name")
+        if not isinstance(event.get("ts_ns"), int) or event["ts_ns"] < 0:
+            problems.append(f"{where}: bad ts_ns {event.get('ts_ns')!r}")
+        span = event.get("span")
+        if not isinstance(span, int) or (span != -1 and span not in span_ids):
+            problems.append(f"{where}: bad span reference {span!r}")
+        if not isinstance(event.get("track"), int) or event["track"] < 0:
+            problems.append(f"{where}: bad track {event.get('track')!r}")
+        _check_attrs(event.get("attrs"), where, problems)
+    return problems
+
+
+# ---------------------------------------------------------------------------
+# Human-readable views
+# ---------------------------------------------------------------------------
+
+
+def _fmt_attr(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    if isinstance(value, list):
+        return "[" + ",".join(_fmt_attr(item) for item in value) + "]"
+    return str(value)
+
+
+def _fmt_attrs(attrs: Mapping[str, Any]) -> str:
+    return " ".join(f"{key}={_fmt_attr(val)}" for key, val in attrs.items())
+
+
+def render_trace(trace: Mapping[str, Any], events_only: bool = False) -> str:
+    """The decision log: entries in time order, indented by span depth."""
+    spans = trace.get("spans", [])
+    events = trace.get("events", [])
+    depth: Dict[int, int] = {-1: -1}
+    for span in spans:
+        depth[span["id"]] = depth.get(span["parent"], -1) + 1
+
+    entries: List[tuple] = []
+    for order, span in enumerate(spans):
+        if events_only:
+            continue
+        dur_ms = max(span["end_ns"] - span["start_ns"], 0) / 1e6
+        text = span["name"]
+        if span.get("attrs"):
+            text += "  " + _fmt_attrs(span["attrs"])
+        entries.append(
+            (span["start_ns"], 0, order,
+             depth[span["id"]], f"{text}  [{dur_ms:.2f} ms]")
+        )
+    for order, event in enumerate(events):
+        text = "• " + event["name"]
+        if event.get("attrs"):
+            text += "  " + _fmt_attrs(event["attrs"])
+        entries.append(
+            (event["ts_ns"], 1, order, depth.get(event["span"], -1) + 1, text)
+        )
+    entries.sort(key=lambda item: (item[0], item[1], item[2]))
+    return "\n".join("  " * max(d, 0) + text for _, _, _, d, text in entries)
+
+
+def format_metrics(metrics: Mapping[str, Any]) -> str:
+    """Flat text dump of ``MetricsRegistry.to_dict()``."""
+    lines: List[str] = []
+    for name, value in (metrics.get("counters") or {}).items():
+        lines.append(f"counter   {name:<32} {_fmt_attr(value)}")
+    for name, value in (metrics.get("gauges") or {}).items():
+        lines.append(f"gauge     {name:<32} {_fmt_attr(value)}")
+    for name, hist in (metrics.get("histograms") or {}).items():
+        lines.append(
+            f"histogram {name:<32} count={hist['count']} "
+            f"sum={_fmt_attr(hist['sum'])} min={_fmt_attr(hist['min'])} "
+            f"max={_fmt_attr(hist['max'])}"
+        )
+    return "\n".join(lines)

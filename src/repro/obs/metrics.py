@@ -1,0 +1,215 @@
+"""Counters, gauges and histograms for the pipeline and the harness.
+
+A :class:`MetricsRegistry` is a named bag of three instrument kinds:
+
+* :class:`Counter` — monotonically increasing totals (simulated cycles,
+  cache hits, experiments run);
+* :class:`Gauge` — last-written values (worker count, corpus size);
+* :class:`Histogram` — distribution summaries (per-phase wall seconds,
+  per-experiment simulated cycles) with fixed log-spaced buckets plus
+  exact count/sum/min/max.
+
+Registries **merge deterministically and associatively** so per-worker
+registries collected from a ``ProcessPoolExecutor`` can be folded in
+spec order with a result independent of how the fold is grouped:
+counters add, histograms add their buckets and combine min/max, and
+gauges take the value from the *later* operand of each merge (merge
+order is spec order, so "later" is well defined).
+
+Like the tracer, metrics have an ambient instance
+(:func:`get_metrics`); unlike the tracer there is no disabled variant —
+instruments are only touched at coarse points (once per simulated run,
+once per engine call), never inside interpreter loops, so the always-on
+cost is a handful of dict operations per experiment.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple
+
+METRICS_SCHEMA = "slms-metrics/1"
+
+# Log-spaced upper bounds covering microseconds→minutes for wall-clock
+# histograms and small→huge totals for cycle counts.  ``le`` semantics
+# (cumulative at export would be redundant; stored counts are per-bin,
+# the last bin is the overflow).
+DEFAULT_BUCKETS: Tuple[float, ...] = tuple(
+    10.0 ** e for e in range(-6, 7)
+)
+
+
+@dataclass
+class Counter:
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+@dataclass
+class Histogram:
+    buckets: Tuple[float, ...] = DEFAULT_BUCKETS
+    counts: List[int] = field(default_factory=list)  # len(buckets) + 1
+    count: int = 0
+    sum: float = 0.0
+    min: Optional[float] = None
+    max: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.counts:
+            self.counts = [0] * (len(self.buckets) + 1)
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        for pos, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[pos] += 1
+                return
+        self.counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Create-on-first-use registry of named instruments."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    # -- instrument access ---------------------------------------------
+    def counter(self, name: str) -> Counter:
+        instrument = self.counters.get(name)
+        if instrument is None:
+            instrument = self.counters[name] = Counter()
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self.gauges.get(name)
+        if instrument is None:
+            instrument = self.gauges[name] = Gauge()
+        return instrument
+
+    def histogram(
+        self, name: str, buckets: Optional[Tuple[float, ...]] = None
+    ) -> Histogram:
+        instrument = self.histograms.get(name)
+        if instrument is None:
+            instrument = self.histograms[name] = Histogram(
+                buckets=buckets or DEFAULT_BUCKETS
+            )
+        return instrument
+
+    # -- merge ---------------------------------------------------------
+    def merge(self, other: "MetricsRegistry | Mapping[str, Any]") -> None:
+        """Fold ``other`` (a registry or its ``to_dict`` form) into self."""
+        data = other.to_dict() if isinstance(other, MetricsRegistry) else other
+        for name, value in (data.get("counters") or {}).items():
+            self.counter(name).inc(float(value))
+        for name, value in (data.get("gauges") or {}).items():
+            self.gauge(name).set(float(value))
+        for name, hist in (data.get("histograms") or {}).items():
+            buckets = tuple(hist["buckets"])
+            mine = self.histogram(name, buckets=buckets)
+            if mine.buckets != buckets:
+                raise ValueError(
+                    f"histogram {name!r}: incompatible bucket boundaries"
+                )
+            mine.count += int(hist["count"])
+            mine.sum += float(hist["sum"])
+            for pos, n in enumerate(hist["counts"]):
+                mine.counts[pos] += int(n)
+            for bound_name, pick in (("min", min), ("max", max)):
+                theirs = hist.get(bound_name)
+                if theirs is None:
+                    continue
+                ours = getattr(mine, bound_name)
+                setattr(
+                    mine,
+                    bound_name,
+                    theirs if ours is None else pick(ours, theirs),
+                )
+
+    # -- export --------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": METRICS_SCHEMA,
+            "counters": {
+                name: c.value for name, c in sorted(self.counters.items())
+            },
+            "gauges": {
+                name: g.value for name, g in sorted(self.gauges.items())
+            },
+            "histograms": {
+                name: {
+                    "buckets": list(h.buckets),
+                    "counts": list(h.counts),
+                    "count": h.count,
+                    "sum": h.sum,
+                    "min": h.min,
+                    "max": h.max,
+                }
+                for name, h in sorted(self.histograms.items())
+            },
+        }
+
+
+def merged(parts: List["MetricsRegistry | Mapping[str, Any]"]) -> MetricsRegistry:
+    """Fold ``parts`` left-to-right into a fresh registry."""
+    registry = MetricsRegistry()
+    for part in parts:
+        registry.merge(part)
+    return registry
+
+
+# ---------------------------------------------------------------------------
+# Ambient registry
+# ---------------------------------------------------------------------------
+
+_registry = MetricsRegistry()
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process-wide ambient registry."""
+    return _registry
+
+
+def set_metrics(registry: MetricsRegistry) -> MetricsRegistry:
+    """Install ``registry`` as ambient; returns the previous one."""
+    global _registry
+    previous = _registry
+    _registry = registry
+    return previous
+
+
+@contextmanager
+def metrics_scope(
+    registry: Optional[MetricsRegistry] = None,
+) -> Iterator[MetricsRegistry]:
+    """Collect metrics into a (fresh) registry for a scope."""
+    active = registry if registry is not None else MetricsRegistry()
+    previous = set_metrics(active)
+    try:
+        yield active
+    finally:
+        set_metrics(previous)

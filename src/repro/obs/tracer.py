@@ -1,0 +1,276 @@
+"""Nested-span tracing for the SLMS pipeline.
+
+The pipeline makes many invisible decisions — §4 filter verdicts, the
+per-candidate-II difMin search, §3.2 decomposition rounds, the MVE vs.
+scalar-expansion choice — and the evaluation engine adds its own (cache
+hit or recompute, worker fan-out).  A :class:`Tracer` records those as a
+flat, deterministic list of :class:`SpanRecord`/:class:`EventRecord`
+entries that exporters (:mod:`repro.obs.export`) turn into JSON, Chrome
+``trace_event`` files, or a human-readable decision log.
+
+Design constraints, in priority order:
+
+1. **Zero cost when disabled.**  The ambient tracer defaults to the
+   :data:`NULL_TRACER` singleton whose ``enabled`` attribute is
+   ``False``; hot paths guard event emission with one attribute check
+   (``if tr.enabled:``) and span entry/exit reuses one preallocated
+   no-op context manager — no per-call allocation anywhere.
+2. **Determinism.**  Span ids are assigned sequentially, events record
+   their enclosing span by id, and worker traces are absorbed in spec
+   order, so the merged event *sequence* (names, attributes, span
+   references — everything except timestamps) is identical regardless
+   of worker count.
+3. **Picklability of the wire form.**  Workers return
+   ``Tracer.to_dict()`` payloads (plain JSON types) which the parent
+   re-absorbs; the Tracer object itself never crosses a process
+   boundary.
+
+Timestamps are ``time.perf_counter_ns`` relative to tracer creation;
+absorbed sub-traces are shifted to the absorb instant so a merged trace
+stays monotone enough for chrome://tracing, and each absorbed batch
+gets its own ``track`` (rendered as a Chrome thread row).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Mapping, Optional
+
+TRACE_SCHEMA = "slms-trace/1"
+
+
+@dataclass
+class SpanRecord:
+    """One completed (or still-open) span."""
+
+    id: int
+    parent: int  # parent span id; -1 = top level
+    name: str
+    start_ns: int
+    end_ns: int = 0
+    track: int = 0
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "id": self.id,
+            "parent": self.parent,
+            "name": self.name,
+            "start_ns": self.start_ns,
+            "end_ns": self.end_ns,
+            "track": self.track,
+            "attrs": dict(self.attrs),
+        }
+
+
+@dataclass
+class EventRecord:
+    """One instant event, attributed to its enclosing span."""
+
+    name: str
+    ts_ns: int
+    span: int  # enclosing span id; -1 = top level
+    track: int = 0
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "ts_ns": self.ts_ns,
+            "span": self.span,
+            "track": self.track,
+            "attrs": dict(self.attrs),
+        }
+
+
+class _NullSpan:
+    """Shared no-op context manager returned by the null tracer."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Disabled tracer: every operation is a no-op.
+
+    A process-wide singleton (:data:`NULL_TRACER`) so the disabled path
+    allocates nothing; ``enabled`` is a plain class attribute, making
+    the hot-path guard a single attribute load.
+    """
+
+    enabled = False
+
+    def span(self, name: str, **attrs: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def event(self, name: str, **attrs: Any) -> None:
+        return None
+
+    def absorb(self, data: Mapping[str, Any]) -> None:
+        return None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"schema": TRACE_SCHEMA, "spans": [], "events": []}
+
+
+NULL_TRACER = NullTracer()
+
+
+class _SpanContext:
+    """Context manager handed out by :meth:`Tracer.span`."""
+
+    __slots__ = ("_tracer", "record")
+
+    def __init__(self, tracer: "Tracer", record: SpanRecord):
+        self._tracer = tracer
+        self.record = record
+
+    def set(self, **attrs: Any) -> "_SpanContext":
+        self.record.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "_SpanContext":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        self._tracer._close_span(self.record)
+        return False
+
+
+class Tracer:
+    """Collects spans and events; see the module docstring for contract."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.spans: List[SpanRecord] = []
+        self.events: List[EventRecord] = []
+        self._stack: List[int] = []
+        self._t0 = time.perf_counter_ns()
+        self._next_track = 1  # 0 is this tracer's own track
+
+    # -- time ----------------------------------------------------------
+    def _now(self) -> int:
+        return time.perf_counter_ns() - self._t0
+
+    # -- recording -----------------------------------------------------
+    def span(self, name: str, **attrs: Any) -> _SpanContext:
+        record = SpanRecord(
+            id=len(self.spans),
+            parent=self._stack[-1] if self._stack else -1,
+            name=name,
+            start_ns=self._now(),
+            attrs=attrs,
+        )
+        self.spans.append(record)
+        self._stack.append(record.id)
+        return _SpanContext(self, record)
+
+    def _close_span(self, record: SpanRecord) -> None:
+        record.end_ns = self._now()
+        if self._stack and self._stack[-1] == record.id:
+            self._stack.pop()
+
+    def event(self, name: str, **attrs: Any) -> None:
+        self.events.append(
+            EventRecord(
+                name=name,
+                ts_ns=self._now(),
+                span=self._stack[-1] if self._stack else -1,
+                attrs=attrs,
+            )
+        )
+
+    # -- merge ---------------------------------------------------------
+    def absorb(self, data: Mapping[str, Any]) -> None:
+        """Merge a worker's ``to_dict()`` payload under the current span.
+
+        Span ids are offset past this tracer's, top-level entries are
+        re-parented to the currently open span, timestamps shift to the
+        absorb instant, and the whole batch lands on a fresh track.
+        Call order defines the merged sequence — callers must absorb in
+        spec order for determinism.
+        """
+        base = len(self.spans)
+        parent = self._stack[-1] if self._stack else -1
+        shift = self._now()
+        track = self._next_track
+        self._next_track += 1
+        for span in data.get("spans", []):
+            self.spans.append(
+                SpanRecord(
+                    id=base + span["id"],
+                    parent=(
+                        parent if span["parent"] < 0 else base + span["parent"]
+                    ),
+                    name=span["name"],
+                    start_ns=span["start_ns"] + shift,
+                    end_ns=span["end_ns"] + shift,
+                    track=track,
+                    attrs=dict(span.get("attrs") or {}),
+                )
+            )
+        for event in data.get("events", []):
+            self.events.append(
+                EventRecord(
+                    name=event["name"],
+                    ts_ns=event["ts_ns"] + shift,
+                    span=(
+                        parent if event["span"] < 0 else base + event["span"]
+                    ),
+                    track=track,
+                    attrs=dict(event.get("attrs") or {}),
+                )
+            )
+
+    # -- export --------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": TRACE_SCHEMA,
+            "spans": [span.to_dict() for span in self.spans],
+            "events": [event.to_dict() for event in self.events],
+        }
+
+
+# ---------------------------------------------------------------------------
+# Ambient tracer
+# ---------------------------------------------------------------------------
+
+_tracer: NullTracer | Tracer = NULL_TRACER
+
+
+def get_tracer() -> NullTracer | Tracer:
+    """The process-wide ambient tracer (the null singleton by default)."""
+    return _tracer
+
+
+def set_tracer(tracer: Optional[NullTracer | Tracer]) -> NullTracer | Tracer:
+    """Install ``tracer`` (``None`` = disable); returns the previous one."""
+    global _tracer
+    previous = _tracer
+    _tracer = tracer if tracer is not None else NULL_TRACER
+    return previous
+
+
+@contextmanager
+def tracing(tracer: Optional[Tracer] = None) -> Iterator[Tracer]:
+    """Enable tracing for a scope; yields the (fresh) tracer."""
+    active = tracer if tracer is not None else Tracer()
+    previous = set_tracer(active)
+    try:
+        yield active
+    finally:
+        set_tracer(previous)

@@ -280,12 +280,42 @@ def execute(
         if profiles is not None
         else _DynamicTimingObserver(module, machine)
     )
-    interp = LIRInterpreter(
-        module,
-        env=env,
-        functions=functions,
-        observer=observer,
-        max_steps=max_steps,
+    from repro.obs import get_metrics, get_tracer
+
+    tracer = get_tracer()
+    with tracer.span(
+        "sim.execute",
+        machine=machine.name,
+        accounting="static" if profiles is not None else "dynamic",
+    ) as span:
+        interp = LIRInterpreter(
+            module,
+            env=env,
+            functions=functions,
+            observer=observer,
+            max_steps=max_steps,
+        )
+        state = interp.run()
+        metrics = observer.metrics
+        if tracer.enabled:
+            span.set(
+                cycles=metrics.cycles,
+                instructions=metrics.instructions,
+                cache_misses=metrics.cache_misses,
+            )
+    # Feed the ambient registry: one batch of counter bumps per simulated
+    # run — deliberately outside the interpreter loop, so the LIR fast
+    # path carries zero observability cost.
+    registry = get_metrics()
+    registry.counter("sim.runs").inc()
+    registry.counter("sim.cycles").inc(metrics.cycles)
+    registry.counter("sim.instructions").inc(metrics.instructions)
+    registry.counter("sim.mem_accesses").inc(metrics.mem_accesses)
+    registry.counter("sim.cache_hits").inc(metrics.cache_hits)
+    registry.counter("sim.cache_misses").inc(metrics.cache_misses)
+    registry.counter("sim.stall_cycles").inc(
+        metrics.cache_misses * machine.cache.miss_penalty
     )
-    state = interp.run()
-    return ExecutionResult(state=state, metrics=observer.metrics)
+    registry.counter("sim.energy_pj").inc(metrics.energy_pj)
+    registry.histogram("sim.cycles_per_run").observe(metrics.cycles)
+    return ExecutionResult(state=state, metrics=metrics)

@@ -1,0 +1,106 @@
+"""Trace/metrics determinism across worker counts (the merge contract).
+
+The engine promises that the merged event *sequence* — names, attrs,
+span references, per-batch tracks — is identical whether experiments
+ran serially or fanned out over a process pool, because workers collect
+into per-task tracers that the parent absorbs in spec order.  Only
+timestamps may differ.
+"""
+
+
+from repro.backend.compiler import COMPILER_PRESETS
+from repro.harness.engine import ExperimentSpec, run_experiments
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    merged,
+    metrics_scope,
+    tracing,
+    validate_trace,
+)
+from repro.machines.presets import itanium2
+from repro.workloads import get_workload
+
+WORKLOADS = ("daxpy", "kernel1", "kernel3", "dscal")
+
+
+def _specs():
+    return [
+        ExperimentSpec(
+            workload=get_workload(name),
+            machine=itanium2(),
+            compiler=COMPILER_PRESETS["gcc_O3"],
+            options=None,
+            verify=True,
+        )
+        for name in WORKLOADS
+    ]
+
+
+def _traced_run(workers: int):
+    with tracing(Tracer()) as tracer, metrics_scope(MetricsRegistry()) as reg:
+        results, _ = run_experiments(
+            _specs(), workers=workers, use_cache=False
+        )
+    return results, tracer.to_dict(), reg.to_dict()
+
+
+def _event_sequence(trace):
+    """Everything about the events except wall-clock time."""
+    return [
+        (e["name"], e["span"], e["track"], sorted(e["attrs"].items()))
+        for e in trace["events"]
+    ]
+
+
+def _span_sequence(trace):
+    """Span identity/topology, excluding timestamps and attrs that may
+    legitimately vary with worker count (engine.run records workers)."""
+    return [
+        (s["id"], s["parent"], s["name"], s["track"])
+        for s in trace["spans"]
+    ]
+
+
+def test_trace_identical_across_worker_counts():
+    results1, trace1, metrics1 = _traced_run(workers=1)
+    results4, trace4, metrics4 = _traced_run(workers=4)
+
+    assert validate_trace(trace1) == []
+    assert validate_trace(trace4) == []
+    assert _event_sequence(trace1) == _event_sequence(trace4)
+    assert _span_sequence(trace1) == _span_sequence(trace4)
+
+    # The functional results are identical too (modulo wall clock).
+    for r1, r4 in zip(results1, results4):
+        d1, d4 = r1.to_dict(), r4.to_dict()
+        d1.pop("phase_times"), d4.pop("phase_times")
+        assert d1 == d4
+
+    # Deterministic simulator counters merge to the same totals.
+    for key in ("sim.runs", "sim.cycles", "sim.instructions",
+                "sim.cache_misses"):
+        assert metrics1["counters"][key] == metrics4["counters"][key]
+
+
+def test_trace_covers_every_experiment():
+    _, trace, _ = _traced_run(workers=2)
+    exp_spans = [s for s in trace["spans"] if s["name"] == "experiment"]
+    assert [s["attrs"]["workload"] for s in exp_spans] == list(WORKLOADS)
+    # Each absorbed batch lands on its own track, in spec order.
+    assert [s["track"] for s in exp_spans] == [1, 2, 3, 4]
+
+
+def test_metrics_merge_order_grouping_invariant():
+    """Folding worker payloads is associative (counters/histograms)."""
+    parts = []
+    for seed in (1, 2, 3, 4):
+        reg = MetricsRegistry()
+        reg.counter("sim.cycles").inc(seed * 1000)
+        reg.histogram("engine.phase.total_s").observe(seed * 0.25)
+        parts.append(reg.to_dict())
+    pairwise = merged(
+        [merged(parts[:2]).to_dict(), merged(parts[2:]).to_dict()]
+    )
+    flat = merged(parts)
+    assert pairwise.to_dict() == flat.to_dict()

@@ -1,0 +1,117 @@
+"""Exporter tests: JSON schema validation, Chrome form, decision log."""
+
+import json
+
+from repro.obs import (
+    Tracer,
+    format_metrics,
+    render_trace,
+    to_chrome_trace,
+    validate_trace,
+    write_chrome_trace,
+    write_json_trace,
+)
+
+
+def _sample_trace():
+    tr = Tracer()
+    with tr.span("experiment", workload="daxpy"):
+        with tr.span("phase.transform"):
+            tr.event("filter.verdict", apply_slms=True, ratio=0.5)
+            tr.event("ii.found", ii=2, pmii=2)
+    return tr.to_dict()
+
+
+class TestValidate:
+    def test_valid_trace_passes(self):
+        assert validate_trace(_sample_trace()) == []
+
+    def test_empty_trace_passes(self):
+        assert validate_trace(
+            {"schema": "slms-trace/1", "spans": [], "events": []}
+        ) == []
+
+    def test_bad_schema_tag(self):
+        problems = validate_trace({"schema": "x", "spans": [], "events": []})
+        assert any("schema" in p for p in problems)
+
+    def test_id_index_mismatch(self):
+        trace = _sample_trace()
+        trace["spans"][0]["id"] = 5
+        assert any("!= index" in p for p in validate_trace(trace))
+
+    def test_dangling_parent_and_span_refs(self):
+        trace = _sample_trace()
+        trace["spans"][1]["parent"] = 99
+        trace["events"][0]["span"] = 42
+        problems = validate_trace(trace)
+        assert any("bad parent" in p for p in problems)
+        assert any("bad span reference" in p for p in problems)
+
+    def test_non_scalar_attr_rejected(self):
+        trace = _sample_trace()
+        trace["events"][0]["attrs"]["nested"] = {"not": "allowed"}
+        assert any("scalar" in p for p in validate_trace(trace))
+
+    def test_end_before_start(self):
+        trace = _sample_trace()
+        trace["spans"][0]["end_ns"] = -1
+        assert validate_trace(trace)
+
+
+class TestChrome:
+    def test_spans_and_events_mapped(self):
+        chrome = to_chrome_trace(_sample_trace())
+        events = chrome["traceEvents"]
+        complete = [e for e in events if e["ph"] == "X"]
+        instant = [e for e in events if e["ph"] == "i"]
+        assert [e["name"] for e in complete] == [
+            "experiment", "phase.transform",
+        ]
+        assert [e["name"] for e in instant] == ["filter.verdict", "ii.found"]
+        for entry in complete:
+            assert entry["dur"] >= 0
+            assert entry["pid"] == 1
+        assert instant[0]["args"] == {"apply_slms": True, "ratio": 0.5}
+        # cat groups by name prefix for chrome://tracing filtering.
+        assert complete[1]["cat"] == "phase"
+
+    def test_round_trips_files(self, tmp_path):
+        trace = _sample_trace()
+        json_path = tmp_path / "t.json"
+        chrome_path = tmp_path / "c.json"
+        write_json_trace(trace, str(json_path))
+        write_chrome_trace(trace, str(chrome_path))
+        assert json.loads(json_path.read_text()) == trace
+        loaded = json.loads(chrome_path.read_text())
+        assert loaded == to_chrome_trace(trace)
+
+
+class TestRender:
+    def test_decision_log_shape(self):
+        text = render_trace(_sample_trace())
+        lines = text.splitlines()
+        assert lines[0].startswith("experiment")
+        assert "workload=daxpy" in lines[0]
+        assert lines[1].startswith("  phase.transform")
+        assert "• filter.verdict" in lines[2]
+        assert "ratio=0.5" in lines[2]
+        assert "ii=2" in lines[3]
+
+    def test_events_only_mode(self):
+        text = render_trace(_sample_trace(), events_only=True)
+        assert "experiment" not in text
+        assert "• ii.found" in text
+
+    def test_format_metrics(self):
+        metrics = {
+            "counters": {"sim.runs": 4},
+            "gauges": {"engine.workers": 2},
+            "histograms": {
+                "wall_s": {"count": 2, "sum": 1.5, "min": 0.5, "max": 1.0}
+            },
+        }
+        text = format_metrics(metrics)
+        assert "counter   sim.runs" in text
+        assert "gauge     engine.workers" in text
+        assert "count=2" in text

@@ -1,0 +1,112 @@
+"""Harness-facing observability: phase_times consistency, cache
+counters on EngineStats, and the cache's lifetime sidecar."""
+
+from repro.backend.compiler import COMPILER_PRESETS
+from repro.harness.engine import EngineStats, ExperimentSpec, run_experiments
+from repro.harness.expcache import ExperimentCache
+from repro.harness.experiment import EXPERIMENT_PHASES, run_experiment
+from repro.machines.presets import itanium2
+from repro.workloads import get_workload
+
+
+def _spec(name="daxpy"):
+    return ExperimentSpec(
+        workload=get_workload(name),
+        machine=itanium2(),
+        compiler=COMPILER_PRESETS["gcc_O3"],
+        options=None,
+        verify=True,
+    )
+
+
+class TestPhaseTimes:
+    def test_every_phase_key_present_when_applied(self):
+        res = run_experiment(get_workload("daxpy"), "itanium2", "gcc_O3")
+        assert set(res.phase_times) == set(EXPERIMENT_PHASES)
+        assert res.phase_times["total"] > 0
+
+    def test_every_phase_key_present_when_declined(self):
+        # Declined-SLMS runs used to skip phases and leave holes.
+        res = run_experiment(get_workload("idamax"), "itanium2", "gcc_O3")
+        assert not res.slms_applied
+        assert set(res.phase_times) == set(EXPERIMENT_PHASES)
+
+    def test_unverified_run_still_reports_verify_key(self):
+        res = run_experiment(
+            get_workload("daxpy"), "itanium2", "gcc_O3", verify=False
+        )
+        # The key is always present; with verify off only the (timed)
+        # no-op branch runs, so the value is negligible but measured.
+        assert res.phase_times["verify"] < 0.01
+
+    def test_cache_hit_reports_cache_pseudo_phase(self, tmp_path):
+        specs = [_spec()]
+        run_experiments(specs, workers=1, cache_dir=str(tmp_path))
+        results, stats = run_experiments(
+            specs, workers=1, cache_dir=str(tmp_path)
+        )
+        assert stats.cache_hits == 1
+        assert list(results[0].phase_times) == ["cache"]
+        assert results[0].phase_times["cache"] >= 0.0
+
+
+class TestEngineStatsCounters:
+    def test_stats_expose_cache_counter_triple(self, tmp_path):
+        specs = [_spec(), _spec("kernel1")]
+        _, cold = run_experiments(specs, workers=1, cache_dir=str(tmp_path))
+        _, warm = run_experiments(specs, workers=1, cache_dir=str(tmp_path))
+        assert (cold.cache_hits, cold.cache_misses) == (0, 2)
+        assert (warm.cache_hits, warm.cache_misses) == (2, 0)
+        assert cold.cache_evictions == warm.cache_evictions == 0
+        for stats in (cold, warm):
+            data = stats.to_dict()
+            assert data["cache_evictions"] == 0
+            assert 0.0 <= data["worker_utilization"]
+
+    def test_utilization_zero_without_wall(self):
+        assert EngineStats().utilization == 0.0
+
+
+class TestCacheLifetimeCounters:
+    def test_sidecar_accumulates_across_instances(self, tmp_path):
+        specs = [_spec()]
+        run_experiments(specs, workers=1, cache_dir=str(tmp_path))
+        run_experiments(specs, workers=1, cache_dir=str(tmp_path))
+        lifetime = ExperimentCache(tmp_path).lifetime_counters()
+        assert lifetime == {"hits": 1, "misses": 1, "evictions": 0}
+
+    def test_clear_counts_evictions(self, tmp_path):
+        specs = [_spec()]
+        run_experiments(specs, workers=1, cache_dir=str(tmp_path))
+        cache = ExperimentCache(tmp_path)
+        removed = cache.clear()
+        assert removed == 1
+        assert cache.evictions == 1
+        assert ExperimentCache(tmp_path).lifetime_counters()["evictions"] == 1
+
+    def test_sidecar_does_not_pollute_entries(self, tmp_path):
+        cache = ExperimentCache(tmp_path)
+        cache.misses = 3
+        cache.flush_counters()
+        assert cache.entries() == []
+        stats = cache.stats()
+        assert stats["entries"] == 0
+        assert stats["lifetime"]["misses"] == 3
+        assert stats["session"]["misses"] == 3
+
+    def test_flush_idempotent(self, tmp_path):
+        cache = ExperimentCache(tmp_path)
+        cache.hits = 2
+        cache.flush_counters()
+        cache.flush_counters()
+        assert cache.lifetime_counters()["hits"] == 2
+        cache.hits = 5  # 3 more since last flush
+        cache.flush_counters()
+        assert cache.lifetime_counters()["hits"] == 5
+
+    def test_unreadable_sidecar_degrades_to_zeros(self, tmp_path):
+        (tmp_path / "counters.json").write_text("not json")
+        cache = ExperimentCache(tmp_path)
+        assert cache.lifetime_counters() == {
+            "hits": 0, "misses": 0, "evictions": 0,
+        }

@@ -1,0 +1,102 @@
+"""Metrics tests: instrument semantics + associative merge."""
+
+import pytest
+
+from repro.obs import (
+    METRICS_SCHEMA,
+    MetricsRegistry,
+    get_metrics,
+    merged,
+    metrics_scope,
+)
+
+
+def _sample(seed: int) -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("runs").inc(seed)
+    reg.counter("cycles").inc(seed * 100)
+    reg.gauge("workers").set(seed)
+    for value in (seed * 0.5, seed * 2.0):
+        reg.histogram("wall_s").observe(value)
+    return reg
+
+
+class TestInstruments:
+    def test_counter_monotone(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.counter("c").inc(2.5)
+        assert reg.counter("c").value == 3.5
+        with pytest.raises(ValueError):
+            reg.counter("c").inc(-1)
+
+    def test_gauge_last_wins(self):
+        reg = MetricsRegistry()
+        reg.gauge("g").set(4)
+        reg.gauge("g").set(7)
+        assert reg.gauge("g").value == 7
+
+    def test_histogram_summary(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("h")
+        for value in (0.001, 0.5, 1000.0):
+            hist.observe(value)
+        assert hist.count == 3
+        assert hist.sum == pytest.approx(1000.501)
+        assert hist.min == 0.001
+        assert hist.max == 1000.0
+        assert sum(hist.counts) == 3
+
+    def test_histogram_overflow_bin(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("h", buckets=(1.0, 10.0))
+        hist.observe(100.0)
+        assert hist.counts == [0, 0, 1]
+
+
+class TestMerge:
+    def test_counters_add_gauges_last_win(self):
+        a, b = _sample(1), _sample(2)
+        a.merge(b)
+        assert a.counter("runs").value == 3
+        assert a.gauge("workers").value == 2
+
+    def test_merge_accepts_dict_form(self):
+        a = _sample(1)
+        a.merge(_sample(2).to_dict())
+        assert a.counter("cycles").value == 300
+
+    def test_merge_associative(self):
+        parts = [_sample(s).to_dict() for s in (1, 2, 3)]
+        left = merged([merged(parts[:2]).to_dict(), parts[2]])
+        right = merged([parts[0], merged(parts[1:]).to_dict()])
+        flat = merged(parts)
+        assert left.to_dict() == right.to_dict() == flat.to_dict()
+
+    def test_histogram_bucket_mismatch_rejected(self):
+        a = MetricsRegistry()
+        a.histogram("h", buckets=(1.0,)).observe(0.5)
+        b = MetricsRegistry()
+        b.histogram("h", buckets=(2.0,)).observe(0.5)
+        with pytest.raises(ValueError):
+            a.merge(b.to_dict())
+
+    def test_merge_empty_histogram_keeps_none_bounds(self):
+        a = MetricsRegistry()
+        a.histogram("h")
+        a.merge({"histograms": {}})
+        b = MetricsRegistry()
+        b.merge(a.to_dict())
+        assert b.histogram("h").min is None
+        assert b.histogram("h").max is None
+
+
+class TestAmbient:
+    def test_schema_tag(self):
+        assert MetricsRegistry().to_dict()["schema"] == METRICS_SCHEMA
+
+    def test_scope_restores(self):
+        before = get_metrics()
+        with metrics_scope() as reg:
+            assert get_metrics() is reg
+        assert get_metrics() is before

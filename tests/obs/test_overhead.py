@@ -1,0 +1,57 @@
+"""Disabled-tracer overhead guard: observability must be free when off.
+
+Two layers:
+
+* structural — the disabled path hands out process-wide singletons, so
+  no per-call allocation exists to pay for;
+* behavioural — sweep output is byte-identical with tracing on vs. off
+  (observability never perturbs results), and, when ``SLMS_FULL_DIGEST``
+  is set, the full-corpus sweep digest still matches the committed
+  ``BENCH_sweep.json`` baseline.
+"""
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.harness.sweep import run_sweep
+from repro.obs import NULL_TRACER, Tracer, get_tracer, tracing
+from repro.obs.tracer import _NULL_SPAN
+
+SUBSET = ["kernel1", "daxpy"]
+PAIRS = [("itanium2", "gcc_O3"), ("pentium", "gcc_O3")]
+
+
+def test_null_tracer_is_singleton_and_allocation_free():
+    assert get_tracer() is NULL_TRACER
+    # Both the tracer and its span context are shared singletons; the
+    # instrumentation guard is a single attribute load.
+    assert NULL_TRACER.span("anything", k=1) is _NULL_SPAN
+    assert NULL_TRACER.span("other") is _NULL_SPAN
+    assert NULL_TRACER.enabled is False
+    assert type(NULL_TRACER).enabled is False  # class attr, no __dict__ hit
+
+
+def test_sweep_output_identical_with_and_without_tracing():
+    baseline = run_sweep(SUBSET, pairs=PAIRS, workers=1, use_cache=False)
+    with tracing(Tracer()) as tracer:
+        traced = run_sweep(SUBSET, pairs=PAIRS, workers=1, use_cache=False)
+    assert tracer.spans, "tracing was on but recorded nothing"
+    assert traced.to_json() == baseline.to_json()
+    assert traced.to_csv() == baseline.to_csv()
+
+
+@pytest.mark.skipif(
+    not os.environ.get("SLMS_FULL_DIGEST"),
+    reason="full-corpus digest sweep is slow; set SLMS_FULL_DIGEST=1",
+)
+def test_full_sweep_digest_matches_benchmark_baseline():
+    bench_path = Path(__file__).resolve().parents[2] / "BENCH_sweep.json"
+    record = json.loads(bench_path.read_text())
+    expected = record["result_digest_sha256"]
+    sweep = run_sweep(use_cache=False)
+    digest = hashlib.sha256(sweep.to_json().encode("utf-8")).hexdigest()
+    assert digest == expected

@@ -1,0 +1,103 @@
+"""Tracer unit tests: null singleton, nesting, absorb, ambient scope."""
+
+from repro.obs import (
+    NULL_TRACER,
+    TRACE_SCHEMA,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    tracing,
+)
+from repro.obs.export import validate_trace
+from repro.obs.tracer import _NULL_SPAN
+
+
+class TestNullTracer:
+    def test_disabled_by_default(self):
+        assert get_tracer() is NULL_TRACER
+        assert NULL_TRACER.enabled is False
+
+    def test_span_is_shared_singleton(self):
+        # The disabled path must not allocate: every span() call hands
+        # out the same preallocated context manager.
+        a = NULL_TRACER.span("x", foo=1)
+        b = NULL_TRACER.span("y")
+        assert a is b is _NULL_SPAN
+        with a as span:
+            assert span.set(k=1) is span
+
+    def test_event_and_absorb_noop(self):
+        NULL_TRACER.event("x", k=1)
+        NULL_TRACER.absorb({"spans": [{"id": 0}], "events": []})
+        assert NULL_TRACER.to_dict() == {
+            "schema": TRACE_SCHEMA,
+            "spans": [],
+            "events": [],
+        }
+
+
+class TestTracer:
+    def test_span_nesting_and_ids(self):
+        tr = Tracer()
+        with tr.span("outer") as outer:
+            with tr.span("inner", k=1):
+                tr.event("deep", v=2)
+            outer.set(done=True)
+        tr.event("top")
+        data = tr.to_dict()
+        assert [s["id"] for s in data["spans"]] == [0, 1]
+        assert data["spans"][0]["parent"] == -1
+        assert data["spans"][1]["parent"] == 0
+        assert data["spans"][0]["attrs"] == {"done": True}
+        assert data["spans"][1]["attrs"] == {"k": 1}
+        assert data["events"][0]["span"] == 1
+        assert data["events"][1]["span"] == -1
+        for span in data["spans"]:
+            assert span["end_ns"] >= span["start_ns"]
+        assert validate_trace(data) == []
+
+    def test_absorb_offsets_and_reparents(self):
+        worker = Tracer()
+        with worker.span("experiment"):
+            worker.event("decision", k=1)
+        payload = worker.to_dict()
+
+        parent = Tracer()
+        with parent.span("engine.run") as _:
+            parent.absorb(payload)
+            parent.absorb(payload)
+        data = parent.to_dict()
+        # engine.run is span 0; each absorbed batch appends one span
+        # re-parented under it, on its own track.
+        assert [s["id"] for s in data["spans"]] == [0, 1, 2]
+        assert [s["parent"] for s in data["spans"]] == [-1, 0, 0]
+        assert [s["track"] for s in data["spans"]] == [0, 1, 2]
+        assert [e["span"] for e in data["events"]] == [1, 2]
+        assert validate_trace(data) == []
+
+    def test_absorb_shifts_timestamps(self):
+        worker = Tracer()
+        with worker.span("w"):
+            pass
+        parent = Tracer()
+        with parent.span("p"):
+            parent.absorb(worker.to_dict())
+        absorbed = parent.to_dict()["spans"][1]
+        enclosing = parent.to_dict()["spans"][0]
+        assert absorbed["start_ns"] >= enclosing["start_ns"]
+
+
+class TestAmbient:
+    def test_set_tracer_none_restores_null(self):
+        prev = set_tracer(None)
+        try:
+            assert get_tracer() is NULL_TRACER
+        finally:
+            set_tracer(prev)
+
+    def test_tracing_scope_restores(self):
+        before = get_tracer()
+        with tracing() as tr:
+            assert get_tracer() is tr
+            assert tr.enabled
+        assert get_tracer() is before
