@@ -325,7 +325,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    from repro.harness.sweep import DEFAULT_PAIRS, bench_record, run_sweep
+    from repro.harness.sweep import bench_record, run_sweep
     from repro.workloads import by_suite
 
     workloads = list(args.workloads)
@@ -459,6 +459,58 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     if args.metrics:
         print()
         print(format_metrics(metrics))
+    return 0
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.fuzz.oracle import OracleConfig
+    from repro.fuzz.session import (
+        FuzzSessionConfig,
+        run_fuzz_session,
+        save_failures,
+    )
+
+    oracle = OracleConfig(
+        machine=args.machine,
+        compiler=args.compiler,
+        backend=not args.no_backend,
+        metamorphic=not args.no_metamorphic,
+    )
+    config = FuzzSessionConfig(
+        master_seed=args.seed,
+        iterations=args.iterations,
+        profile=args.profile,
+        workers=args.workers,
+        oracle=oracle,
+        reduce_failures=not args.no_reduce,
+    )
+    with _Observed(args):
+        report = run_fuzz_session(config)
+
+    if args.json:
+        with open(args.json, "w") as fh:
+            fh.write(report.to_json())
+        print(f"# report written to {args.json}", file=sys.stderr)
+
+    print(f"fuzz: {report.summary_line()}")
+    if report.decline_reasons:
+        print("decline reasons:")
+        for reason, count in sorted(
+            report.decline_reasons.items(), key=lambda kv: -kv[1]
+        ):
+            print(f"  {count:6d}  {reason}")
+    if report.failures:
+        print(f"FAILURES ({len(report.failures)}):")
+        for failure in report.failures:
+            print(
+                f"  [{failure.failure_class}] seed {failure.seed} "
+                f"profile {failure.profile}: {failure.detail[:120]}"
+            )
+        if args.save_failures:
+            written = save_failures(report, args.save_failures)
+            print(f"wrote {len(written)} failing case(s) to "
+                  f"{args.save_failures}")
+        return 1
     return 0
 
 
@@ -610,6 +662,35 @@ def main(argv: Optional[List[str]] = None) -> int:
                          help="emit result + trace + metrics as one "
                          "JSON object")
     p_trace.set_defaults(func=_cmd_trace)
+
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing: random loops vs. the SLMS oracle",
+    )
+    p_fuzz.add_argument("--seed", type=int, default=0,
+                        help="master seed for the case schedule")
+    p_fuzz.add_argument("--iterations", type=int, default=100,
+                        help="number of cases to generate and judge")
+    p_fuzz.add_argument("--profile", default="all",
+                        help="generator profile name, or 'all' to rotate")
+    p_fuzz.add_argument("--workers", type=int, default=1,
+                        help="parallel case evaluation (report is "
+                        "worker-count-invariant)")
+    p_fuzz.add_argument("--machine", default="itanium2")
+    p_fuzz.add_argument("--compiler", default="gcc_O3")
+    p_fuzz.add_argument("--save-failures", metavar="DIR",
+                        help="write failing cases (reduced when possible) "
+                        "into DIR")
+    p_fuzz.add_argument("--json", metavar="PATH",
+                        help="write the deterministic session report")
+    p_fuzz.add_argument("--no-backend", action="store_true",
+                        help="skip the compile+execute differential layer")
+    p_fuzz.add_argument("--no-metamorphic", action="store_true",
+                        help="skip reversal/unroll metamorphic checks")
+    p_fuzz.add_argument("--no-reduce", action="store_true",
+                        help="keep failing cases unreduced")
+    _add_obs_flags(p_fuzz)
+    p_fuzz.set_defaults(func=_cmd_fuzz)
 
     p_cache = sub.add_parser(
         "cache", help="experiment result cache maintenance"

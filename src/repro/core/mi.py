@@ -52,8 +52,13 @@ def partition_mis(
     index_var: str,
     pool: NamePool,
     rename_multi_defs: bool = True,
+    elem_types: Optional[Dict[str, str]] = None,
 ) -> MIPartition:
-    """Partition a (post-if-conversion) loop body into MIs."""
+    """Partition a (post-if-conversion) loop body into MIs.
+
+    ``elem_types`` maps declared names to their element type so that
+    renamed definition webs keep the scalar's declared type.
+    """
     mis: List[Stmt] = []
     hoisted: List[Decl] = []
     for stmt in body:
@@ -77,7 +82,10 @@ def partition_mis(
 
     partition = MIPartition(mis=mis, hoisted_decls=hoisted)
     if rename_multi_defs:
-        _rename_multi_defined(partition, index_var, pool)
+        types = dict(elem_types or {})
+        for decl in hoisted:
+            types.setdefault(decl.name, decl.type)
+        _rename_multi_defined(partition, index_var, pool, types)
     return partition
 
 
@@ -99,7 +107,10 @@ def _conditionally_defines(stmt: Stmt, var: str) -> bool:
 
 
 def _rename_multi_defined(
-    partition: MIPartition, index_var: str, pool: NamePool
+    partition: MIPartition,
+    index_var: str,
+    pool: NamePool,
+    elem_types: Dict[str, str],
 ) -> None:
     """Split multi-def scalars into one name per definition web.
 
@@ -157,7 +168,9 @@ def _rename_multi_defined(
         if new_names:
             partition.renamed[var] = new_names
             for name in new_names:
-                partition.hoisted_decls.append(Decl("float", name))
+                partition.hoisted_decls.append(
+                    Decl(elem_types.get(var, "float"), name)
+                )
 
 
 def _rename_uses(stmt: Stmt, old: str, new: str) -> Stmt:

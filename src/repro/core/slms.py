@@ -116,6 +116,11 @@ class SLMSResult:
     lanes: int = 0
     # Validator findings, populated when SLMSOptions.verify is set.
     diagnostics: List = field(default_factory=list)
+    # Expansion rename provenance: fresh name -> the MI scalar it
+    # stands for (MVE rotation names, scalar-expansion arrays).  Lets
+    # the schedule validator refuse to unify a rename of one scalar
+    # against an occurrence of another.
+    renames: Dict[str, str] = field(default_factory=dict)
 
     @staticmethod
     def declined(reason: str, **kwargs) -> "SLMSResult":
@@ -134,6 +139,41 @@ def _has_inner_control(body: List[Stmt]) -> Optional[str]:
 
 def _element_type(name: str, types: Dict[str, str]) -> str:
     return types.get(name, "float")
+
+
+def _infer_type(expr, types: Dict[str, str]) -> str:
+    """Static type of a scalar expression under the dialect's rules:
+    ``int`` iff every leaf is an int; any float leaf, call, or unknown
+    name promotes to ``float`` (matching the backend's expr_type)."""
+    from repro.lang.ast_nodes import (
+        ArrayRef, BinOp, Call, FloatLit, IntLit, Ternary, UnaryOp, Var,
+    )
+
+    if isinstance(expr, IntLit):
+        return "int"
+    if isinstance(expr, FloatLit):
+        return "float"
+    if isinstance(expr, Var):
+        return types.get(expr.name, "float")
+    if isinstance(expr, ArrayRef):
+        return types.get(expr.name, "float")
+    if isinstance(expr, UnaryOp):
+        if expr.op == "!":
+            return "int"
+        return _infer_type(expr.operand, types)
+    if isinstance(expr, BinOp):
+        if expr.op in ("<", "<=", ">", ">=", "==", "!=", "&&", "||"):
+            return "int"
+        left = _infer_type(expr.left, types)
+        right = _infer_type(expr.right, types)
+        return "int" if left == right == "int" else "float"
+    if isinstance(expr, Ternary):
+        then = _infer_type(expr.then, types)
+        els = _infer_type(expr.els, types)
+        return "int" if then == els == "int" else "float"
+    if isinstance(expr, Call):
+        return "float"
+    return "float"
 
 
 def _trace_applied(
@@ -164,7 +204,10 @@ def slms_for_loop(
 ) -> SLMSResult:
     """Apply SLMS to one for loop; never mutates the input."""
     options = options or SLMSOptions()
-    types = types or {}
+    # Local copy: fresh temporaries (predicates, renamed webs,
+    # decomposition registers) are registered as they are declared so
+    # later passes (MVE, scalar expansion) type their own temps off them.
+    types = dict(types or {})
     tracer = get_tracer()
 
     def declined(reason: str, **kwargs) -> SLMSResult:
@@ -205,13 +248,17 @@ def slms_for_loop(
     converted = if_convert([s.clone() for s in loop.body], pool)
     new_decls: List[Decl] = [Decl("int", p) for p in converted.predicates]
     new_scalars: List[str] = list(converted.predicates)
+    types.update((p, "int") for p in converted.predicates)
 
     # ---- step 3: MI partition + multi-def renaming ----------------------------
     try:
-        partition = partition_mis(converted.stmts, info.var, pool)
+        partition = partition_mis(
+            converted.stmts, info.var, pool, elem_types=types
+        )
     except NotPartitionable as exc:
         return declined(str(exc), filter_verdict=verdict)
     new_decls.extend(partition.hoisted_decls)
+    types.update((d.name, d.type) for d in partition.hoisted_decls)
     for renames in partition.renamed.values():
         new_scalars.extend(renames)
     mis = partition.mis
@@ -238,8 +285,10 @@ def slms_for_loop(
                 parts = decompose_by_resources(stmt, max_loads, max_arith, pool)
                 if parts is not None:
                     temp = parts[0].target.name  # type: ignore[union-attr]
+                    temp_type = _infer_type(parts[0].value, types)  # type: ignore[union-attr]
                     mis = mis[:pos] + parts + mis[pos + 1 :]
-                    new_decls.append(Decl("float", temp))
+                    new_decls.append(Decl(temp_type, temp))
+                    types[temp] = temp_type
                     new_scalars.append(temp)
                     changed = True
                     rounds += 1
@@ -273,6 +322,7 @@ def slms_for_loop(
                 new_decls.append(
                     Decl(_element_type(decomposition.array, types), decomposition.temp)
                 )
+                types[decomposition.temp] = _element_type(decomposition.array, types)
                 new_scalars.append(decomposition.temp)
                 decompositions += 1
                 if tracer.enabled:
@@ -345,6 +395,9 @@ def slms_for_loop(
                 ddg=graph,
                 partition=partition,
                 final_mis=[m.clone() for m in mis],
+                renames={
+                    name: p.var for p in mve.plans for name in p.names
+                },
             )
         # fall through to plain schedule when nothing needs rotation
         expansion = "none" if expansion == "auto" else expansion
@@ -380,6 +433,7 @@ def slms_for_loop(
             ddg=graph,
             partition=partition,
             final_mis=[m.clone() for m in mis],
+            renames={p.array: p.var for p in expanded.plans},
         )
 
     if expansion == "mve" and not literal_bounds:

@@ -1,0 +1,33 @@
+"""Differential fuzzing: random loop generator, SLMS oracle, reducer."""
+
+from repro.fuzz.generator import (
+    PROFILES,
+    FuzzCase,
+    FuzzProfile,
+    case_seeds,
+    generate_case,
+    get_profile,
+)
+from repro.fuzz.oracle import (
+    FAILURE_CLASSES,
+    CaseOutcome,
+    OracleConfig,
+    check_source,
+    make_env,
+    run_case,
+)
+
+__all__ = [
+    "PROFILES",
+    "FuzzCase",
+    "FuzzProfile",
+    "case_seeds",
+    "generate_case",
+    "get_profile",
+    "FAILURE_CLASSES",
+    "CaseOutcome",
+    "OracleConfig",
+    "check_source",
+    "make_env",
+    "run_case",
+]

@@ -1,0 +1,455 @@
+"""Seeded, grammar-driven random loop-program generator.
+
+The generator manufactures small C-subset programs whose innermost loop
+spans the feature space SLMS claims to handle (and the space §4's filter
+must decline gracefully): array loads/stores with affine subscripts,
+loop-carried distances 0–:attr:`FuzzProfile.max_distance`, scalar
+recurrences, if-convertible conditionals, multi-defined scalars,
+symbolic (while-convertible) bounds and literal while loops.
+
+Every program is valid **by construction**:
+
+* all loops are counted with literal or runtime-constant bounds, so
+  execution always terminates;
+* every array subscript is of the form ``A[i + pad + c]`` with
+  ``|c| <= max_distance < pad`` and array length ``trip + 2·pad``, so
+  accesses are always in bounds;
+* ``/`` and ``%`` only ever see nonzero literal divisors;
+* expressions are type-pure (int contexts only combine int atoms, float
+  contexts float atoms — int-typed loads may feed float stores, where
+  the int→float conversion is exact for the generated magnitudes), so
+  both interpreters agree on every arithmetic step;
+* literal magnitudes and trip counts are bounded, and every int-typed
+  assignment wraps its right-hand side with a literal ``% 8191`` (C
+  remainder semantics, identical in both interpreters), so no value fed
+  back through a recurrence or through memory can ever overflow an
+  ``int64`` array cell.  Float chains may reach ``inf``/``nan``; IEEE
+  makes that deterministic, and the oracle compares NaN-aware.
+
+Generation is a pure function of ``(seed, profile)`` — the same pair
+always yields the same source text, which is what makes ``slms fuzz``
+reports byte-reproducible and worker-count invariant.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass, field, fields, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.lang.ast_nodes import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Call,
+    Decl,
+    Expr,
+    FloatLit,
+    For,
+    If,
+    IntLit,
+    Program,
+    Stmt,
+    Ternary,
+    UnaryOp,
+    Var,
+    While,
+)
+from repro.lang.parser import parse_program
+from repro.lang.printer import to_source
+
+
+@dataclass(frozen=True)
+class FuzzProfile:
+    """Feature weights steering the generator.
+
+    Probabilities are per-statement (or per-case for the structural
+    knobs); they need not sum to anything.  Named presets live in
+    :data:`PROFILES`.
+    """
+
+    name: str = "default"
+    min_trip: int = 2
+    max_trip: int = 24
+    min_stmts: int = 1
+    max_stmts: int = 5
+    max_arrays: int = 3
+    max_scalars: int = 2
+    max_distance: int = 4
+    max_expr_depth: int = 3
+    p_float: float = 0.6
+    p_2d: float = 0.10
+    p_symbolic_bound: float = 0.20
+    p_while: float = 0.10
+    p_conditional: float = 0.20
+    p_else: float = 0.5
+    p_ternary: float = 0.15
+    p_recurrence: float = 0.35
+    p_multi_def: float = 0.25
+    p_compound: float = 0.25
+    p_call: float = 0.10
+    p_int_div: float = 0.10
+    p_second_loop: float = 0.15
+
+    def to_dict(self) -> Dict[str, object]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @staticmethod
+    def from_dict(data: Dict[str, object]) -> "FuzzProfile":
+        return FuzzProfile(**data)
+
+
+PROFILES: Dict[str, FuzzProfile] = {
+    "default": FuzzProfile(),
+    # Straight-line float kernels: the §3 happy path the paper pipelines.
+    "dataflow": FuzzProfile(
+        name="dataflow", p_conditional=0.0, p_ternary=0.0, p_while=0.0,
+        p_symbolic_bound=0.0, p_float=1.0, max_stmts=6, p_recurrence=0.2,
+    ),
+    # Control-heavy: if-conversion and predication stress.
+    "control": FuzzProfile(
+        name="control", p_conditional=0.55, p_ternary=0.3, p_else=0.7,
+        p_recurrence=0.2, max_stmts=4,
+    ),
+    # Scalar recurrences and multi-defined scalars: decomposition +
+    # expansion (MVE / scalar expansion) stress.
+    "scalars": FuzzProfile(
+        name="scalars", p_recurrence=0.7, p_multi_def=0.5, p_compound=0.4,
+        max_arrays=2, max_scalars=3,
+    ),
+    # Symbolic bounds and while loops: the §10 envelope.
+    "bounds": FuzzProfile(
+        name="bounds", p_symbolic_bound=0.6, p_while=0.35, max_trip=16,
+    ),
+    # Short trips vs. stage counts: prologue/epilogue edge cases.
+    "tiny": FuzzProfile(name="tiny", min_trip=1, max_trip=5, max_stmts=4),
+}
+
+
+@dataclass
+class FuzzCase:
+    """One generated program plus the metadata the oracle needs."""
+
+    seed: int
+    profile: str
+    source: str
+    # name -> dims for every array (drives randomized initial stores).
+    arrays: Dict[str, Tuple[int, ...]] = field(default_factory=dict)
+    # name -> "int"/"float" for arrays and scalars alike.
+    types: Dict[str, str] = field(default_factory=dict)
+    trip: int = 0
+
+    @staticmethod
+    def from_source(
+        source: str, seed: Optional[int] = None, profile: str = "corpus"
+    ) -> "FuzzCase":
+        """Rebuild a case from bare source text (corpus replay).
+
+        Array shapes and element types are recovered from the program's
+        declarations; the seed (which only drives the randomized initial
+        stores) defaults to a CRC of the source so replays are stable.
+        """
+        program = parse_program(source)
+        arrays: Dict[str, Tuple[int, ...]] = {}
+        types: Dict[str, str] = {}
+        from repro.lang.visitors import walk
+
+        for node in walk(program):
+            if isinstance(node, Decl):
+                types[node.name] = node.type
+                if node.dims:
+                    arrays[node.name] = node.dims
+        if seed is None:
+            seed = zlib.crc32(source.encode("utf-8"))
+        return FuzzCase(
+            seed=seed, profile=profile, source=source,
+            arrays=arrays, types=types,
+        )
+
+
+# ---------------------------------------------------------------------------
+# The generator proper
+# ---------------------------------------------------------------------------
+
+_ARRAY_NAMES = ("A", "B", "C", "D")
+_SCALAR_NAMES = ("s", "t", "u", "v")
+
+
+class _Gen:
+    def __init__(self, rng: random.Random, profile: FuzzProfile):
+        self.rng = rng
+        self.p = profile
+        self.trip = rng.randint(profile.min_trip, profile.max_trip)
+        self.pad = profile.max_distance + 1
+        self.size = self.trip + 2 * self.pad
+        self.arrays: Dict[str, Tuple[int, ...]] = {}
+        self.types: Dict[str, str] = {}
+        self.scalars: List[str] = []
+        # Scalars already written earlier in the current loop body — a
+        # later write to one of these is a multi-defined scalar, a later
+        # read sees the same-iteration value (distance-0 flow edge).
+        self.defined_in_body: List[str] = []
+
+    # -- fresh structure ---------------------------------------------------
+    def _pick_type(self) -> str:
+        return "float" if self.rng.random() < self.p.p_float else "int"
+
+    def build_symbols(self) -> None:
+        n_arrays = self.rng.randint(1, self.p.max_arrays)
+        for name in _ARRAY_NAMES[:n_arrays]:
+            dims: Tuple[int, ...] = (self.size,)
+            if self.rng.random() < self.p.p_2d:
+                dims = (self.size, self.rng.randint(2, 4))
+            self.arrays[name] = dims
+            self.types[name] = self._pick_type()
+        n_scalars = self.rng.randint(1, self.p.max_scalars)
+        for name in _SCALAR_NAMES[:n_scalars]:
+            self.scalars.append(name)
+            self.types[name] = self._pick_type()
+        self.types["i"] = "int"
+
+    # -- expressions -------------------------------------------------------
+    def _literal(self, typ: str) -> Expr:
+        if typ == "int":
+            return IntLit(self.rng.randint(0, 9))
+        # Dyadic rationals: exactly representable, keeps arithmetic
+        # noise-free without sacrificing float coverage.  Non-negative:
+        # a negative literal printed after ``-`` would lex as ``--``.
+        return FloatLit(self.rng.randint(0, 32) / 8.0)
+
+    def _subscript(self, dims: Tuple[int, ...]) -> List[Expr]:
+        c = self.rng.randint(-self.p.max_distance, self.p.max_distance)
+        first: Expr = BinOp("+", Var("i"), IntLit(self.pad + c))
+        idx: List[Expr] = [first]
+        for extent in dims[1:]:
+            idx.append(IntLit(self.rng.randrange(extent)))
+        return idx
+
+    def _load(self, typ: str) -> Optional[Expr]:
+        candidates = [n for n, t in self.types.items()
+                      if t == typ and n in self.arrays]
+        if typ == "float":
+            # Int loads may feed float expressions (exact conversion).
+            candidates += [n for n, t in self.types.items()
+                           if t == "int" and n in self.arrays]
+        if not candidates:
+            return None
+        name = self.rng.choice(candidates)
+        return ArrayRef(name, self._subscript(self.arrays[name]))
+
+    def _atom(self, typ: str) -> Expr:
+        roll = self.rng.random()
+        if roll < 0.40:
+            load = self._load(typ)
+            if load is not None:
+                return load
+        if roll < 0.70:
+            names = [n for n in self.scalars if self.types[n] == typ]
+            if typ == "int":
+                names = names + ["i"]
+            if names:
+                return Var(self.rng.choice(names))
+        return self._literal(typ)
+
+    def _expr(self, typ: str, depth: int) -> Expr:
+        if typ == "int":
+            # Int atoms are bounded by the % 8191 wrap on every int
+            # assignment; depth <= 3 then keeps any intermediate product
+            # far inside int64 (8190^4 ~ 4.5e15 < 2^63).
+            depth = min(depth, 3)
+        if depth <= 0 or self.rng.random() < 0.35:
+            return self._atom(typ)
+        roll = self.rng.random()
+        if typ == "float" and roll < self.p.p_call:
+            # Calls are float-typed in the compiled dialect (codegen
+            # types opaque/intrinsic results as float), so they only
+            # ever appear in float contexts.
+            fn = self.rng.choice(("min", "max", "abs"))
+            if fn == "abs":
+                return Call("abs", [self._expr(typ, depth - 1)])
+            return Call(
+                fn, [self._expr(typ, depth - 1), self._expr(typ, depth - 1)]
+            )
+        if typ == "int" and roll < self.p.p_call + self.p.p_int_div:
+            op = self.rng.choice(("/", "%"))
+            return BinOp(
+                op, self._expr("int", depth - 1),
+                IntLit(self.rng.randint(2, 7)),
+            )
+        op = self.rng.choice(("+", "-", "*", "+", "-"))
+        left = self._expr(typ, depth - 1)
+        right = self._expr(typ, depth - 1)
+        if self.rng.random() < 0.1 and not isinstance(
+            left, (IntLit, FloatLit)
+        ):
+            left = UnaryOp("-", left)
+        return BinOp(op, left, right)
+
+    def _cond(self) -> Expr:
+        typ = self._pick_type()
+        op = self.rng.choice(("<", "<=", ">", ">=", "==", "!="))
+        return BinOp(op, self._expr(typ, 1), self._expr(typ, 1))
+
+    # -- statements --------------------------------------------------------
+    def _store_target(self) -> Expr:
+        name = self.rng.choice(sorted(self.arrays))
+        return ArrayRef(name, self._subscript(self.arrays[name]))
+
+    def _scalar_target(self, multi: bool) -> str:
+        if multi and self.defined_in_body:
+            return self.rng.choice(self.defined_in_body)
+        return self.rng.choice(self.scalars)
+
+    def _wrap_int(self, value: Expr) -> Expr:
+        """Bound an int RHS with ``% 8191`` (unless already a literal)."""
+        if isinstance(value, (IntLit, Var)):
+            return value
+        return BinOp("%", value, IntLit(8191))
+
+    def _assign(self, target: Expr, typ: str) -> Stmt:
+        depth = self.rng.randint(1, self.p.max_expr_depth)
+        value = self._expr(typ, depth)
+        if typ == "int":
+            # Always plain form: compound int assigns (t *= e) would
+            # bypass the overflow wrap on the expanded t = t * e.
+            return Assign(target, self._wrap_int(value))
+        if (
+            self.rng.random() < self.p.p_compound
+            and not isinstance(value, (IntLit, FloatLit))
+        ):
+            op = self.rng.choice(("+", "-", "*"))
+            return Assign(target, value, op)
+        return Assign(target, value)
+
+    def _simple_stmt(self) -> Stmt:
+        """One unconditional assignment (store or scalar def)."""
+        roll = self.rng.random()
+        if roll < self.p.p_recurrence and self.scalars:
+            # s = s <op> expr — a loop-carried scalar recurrence.
+            name = self.rng.choice(self.scalars)
+            typ = self.types[name]
+            op = self.rng.choice(("+", "-", "*", "+"))
+            value: Expr = BinOp(op, Var(name), self._expr(typ, 1))
+            if typ == "int":
+                value = self._wrap_int(value)
+            stmt = Assign(Var(name), value)
+            self.defined_in_body.append(name)
+            return stmt
+        if roll < 0.55 or not self.scalars:
+            target = self._store_target()
+            typ = self.types[target.name]
+            # Int cells must only see int expressions (float→int
+            # truncation semantics are not part of the contract).
+            return self._assign(target, typ)
+        multi = self.rng.random() < self.p.p_multi_def
+        name = self._scalar_target(multi)
+        self.defined_in_body.append(name)
+        return self._assign(Var(name), self.types[name])
+
+    def _stmt(self) -> Stmt:
+        roll = self.rng.random()
+        if roll < self.p.p_conditional:
+            then = [self._simple_stmt()]
+            els: List[Stmt] = []
+            if self.rng.random() < self.p.p_else:
+                els = [self._simple_stmt()]
+            return If(self._cond(), then, els)
+        if roll < self.p.p_conditional + self.p.p_ternary:
+            target = self._store_target()
+            typ = self.types[target.name]
+            value: Expr = Ternary(
+                self._cond(), self._expr(typ, 1), self._expr(typ, 1)
+            )
+            if typ == "int":
+                value = self._wrap_int(value)
+            return Assign(target, value)
+        return self._simple_stmt()
+
+    def _loop_body(self) -> List[Stmt]:
+        self.defined_in_body = []
+        count = self.rng.randint(self.p.min_stmts, self.p.max_stmts)
+        return [self._stmt() for _ in range(count)]
+
+    def _counted_loop(self, bound: Expr) -> For:
+        return For(
+            init=Assign(Var("i"), IntLit(0)),
+            cond=BinOp("<", Var("i"), bound),
+            step=Assign(Var("i"), IntLit(1), "+"),
+            body=self._loop_body(),
+        )
+
+    def build(self, seed: int, profile_name: str) -> FuzzCase:
+        self.build_symbols()
+        body: List[Stmt] = []
+        for name in sorted(self.arrays):
+            body.append(Decl(self.types[name], name, self.arrays[name]))
+        for name in self.scalars:
+            body.append(Decl(self.types[name], name,
+                             init=self._literal(self.types[name])))
+        body.append(Decl("int", "i"))
+
+        symbolic = self.rng.random() < self.p.p_symbolic_bound
+        if symbolic:
+            body.append(Decl("int", "n", init=IntLit(self.trip)))
+            bound: Expr = Var("n")
+        else:
+            bound = IntLit(self.trip)
+
+        if self.rng.random() < self.p.p_while:
+            # while-convertible counted idiom: i = 0; while (i < N) { …; i++ }
+            loop_body = self._loop_body()
+            loop_body.append(Assign(Var("i"), IntLit(1), "+"))
+            body.append(Assign(Var("i"), IntLit(0)))
+            body.append(While(BinOp("<", Var("i"), bound), loop_body))
+        else:
+            body.append(self._counted_loop(bound))
+
+        if self.rng.random() < self.p.p_second_loop:
+            body.append(self._counted_loop(bound.clone()))
+
+        program = Program(body)
+        source = to_source(program)
+        # Round-trip guarantee: what we hand out must parse back.
+        parse_program(source)
+        return FuzzCase(
+            seed=seed,
+            profile=profile_name,
+            source=source,
+            arrays=dict(self.arrays),
+            types=dict(self.types),
+            trip=self.trip,
+        )
+
+
+def get_profile(name: str) -> FuzzProfile:
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown fuzz profile {name!r}; valid: {', '.join(sorted(PROFILES))}"
+        ) from None
+
+
+def generate_case(seed: int, profile: FuzzProfile | str = "default") -> FuzzCase:
+    """Generate one program; pure function of ``(seed, profile)``."""
+    if isinstance(profile, str):
+        profile = get_profile(profile)
+    rng = random.Random(seed)
+    return _Gen(rng, profile).build(seed, profile.name)
+
+
+def case_seeds(master_seed: int, iterations: int) -> List[int]:
+    """The per-case seed schedule for one fuzz session.
+
+    Derived from the master seed alone — independent of worker count
+    and iteration batching, so ``--workers 4`` explores exactly the same
+    cases as ``--workers 1``.
+    """
+    rng = random.Random(master_seed)
+    return [rng.randrange(2**32) for _ in range(iterations)]
+
+
+def mutate_profile(profile: FuzzProfile, **overrides) -> FuzzProfile:
+    """A copy of ``profile`` with fields replaced (test/CLI helper)."""
+    return replace(profile, **overrides)

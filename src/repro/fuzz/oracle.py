@@ -1,0 +1,525 @@
+"""Differential oracle: does SLMS preserve the semantics of a case?
+
+Each fuzz case runs through four layers of checking, every one against
+the same untransformed *reference interpreter* run:
+
+1. **differential** — transform with :func:`repro.core.pipeline.slms`
+   (``verify=True``) and re-interpret the transformed source over
+   randomized initial stores; final memory and live scalar state must
+   be bit-identical (:func:`repro.sim.interp.state_equal`).
+2. **backend** — compile both the original and the transformed program
+   through :class:`repro.backend.compiler.FinalCompiler` and execute
+   the LIR on :func:`repro.sim.executor.execute`; both functional
+   states must again match the reference.
+3. **validator cross-check** — every loop SLMS *applied* must also
+   satisfy the V2xx schedule validator; a validator error on a case
+   the oracle accepts (or vice versa) is its own failure class
+   (``validator-disagreement``), never silently dropped.
+4. **metamorphic** — composing SLMS with the classical transforms must
+   not change meaning: reversing a loop twice then pipelining behaves
+   like pipelining alone, and unrolling before SLMS behaves like SLMS
+   alone.
+
+Verdicts are deterministic functions of ``(case, OracleConfig)``: the
+randomized stores derive from the case seed via ``numpy``'s counter
+based generator, never from global state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field, replace
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.pipeline import ProgramSLMSResult, slms
+from repro.core.slms import SLMSOptions
+from repro.fuzz.generator import FuzzCase
+from repro.lang.ast_nodes import For, Program, Stmt, While
+from repro.lang.parser import parse_program
+from repro.lang.printer import to_source
+from repro.obs import get_tracer
+from repro.sim.interp import InterpError, run_program, state_equal
+from repro.transforms.errors import TransformError
+from repro.transforms.reversal import reverse
+from repro.transforms.unroll import unroll
+
+
+# Failure classes, most severe first.  ``invalid-case`` means the
+# *generator* produced a program the reference interpreter rejects —
+# a fuzzer bug, reported loudly rather than masked.
+FAILURE_CLASSES: Tuple[str, ...] = (
+    "crash",                   # pipeline raised on a legal program
+    "invalid-case",            # reference interpreter rejected the input
+    "differential",            # transformed source diverges from reference
+    "backend-differential",    # compiled LIR diverges from reference
+    "validator-disagreement",  # V2xx validator and oracle disagree
+    "metamorphic-reversal",    # reversal o reversal then SLMS diverges
+    "metamorphic-unroll",      # unroll then SLMS diverges
+)
+
+
+@dataclass(frozen=True)
+class OracleConfig:
+    """Knobs for one oracle evaluation (part of the determinism key)."""
+
+    machine: str = "itanium2"
+    compiler: str = "gcc_O3"
+    n_envs: int = 2
+    max_steps: int = 2_000_000
+    backend: bool = True
+    metamorphic: bool = True
+    unroll_factor: int = 2
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+
+@dataclass
+class CaseOutcome:
+    """Oracle verdict for one case.
+
+    ``status`` is ``"ok"`` (every check passed — possibly with zero
+    loops transformed), ``"declined"`` (SLMS applied to no loop; the
+    decline reasons are recorded), or ``"fail"`` with a
+    ``failure_class`` from :data:`FAILURE_CLASSES` and a human-readable
+    ``detail``.
+    """
+
+    seed: int
+    profile: str
+    status: str
+    failure_class: Optional[str] = None
+    detail: str = ""
+    applied_loops: int = 0
+    declined_loops: int = 0
+    decline_reasons: List[str] = field(default_factory=list)
+    validator_codes: List[str] = field(default_factory=list)
+    checks_run: List[str] = field(default_factory=list)
+    source: str = ""
+
+    @property
+    def failed(self) -> bool:
+        return self.status == "fail"
+
+    def to_dict(self, include_source: bool = False) -> Dict[str, Any]:
+        payload = {
+            "seed": self.seed,
+            "profile": self.profile,
+            "status": self.status,
+            "failure_class": self.failure_class,
+            "detail": self.detail,
+            "applied_loops": self.applied_loops,
+            "declined_loops": self.declined_loops,
+            "decline_reasons": self.decline_reasons,
+            "validator_codes": self.validator_codes,
+            "checks_run": self.checks_run,
+        }
+        if include_source:
+            payload["source"] = self.source
+        return payload
+
+
+# ---------------------------------------------------------------------------
+# randomized initial stores
+
+
+def make_env(case: FuzzCase, env_index: int = 0) -> Dict[str, Any]:
+    """Deterministic randomized initial store for ``case``.
+
+    Int arrays get small magnitudes (recurrences stay far from
+    overflow even before the generator's value wrapping); float arrays
+    get dyadic rationals so every arithmetic result is exact in both
+    the source interpreter and the LIR executor.
+    """
+    rng = np.random.default_rng(
+        (int(case.seed) * 1_000_003 + env_index) % (2**63)
+    )
+    env: Dict[str, Any] = {}
+    for name in sorted(case.arrays):
+        shape = case.arrays[name]
+        if case.types.get(name) == "int":
+            env[name] = rng.integers(-9, 10, size=shape).astype(np.int64)
+        else:
+            env[name] = (
+                rng.integers(-64, 65, size=shape) / 8.0
+            ).astype(np.float64)
+    return env
+
+
+def _copy_env(env: Dict[str, Any]) -> Dict[str, Any]:
+    return {
+        k: v.copy() if isinstance(v, np.ndarray) else v
+        for k, v in env.items()
+    }
+
+
+# ---------------------------------------------------------------------------
+# loop rewriting helpers (metamorphic variants)
+
+
+def _map_innermost(
+    program: Program,
+    fn: Callable[[For], Union[For, List[Stmt]]],
+) -> Program:
+    """Clone ``program`` with ``fn`` applied to every innermost for loop.
+
+    ``fn`` may return a replacement loop or a statement list (unroll).
+    Raises whatever ``fn`` raises — callers treat
+    :class:`TransformError` as "variant not applicable".
+    """
+
+    def is_innermost(loop: For) -> bool:
+        return not any(
+            isinstance(node, (For, While))
+            for stmt in loop.body
+            for node in _walk_stmt(stmt)
+        )
+
+    def rewrite(stmts: List[Stmt]) -> List[Stmt]:
+        out: List[Stmt] = []
+        for stmt in stmts:
+            if isinstance(stmt, For):
+                if is_innermost(stmt):
+                    replaced = fn(stmt.clone())
+                    if isinstance(replaced, list):
+                        out.extend(replaced)
+                    else:
+                        out.append(replaced)
+                else:
+                    loop = stmt.clone()
+                    loop.body = rewrite(loop.body)
+                    out.append(loop)
+            elif isinstance(stmt, While):
+                loop = stmt.clone()
+                loop.body = rewrite(loop.body)
+                out.append(loop)
+            else:
+                out.append(stmt.clone())
+        return out
+
+    return Program(rewrite(list(program.body)), program.loc)
+
+
+def _walk_stmt(stmt: Stmt):
+    from repro.lang.visitors import walk
+
+    return walk(stmt)
+
+
+# ---------------------------------------------------------------------------
+# the oracle
+
+
+def _reference_states(
+    program: Program, envs: List[Dict[str, Any]], max_steps: int
+) -> List[Dict[str, Any]]:
+    return [
+        run_program(program.clone(), _copy_env(env), max_steps=max_steps)
+        for env in envs
+    ]
+
+
+def _divergence(
+    ref: Dict[str, Any], out: Dict[str, Any], label: str
+) -> Optional[str]:
+    """None when states agree; a short description otherwise.
+
+    Names present only in ``out`` are SLMS/compiler temporaries and are
+    ignored; every name the reference knows must match bit-exactly.
+    """
+    if state_equal(ref, out, ignore=set(out) - set(ref)):
+        return None
+    bad = []
+    for name in sorted(ref):
+        if name not in out:
+            bad.append(f"{name} missing")
+            continue
+        va, vb = ref[name], out[name]
+        if isinstance(va, np.ndarray) and isinstance(vb, np.ndarray):
+            if va.shape != vb.shape or not np.array_equal(
+                va, vb, equal_nan=True
+            ):
+                bad.append(name)
+        elif va != vb and not (va != va and vb != vb):  # NaN-tolerant
+            bad.append(f"{name} ({va!r} != {vb!r})")
+    return f"{label}: state mismatch on {', '.join(bad) or '<unknown>'}"
+
+
+def run_case(
+    case: FuzzCase, config: Optional[OracleConfig] = None
+) -> CaseOutcome:
+    """Run every oracle layer over ``case`` and classify the outcome."""
+    config = config or OracleConfig()
+    tracer = get_tracer()
+    outcome = _run_case_inner(case, config)
+    if tracer.enabled:
+        tracer.event(
+            "fuzz.case",
+            seed=case.seed,
+            profile=case.profile,
+            status=outcome.status,
+            applied=outcome.applied_loops,
+            declined=outcome.declined_loops,
+        )
+        if outcome.failed:
+            tracer.event(
+                "fuzz.divergence",
+                seed=case.seed,
+                profile=case.profile,
+                failure_class=outcome.failure_class,
+                detail=outcome.detail,
+            )
+    return outcome
+
+
+def _run_case_inner(case: FuzzCase, config: OracleConfig) -> CaseOutcome:
+    outcome = CaseOutcome(
+        seed=case.seed, profile=case.profile, status="ok", source=case.source
+    )
+
+    def fail(cls: str, detail: str) -> CaseOutcome:
+        outcome.status = "fail"
+        outcome.failure_class = cls
+        outcome.detail = detail
+        return outcome
+
+    try:
+        program = parse_program(case.source)
+    except Exception as exc:
+        return fail("invalid-case", f"parse failed: {exc}")
+
+    envs = [make_env(case, j) for j in range(max(1, config.n_envs))]
+
+    # ---- reference runs ---------------------------------------------------
+    outcome.checks_run.append("reference")
+    try:
+        refs = _reference_states(program, envs, config.max_steps)
+    except InterpError as exc:
+        return fail("invalid-case", f"reference interpreter rejected: {exc}")
+
+    # ---- SLMS + source-level differential --------------------------------
+    outcome.checks_run.append("differential")
+    try:
+        result: ProgramSLMSResult = slms(
+            program.clone(), SLMSOptions(verify=True)
+        )
+    except Exception as exc:
+        return fail("crash", f"slms raised {type(exc).__name__}: {exc}")
+
+    outcome.applied_loops = result.applied_count
+    outcome.declined_loops = len(result.loops) - result.applied_count
+    outcome.decline_reasons = [
+        r.reason for r in result.loops if not r.applied
+    ]
+    outcome.validator_codes = sorted(
+        {
+            d.code
+            for r in result.loops
+            for d in r.diagnostics
+            if d.severity == "error"
+        }
+    )
+
+    diffs: List[str] = []
+    for j, env in enumerate(envs):
+        try:
+            out = run_program(
+                result.program.clone(),
+                _copy_env(env),
+                max_steps=config.max_steps,
+            )
+        except InterpError as exc:
+            diffs.append(f"env{j}: transformed program raised: {exc}")
+            continue
+        problem = _divergence(refs[j], out, f"env{j}")
+        if problem:
+            diffs.append(problem)
+    if diffs:
+        return fail("differential", "; ".join(diffs))
+
+    # ---- validator cross-check -------------------------------------------
+    # The differential oracle accepted the transform; a V2xx error now
+    # means the static validator disagrees with the dynamic truth.
+    outcome.checks_run.append("validator")
+    if outcome.validator_codes:
+        return fail(
+            "validator-disagreement",
+            "oracle accepts but validator errors: "
+            + ", ".join(outcome.validator_codes),
+        )
+
+    # ---- backend differential --------------------------------------------
+    if config.backend:
+        outcome.checks_run.append("backend")
+        problem = _backend_check(
+            program, result.program, envs, refs, config
+        )
+        if problem:
+            return fail("backend-differential", problem)
+
+    # ---- metamorphic variants --------------------------------------------
+    if config.metamorphic:
+        problem = _metamorphic_reversal(program, envs, refs, config)
+        if problem is not None:
+            outcome.checks_run.append("metamorphic-reversal")
+            if problem:
+                return fail("metamorphic-reversal", problem)
+        problem = _metamorphic_unroll(program, envs, refs, config)
+        if problem is not None:
+            outcome.checks_run.append("metamorphic-unroll")
+            if problem:
+                return fail("metamorphic-unroll", problem)
+
+    if outcome.applied_loops == 0 and outcome.declined_loops > 0:
+        outcome.status = "declined"
+    return outcome
+
+
+def _backend_check(
+    base: Program,
+    transformed: Program,
+    envs: List[Dict[str, Any]],
+    refs: List[Dict[str, Any]],
+    config: OracleConfig,
+) -> Optional[str]:
+    from repro.backend.compiler import FinalCompiler
+    from repro.machines.presets import machine_by_name
+    from repro.sim.executor import execute
+
+    machine = machine_by_name(config.machine)
+    compiler = FinalCompiler(machine, config.compiler)
+    for label, prog in (("base", base), ("slms", transformed)):
+        try:
+            compiled = compiler.compile(prog.clone())
+        except Exception as exc:
+            return (
+                f"{label}: compile raised {type(exc).__name__}: {exc}"
+            )
+        for j, env in enumerate(envs):
+            try:
+                run = execute(
+                    compiled.module,
+                    machine,
+                    env=_copy_env(env),
+                    max_steps=config.max_steps,
+                )
+            except Exception as exc:
+                return (
+                    f"{label}/env{j}: execute raised "
+                    f"{type(exc).__name__}: {exc}"
+                )
+            problem = _divergence(refs[j], run.state, f"{label}/env{j}")
+            if problem:
+                return problem
+    return None
+
+
+def _run_variant(
+    variant: Program,
+    envs: List[Dict[str, Any]],
+    refs: List[Dict[str, Any]],
+    config: OracleConfig,
+    label: str,
+) -> str:
+    """Empty string when the SLMS'd variant matches the reference."""
+    try:
+        result = slms(variant, SLMSOptions())
+    except Exception as exc:
+        return f"{label}: slms raised {type(exc).__name__}: {exc}"
+    for j, env in enumerate(envs):
+        try:
+            out = run_program(
+                result.program.clone(),
+                _copy_env(env),
+                max_steps=config.max_steps,
+            )
+        except InterpError as exc:
+            return f"{label}/env{j}: variant raised: {exc}"
+        problem = _divergence(refs[j], out, f"{label}/env{j}")
+        if problem:
+            return problem
+    return ""
+
+
+def _metamorphic_reversal(
+    program: Program,
+    envs: List[Dict[str, Any]],
+    refs: List[Dict[str, Any]],
+    config: OracleConfig,
+) -> Optional[str]:
+    """Reverse every innermost loop twice, re-pipeline, compare.
+
+    Returns ``None`` when no loop is reversible (check not applicable),
+    ``""`` on success, or a failure description.  Reversal must be an
+    involution at the source level before semantics are even consulted.
+    """
+    reversed_any = False
+
+    def rev2(loop: For) -> For:
+        nonlocal reversed_any
+        once = reverse(loop)
+        twice = reverse(once)
+        if to_source(Program([twice])) != to_source(Program([loop])):
+            raise _InvolutionBroken(
+                to_source(Program([loop])), to_source(Program([twice]))
+            )
+        reversed_any = True
+        return twice
+
+    try:
+        variant = _map_innermost(program, rev2)
+    except _InvolutionBroken as exc:
+        return f"reverse(reverse(loop)) != loop:\n{exc}"
+    except TransformError:
+        return None
+    except Exception as exc:  # reversal crashed on a legal loop
+        return f"reversal raised {type(exc).__name__}: {exc}"
+    if not reversed_any:
+        return None
+    return _run_variant(variant, envs, refs, config, "reverse2")
+
+
+class _InvolutionBroken(Exception):
+    def __init__(self, before: str, after: str):
+        super().__init__(f"--- before ---\n{before}\n--- after ---\n{after}")
+
+
+def _metamorphic_unroll(
+    program: Program,
+    envs: List[Dict[str, Any]],
+    refs: List[Dict[str, Any]],
+    config: OracleConfig,
+) -> Optional[str]:
+    """Unroll every innermost loop, then SLMS the result, compare."""
+    unrolled_any = False
+
+    def unroll_one(loop: For) -> List[Stmt]:
+        nonlocal unrolled_any
+        stmts = unroll(loop, config.unroll_factor)
+        unrolled_any = True
+        return stmts
+
+    try:
+        variant = _map_innermost(program, unroll_one)
+    except TransformError:
+        return None
+    except Exception as exc:
+        return f"unroll raised {type(exc).__name__}: {exc}"
+    if not unrolled_any:
+        return None
+    return _run_variant(variant, envs, refs, config, "unroll")
+
+
+def check_source(
+    source: str,
+    seed: Optional[int] = None,
+    config: Optional[OracleConfig] = None,
+) -> CaseOutcome:
+    """Oracle entry point for bare source text (corpus replay)."""
+    case = FuzzCase.from_source(source, seed=seed)
+    return run_case(case, config)
+
+
+def default_config(**overrides: Any) -> OracleConfig:
+    return replace(OracleConfig(), **overrides)

@@ -1,0 +1,257 @@
+"""Fuzz sessions: seed-schedule, fan-out, report, failure persistence.
+
+A session is a deterministic function of ``(master seed, iterations,
+profile, oracle config)``: the per-case seeds come from
+:func:`repro.fuzz.generator.case_seeds` before any work is scheduled,
+each case is evaluated by a pure module-level worker function, and
+results are collected in schedule order through
+:func:`repro.harness.engine.run_tasks`.  Consequences:
+
+* ``--workers 4`` produces byte-identical reports to ``--workers 1``;
+* re-running with the same seed reproduces the same report;
+* the JSON report contains no wall-clock or host-specific fields — the
+  determinism test diffs two runs byte-for-byte.
+
+Failing cases are reduced in-worker (delta debugging is deterministic
+too) and the parent optionally writes them under ``--save-failures``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.fuzz.generator import (
+    PROFILES,
+    case_seeds,
+    generate_case,
+)
+from repro.fuzz.oracle import OracleConfig, run_case
+from repro.fuzz.reduce import reduce_case, write_corpus_entry
+from repro.harness.engine import run_tasks
+from repro.obs import get_metrics, get_tracer
+
+REPORT_SCHEMA = "slms-fuzz/1"
+
+
+@dataclass(frozen=True)
+class FuzzSessionConfig:
+    """Inputs of one session (everything the report is a function of)."""
+
+    master_seed: int = 0
+    iterations: int = 100
+    profile: str = "all"  # a PROFILES key, or "all" to rotate
+    workers: Optional[int] = 1
+    oracle: OracleConfig = field(default_factory=OracleConfig)
+    reduce_failures: bool = True
+    max_reduce_tests: int = 400
+
+    def profiles_schedule(self) -> List[str]:
+        """Profile of case *i* is ``schedule[i % len(schedule)]``."""
+        if self.profile == "all":
+            return sorted(PROFILES)
+        if self.profile not in PROFILES:
+            raise ValueError(
+                f"unknown profile {self.profile!r}; choose from "
+                f"{sorted(PROFILES)} or 'all'"
+            )
+        return [self.profile]
+
+
+@dataclass
+class FuzzFailure:
+    """One failing case, ready to persist and replay."""
+
+    seed: int
+    profile: str
+    failure_class: str
+    detail: str
+    source: str
+    reduced: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "profile": self.profile,
+            "failure_class": self.failure_class,
+            "detail": self.detail,
+            "source": self.source,
+            "reduced": self.reduced,
+        }
+
+
+@dataclass
+class FuzzReport:
+    """Aggregated session outcome; ``to_json`` is byte-deterministic."""
+
+    master_seed: int
+    iterations: int
+    profile: str
+    oracle: Dict[str, Any]
+    status_counts: Dict[str, int] = field(default_factory=dict)
+    failure_counts: Dict[str, int] = field(default_factory=dict)
+    decline_reasons: Dict[str, int] = field(default_factory=dict)
+    applied_loops: int = 0
+    declined_loops: int = 0
+    failures: List[FuzzFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": REPORT_SCHEMA,
+            "master_seed": self.master_seed,
+            "iterations": self.iterations,
+            "profile": self.profile,
+            "oracle": dict(sorted(self.oracle.items())),
+            "status_counts": dict(sorted(self.status_counts.items())),
+            "failure_counts": dict(sorted(self.failure_counts.items())),
+            "decline_reasons": dict(sorted(self.decline_reasons.items())),
+            "applied_loops": self.applied_loops,
+            "declined_loops": self.declined_loops,
+            "failures": [f.to_dict() for f in self.failures],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=False) + "\n"
+
+    def summary_line(self) -> str:
+        parts = [
+            f"{self.iterations} cases",
+            f"seed {self.master_seed}",
+            f"profile {self.profile}",
+            f"{self.status_counts.get('ok', 0)} ok",
+            f"{self.status_counts.get('declined', 0)} declined",
+            f"{len(self.failures)} failures",
+        ]
+        return ", ".join(parts)
+
+
+def _eval_case(task: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker entry point: generate, judge, and maybe reduce one case.
+
+    Must stay a picklable module-level function of one picklable
+    argument (see :func:`repro.harness.engine.run_tasks`); returns
+    plain dicts so the parent never unpickles custom types.
+    """
+    config = OracleConfig(**task["oracle"])
+    case = generate_case(task["seed"], task["profile"])
+    outcome = run_case(case, config)
+    payload = outcome.to_dict()
+    payload["source"] = case.source
+    payload["reduced"] = ""
+    if outcome.failed and task["reduce"]:
+        try:
+            reduction = reduce_case(
+                case, outcome, config, max_tests=task["max_reduce_tests"]
+            )
+            payload["reduced"] = reduction.reduced
+        except Exception:
+            payload["reduced"] = case.source  # reducer must never mask
+    return payload
+
+
+def run_fuzz_session(config: FuzzSessionConfig) -> FuzzReport:
+    """Run one session; deterministic in ``config``."""
+    tracer = get_tracer()
+    schedule = config.profiles_schedule()
+    seeds = case_seeds(config.master_seed, config.iterations)
+    tasks = [
+        {
+            "seed": seed,
+            "profile": schedule[i % len(schedule)],
+            "oracle": config.oracle.to_dict(),
+            "reduce": config.reduce_failures,
+            "max_reduce_tests": config.max_reduce_tests,
+        }
+        for i, seed in enumerate(seeds)
+    ]
+
+    with tracer.span(
+        "fuzz.session",
+        master_seed=config.master_seed,
+        iterations=config.iterations,
+        profile=config.profile,
+    ) as span:
+        raw = run_tasks(_eval_case, tasks, workers=config.workers)
+        report = FuzzReport(
+            master_seed=config.master_seed,
+            iterations=config.iterations,
+            profile=config.profile,
+            oracle=config.oracle.to_dict(),
+        )
+        for payload in raw:
+            status = payload["status"]
+            report.status_counts[status] = (
+                report.status_counts.get(status, 0) + 1
+            )
+            report.applied_loops += payload["applied_loops"]
+            report.declined_loops += payload["declined_loops"]
+            for reason in payload["decline_reasons"]:
+                report.decline_reasons[reason] = (
+                    report.decline_reasons.get(reason, 0) + 1
+                )
+            if status == "fail":
+                cls = payload["failure_class"] or "unknown"
+                report.failure_counts[cls] = (
+                    report.failure_counts.get(cls, 0) + 1
+                )
+                report.failures.append(
+                    FuzzFailure(
+                        seed=payload["seed"],
+                        profile=payload["profile"],
+                        failure_class=cls,
+                        detail=payload["detail"],
+                        source=payload["source"],
+                        reduced=payload["reduced"],
+                    )
+                )
+        registry = get_metrics()
+        registry.counter("fuzz.cases").inc(config.iterations)
+        registry.counter("fuzz.failures").inc(len(report.failures))
+        registry.counter("fuzz.applied_loops").inc(report.applied_loops)
+        if tracer.enabled:
+            span.set(
+                failures=len(report.failures),
+                ok=report.status_counts.get("ok", 0),
+                declined=report.status_counts.get("declined", 0),
+            )
+    return report
+
+
+def save_failures(report: FuzzReport, directory: Path) -> List[Path]:
+    """Persist each failure (reduced if available) for later triage."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: List[Path] = []
+    for failure in report.failures:
+        name = (
+            f"{failure.failure_class}_{failure.profile}_"
+            f"{failure.seed}.c"
+        )
+        body = failure.reduced or failure.source
+        header = (
+            f"/* fuzz counterexample: {failure.failure_class}\n"
+            f" * generator seed {failure.seed}, "
+            f"profile {failure.profile}\n"
+            f" * detail: {failure.detail[:200]}\n */\n"
+        )
+        path = directory / name
+        path.write_text(header + body)
+        written.append(path)
+    return written
+
+
+__all__ = [
+    "REPORT_SCHEMA",
+    "FuzzSessionConfig",
+    "FuzzFailure",
+    "FuzzReport",
+    "run_fuzz_session",
+    "save_failures",
+    "write_corpus_entry",
+]

@@ -193,6 +193,64 @@ def _run_spec_traced(spec: ExperimentSpec) -> Tuple[ExperimentResult, dict, dict
     return result, tracer.to_dict(), reg.to_dict()
 
 
+def _run_task(payload: Tuple) -> object:
+    """Top-level worker entry point for :func:`run_tasks`."""
+    fn, arg = payload
+    return fn(arg)
+
+
+def _run_task_traced(payload: Tuple) -> Tuple[object, dict, dict]:
+    """Traced variant: per-task tracer/registry shipped back as JSON."""
+    fn, arg = payload
+    with tracing(Tracer()) as tracer, metrics_scope(MetricsRegistry()) as reg:
+        result = fn(arg)
+    return result, tracer.to_dict(), reg.to_dict()
+
+
+def run_tasks(
+    fn,
+    items: Sequence,
+    workers: Optional[int] = None,
+) -> List:
+    """Deterministic parallel map: ``[fn(item) for item in items]``.
+
+    The generic sibling of :func:`run_experiments` for work that is not
+    an experiment (the fuzzer's case evaluation, batch validation).
+    ``fn`` must be a picklable module-level function of one argument and
+    a *pure* one — results are collected in item order and must not
+    depend on scheduling.  When the parent is tracing, each task runs
+    under its own tracer/metrics registry and payloads are absorbed in
+    item order, so traces and metrics are worker-count-invariant
+    exactly like the experiment path.
+    """
+    tracer = get_tracer()
+    payloads = [(fn, item) for item in items]
+    n_workers = _resolve_workers(workers, len(payloads))
+    if not payloads:
+        return []
+    if tracer.enabled:
+        if n_workers == 1:
+            traced = [_run_task_traced(p) for p in payloads]
+        else:
+            chunksize = max(1, len(payloads) // (n_workers * 4))
+            with ProcessPoolExecutor(max_workers=n_workers) as pool:
+                traced = list(
+                    pool.map(_run_task_traced, payloads, chunksize=chunksize)
+                )
+        registry = get_metrics()
+        results = []
+        for result, trace_data, metrics_data in traced:
+            tracer.absorb(trace_data)
+            registry.merge(metrics_data)
+            results.append(result)
+        return results
+    if n_workers == 1:
+        return [_run_task(p) for p in payloads]
+    chunksize = max(1, len(payloads) // (n_workers * 4))
+    with ProcessPoolExecutor(max_workers=n_workers) as pool:
+        return list(pool.map(_run_task, payloads, chunksize=chunksize))
+
+
 def _resolve_workers(requested: Optional[int], n_tasks: int) -> int:
     if requested is None:
         requested = os.cpu_count() or 1

@@ -296,6 +296,22 @@ def _event_location(node: Expr) -> Optional[Location]:
     return None
 
 
+def _rename_admits(
+    ev_name: str, pat_name: str, origins: Dict[str, str]
+) -> bool:
+    """May rename ``ev_name`` stand for pattern scalar ``pat_name``?
+
+    With provenance (``SLMSResult.renames``) a rename only matches the
+    scalar it was created for — ``s1`` (a rotation of ``s``) never
+    unifies against ``t``.  Without provenance (older pickled results)
+    any rename is admitted, as before.
+    """
+    if not origins:
+        return True
+    origin = origins.get(ev_name)
+    return origin is None or origin == pat_name
+
+
 def _unify(
     pat: Node,
     ev: Node,
@@ -303,6 +319,7 @@ def _unify(
     rename_arrays: Set[str],
     bindings: _Bindings,
     role: str = "use",
+    origins: Optional[Dict[str, str]] = None,
 ) -> bool:
     """Match one emitted node against an instantiated MI pattern.
 
@@ -313,10 +330,19 @@ def _unify(
     scalar-expansion array.  Which value those locations hold is not
     decided here; the store replay checks that afterwards.
     """
+    origins = origins or {}
     if isinstance(pat, Var):
-        if isinstance(ev, Var) and (ev.name == pat.name or ev.name in rename_scalars):
+        if isinstance(ev, Var) and (
+            ev.name == pat.name
+            or (
+                ev.name in rename_scalars
+                and _rename_admits(ev.name, pat.name, origins)
+            )
+        ):
             loc = _event_location(ev)
-        elif isinstance(ev, ArrayRef) and ev.name in rename_arrays:
+        elif isinstance(ev, ArrayRef) and ev.name in rename_arrays and (
+            _rename_admits(ev.name, pat.name, origins)
+        ):
             loc = _event_location(ev)
         else:
             return False
@@ -333,28 +359,28 @@ def _unify(
         if len(ev.indices) != len(pat.indices):
             return False
         return all(
-            _unify(p, e, rename_scalars, rename_arrays, bindings)
+            _unify(p, e, rename_scalars, rename_arrays, bindings, origins=origins)
             for p, e in zip(pat.indices, ev.indices)
         )
     if isinstance(pat, BinOp):
         return (
             isinstance(ev, BinOp)
             and ev.op == pat.op
-            and _unify(pat.left, ev.left, rename_scalars, rename_arrays, bindings)
-            and _unify(pat.right, ev.right, rename_scalars, rename_arrays, bindings)
+            and _unify(pat.left, ev.left, rename_scalars, rename_arrays, bindings, origins=origins)
+            and _unify(pat.right, ev.right, rename_scalars, rename_arrays, bindings, origins=origins)
         )
     if isinstance(pat, UnaryOp):
         return (
             isinstance(ev, UnaryOp)
             and ev.op == pat.op
-            and _unify(pat.operand, ev.operand, rename_scalars, rename_arrays, bindings)
+            and _unify(pat.operand, ev.operand, rename_scalars, rename_arrays, bindings, origins=origins)
         )
     if isinstance(pat, Ternary):
         return (
             isinstance(ev, Ternary)
-            and _unify(pat.cond, ev.cond, rename_scalars, rename_arrays, bindings)
-            and _unify(pat.then, ev.then, rename_scalars, rename_arrays, bindings)
-            and _unify(pat.els, ev.els, rename_scalars, rename_arrays, bindings)
+            and _unify(pat.cond, ev.cond, rename_scalars, rename_arrays, bindings, origins=origins)
+            and _unify(pat.then, ev.then, rename_scalars, rename_arrays, bindings, origins=origins)
+            and _unify(pat.els, ev.els, rename_scalars, rename_arrays, bindings, origins=origins)
         )
     if isinstance(pat, Call):
         return (
@@ -362,7 +388,7 @@ def _unify(
             and ev.name == pat.name
             and len(ev.args) == len(pat.args)
             and all(
-                _unify(p, e, rename_scalars, rename_arrays, bindings)
+                _unify(p, e, rename_scalars, rename_arrays, bindings, origins=origins)
                 for p, e in zip(pat.args, ev.args)
             )
         )
@@ -371,7 +397,7 @@ def _unify(
             return False
         if isinstance(pat.target, Var):
             if not _unify(
-                pat.target, ev.target, rename_scalars, rename_arrays, bindings, role="def"
+                pat.target, ev.target, rename_scalars, rename_arrays, bindings, role="def", origins=origins
             ):
                 return False
             if pat.op is not None:
@@ -379,21 +405,21 @@ def _unify(
                 # record that as a use at the same location.
                 bindings.uses.append((pat.target.name, bindings.defs[-1][1]))
         else:
-            if not _unify(pat.target, ev.target, rename_scalars, rename_arrays, bindings):
+            if not _unify(pat.target, ev.target, rename_scalars, rename_arrays, bindings, origins=origins):
                 return False
-        return _unify(pat.value, ev.value, rename_scalars, rename_arrays, bindings)
+        return _unify(pat.value, ev.value, rename_scalars, rename_arrays, bindings, origins=origins)
     if isinstance(pat, If):
         return (
             isinstance(ev, If)
             and len(ev.then) == len(pat.then)
             and len(ev.els) == len(pat.els)
-            and _unify(pat.cond, ev.cond, rename_scalars, rename_arrays, bindings)
+            and _unify(pat.cond, ev.cond, rename_scalars, rename_arrays, bindings, origins=origins)
             and all(
-                _unify(p, e, rename_scalars, rename_arrays, bindings)
+                _unify(p, e, rename_scalars, rename_arrays, bindings, origins=origins)
                 for p, e in zip(pat.then, ev.then)
             )
             and all(
-                _unify(p, e, rename_scalars, rename_arrays, bindings)
+                _unify(p, e, rename_scalars, rename_arrays, bindings, origins=origins)
                 for p, e in zip(pat.els, ev.els)
             )
         )
@@ -589,6 +615,9 @@ def _structural_replay(
         mentioned |= {node.name for node in walk(mi) if isinstance(node, ArrayRef)}
     rename_scalars = set(result.new_scalars) - mentioned
     rename_arrays = {d.name for d in result.new_decls if d.dims} - mentioned
+    # Rename provenance (rotation name -> rotated scalar): lets unify
+    # reject a rename of one scalar standing in for another.
+    origins: Dict[str, str] = dict(getattr(result, "renames", {}) or {})
 
     # ---- flatten ---------------------------------------------------------
     events: List[Stmt] = []
@@ -642,16 +671,37 @@ def _structural_replay(
 
     for pos, event in enumerate(events):
         key = _canon(event, rename_arrays)
-        match: Optional[Tuple[int, int, _Bindings]] = None
+        # Structurally aliased instances are possible (``A[8] = s`` is
+        # both MI3 of iteration 5 and MI4 of iteration 0 when the MIs
+        # store the same scalar at offsets 3 and 8), so collect every
+        # unifiable candidate and prefer one whose scalar uses agree
+        # with the replayed store; falling back to the first candidate
+        # preserves the old greedy behaviour when none is consistent.
+        candidates: List[Tuple[int, int, _Bindings]] = []
         for m, g in index.get(key, ()):  # insertion order: (m asc, g asc)
             if (m, g) in claimed:
                 continue
             bindings = _Bindings()
             if _unify(
-                instances[(m, g)], event, rename_scalars, rename_arrays, bindings
+                instances[(m, g)],
+                event,
+                rename_scalars,
+                rename_arrays,
+                bindings,
+                origins=origins,
+            ):
+                candidates.append((m, g, bindings))
+        match: Optional[Tuple[int, int, _Bindings]] = None
+        for m, g, bindings in candidates:
+            if all(
+                read(loc) == expected_tag(name, m, g)
+                for name, loc in bindings.uses
+                if name not in exempt and name != info.var and loc[0] != "a"
             ):
                 match = (m, g, bindings)
                 break
+        if match is None and candidates:
+            match = candidates[0]
         if match is None:
             copy = _is_pure_copy(event)
             if copy is None:

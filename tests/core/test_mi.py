@@ -128,3 +128,23 @@ class TestMultiDefRenaming:
         pool = NamePool({"t", "t_w1", "A", "B", "C", "x", "i"})
         p = partition_mis(list(prog.body), "i", pool)
         assert p.renamed["t"] != ["t_w1"]
+
+
+class TestWebTypes:
+    # Regression: web declarations used to be hardcoded float, which
+    # silently changed % and / semantics for int scalars (found by the
+    # differential fuzzer; see tests/fuzz/corpus/).
+
+    def test_web_decls_inherit_the_scalar_type(self):
+        prog = parse_program("t = A[i]; B[i] = t; t = C[i]; x = t;")
+        pool = NamePool({"t", "A", "B", "C", "x", "i"})
+        p = partition_mis(
+            list(prog.body), "i", pool, elem_types={"t": "int"}
+        )
+        assert p.renamed["t"]
+        for decl in p.hoisted_decls:
+            assert decl.type == "int", f"{decl.name} typed {decl.type}"
+
+    def test_web_decls_default_to_float(self):
+        p = partition("t = A[i]; B[i] = t; t = C[i]; x = t;")
+        assert all(d.type == "float" for d in p.hoisted_decls)

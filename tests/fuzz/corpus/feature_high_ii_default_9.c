@@ -1,0 +1,16 @@
+/* fuzz corpus: exemplar: high_ii
+ * generator seed 9, profile default
+ */
+float A[26];
+float B[26];
+int C[26];
+float s = 0.25;
+int i;
+for (i = 0; i < 16; i++) {
+    A[i + 4] = s;
+    s = 2.125 + 3.125;
+    if (1.125 + C[i + 1] <= 0.25 - C[i + 7]) {
+        s += 0.0 + C[i + 4] - A[i + 3];
+    }
+    C[i + 9] = (0.625 - 0.875 > -C[i + 1] + C[i + 6] ? C[i + 6] : C[i + 1] * C[i + 8]) % 8191;
+}

@@ -1,0 +1,12 @@
+/* fuzz corpus: exemplar: mve_decomposed
+ * generator seed 26, profile default
+ */
+int A[18];
+float B[18][3];
+float C[18];
+int s = 6;
+int t = 3;
+int i;
+for (i = 0; i < 8; i++) {
+    s = (8 + (i + t) + t * (A[i + 1] / 5)) % 8191;
+}

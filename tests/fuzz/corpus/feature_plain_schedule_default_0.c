@@ -1,0 +1,12 @@
+/* fuzz corpus: exemplar: plain_schedule
+ * generator seed 0, profile default
+ */
+float A[24][4];
+int B[24];
+float s = 1.625;
+int t = 8;
+int i;
+int n = 14;
+for (i = 0; i < n; i++) {
+    s = s * B[i + 8];
+}

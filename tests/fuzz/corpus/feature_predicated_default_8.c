@@ -1,0 +1,15 @@
+/* fuzz corpus: exemplar: predicated
+ * generator seed 8, profile default
+ */
+float A[19];
+float B[19];
+int s = 8;
+int i;
+for (i = 0; i < 9; i++) {
+    A[i + 7] = 3.75 * 3.0;
+    if (3.625 != 3.375 * A[i + 9]) {
+        s = (s + s) % 8191;
+    }
+    s = s;
+    s = i;
+}

@@ -1,0 +1,24 @@
+/* fuzz corpus: exemplar: second_loop
+ * generator seed 3, profile default
+ */
+float A[19];
+int B[19];
+int C[19][2];
+float s = 3.75;
+float t = 3.75;
+int i;
+for (i = 0; i < 9; i++) {
+    s = 2.125 - (3.5 + 1.0 + A[i + 5]);
+    C[i + 7][1] = (1.25 + t >= t - A[i + 8] ? i / 2 : 1) % 8191;
+}
+for (i = 0; i < 9; i++) {
+    C[i + 6][1] = B[i + 2] % 8191;
+    if (B[i + 5] - B[i + 2] == s) {
+        A[i + 7] = 3.0 * C[i + 7][0] + (s + 3.375);
+    } else {
+        C[i + 6][0] = (i * i + B[i + 6]) % 8191;
+    }
+    A[i + 5] = B[i + 6] + s <= 1.625 * 3.5 ? min(C[i + 3][1], C[i + 2][1]) : 2.125 - t;
+    t = t - t;
+    s = A[i + 1] * C[i + 9][0] - (s + B[i + 4]) - (-C[i + 8][0] - (0.875 - B[i + 3]));
+}

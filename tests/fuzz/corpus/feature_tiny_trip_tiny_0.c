@@ -1,0 +1,12 @@
+/* fuzz corpus: exemplar: tiny_trip
+ * generator seed 0, profile tiny
+ */
+float A[14][4];
+int B[14];
+float s = 1.625;
+int t = 8;
+int i;
+int n = 4;
+for (i = 0; i < n; i++) {
+    s = s * B[i + 8];
+}

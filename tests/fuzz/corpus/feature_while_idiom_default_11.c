@@ -1,0 +1,18 @@
+/* fuzz corpus: exemplar: while_idiom
+ * generator seed 11, profile default
+ */
+int A[26];
+int B[26];
+int C[26];
+int s = 1;
+int t = 7;
+int i;
+i = 0;
+while (i < 16) {
+    B[i + 3] = s;
+    i++;
+}
+for (i = 0; i < 16; i++) {
+    s = A[i + 2] % 8191;
+    s = s * B[i + 1] % 8191;
+}

@@ -1,0 +1,14 @@
+/* fuzz corpus: int scalar webs must keep int rotation temps (float decl broke % )
+ * generator seed 3, profile scalars
+ */
+int A[19];
+float s = 3.75;
+int t = 4;
+int u = 8;
+int i;
+for (i = 0; i < 9; i++) {
+    t = (t - A[i + 1]) % 8191;
+    u = (u + A[i + 8]) % 8191;
+    u = (u / 7 - u * i) % 8191;
+    s = s * (s - 0.75);
+}

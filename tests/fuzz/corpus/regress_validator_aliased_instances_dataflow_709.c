@@ -1,0 +1,15 @@
+/* fuzz corpus: A[i+3]=s / A[i+8]=s alias as instances; validator must not misassign
+ * generator seed 709, profile dataflow
+ */
+float A[29];
+float B[29];
+float C[29];
+float s = 0.5;
+int i;
+for (i = 0; i < 19; i++) {
+    s = C[i + 2] * 0.375 * s;
+    s = C[i + 1];
+    B[i + 3] *= s + 1.0 - (s - 2.0);
+    A[i + 3] = s;
+    A[i + 8] = s;
+}

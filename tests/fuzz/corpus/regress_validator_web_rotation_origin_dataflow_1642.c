@@ -1,0 +1,14 @@
+/* fuzz corpus: rotations of distinct webs must not unify across origins (V204/V206)
+ * generator seed 1642, profile dataflow
+ */
+float A[24];
+float s = 0.25;
+float t = 1.125;
+int i;
+for (i = 0; i < 14; i++) {
+    s = A[i + 1];
+    A[i + 8] = (0.75 - (A[i + 2] - A[i + 3])) * (0.75 - s - (A[i + 8] - s));
+    s = A[i + 7];
+    A[i + 9] *= -(t - s + 0.5 * s) + (t + 3.0) * (3.25 * 3.0);
+    s = s + (A[i + 6] - t);
+}

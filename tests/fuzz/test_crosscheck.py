@@ -1,0 +1,72 @@
+"""Validator/oracle cross-check: the static and dynamic judges agree.
+
+Satellite requirement: every program SLMS accepts must also pass the
+V2xx schedule validator, and a disagreement between the two is its own
+failure class — never folded into a generic "fail".
+"""
+
+from repro.core.pipeline import slms
+from repro.core.slms import SLMSOptions
+from repro.fuzz.generator import PROFILES, generate_case
+from repro.fuzz.oracle import FAILURE_CLASSES, OracleConfig, run_case
+
+# Skip the (slow, orthogonal) backend and metamorphic layers: this test
+# is about the validator layer specifically.
+FAST = OracleConfig(backend=False, metamorphic=False)
+
+
+def test_disagreement_is_a_distinct_failure_class():
+    assert "validator-disagreement" in FAILURE_CLASSES
+
+
+def test_batch_has_zero_disagreements():
+    checked_validator = 0
+    for profile in sorted(PROFILES):
+        for seed in range(25):
+            outcome = run_case(generate_case(seed, profile), FAST)
+            assert outcome.failure_class != "validator-disagreement", (
+                f"{profile}/{seed}: {outcome.detail}"
+            )
+            assert not outcome.failed, (
+                f"{profile}/{seed}: {outcome.failure_class}: "
+                f"{outcome.detail}"
+            )
+            if outcome.applied_loops and "validator" in outcome.checks_run:
+                # The oracle accepted; the validator must have too.
+                assert outcome.validator_codes == []
+                checked_validator += 1
+    assert checked_validator >= 20, (
+        "batch too small to exercise the cross-check meaningfully"
+    )
+
+
+def test_every_accepted_loop_passes_v2xx_directly():
+    # Independent of the oracle plumbing: run the pipeline with
+    # verify=True and inspect diagnostics ourselves.
+    for seed in range(40):
+        case = generate_case(seed, "dataflow")
+        result = slms(case.source, SLMSOptions(verify=True))
+        for loop in result.loops:
+            if not loop.applied:
+                continue
+            errors = [
+                d.code for d in loop.diagnostics if d.severity == "error"
+            ]
+            assert errors == [], (
+                f"seed {seed}: applied loop carries validator errors "
+                f"{errors}"
+            )
+
+
+def test_declines_are_traced_with_a_reason():
+    # Acceptance criterion: generated programs either transform or
+    # decline with a reason string — no silent third state.
+    saw_decline = False
+    for seed in range(30):
+        outcome = run_case(generate_case(seed, "bounds"), FAST)
+        assert outcome.status in ("ok", "declined")
+        assert len(outcome.decline_reasons) == outcome.declined_loops
+        if outcome.status == "declined":
+            saw_decline = True
+            assert all(r for r in outcome.decline_reasons)
+    assert saw_decline, "bounds profile should produce some declines"

@@ -1,0 +1,64 @@
+"""Session-level determinism: same seed, same report, any worker count.
+
+These are the guarantees ``docs/FUZZING.md`` advertises: a recorded
+``(seed, iterations, profile)`` triple is a complete repro, and CI can
+shard across workers without changing what it tests.
+"""
+
+from repro.fuzz.oracle import OracleConfig
+from repro.fuzz.session import (
+    REPORT_SCHEMA,
+    FuzzSessionConfig,
+    run_fuzz_session,
+)
+
+# Small but non-trivial: rotates through every profile and exercises
+# applied, declined, backend, and metamorphic paths.
+CONFIG = FuzzSessionConfig(
+    master_seed=42,
+    iterations=12,
+    profile="all",
+    workers=1,
+    oracle=OracleConfig(n_envs=2),
+)
+
+
+def test_same_seed_byte_identical_json():
+    a = run_fuzz_session(CONFIG).to_json()
+    b = run_fuzz_session(CONFIG).to_json()
+    assert a == b
+
+
+def test_worker_count_does_not_change_the_report():
+    serial = run_fuzz_session(CONFIG)
+    parallel = run_fuzz_session(
+        FuzzSessionConfig(
+            master_seed=CONFIG.master_seed,
+            iterations=CONFIG.iterations,
+            profile=CONFIG.profile,
+            workers=2,
+            oracle=CONFIG.oracle,
+        )
+    )
+    assert serial.to_json() == parallel.to_json()
+
+
+def test_report_has_no_wallclock_fields():
+    report = run_fuzz_session(
+        FuzzSessionConfig(master_seed=7, iterations=4, oracle=CONFIG.oracle)
+    )
+    payload = report.to_dict()
+    assert payload["schema"] == REPORT_SCHEMA
+    flat = repr(payload).lower()
+    for banned in ("time", "duration", "host", "pid", "date"):
+        assert banned not in flat, f"report leaks a {banned!r} field"
+
+
+def test_different_seeds_differ():
+    a = run_fuzz_session(
+        FuzzSessionConfig(master_seed=1, iterations=6, oracle=CONFIG.oracle)
+    )
+    b = run_fuzz_session(
+        FuzzSessionConfig(master_seed=2, iterations=6, oracle=CONFIG.oracle)
+    )
+    assert a.to_json() != b.to_json()

@@ -1,0 +1,210 @@
+"""Unit tests for the oracle layers and their failure classification."""
+
+import numpy as np
+import pytest
+
+import repro.fuzz.oracle as oracle_mod
+from repro.fuzz.generator import FuzzCase, generate_case
+from repro.fuzz.oracle import (
+    CaseOutcome,
+    OracleConfig,
+    _divergence,
+    check_source,
+    make_env,
+    run_case,
+)
+
+GOOD = """\
+int n;
+float A[16];
+float B[16];
+int i;
+n = 8;
+for (i = 0; i < n; i++) {
+    A[i + 2] = A[i] * 0.5 + B[i];
+}
+"""
+
+
+class TestEnvironments:
+    def test_make_env_is_deterministic(self):
+        case = FuzzCase.from_source(GOOD, seed=11)
+        a, b = make_env(case, 0), make_env(case, 0)
+        assert sorted(a) == sorted(b)
+        for name in a:
+            assert np.array_equal(a[name], b[name])
+
+    def test_env_index_varies_the_store(self):
+        case = FuzzCase.from_source(GOOD, seed=11)
+        a, b = make_env(case, 0), make_env(case, 1)
+        assert any(
+            not np.array_equal(a[name], b[name]) for name in a
+        )
+
+    def test_float_values_are_dyadic(self):
+        # Exactly representable eighths: arithmetic is bit-exact in
+        # both the source interpreter and the LIR executor.
+        case = FuzzCase.from_source(GOOD, seed=3)
+        for value in make_env(case, 0).values():
+            if value.dtype == np.float64:
+                assert np.array_equal(value * 8.0, np.round(value * 8.0))
+
+    def test_int_arrays_are_int64(self):
+        case = generate_case(0, "scalars")
+        env = make_env(case, 0)
+        for name, typ in case.types.items():
+            if name in env and typ == "int":
+                assert env[name].dtype == np.int64
+
+
+class TestDivergence:
+    def test_equal_states_pass(self):
+        ref = {"A": np.arange(4.0), "s": 1.5}
+        out = {"A": np.arange(4.0), "s": 1.5, "s_w1": 9.0}
+        assert _divergence(ref, out, "env0") is None
+
+    def test_mismatch_names_the_variable(self):
+        ref = {"A": np.arange(4.0), "s": 1.5}
+        out = {"A": np.arange(4.0) + 1, "s": 1.5}
+        problem = _divergence(ref, out, "env0")
+        assert problem is not None and "A" in problem
+
+    def test_missing_name_is_reported(self):
+        problem = _divergence({"s": 1.0}, {}, "env0")
+        assert problem is not None and "missing" in problem
+
+
+class TestClassification:
+    def test_good_source_is_ok(self):
+        outcome = check_source(GOOD, seed=5)
+        assert outcome.status == "ok"
+        assert outcome.applied_loops >= 1
+        for layer in ("reference", "differential", "validator", "backend"):
+            assert layer in outcome.checks_run
+
+    def test_backend_layer_is_optional(self):
+        outcome = check_source(
+            GOOD, seed=5, config=OracleConfig(backend=False)
+        )
+        assert "backend" not in outcome.checks_run
+        assert outcome.status == "ok"
+
+    def test_out_of_bounds_is_invalid_case(self):
+        bad = """\
+float A[4];
+int i;
+for (i = 0; i < 9; i++) {
+    A[i] = 1.0;
+}
+"""
+        outcome = check_source(bad, seed=1)
+        assert outcome.failed
+        assert outcome.failure_class == "invalid-case"
+
+    def test_unparseable_source_is_invalid_case(self):
+        case = FuzzCase(
+            seed=0, profile="corpus", source="int A[",
+            arrays={}, types={}, trip=0,
+        )
+        outcome = run_case(case, OracleConfig(backend=False))
+        assert outcome.failure_class == "invalid-case"
+
+    def test_pipeline_exception_is_crash(self, monkeypatch):
+        def boom(program, options):
+            raise RuntimeError("synthetic pipeline bug")
+
+        monkeypatch.setattr(oracle_mod, "slms", boom)
+        outcome = check_source(GOOD, seed=5)
+        assert outcome.failure_class == "crash"
+        assert "synthetic pipeline bug" in outcome.detail
+
+    def test_wrong_transform_is_differential(self, monkeypatch):
+        from types import SimpleNamespace
+
+        from repro.lang.parser import parse_program
+
+        wrong = parse_program(GOOD.replace("* 0.5", "* 0.25"))
+
+        def lying_slms(program, options):
+            return SimpleNamespace(
+                program=wrong, applied_count=1, loops=[]
+            )
+
+        monkeypatch.setattr(oracle_mod, "slms", lying_slms)
+        outcome = check_source(
+            GOOD, seed=5, config=OracleConfig(backend=False,
+                                              metamorphic=False)
+        )
+        assert outcome.failure_class == "differential"
+        assert "A" in outcome.detail
+
+    def test_validator_disagreement_class(self, monkeypatch):
+        # Force V2xx errors onto an otherwise-accepted case: the oracle
+        # must surface the conflict, not swallow it.
+        from repro.core.pipeline import slms as real_slms
+
+        def poisoned(program, options):
+            result = real_slms(program, options)
+            for loop in result.loops:
+                if loop.applied:
+                    loop.diagnostics.append(
+                        SimpleDiag("V206", "error")
+                    )
+            return result
+
+        class SimpleDiag:
+            def __init__(self, code, severity):
+                self.code = code
+                self.severity = severity
+
+        monkeypatch.setattr(oracle_mod, "slms", poisoned)
+        outcome = check_source(
+            GOOD, seed=5, config=OracleConfig(backend=False,
+                                              metamorphic=False)
+        )
+        assert outcome.failure_class == "validator-disagreement"
+        assert "V206" in outcome.detail
+
+
+class TestMetamorphic:
+    def test_reversal_check_runs_on_reversible_loops(self):
+        # GOOD carries an A-distance-2 dependence, so reversal is not
+        # applicable there; this loop has no recurrence.
+        src = """\
+float A[16];
+float B[16];
+int i;
+for (i = 0; i < 8; i++) {
+    A[i] = B[i] * 0.5 + 1.0;
+}
+"""
+        outcome = check_source(
+            src, seed=5, config=OracleConfig(backend=False)
+        )
+        assert not outcome.failed
+        assert "metamorphic-reversal" in outcome.checks_run
+
+    def test_unroll_check_runs_on_good(self):
+        outcome = check_source(
+            GOOD, seed=5, config=OracleConfig(backend=False)
+        )
+        assert outcome.status == "ok"
+        assert "metamorphic-unroll" in outcome.checks_run
+
+    def test_outcome_roundtrips_to_dict(self):
+        outcome = CaseOutcome(seed=1, profile="default", status="ok")
+        payload = outcome.to_dict()
+        assert payload["status"] == "ok"
+        assert "source" not in payload
+        assert "source" in outcome.to_dict(include_source=True)
+
+
+@pytest.mark.fuzz
+def test_small_batch_is_clean():
+    # A slightly larger sweep than the unit tests above; still quick
+    # enough for tier 1 but tagged so heavy CI can scale it up.
+    for seed in range(15):
+        outcome = run_case(generate_case(seed, "default"))
+        assert not outcome.failed, (
+            f"seed {seed}: {outcome.failure_class}: {outcome.detail}"
+        )

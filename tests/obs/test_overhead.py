@@ -44,6 +44,7 @@ def test_sweep_output_identical_with_and_without_tracing():
     assert traced.to_csv() == baseline.to_csv()
 
 
+@pytest.mark.slow
 @pytest.mark.skipif(
     not os.environ.get("SLMS_FULL_DIGEST"),
     reason="full-corpus digest sweep is slow; set SLMS_FULL_DIGEST=1",
