@@ -23,7 +23,11 @@ Subcommands
     matrix; ``--workers`` fans experiments out over processes,
     ``--no-cache`` bypasses the on-disk result cache, ``--profile``
     prints per-phase totals and ``--bench-json`` writes the
-    machine-readable perf record (``BENCH_sweep.json``).
+    machine-readable perf record (``BENCH_sweep.json``).  ``--timeout``
+    bounds each experiment's wall clock, and ``--journal``/``--resume``
+    checkpoint completed experiments so a killed sweep picks up where
+    it stopped (see ``docs/ROBUSTNESS.md``); a failed cell is reported
+    and exits 1 instead of aborting the matrix.
 
 ``slms cache stats|clear``
     Inspect or empty the experiment result cache (``stats`` also reports
@@ -51,14 +55,20 @@ Subcommands
     (``--json`` for machine-readable output, ``--Werror`` to fail on
     warnings).
 
-Bad input never produces a traceback: lexer/parser errors exit with
-status 1 and a ``file:line:col: error: …`` diagnostic on stderr.
+Bad input never produces a traceback, and exit codes are uniform
+across subcommands: **0** success, **1** failures (failed experiments,
+fuzz findings, ``check`` errors, or an internal error — set
+``SLMS_DEBUG=1`` for the traceback), **2** usage/input errors (bad
+flags, unknown names, ``file:line:col: error: …`` frontend
+diagnostics), **130** on Ctrl-C (with a note that checkpointed partial
+results can be resumed via ``--resume``).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional
 
@@ -342,12 +352,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 )
             pairs.append((machine, compiler))
 
+    journal_path = args.resume or args.journal
     with _Observed(args):
         sweep = run_sweep(
             workloads or None,
             pairs=pairs,
             workers=args.workers,
             use_cache=not args.no_cache,
+            task_timeout_s=args.timeout,
+            journal_path=journal_path,
+            resume=bool(args.resume),
         )
 
     wrote_stdout = False
@@ -377,10 +391,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
     stats = sweep.stats
     if stats is not None:
+        extras = ""
+        if stats.journal_hits:
+            extras += f", journal: {stats.journal_hits} replay(s)"
+        if stats.retries:
+            extras += f", {stats.retries} retry(ies)"
         print(
             f"# {stats.experiments} experiments in {stats.wall_s:.2f} s "
             f"({stats.workers} worker(s), cache: {stats.cache_hits} hit(s) / "
-            f"{stats.cache_misses} miss(es))",
+            f"{stats.cache_misses} miss(es){extras})",
             file=sys.stderr,
         )
         if args.profile:
@@ -392,6 +411,23 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         with open(args.bench_json, "w", encoding="utf-8") as handle:
             json.dump(bench_record(sweep, label=label), handle, indent=2)
             handle.write("\n")
+    if sweep.failures:
+        print(f"# {len(sweep.failures)} experiment(s) FAILED:",
+              file=sys.stderr)
+        for fr in sweep.failures:
+            print(
+                f"#   {fr.task}: {fr.kind} in {fr.phase}: {fr.message} "
+                f"({fr.attempts} attempt(s)"
+                + (", quarantined)" if fr.quarantined else ")"),
+                file=sys.stderr,
+            )
+        if journal_path:
+            print(
+                f"# completed results are journaled in {journal_path}; "
+                "re-run with --resume to retry only the failures",
+                file=sys.stderr,
+            )
+        return 1
     return 0
 
 
@@ -485,7 +521,11 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         reduce_failures=not args.no_reduce,
     )
     with _Observed(args):
-        report = run_fuzz_session(config)
+        report = run_fuzz_session(
+            config,
+            journal_path=args.resume or args.journal,
+            resume=bool(args.resume),
+        )
 
     if args.json:
         with open(args.json, "w") as fh:
@@ -524,6 +564,8 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         print(f"cache dir: {stats['dir']}")
         print(f"entries:   {stats['entries']}")
         print(f"size:      {stats['bytes']} bytes")
+        if stats["corrupt"]:
+            print(f"corrupt:   {stats['corrupt']} quarantined entr(ies)")
         print(
             "lifetime:  "
             f"{lifetime['hits']} hit(s), {lifetime['misses']} miss(es), "
@@ -634,6 +676,17 @@ def main(argv: Optional[List[str]] = None) -> int:
                          "1 = serial)")
     p_sweep.add_argument("--no-cache", action="store_true",
                          help="bypass the experiment result cache")
+    p_sweep.add_argument("--timeout", type=float, default=None,
+                         metavar="SECS",
+                         help="per-experiment wall-clock limit (a stuck "
+                         "task fails instead of stalling the sweep)")
+    ckpt = p_sweep.add_mutually_exclusive_group()
+    ckpt.add_argument("--journal", metavar="PATH",
+                      help="checkpoint completed experiments to PATH "
+                      "(starts fresh, overwriting any previous journal)")
+    ckpt.add_argument("--resume", metavar="PATH",
+                      help="resume from the journal at PATH: replay its "
+                      "completed results, re-run everything else")
     p_sweep.add_argument("--profile", action="store_true",
                          help="print per-phase wall-clock totals")
     p_sweep.add_argument("--bench-json", nargs="?", const="BENCH_sweep.json",
@@ -689,6 +742,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="skip reversal/unroll metamorphic checks")
     p_fuzz.add_argument("--no-reduce", action="store_true",
                         help="keep failing cases unreduced")
+    fckpt = p_fuzz.add_mutually_exclusive_group()
+    fckpt.add_argument("--journal", metavar="PATH",
+                       help="checkpoint completed cases to PATH "
+                       "(starts fresh, overwriting any previous journal)")
+    fckpt.add_argument("--resume", metavar="PATH",
+                       help="resume from the journal at PATH: replay its "
+                       "completed cases, re-run everything else")
     _add_obs_flags(p_fuzz)
     p_fuzz.set_defaults(func=_cmd_fuzz)
 
@@ -704,17 +764,37 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     from repro.lang.errors import FrontendError
 
+    # Top-level exception boundary: no subcommand ever dumps a raw
+    # traceback, and exit codes are uniform — 0 ok, 1 failures/internal
+    # error, 2 usage or input error (argparse's own convention), 130
+    # interrupted.  SLMS_DEBUG=1 re-raises for debugging.
     try:
         return args.func(args)
+    except KeyboardInterrupt:
+        print(
+            "\ninterrupted; partial results may have been checkpointed "
+            "(re-run with --resume to continue)",
+            file=sys.stderr,
+        )
+        return 130
     except FrontendError as exc:
         path = getattr(args, "file", None)
         print(exc.format(path), file=sys.stderr)
-        return 1
-    except ValueError as exc:
+        return 2
+    except (ValueError, OSError) as exc:
+        if os.environ.get("SLMS_DEBUG"):
+            raise
         print(f"error: {exc}", file=sys.stderr)
-        return 1
-    except OSError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except Exception as exc:
+        if os.environ.get("SLMS_DEBUG"):
+            raise
+        print(
+            f"internal error: {type(exc).__name__}: {exc}",
+            file=sys.stderr,
+        )
+        print("(set SLMS_DEBUG=1 to see the full traceback)",
+              file=sys.stderr)
         return 1
 
 

@@ -31,6 +31,7 @@ from repro.fuzz.generator import (
 from repro.fuzz.oracle import OracleConfig, run_case
 from repro.fuzz.reduce import reduce_case, write_corpus_entry
 from repro.harness.engine import run_tasks
+from repro.harness.faults import RunJournal, is_failed, task_key
 from repro.obs import get_metrics, get_tracer
 
 REPORT_SCHEMA = "slms-fuzz/1"
@@ -70,6 +71,10 @@ class FuzzFailure:
     detail: str
     source: str
     reduced: str = ""
+    # Side observations that must not be lost but are not the failure
+    # itself — e.g. "reducer-error: ..." when delta debugging crashed
+    # and the unreduced source was kept.
+    notes: str = ""
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -79,6 +84,7 @@ class FuzzFailure:
             "detail": self.detail,
             "source": self.source,
             "reduced": self.reduced,
+            "notes": self.notes,
         }
 
 
@@ -144,19 +150,60 @@ def _eval_case(task: Dict[str, Any]) -> Dict[str, Any]:
     payload = outcome.to_dict()
     payload["source"] = case.source
     payload["reduced"] = ""
+    payload["notes"] = ""
     if outcome.failed and task["reduce"]:
         try:
             reduction = reduce_case(
                 case, outcome, config, max_tests=task["max_reduce_tests"]
             )
             payload["reduced"] = reduction.reduced
-        except Exception:
-            payload["reduced"] = case.source  # reducer must never mask
+        except Exception as exc:
+            # The reducer must never mask the finding — keep the
+            # unreduced source, but record that reduction crashed so
+            # the reducer bug is triaged too instead of vanishing.
+            payload["reduced"] = case.source
+            payload["notes"] = (
+                f"reducer-error: {type(exc).__name__}: {exc}"
+            )
     return payload
 
 
-def run_fuzz_session(config: FuzzSessionConfig) -> FuzzReport:
-    """Run one session; deterministic in ``config``."""
+def _harness_error_payload(failure, task: Dict[str, Any]) -> Dict[str, Any]:
+    """Case payload for a task the harness failed (crash/hang/timeout).
+
+    A worker that dies or hangs yields a
+    :class:`~repro.harness.faults.FailedResult` instead of an oracle
+    payload; surface it as its own ``harness-error`` failure class so a
+    chaotic environment never silently shrinks the session.
+    """
+    return {
+        "status": "error",
+        "failure_class": "harness-error",
+        "detail": f"{failure.kind} in {failure.phase}: {failure.message}",
+        "seed": task["seed"],
+        "profile": task["profile"],
+        "source": "",
+        "reduced": "",
+        "notes": "",
+        "applied_loops": 0,
+        "declined_loops": 0,
+        "decline_reasons": [],
+    }
+
+
+def run_fuzz_session(
+    config: FuzzSessionConfig,
+    journal_path: Optional[str] = None,
+    resume: bool = False,
+) -> FuzzReport:
+    """Run one session; deterministic in ``config``.
+
+    ``journal_path`` checkpoints each completed case to a
+    :class:`~repro.harness.faults.RunJournal` keyed by the case's
+    content hash; ``resume=True`` replays its ``ok`` records, so an
+    interrupted session picks up where it was killed and produces the
+    same report an uninterrupted run would.
+    """
     tracer = get_tracer()
     schedule = config.profiles_schedule()
     seeds = case_seeds(config.master_seed, config.iterations)
@@ -170,6 +217,9 @@ def run_fuzz_session(config: FuzzSessionConfig) -> FuzzReport:
         }
         for i, seed in enumerate(seeds)
     ]
+    journal = (
+        RunJournal(journal_path, resume=resume) if journal_path else None
+    )
 
     with tracer.span(
         "fuzz.session",
@@ -177,7 +227,21 @@ def run_fuzz_session(config: FuzzSessionConfig) -> FuzzReport:
         iterations=config.iterations,
         profile=config.profile,
     ) as span:
-        raw = run_tasks(_eval_case, tasks, workers=config.workers)
+        try:
+            raw = run_tasks(
+                _eval_case,
+                tasks,
+                workers=config.workers,
+                journal=journal,
+                keys=[task_key(task) for task in tasks] if journal else None,
+            )
+        finally:
+            if journal is not None:
+                journal.close()
+        raw = [
+            _harness_error_payload(item, tasks[i]) if is_failed(item) else item
+            for i, item in enumerate(raw)
+        ]
         report = FuzzReport(
             master_seed=config.master_seed,
             iterations=config.iterations,
@@ -195,7 +259,7 @@ def run_fuzz_session(config: FuzzSessionConfig) -> FuzzReport:
                 report.decline_reasons[reason] = (
                     report.decline_reasons.get(reason, 0) + 1
                 )
-            if status == "fail":
+            if status in ("fail", "error"):
                 cls = payload["failure_class"] or "unknown"
                 report.failure_counts[cls] = (
                     report.failure_counts.get(cls, 0) + 1
@@ -208,6 +272,7 @@ def run_fuzz_session(config: FuzzSessionConfig) -> FuzzReport:
                         detail=payload["detail"],
                         source=payload["source"],
                         reduced=payload["reduced"],
+                        notes=payload.get("notes", ""),
                     )
                 )
         registry = get_metrics()

@@ -7,6 +7,9 @@ the paper's figures.
 * :mod:`repro.harness.engine` — the evaluation engine: parallel
   experiment fan-out plus content-addressed result memoization;
 * :mod:`repro.harness.expcache` — the on-disk experiment cache;
+* :mod:`repro.harness.faults` — the fault-tolerance layer: error
+  taxonomy, guarded dispatch (timeouts, retries, crash quarantine),
+  checkpoint journal, and the deterministic fault-injection harness;
 * :mod:`repro.harness.figures` — one entry per paper figure (14–22 plus
   the in-text bundle counts), producing the same series the paper plots;
 * :mod:`repro.harness.sweep` — the full workloads × machines × compilers
@@ -27,6 +30,16 @@ from repro.harness.experiment import (
     run_experiment,
     run_suite,
 )
+from repro.harness.faults import (
+    FailedResult,
+    FaultPlan,
+    RetryPolicy,
+    RunJournal,
+    TaskError,
+    TaskFailedError,
+    TransientError,
+    is_failed,
+)
 from repro.harness.figures import FIGURES, run_figure
 from repro.harness.sweep import SweepResult, run_sweep
 
@@ -37,8 +50,16 @@ __all__ = [
     "ExperimentResult",
     "ExperimentSpec",
     "FIGURES",
+    "FailedResult",
+    "FaultPlan",
+    "RetryPolicy",
+    "RunJournal",
     "SweepResult",
+    "TaskError",
+    "TaskFailedError",
+    "TransientError",
     "engine_defaults",
+    "is_failed",
     "run_experiment",
     "run_experiments",
     "run_figure",

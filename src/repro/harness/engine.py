@@ -1,27 +1,37 @@
-"""The evaluation engine: parallel, memoized experiment execution.
+"""The evaluation engine: parallel, memoized, fault-tolerant execution.
 
 The paper's evaluation (§9) is a cross-product of workloads × machines ×
-compilers, re-run constantly while reproducing figures.  Three
-cooperating layers make that cheap:
+compilers, re-run constantly while reproducing figures.  Four
+cooperating layers make that cheap and unkillable:
 
 1. the LIR interpreter's pre-decoded fast path and the executor's static
    per-block accounting (:mod:`repro.sim.lir_interp`,
    :mod:`repro.sim.executor`) cut per-experiment cost;
-2. this module fans independent experiments out over a
-   ``ProcessPoolExecutor`` — experiments are deterministic pure
-   functions of their spec, so results are collected back in submission
-   order and are byte-identical to a serial run;
+2. this module fans independent experiments out over a process pool —
+   experiments are deterministic pure functions of their spec, so
+   results are collected back in submission order and are byte-identical
+   to a serial run;
 3. an on-disk content-addressed cache (:mod:`repro.harness.expcache`)
    memoizes each :class:`~repro.harness.experiment.ExperimentResult`,
-   so warm figure/sweep re-runs are near-instant.
+   so warm figure/sweep re-runs are near-instant;
+4. the fault layer (:mod:`repro.harness.faults`) contains everything
+   that goes wrong: a task that crashes its worker, hangs past the
+   wall-clock limit, or raises comes back as a structured
+   :class:`~repro.harness.faults.FailedResult` in its spec's slot —
+   never as an exception that aborts the run — with bounded
+   deterministic retries for transient kinds and an optional
+   checkpoint journal (``journal_path``/``resume``) that lets a killed
+   sweep resume byte-identical to an uninterrupted one.
 
 :func:`run_experiments` is the single entry point; ``run_suite``,
 ``run_sweep`` and the figure harness all route through it.  Defaults
-(worker count, cache on/off, cache directory) come from a module-level
-:class:`EngineConfig`, overridable per call or temporarily via
-:func:`engine_defaults` (how the CLI's ``--workers``/``--no-cache``
-flags reach the figure suite without threading knobs through every
-figure function).
+(worker count, cache on/off, timeouts, fault plan) come from a
+module-level :class:`EngineConfig`, overridable per call or temporarily
+via :func:`engine_defaults` (how the CLI's ``--workers``/``--no-cache``/
+``--timeout`` flags reach the figure suite without threading knobs
+through every figure function).  Fault injection for the chaos suite
+activates through ``EngineConfig.fault_plan`` or the ``SLMS_FAULTS``
+environment variable.
 
 ``ENGINE_VERSION`` participates in every cache key.  Bump it whenever a
 change anywhere in the pipeline (transforms, backend, simulator
@@ -33,7 +43,6 @@ from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
 from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
@@ -42,15 +51,17 @@ from repro.backend.compiler import CompilerConfig
 from repro.core.slms import SLMSOptions
 from repro.harness.expcache import ExperimentCache, experiment_key
 from repro.harness.experiment import ExperimentResult, run_experiment
-from repro.machines.model import MachineModel
-from repro.obs import (
-    MetricsRegistry,
-    Tracer,
-    get_metrics,
-    get_tracer,
-    metrics_scope,
-    tracing,
+from repro.harness.faults import (
+    FaultPlan,
+    FaultPolicy,
+    RetryPolicy,
+    RunJournal,
+    execute_guarded,
+    is_failed,
+    task_key,
 )
+from repro.machines.model import MachineModel
+from repro.obs import get_metrics, get_tracer
 from repro.workloads.base import Workload
 
 # Version of the whole evaluation pipeline as far as results are
@@ -63,16 +74,30 @@ PHASES = ("parse", "transform", "compile", "simulate", "verify", "total")
 
 @dataclass(frozen=True)
 class EngineConfig:
-    """How :func:`run_experiments` schedules and memoizes work.
+    """How :func:`run_experiments` schedules, memoizes and guards work.
 
     ``workers=None`` means "one per CPU" (capped by the number of
     uncached experiments); ``workers=1`` is the serial fallback that
-    never spawns processes.
+    never spawns processes.  ``task_timeout_s`` is the per-task
+    wall-clock limit (None = unlimited; setting one forces pooled
+    dispatch so a stuck task can be contained).  ``retry`` and
+    ``crash_strikes`` bound re-attempts (see
+    :class:`~repro.harness.faults.RetryPolicy`); ``fault_plan`` injects
+    deterministic chaos for the test suite (also reachable via the
+    ``SLMS_FAULTS`` environment variable).  ``journal_path`` checkpoints
+    completed specs to a :class:`~repro.harness.faults.RunJournal`;
+    ``resume=True`` replays its ``ok`` records instead of re-running.
     """
 
     workers: Optional[int] = None
     use_cache: bool = True
     cache_dir: Optional[str] = None
+    task_timeout_s: Optional[float] = None
+    retry: RetryPolicy = RetryPolicy()
+    crash_strikes: int = 2
+    fault_plan: Optional[FaultPlan] = None
+    journal_path: Optional[str] = None
+    resume: bool = False
 
 
 _default_config = EngineConfig()
@@ -120,6 +145,20 @@ class ExperimentSpec:
             ENGINE_VERSION,
         )
 
+    def label(self) -> str:
+        return (
+            f"{self.workload.name}@{self.machine.name}/{self.compiler.name}"
+        )
+
+    def identity(self) -> Dict[str, str]:
+        """The spec fields a :class:`FailedResult` carries for triage."""
+        return {
+            "workload": self.workload.name,
+            "suite": self.workload.suite,
+            "machine": self.machine.name,
+            "compiler": self.compiler.name,
+        }
+
 
 @dataclass
 class EngineStats:
@@ -127,15 +166,21 @@ class EngineStats:
 
     ``cache_hits``/``cache_misses``/``cache_evictions`` mirror the
     :class:`~repro.harness.expcache.ExperimentCache` session counters
-    for the run (evictions are nonzero only if the cache was cleared
-    mid-run, but the field keeps the stats aligned with the cache's
-    counter triple).
+    for the run (evictions also count corrupt entries quarantined on
+    read).  ``journal_hits`` are specs replayed from a resume journal;
+    ``failures``/``retries``/``quarantined``/``timeouts`` summarize the
+    fault layer's activity (all zero on a clean run).
     """
 
     experiments: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
     cache_evictions: int = 0
+    journal_hits: int = 0
+    failures: int = 0
+    retries: int = 0
+    quarantined: int = 0
+    timeouts: int = 0
     workers: int = 1
     wall_s: float = 0.0
     phase_totals: Dict[str, float] = field(default_factory=dict)
@@ -158,6 +203,11 @@ class EngineStats:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "cache_evictions": self.cache_evictions,
+            "journal_hits": self.journal_hits,
+            "failures": self.failures,
+            "retries": self.retries,
+            "quarantined": self.quarantined,
+            "timeouts": self.timeouts,
             "cache_hit_rate": round(self.hit_rate, 4),
             "workers": self.workers,
             "worker_utilization": round(self.utilization, 4),
@@ -180,77 +230,6 @@ def _run_spec(spec: ExperimentSpec) -> ExperimentResult:
     )
 
 
-def _run_spec_traced(spec: ExperimentSpec) -> Tuple[ExperimentResult, dict, dict]:
-    """Worker entry point when the parent is tracing.
-
-    Collects the experiment's spans/events and metrics into fresh
-    per-task instances and ships their JSON forms back; the parent
-    absorbs them in spec order, so the merged sequence is independent
-    of worker count (see :meth:`repro.obs.Tracer.absorb`).
-    """
-    with tracing(Tracer()) as tracer, metrics_scope(MetricsRegistry()) as reg:
-        result = _run_spec(spec)
-    return result, tracer.to_dict(), reg.to_dict()
-
-
-def _run_task(payload: Tuple) -> object:
-    """Top-level worker entry point for :func:`run_tasks`."""
-    fn, arg = payload
-    return fn(arg)
-
-
-def _run_task_traced(payload: Tuple) -> Tuple[object, dict, dict]:
-    """Traced variant: per-task tracer/registry shipped back as JSON."""
-    fn, arg = payload
-    with tracing(Tracer()) as tracer, metrics_scope(MetricsRegistry()) as reg:
-        result = fn(arg)
-    return result, tracer.to_dict(), reg.to_dict()
-
-
-def run_tasks(
-    fn,
-    items: Sequence,
-    workers: Optional[int] = None,
-) -> List:
-    """Deterministic parallel map: ``[fn(item) for item in items]``.
-
-    The generic sibling of :func:`run_experiments` for work that is not
-    an experiment (the fuzzer's case evaluation, batch validation).
-    ``fn`` must be a picklable module-level function of one argument and
-    a *pure* one — results are collected in item order and must not
-    depend on scheduling.  When the parent is tracing, each task runs
-    under its own tracer/metrics registry and payloads are absorbed in
-    item order, so traces and metrics are worker-count-invariant
-    exactly like the experiment path.
-    """
-    tracer = get_tracer()
-    payloads = [(fn, item) for item in items]
-    n_workers = _resolve_workers(workers, len(payloads))
-    if not payloads:
-        return []
-    if tracer.enabled:
-        if n_workers == 1:
-            traced = [_run_task_traced(p) for p in payloads]
-        else:
-            chunksize = max(1, len(payloads) // (n_workers * 4))
-            with ProcessPoolExecutor(max_workers=n_workers) as pool:
-                traced = list(
-                    pool.map(_run_task_traced, payloads, chunksize=chunksize)
-                )
-        registry = get_metrics()
-        results = []
-        for result, trace_data, metrics_data in traced:
-            tracer.absorb(trace_data)
-            registry.merge(metrics_data)
-            results.append(result)
-        return results
-    if n_workers == 1:
-        return [_run_task(p) for p in payloads]
-    chunksize = max(1, len(payloads) // (n_workers * 4))
-    with ProcessPoolExecutor(max_workers=n_workers) as pool:
-        return list(pool.map(_run_task, payloads, chunksize=chunksize))
-
-
 def _resolve_workers(requested: Optional[int], n_tasks: int) -> int:
     if requested is None:
         requested = os.cpu_count() or 1
@@ -259,130 +238,341 @@ def _resolve_workers(requested: Optional[int], n_tasks: int) -> int:
     return max(1, min(requested, n_tasks))
 
 
+def _emit_task_events(tracer, registry, label: str, outcome) -> None:
+    """Absorb one outcome's trace payloads and replay its lifecycle.
+
+    Called in spec order for every dispatched task, so the merged event
+    sequence (including ``engine.task.retry/failed/quarantine``) is
+    independent of worker count, exactly like the rest of the obs layer.
+    """
+    if outcome.trace:
+        tracer.absorb(outcome.trace)
+    if outcome.metrics:
+        registry.merge(outcome.metrics)
+    for entry in outcome.log:
+        attrs = {k: v for k, v in entry.items() if k != "event"}
+        tracer.event(f"engine.task.{entry['event']}", task=label, **attrs)
+
+
+def run_tasks(
+    fn,
+    items: Sequence,
+    workers: Optional[int] = None,
+    *,
+    timeout_s: Optional[float] = None,
+    retry: Optional[RetryPolicy] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    journal: Optional[RunJournal] = None,
+    keys: Optional[Sequence[str]] = None,
+    labels: Optional[Sequence[str]] = None,
+) -> List:
+    """Guarded deterministic map: ``[fn(item) for item in items]``.
+
+    The generic sibling of :func:`run_experiments` for work that is not
+    an experiment (the fuzzer's case evaluation, batch validation).
+    ``fn`` must be a picklable module-level function of one argument and
+    a *pure* one — results are collected in item order and must not
+    depend on scheduling.
+
+    A task that raises (or crashes its worker, or exceeds ``timeout_s``)
+    yields a :class:`~repro.harness.faults.FailedResult` in its slot
+    instead of aborting the run; transient failures retry per ``retry``.
+    Pass a :class:`~repro.harness.faults.RunJournal` to checkpoint
+    completed items (keyed by ``keys``, defaulting to each item's
+    :func:`~repro.harness.faults.task_key`); on a resume journal, items
+    with an ``ok`` record are replayed without re-running, so results
+    must be JSON-able for the round-trip to be lossless.
+
+    When the parent is tracing, each task runs under its own
+    tracer/metrics registry and payloads are absorbed in item order, so
+    traces and metrics are worker-count-invariant exactly like the
+    experiment path.
+    """
+    tracer = get_tracer()
+    items = list(items)
+    if journal is not None and keys is None:
+        keys = [task_key(item) for item in items]
+    results: List = [None] * len(items)
+    pending: List[int] = []
+    for i in range(len(items)):
+        if journal is not None:
+            stored = journal.completed_ok(keys[i])
+            if stored is not None:
+                results[i] = stored
+                continue
+        pending.append(i)
+    if not pending:
+        return results
+
+    plan = fault_plan if fault_plan is not None else FaultPlan.from_env()
+    policy = FaultPolicy(
+        timeout_s=timeout_s,
+        retry=retry or RetryPolicy(),
+        fault_plan=plan.resolved(len(pending)) if plan else None,
+    )
+    pending_labels = (
+        [labels[i] for i in pending]
+        if labels
+        else [f"task[{i}]" for i in pending]
+    )
+
+    def on_complete(pos: int, out) -> None:
+        if journal is None:
+            return
+        key = keys[pending[pos]]
+        if out.ok:
+            journal.record(key, "ok", out.value)
+        else:
+            journal.record(key, "failed", out.failure.to_dict())
+
+    outcomes = execute_guarded(
+        fn,
+        [items[i] for i in pending],
+        workers=_resolve_workers(workers, len(pending)),
+        policy=policy,
+        labels=pending_labels,
+        traced=tracer.enabled,
+        on_complete=on_complete,
+    )
+    registry = get_metrics()
+    for pos, out in enumerate(outcomes):
+        if tracer.enabled:
+            _emit_task_events(tracer, registry, pending_labels[pos], out)
+        results[pending[pos]] = out.value if out.ok else out.failure
+    return results
+
+
 def run_experiments(
     specs: Sequence[ExperimentSpec],
     config: Optional[EngineConfig] = None,
     workers: Optional[int] = None,
     use_cache: Optional[bool] = None,
     cache_dir: Optional[str] = None,
+    task_timeout_s: Optional[float] = None,
+    journal_path: Optional[str] = None,
+    resume: Optional[bool] = None,
 ) -> Tuple[List[ExperimentResult], EngineStats]:
     """Run every spec; returns results in spec order plus stats.
 
-    Cached results are filled in first (no process overhead for hits);
-    the remaining specs run on a process pool — or serially when one
-    worker suffices.  Result order, and result *content*, never depend
-    on the worker count or the cache state: the pipeline is
-    deterministic and the cache key covers every input.
+    Journal replays (on ``resume``) and cached results are filled in
+    first (no process overhead for hits); the remaining specs run
+    through the guarded dispatcher — pooled, or in-process when one
+    worker suffices and no containment is needed.  Result order, and
+    result *content*, never depend on the worker count, the cache state
+    or a resume: the pipeline is deterministic and the content hash
+    covers every input.
+
+    A spec whose task fails (crash / hang / exception) contributes a
+    :class:`~repro.harness.faults.FailedResult` in its slot — callers
+    that need every entry to be an ``ExperimentResult`` must check
+    :func:`~repro.harness.faults.is_failed` (or use
+    ``run_suite(on_failure="raise")``).
     """
     base = config or get_default_engine()
-    if workers is not None or use_cache is not None or cache_dir is not None:
-        base = replace(
-            base,
-            workers=base.workers if workers is None else workers,
-            use_cache=base.use_cache if use_cache is None else use_cache,
-            cache_dir=base.cache_dir if cache_dir is None else cache_dir,
-        )
+    overrides: Dict[str, object] = {}
+    if workers is not None:
+        overrides["workers"] = workers
+    if use_cache is not None:
+        overrides["use_cache"] = use_cache
+    if cache_dir is not None:
+        overrides["cache_dir"] = cache_dir
+    if task_timeout_s is not None:
+        overrides["task_timeout_s"] = task_timeout_s
+    if journal_path is not None:
+        overrides["journal_path"] = journal_path
+    if resume is not None:
+        overrides["resume"] = resume
+    if overrides:
+        base = replace(base, **overrides)
 
     t_start = time.perf_counter()
     stats = EngineStats(experiments=len(specs))
     cache = ExperimentCache(base.cache_dir) if base.use_cache else None
+    plan = (
+        base.fault_plan if base.fault_plan is not None else FaultPlan.from_env()
+    )
+    journal = (
+        RunJournal(base.journal_path, resume=base.resume)
+        if base.journal_path
+        else None
+    )
     tracer = get_tracer()
 
-    with tracer.span("engine.run", specs=len(specs)) as engine_span:
-        results: List[Optional[ExperimentResult]] = [None] * len(specs)
-        pending: List[Tuple[int, ExperimentSpec, Optional[str]]] = []
-        for index, spec in enumerate(specs):
-            key = spec.cache_key() if cache is not None else None
-            t_lookup = time.perf_counter()
-            hit = cache.get(key) if cache is not None else None
-            if hit is not None:
-                # A hit's stored phase times describe the *original*
-                # computation; report what this run actually did instead.
-                hit.phase_times = {
-                    "cache": time.perf_counter() - t_lookup
-                }
-                results[index] = hit
-                if tracer.enabled:
-                    tracer.event(
-                        "engine.cache.hit",
-                        workload=spec.workload.name,
-                        machine=spec.machine.name,
-                        compiler=spec.compiler.name,
-                    )
-            else:
-                pending.append((index, spec, key))
-                if tracer.enabled and cache is not None:
-                    tracer.event(
-                        "engine.cache.miss",
-                        workload=spec.workload.name,
-                        machine=spec.machine.name,
-                        compiler=spec.compiler.name,
-                    )
-        stats.cache_hits = cache.hits if cache is not None else 0
-        stats.cache_misses = len(pending)
-
-        n_workers = _resolve_workers(base.workers, len(pending))
-        stats.workers = n_workers
-        if pending:
-            todo = [spec for _, spec, _ in pending]
-            if tracer.enabled:
-                # Trace-collecting path: each task runs under its own
-                # tracer/registry (in-process for the serial case too, so
-                # the merged sequence matches the pooled one exactly) and
-                # the parent absorbs payloads in spec order.
-                if n_workers == 1:
-                    traced = [_run_spec_traced(spec) for spec in todo]
-                else:
-                    chunksize = max(1, len(todo) // (n_workers * 4))
-                    with ProcessPoolExecutor(max_workers=n_workers) as pool:
-                        traced = list(
-                            pool.map(
-                                _run_spec_traced, todo, chunksize=chunksize
+    try:
+        with tracer.span("engine.run", specs=len(specs)) as engine_span:
+            results: List = [None] * len(specs)
+            pending: List[Tuple[int, ExperimentSpec, Optional[str]]] = []
+            for index, spec in enumerate(specs):
+                key = (
+                    spec.cache_key()
+                    if cache is not None or journal is not None
+                    else None
+                )
+                if journal is not None:
+                    stored = journal.completed_ok(key)
+                    if stored is not None:
+                        results[index] = ExperimentResult.from_dict(stored)
+                        stats.journal_hits += 1
+                        if tracer.enabled:
+                            tracer.event(
+                                "engine.journal.hit",
+                                workload=spec.workload.name,
+                                machine=spec.machine.name,
+                                compiler=spec.compiler.name,
                             )
+                        continue
+                t_lookup = time.perf_counter()
+                hit = cache.get(key) if cache is not None else None
+                if hit is not None:
+                    # A hit's stored phase times describe the *original*
+                    # computation; report what this run actually did instead.
+                    hit.phase_times = {
+                        "cache": time.perf_counter() - t_lookup
+                    }
+                    results[index] = hit
+                    if tracer.enabled:
+                        tracer.event(
+                            "engine.cache.hit",
+                            workload=spec.workload.name,
+                            machine=spec.machine.name,
+                            compiler=spec.compiler.name,
                         )
+                else:
+                    pending.append((index, spec, key))
+                    if tracer.enabled and cache is not None:
+                        tracer.event(
+                            "engine.cache.miss",
+                            workload=spec.workload.name,
+                            machine=spec.machine.name,
+                            compiler=spec.compiler.name,
+                        )
+            stats.cache_hits = cache.hits if cache is not None else 0
+            stats.cache_misses = len(pending)
+
+            n_workers = _resolve_workers(base.workers, len(pending))
+            stats.workers = n_workers
+            if pending:
+                # Fault-rule indices address positions in this dispatched
+                # (uncached, unjournaled) sequence; resolve '?' now so the
+                # parent-side rules (corrupt-cache, abort) see the same
+                # targets the workers do.
+                plan_r = plan.resolved(len(pending)) if plan else None
+                policy = FaultPolicy(
+                    timeout_s=base.task_timeout_s,
+                    retry=base.retry,
+                    crash_strikes=base.crash_strikes,
+                    fault_plan=plan_r,
+                )
+                corrupt_at = (
+                    plan_r.corrupt_cache_indices() if plan_r else frozenset()
+                )
+                abort_at = plan_r.abort_after() if plan_r else None
+                completions = 0
+
+                def on_complete(pos: int, out) -> None:
+                    nonlocal completions
+                    _index, _spec, key = pending[pos]
+                    if out.ok and cache is not None and key is not None:
+                        cache.put(key, out.value)
+                        if pos in corrupt_at:
+                            cache.corrupt(key)
+                    if journal is not None and key is not None:
+                        if out.ok:
+                            journal.record(key, "ok", out.value.to_dict())
+                        else:
+                            journal.record(
+                                key, "failed", out.failure.to_dict()
+                            )
+                    completions += 1
+                    if abort_at is not None and completions >= abort_at:
+                        # Simulated SIGKILL mid-sweep: flush durable state
+                        # and die without cleanup, like the real thing.
+                        if journal is not None:
+                            journal.flush()
+                        if cache is not None:
+                            cache.flush_counters()
+                        os._exit(137)
+
+                labels = [spec.label() for _i, spec, _k in pending]
+                identities = [spec.identity() for _i, spec, _k in pending]
+                outcomes = execute_guarded(
+                    _run_spec,
+                    [spec for _i, spec, _k in pending],
+                    workers=n_workers,
+                    policy=policy,
+                    labels=labels,
+                    specs=identities,
+                    traced=tracer.enabled,
+                    on_complete=on_complete,
+                )
                 registry = get_metrics()
-                computed = []
-                for result, trace_data, metrics_data in traced:
-                    tracer.absorb(trace_data)
-                    registry.merge(metrics_data)
-                    computed.append(result)
-            elif n_workers == 1:
-                computed = [_run_spec(spec) for spec in todo]
-            else:
-                chunksize = max(1, len(todo) // (n_workers * 4))
-                with ProcessPoolExecutor(max_workers=n_workers) as pool:
-                    computed = list(
-                        pool.map(_run_spec, todo, chunksize=chunksize)
+                for pos, ((index, _spec, _key), out) in enumerate(
+                    zip(pending, outcomes)
+                ):
+                    if tracer.enabled:
+                        _emit_task_events(tracer, registry, labels[pos], out)
+                    stats.retries += sum(
+                        1 for entry in out.log if entry["event"] == "retry"
                     )
-            for (index, _spec, key), result in zip(pending, computed):
-                results[index] = result
-                if cache is not None and key is not None:
-                    cache.put(key, result)
+                    if out.ok:
+                        results[index] = out.value
+                    else:
+                        results[index] = out.failure
+                        stats.failures += 1
+                        if out.failure.quarantined:
+                            stats.quarantined += 1
+                        if out.failure.kind == "timeout":
+                            stats.timeouts += 1
 
-        totals: Dict[str, float] = {}
-        for result in results:
-            for phase, seconds in (result.phase_times or {}).items():  # type: ignore[union-attr]
-                totals[phase] = totals.get(phase, 0.0) + seconds
-        stats.phase_totals = totals
-        if cache is not None:
-            stats.cache_evictions = cache.evictions
-            cache.flush_counters()
-        stats.wall_s = time.perf_counter() - t_start
+            totals: Dict[str, float] = {}
+            for result in results:
+                for phase, seconds in (
+                    getattr(result, "phase_times", None) or {}
+                ).items():
+                    totals[phase] = totals.get(phase, 0.0) + seconds
+            stats.phase_totals = totals
+            if cache is not None:
+                stats.cache_evictions = cache.evictions
+                cache.flush_counters()
+            stats.wall_s = time.perf_counter() - t_start
 
-        # Engine-side metrics: coarse, once per run.
-        registry = get_metrics()
-        registry.counter("engine.runs").inc()
-        registry.counter("engine.experiments").inc(len(specs))
-        registry.counter("engine.cache.hits").inc(stats.cache_hits)
-        registry.counter("engine.cache.misses").inc(stats.cache_misses)
-        registry.gauge("engine.workers").set(stats.workers)
-        registry.gauge("engine.worker_utilization").set(stats.utilization)
-        for phase, seconds in totals.items():
-            registry.histogram(f"engine.phase.{phase}_s").observe(seconds)
-        if tracer.enabled:
-            engine_span.set(
-                workers=stats.workers,
-                cache_hits=stats.cache_hits,
-                cache_misses=stats.cache_misses,
-            )
-    return results, stats  # type: ignore[return-value]
+            # Engine-side metrics: coarse, once per run.  Fault counters
+            # appear only when the fault layer actually did something, so
+            # clean runs export the same metrics as before.
+            registry = get_metrics()
+            registry.counter("engine.runs").inc()
+            registry.counter("engine.experiments").inc(len(specs))
+            registry.counter("engine.cache.hits").inc(stats.cache_hits)
+            registry.counter("engine.cache.misses").inc(stats.cache_misses)
+            registry.gauge("engine.workers").set(stats.workers)
+            registry.gauge("engine.worker_utilization").set(stats.utilization)
+            if stats.journal_hits:
+                registry.counter("engine.journal.hits").inc(stats.journal_hits)
+            if stats.retries:
+                registry.counter("engine.task.retries").inc(stats.retries)
+            if stats.quarantined:
+                registry.counter("engine.task.quarantined").inc(
+                    stats.quarantined
+                )
+            if stats.failures:
+                registry.counter("engine.task.failures").inc(stats.failures)
+                kinds: Dict[str, int] = {}
+                for result in results:
+                    if is_failed(result):
+                        kinds[result.kind] = kinds.get(result.kind, 0) + 1
+                for kind, count in sorted(kinds.items()):
+                    registry.counter(f"engine.task.failures.{kind}").inc(count)
+            for phase, seconds in totals.items():
+                registry.histogram(f"engine.phase.{phase}_s").observe(seconds)
+            if tracer.enabled:
+                engine_span.set(
+                    workers=stats.workers,
+                    cache_hits=stats.cache_hits,
+                    cache_misses=stats.cache_misses,
+                )
+                if stats.failures:
+                    engine_span.set(failures=stats.failures)
+    finally:
+        if journal is not None:
+            journal.close()
+    return results, stats

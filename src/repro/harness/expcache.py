@@ -163,15 +163,59 @@ class ExperimentCache:
         self._flushed = dict(session)
 
     def get(self, key: str) -> Optional[ExperimentResult]:
+        path = self._path(key)
         try:
-            with open(self._path(key), "r", encoding="utf-8") as handle:
+            with open(path, "r", encoding="utf-8") as handle:
                 data = json.load(handle)
+        except OSError:
+            self.misses += 1
+            return None
+        except ValueError:
+            # Undecodable entry (torn write, bit rot, injected chaos):
+            # quarantine it so every future run gets a clean miss
+            # instead of re-parsing the same bad file forever.
+            self._quarantine(path)
+            self.misses += 1
+            return None
+        try:
             result = ExperimentResult.from_dict(data)
-        except (OSError, ValueError, KeyError, TypeError):
+        except (ValueError, KeyError, TypeError):
+            self._quarantine(path)
             self.misses += 1
             return None
         self.hits += 1
         return result
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry aside (``*.json.corrupt``) and count it.
+
+        Quarantined files are invisible to :meth:`entries` (different
+        suffix) but stay on disk for post-mortems; the rename counts as
+        an eviction in the session and ``counters.json`` totals shown
+        by ``slms cache stats``.
+        """
+        try:
+            path.rename(path.with_name(path.name + ".corrupt"))
+        except OSError:
+            return
+        self.evictions += 1
+        self.flush_counters()
+
+    def corrupt(self, key: str) -> bool:
+        """Overwrite an entry with garbage (fault-injection helper).
+
+        Used by the chaos suite (``corrupt-cache`` rules in a
+        :class:`~repro.harness.faults.FaultPlan`) to prove the
+        quarantine path; returns whether the entry existed.
+        """
+        path = self._path(key)
+        if not path.is_file():
+            return False
+        try:
+            path.write_text("{corrupt cache entry", encoding="utf-8")
+        except OSError:
+            return False
+        return True
 
     def put(self, key: str, result: ExperimentResult) -> bool:
         path = self._path(key)
@@ -200,12 +244,18 @@ class ExperimentCache:
             return []
         return sorted(self.dir.glob("*/*.json"))
 
+    def corrupt_entries(self) -> list:
+        if not self.dir.is_dir():
+            return []
+        return sorted(self.dir.glob("*/*.json.corrupt"))
+
     def stats(self) -> Dict[str, Any]:
         entries = self.entries()
         return {
             "dir": str(self.dir),
             "entries": len(entries),
             "bytes": sum(p.stat().st_size for p in entries),
+            "corrupt": len(self.corrupt_entries()),
             "lifetime": self.lifetime_counters(),
             "session": {
                 "hits": self.hits,

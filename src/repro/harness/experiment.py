@@ -304,16 +304,31 @@ def run_suite(
     verify: bool = True,
     workers: Optional[int] = None,
     use_cache: Optional[bool] = None,
+    on_failure: str = "raise",
 ) -> List[ExperimentResult]:
-    """Run a list of workloads; failures surface as exceptions.
+    """Run a list of workloads through the evaluation engine.
 
     Experiments are independent, so they fan out over the evaluation
     engine's process pool and memoize through its result cache;
     ``workers``/``use_cache`` override the engine defaults (see
     :mod:`repro.harness.engine`).
+
+    The engine never raises for a failed task — it returns a
+    :class:`~repro.harness.faults.FailedResult` in the task's slot.
+    ``on_failure`` picks this function's stance: ``"raise"`` (default)
+    wraps any failures in a
+    :class:`~repro.harness.faults.TaskFailedError` so the figure
+    harness — which dereferences ``.speedup`` on every entry — keeps
+    exception semantics; ``"return"`` passes the mixed list through
+    for callers that triage failures themselves.
     """
     from repro.harness.engine import ExperimentSpec, run_experiments
+    from repro.harness.faults import TaskFailedError, is_failed
 
+    if on_failure not in ("raise", "return"):
+        raise ValueError(
+            f"on_failure must be 'raise' or 'return', got {on_failure!r}"
+        )
     if isinstance(machine, str):
         machine = machine_by_name(machine)
     if isinstance(compiler, str):
@@ -323,4 +338,8 @@ def run_suite(
         for wl in workloads
     ]
     results, _ = run_experiments(specs, workers=workers, use_cache=use_cache)
+    if on_failure == "raise":
+        failures = [r for r in results if is_failed(r)]
+        if failures:
+            raise TaskFailedError(failures)
     return results

@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.core.slms import SLMSOptions
 from repro.harness.engine import EngineStats, ExperimentSpec, run_experiments
 from repro.harness.experiment import ExperimentResult
+from repro.harness.faults import FailedResult, is_failed
 from repro.machines.presets import ALL_MACHINES, machine_by_name
 from repro.backend.compiler import COMPILER_PRESETS
 from repro.workloads import all_workloads, get_workload
@@ -34,12 +35,25 @@ DEFAULT_PAIRS = [
 
 @dataclass
 class SweepResult:
-    """The sweep matrix: (workload, machine, compiler) → result."""
+    """The sweep matrix: (workload, machine, compiler) → result.
+
+    ``results`` holds only the experiments that completed; a cell whose
+    task failed (worker crash, hang, exception) lands in ``failures``
+    as a structured :class:`~repro.harness.faults.FailedResult` instead
+    of aborting the sweep.  Exports append the failure records after
+    the result rows, so a clean sweep's CSV/JSON is byte-identical to
+    what it was before the fault layer existed.
+    """
 
     results: List[ExperimentResult] = field(default_factory=list)
+    failures: List[FailedResult] = field(default_factory=list)
     # Engine bookkeeping for the run that produced the matrix (wall
     # clock, cache hits, per-phase totals); not part of the exports.
     stats: Optional[EngineStats] = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
 
     def speedup_matrix(self) -> Dict[str, Dict[str, float]]:
         """workload → "machine/compiler" → speedup."""
@@ -72,6 +86,17 @@ class SweepResult:
                     int(res.ims_base), int(res.ims_slms), res.slms_reason,
                 ]
             )
+        for fr in self.failures:
+            writer.writerow(
+                [
+                    fr.spec.get("workload", fr.task),
+                    fr.spec.get("suite", ""),
+                    fr.spec.get("machine", ""),
+                    fr.spec.get("compiler", ""),
+                    "", "", "", "", "", "", "", "", "",
+                    f"FAILED[{fr.kind}/{fr.phase}]: {fr.message}",
+                ]
+            )
         return buffer.getvalue()
 
     def to_json(self) -> str:
@@ -96,6 +121,24 @@ class SweepResult:
                     "reason": res.slms_reason,
                 }
             )
+        # Appended only when present: a clean sweep's JSON (the digest
+        # the benchmark baseline pins) is unchanged by the fault layer.
+        for fr in self.failures:
+            records.append(
+                {
+                    "status": "failed",
+                    "workload": fr.spec.get("workload", fr.task),
+                    "suite": fr.spec.get("suite", ""),
+                    "machine": fr.spec.get("machine", ""),
+                    "compiler": fr.spec.get("compiler", ""),
+                    "kind": fr.kind,
+                    "phase": fr.phase,
+                    "message": fr.message,
+                    "attempts": fr.attempts,
+                    "quarantined": fr.quarantined,
+                    "traceback_digest": fr.traceback_digest,
+                }
+            )
         return json.dumps(records, indent=2)
 
     def best_pair_per_workload(self) -> Dict[str, str]:
@@ -115,6 +158,9 @@ def run_sweep(
     workers: Optional[int] = None,
     use_cache: Optional[bool] = None,
     cache_dir: Optional[str] = None,
+    task_timeout_s: Optional[float] = None,
+    journal_path: Optional[str] = None,
+    resume: Optional[bool] = None,
 ) -> SweepResult:
     """Run every workload on every (machine, compiler) pair.
 
@@ -124,9 +170,13 @@ def run_sweep(
     with the list of valid ones.  Experiments fan out over the
     evaluation engine (:mod:`repro.harness.engine`): ``workers`` picks
     the process count (default: one per CPU; 1 = serial),
-    ``use_cache``/``cache_dir`` control result memoization.  The matrix
-    is returned in deterministic (workload-major) order regardless of
-    worker count.
+    ``use_cache``/``cache_dir`` control result memoization,
+    ``task_timeout_s`` bounds each experiment's wall clock, and
+    ``journal_path``/``resume`` checkpoint completed cells so a killed
+    sweep resumes byte-identical (see
+    :class:`~repro.harness.faults.RunJournal`).  The matrix is returned
+    in deterministic (workload-major) order regardless of worker count;
+    failed cells are partitioned into ``SweepResult.failures``.
     """
     if workloads is None:
         workloads = all_workloads()
@@ -148,9 +198,19 @@ def run_sweep(
         for machine, compiler in pairs
     ]
     results, stats = run_experiments(
-        specs, workers=workers, use_cache=use_cache, cache_dir=cache_dir
+        specs,
+        workers=workers,
+        use_cache=use_cache,
+        cache_dir=cache_dir,
+        task_timeout_s=task_timeout_s,
+        journal_path=journal_path,
+        resume=resume,
     )
-    return SweepResult(results=results, stats=stats)
+    return SweepResult(
+        results=[r for r in results if not is_failed(r)],
+        failures=[r for r in results if is_failed(r)],
+        stats=stats,
+    )
 
 
 def bench_record(sweep: SweepResult, label: str = "") -> dict:

@@ -105,13 +105,53 @@ class TestSweep:
         assert "per-phase wall clock" in capsys.readouterr().err
 
     def test_sweep_unknown_workload_errors(self, capsys):
-        assert main(["sweep", "not_a_workload"]) == 1
+        # Input errors exit 2 (usage/input), not 1 (failed work).
+        assert main(["sweep", "not_a_workload"]) == 2
         err = capsys.readouterr().err
         assert "valid names" in err
 
     def test_sweep_bad_pair_errors(self, capsys):
-        assert main(["sweep", "daxpy", "--pairs", "itanium2"]) == 1
+        assert main(["sweep", "daxpy", "--pairs", "itanium2"]) == 2
         assert "MACHINE/COMPILER" in capsys.readouterr().err
+
+
+class TestExitCodes:
+    """The top-level exception boundary's unified exit-code contract."""
+
+    def test_keyboard_interrupt_exits_130(self, monkeypatch, capsys):
+        def boom(args):
+            raise KeyboardInterrupt()
+
+        monkeypatch.setattr("repro.cli._cmd_cache", boom)
+        assert main(["cache", "stats"]) == 130
+        assert "interrupted" in capsys.readouterr().err
+
+    def test_internal_error_exits_1_without_traceback(self, monkeypatch,
+                                                      capsys):
+        def boom(args):
+            raise RuntimeError("wires crossed")
+
+        monkeypatch.setattr("repro.cli._cmd_cache", boom)
+        assert main(["cache", "stats"]) == 1
+        err = capsys.readouterr().err
+        assert "internal error: RuntimeError: wires crossed" in err
+        assert "SLMS_DEBUG" in err
+        assert "Traceback" not in err
+
+    def test_slms_debug_reraises(self, monkeypatch):
+        def boom(args):
+            raise RuntimeError("wires crossed")
+
+        monkeypatch.setattr("repro.cli._cmd_cache", boom)
+        monkeypatch.setenv("SLMS_DEBUG", "1")
+        with pytest.raises(RuntimeError):
+            main(["cache", "stats"])
+
+    def test_frontend_error_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.c"
+        bad.write_text("for (i = 0; i < ; i++) { }")
+        assert main(["transform", str(bad)]) == 2
+        assert "error" in capsys.readouterr().err
 
 
 class TestCacheCommand:

@@ -1,0 +1,589 @@
+"""Chaos suite: the fault layer under injected crashes, hangs, faults.
+
+Every recovery path in :mod:`repro.harness.faults` is proven here with
+deterministic fault injection — no real flakiness, no timing races:
+
+* taxonomy: classification, traceback digests, FailedResult round-trip;
+* fault plans: grammar, ``?`` pinning, env activation, times semantics;
+* dispatch: transient retry on the deterministic backoff schedule,
+  crash containment + quarantine, per-task timeouts, and workers=1 vs
+  workers=4 failure invariance;
+* checkpointing: journal torn-tail tolerance, failed-record re-run,
+  engine resume byte-identity, and a real SIGKILL-style abort of
+  ``slms sweep`` resumed to the clean result.
+
+Worker pools here always get an explicit ``workers>=2`` — the CI
+container resolves the default to one CPU, which would silently take
+the in-process path.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.harness.engine import engine_defaults, run_experiments, run_tasks
+from repro.harness.expcache import ExperimentCache
+from repro.harness.faults import (
+    FailedResult,
+    FaultPlan,
+    FaultPolicy,
+    FaultRule,
+    RetryPolicy,
+    RunJournal,
+    SimulatedCrash,
+    TaskError,
+    TransientError,
+    classify_exception,
+    execute_guarded,
+    is_failed,
+    task_key,
+    traceback_digest,
+)
+from repro.harness.sweep import run_sweep
+
+from tests.harness.test_engine import _result_payload, _specs
+
+
+def _double(x):
+    """Module-level toy task (must stay picklable for worker pools)."""
+    return x * 2
+
+
+def _raise_value_error(x):
+    raise ValueError(f"bad item {x}")
+
+
+class TestTaxonomy:
+    def test_classification(self):
+        assert classify_exception(TransientError("x")) == "transient"
+        assert classify_exception(SimulatedCrash("x")) == "crash"
+        assert classify_exception(TaskError("x", kind="oom")) == "oom"
+        assert classify_exception(MemoryError()) == "oom"
+        assert classify_exception(ValueError("x")) == "deterministic"
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError):
+            TaskError("x", kind="cosmic-ray")
+
+    def test_traceback_digest_is_stable(self):
+        def capture():
+            try:
+                _raise_value_error(7)
+            except ValueError as exc:
+                return traceback_digest(exc)
+
+        first, second = capture(), capture()
+        assert first == second
+        assert len(first) == 16
+
+    def test_failed_result_round_trip(self):
+        fr = FailedResult(
+            task="daxpy@itanium2/gcc_O3",
+            index=3,
+            kind="crash",
+            phase="simulate",
+            message="boom",
+            traceback_digest="abcd" * 4,
+            attempts=2,
+            quarantined=True,
+            spec={"workload": "daxpy", "machine": "itanium2"},
+        )
+        data = fr.to_dict()
+        assert data["status"] == "failed"
+        assert FailedResult.from_dict(data) == fr
+        assert is_failed(fr)
+        assert not is_failed({"status": "failed"})  # plain dicts are not
+
+
+class TestFaultPlan:
+    def test_parse_round_trip(self):
+        plan = FaultPlan.parse("crash:0;hang:3x2@20;transient:5x1;seed=9")
+        assert plan.seed == 9
+        assert plan.rules == (
+            FaultRule("crash", 0, times=0),
+            FaultRule("hang", 3, times=2, seconds=20.0),
+            FaultRule("transient", 5, times=1),
+        )
+        assert FaultPlan.parse(plan.spec()) == plan
+
+    def test_parse_rejects_bad_rules(self):
+        with pytest.raises(ValueError):
+            FaultPlan.parse("explode:0")
+        with pytest.raises(ValueError):
+            FaultPlan.parse("crash")
+
+    def test_from_env(self, monkeypatch):
+        monkeypatch.delenv("SLMS_FAULTS", raising=False)
+        assert FaultPlan.from_env() is None
+        monkeypatch.setenv("SLMS_FAULTS", "fail:2")
+        assert FaultPlan.from_env() == FaultPlan.parse("fail:2")
+
+    def test_wildcard_resolution_is_deterministic(self):
+        plan = FaultPlan.parse("fail:?;seed=42")
+        a = plan.resolved(100).rules[0].index
+        b = plan.resolved(100).rules[0].index
+        assert a == b and 0 <= a < 100
+        # A different seed must be able to pick a different target.
+        others = {
+            FaultPlan.parse(f"fail:?;seed={s}").resolved(100).rules[0].index
+            for s in range(20)
+        }
+        assert len(others) > 1
+
+    def test_parent_side_rules(self):
+        plan = FaultPlan.parse("corrupt-cache:2;abort:5;crash:1")
+        assert plan.corrupt_cache_indices() == frozenset({2})
+        assert plan.abort_after() == 5
+        assert plan.needs_isolation()
+        assert not FaultPlan.parse("fail:0;transient:1").needs_isolation()
+
+    def test_times_limits_attempts(self):
+        plan = FaultPlan.parse("transient:0x2")
+        for attempt in (0, 1):
+            with pytest.raises(TransientError):
+                plan.apply(0, attempt, in_process=True)
+        plan.apply(0, 2, in_process=True)  # third attempt passes
+
+    def test_in_process_stand_ins(self):
+        with pytest.raises(SimulatedCrash):
+            FaultPlan.parse("crash:0").apply(0, 0, in_process=True)
+        with pytest.raises(TaskError) as excinfo:
+            FaultPlan.parse("hang:0@5").apply(0, 0, in_process=True)
+        assert excinfo.value.kind == "timeout"
+
+
+class TestRetryPolicy:
+    def test_backoff_schedule_clamps(self):
+        retry = RetryPolicy(backoff_s=(0.1, 0.2, 0.4))
+        assert [retry.delay(n) for n in (1, 2, 3, 4, 9)] == [
+            0.1, 0.2, 0.4, 0.4, 0.4,
+        ]
+
+    def test_max_attempts_per_kind(self):
+        policy = FaultPolicy(
+            retry=RetryPolicy(max_attempts=3, kinds=("transient", "timeout")),
+            crash_strikes=2,
+        )
+        assert policy.max_attempts_for("transient") == 3
+        assert policy.max_attempts_for("timeout") == 3
+        assert policy.max_attempts_for("crash") == 2
+        assert policy.max_attempts_for("deterministic") == 1
+        assert policy.max_attempts_for("oom") == 1
+
+
+class TestGuardedInProcess:
+    def test_transient_retries_on_the_backoff_schedule(self):
+        sleeps = []
+        outcomes = execute_guarded(
+            _double,
+            [10, 20, 30],
+            policy=FaultPolicy(
+                retry=RetryPolicy(max_attempts=3, backoff_s=(0.01, 0.05)),
+                fault_plan=FaultPlan.parse("transient:1x2"),
+            ),
+            sleep=sleeps.append,
+        )
+        assert [o.value for o in outcomes] == [20, 40, 60]
+        assert [o.attempts for o in outcomes] == [1, 3, 1]
+        assert sleeps == [0.01, 0.05]  # deterministic, no jitter
+        assert [e["event"] for e in outcomes[1].log] == ["retry", "retry"]
+
+    def test_deterministic_fault_fails_without_retry(self):
+        outcomes = execute_guarded(
+            _double, [1, 2, 3],
+            policy=FaultPolicy(fault_plan=FaultPlan.parse("fail:1")),
+        )
+        assert [o.ok for o in outcomes] == [True, False, True]
+        failure = outcomes[1].failure
+        assert failure.kind == "deterministic"
+        assert failure.attempts == 1
+        assert failure.index == 1
+        assert outcomes[1].log == [
+            {"event": "failed", "kind": "deterministic", "attempts": 1}
+        ]
+
+    def test_real_exception_is_contained_and_classified(self):
+        outcomes = execute_guarded(_raise_value_error, [7])
+        failure = outcomes[0].failure
+        assert failure.kind == "deterministic"
+        assert "ValueError: bad item 7" in failure.message
+        assert failure.traceback_digest
+
+    def test_in_process_crash_quarantines_after_strikes(self):
+        outcomes = execute_guarded(
+            _double, [1, 2],
+            policy=FaultPolicy(
+                crash_strikes=2, fault_plan=FaultPlan.parse("crash:0")
+            ),
+        )
+        failure = outcomes[0].failure
+        assert failure.kind == "crash"
+        assert failure.quarantined
+        assert failure.attempts == 2
+        assert outcomes[1].value == 4
+
+    def test_oom_kind(self):
+        outcomes = execute_guarded(
+            _double, [1],
+            policy=FaultPolicy(fault_plan=FaultPlan.parse("oom:0")),
+        )
+        assert outcomes[0].failure.kind == "oom"
+
+    def test_on_complete_fires_once_per_task_in_order(self):
+        seen = []
+        execute_guarded(
+            _double, [1, 2, 3],
+            policy=FaultPolicy(fault_plan=FaultPlan.parse("fail:1")),
+            on_complete=lambda i, out: seen.append((i, out.ok)),
+        )
+        assert seen == [(0, True), (1, False), (2, True)]
+
+
+class TestGuardedPooled:
+    def test_worker_crash_is_quarantined_others_complete(self):
+        outcomes = execute_guarded(
+            _double, list(range(4)), workers=2,
+            policy=FaultPolicy(
+                crash_strikes=2, fault_plan=FaultPlan.parse("crash:0")
+            ),
+        )
+        failure = outcomes[0].failure
+        assert failure.kind == "crash"
+        assert failure.quarantined
+        assert failure.attempts == 2
+        assert "worker process died" in failure.message
+        # Innocent bystanders of the pool breakage complete normally.
+        assert [o.value for o in outcomes[1:]] == [2, 4, 6]
+
+    def test_single_crash_recovers_on_retry(self):
+        outcomes = execute_guarded(
+            _double, list(range(3)), workers=2,
+            policy=FaultPolicy(
+                crash_strikes=3, fault_plan=FaultPlan.parse("crash:1x1")
+            ),
+        )
+        assert [o.ok for o in outcomes] == [True, True, True]
+        assert outcomes[1].attempts == 2
+        assert outcomes[1].log[0]["event"] == "retry"
+        assert outcomes[1].log[0]["kind"] == "crash"
+
+    def test_hung_task_times_out_others_complete(self):
+        outcomes = execute_guarded(
+            _double, list(range(3)), workers=2,
+            policy=FaultPolicy(
+                timeout_s=1.5, fault_plan=FaultPlan.parse("hang:2@60")
+            ),
+        )
+        assert [o.ok for o in outcomes] == [True, True, False]
+        failure = outcomes[2].failure
+        assert failure.kind == "timeout"
+        assert "wall-clock limit" in failure.message
+
+    def test_timeout_retry_succeeds_when_hang_is_transient(self):
+        outcomes = execute_guarded(
+            _double, list(range(2)), workers=2,
+            policy=FaultPolicy(
+                timeout_s=1.5,
+                retry=RetryPolicy(
+                    max_attempts=2, backoff_s=(0.0,),
+                    kinds=("transient", "timeout"),
+                ),
+                fault_plan=FaultPlan.parse("hang:0x1@60"),
+            ),
+        )
+        assert [o.ok for o in outcomes] == [True, True]
+        assert outcomes[0].attempts == 2
+
+    def test_failure_reports_invariant_across_worker_counts(self):
+        plan = FaultPlan.parse("fail:1;transient:2x9;oom:3")
+        policy = FaultPolicy(
+            retry=RetryPolicy(max_attempts=2, backoff_s=(0.0,)),
+            fault_plan=plan,
+        )
+
+        def snapshot(workers):
+            outcomes = execute_guarded(
+                _double, list(range(5)), workers=workers, policy=policy
+            )
+            return [
+                o.failure.to_dict() if not o.ok else o.value
+                for o in outcomes
+            ]
+
+        serial, pooled = snapshot(1), snapshot(4)
+        assert serial == pooled
+        kinds = [
+            r["kind"] for r in serial if isinstance(r, dict)
+        ]
+        assert kinds == ["deterministic", "transient", "oom"]
+
+
+class TestRunJournal:
+    def test_records_replay_and_last_wins(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with RunJournal(path) as journal:
+            journal.record("k1", "ok", {"v": 1})
+            journal.record("k2", "failed", {"kind": "crash"})
+            journal.record("k1", "ok", {"v": 2})
+        loaded = RunJournal(path, resume=True)
+        assert len(loaded) == 2
+        assert loaded.completed_ok("k1") == {"v": 2}
+        # Failed records are never replayed: the task must re-run.
+        assert loaded.completed_ok("k2") is None
+        assert loaded.get("k2")["status"] == "failed"
+        loaded.close()
+
+    def test_torn_tail_line_is_tolerated(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with RunJournal(path) as journal:
+            journal.record("k1", "ok", {"v": 1})
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"schema": "slms-journal/1", "key": "k2", "sta')
+        loaded = RunJournal(path, resume=True)
+        assert loaded.completed_ok("k1") == {"v": 1}
+        assert loaded.completed_ok("k2") is None
+        loaded.close()
+
+    def test_fresh_journal_overwrites_previous(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with RunJournal(path) as journal:
+            journal.record("k1", "ok", {"v": 1})
+        with RunJournal(path) as journal:  # resume=False starts over
+            assert journal.completed_ok("k1") is None
+        assert RunJournal(path, resume=True).completed_ok("k1") is None
+
+    def test_task_key_is_canonical(self):
+        assert task_key({"b": 1, "a": 2}) == task_key({"a": 2, "b": 1})
+        assert task_key({"a": 1}) != task_key({"a": 2})
+
+
+class TestRunTasksGuarded:
+    def test_failures_land_in_slot_order(self):
+        results = run_tasks(
+            _double, [1, 2, 3], workers=1,
+            fault_plan=FaultPlan.parse("fail:1"),
+        )
+        assert results[0] == 2 and results[2] == 6
+        assert is_failed(results[1])
+
+    def test_journal_resume_skips_completed_items(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        items = [1, 2, 3]
+        with RunJournal(path) as journal:
+            first = run_tasks(_double, items, workers=1, journal=journal)
+        assert first == [2, 4, 6]
+        calls = []
+
+        def tracked(x):
+            calls.append(x)
+            return x * 2
+
+        with RunJournal(path, resume=True) as journal:
+            second = run_tasks(tracked, items, workers=1, journal=journal)
+        assert second == first
+        assert calls == []  # everything replayed from the journal
+
+
+class TestEngineFaults:
+    def test_failed_spec_carries_identity(self, monkeypatch):
+        monkeypatch.setenv("SLMS_FAULTS", "fail:0")
+        results, stats = run_experiments(
+            _specs(("daxpy", "kernel1")), workers=1, use_cache=False
+        )
+        assert is_failed(results[0])
+        assert results[0].spec == {
+            "workload": "daxpy",
+            "suite": "linpack",
+            "machine": "itanium2",
+            "compiler": "gcc_O3",
+        }
+        assert results[1].workload == "kernel1"
+        assert stats.failures == 1
+
+    def test_transient_retry_recovers_and_counts(self):
+        plan = FaultPlan.parse("transient:0x1")
+        with engine_defaults(fault_plan=plan):
+            results, stats = run_experiments(
+                _specs(("daxpy",)), workers=1, use_cache=False
+            )
+        assert not is_failed(results[0])
+        assert stats.failures == 0
+        assert stats.retries == 1
+
+    def test_chaotic_sweep_reports_exactly_the_faulted_cells(self):
+        pairs = [("itanium2", "gcc_O3"), ("pentium", "gcc_O3")]
+        plan = FaultPlan.parse("crash:0;hang:3@60")
+        with engine_defaults(fault_plan=plan, task_timeout_s=5.0):
+            sweep = run_sweep(
+                ["daxpy", "kernel1"], pairs=pairs, workers=2, use_cache=False
+            )
+        assert len(sweep.failures) == 2
+        by_kind = {f.kind: f for f in sweep.failures}
+        assert by_kind["crash"].task == "daxpy@itanium2/gcc_O3"
+        assert by_kind["timeout"].task == "kernel1@pentium/gcc_O3"
+        assert len(sweep.results) == 2
+        assert not sweep.ok
+        # Failure rows ride along in both exports.
+        assert "FAILED[crash/task]" in sweep.to_csv()
+        assert '"status": "failed"' in sweep.to_json()
+
+    def test_resume_is_byte_identical_to_uninterrupted(self, tmp_path):
+        specs = _specs(("daxpy", "kernel1"))
+        clean, _ = run_experiments(specs, workers=1, use_cache=False)
+
+        journal = str(tmp_path / "sweep.jsonl")
+        with engine_defaults(fault_plan=FaultPlan.parse("crash:1")):
+            chaotic, _ = run_experiments(
+                specs, workers=2, use_cache=False, journal_path=journal
+            )
+        assert not is_failed(chaotic[0]) and is_failed(chaotic[1])
+
+        resumed, stats = run_experiments(
+            specs, workers=1, use_cache=False,
+            journal_path=journal, resume=True,
+        )
+        assert stats.journal_hits == 1  # spec 0 replayed, spec 1 re-run
+        assert [_result_payload(r) for r in resumed] == [
+            _result_payload(r) for r in clean
+        ]
+
+    def test_corrupt_cache_entry_is_quarantined_on_next_read(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        plan = FaultPlan.parse("corrupt-cache:0")
+        with engine_defaults(fault_plan=plan):
+            run_experiments(_specs(("daxpy",)), workers=1,
+                            cache_dir=cache_dir)
+        # The injected corruption poisoned the freshly-written entry;
+        # the next run must quarantine it, recompute, and re-cache.
+        results, stats = run_experiments(
+            _specs(("daxpy",)), workers=1, cache_dir=cache_dir
+        )
+        assert not is_failed(results[0])
+        assert stats.cache_hits == 0
+        cache = ExperimentCache(cache_dir)
+        assert len(cache.corrupt_entries()) == 1
+        assert cache.stats()["corrupt"] == 1
+        assert cache.lifetime_counters()["evictions"] >= 1
+        # Third run: the re-cached entry is healthy again.
+        _, warm = run_experiments(
+            _specs(("daxpy",)), workers=1, cache_dir=cache_dir
+        )
+        assert warm.cache_hits == 1
+
+
+class TestSigkillResume:
+    """A sweep killed mid-run (``abort`` rule = ``os._exit(137)``)
+    resumes from its journal to the byte-identical clean export."""
+
+    def _sweep(self, tmp_path, out, extra, env_faults=None):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src" + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        env["SLMS_CACHE_DIR"] = str(tmp_path / "cache-unused")
+        if env_faults:
+            env["SLMS_FAULTS"] = env_faults
+        else:
+            env.pop("SLMS_FAULTS", None)
+        cmd = [
+            sys.executable, "-m", "repro.cli", "sweep", "daxpy", "kernel1",
+            "--pairs", "itanium2/gcc_O3", "--workers", "1", "--no-cache",
+            "--json", str(out),
+        ] + extra
+        return subprocess.run(
+            cmd, cwd="/root/repo", env=env, capture_output=True, text=True,
+            timeout=300,
+        )
+
+    def test_killed_sweep_resumes_to_clean_digest(self, tmp_path):
+        journal = tmp_path / "sweep.jsonl"
+
+        clean = self._sweep(tmp_path, tmp_path / "clean.json", [])
+        assert clean.returncode == 0, clean.stderr
+
+        killed = self._sweep(
+            tmp_path, tmp_path / "killed.json",
+            ["--journal", str(journal)], env_faults="abort:1",
+        )
+        assert killed.returncode == 137  # died mid-sweep, like SIGKILL
+        assert journal.exists()
+        assert len(RunJournal(journal, resume=True)) == 1
+
+        resumed = self._sweep(
+            tmp_path, tmp_path / "resumed.json",
+            ["--resume", str(journal)],
+        )
+        assert resumed.returncode == 0, resumed.stderr
+        assert "1 replay(s)" in resumed.stderr
+        assert (
+            (tmp_path / "resumed.json").read_bytes()
+            == (tmp_path / "clean.json").read_bytes()
+        )
+
+
+class TestCliFaults:
+    def test_faulted_sweep_exits_1_and_reports(self, monkeypatch, tmp_path,
+                                               capsys):
+        from repro.cli import main
+
+        monkeypatch.setenv("SLMS_CACHE_DIR", str(tmp_path / "cache"))
+        monkeypatch.setenv("SLMS_FAULTS", "fail:0")
+        assert main(["sweep", "daxpy", "--pairs", "itanium2/gcc_O3",
+                     "--workers", "1", "--no-cache"]) == 1
+        err = capsys.readouterr().err
+        assert "1 experiment(s) FAILED" in err
+        assert "injected deterministic fault" in err
+
+
+class TestFuzzReducerError:
+    def test_reducer_crash_is_recorded_not_swallowed(self, monkeypatch):
+        from repro.fuzz import session as fuzz_session
+        from repro.fuzz.oracle import CaseOutcome
+
+        def fake_run_case(case, config):
+            return CaseOutcome(
+                seed=case.seed, profile=case.profile, status="fail",
+                failure_class="semantic-divergence", detail="injected",
+            )
+
+        def broken_reduce(case, outcome, config, max_tests=0):
+            raise RuntimeError("reducer exploded")
+
+        monkeypatch.setattr(fuzz_session, "run_case", fake_run_case)
+        monkeypatch.setattr(fuzz_session, "reduce_case", broken_reduce)
+        config = fuzz_session.FuzzSessionConfig(
+            master_seed=1, iterations=2, profile="tiny", workers=1
+        )
+        report = fuzz_session.run_fuzz_session(config)
+        assert len(report.failures) == 2
+        for failure in report.failures:
+            assert failure.notes.startswith(
+                "reducer-error: RuntimeError: reducer exploded"
+            )
+            assert failure.reduced == failure.source  # kept unreduced
+            assert failure.to_dict()["notes"] == failure.notes
+
+    def test_harness_error_becomes_failure_class(self, monkeypatch):
+        from repro.fuzz import session as fuzz_session
+
+        def fake_run_tasks(fn, tasks, workers=None, **kwargs):
+            results = [fn(task) for task in tasks]
+            results[0] = FailedResult(
+                task="task[0]", index=0, kind="crash",
+                message="worker process died", quarantined=True,
+            )
+            return results
+
+        monkeypatch.setattr(fuzz_session, "run_tasks", fake_run_tasks)
+        config = fuzz_session.FuzzSessionConfig(
+            master_seed=1, iterations=2, profile="tiny", workers=1
+        )
+        report = fuzz_session.run_fuzz_session(config)
+        assert report.failure_counts.get("harness-error") == 1
+        harness_failures = [
+            f for f in report.failures if f.failure_class == "harness-error"
+        ]
+        assert len(harness_failures) == 1
+        assert "crash in task: worker process died" in harness_failures[0].detail

@@ -97,25 +97,26 @@ class TestCheck:
 
 
 class TestFrontendErrors:
-    """Bad input exits 1 with a formatted diagnostic, never a traceback."""
+    """Bad input exits 2 (usage/input) with a formatted diagnostic,
+    never a traceback — exit 1 is reserved for failed work."""
 
     def test_check_parse_error(self, parse_error_file, capsys):
-        assert main(["check", parse_error_file]) == 1
+        assert main(["check", parse_error_file]) == 2
         err = capsys.readouterr().err
         assert parse_error_file in err
         assert "error:" in err
         assert ":2:" in err  # real location, not 0:0
 
     def test_transform_parse_error(self, parse_error_file, capsys):
-        assert main(["transform", parse_error_file]) == 1
+        assert main(["transform", parse_error_file]) == 2
         assert "error:" in capsys.readouterr().err
 
     def test_explain_parse_error(self, parse_error_file, capsys):
-        assert main(["explain", parse_error_file]) == 1
+        assert main(["explain", parse_error_file]) == 2
         assert "error:" in capsys.readouterr().err
 
     def test_missing_file(self, tmp_path, capsys):
-        assert main(["check", str(tmp_path / "nope.c")]) == 1
+        assert main(["check", str(tmp_path / "nope.c")]) == 2
         assert "error:" in capsys.readouterr().err
 
 
