@@ -1,0 +1,64 @@
+"""Backward liveness over scalars.
+
+A name is live at a point when some path from it reaches a read before
+any write.  The exit boundary is *every declared scalar*: the simulator
+reports final scalar values as observable program state (the fuzz
+oracle compares them bit-for-bit), so a value held at exit is a live
+value, and "dead store" means *provably overwritten before any read on
+every path* — never merely "written late".
+
+``slms lint`` derives two facts from this analysis: A304 dead-store
+warnings and the per-loop register-pressure estimate (the maximum
+number of simultaneously live scalars across the loop body, an upper
+bound on what a backend must keep in registers before spilling).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Set
+
+from repro.analysis.dataflow.cfg import CFG, CFGNode, node_defs, node_uses
+from repro.analysis.dataflow.solver import DataflowAnalysis, DataflowResult, solve
+from repro.lang.ast_nodes import Decl
+
+Live = FrozenSet[str]
+
+
+class LivenessAnalysis(DataflowAnalysis):
+    direction = "backward"
+
+    def __init__(self, live_at_exit: Set[str]):
+        self.live_at_exit = frozenset(live_at_exit)
+
+    def boundary(self, cfg: CFG) -> Live:
+        return self.live_at_exit
+
+    def initial(self, cfg: CFG, node: CFGNode) -> Live:
+        return frozenset()
+
+    def join(self, values: List[Live]) -> Live:
+        out: set = set()
+        for value in values:
+            out |= value
+        return frozenset(out)
+
+    def transfer(self, node: CFGNode, value: Live) -> Live:
+        # Backward: value is live-out; result is live-in = use ∪ (out − def).
+        return frozenset(node_uses(node) | (value - node_defs(node)))
+
+
+def declared_scalars(cfg: CFG) -> Set[str]:
+    """Names declared as scalars anywhere in the analyzed fragment."""
+    out: Set[str] = set()
+    for node in cfg.nodes:
+        if isinstance(node.stmt, Decl) and not node.stmt.dims:
+            out.add(node.stmt.name)
+    return out
+
+
+def live_sets(cfg: CFG, live_at_exit: Set[str] = None) -> DataflowResult:
+    """Solve liveness.  For a backward analysis ``inputs[n]`` is the
+    node's live-*out* set and ``outputs[n]`` its live-*in* set."""
+    if live_at_exit is None:
+        live_at_exit = declared_scalars(cfg)
+    return solve(cfg, LivenessAnalysis(live_at_exit))

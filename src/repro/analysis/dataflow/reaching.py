@@ -1,0 +1,67 @@
+"""Reaching definitions over scalars.
+
+The lattice element is a frozenset of :class:`Def` facts.  A ``Decl``
+with an initializer is a real definition; a ``Decl`` *without* one
+generates an "uninitialized" pseudo-definition, so a use whose reaching
+set contains the pseudo-def may observe an undefined value (the lint
+A305 warning).  Names never declared in the analyzed fragment (loop
+indices of kernel excerpts, harness-supplied scalars) get no pseudo-def
+and are treated as externally defined.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, NamedTuple
+
+from repro.analysis.dataflow.cfg import CFG, CFGNode, node_defs
+from repro.analysis.dataflow.solver import DataflowAnalysis, DataflowResult, solve
+from repro.lang.ast_nodes import Decl
+
+
+class Def(NamedTuple):
+    """One definition fact: ``var`` defined at CFG node ``node`` (or the
+    declared-but-never-assigned pseudo-def when ``uninit``)."""
+
+    var: str
+    node: int
+    uninit: bool = False
+
+
+Defs = FrozenSet[Def]
+
+
+class ReachingDefsAnalysis(DataflowAnalysis):
+    direction = "forward"
+
+    def boundary(self, cfg: CFG) -> Defs:
+        return frozenset()
+
+    def initial(self, cfg: CFG, node: CFGNode) -> Defs:
+        return frozenset()
+
+    def join(self, values: List[Defs]) -> Defs:
+        out: set = set()
+        for value in values:
+            out |= value
+        return frozenset(out)
+
+    def transfer(self, node: CFGNode, value: Defs) -> Defs:
+        killed = node_defs(node)
+        if isinstance(node.stmt, Decl) and not node.stmt.dims:
+            killed = killed | {node.stmt.name}
+        if not killed:
+            return value
+        out = {d for d in value if d.var not in killed}
+        stmt = node.stmt
+        if isinstance(stmt, Decl):
+            out.add(Def(stmt.name, node.id, uninit=stmt.init is None))
+        else:
+            for var in node_defs(node):
+                out.add(Def(var, node.id))
+        return frozenset(out)
+
+
+def reaching_defs(cfg: CFG) -> DataflowResult:
+    """Solve reaching definitions; ``inputs[n]`` is the set reaching
+    node ``n``'s uses."""
+    return solve(cfg, ReachingDefsAnalysis())

@@ -55,6 +55,21 @@ Subcommands
     (``--json`` for machine-readable output, ``--Werror`` to fail on
     warnings).
 
+``slms lint FILE``
+    Dataflow lint (A3xx series): interval-analysis proofs of array
+    subscript bounds, dead-store and use-before-initialization
+    warnings, and a liveness-derived register-pressure estimate
+    checked against ``--machine``.  ``--json`` emits the shared
+    ``slms-diag/1`` payload; ``--Werror`` fails on warnings, ``--notes``
+    shows the informational findings.
+
+``slms advise FILE``
+    Static SLMS applicability: predict — without running the scheduler
+    — whether each innermost loop will be pipelined or declined (and
+    why), its recMII floor and expected II/stage counts, with
+    actionable suggestions.  The same advisor backs ``slms explain``'s
+    advice section.
+
 Bad input never produces a traceback, and exit codes are uniform
 across subcommands: **0** success, **1** failures (failed experiments,
 fuzz findings, ``check`` errors, or an internal error — set
@@ -165,6 +180,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
     from repro import SLMSOptions, slms
     from repro.lang.parser import parse_program
     from repro.verify import check_program, has_errors, sort_diagnostics
+    from repro.verify.diagnostics import json_payload
 
     source = _read_source(args.file)
     program = parse_program(source)
@@ -191,12 +207,10 @@ def _cmd_check(args: argparse.Namespace) -> int:
     if args.json:
         print(
             json.dumps(
-                {
-                    "file": args.file,
-                    "ok": not failed,
-                    "diagnostics": [d.to_dict() for d in diags],
-                    "loops": loop_reports,
-                },
+                json_payload(
+                    args.file, diags, werror=args.werror,
+                    loops=loop_reports,
+                ),
                 indent=2,
             )
         )
@@ -215,6 +229,83 @@ def _cmd_check(args: argparse.Namespace) -> int:
             f"{validated}/{applied} schedule(s) validated"
         )
     return 1 if failed else 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Dataflow lint: bounds proofs, dead stores, use-before-init, and
+    the register-pressure estimate for one source file."""
+    from repro.lang.parser import parse_program
+    from repro.machines.presets import machine_by_name
+    from repro.verify import has_errors
+    from repro.verify.diagnostics import json_payload
+    from repro.verify.lint import lint_program
+
+    source = _read_source(args.file)
+    program = parse_program(source)
+    machine = None if args.machine == "none" else machine_by_name(args.machine)
+    with _Observed(args):
+        diags = lint_program(program, machine)
+
+    failed = has_errors(diags, werror=args.werror)
+    if args.json:
+        print(
+            json.dumps(
+                json_payload(
+                    args.file, diags, werror=args.werror,
+                    machine=args.machine,
+                ),
+                indent=2,
+            )
+        )
+        return 1 if failed else 0
+    shown = [d for d in diags if args.notes or d.severity != "note"]
+    for diag in shown:
+        print(diag.format(args.file))
+    errors = sum(1 for d in diags if d.severity == "error")
+    warnings = sum(1 for d in diags if d.severity == "warning")
+    print(
+        f"{args.file}: {errors} error(s), {warnings} warning(s), "
+        f"{len(diags) - errors - warnings} note(s)"
+    )
+    return 1 if failed else 0
+
+
+def _cmd_advise(args: argparse.Namespace) -> int:
+    """Static SLMS applicability report: predicted verdict, recMII floor,
+    and actionable suggestions — without running the scheduler."""
+    from repro.core.advisor import advise_program, render_advice
+    from repro.core.slms import SLMSOptions
+    from repro.lang.parser import parse_program
+
+    source = _read_source(args.file)
+    program = parse_program(source)
+    options = SLMSOptions(
+        enable_filter=not args.no_filter, force=args.force
+    )
+    with _Observed(args):
+        advices = advise_program(program, options)
+
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "schema": "slms-advise/1",
+                    "file": args.file,
+                    "loops": [a.to_dict() for a in advices],
+                },
+                indent=2,
+            )
+        )
+        return 0
+    if not advices:
+        print(f"{args.file}: no innermost canonical loop candidates")
+        return 0
+    for idx, advice in enumerate(advices):
+        if idx:
+            print()
+        print(f"===== loop {idx} =====")
+        print(render_advice(advice))
+    return 0
 
 
 def _print_phases(phase_totals, file=None) -> None:
@@ -636,6 +727,37 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_check.add_argument("--no-filter", action="store_true",
                          help="attempt SLMS even on filtered-out loops")
     p_check.set_defaults(func=_cmd_check)
+
+    p_lint = sub.add_parser(
+        "lint", help="dataflow lint: subscript-bounds proofs, dead "
+        "stores, use-before-init, register pressure"
+    )
+    p_lint.add_argument("file")
+    p_lint.add_argument("--machine", default="itanium2",
+                        help="machine model for the register-pressure "
+                        "check ('none' to skip it)")
+    p_lint.add_argument("--json", action="store_true",
+                        help="emit diagnostics as JSON "
+                        "(schema slms-diag/1)")
+    p_lint.add_argument("--Werror", dest="werror", action="store_true",
+                        help="treat warnings as errors")
+    p_lint.add_argument("--notes", action="store_true",
+                        help="also print note-severity findings")
+    _add_obs_flags(p_lint)
+    p_lint.set_defaults(func=_cmd_lint)
+
+    p_advise = sub.add_parser(
+        "advise", help="static SLMS applicability: predicted verdict, "
+        "recMII floor, and suggestions (no scheduling)"
+    )
+    p_advise.add_argument("file")
+    p_advise.add_argument("--force", action="store_true",
+                          help="predict with the §4 filter bypassed")
+    p_advise.add_argument("--no-filter", action="store_true")
+    p_advise.add_argument("--json", action="store_true",
+                          help="emit the per-loop predictions as JSON")
+    _add_obs_flags(p_advise)
+    p_advise.set_defaults(func=_cmd_advise)
 
     p_figure = sub.add_parser("figure", help="regenerate a paper figure")
     p_figure.add_argument("name")

@@ -1,0 +1,405 @@
+"""Static SLMS applicability advisor (``slms advise``).
+
+Predicts, for every innermost canonical-candidate loop, whether
+:func:`repro.core.slms.slms_for_loop` would apply or decline — and with
+*exactly which reason string* — without running the scheduler, the
+expansion passes, or the emitter.  The prediction reuses the pipeline's
+own front half (loop-shape recognition, the §4 filter, if-conversion,
+MI partitioning, the DDG, and the II search) and then decides the
+emission stage arithmetically:
+
+* the MVE path declines iff ``trip_count < ceil(n_mis / II)``;
+* the scalar-expansion and plain paths decline with the
+  ``ShortTripCount`` message under the same condition (scalar expansion
+  rewrites MIs in place, so the stage count is unchanged);
+* symbolic trip counts never decline at emission — the schedule gets a
+  runtime guard instead.
+
+Alongside the verdict the advisor reports the recurrence-MII floor
+(``pmii_difmin``) whenever a precise dependence graph exists — the
+hard lower bound no amount of decomposition or expansion can beat —
+plus actionable suggestions keyed to the predicted decline.
+
+``tests/analysis/test_advisor.py`` holds the gate: prediction must
+equal the actual driver outcome (verdict *and* reason) on the entire
+workload corpus.
+
+Known limit: §5 reduction lane splitting (``reduction_lanes >= 2``)
+can rescue a loop the plain path declines; the advisor predicts the
+un-split path and says so in a suggestion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.analysis.ddg import build_ddg
+from repro.analysis.loopinfo import LoopInfo
+from repro.core.decompose import decompose_mi
+from repro.core.filters import bad_case_filter
+from repro.core.if_conversion import if_convert
+from repro.core.mi import NotPartitionable, partition_mis
+from repro.core.mii import find_valid_ii, pmii_difmin
+from repro.core.mve import plan_rotations
+from repro.core.names import NamePool, all_names
+from repro.core.pipeline import _collect_types
+from repro.core.schedule import ShortTripCount
+from repro.core.slms import SLMSOptions, _has_inner_control
+from repro.lang.ast_nodes import For, Program, Stmt, While
+from repro.obs import get_metrics, get_tracer
+
+
+@dataclass
+class Advice:
+    """Predicted outcome for one loop."""
+
+    line: int
+    verdict: str  # "apply" | "decline"
+    reason: str = ""  # the exact reason string slms_for_loop would report
+    rec_mii: Optional[int] = None  # recurrence-MII floor (pmii_difmin)
+    ii: Optional[int] = None
+    stages: Optional[int] = None
+    n_mis: Optional[int] = None
+    decompositions: int = 0
+    expansion: Optional[str] = None  # predicted strategy when applying
+    unroll: int = 1
+    trip_count: Optional[int] = None
+    memory_ref_ratio: Optional[float] = None
+    suggestions: List[str] = field(default_factory=list)
+
+    @property
+    def applies(self) -> bool:
+        return self.verdict == "apply"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "line": self.line,
+            "verdict": self.verdict,
+            "reason": self.reason,
+            "rec_mii": self.rec_mii,
+            "ii": self.ii,
+            "stages": self.stages,
+            "n_mis": self.n_mis,
+            "decompositions": self.decompositions,
+            "expansion": self.expansion,
+            "unroll": self.unroll,
+            "trip_count": self.trip_count,
+            "memory_ref_ratio": self.memory_ref_ratio,
+            "suggestions": list(self.suggestions),
+        }
+
+
+# Decline reason (prefix) -> what the user can do about it.
+_SUGGESTIONS = [
+    (
+        "loop is not in canonical counted form",
+        "rewrite as `for (i = lo; i < hi; i = i + c)` with a "
+        "loop-invariant bound and a constant step",
+    ),
+    (
+        "nested loop in body",
+        "pipeline the innermost loop instead, or fully unroll the "
+        "inner loop first",
+    ),
+    (
+        "break/continue in body",
+        "hoist the early exit out of the loop; SLMS needs a fixed "
+        "iteration space",
+    ),
+    (
+        "empty loop body",
+        "nothing to pipeline; fold the loop away or fill in the body",
+    ),
+    (
+        "imprecise dependences",
+        "remove opaque calls and non-affine subscripts so every "
+        "dependence distance is computable",
+    ),
+    (
+        "no valid II after maximum decompositions",
+        "raise --max-decompositions, or break the recurrence by "
+        "restructuring the dependent statements",
+    ),
+    (
+        "no MI can be decomposed",
+        "the recurrence admits no load/compute split (§5 failure "
+        "case); restructure the loop body by hand",
+    ),
+    (
+        "trip count",  # both ShortTripCount and the MVE variant
+        "increase the trip count to at least the stage count, or "
+        "lower the stage count by raising II",
+    ),
+    (
+        "MVE requires literal bounds",
+        "make the loop bounds integer literals, or use "
+        "--expansion none for a guarded schedule",
+    ),
+    (
+        "scalar expansion requires literal bounds",
+        "make the loop bounds integer literals, or use "
+        "--expansion none for a guarded schedule",
+    ),
+]
+
+
+def _suggest_for(reason: str) -> List[str]:
+    return [
+        hint for prefix, hint in _SUGGESTIONS if reason.startswith(prefix)
+    ]
+
+
+def advise_loop(
+    loop: For,
+    pool: NamePool,
+    options: Optional[SLMSOptions] = None,
+    types: Optional[Dict[str, str]] = None,
+) -> Advice:
+    """Predict :func:`slms_for_loop`'s outcome for one loop."""
+    options = options or SLMSOptions()
+    types = dict(types or {})
+    line = loop.loc.line if loop.loc else 0
+
+    def declined(reason: str, **kw) -> Advice:
+        advice = Advice(
+            line=line, verdict="decline", reason=reason,
+            suggestions=_suggest_for(reason), **kw,
+        )
+        if options.reduction_lanes >= 2:
+            advice.suggestions.append(
+                "reduction lane splitting is enabled; a reduction loop "
+                "may still pipeline via the lane-split path"
+            )
+        return advice
+
+    # ---- step 0: canonical shape (mirrors slms_for_loop) ----------------
+    info = LoopInfo.from_for(loop)
+    if info is None:
+        return declined("loop is not in canonical counted form")
+    control = _has_inner_control(loop.body)
+    if control is not None:
+        return declined(control)
+    trip = info.trip_count
+
+    # ---- step 1: §4 bad-case filter --------------------------------------
+    verdict = bad_case_filter(
+        loop.body,
+        info.var,
+        ratio_threshold=options.ratio_threshold,
+        min_arith_per_ref=options.min_arith_per_ref,
+    )
+    ratio = round(verdict.memory_ref_ratio, 6)
+    if options.enable_filter and not options.force and not verdict.apply_slms:
+        advice = declined(
+            verdict.reason, trip_count=trip, memory_ref_ratio=ratio
+        )
+        advice.suggestions.append(
+            "pass --force (or disable the filter) to pipeline anyway"
+        )
+        return advice
+
+    # ---- steps 2+3: if-conversion, MI partition --------------------------
+    converted = if_convert([s.clone() for s in loop.body], pool)
+    types.update((p, "int") for p in converted.predicates)
+    try:
+        partition = partition_mis(
+            converted.stmts, info.var, pool, elem_types=types
+        )
+    except NotPartitionable as exc:
+        return declined(
+            str(exc), trip_count=trip, memory_ref_ratio=ratio
+        )
+    types.update((d.name, d.type) for d in partition.hoisted_decls)
+    mis = partition.mis
+    if not mis:
+        return declined(
+            "empty loop body", trip_count=trip, memory_ref_ratio=ratio
+        )
+
+    # ---- §3.2 second form: resource-driven decomposition ------------------
+    if options.resource_limits is not None:
+        from repro.core.decompose import decompose_by_resources
+        from repro.core.slms import _infer_type
+
+        max_loads, max_arith = options.resource_limits
+        changed = True
+        rounds = 0
+        while changed and rounds < options.max_decompositions:
+            changed = False
+            for pos, stmt in enumerate(mis):
+                parts = decompose_by_resources(
+                    stmt, max_loads, max_arith, pool
+                )
+                if parts is not None:
+                    temp = parts[0].target.name
+                    types[temp] = _infer_type(parts[0].value, types)
+                    mis = mis[:pos] + parts + mis[pos + 1:]
+                    changed = True
+                    rounds += 1
+                    break
+
+    # ---- steps 4+5: DDG, II search, decomposition loop --------------------
+    from repro.core.slms import _element_type
+
+    decompositions = 0
+    while True:
+        graph = build_ddg(mis, info)
+        if not graph.precise:
+            return declined(
+                "imprecise dependences: " + "; ".join(graph.reasons),
+                trip_count=trip, memory_ref_ratio=ratio,
+            )
+        ii = find_valid_ii(graph, len(mis)) if len(mis) >= 2 else None
+        if ii is not None:
+            break
+        if decompositions >= options.max_decompositions:
+            return declined(
+                "no valid II after maximum decompositions",
+                rec_mii=pmii_difmin(graph),
+                n_mis=len(mis),
+                decompositions=decompositions,
+                trip_count=trip, memory_ref_ratio=ratio,
+            )
+        for pos, stmt in enumerate(mis):
+            decomposition = decompose_mi(stmt, mis, info, pool)
+            if decomposition is not None:
+                mis = (
+                    mis[:pos]
+                    + [decomposition.load_mi, decomposition.rest_mi]
+                    + mis[pos + 1:]
+                )
+                types[decomposition.temp] = _element_type(
+                    decomposition.array, types
+                )
+                decompositions += 1
+                break
+        else:
+            return declined(
+                "no MI can be decomposed (§5 failure case)",
+                n_mis=len(mis),
+                decompositions=decompositions,
+                trip_count=trip, memory_ref_ratio=ratio,
+            )
+
+    pmii = pmii_difmin(graph)
+    stages = -(-len(mis) // ii)
+    facts = dict(
+        rec_mii=pmii, ii=ii, stages=stages, n_mis=len(mis),
+        decompositions=decompositions, trip_count=trip,
+        memory_ref_ratio=ratio,
+    )
+
+    # ---- step 6, decided arithmetically -----------------------------------
+    expansion = options.expansion
+    literal_bounds = trip is not None and info.step > 0
+
+    if expansion in ("auto", "mve") and literal_bounds:
+        plans = plan_rotations(mis, info, ii, pool)
+        if plans and len(plans[0].names) <= options.max_unroll:
+            if trip < stages:
+                # apply_mve's ValueError, verbatim
+                return declined("trip count below stage count", **facts)
+            return _apply(
+                line, expansion="mve",
+                unroll=len(plans[0].names), **facts,
+            )
+        expansion = "none" if expansion == "auto" else expansion
+
+    if expansion == "scalar" and literal_bounds:
+        # Scalar expansion preserves the MI count, so the stage count
+        # build_modulo_schedule recomputes equals ours.
+        if trip < stages:
+            return declined(str(ShortTripCount(trip, stages)), **facts)
+        return _apply(line, expansion="scalar", **facts)
+
+    if expansion == "mve" and not literal_bounds:
+        return declined(
+            "MVE requires literal bounds and a positive step", **facts
+        )
+    if expansion == "scalar" and not literal_bounds:
+        return declined(
+            "scalar expansion requires literal bounds and a positive step",
+            **facts,
+        )
+
+    if trip is not None and trip < stages:
+        return declined(str(ShortTripCount(trip, stages)), **facts)
+    return _apply(line, expansion="none", **facts)
+
+
+def _apply(line: int, expansion: str, unroll: int = 1, **facts) -> Advice:
+    advice = Advice(
+        line=line, verdict="apply", expansion=expansion,
+        unroll=unroll, **facts,
+    )
+    if facts.get("trip_count") is None:
+        advice.suggestions.append(
+            "bounds are symbolic: the schedule will carry a runtime "
+            "trip-count guard and expansion is unavailable"
+        )
+    return advice
+
+
+def advise_program(
+    program: Program,
+    options: Optional[SLMSOptions] = None,
+) -> List[Advice]:
+    """One :class:`Advice` per loop the pipeline would attempt, in the
+    pipeline's own traversal order."""
+    options = options or SLMSOptions()
+    pool = NamePool(all_names(program))
+    types = _collect_types(program)
+    advices: List[Advice] = []
+
+    def visit(stmts: List[Stmt]) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, For) and _is_innermost(stmt):
+                advices.append(advise_loop(stmt, pool, options, types))
+            elif isinstance(stmt, (For, While)):
+                visit(stmt.body)
+
+    from repro.core.pipeline import _is_innermost
+
+    visit(program.body)
+    tracer = get_tracer()
+    if tracer.enabled:
+        tracer.event(
+            "advise.program",
+            loops=len(advices),
+            apply=sum(1 for a in advices if a.applies),
+        )
+    get_metrics().counter("advise.loops").inc(len(advices))
+    return advices
+
+
+def render_advice(advice: Advice) -> str:
+    """Human-readable multi-line report for one loop."""
+    lines: List[str] = []
+    where = f"line {advice.line}" if advice.line else "loop"
+    if advice.applies:
+        bits = [f"II={advice.ii}", f"stages={advice.stages}",
+                f"{advice.n_mis} MIs", f"expansion={advice.expansion}"]
+        if advice.unroll > 1:
+            bits.append(f"unroll={advice.unroll}")
+        if advice.decompositions:
+            bits.append(f"decompositions={advice.decompositions}")
+        lines.append(
+            f"{where}: SLMS predicted to APPLY ({', '.join(bits)})"
+        )
+    else:
+        lines.append(
+            f"{where}: SLMS predicted to DECLINE — {advice.reason}"
+        )
+    if advice.rec_mii is not None:
+        lines.append(
+            f"  recMII floor: {advice.rec_mii} "
+            "(no decomposition or expansion can beat this)"
+        )
+    if advice.trip_count is not None:
+        lines.append(f"  trip count: {advice.trip_count}")
+    if advice.memory_ref_ratio is not None:
+        lines.append(f"  memory-ref ratio (§4): {advice.memory_ref_ratio}")
+    for hint in advice.suggestions:
+        lines.append(f"  suggestion: {hint}")
+    return "\n".join(lines)

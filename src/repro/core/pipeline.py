@@ -138,11 +138,13 @@ def slms(
                 if options.verify and result.applied:
                     # Imported lazily: verify depends on core for the
                     # result types, so the top level must not cycle.
+                    from repro.verify.ir_check import check_result
                     from repro.verify.schedule import validate_result
 
                     result.diagnostics.extend(
                         validate_result(result, stmt).diagnostics
                     )
+                    result.diagnostics.extend(check_result(result, stmt))
                 reports.append(result)
                 if result.applied:
                     out.extend(result.new_decls)

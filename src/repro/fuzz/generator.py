@@ -13,7 +13,9 @@ Every program is valid **by construction**:
   execution always terminates;
 * every array subscript is of the form ``A[i + pad + c]`` with
   ``|c| <= max_distance < pad`` and array length ``trip + 2·pad``, so
-  accesses are always in bounds;
+  accesses are always in bounds — except under the ``oob`` profile,
+  which deliberately plants provably out-of-bounds subscripts
+  (:attr:`FuzzProfile.p_oob`) to exercise the lint bounds prover;
 * ``/`` and ``%`` only ever see nonzero literal divisors;
 * expressions are type-pure (int contexts only combine int atoms, float
   contexts float atoms — int-typed loads may feed float stores, where
@@ -91,6 +93,11 @@ class FuzzProfile:
     p_call: float = 0.10
     p_int_div: float = 0.10
     p_second_loop: float = 0.15
+    # Probability that a generated subscript is deliberately pushed out
+    # of bounds (the ``oob`` profile).  Breaks the in-bounds-by-
+    # construction guarantee on purpose: such cases exercise the lint
+    # bounds prover, not the differential oracle.
+    p_oob: float = 0.0
 
     def to_dict(self) -> Dict[str, object]:
         return {f.name: getattr(self, f.name) for f in fields(self)}
@@ -124,6 +131,17 @@ PROFILES: Dict[str, FuzzProfile] = {
     ),
     # Short trips vs. stage counts: prologue/epilogue edge cases.
     "tiny": FuzzProfile(name="tiny", min_trip=1, max_trip=5, max_stmts=4),
+    # Deliberately out-of-bounds subscripts: every planted reference is
+    # statically provable OOB (or provably may escape), so ``slms lint``
+    # must flag each one — the oracle asserts no false negatives
+    # against the reference interpreter's traps.  No conditionals or
+    # ternaries: a planted ref must execute unconditionally, both so
+    # the reference is guaranteed to trap and so if-conversion cannot
+    # introduce a trap the original program lacked.
+    "oob": FuzzProfile(
+        name="oob", p_oob=0.4, p_conditional=0.0, p_ternary=0.0,
+        p_while=0.15, p_symbolic_bound=0.25, max_stmts=4,
+    ),
 }
 
 
@@ -139,6 +157,9 @@ class FuzzCase:
     # name -> "int"/"float" for arrays and scalars alike.
     types: Dict[str, str] = field(default_factory=dict)
     trip: int = 0
+    # Number of deliberately out-of-bounds subscripts planted (only the
+    # ``oob`` profile makes this nonzero).
+    oob_refs: int = 0
 
     @staticmethod
     def from_source(
@@ -186,6 +207,7 @@ class _Gen:
         self.arrays: Dict[str, Tuple[int, ...]] = {}
         self.types: Dict[str, str] = {}
         self.scalars: List[str] = []
+        self.oob_refs = 0
         # Scalars already written earlier in the current loop body — a
         # later write to one of these is a multi-defined scalar, a later
         # read sees the same-iteration value (distance-0 flow edge).
@@ -219,12 +241,38 @@ class _Gen:
         return FloatLit(self.rng.randint(0, 32) / 8.0)
 
     def _subscript(self, dims: Tuple[int, ...]) -> List[Expr]:
-        c = self.rng.randint(-self.p.max_distance, self.p.max_distance)
-        first: Expr = BinOp("+", Var("i"), IntLit(self.pad + c))
+        if self.rng.random() < self.p.p_oob:
+            first = self._oob_index(dims[0])
+        else:
+            c = self.rng.randint(-self.p.max_distance, self.p.max_distance)
+            first = BinOp("+", Var("i"), IntLit(self.pad + c))
         idx: List[Expr] = [first]
         for extent in dims[1:]:
             idx.append(IntLit(self.rng.randrange(extent)))
         return idx
+
+    def _oob_index(self, size: int) -> Expr:
+        """A first-axis subscript that provably escapes ``[0, size-1]``.
+
+        Three planted shapes: always-high (``i + k`` with ``k >= size``:
+        out on every iteration), tail-high (escapes only on the last
+        iteration(s)), and head-low (``i - k``: negative on the first
+        ``k`` iterations).  With ``i`` ranging over ``[0, trip-1]`` each
+        shape both (a) traps the reference interpreter whenever the
+        statement executes on an offending iteration and (b) has an
+        interval the lint bounds prover computes exactly — the basis of
+        the no-false-negative oracle.
+        """
+        self.oob_refs += 1
+        shape = self.rng.randrange(3)
+        if shape == 0:
+            return BinOp(
+                "+", Var("i"), IntLit(size + self.rng.randint(0, self.pad))
+            )
+        if shape == 1:
+            offset = 2 * self.pad + self.rng.randint(1, max(1, self.trip - 1))
+            return BinOp("+", Var("i"), IntLit(offset))
+        return BinOp("-", Var("i"), IntLit(self.rng.randint(1, self.pad)))
 
     def _load(self, typ: str) -> Optional[Expr]:
         candidates = [n for n, t in self.types.items()
@@ -419,6 +467,7 @@ class _Gen:
             arrays=dict(self.arrays),
             types=dict(self.types),
             trip=self.trip,
+            oob_refs=self.oob_refs,
         )
 
 

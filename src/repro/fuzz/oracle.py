@@ -27,6 +27,7 @@ based generator, never from global state.
 
 from __future__ import annotations
 
+import re
 from dataclasses import asdict, dataclass, field, replace
 from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
@@ -51,12 +52,22 @@ from repro.transforms.unroll import unroll
 FAILURE_CLASSES: Tuple[str, ...] = (
     "crash",                   # pipeline raised on a legal program
     "invalid-case",            # reference interpreter rejected the input
+    "lint-false-negative",     # reference trapped OOB but lint saw nothing
     "differential",            # transformed source diverges from reference
     "backend-differential",    # compiled LIR diverges from reference
+    "ir-invariant",            # V21x cross-phase IR invariant violated
     "validator-disagreement",  # V2xx validator and oracle disagree
     "metamorphic-reversal",    # reversal o reversal then SLMS diverges
     "metamorphic-unroll",      # unroll then SLMS diverges
 )
+
+# The V21x band is the cross-phase IR checker; its findings get their
+# own failure class so an IR bug is never misfiled as a scheduler bug.
+_IR_CODES = frozenset(
+    {"V210", "V211", "V212", "V213", "V214", "V215", "V216"}
+)
+
+_OOB_TRAP = re.compile(r"index -?\d+ out of bounds .* of '(\w+)'")
 
 
 @dataclass(frozen=True)
@@ -296,6 +307,20 @@ def _run_case_inner(case: FuzzCase, config: OracleConfig) -> CaseOutcome:
     try:
         refs = _reference_states(program, envs, config.max_steps)
     except InterpError as exc:
+        trap = _OOB_TRAP.search(str(exc))
+        if trap is not None:
+            # An out-of-bounds trap is the expected outcome for ``oob``
+            # cases; the contract is that ``slms lint`` statically flags
+            # the trapping array — a trap lint missed is a hole in the
+            # bounds prover (a false negative), reported loudly.
+            outcome.checks_run.append("lint-oob")
+            problem = _lint_covers_trap(program, trap.group(1))
+            if problem:
+                return fail("lint-false-negative", f"{exc}; {problem}")
+            outcome.detail = (
+                f"reference trapped ({exc}); lint flagged the subscript"
+            )
+            return outcome
         return fail("invalid-case", f"reference interpreter rejected: {exc}")
 
     # ---- SLMS + source-level differential --------------------------------
@@ -341,7 +366,16 @@ def _run_case_inner(case: FuzzCase, config: OracleConfig) -> CaseOutcome:
     # ---- validator cross-check -------------------------------------------
     # The differential oracle accepted the transform; a V2xx error now
     # means the static validator disagrees with the dynamic truth.
+    # V21x errors are the cross-phase IR checker's and carry their own
+    # class so IR bugs are never misfiled as scheduler bugs.
     outcome.checks_run.append("validator")
+    ir_codes = [c for c in outcome.validator_codes if c in _IR_CODES]
+    if ir_codes:
+        return fail(
+            "ir-invariant",
+            "IR invariant violated on an applied result: "
+            + ", ".join(ir_codes),
+        )
     if outcome.validator_codes:
         return fail(
             "validator-disagreement",
@@ -352,11 +386,11 @@ def _run_case_inner(case: FuzzCase, config: OracleConfig) -> CaseOutcome:
     # ---- backend differential --------------------------------------------
     if config.backend:
         outcome.checks_run.append("backend")
-        problem = _backend_check(
+        failure = _backend_check(
             program, result.program, envs, refs, config
         )
-        if problem:
-            return fail("backend-differential", problem)
+        if failure:
+            return fail(*failure)
 
     # ---- metamorphic variants --------------------------------------------
     if config.metamorphic:
@@ -376,16 +410,40 @@ def _run_case_inner(case: FuzzCase, config: OracleConfig) -> CaseOutcome:
     return outcome
 
 
+def _lint_covers_trap(program: Program, array: str) -> str:
+    """Empty string when ``slms lint`` flags a subscript of ``array``
+    (A301/A302); otherwise a description of the false negative."""
+    from repro.verify.lint import lint_program
+
+    diags = lint_program(program)
+    hits = [
+        d
+        for d in diags
+        if d.code in ("A301", "A302") and f"{array!r}" in d.message
+    ]
+    if hits:
+        return ""
+    flagged = sorted(
+        {d.code for d in diags if d.code in ("A301", "A302")}
+    )
+    return (
+        f"lint did not flag any subscript of {array!r} "
+        f"(bounds findings present: {flagged or 'none'})"
+    )
+
+
 def _backend_check(
     base: Program,
     transformed: Program,
     envs: List[Dict[str, Any]],
     refs: List[Dict[str, Any]],
     config: OracleConfig,
-) -> Optional[str]:
+) -> Optional[Tuple[str, str]]:
+    """``None`` on success, else ``(failure_class, detail)``."""
     from repro.backend.compiler import FinalCompiler
     from repro.machines.presets import machine_by_name
     from repro.sim.executor import execute
+    from repro.verify.ir_check import check_module
 
     machine = machine_by_name(config.machine)
     compiler = FinalCompiler(machine, config.compiler)
@@ -394,7 +452,24 @@ def _backend_check(
             compiled = compiler.compile(prog.clone())
         except Exception as exc:
             return (
-                f"{label}: compile raised {type(exc).__name__}: {exc}"
+                "backend-differential",
+                f"{label}: compile raised {type(exc).__name__}: {exc}",
+            )
+        # Static LIR soundness before dynamic execution: opcodes,
+        # register files, arrays, constant addresses (V212-V216).
+        ir_errors = [
+            d
+            for d in check_module(
+                compiled.module,
+                machine if compiled.alloc is not None else None,
+            )
+            if d.severity == "error"
+        ]
+        if ir_errors:
+            return (
+                "ir-invariant",
+                f"{label}: LIR invariant violated: "
+                + "; ".join(d.format() for d in ir_errors[:4]),
             )
         for j, env in enumerate(envs):
             try:
@@ -406,12 +481,13 @@ def _backend_check(
                 )
             except Exception as exc:
                 return (
+                    "backend-differential",
                     f"{label}/env{j}: execute raised "
-                    f"{type(exc).__name__}: {exc}"
+                    f"{type(exc).__name__}: {exc}",
                 )
             problem = _divergence(refs[j], run.state, f"{label}/env{j}")
             if problem:
-                return problem
+                return ("backend-differential", problem)
     return None
 
 

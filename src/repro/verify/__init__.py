@@ -7,34 +7,50 @@ Two independent analyses over the SLMS pipeline's inputs and outputs:
   unsupported constructs), producing :class:`Diagnostic` records;
 * :func:`validate_result` — an independent re-derivation of the
   dependence constraints and a structural replay of the emitted
-  prologue/kernel/epilogue for every applied :class:`SLMSResult`.
+  prologue/kernel/epilogue for every applied :class:`SLMSResult`;
+* :func:`check_result` / :func:`check_module` — cross-phase IR
+  invariant checks (``V21x``): AST→MI partition coverage, def-before-use
+  of introduced scalars in the emitted kernel, and LIR operand/opcode/
+  register-file/address soundness;
+* :func:`lint_program` — dataflow-derived lint diagnostics (``A3xx``)
+  over user sources: subscript bounds proofs, dead stores, possible
+  uninitialized reads, and register-pressure estimates.
 
-``slms check`` drives both from the command line;
-``SLMSOptions(verify=True)`` attaches validator diagnostics to each
-transformation result.
+``slms check`` and ``slms lint`` drive these from the command line;
+``SLMSOptions(verify=True)`` attaches validator *and* IR-invariant
+diagnostics to each transformation result.
 """
 
 from repro.verify.diagnostics import (
+    DIAG_SCHEMA,
     DIAGNOSTIC_CODES,
     Diagnostic,
     ERROR,
     NOTE,
     WARNING,
     has_errors,
+    json_payload,
     sort_diagnostics,
 )
+from repro.verify.ir_check import check_module, check_result
+from repro.verify.lint import lint_program
 from repro.verify.schedule import ValidationReport, validate_result
 from repro.verify.semantic import check_program
 
 __all__ = [
+    "DIAG_SCHEMA",
     "DIAGNOSTIC_CODES",
     "Diagnostic",
     "ERROR",
     "NOTE",
     "WARNING",
     "ValidationReport",
+    "check_module",
     "check_program",
+    "check_result",
     "has_errors",
+    "json_payload",
+    "lint_program",
     "sort_diagnostics",
     "validate_result",
 ]

@@ -10,10 +10,17 @@ checks knowing how they will be displayed.
 Codes are grouped by family:
 
 * ``E1xx`` / ``W1xx`` / ``N1xx`` — semantic checker (:mod:`repro.verify.semantic`);
-* ``V2xx`` / ``N2xx`` — schedule validator (:mod:`repro.verify.schedule`).
+* ``V2xx`` / ``N2xx`` — schedule validator (:mod:`repro.verify.schedule`)
+  and the cross-phase IR invariant checker (:mod:`repro.verify.ir_check`,
+  ``V21x``);
+* ``A3xx`` — the dataflow lint pass (:mod:`repro.verify.lint`).
 
 The full registry lives in :data:`DIAGNOSTIC_CODES`; ``docs/VERIFY.md``
-documents each code with an example.
+and ``docs/ANALYSIS.md`` document each code with an example.
+
+Machine-readable output is versioned: every ``--json`` emitter stamps
+its payload with :data:`DIAG_SCHEMA` so downstream consumers can detect
+format drift (pinned in ``tests/verify/``).
 """
 
 from __future__ import annotations
@@ -57,7 +64,27 @@ DIAGNOSTIC_CODES: Dict[str, str] = {
     "V206": "MVE/scalar-expansion renaming is not def-use consistent",
     "V207": "emitted statement matches no multi-instruction",
     "N208": "structural validation skipped for this result shape",
+    # -- cross-phase IR invariant checker ------------------------------------
+    "V210": "MI partition does not cover the loop body exactly once",
+    "V211": "introduced scalar is used before any definition reaches it",
+    "V212": "LIR instruction has an unknown opcode or branch target",
+    "V213": "LIR register operand is outside the register file",
+    "V214": "LIR memory operation names an undeclared array",
+    "V215": "LIR instruction operand shape is unsound for its opcode",
+    "V216": "LIR constant address is outside the array's extent",
+    # -- dataflow lint (slms lint) -------------------------------------------
+    "A301": "array subscript range is provably out of bounds",
+    "A302": "array subscript cannot be proven in bounds",
+    "A303": "every array subscript in the loop is proven in bounds",
+    "A304": "stored value is overwritten before any read (dead store)",
+    "A305": "scalar may be read before initialization",
+    "A306": "estimated register pressure exceeds the machine register file",
+    "A307": "loop register-pressure estimate",
 }
+
+#: Version tag for the diagnostics JSON wire format (``slms check --json``
+#: and ``slms lint --json``).  Bump on any change to the payload shape.
+DIAG_SCHEMA = "slms-diag/1"
 
 
 @dataclass(frozen=True)
@@ -121,6 +148,29 @@ def has_errors(diags: Iterable[Diagnostic], werror: bool = False) -> bool:
     return any(
         _SEVERITY_RANK[d.severity] >= _SEVERITY_RANK[floor] for d in diags
     )
+
+
+def json_payload(
+    path: str,
+    diags: Iterable[Diagnostic],
+    werror: bool = False,
+    **extra: object,
+) -> Dict[str, object]:
+    """The shared ``--json`` shape for ``slms check`` / ``slms lint``.
+
+    Always carries :data:`DIAG_SCHEMA` under ``"schema"`` plus the file,
+    overall verdict, and the sorted diagnostic list; subcommand-specific
+    fields ride along via ``extra``.
+    """
+    diags = sort_diagnostics(diags)
+    payload: Dict[str, object] = {
+        "schema": DIAG_SCHEMA,
+        "file": path,
+        "ok": not has_errors(diags, werror=werror),
+        "diagnostics": [d.to_dict() for d in diags],
+    }
+    payload.update(extra)
+    return payload
 
 
 def sort_diagnostics(diags: Iterable[Diagnostic]) -> List[Diagnostic]:

@@ -1,0 +1,280 @@
+"""``slms lint`` — dataflow-derived diagnostics over user sources.
+
+Four families of findings, all computed from the framework in
+:mod:`repro.analysis.dataflow` (never from the transformation pipeline,
+so lint works on programs SLMS would decline):
+
+* **A301/A302/A303 — subscript bounds.**  Interval analysis proves each
+  array subscript in or out of its declared extent.  A subscript whose
+  range lies entirely outside is an error (it traps on every execution
+  of that statement); one that merely *may* escape is a warning; a loop
+  whose every subscript is proven in bounds earns a note.  Until now
+  only the fuzz generator was in-bounds-by-construction — user input
+  was unchecked before the simulator threw.
+* **A304 — dead stores.**  A scalar write provably overwritten before
+  any read on every path (final scalar values are observable program
+  state, so a value held to program exit is never "dead").
+* **A305 — use before initialization.**  A read whose reaching
+  definitions include the declared-but-never-assigned pseudo-def.
+* **A306/A307 — register pressure.**  The liveness-derived maximum of
+  simultaneously live scalars per loop, checked against the active
+  machine model's register file (A306 when it cannot fit, A307 as a
+  per-loop informational note).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.dataflow import (
+    build_cfg,
+    eval_interval,
+    interval_envs,
+    live_sets,
+    reaching_defs,
+)
+from repro.analysis.dataflow.cfg import CFG, CFGNode, node_uses
+from repro.lang.ast_nodes import (
+    ArrayRef,
+    Assign,
+    Decl,
+    For,
+    Program,
+    Var,
+    While,
+)
+from repro.lang.visitors import collect_vars, walk
+from repro.machines.model import MachineModel
+from repro.obs import get_metrics, get_tracer
+from repro.verify.diagnostics import (
+    Diagnostic,
+    DiagnosticBag,
+    sort_diagnostics,
+)
+
+# Scratch registers the backend's allocator reserves for spill reloads
+# (kept in sync with repro.backend.regalloc.SCRATCH_COUNT).
+_SCRATCH = 3
+
+
+def _array_dims(program: Program) -> Dict[str, Tuple[int, ...]]:
+    dims: Dict[str, Tuple[int, ...]] = {}
+    for node in walk(program):
+        if isinstance(node, Decl) and node.dims:
+            dims[node.name] = node.dims
+    return dims
+
+
+def _node_refs(node: CFGNode) -> List[ArrayRef]:
+    """Array references evaluated *by this node* (branch nodes contribute
+    only their condition; loop/If bodies are separate nodes)."""
+    if node.kind == "branch":
+        root = node.cond
+    elif node.kind == "stmt":
+        root = node.stmt
+    else:
+        return []
+    if root is None:
+        return []
+    return [n for n in walk(root) if isinstance(n, ArrayRef)]
+
+
+def _innermost_loops(program: Program) -> List[For]:
+    loops: List[For] = []
+    for node in walk(program):
+        if isinstance(node, For) and not any(
+            isinstance(g, (For, While)) for s in node.body for g in walk(s)
+        ):
+            loops.append(node)
+    return loops
+
+
+def lint_program(
+    program: Program,
+    machine: Optional[MachineModel] = None,
+) -> List[Diagnostic]:
+    """Run every lint analysis over ``program``; diagnostics are sorted
+    in source order.  ``machine`` drives the register-pressure check
+    (omit it to skip A306/A307)."""
+    tracer = get_tracer()
+    bag = DiagnosticBag()
+    cfg = build_cfg(list(program.body))
+    intervals = interval_envs(cfg)
+    reaching = reaching_defs(cfg)
+    liveness = live_sets(cfg)
+    dims = _array_dims(program)
+
+    proven, flagged = _check_bounds(cfg, intervals, dims, bag)
+    _check_uninit(cfg, reaching, bag)
+    _check_dead_stores(cfg, liveness, bag)
+    _bounds_notes(program, proven, bag)
+    if machine is not None:
+        _check_pressure(program, machine, bag)
+
+    diags = sort_diagnostics(bag.diagnostics)
+    if tracer.enabled:
+        tracer.event(
+            "lint.program",
+            findings=len(diags),
+            errors=sum(1 for d in diags if d.severity == "error"),
+            subscripts_proven=len(proven),
+            subscripts_flagged=len(flagged),
+        )
+    get_metrics().counter("lint.diagnostics").inc(len(diags))
+    return diags
+
+
+# ---------------------------------------------------------------------------
+# A301/A302/A303 — subscript bounds
+# ---------------------------------------------------------------------------
+
+
+def _check_bounds(
+    cfg: CFG,
+    intervals,
+    dims: Dict[str, Tuple[int, ...]],
+    bag: DiagnosticBag,
+) -> Tuple[List[ArrayRef], List[ArrayRef]]:
+    """Prove or flag every subscript; returns (proven, flagged) refs."""
+    proven: List[ArrayRef] = []
+    flagged: List[ArrayRef] = []
+    for node in cfg.stmt_nodes():
+        env = intervals.inputs.get(node.id)
+        if env is None:
+            continue  # unreachable
+        for ref in _node_refs(node):
+            shape = dims.get(ref.name)
+            if shape is None or len(ref.indices) != len(shape):
+                continue  # semantic checker territory (E105/E109)
+            ok = True
+            for axis, (idx, extent) in enumerate(
+                zip(ref.indices, shape)
+            ):
+                rng = eval_interval(idx, env)
+                if rng.disjoint(0, extent - 1):
+                    bag.error(
+                        "A301", ref.loc,
+                        f"subscript {rng} of {ref.name!r} axis {axis} is "
+                        f"entirely outside [0, {extent - 1}]",
+                    )
+                    ok = False
+                elif not rng.inside(0, extent - 1):
+                    bag.warning(
+                        "A302", ref.loc,
+                        f"subscript {rng} of {ref.name!r} axis {axis} may "
+                        f"escape [0, {extent - 1}]",
+                    )
+                    ok = False
+            (proven if ok else flagged).append(ref)
+    return proven, flagged
+
+
+def _bounds_notes(
+    program: Program,
+    proven: List[ArrayRef],
+    bag: DiagnosticBag,
+) -> None:
+    """A303: per innermost loop, note when every subscript is proven."""
+    proven_ids = {id(r) for r in proven}
+    for loop in _innermost_loops(program):
+        refs = [n for s in loop.body for n in walk(s)
+                if isinstance(n, ArrayRef)]
+        if not refs:
+            continue
+        # Loops with flagged or unanalyzed refs already carry their own
+        # A301/A302 findings; only the all-proven case earns a note.
+        if all(id(r) in proven_ids for r in refs):
+            bag.note(
+                "A303", loop.loc,
+                f"all {len(refs)} array subscript(s) in this loop are "
+                "proven in bounds",
+            )
+
+
+# ---------------------------------------------------------------------------
+# A305 — use before initialization
+# ---------------------------------------------------------------------------
+
+
+def _check_uninit(cfg: CFG, reaching, bag: DiagnosticBag) -> None:
+    reported: Set[Tuple[int, str]] = set()
+    for node in cfg.stmt_nodes():
+        defs = reaching.inputs.get(node.id) or frozenset()
+        uninit = {d.var for d in defs if d.uninit}
+        if not uninit:
+            continue
+        for name in sorted(node_uses(node) & uninit):
+            if (node.id, name) in reported:
+                continue
+            reported.add((node.id, name))
+            bag.warning(
+                "A305", node.loc,
+                f"{name!r} may be read before it is ever assigned",
+            )
+
+
+# ---------------------------------------------------------------------------
+# A304 — dead stores
+# ---------------------------------------------------------------------------
+
+
+def _check_dead_stores(cfg: CFG, liveness, bag: DiagnosticBag) -> None:
+    for node in cfg.stmt_nodes():
+        stmt = node.stmt
+        if not (
+            node.kind == "stmt"
+            and isinstance(stmt, Assign)
+            and isinstance(stmt.target, Var)
+        ):
+            continue
+        # Backward analysis: inputs[n] is the node's live-*out* set.
+        live_out = liveness.inputs.get(node.id) or frozenset()
+        if stmt.target.name not in live_out:
+            bag.warning(
+                "A304", stmt.loc,
+                f"value stored to {stmt.target.name!r} is overwritten "
+                "before any read",
+            )
+
+
+# ---------------------------------------------------------------------------
+# A306/A307 — register pressure vs. the machine model
+# ---------------------------------------------------------------------------
+
+
+def loop_pressure(loop: For) -> int:
+    """Maximum number of simultaneously live scalars across the loop.
+
+    The loop is analyzed as its own region with every scalar it touches
+    assumed live-out — conservative (a scalar dead after the loop counts
+    anyway) but machine-independent and cheap."""
+    cfg = build_cfg([loop])
+    touched = collect_vars(loop)
+    result = live_sets(cfg, live_at_exit=touched)
+    best = 0
+    for node in cfg.stmt_nodes():
+        live_in = result.outputs.get(node.id) or frozenset()
+        live_out = result.inputs.get(node.id) or frozenset()
+        best = max(best, len(live_in), len(live_out))
+    return best
+
+
+def _check_pressure(
+    program: Program, machine: MachineModel, bag: DiagnosticBag
+) -> None:
+    for loop in _innermost_loops(program):
+        pressure = loop_pressure(loop)
+        capacity = machine.num_registers - _SCRATCH
+        if pressure > capacity:
+            bag.warning(
+                "A306", loop.loc,
+                f"~{pressure} simultaneously live scalar(s) exceed "
+                f"{machine.name}'s {machine.num_registers}-register file "
+                f"({capacity} allocatable); expect spill traffic",
+            )
+        else:
+            bag.note(
+                "A307", loop.loc,
+                f"~{pressure} simultaneously live scalar(s); fits "
+                f"{machine.name}'s {machine.num_registers}-register file",
+            )

@@ -1,0 +1,127 @@
+"""The static applicability advisor must agree exactly with the real
+driver: for every loop in the corpus the predicted verdict, reason
+string, II, stage count, expansion strategy, and unroll factor match
+what ``slms()`` actually does.  This is the contract that makes
+``slms advise`` trustworthy without running the scheduler."""
+
+import pytest
+
+from repro.core.advisor import Advice, advise_program, render_advice
+from repro.core.pipeline import slms
+from repro.core.slms import SLMSOptions
+from repro.workloads import all_workloads
+
+
+def _compare(workload, options):
+    """Return a list of mismatch descriptions (empty == exact match)."""
+    advices = advise_program(workload.full_program(), options)
+    actual = slms(workload.full_program(), options).loops
+    problems = []
+    if len(advices) != len(actual):
+        return [
+            f"{workload.name}: advisor saw {len(advices)} loops, "
+            f"driver saw {len(actual)}"
+        ]
+    for idx, (adv, res) in enumerate(zip(advices, actual)):
+        tag = f"{workload.name}[{idx}]"
+        if adv.applies != res.applied:
+            problems.append(
+                f"{tag}: predicted {adv.verdict}, driver "
+                f"{'applied' if res.applied else 'declined'} "
+                f"({res.reason!r})"
+            )
+            continue
+        if not res.applied and adv.reason != res.reason:
+            problems.append(
+                f"{tag}: reason {adv.reason!r} != {res.reason!r}"
+            )
+        if res.applied:
+            for field in ("ii", "stages", "expansion", "unroll"):
+                want = getattr(res, field)
+                got = getattr(adv, field)
+                if got != want:
+                    problems.append(
+                        f"{tag}: {field} predicted {got!r}, "
+                        f"actual {want!r}"
+                    )
+    return problems
+
+
+class TestAdvisorAgreement:
+    @pytest.mark.parametrize(
+        "workload", all_workloads(), ids=lambda w: w.name
+    )
+    def test_default_options_exact(self, workload):
+        """The headline gate: prediction == actual across the corpus."""
+        assert _compare(workload, SLMSOptions()) == []
+
+    @pytest.mark.parametrize(
+        "options",
+        [
+            SLMSOptions(expansion="mve"),
+            SLMSOptions(expansion="scalar"),
+            SLMSOptions(expansion="none"),
+            SLMSOptions(force=True),
+            SLMSOptions(enable_filter=False, max_unroll=2),
+            SLMSOptions(max_decompositions=0),
+        ],
+        ids=[
+            "mve", "scalar", "none", "force",
+            "nofilter-unroll2", "nodecomp",
+        ],
+    )
+    def test_option_sweeps_exact(self, options):
+        """The agreement must hold under every driver knob, not just
+        the defaults — declines shift families as options change."""
+        problems = []
+        for workload in all_workloads():
+            problems.extend(_compare(workload, options))
+        assert problems == []
+
+
+class TestAdviceShape:
+    def test_corpus_has_both_verdicts(self):
+        verdicts = set()
+        for workload in all_workloads():
+            for adv in advise_program(workload.full_program()):
+                verdicts.add(adv.verdict)
+        assert verdicts == {"apply", "decline"}
+
+    def test_decline_carries_suggestion(self):
+        """Every declined loop should come with at least one actionable
+        suggestion so `slms advise` is never a bare 'no'."""
+        seen_decline = False
+        for workload in all_workloads():
+            for adv in advise_program(workload.full_program()):
+                if not adv.applies:
+                    seen_decline = True
+                    assert adv.suggestions, (
+                        f"{workload.name}: decline {adv.reason!r} "
+                        "has no suggestion"
+                    )
+        assert seen_decline
+
+    def test_render_apply_and_decline(self):
+        apply = Advice(
+            line=3, verdict="apply", ii=2, stages=3, n_mis=5,
+            expansion="mve", unroll=3, rec_mii=2, trip_count=100,
+        )
+        text = render_advice(apply)
+        assert "APPLY" in text and "II=2" in text and "unroll=3" in text
+        decline = Advice(
+            line=7, verdict="decline",
+            reason="nested loop in body",
+            suggestions=["distribute the inner loop"],
+        )
+        text = render_advice(decline)
+        assert "DECLINE" in text
+        assert "nested loop in body" in text
+        assert "distribute the inner loop" in text
+
+    def test_to_dict_round_trips_fields(self):
+        adv = Advice(line=1, verdict="decline", reason="x",
+                     suggestions=["s"])
+        payload = adv.to_dict()
+        assert payload["verdict"] == "decline"
+        assert payload["reason"] == "x"
+        assert payload["suggestions"] == ["s"]

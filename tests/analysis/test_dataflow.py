@@ -1,0 +1,255 @@
+"""Dataflow framework: CFG construction, the worklist solver, and the
+three client analyses (reaching defs, liveness, intervals)."""
+
+import pytest
+
+from repro.analysis.dataflow import (
+    Interval,
+    build_cfg,
+    eval_interval,
+    interval_envs,
+    live_sets,
+    reaching_defs,
+)
+from repro.analysis.dataflow.cfg import FALSE, TRUE, node_defs, node_uses
+from repro.analysis.dataflow.intervals import refine_env
+from repro.lang.parser import parse_program
+
+
+def cfg_of(source: str):
+    return build_cfg(list(parse_program(source).body))
+
+
+# ---------------------------------------------------------------------------
+# CFG shape
+# ---------------------------------------------------------------------------
+
+
+class TestCFG:
+    def test_straight_line(self):
+        cfg = cfg_of("int s; s = 1; s = s + 2;")
+        stmt_nodes = cfg.stmt_nodes()
+        assert len(stmt_nodes) == 3
+        order = cfg.rpo()
+        assert order[0] == cfg.entry
+        assert order[-1] == cfg.exit
+
+    def test_if_branches_carry_labels(self):
+        cfg = cfg_of(
+            "int s; s = 0; if (s < 1) { s = 1; } else { s = 2; }"
+        )
+        branch = [n for n in cfg.nodes if n.kind == "branch"]
+        assert len(branch) == 1
+        labels = sorted(
+            label for _, label in cfg.succs[branch[0].id]
+        )
+        assert labels == [FALSE, TRUE]
+
+    def test_for_loop_has_widen_point_and_back_edge(self):
+        cfg = cfg_of(
+            "float a[10]; for (i = 0; i < 10; i += 1) { a[i] = 1.0; }"
+        )
+        assert cfg.widen_points, "loop head must be a widen point"
+        head = next(iter(cfg.widen_points))
+        # The head must be reachable from inside the body (back edge).
+        preds = {src for src, _ in cfg.preds[head]}
+        assert len(preds) >= 2
+
+    def test_while_lowering(self):
+        cfg = cfg_of(
+            "int i; i = 0; while (i < 4) { i = i + 1; }"
+        )
+        assert cfg.widen_points
+        order = cfg.rpo()
+        assert order[0] == cfg.entry
+        assert cfg.exit in order
+
+    def test_node_uses_and_defs(self):
+        cfg = cfg_of("int s; int t; s = 1; t = s + 2;")
+        assigns = [
+            n for n in cfg.stmt_nodes()
+            if n.kind == "stmt"
+            and type(n.stmt).__name__ == "Assign"
+            and node_defs(n) == {"t"}
+        ]
+        assert len(assigns) == 1
+        assert node_uses(assigns[0]) == {"s"}
+
+
+# ---------------------------------------------------------------------------
+# reaching definitions
+# ---------------------------------------------------------------------------
+
+
+class TestReachingDefs:
+    def test_kill_and_gen(self):
+        cfg = cfg_of("int s; s = 1; s = 2; int t; t = s;")
+        result = reaching_defs(cfg)
+        use = [
+            n for n in cfg.stmt_nodes() if "s" in node_uses(n)
+        ][0]
+        reaching = {
+            d for d in result.inputs[use.id] if d.var == "s"
+        }
+        # Only the second definition of s survives.
+        assert len(reaching) == 1
+        assert not next(iter(reaching)).uninit
+
+    def test_uninit_pseudo_def(self):
+        cfg = cfg_of("int s; int t; t = s;")
+        result = reaching_defs(cfg)
+        use = [n for n in cfg.stmt_nodes() if "s" in node_uses(n)][0]
+        assert any(
+            d.var == "s" and d.uninit for d in result.inputs[use.id]
+        )
+
+    def test_branch_merges_both_defs(self):
+        cfg = cfg_of(
+            "int s; s = 0; int c; c = 1;"
+            "if (c < 2) { s = 1; } else { s = 2; }"
+            "int t; t = s;"
+        )
+        result = reaching_defs(cfg)
+        use = [n for n in cfg.stmt_nodes() if "s" in node_uses(n)][-1]
+        defs = {d for d in result.inputs[use.id] if d.var == "s"}
+        assert len(defs) == 2
+
+
+# ---------------------------------------------------------------------------
+# liveness
+# ---------------------------------------------------------------------------
+
+
+class TestLiveness:
+    def test_dead_store_not_live(self):
+        cfg = cfg_of("int s; s = 1; s = 2; int t; t = s;")
+        result = live_sets(cfg)
+        first = cfg.stmt_nodes()[1]  # s = 1
+        # Backward analysis: inputs[] is live-out.
+        assert "s" not in result.inputs[first.id]
+
+    def test_declared_scalars_live_at_exit(self):
+        # Final scalar values are observable program state: a store
+        # with no later read is still live at exit.
+        cfg = cfg_of("int s; s = 1;")
+        result = live_sets(cfg)
+        assign = cfg.stmt_nodes()[1]
+        assert "s" in result.inputs[assign.id]
+
+    def test_loop_carried_liveness(self):
+        cfg = cfg_of(
+            "float a[20]; float s; s = 0.0;"
+            "for (i = 0; i < 10; i += 1) { s = s + a[i]; }"
+        )
+        result = live_sets(cfg)
+        init = [
+            n for n in cfg.stmt_nodes()
+            if n.kind == "stmt"
+            and type(n.stmt).__name__ == "Assign"
+            and node_defs(n) == {"s"}
+        ][0]  # s = 0.0 — its value feeds the loop-carried recurrence
+        assert "s" in result.inputs[init.id]
+
+
+# ---------------------------------------------------------------------------
+# intervals
+# ---------------------------------------------------------------------------
+
+
+class TestInterval:
+    def test_arith(self):
+        a, b = Interval(0, 10), Interval(-2, 3)
+        assert a + b == Interval(-2, 13)
+        assert a - b == Interval(-3, 12)
+        assert a * b == Interval(-20, 30)
+        assert (-a) == Interval(-10, 0)
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(3, 2)
+
+    def test_hull_meet_widen(self):
+        a, b = Interval(0, 5), Interval(3, 9)
+        assert a.hull(b) == Interval(0, 9)
+        assert a.meet(b) == Interval(3, 5)
+        assert a.meet(Interval(6, 7)) is None
+        widened = a.widened(Interval(0, 6))
+        assert widened.hi == float("inf") and widened.lo == 0
+
+    def test_predicates(self):
+        assert Interval(2, 4).inside(0, 9)
+        assert Interval(10, 12).disjoint(0, 9)
+        assert not Interval(8, 12).disjoint(0, 9)
+        assert not Interval(8, 12).inside(0, 9)
+
+    def test_str(self):
+        assert str(Interval(0, 299)) == "[0, 299]"
+        assert str(Interval.top()) == "[-inf, +inf]"
+
+
+class TestEvalInterval:
+    def test_division_only_when_divisor_nonzero(self):
+        env = {"x": Interval(10, 20)}
+        prog = parse_program("int y; y = x / 2;")
+        expr = prog.body[1].value
+        assert eval_interval(expr, env) == Interval(5, 10)
+
+    def test_mod_bounded(self):
+        env = {"x": Interval(0, 1000)}
+        expr = parse_program("int y; y = x % 7;").body[1].value
+        rng = eval_interval(expr, env)
+        assert rng.inside(0, 6)
+
+    def test_refine_env_narrows(self):
+        cond = parse_program("int c; c = i < 300;").body[1].value
+        env = refine_env(cond, True, {"i": Interval(0, 10**9)})
+        assert env["i"] == Interval(0, 299)
+        env = refine_env(cond, False, {"i": Interval(0, 10**9)})
+        assert env["i"].lo == 300
+
+    def test_refine_env_unreachable(self):
+        cond = parse_program("int c; c = i < 0;").body[1].value
+        assert refine_env(cond, True, {"i": Interval(0, 9)}) is None
+
+
+class TestIntervalAnalysis:
+    def test_loop_index_exact(self):
+        cfg = cfg_of(
+            "float a[300]; for (i = 0; i < 300; i += 1) { a[i] = 1.0; }"
+        )
+        result = interval_envs(cfg)
+        # Widening + branch refinement: i is exactly [0, 299] inside.
+        stores = [
+            n for n in cfg.stmt_nodes()
+            if n.kind == "stmt"
+            and type(n.stmt).__name__ == "Assign"
+            and "a[" in str(n.stmt)
+        ]
+        env = result.inputs[stores[0].id]
+        assert env["i"] == Interval(0, 299)
+
+    def test_unreachable_branch_is_none(self):
+        cfg = cfg_of(
+            "int s; s = 1; if (s > 5) { s = 99; } int t; t = s;"
+        )
+        result = interval_envs(cfg)
+        dead = [
+            n for n in cfg.stmt_nodes()
+            if n.kind == "stmt" and "99" in str(n.stmt)
+        ]
+        assert result.inputs[dead[0].id] is None
+
+    def test_symbolic_constant_propagates(self):
+        cfg = cfg_of(
+            "int n; n = 12; float a[20];"
+            "for (i = 0; i < n; i += 1) { a[i] = 0.0; }"
+        )
+        result = interval_envs(cfg)
+        stores = [
+            n for n in cfg.stmt_nodes()
+            if n.kind == "stmt"
+            and type(n.stmt).__name__ == "Assign"
+            and "a[" in str(n.stmt)
+        ]
+        env = result.inputs[stores[0].id]
+        assert env["i"] == Interval(0, 11)

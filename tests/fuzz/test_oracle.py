@@ -89,7 +89,11 @@ class TestClassification:
         assert "backend" not in outcome.checks_run
         assert outcome.status == "ok"
 
-    def test_out_of_bounds_is_invalid_case(self):
+    def test_out_of_bounds_trap_checked_against_lint(self):
+        # An OOB trap in the reference run is no longer a generic
+        # invalid-case: it is the expected outcome for oob-style cases,
+        # and the contract is that `slms lint` statically flagged the
+        # trapping subscript (a miss would be lint-false-negative).
         bad = """\
 float A[4];
 int i;
@@ -98,8 +102,9 @@ for (i = 0; i < 9; i++) {
 }
 """
         outcome = check_source(bad, seed=1)
-        assert outcome.failed
-        assert outcome.failure_class == "invalid-case"
+        assert not outcome.failed
+        assert "lint-oob" in outcome.checks_run
+        assert "lint flagged" in outcome.detail
 
     def test_unparseable_source_is_invalid_case(self):
         case = FuzzCase(

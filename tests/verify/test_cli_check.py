@@ -80,6 +80,8 @@ class TestCheck:
     def test_json_output(self, clean_file, capsys):
         assert main(["check", clean_file, "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
+        # Wire-format pin: bump DIAG_SCHEMA on any payload-shape change.
+        assert payload["schema"] == "slms-diag/1"
         assert payload["ok"] is True
         assert payload["file"] == clean_file
         assert payload["diagnostics"] == []

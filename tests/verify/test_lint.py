@@ -1,0 +1,189 @@
+"""Dataflow lint (A3xx family): subscript-bounds proofs, dead stores,
+use-before-init, register pressure, and the ``slms lint`` CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.lang.parser import parse_program
+from repro.machines.presets import machine_by_name
+from repro.verify.lint import lint_program, loop_pressure
+
+
+def lint(source, machine=None):
+    return lint_program(parse_program(source), machine)
+
+
+def codes(diags):
+    return [d.code for d in diags]
+
+
+class TestBounds:
+    def test_proven_loop_gets_a303_note(self):
+        diags = lint(
+            "float a[100];"
+            "for (i = 0; i < 100; i += 1) { a[i] = 1.0; }"
+        )
+        assert codes(diags) == ["A303"]
+        assert diags[0].severity == "note"
+
+    def test_definite_oob_is_a301_error(self):
+        diags = lint(
+            "float a[10];"
+            "for (i = 0; i < 8; i += 1) { a[i + 20] = 1.0; }"
+        )
+        a301 = [d for d in diags if d.code == "A301"]
+        assert a301 and a301[0].severity == "error"
+        assert "'a'" in a301[0].message
+
+    def test_may_escape_is_a302_warning(self):
+        diags = lint(
+            "float a[100]; float d[50];"
+            "for (i = 0; i < 100; i += 1) { a[i] = d[i]; }"
+        )
+        a302 = [d for d in diags if d.code == "A302"]
+        assert a302 and a302[0].severity == "warning"
+        assert "'d'" in a302[0].message
+        # No A303: the loop has an unproven subscript.
+        assert "A303" not in codes(diags)
+
+    def test_symbolic_bound_with_constant_value_proven(self):
+        diags = lint(
+            "int n; n = 90; float a[100];"
+            "for (i = 0; i < n; i += 1) { a[i] = 0.0; }"
+        )
+        assert "A301" not in codes(diags)
+        assert "A302" not in codes(diags)
+
+    def test_negative_direction_escape(self):
+        diags = lint(
+            "float a[100];"
+            "for (i = 0; i < 50; i += 1) { a[i - 3] = 0.0; }"
+        )
+        assert "A302" in codes(diags)
+
+
+class TestDeadStoreAndUninit:
+    def test_dead_store_flagged(self):
+        diags = lint("int s; s = 1; s = 2; int t; t = s;")
+        a304 = [d for d in diags if d.code == "A304"]
+        assert len(a304) == 1
+        assert "'s'" in a304[0].message
+
+    def test_use_before_init_flagged(self):
+        diags = lint("int s; int t; t = s + 1;")
+        assert "A305" in codes(diags)
+
+    def test_initialized_on_both_branches_is_clean(self):
+        diags = lint(
+            "int c; c = 1; int s;"
+            "if (c < 2) { s = 1; } else { s = 2; }"
+            "int t; t = s;"
+        )
+        assert "A305" not in codes(diags)
+
+    def test_loop_carried_read_not_dead(self):
+        diags = lint(
+            "float a[20]; float s; s = 0.0;"
+            "for (i = 0; i < 10; i += 1) { s = s + a[i]; }"
+        )
+        assert "A304" not in codes(diags)
+
+
+class TestPressure:
+    def test_pressure_positive(self):
+        loop = parse_program(
+            "float a[10]; for (i = 0; i < 10; i += 1)"
+            "{ a[i] = a[i] * 2.0; }"
+        ).body[1]
+        assert loop_pressure(loop) >= 1
+
+    def test_small_loop_fits_a307(self):
+        diags = lint(
+            "float a[100];"
+            "for (i = 0; i < 100; i += 1) { a[i] = 1.0; }",
+            machine_by_name("itanium2"),
+        )
+        assert "A307" in codes(diags)
+
+    def test_no_machine_skips_pressure(self):
+        diags = lint(
+            "float a[100];"
+            "for (i = 0; i < 100; i += 1) { a[i] = 1.0; }"
+        )
+        assert not any(c in ("A306", "A307") for c in codes(diags))
+
+
+# ---------------------------------------------------------------------------
+# slms lint CLI
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture()
+def oob_file(tmp_path):
+    path = tmp_path / "oob.c"
+    path.write_text(
+        "float a[10];\n"
+        "for (i = 0; i < 8; i += 1) { a[i + 20] = 1.0; }\n"
+    )
+    return str(path)
+
+
+@pytest.fixture()
+def clean_file(tmp_path):
+    path = tmp_path / "clean.c"
+    path.write_text(
+        "float a[100];\n"
+        "for (i = 0; i < 100; i += 1) { a[i] = 2.0 * a[i]; }\n"
+    )
+    return str(path)
+
+
+class TestLintCLI:
+    def test_error_exits_one(self, oob_file, capsys):
+        assert main(["lint", oob_file]) == 1
+        out = capsys.readouterr().out
+        assert "[A301]" in out
+        assert "1 error(s)" in out
+
+    def test_clean_exits_zero(self, clean_file, capsys):
+        assert main(["lint", clean_file]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+
+    def test_notes_hidden_by_default(self, clean_file, capsys):
+        main(["lint", clean_file])
+        assert "[A303]" not in capsys.readouterr().out
+        main(["lint", clean_file, "--notes"])
+        assert "[A303]" in capsys.readouterr().out
+
+    def test_werror_promotes_warning(self, tmp_path):
+        path = tmp_path / "warn.c"
+        path.write_text(
+            "float a[100]; float d[50];\n"
+            "for (i = 0; i < 100; i += 1) { a[i] = d[i]; }\n"
+        )
+        assert main(["lint", str(path)]) == 0
+        assert main(["lint", str(path), "--Werror"]) == 1
+
+    def test_json_schema_pinned(self, oob_file, capsys):
+        assert main(["lint", oob_file, "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        # Wire-format pin: bump DIAG_SCHEMA on any payload-shape change.
+        assert payload["schema"] == "slms-diag/1"
+        assert payload["ok"] is False
+        assert payload["machine"] == "itanium2"
+        assert any(d["code"] == "A301" for d in payload["diagnostics"])
+
+    def test_machine_none_skips_pressure(self, clean_file, capsys):
+        assert main(["lint", clean_file, "--machine", "none",
+                     "--notes"]) == 0
+        out = capsys.readouterr().out
+        assert "A307" not in out
+
+    def test_parse_error_exits_two(self, tmp_path, capsys):
+        path = tmp_path / "bad.c"
+        path.write_text("float a[10];\na[3] = = 1.0;\n")
+        assert main(["lint", str(path)]) == 2
+        assert "error:" in capsys.readouterr().err
