@@ -33,7 +33,7 @@ from repro.backend.lir import Module
 from repro.backend.regalloc import AllocationResult, allocate
 from repro.backend.rotate import rotate_loops
 from repro.lang.ast_nodes import Program
-from repro.lang.parser import parse_program
+from repro.lang.parser import parse_program_cached
 from repro.machines.model import MachineModel
 
 
@@ -110,7 +110,7 @@ class FinalCompiler:
 
         tracer = get_tracer()
         if isinstance(program, str):
-            program = parse_program(program)
+            program = parse_program_cached(program)
         with tracer.span(
             "backend.compile",
             machine=self.machine.name,

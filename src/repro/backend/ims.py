@@ -26,10 +26,12 @@ paper exploits in §7:
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from math import ceil
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
 
 from repro.backend.lir import Instr, Module
 from repro.machines.model import MachineModel
@@ -183,24 +185,29 @@ def res_mii(instrs: List[Instr], machine: MachineModel) -> int:
     return best
 
 
-def _positive_cycle(weights: List[List[float]]) -> bool:
-    """Floyd–Warshall longest-path positive-cycle detection."""
+def _positive_cycle(weights) -> bool:
+    """Floyd–Warshall longest-path positive-cycle detection.
+
+    Vectorized max-plus relaxation: one outer iteration per pivot,
+    each a whole-matrix ``max(dist, dist[:,mid] + dist[mid,:])``.
+    Weights are integers (or -inf), far below 2**53, so float64
+    arithmetic is exact and the verdict matches the scalar loop.
+    """
     n = len(weights)
-    dist = [row[:] for row in weights]
+    if n == 0:
+        return False
+    dist = np.array(weights, dtype=np.float64)
+    diag = np.diagonal(dist)
     for mid in range(n):
-        row_mid = dist[mid]
-        for a in range(n):
-            via = dist[a][mid]
-            if via == float("-inf"):
-                continue
-            row_a = dist[a]
-            for b in range(n):
-                w = row_mid[b]
-                if w == float("-inf"):
-                    continue
-                if via + w > row_a[b]:
-                    row_a[b] = via + w
-    return any(dist[v][v] > 0 for v in range(n))
+        # -inf propagates correctly through max-plus (no +inf entries
+        # exist, so no NaN can appear).
+        via = dist[:, mid : mid + 1] + dist[mid : mid + 1, :]
+        np.maximum(dist, via, out=dist)
+        # Relaxation only ever raises entries, so a positive diagonal
+        # is permanent: returning early gives the exact final verdict.
+        if (diag > 0).any():
+            return True
+    return False
 
 
 def rec_mii(edges: List[_Edge], n: int) -> int:
@@ -222,12 +229,15 @@ def rec_mii(edges: List[_Edge], n: int) -> int:
         (lat for lat in best_lat.values()), default=1
     ) * max(1, n)
 
+    srcs = np.array([k[0] for k in best_lat], dtype=np.intp)
+    dsts = np.array([k[1] for k in best_lat], dtype=np.intp)
+    dists = np.array([k[2] for k in best_lat], dtype=np.float64)
+    lats = np.array(list(best_lat.values()), dtype=np.float64)
+
     def feasible(ii: int) -> bool:
-        weights = [[float("-inf")] * n for _ in range(n)]
-        for (src, dst, distance), lat in best_lat.items():
-            w = lat - ii * distance
-            if w > weights[src][dst]:
-                weights[src][dst] = w
+        weights = np.full((n, n), float("-inf"))
+        if len(lats):
+            np.maximum.at(weights, (srcs, dsts), lats - ii * dists)
         return not _positive_cycle(weights)
 
     lo, hi = 1, 1
@@ -283,37 +293,44 @@ def modulo_schedule(
 
     order = sorted(range(n), key=lambda i: (-height[i], i))
     placement: Dict[int, int] = {}
-    # Reservation table: row -> {class: count}
+    # Reservation table: row -> {class: count}, plus per-row totals so
+    # the issue-width check is O(1) instead of summing the row.
     table: List[Dict[str, int]] = [dict() for _ in range(ii)]
+    row_total = [0] * ii
+    cls_of = [instr.op_class() for instr in instrs]
+    units = {cls: machine.unit_count(cls) for cls in set(cls_of)}
+    issue_width = machine.issue_width
     budget = budget_factor * n
 
     def fits(op: int, cycle: int) -> bool:
-        row = table[cycle % ii]
-        cls = instrs[op].op_class()
-        if row.get(cls, 0) >= machine.unit_count(cls):
+        slot = cycle % ii
+        cls = cls_of[op]
+        if table[slot].get(cls, 0) >= units[cls]:
             return False
-        if sum(row.values()) >= machine.issue_width:
+        if row_total[slot] >= issue_width:
             return False
         return True
 
     def occupy(op: int, cycle: int) -> None:
-        row = table[cycle % ii]
-        cls = instrs[op].op_class()
+        slot = cycle % ii
+        row = table[slot]
+        cls = cls_of[op]
         row[cls] = row.get(cls, 0) + 1
+        row_total[slot] += 1
         placement[op] = cycle
 
     def release(op: int) -> None:
         cycle = placement.pop(op)
-        row = table[cycle % ii]
-        cls = instrs[op].op_class()
-        row[cls] -= 1
+        slot = cycle % ii
+        table[slot][cls_of[op]] -= 1
+        row_total[slot] -= 1
 
-    worklist = list(order)
+    worklist = deque(order)
     while worklist:
         if budget <= 0:
             return None
         budget -= 1
-        op = worklist.pop(0)
+        op = worklist.popleft()
         est = 0
         for e in preds[op]:
             if e.src in placement:
@@ -340,8 +357,7 @@ def modulo_schedule(
             victims = [
                 other
                 for other, at in placement.items()
-                if at % ii == cycle % ii
-                and instrs[other].op_class() == instrs[op].op_class()
+                if at % ii == cycle % ii and cls_of[other] == cls_of[op]
             ]
             # Also evict successor-violating ops.
             for e in succs[op]:

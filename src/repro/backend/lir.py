@@ -69,6 +69,19 @@ ALL_OPS = (
 )
 
 
+# op → functional-unit class; ops absent here are "alu".  Integer
+# multiply shares the multiplier with the float ops.
+_OP_CLASS = {
+    "ld": "mem", "st": "mem",
+    "fadd": "fadd", "fsub": "fadd", "fneg": "fadd",
+    "fmul": "fmul", "fma": "fmul", "mul": "fmul",
+    "fdiv": "div", "div": "div", "mod": "div", "sqrt": "div",
+    "exp": "div", "log": "div", "sin": "div", "cos": "div",
+    "powr": "div",
+    "br": "branch", "brf": "branch", "brt": "branch", "call": "branch",
+}
+
+
 @dataclass
 class IVInfo:
     """Address affinity: ``address = coeff · iv + offset`` (elements,
@@ -95,19 +108,7 @@ class Instr:
 
     def op_class(self) -> str:
         """Functional-unit class for scheduling and energy accounting."""
-        if self.op in ("ld", "st"):
-            return "mem"
-        if self.op in ("fadd", "fsub", "fneg"):
-            return "fadd"
-        if self.op in ("fmul", "fma"):
-            return "fmul"
-        if self.op in ("fdiv", "div", "mod", "sqrt", "exp", "log", "sin", "cos", "powr"):
-            return "div"
-        if self.op in ("br", "brf", "brt", "call"):
-            return "branch"
-        if self.op == "mul":
-            return "fmul"  # integer multiply shares the multiplier
-        return "alu"
+        return _OP_CLASS.get(self.op, "alu")
 
     def reads(self) -> Tuple[str, ...]:
         return self.srcs

@@ -62,25 +62,25 @@ def build_dependences(instrs: List[Instr]) -> List[DepEdge]:
     uses_since_def: Dict[str, List[int]] = {}
     mem_ops: List[int] = []
     call_ops: List[int] = []
-    seen: set = set()
+    edge_at: Dict[Tuple[int, int], DepEdge] = {}
 
     def add(src: int, dst: int, latency: int) -> None:
         if src == dst:
             return
-        key = (src, dst)
-        if key in seen:
+        prev = edge_at.get((src, dst))
+        if prev is not None:
             # Keep the max latency for duplicate edges.
-            for e in edges:
-                if (e.src, e.dst) == key:
-                    e.latency = max(e.latency, latency)
-                    return
-        seen.add(key)
-        edges.append(DepEdge(src, dst, latency))
+            if latency > prev.latency:
+                prev.latency = latency
+            return
+        edge = DepEdge(src, dst, latency)
+        edge_at[(src, dst)] = edge
+        edges.append(edge)
+
+    def latency_of(j: int) -> int:
+        return max(1, _latency_cache.get(instrs[j].op_class(), 1))
 
     for idx, instr in enumerate(instrs):
-        latency_of = lambda j: max(  # noqa: E731
-            1, _latency_cache.get(instrs[j].op_class(), 1)
-        )
         # Register dependences.
         for src_reg in instr.srcs:
             if src_reg in last_def:

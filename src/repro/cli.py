@@ -317,6 +317,27 @@ def _print_phases(phase_totals, file=None) -> None:
             print(f"  {phase:<10} {phase_totals[phase]:8.3f} s", file=file)
 
 
+def _print_tier_rates(stats, file=None) -> None:
+    """Phase-cache traffic for freshly-run experiments in one engine
+    call (nothing to print when every result came from the full cache)."""
+    file = file if file is not None else sys.stdout
+    tiers = ("transform", "compile", "simulate", "verify")
+    traffic = {
+        tier: (stats.tier_hits.get(tier, 0), stats.tier_misses.get(tier, 0))
+        for tier in tiers
+    }
+    if not any(h + m for h, m in traffic.values()):
+        return
+    print("phase-cache hit rates:", file=file)
+    for tier, (hits, misses) in traffic.items():
+        total = hits + misses
+        rate = f"{hits / total:6.1%}" if total else "     -"
+        print(
+            f"  {tier:<10} {rate}  ({hits} hit(s) / {misses} miss(es))",
+            file=file,
+        )
+
+
 class _Observed:
     """Tracing/metrics scope for a CLI command, driven by its flags.
 
@@ -495,6 +516,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         )
         if args.profile:
             _print_phases(stats.phase_totals, file=sys.stderr)
+            _print_tier_rates(stats, file=sys.stderr)
     if args.bench_json:
         label = "sweep:" + (
             ",".join(workloads) if workloads else "all_workloads"
@@ -646,9 +668,10 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
-    from repro.harness.expcache import ExperimentCache
+    from repro.harness.expcache import ExperimentCache, PhaseCache
 
     cache = ExperimentCache(args.dir)
+    phases = PhaseCache(args.dir)
     if args.action == "stats":
         stats = cache.stats()
         lifetime = stats["lifetime"]
@@ -662,9 +685,47 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             f"{lifetime['hits']} hit(s), {lifetime['misses']} miss(es), "
             f"{lifetime['evictions']} eviction(s)"
         )
+        pstats = phases.stats()
+        print("phase tiers:")
+        for tier in PhaseCache.TIERS:
+            rec = pstats["tiers"][tier]
+            life = rec["lifetime"]
+            total = life["hits"] + life["misses"]
+            rate = f"{life['hits'] / total:6.1%}" if total else "     -"
+            line = (
+                f"  {tier:<10} {rec['entries']:5d} entr(ies) "
+                f"{rec['bytes']:>10d} bytes  "
+                f"lifetime {life['hits']} hit(s) / {life['misses']} "
+                f"miss(es) [{rate.strip()}]"
+            )
+            if rec["corrupt"]:
+                line += f"  {rec['corrupt']} corrupt"
+            print(line)
     else:  # clear
-        removed = cache.clear()
-        print(f"removed {removed} cached result(s) from {cache.dir}")
+        tiers = (
+            [t.strip() for t in args.tiers.split(",") if t.strip()]
+            if args.tiers
+            else None
+        )
+        if tiers is not None:
+            bad = [
+                t for t in tiers if t != "full" and t not in PhaseCache.TIERS
+            ]
+            if bad:
+                valid = ", ".join(("full",) + PhaseCache.TIERS)
+                raise ValueError(
+                    f"unknown tier(s) {', '.join(bad)}; valid: {valid}"
+                )
+        if tiers is None or "full" in tiers:
+            removed = cache.clear()
+            print(f"removed {removed} cached result(s) from {cache.dir}")
+        phase_tiers = (
+            [t for t in tiers if t != "full"] if tiers is not None else None
+        )
+        if phase_tiers is None or phase_tiers:
+            removed = phases.clear(phase_tiers)
+            cleared = ", ".join(phase_tiers or PhaseCache.TIERS)
+            print(f"removed {removed} phase entr(ies) [{cleared}]")
     return 0
 
 
@@ -881,6 +942,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_cache.add_argument("--dir", default=None,
                          help="cache directory (default: "
                          "$SLMS_CACHE_DIR or ~/.cache/slms/experiments)")
+    p_cache.add_argument("--tiers", default=None,
+                         help="clear only these comma-separated tiers "
+                         "(full,transform,compile,simulate,verify); "
+                         "default clears everything")
     p_cache.set_defaults(func=_cmd_cache)
 
     args = parser.parse_args(argv)

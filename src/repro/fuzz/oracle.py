@@ -40,7 +40,12 @@ from repro.lang.ast_nodes import For, Program, Stmt, While
 from repro.lang.parser import parse_program
 from repro.lang.printer import to_source
 from repro.obs import get_tracer
-from repro.sim.interp import InterpError, run_program, state_equal
+from repro.sim.interp import (
+    InterpError,
+    run_program,
+    run_program_batched,
+    state_equal,
+)
 from repro.transforms.errors import TransformError
 from repro.transforms.reversal import reverse
 from repro.transforms.unroll import unroll
@@ -81,6 +86,10 @@ class OracleConfig:
     backend: bool = True
     metamorphic: bool = True
     unroll_factor: int = 2
+    # One lockstep interpreter pass over all n_envs stores instead of
+    # n_envs separate passes; verdict-neutral (divergent control flow
+    # falls back to per-env replay automatically).
+    batch_envs: bool = True
 
     def to_dict(self) -> Dict[str, Any]:
         return asdict(self)
@@ -222,13 +231,48 @@ def _walk_stmt(stmt: Stmt):
 # the oracle
 
 
+def _program_outcomes(
+    program: Program,
+    envs: List[Dict[str, Any]],
+    max_steps: int,
+    batch: bool,
+) -> List[Any]:
+    """Final state per env, or the :class:`InterpError` that env raises.
+
+    ``batch`` routes through :func:`run_program_batched` (one lockstep
+    pass over every env); either way the per-env outcomes are identical
+    to sequential :func:`run_program` runs.
+    """
+    if batch and len(envs) > 1:
+        return run_program_batched(
+            program.clone(),
+            [_copy_env(env) for env in envs],
+            max_steps=max_steps,
+        )
+    outcomes: List[Any] = []
+    for env in envs:
+        try:
+            outcomes.append(
+                run_program(
+                    program.clone(), _copy_env(env), max_steps=max_steps
+                )
+            )
+        except InterpError as exc:
+            outcomes.append(exc)
+    return outcomes
+
+
 def _reference_states(
-    program: Program, envs: List[Dict[str, Any]], max_steps: int
+    program: Program,
+    envs: List[Dict[str, Any]],
+    max_steps: int,
+    batch: bool = False,
 ) -> List[Dict[str, Any]]:
-    return [
-        run_program(program.clone(), _copy_env(env), max_steps=max_steps)
-        for env in envs
-    ]
+    outcomes = _program_outcomes(program, envs, max_steps, batch)
+    for out in outcomes:
+        if isinstance(out, InterpError):
+            raise out
+    return outcomes
 
 
 def _divergence(
@@ -305,7 +349,9 @@ def _run_case_inner(case: FuzzCase, config: OracleConfig) -> CaseOutcome:
     # ---- reference runs ---------------------------------------------------
     outcome.checks_run.append("reference")
     try:
-        refs = _reference_states(program, envs, config.max_steps)
+        refs = _reference_states(
+            program, envs, config.max_steps, batch=config.batch_envs
+        )
     except InterpError as exc:
         trap = _OOB_TRAP.search(str(exc))
         if trap is not None:
@@ -347,15 +393,12 @@ def _run_case_inner(case: FuzzCase, config: OracleConfig) -> CaseOutcome:
     )
 
     diffs: List[str] = []
-    for j, env in enumerate(envs):
-        try:
-            out = run_program(
-                result.program.clone(),
-                _copy_env(env),
-                max_steps=config.max_steps,
-            )
-        except InterpError as exc:
-            diffs.append(f"env{j}: transformed program raised: {exc}")
+    outs = _program_outcomes(
+        result.program, envs, config.max_steps, config.batch_envs
+    )
+    for j, out in enumerate(outs):
+        if isinstance(out, InterpError):
+            diffs.append(f"env{j}: transformed program raised: {out}")
             continue
         problem = _divergence(refs[j], out, f"env{j}")
         if problem:
@@ -503,15 +546,12 @@ def _run_variant(
         result = slms(variant, SLMSOptions())
     except Exception as exc:
         return f"{label}: slms raised {type(exc).__name__}: {exc}"
-    for j, env in enumerate(envs):
-        try:
-            out = run_program(
-                result.program.clone(),
-                _copy_env(env),
-                max_steps=config.max_steps,
-            )
-        except InterpError as exc:
-            return f"{label}/env{j}: variant raised: {exc}"
+    outs = _program_outcomes(
+        result.program, envs, config.max_steps, config.batch_envs
+    )
+    for j, out in enumerate(outs):
+        if isinstance(out, InterpError):
+            return f"{label}/env{j}: variant raised: {out}"
         problem = _divergence(refs[j], out, f"{label}/env{j}")
         if problem:
             return problem

@@ -49,7 +49,13 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.backend.compiler import CompilerConfig
 from repro.core.slms import SLMSOptions
-from repro.harness.expcache import ExperimentCache, experiment_key
+from repro.harness.expcache import (
+    ENGINE_VERSION,
+    PHASE_TIERS,
+    ExperimentCache,
+    PhaseCache,
+    experiment_key,
+)
 from repro.harness.experiment import ExperimentResult, run_experiment
 from repro.harness.faults import (
     FaultPlan,
@@ -64,10 +70,8 @@ from repro.machines.model import MachineModel
 from repro.obs import get_metrics, get_tracer
 from repro.workloads.base import Workload
 
-# Version of the whole evaluation pipeline as far as results are
-# concerned.  "2" = PR 2's fast-path interpreter + static block
-# accounting (bit-identical to "1", but keyed separately on principle).
-ENGINE_VERSION = "2"
+# ENGINE_VERSION lives in repro.harness.expcache (next to the cache
+# keys it versions) and is re-exported here for compatibility.
 
 PHASES = ("parse", "transform", "compile", "simulate", "verify", "total")
 
@@ -184,6 +188,11 @@ class EngineStats:
     workers: int = 1
     wall_s: float = 0.0
     phase_totals: Dict[str, float] = field(default_factory=dict)
+    # Phase-cache tier traffic aggregated from freshly-run experiments
+    # (full-cache hits and journal replays contribute nothing — their
+    # tier traffic was counted when they originally ran).
+    tier_hits: Dict[str, int] = field(default_factory=dict)
+    tier_misses: Dict[str, int] = field(default_factory=dict)
 
     @property
     def hit_rate(self) -> float:
@@ -216,18 +225,64 @@ class EngineStats:
                 phase: round(seconds, 3)
                 for phase, seconds in self.phase_totals.items()
             },
+            "phase_cache": {
+                tier: {
+                    "hits": self.tier_hits.get(tier, 0),
+                    "misses": self.tier_misses.get(tier, 0),
+                    "hit_rate": round(
+                        self.tier_hits.get(tier, 0)
+                        / (
+                            self.tier_hits.get(tier, 0)
+                            + self.tier_misses.get(tier, 0)
+                        ),
+                        4,
+                    )
+                    if self.tier_hits.get(tier, 0)
+                    + self.tier_misses.get(tier, 0)
+                    else 0.0,
+                }
+                for tier in PHASE_TIERS
+            },
         }
 
 
-def _run_spec(spec: ExperimentSpec) -> ExperimentResult:
+@dataclass(frozen=True)
+class _Task:
+    """One dispatched unit: the spec plus the phase-cache binding.
+
+    ``phase_cache_dir=None`` disables per-phase memoization for the
+    task (cache off, or a traced run — tier hits would skip the spans
+    and events that make traces worker-count-invariant).
+    """
+
+    spec: ExperimentSpec
+    phase_cache_dir: Optional[str] = None
+
+
+def _run_spec(task: ExperimentSpec | _Task) -> ExperimentResult:
     """Top-level worker entry point (must stay picklable)."""
-    return run_experiment(
+    if isinstance(task, ExperimentSpec):
+        task = _Task(task)
+    phase_cache = (
+        PhaseCache.shared(task.phase_cache_dir)
+        if task.phase_cache_dir
+        else None
+    )
+    spec = task.spec
+    result = run_experiment(
         spec.workload,
         spec.machine,
         spec.compiler,
         spec.options,
         verify=spec.verify,
+        phase_cache=phase_cache,
     )
+    if phase_cache is not None:
+        # Best effort: pooled workers die without a parent-side flush,
+        # so persist tier counters as tasks complete (concurrent
+        # read-modify-writes may undercount; see PhaseCache).
+        phase_cache.flush_counters()
+    return result
 
 
 def _resolve_workers(requested: Optional[int], n_tasks: int) -> int:
@@ -388,6 +443,15 @@ def run_experiments(
     t_start = time.perf_counter()
     stats = EngineStats(experiments=len(specs))
     cache = ExperimentCache(base.cache_dir) if base.use_cache else None
+    # Per-phase memoization rides the same directory as the full cache.
+    # Traced runs bypass it: tier hits would skip the phase spans that
+    # make traces worker-count-invariant (same reason `slms trace`
+    # bypasses the full cache).
+    phase_cache_dir = (
+        str(cache.dir)
+        if cache is not None and not get_tracer().enabled
+        else None
+    )
     plan = (
         base.fault_plan if base.fault_plan is not None else FaultPlan.from_env()
     )
@@ -425,7 +489,14 @@ def run_experiments(
                 hit = cache.get(key) if cache is not None else None
                 if hit is not None:
                     # A hit's stored phase times describe the *original*
-                    # computation; report what this run actually did instead.
+                    # computation; report what this run actually did
+                    # (the lookup) under phase_times and fold everything
+                    # the entry originally cost — executed and
+                    # served-from-tier alike — into cached_phase_times.
+                    served = dict(hit.phase_times)
+                    for phase, seconds in hit.cached_phase_times.items():
+                        served[phase] = served.get(phase, 0.0) + seconds
+                    hit.cached_phase_times = served
                     hit.phase_times = {
                         "cache": time.perf_counter() - t_lookup
                     }
@@ -497,7 +568,10 @@ def run_experiments(
                 identities = [spec.identity() for _i, spec, _k in pending]
                 outcomes = execute_guarded(
                     _run_spec,
-                    [spec for _i, spec, _k in pending],
+                    [
+                        _Task(spec, phase_cache_dir)
+                        for _i, spec, _k in pending
+                    ],
                     workers=n_workers,
                     policy=policy,
                     labels=labels,
@@ -530,10 +604,24 @@ def run_experiments(
                     getattr(result, "phase_times", None) or {}
                 ).items():
                     totals[phase] = totals.get(phase, 0.0) + seconds
+                for tier, rec in (
+                    getattr(result, "cache_tiers", None) or {}
+                ).items():
+                    stats.tier_hits[tier] = (
+                        stats.tier_hits.get(tier, 0) + rec.get("hits", 0)
+                    )
+                    stats.tier_misses[tier] = (
+                        stats.tier_misses.get(tier, 0) + rec.get("misses", 0)
+                    )
             stats.phase_totals = totals
             if cache is not None:
                 stats.cache_evictions = cache.evictions
                 cache.flush_counters()
+            if phase_cache_dir is not None:
+                # Serial in-process runs accumulate tier traffic on the
+                # parent's shared instance; flush it alongside the full
+                # cache's counters (no-op when workers did the running).
+                PhaseCache.shared(phase_cache_dir).flush_counters()
             stats.wall_s = time.perf_counter() - t_start
 
             # Engine-side metrics: coarse, once per run.  Fault counters
@@ -544,6 +632,20 @@ def run_experiments(
             registry.counter("engine.experiments").inc(len(specs))
             registry.counter("engine.cache.hits").inc(stats.cache_hits)
             registry.counter("engine.cache.misses").inc(stats.cache_misses)
+            # Tier counters only when the phase cache saw traffic, so
+            # traced runs (phase cache off) export the same metric set
+            # as before.
+            for tier in PHASE_TIERS:
+                hits = stats.tier_hits.get(tier, 0)
+                misses = stats.tier_misses.get(tier, 0)
+                if hits:
+                    registry.counter(
+                        f"engine.phase_cache.{tier}.hits"
+                    ).inc(hits)
+                if misses:
+                    registry.counter(
+                        f"engine.phase_cache.{tier}.misses"
+                    ).inc(misses)
             registry.gauge("engine.workers").set(stats.workers)
             registry.gauge("engine.worker_utilization").set(stats.utilization)
             if stats.journal_hits:

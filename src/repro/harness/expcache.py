@@ -1,42 +1,80 @@
-"""Content-addressed on-disk cache for experiment results.
+"""Content-addressed on-disk caches for experiment results.
 
-Experiments are pure functions of their inputs: the simulator is
-deterministic, so an :class:`~repro.harness.experiment.ExperimentResult`
-is fully determined by the kernel source, the SLMS options, the machine
-model, the final-compiler preset and the engine version.  The cache key
-is the SHA-256 of exactly that tuple (canonical JSON, sorted keys), so
+Two cooperating stores live here:
 
-* editing a workload's setup/kernel source invalidates its entries;
-* changing any :class:`~repro.core.slms.SLMSOptions` field, machine
-  parameter or compiler pass toggle produces a different key;
-* bumping :data:`~repro.harness.engine.ENGINE_VERSION` (required
-  whenever accounting or transform semantics change results)
-  invalidates everything at once.
+* :class:`ExperimentCache` — the *full-result* cache.  Experiments are
+  pure functions of their inputs: the simulator is deterministic, so an
+  :class:`~repro.harness.experiment.ExperimentResult` is fully
+  determined by the kernel source, the SLMS options, the machine model,
+  the final-compiler preset and the engine version.  The cache key is
+  the SHA-256 of exactly that tuple (canonical JSON, sorted keys).
+* :class:`PhaseCache` — the *tiered per-phase* memo store.  Each
+  pipeline phase is keyed on what it actually reads, so a sweep over
+  five machines stops re-running machine-independent phases five times:
 
-Entries are one JSON file each under ``<cache_dir>/<key[:2]>/<key>.json``
-(sharded to keep directories small), written atomically via rename.
-The default directory is ``~/.cache/slms/experiments``; override with
-the ``SLMS_CACHE_DIR`` environment variable or the ``cache_dir``
-argument.  All failures (unreadable entry, read-only filesystem) degrade
-to cache misses — caching is an optimization, never a correctness
-dependency.
+  ============  ====================================================
+  tier          key inputs
+  ============  ====================================================
+  ``transform``  setup source, kernel source, resolved SLMSOptions
+  ``compile``    program source text, machine model, compiler preset
+  ``simulate``   LIR module fingerprint, machine model, accounting
+  ``verify``     base/SLMS source, options, new scalars, both final
+                 simulated-state digests
+  ============  ====================================================
+
+  The invalidation lattice falls out of the keys: editing a workload's
+  source invalidates ``transform`` and everything downstream; editing a
+  machine model invalidates only ``compile``/``simulate`` (and the full
+  tier) while ``transform``/``verify`` keep hitting.  ``verify`` keys
+  on the *simulated states* rather than the machine, so a machine edit
+  that doesn't change results re-verifies for free.
+
+Every key includes :data:`ENGINE_VERSION`; bumping it (required
+whenever accounting or transform semantics change results) invalidates
+everything at once.
+
+Full results are one JSON file each under
+``<cache_dir>/<key[:2]>/<key>.json``; phase entries are pickles under
+``<cache_dir>/phases/<tier>/<key[:2]>/<key>.pkl`` (sharded to keep
+directories small), all written atomically via rename.  The default
+directory is ``~/.cache/slms/experiments``; override with the
+``SLMS_CACHE_DIR`` environment variable or the ``cache_dir`` argument.
+All failures (unreadable entry, read-only filesystem) degrade to cache
+misses — caching is an optimization, never a correctness dependency.
 """
 
 from __future__ import annotations
 
+import atexit
 import dataclasses
 import hashlib
 import json
 import os
+import pickle
+import queue
 import tempfile
+import threading
+from collections import OrderedDict
 from pathlib import Path
-from typing import Any, Dict, Optional
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 from repro.backend.compiler import CompilerConfig
+from repro.backend.lir import Module
 from repro.core.slms import SLMSOptions
-from repro.harness.experiment import ExperimentResult
 from repro.machines.model import MachineModel
 from repro.workloads.base import Workload
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.harness.experiment import ExperimentResult
+
+# Version of the whole evaluation pipeline as far as results are
+# concerned.  "2" = PR 2's fast-path interpreter + static block
+# accounting; "3" = tiered phase memoization + exec-compiled blocks
+# (bit-identical to "2", but keyed separately on principle).
+ENGINE_VERSION = "3"
+
+# The per-phase memo tiers, in pipeline order.
+PHASE_TIERS = ("transform", "compile", "simulate", "verify")
 
 
 def default_cache_dir() -> Path:
@@ -58,6 +96,11 @@ def _jsonable(value: Any) -> Any:
     if isinstance(value, (list, tuple)):
         return [_jsonable(v) for v in value]
     return value
+
+
+def _digest(payload: Any) -> str:
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 def experiment_key(
@@ -82,8 +125,135 @@ def experiment_key(
         "options": _jsonable(options or SLMSOptions()),
         "verify": bool(verify),
     }
-    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+    return _digest(payload)
+
+
+# -- per-phase keys ------------------------------------------------------
+def transform_key(workload: Workload, options: Optional[SLMSOptions]) -> str:
+    """The transform tier reads only the sources and the options."""
+    return _digest(
+        {
+            "tier": "transform",
+            "engine": ENGINE_VERSION,
+            "setup": workload.setup,
+            "kernel": workload.kernel,
+            "options": _jsonable(options or SLMSOptions()),
+        }
+    )
+
+
+def compile_key(
+    source: str, machine: MachineModel, compiler: CompilerConfig
+) -> str:
+    """The compile tier reads the program text, machine and preset."""
+    return _digest(
+        {
+            "tier": "compile",
+            "engine": ENGINE_VERSION,
+            "source": source,
+            "machine": _jsonable(machine),
+            "compiler": _jsonable(compiler),
+        }
+    )
+
+
+def simulate_key(
+    module: Module, machine: MachineModel, accounting: str
+) -> str:
+    """The simulate tier reads the final LIR and the machine model."""
+    return _digest(
+        {
+            "tier": "simulate",
+            "engine": ENGINE_VERSION,
+            "module": module_fingerprint(module),
+            "machine": _jsonable(machine),
+            "accounting": accounting,
+            "env": None,
+        }
+    )
+
+
+def verify_key(
+    base_source: str,
+    slms_source: str,
+    options: Optional[SLMSOptions],
+    new_scalars: List[str],
+    base_state_digest: str,
+    slms_state_digest: str,
+) -> str:
+    """The verify tier reads both programs and both simulated states.
+
+    Keying on the state digests (not the machine) makes verification
+    machine-independent exactly when the compiled results are — which
+    is the property verification checks in the first place.
+    """
+    return _digest(
+        {
+            "tier": "verify",
+            "engine": ENGINE_VERSION,
+            "base": base_source,
+            "slms": slms_source,
+            "options": _jsonable(options or SLMSOptions()),
+            "new_scalars": sorted(new_scalars),
+            "base_state": base_state_digest,
+            "slms_state": slms_state_digest,
+        }
+    )
+
+
+def module_fingerprint(module: Module) -> str:
+    """Deterministic content hash of a compiled LIR module.
+
+    Covers everything execution and accounting read: every instruction
+    field, the schedule presence/length and ``ims_ii`` per block (cycle
+    cost), array/scalar metadata and block order.  ``repr`` keeps int
+    and float immediates distinct (``1`` vs ``1.0``).
+
+    Streams ``repr`` fragments straight into the hasher instead of
+    building a JSON document; per-field reprs of primitives are
+    deterministic, and the dict-valued metadata is sorted so the hash
+    is insertion-order independent like the old canonical-JSON form.
+    (The hash value itself differs from the JSON-era one, which merely
+    orphans pre-existing simulate-tier entries — keys only ever need
+    to be deterministic, not stable across engine revisions.)
+    """
+    h = hashlib.sha256()
+    h.update(repr(module.entry).encode())
+    for name in module.order:
+        block = module.blocks[name]
+        h.update(
+            f"\x1dB{name}\x1f{block.schedule is not None}"
+            f"\x1f{block.schedule_length}\x1f{block.ims_ii}".encode()
+        )
+        for i in block.instrs:
+            iv = (i.iv.iv, i.iv.coeff, i.iv.offset) if i.iv else None
+            h.update(
+                f"\x1e{i.op}\x1f{i.dst}\x1f{list(i.srcs)}\x1f{i.imm!r}"
+                f"\x1f{i.array}\x1f{i.disp}\x1f{i.label}\x1f{i.name}"
+                f"\x1f{iv}".encode()
+            )
+    h.update(repr(sorted(module.arrays.items())).encode())
+    h.update(repr(sorted(module.scalar_regs.items())).encode())
+    h.update(repr(sorted(module.scalar_types.items())).encode())
+    h.update(repr(sorted(module.scalar_slots.items())).encode())
+    return h.hexdigest()
+
+
+def state_digest(state: Dict[str, Any]) -> str:
+    """Content hash of a simulated final state (arrays + scalars)."""
+    h = hashlib.sha256()
+    for name in sorted(state):
+        value = state[name]
+        h.update(name.encode("utf-8"))
+        h.update(b"\x00")
+        if hasattr(value, "tobytes"):
+            h.update(str(value.dtype).encode("utf-8"))
+            h.update(repr(value.shape).encode("utf-8"))
+            h.update(value.tobytes())
+        else:
+            h.update(repr(value).encode("utf-8"))
+        h.update(b"\x01")
+    return h.hexdigest()
 
 
 class ExperimentCache:
@@ -143,26 +313,13 @@ class ExperimentCache:
         totals = self.lifetime_counters()
         for name in self.COUNTER_NAMES:
             totals[name] += delta[name]
-        try:
-            self.dir.mkdir(parents=True, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(
-                dir=self.dir, prefix=".tmp-counters-", suffix=".json"
-            )
-            try:
-                with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                    json.dump(totals, handle)
-                os.replace(tmp, self._counters_path)
-            except BaseException:
-                try:
-                    os.unlink(tmp)
-                except OSError:
-                    pass
-                raise
-        except OSError:
+        if not _write_json_atomic(self.dir, self._counters_path, totals):
             return
         self._flushed = dict(session)
 
-    def get(self, key: str) -> Optional[ExperimentResult]:
+    def get(self, key: str) -> Optional["ExperimentResult"]:
+        from repro.harness.experiment import ExperimentResult
+
         path = self._path(key)
         try:
             with open(path, "r", encoding="utf-8") as handle:
@@ -217,37 +374,22 @@ class ExperimentCache:
             return False
         return True
 
-    def put(self, key: str, result: ExperimentResult) -> bool:
+    def put(self, key: str, result: "ExperimentResult") -> bool:
         path = self._path(key)
-        try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(
-                dir=path.parent, prefix=".tmp-", suffix=".json"
-            )
-            try:
-                with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                    json.dump(result.to_dict(), handle)
-                os.replace(tmp, path)
-            except BaseException:
-                try:
-                    os.unlink(tmp)
-                except OSError:
-                    pass
-                raise
-        except OSError:
-            return False  # read-only cache dir etc.: silently skip
-        return True
+        return _write_json_atomic(path.parent, path, result.to_dict())
 
     # -- maintenance ---------------------------------------------------
     def entries(self) -> list:
         if not self.dir.is_dir():
             return []
-        return sorted(self.dir.glob("*/*.json"))
+        # Shard directories are two hex characters; the tighter glob
+        # keeps the phase store and sidecars out of the entry count.
+        return sorted(self.dir.glob("[0-9a-f][0-9a-f]/*.json"))
 
     def corrupt_entries(self) -> list:
         if not self.dir.is_dir():
             return []
-        return sorted(self.dir.glob("*/*.json.corrupt"))
+        return sorted(self.dir.glob("[0-9a-f][0-9a-f]/*.json.corrupt"))
 
     def stats(self) -> Dict[str, Any]:
         entries = self.entries()
@@ -283,5 +425,270 @@ class ExperimentCache:
             except OSError:
                 pass
         self.evictions += removed
+        self.flush_counters()
+        return removed
+
+
+def _write_json_atomic(parent: Path, path: Path, payload: Any) -> bool:
+    try:
+        parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=parent, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+    except OSError:
+        return False  # read-only cache dir etc.: silently skip
+    return True
+
+
+class PhaseCache:
+    """Tiered per-phase memo store (transform/compile/simulate/verify).
+
+    Values are arbitrary picklable payloads (IR objects, compiled
+    programs, execution results) stored per tier under
+    ``<cache_dir>/phases/<tier>/<key[:2]>/<key>.pkl``, fronted by a
+    process-local LRU so a serial sweep never deserializes twice.
+    Session hit/miss/eviction counters are kept per tier and flushed —
+    best effort — into a ``phases/counters.json`` sidecar (concurrent
+    pooled workers may undercount it; the counters are observability,
+    never correctness).
+
+    Use :meth:`shared` to get the per-process instance for a cache
+    directory: pooled engine workers construct it once per process and
+    keep the in-memory tier warm across tasks.
+    """
+
+    TIERS = PHASE_TIERS
+    MEMORY_ENTRIES = 512
+
+    _shared: Dict[str, "PhaseCache"] = {}
+
+    def __init__(self, cache_dir: Optional[str | Path] = None):
+        root = Path(cache_dir) if cache_dir else default_cache_dir()
+        self.dir = root / "phases"
+        self.hits = {tier: 0 for tier in self.TIERS}
+        self.misses = {tier: 0 for tier in self.TIERS}
+        self.evictions = {tier: 0 for tier in self.TIERS}
+        self._memory: "OrderedDict[Tuple[str, str], Any]" = OrderedDict()
+        self._flushed = {
+            tier: {"hits": 0, "misses": 0, "evictions": 0}
+            for tier in self.TIERS
+        }
+        # Disk writes run on a lazily started daemon thread (see
+        # :meth:`put`); ``drain`` is the barrier that makes them
+        # visible to on-disk readers.
+        self._write_queue: "queue.Queue[Tuple[Path, bytes]]" = queue.Queue()
+        self._writer: Optional[threading.Thread] = None
+
+    @classmethod
+    def shared(cls, cache_dir: Optional[str | Path] = None) -> "PhaseCache":
+        """The per-process instance for ``cache_dir`` (created once)."""
+        key = str(Path(cache_dir) if cache_dir else default_cache_dir())
+        instance = cls._shared.get(key)
+        if instance is None:
+            instance = cls._shared[key] = cls(cache_dir)
+        return instance
+
+    def _path(self, tier: str, key: str) -> Path:
+        return self.dir / tier / key[:2] / f"{key}.pkl"
+
+    def get(self, tier: str, key: str) -> Optional[Any]:
+        mem_key = (tier, key)
+        if mem_key in self._memory:
+            self._memory.move_to_end(mem_key)
+            self.hits[tier] += 1
+            return self._memory[mem_key]
+        path = self._path(tier, key)
+        try:
+            with open(path, "rb") as handle:
+                value = pickle.load(handle)
+        except OSError:
+            self.misses[tier] += 1
+            return None
+        except Exception:
+            # Torn write / bit rot / version skew: quarantine so future
+            # runs miss cleanly instead of re-reading the bad pickle.
+            self._quarantine(tier, path)
+            self.misses[tier] += 1
+            return None
+        self._remember(mem_key, value)
+        self.hits[tier] += 1
+        return value
+
+    def put(self, tier: str, key: str, value: Any) -> bool:
+        """Store ``value``; the disk write completes asynchronously.
+
+        The value is pickled *here* (so later mutation by the caller
+        cannot corrupt the entry) and becomes visible to in-process
+        readers immediately through the memory tier; only the file I/O
+        (mkdir, temp file, atomic rename) is deferred to the writer
+        thread.  :meth:`drain` — called by :meth:`stats`,
+        :meth:`clear` and at interpreter exit — is the barrier that
+        guarantees the entry is on disk.
+        """
+        self._remember((tier, key), value)
+        try:
+            data = pickle.dumps(value, pickle.HIGHEST_PROTOCOL)
+        except (pickle.PicklingError, TypeError):
+            return False
+        self._enqueue_write(self._path(tier, key), data)
+        return True
+
+    def _enqueue_write(self, path: Path, data: bytes) -> None:
+        if self._writer is None or not self._writer.is_alive():
+            self._writer = threading.Thread(
+                target=self._write_loop, daemon=True, name="slms-cache-writer"
+            )
+            self._writer.start()
+            atexit.register(self.drain)
+        self._write_queue.put((path, data))
+
+    def _write_loop(self) -> None:
+        while True:
+            path, data = self._write_queue.get()
+            try:
+                path.parent.mkdir(parents=True, exist_ok=True)
+                fd, tmp = tempfile.mkstemp(
+                    dir=path.parent, prefix=".tmp-", suffix=".pkl"
+                )
+                try:
+                    with os.fdopen(fd, "wb") as handle:
+                        handle.write(data)
+                    os.replace(tmp, path)
+                except BaseException:
+                    try:
+                        os.unlink(tmp)
+                    except OSError:
+                        pass
+                    raise
+            except OSError:
+                pass  # read-only cache dir etc.: degrade to a miss
+            finally:
+                self._write_queue.task_done()
+
+    def drain(self) -> None:
+        """Block until every enqueued disk write has completed."""
+        if self._writer is not None and self._writer.is_alive():
+            self._write_queue.join()
+
+    def _remember(self, mem_key: Tuple[str, str], value: Any) -> None:
+        self._memory[mem_key] = value
+        self._memory.move_to_end(mem_key)
+        while len(self._memory) > self.MEMORY_ENTRIES:
+            self._memory.popitem(last=False)
+
+    def _quarantine(self, tier: str, path: Path) -> None:
+        try:
+            path.rename(path.with_name(path.name + ".corrupt"))
+        except OSError:
+            return
+        self.evictions[tier] += 1
+
+    # -- lifetime counters ---------------------------------------------
+    @property
+    def _counters_path(self) -> Path:
+        return self.dir / "counters.json"
+
+    def lifetime_counters(self) -> Dict[str, Dict[str, int]]:
+        try:
+            with open(self._counters_path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+            return {
+                tier: {
+                    name: int(data.get(tier, {}).get(name, 0))
+                    for name in ("hits", "misses", "evictions")
+                }
+                for tier in self.TIERS
+            }
+        except (OSError, ValueError, TypeError, AttributeError):
+            return {
+                tier: {"hits": 0, "misses": 0, "evictions": 0}
+                for tier in self.TIERS
+            }
+
+    def flush_counters(self) -> None:
+        session = {
+            tier: {
+                "hits": self.hits[tier],
+                "misses": self.misses[tier],
+                "evictions": self.evictions[tier],
+            }
+            for tier in self.TIERS
+        }
+        delta_any = False
+        totals = None
+        for tier in self.TIERS:
+            for name in ("hits", "misses", "evictions"):
+                if session[tier][name] != self._flushed[tier][name]:
+                    delta_any = True
+        if not delta_any:
+            return
+        totals = self.lifetime_counters()
+        for tier in self.TIERS:
+            for name in ("hits", "misses", "evictions"):
+                totals[tier][name] += (
+                    session[tier][name] - self._flushed[tier][name]
+                )
+        if not _write_json_atomic(self.dir, self._counters_path, totals):
+            return
+        self._flushed = {tier: dict(rec) for tier, rec in session.items()}
+
+    # -- maintenance ---------------------------------------------------
+    def entries(self, tier: str) -> list:
+        root = self.dir / tier
+        if not root.is_dir():
+            return []
+        return sorted(root.glob("[0-9a-f][0-9a-f]/*.pkl"))
+
+    def corrupt_entries(self, tier: str) -> list:
+        root = self.dir / tier
+        if not root.is_dir():
+            return []
+        return sorted(root.glob("[0-9a-f][0-9a-f]/*.pkl.corrupt"))
+
+    def stats(self) -> Dict[str, Any]:
+        self.drain()
+        lifetime = self.lifetime_counters()
+        tiers: Dict[str, Any] = {}
+        for tier in self.TIERS:
+            entries = self.entries(tier)
+            tiers[tier] = {
+                "entries": len(entries),
+                "bytes": sum(p.stat().st_size for p in entries),
+                "corrupt": len(self.corrupt_entries(tier)),
+                "lifetime": lifetime[tier],
+                "session": {
+                    "hits": self.hits[tier],
+                    "misses": self.misses[tier],
+                    "evictions": self.evictions[tier],
+                },
+            }
+        return {"dir": str(self.dir), "tiers": tiers}
+
+    def clear(self, tiers: Optional[List[str]] = None) -> int:
+        """Remove entries for ``tiers`` (default: all); returns count."""
+        self.drain()  # a write landing after the clear would resurrect
+        removed = 0
+        for tier in tiers if tiers is not None else self.TIERS:
+            if tier not in self.TIERS:
+                raise ValueError(f"unknown phase tier {tier!r}")
+            for path in self.entries(tier):
+                try:
+                    path.unlink()
+                    removed += 1
+                    self.evictions[tier] += 1
+                except OSError:
+                    pass
+            for mem_key in [k for k in self._memory if k[0] == tier]:
+                del self._memory[mem_key]
         self.flush_counters()
         return removed

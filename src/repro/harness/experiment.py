@@ -11,24 +11,43 @@ Methodology (mirrors the paper's §9 protocol):
   the same compilation flags");
 * every run is verified against the source-level interpreter before its
   timing is trusted — a miscompiled speedup is a bug, not a result.
+
+When a :class:`~repro.harness.expcache.PhaseCache` is supplied, each
+phase first consults its memo tier (keyed on exactly what the phase
+reads — see :mod:`repro.harness.expcache`); hits are transparent to the
+result except for timing bookkeeping: ``phase_times`` always records
+what *this run* actually spent (tier lookups included) while
+``cached_phase_times`` accumulates the memoized seconds the hits
+originally cost, so observability never conflates served-from-cache
+with executed time.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, List, Mapping, Optional
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from repro.backend.compiler import COMPILER_PRESETS, CompilerConfig, FinalCompiler
 from repro.core.pipeline import _collect_types, slms
 from repro.core.slms import SLMSOptions
+from repro.harness.expcache import (
+    PhaseCache,
+    compile_key,
+    simulate_key,
+    state_digest,
+    transform_key,
+    verify_key,
+)
 from repro.lang.ast_nodes import Program
-from repro.lang.parser import parse_program
+from repro.lang.parser import parse_program_cached
+from repro.lang.printer import to_source
 from repro.machines.model import MachineModel
 from repro.machines.presets import machine_by_name
 from repro.obs import get_tracer
 from repro.sim.executor import ExecutionMetrics, execute
-from repro.sim.interp import run_program, state_equal
+from repro.sim.interp import state_equal
+from repro.sim.interp_compile import run_program_fast
 from repro.workloads.base import Workload
 
 # Harness phases every ExperimentResult reports wall-clock times for.
@@ -38,9 +57,45 @@ from repro.workloads.base import Workload
 EXPERIMENT_PHASES = ("parse", "transform", "compile", "simulate", "verify",
                      "total")
 
+# Serialization schema for ExperimentResult.to_dict/from_dict.  Bumped
+# to 2 when ``cached_phase_times`` split served-from-cache seconds out
+# of ``phase_times``; from_dict refuses other schemas so stale cache and
+# journal entries quarantine instead of deserializing ambiguously.
+SCHEMA_VERSION = 2
+
 
 class VerificationError(AssertionError):
     """Transformed or compiled code changed program semantics."""
+
+
+@dataclass
+class LoopSummary:
+    """What an SLMS loop report boils down to, minus the IR.
+
+    The picklable residue of :class:`~repro.core.slms.SLMSResult` that
+    the harness actually consumes — stored in the transform memo tier so
+    cached transforms replay classification (and validator failures)
+    exactly like fresh ones.
+    """
+
+    applied: bool
+    reason: str
+    ii: Optional[int]
+    new_scalars: List[str]
+    errors: List[str]  # formatted error-severity diagnostics
+
+    @staticmethod
+    def from_report(report) -> "LoopSummary":
+        return LoopSummary(
+            applied=bool(report.applied),
+            reason=report.reason,
+            ii=report.ii,
+            new_scalars=list(report.new_scalars),
+            errors=[
+                d.format() for d in report.diagnostics
+                if d.severity == "error"
+            ],
+        )
 
 
 @dataclass
@@ -63,9 +118,18 @@ class ExperimentResult:
     base_metrics: Optional[ExecutionMetrics] = None
     slms_metrics: Optional[ExecutionMetrics] = None
     # Wall-clock seconds per harness phase (parse/transform/compile/
-    # simulate/verify + total).  Timing metadata only: deliberately not
-    # part of exports or equality-sensitive comparisons.
+    # simulate/verify + total) that *this run* actually spent.  Timing
+    # metadata only: deliberately not part of exports or
+    # equality-sensitive comparisons.
     phase_times: Dict[str, float] = field(default_factory=dict)
+    # Memoized seconds served from the phase cache (what the hits
+    # originally cost when computed), keyed by phase.  Disjoint from
+    # phase_times by construction.
+    cached_phase_times: Dict[str, float] = field(default_factory=dict)
+    # Per-tier {"hits": n, "misses": n} traffic this result generated.
+    # Transient engine-side bookkeeping: not serialized, so replayed
+    # cache/journal entries never re-report old tier traffic.
+    cache_tiers: Optional[Dict[str, Dict[str, int]]] = None
 
     @property
     def speedup(self) -> float:
@@ -80,6 +144,7 @@ class ExperimentResult:
     def to_dict(self) -> Dict[str, Any]:
         """Lossless JSON form (floats round-trip via repr)."""
         return {
+            "schema": SCHEMA_VERSION,
             "workload": self.workload,
             "suite": self.suite,
             "machine": self.machine,
@@ -100,10 +165,17 @@ class ExperimentResult:
                 self.slms_metrics.to_dict() if self.slms_metrics else None
             ),
             "phase_times": dict(self.phase_times),
+            "cached_phase_times": dict(self.cached_phase_times),
         }
 
     @staticmethod
     def from_dict(data: Mapping[str, Any]) -> "ExperimentResult":
+        schema = int(data.get("schema", 1))
+        if schema != SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported ExperimentResult schema {schema} "
+                f"(expected {SCHEMA_VERSION})"
+            )
         return ExperimentResult(
             workload=data["workload"],
             suite=data["suite"],
@@ -129,7 +201,76 @@ class ExperimentResult:
                 else None
             ),
             phase_times=dict(data.get("phase_times") or {}),
+            cached_phase_times=dict(data.get("cached_phase_times") or {}),
         )
+
+
+class _PhaseMemo:
+    """One experiment's view of the tiered phase cache.
+
+    Wraps a shared :class:`~repro.harness.expcache.PhaseCache` with
+    per-experiment tier traffic counts (``tiers``) and the memoized
+    seconds served from hits (``credits``), which become the result's
+    ``cache_tiers`` / ``cached_phase_times``.
+    """
+
+    def __init__(self, cache: PhaseCache):
+        self.cache = cache
+        self.tiers = {
+            tier: {"hits": 0, "misses": 0} for tier in cache.TIERS
+        }
+        self.credits: Dict[str, float] = {}
+
+    def get(self, tier: str, key: str):
+        value = self.cache.get(tier, key)
+        self.tiers[tier]["hits" if value is not None else "misses"] += 1
+        return value
+
+    def put(self, tier: str, key: str, value) -> None:
+        self.cache.put(tier, key, value)
+
+    def credit(self, phase: str, elapsed: float) -> None:
+        self.credits[phase] = self.credits.get(phase, 0.0) + elapsed
+
+
+def _compile_memo(
+    memo: Optional[_PhaseMemo],
+    source: Optional[str],
+    prog: Program,
+    machine: MachineModel,
+    config: CompilerConfig,
+):
+    if memo is None:
+        return FinalCompiler(machine, config).compile(prog)
+    key = compile_key(source, machine, config)
+    entry = memo.get("compile", key)
+    if entry is not None:
+        memo.credit("compile", entry["elapsed"])
+        return entry["value"]
+    t0 = time.perf_counter()
+    compiled = FinalCompiler(machine, config).compile(prog)
+    memo.put(
+        "compile",
+        key,
+        {"value": compiled, "elapsed": time.perf_counter() - t0},
+    )
+    return compiled
+
+
+def _execute_memo(memo: Optional[_PhaseMemo], module, machine, accounting):
+    if memo is None:
+        return execute(module, machine, accounting=accounting)
+    key = simulate_key(module, machine, accounting)
+    entry = memo.get("simulate", key)
+    if entry is not None:
+        memo.credit("simulate", entry["elapsed"])
+        return entry["value"]
+    t0 = time.perf_counter()
+    run = execute(module, machine, accounting=accounting)
+    memo.put(
+        "simulate", key, {"value": run, "elapsed": time.perf_counter() - t0}
+    )
+    return run
 
 
 def _kernel_cycles(
@@ -139,20 +280,22 @@ def _kernel_cycles(
     config: CompilerConfig,
     times: Optional[Dict[str, float]] = None,
     accounting: str = "auto",
+    memo: Optional[_PhaseMemo] = None,
+    sources: Tuple[Optional[str], Optional[str]] = (None, None),
 ) -> tuple:
     tracer = get_tracer()
-    compiler = FinalCompiler(machine, config)
+    setup_src, full_src = sources
     t0 = time.perf_counter()
     with tracer.span("phase.compile"):
-        compiled_setup = compiler.compile(setup_prog)
-        compiled_full = compiler.compile(full_prog)
+        compiled_setup = _compile_memo(memo, setup_src, setup_prog, machine, config)
+        compiled_full = _compile_memo(memo, full_src, full_prog, machine, config)
     t1 = time.perf_counter()
     with tracer.span("phase.simulate"):
-        setup_run = execute(
-            compiled_setup.module, machine, accounting=accounting
+        setup_run = _execute_memo(
+            memo, compiled_setup.module, machine, accounting
         )
-        full_run = execute(
-            compiled_full.module, machine, accounting=accounting
+        full_run = _execute_memo(
+            memo, compiled_full.module, machine, accounting
         )
     t2 = time.perf_counter()
     if times is not None:
@@ -174,9 +317,9 @@ def transform_kernel(
     # Reserve every name in the full program (incl. setup scalars).
     for name in all_names(full):
         types.setdefault(name, types.get(name, "float"))
-    kernel_prog = parse_program(workload.kernel)
+    kernel_prog = parse_program_cached(workload.kernel)
     outcome = slms(kernel_prog, options, types=types)
-    combined = parse_program(workload.setup)
+    combined = parse_program_cached(workload.setup)
     combined.body.extend(outcome.program.body)
     return combined, outcome.loops
 
@@ -187,6 +330,7 @@ def run_experiment(
     compiler: CompilerConfig | str,
     options: Optional[SLMSOptions] = None,
     verify: bool = True,
+    phase_cache: Optional[PhaseCache] = None,
 ) -> ExperimentResult:
     """Full comparison for one workload."""
     if isinstance(machine, str):
@@ -195,6 +339,7 @@ def run_experiment(
         compiler = COMPILER_PRESETS[compiler]
 
     tracer = get_tracer()
+    memo = _PhaseMemo(phase_cache) if phase_cache is not None else None
     # Every phase key is always present (0.0 when a phase does no work)
     # so downstream aggregation never KeyErrors on declined-SLMS or
     # otherwise short-circuited results.
@@ -217,50 +362,100 @@ def run_experiment(
             # modulo constraints and replay its iteration space exactly.
             options = replace(options or SLMSOptions(), verify=True)
         t0 = time.perf_counter()
-        with tracer.span("phase.transform"):
-            slms_prog, reports = transform_kernel(workload, options)
+        entry = tkey = None
+        if memo is not None:
+            tkey = transform_key(workload, options)
+            entry = memo.get("transform", tkey)
+        if entry is not None:
+            slms_prog, summaries = entry["program"], entry["loops"]
+            memo.credit("transform", entry["elapsed"])
+        else:
+            with tracer.span("phase.transform"):
+                slms_prog, reports = transform_kernel(workload, options)
+            summaries = [LoopSummary.from_report(r) for r in reports]
+            if memo is not None:
+                memo.put(
+                    "transform",
+                    tkey,
+                    {
+                        "program": slms_prog,
+                        "loops": summaries,
+                        "elapsed": time.perf_counter() - t0,
+                    },
+                )
         times["transform"] = time.perf_counter() - t0
         if verify:
-            for report in reports:
-                bad = [d for d in report.diagnostics if d.severity == "error"]
-                if bad:
+            for summary in summaries:
+                if summary.errors:
                     raise VerificationError(
                         f"{workload.name}: schedule validator rejected the "
                         "SLMS result: "
-                        + "; ".join(d.format() for d in bad[:3])
+                        + "; ".join(summary.errors[:3])
                     )
 
+        setup_src = base_src = slms_src = None
+        if memo is not None:
+            setup_src = to_source(setup_prog)
+            base_src = to_source(base_prog)
+            slms_src = to_source(slms_prog)
         compiled_base, base_run, base_cycles, base_energy = _kernel_cycles(
-            setup_prog, base_prog, machine, compiler, times
+            setup_prog, base_prog, machine, compiler, times,
+            memo=memo, sources=(setup_src, base_src),
         )
         compiled_slms, slms_run, slms_cycles, slms_energy = _kernel_cycles(
-            setup_prog, slms_prog, machine, compiler, times
+            setup_prog, slms_prog, machine, compiler, times,
+            memo=memo, sources=(setup_src, slms_src),
         )
 
         t0 = time.perf_counter()
         with tracer.span("phase.verify"):
             if verify:
-                oracle = run_program(base_prog)
-                ignore = {n for r in reports for n in r.new_scalars}
-                ignore |= {
-                    k for k in slms_run.state
-                    if k.endswith("Arr") and k not in oracle
-                }
-                if not state_equal(oracle, base_run.state, ignore=set(base_run.state) - set(oracle) | ignore):
-                    raise VerificationError(
-                        f"{workload.name}: baseline compilation changed semantics"
+                new_scalars = [n for s in summaries for n in s.new_scalars]
+                ventry = vkey = None
+                if memo is not None:
+                    vkey = verify_key(
+                        base_src,
+                        slms_src,
+                        options,
+                        new_scalars,
+                        state_digest(base_run.state),
+                        state_digest(slms_run.state),
                     )
-                if not state_equal(
-                    oracle, slms_run.state, ignore=(set(slms_run.state) - set(oracle)) | ignore
-                ):
-                    raise VerificationError(
-                        f"{workload.name}: SLMS variant changed semantics"
-                    )
+                    ventry = memo.get("verify", vkey)
+                if ventry is not None:
+                    memo.credit("verify", ventry["elapsed"])
+                else:
+                    # Compiled oracle: bit-identical states/errors to
+                    # run_program, at a fraction of the tree-walk cost.
+                    oracle = run_program_fast(base_prog)
+                    ignore = set(new_scalars)
+                    ignore |= {
+                        k for k in slms_run.state
+                        if k.endswith("Arr") and k not in oracle
+                    }
+                    if not state_equal(oracle, base_run.state, ignore=set(base_run.state) - set(oracle) | ignore):
+                        raise VerificationError(
+                            f"{workload.name}: baseline compilation changed semantics"
+                        )
+                    if not state_equal(
+                        oracle, slms_run.state, ignore=(set(slms_run.state) - set(oracle)) | ignore
+                    ):
+                        raise VerificationError(
+                            f"{workload.name}: SLMS variant changed semantics"
+                        )
+                    if memo is not None:
+                        # Only proven-equal outcomes are memoized;
+                        # failures always re-run (and re-raise) fresh.
+                        memo.put(
+                            "verify",
+                            vkey,
+                            {"elapsed": time.perf_counter() - t0},
+                        )
         times["verify"] = time.perf_counter() - t0
         times["total"] = time.perf_counter() - t_start
         if tracer.enabled:
             exp_span.set(
-                slms_applied=bool([r for r in reports if r.applied]),
+                slms_applied=bool([s for s in summaries if s.applied]),
                 base_cycles=base_cycles,
                 slms_cycles=slms_cycles,
             )
@@ -275,7 +470,7 @@ def run_experiment(
             r.success and r.loop == last_body for r in compiled.ims_reports
         )
 
-    applied = [r for r in reports if r.applied]
+    applied = [s for s in summaries if s.applied]
     return ExperimentResult(
         workload=workload.name,
         suite=workload.suite,
@@ -286,13 +481,19 @@ def run_experiment(
         base_energy=base_energy,
         slms_energy=slms_energy,
         slms_applied=bool(applied),
-        slms_reason="" if applied else "; ".join(r.reason for r in reports),
+        slms_reason="" if applied else "; ".join(s.reason for s in summaries),
         ii=applied[0].ii if applied else None,
         ims_base=kernel_ims(compiled_base),
         ims_slms=kernel_ims(compiled_slms),
         base_metrics=base_run.metrics,
         slms_metrics=slms_run.metrics,
         phase_times=times,
+        cached_phase_times=dict(memo.credits) if memo is not None else {},
+        cache_tiers=(
+            {tier: dict(rec) for tier, rec in memo.tiers.items()}
+            if memo is not None
+            else None
+        ),
     )
 
 

@@ -377,6 +377,30 @@ def parse_program(source: str) -> Program:
     return Parser(tokenize(source)).parse_program()
 
 
+# Source text → parsed master tree for parse_program_cached.  Bounded
+# as a backstop against unbounded distinct sources (fuzzing).
+_PARSE_CACHE: dict = {}
+_PARSE_CACHE_LIMIT = 256
+
+
+def parse_program_cached(source: str) -> Program:
+    """Parse with a source-keyed memo, returning a private clone.
+
+    A sweep re-parses the same workload sources once per machine; the
+    text is the key, so a hit is exact, and every caller (including the
+    one that populates an entry) gets a fresh ``clone()`` — the cached
+    master is never handed out, so downstream mutation cannot leak
+    between callers.  Cloning costs a fraction of lexing + parsing.
+    """
+    prog = _PARSE_CACHE.get(source)
+    if prog is None:
+        if len(_PARSE_CACHE) >= _PARSE_CACHE_LIMIT:
+            _PARSE_CACHE.clear()
+        prog = parse_program(source)
+        _PARSE_CACHE[source] = prog
+    return prog.clone()
+
+
 def parse_stmt(source: str) -> Stmt:
     """Parse exactly one statement."""
     return Parser(tokenize(source)).parse_stmt()

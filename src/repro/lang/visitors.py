@@ -15,7 +15,7 @@ rewriters every SLMS pass needs:
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Set
+from typing import Dict, Iterator, List, Optional, Set
 
 from repro.lang.ast_nodes import (
     ARITH_OPS,
@@ -216,65 +216,177 @@ class _IndexSubstituter(NodeTransformer):
         return node.clone()
 
 
-def _fold(expr: Expr) -> Expr:
-    """Constant-fold integer +/-/* so shifted indices stay readable."""
+def _fold_binop(
+    op: str, left: Expr, right: Expr, loc, orig: Optional[BinOp] = None
+) -> Expr:
+    """Fold a binary node whose children are *already folded*.
+
+    When ``orig`` is given and no rule fires on unchanged children, the
+    original node is returned instead of an identical rebuild (see the
+    ``reuse`` mode of the rewriters below).
+    """
+    if isinstance(left, IntLit) and isinstance(right, IntLit):
+        if op == "+":
+            return IntLit(left.value + right.value, loc)
+        if op == "-":
+            return IntLit(left.value - right.value, loc)
+        if op == "*":
+            return IntLit(left.value * right.value, loc)
+    # (v + a) + b  ->  v + (a+b)
+    if (
+        op in ("+", "-")
+        and isinstance(right, IntLit)
+        and isinstance(left, BinOp)
+        and left.op in ("+", "-")
+        and isinstance(left.right, IntLit)
+    ):
+        a = left.right.value if left.op == "+" else -left.right.value
+        b = right.value if op == "+" else -right.value
+        total = a + b
+        if total == 0:
+            return left.left
+        if total > 0:
+            return BinOp("+", left.left, IntLit(total), loc)
+        return BinOp("-", left.left, IntLit(-total), loc)
+    if op in ("+", "-") and isinstance(right, IntLit) and right.value == 0:
+        return left
+    if op == "+" and isinstance(left, IntLit) and left.value == 0:
+        return right
+    if orig is not None and left is orig.left and right is orig.right:
+        return orig
+    return BinOp(op, left, right, loc)
+
+
+def _fold(expr: Expr, reuse: bool = False) -> Expr:
+    """Constant-fold integer +/-/* so shifted indices stay readable.
+
+    With ``reuse`` the pass returns the *original* subtree object
+    wherever nothing folded — the output then shares interior nodes
+    (not just leaves) with the input.  Callers that treat both trees as
+    read-only (the schedule validator) opt in to make repeated
+    canonicalization of shared subtrees O(1); everyone else keeps the
+    rebuild-always behaviour.
+    """
     if isinstance(expr, BinOp):
-        left = _fold(expr.left)
-        right = _fold(expr.right)
-        if isinstance(left, IntLit) and isinstance(right, IntLit):
-            if expr.op == "+":
-                return IntLit(left.value + right.value, expr.loc)
-            if expr.op == "-":
-                return IntLit(left.value - right.value, expr.loc)
-            if expr.op == "*":
-                return IntLit(left.value * right.value, expr.loc)
-        # (v + a) + b  ->  v + (a+b)
-        if (
-            expr.op in ("+", "-")
-            and isinstance(right, IntLit)
-            and isinstance(left, BinOp)
-            and left.op in ("+", "-")
-            and isinstance(left.right, IntLit)
-        ):
-            a = left.right.value if left.op == "+" else -left.right.value
-            b = right.value if expr.op == "+" else -right.value
-            total = a + b
-            if total == 0:
-                return left.left
-            if total > 0:
-                return BinOp("+", left.left, IntLit(total), expr.loc)
-            return BinOp("-", left.left, IntLit(-total), expr.loc)
-        if expr.op in ("+", "-") and isinstance(right, IntLit) and right.value == 0:
-            return left
-        if expr.op == "+" and isinstance(left, IntLit) and left.value == 0:
-            return right
-        return BinOp(expr.op, left, right, expr.loc)
+        return _fold_binop(
+            expr.op,
+            _fold(expr.left, reuse),
+            _fold(expr.right, reuse),
+            expr.loc,
+            expr if reuse else None,
+        )
     if isinstance(expr, (Var, IntLit, FloatLit)):
         return expr
     if isinstance(expr, ArrayRef):
-        return ArrayRef(expr.name, [_fold(i) for i in expr.indices], expr.loc)
+        indices = [_fold(i, reuse) for i in expr.indices]
+        if reuse and all(n is o for n, o in zip(indices, expr.indices)):
+            return expr
+        return ArrayRef(expr.name, indices, expr.loc)
     if isinstance(expr, UnaryOp):
-        inner = _fold(expr.operand)
+        inner = _fold(expr.operand, reuse)
         if expr.op == "-" and isinstance(inner, IntLit):
             return IntLit(-inner.value, expr.loc)
+        if reuse and inner is expr.operand:
+            return expr
         return UnaryOp(expr.op, inner, expr.loc)
     if isinstance(expr, Ternary):
-        return Ternary(_fold(expr.cond), _fold(expr.then), _fold(expr.els), expr.loc)
+        cond = _fold(expr.cond, reuse)
+        then = _fold(expr.then, reuse)
+        els = _fold(expr.els, reuse)
+        if reuse and cond is expr.cond and then is expr.then and els is expr.els:
+            return expr
+        return Ternary(cond, then, els, expr.loc)
     if isinstance(expr, Call):
-        return Call(expr.name, [_fold(a) for a in expr.args], expr.loc)
+        args = [_fold(a, reuse) for a in expr.args]
+        if reuse and all(n is o for n, o in zip(args, expr.args)):
+            return expr
+        return Call(expr.name, args, expr.loc)
     return expr
 
 
 class _Folder(NodeTransformer):
+    def __init__(self, reuse: bool = False):
+        self.reuse = reuse
+
     def visit(self, node: Node) -> Node:
         if isinstance(node, Expr):
-            return _fold(node)
+            return _fold(node, self.reuse)
         return self.generic_visit(node)
 
 
-def fold_constants(node: Node) -> Node:
-    """Return a copy with integer constant arithmetic folded."""
-    return _Folder().visit(node)
+def fold_constants(node: Node, reuse: bool = False) -> Node:
+    """Return a copy with integer constant arithmetic folded.
+
+    ``reuse`` opts in to sharing unchanged *interior* nodes with the
+    input (see :func:`_fold`); only safe when the caller never mutates
+    either tree.
+    """
+    return _Folder(reuse).visit(node)
+
+
+def _subst_fold(
+    expr: Expr, var: str, replacement: Expr, reuse: bool = False
+) -> Expr:
+    """``_fold`` of the ``var`` → ``replacement`` substitution of
+    ``expr``, in a single bottom-up pass.
+
+    Structurally identical to
+    ``_fold(_IndexSubstituter(var, replacement).visit(expr))`` — the
+    substitution only touches ``Var`` leaves and ``_fold`` is bottom-up,
+    so folding substituted children before the parent is the same tree
+    the two-pass pipeline builds.  Like ``_fold``, untouched leaves are
+    shared with the input, never mutated; with ``reuse``, untouched
+    interior nodes are shared too (read-only callers only).
+    """
+    if isinstance(expr, Var):
+        return _fold(replacement.clone()) if expr.name == var else expr
+    if isinstance(expr, (IntLit, FloatLit)):
+        return expr
+    if isinstance(expr, BinOp):
+        return _fold_binop(
+            expr.op,
+            _subst_fold(expr.left, var, replacement, reuse),
+            _subst_fold(expr.right, var, replacement, reuse),
+            expr.loc,
+            expr if reuse else None,
+        )
+    if isinstance(expr, ArrayRef):
+        indices = [_subst_fold(i, var, replacement, reuse) for i in expr.indices]
+        if reuse and all(n is o for n, o in zip(indices, expr.indices)):
+            return expr
+        return ArrayRef(expr.name, indices, expr.loc)
+    if isinstance(expr, UnaryOp):
+        inner = _subst_fold(expr.operand, var, replacement, reuse)
+        if expr.op == "-" and isinstance(inner, IntLit):
+            return IntLit(-inner.value, expr.loc)
+        if reuse and inner is expr.operand:
+            return expr
+        return UnaryOp(expr.op, inner, expr.loc)
+    if isinstance(expr, Ternary):
+        cond = _subst_fold(expr.cond, var, replacement, reuse)
+        then = _subst_fold(expr.then, var, replacement, reuse)
+        els = _subst_fold(expr.els, var, replacement, reuse)
+        if reuse and cond is expr.cond and then is expr.then and els is expr.els:
+            return expr
+        return Ternary(cond, then, els, expr.loc)
+    if isinstance(expr, Call):
+        args = [_subst_fold(a, var, replacement, reuse) for a in expr.args]
+        if reuse and all(n is o for n, o in zip(args, expr.args)):
+            return expr
+        return Call(expr.name, args, expr.loc)
+    return expr
+
+
+class _SubstFolder(NodeTransformer):
+    def __init__(self, var: str, replacement: Expr, reuse: bool = False):
+        self.var = var
+        self.replacement = replacement
+        self.reuse = reuse
+
+    def visit(self, node: Node) -> Node:
+        if isinstance(node, Expr):
+            return _subst_fold(node, self.var, self.replacement, self.reuse)
+        return self.generic_visit(node)
 
 
 def substitute_index(node: Node, var: str, offset: int) -> Node:
@@ -290,13 +402,19 @@ def substitute_index(node: Node, var: str, offset: int) -> Node:
         replacement = BinOp("+", Var(var), IntLit(offset))
     else:
         replacement = BinOp("-", Var(var), IntLit(-offset))
-    substituted = _IndexSubstituter(var, replacement).visit(node)
-    return _Folder().visit(substituted)
+    return _SubstFolder(var, replacement).visit(node)
 
 
-def substitute_expr(node: Node, var: str, replacement: Expr) -> Node:
-    """Return a copy with every ``Var(var)`` replaced by ``replacement``."""
-    return _Folder().visit(_IndexSubstituter(var, replacement).visit(node))
+def substitute_expr(
+    node: Node, var: str, replacement: Expr, reuse: bool = False
+) -> Node:
+    """Return a copy with every ``Var(var)`` replaced by ``replacement``,
+    folding constants as it rebuilds (one fused pass).
+
+    ``reuse`` opts in to sharing unchanged interior nodes with the
+    input (see :func:`_fold`); only safe for read-only callers.
+    """
+    return _SubstFolder(var, replacement, reuse).visit(node)
 
 
 class _ScalarRenamer(NodeTransformer):

@@ -1,0 +1,734 @@
+"""Exec-compiled LIR blocks: the simulator's code-generation fast path.
+
+The closure interpreter (:mod:`repro.sim.lir_interp`) pays a Python
+call per instruction plus observer calls per memory access.  For the
+blocks the static accounting path already requires (executed prefix
+invariant — see :func:`repro.sim.executor._profile_blocks`), the whole
+block can instead be generated as *one* Python function: instruction
+semantics, the direct-mapped cache probe and the timing/energy
+accounting are inlined into straight-line source that is ``compile``'d
+once per distinct block shape and ``exec``'d once per block instance.
+
+Innermost loops get a second level of fusion: a conditional block
+whose fallthrough body ends in an unconditional branch straight back
+to it (the classic ``for``-loop shape the backend emits) is compiled
+into a *loop superblock* — one function containing a ``while`` that
+runs the entire loop, keeping registers in Python locals across
+iterations and charging step/count/energy accounting per iteration
+exactly as the per-block dispatch loop would have.
+
+Strict equivalence with the closure path is load-bearing — experiment
+digests are pinned byte-identical — so the generated code mirrors the
+reference semantics operation for operation:
+
+* registers live in locals, preloaded with ``R.get(name, 0)`` only
+  when their first use is a read, and written back before every return
+  point; a mid-block exception loses uncommitted locals, which is
+  unobservable because callers discard state and metrics on error;
+* energy is a float whose accumulation order matters (addition is not
+  associative): the generated code threads a single energy cell through
+  the exact sequence the observers use — block energy at entry, then
+  ``energy_cache_miss + penalty * energy_per_cycle`` per miss in access
+  order;
+* the cache probe inlines :class:`~repro.sim.cache.DirectMappedCache`
+  (``line = addr // line_bytes; slot = line % num_lines``) against a
+  shared tags list, and addresses inline the
+  :class:`~repro.sim.cache.AddressMap` layout, spill region included;
+* bounds checks raise :class:`~repro.sim.interp.InterpError` with the
+  reference interpreter's exact messages, and run before the probe,
+  which runs before the access;
+* the step budget is charged per block entry (full static block
+  length) and checked before the block body runs, inside the fused
+  loop too;
+* integer metrics (cycles, instructions, op mix, block executions) are
+  derived after the run from per-block execution counts kept in
+  first-execution order, so even dict insertion order matches the
+  observer path.
+
+Numeric constants — displacements, sizes, base addresses, cache
+geometry, energies, immediates, step budgets — are embedded in the
+source as literals (LOAD_CONST in the fused loops, no unpack
+preamble); only values without an exact literal spelling ride the
+per-instance constants tuple ``K``.  The source → code-object cache
+still dedups identical blocks within a machine.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.backend.lir import Block, Module
+from repro.machines.model import MachineModel
+from repro.sim.cache import AddressMap
+from repro.sim.executor import ExecutionMetrics, _BlockProfile, _profile_blocks
+from repro.sim.interp import InterpError, _c_div, _c_mod
+from repro.sim.lir_interp import LIRInterpreter
+
+# Source text → compiled code object.  Keyed on the full generated
+# source, so a hit is exact by construction; bounded as a backstop
+# against pathological block diversity (fuzzing).
+_CODE_CACHE: Dict[str, Any] = {}
+_CODE_CACHE_LIMIT = 4096
+
+# Exec-time globals for generated factories.  ``int``/``float`` etc.
+# come from builtins; only the non-builtin helpers need to be provided.
+_EXEC_GLOBALS = {
+    "InterpError": InterpError,
+    "_c_div": _c_div,
+    "_c_mod": _c_mod,
+    "math": math,
+}
+
+# Helper local name → expression binding it in the factory preamble.
+_HELPERS = {
+    "_int": "int",
+    "_float": "float",
+    "_min": "min",
+    "_max": "max",
+    "_abs": "abs",
+    "_sqrt": "math.sqrt",
+    "_exp": "math.exp",
+    "_log": "math.log",
+    "_sin": "math.sin",
+    "_cos": "math.cos",
+    "_floor": "math.floor",
+    "_ceil": "math.ceil",
+    "_cdiv": "_c_div",
+    "_cmod": "_c_mod",
+}
+
+# Expression templates — byte-for-byte the arithmetic of
+# ``lir_interp._BINOPS`` / ``_UNOPS`` with operands as locals.
+_BIN_EXPR: Dict[str, Tuple[str, Tuple[str, ...]]] = {
+    "add": ("_int({a}) + _int({b})", ("_int",)),
+    "sub": ("_int({a}) - _int({b})", ("_int",)),
+    "mul": ("_int({a}) * _int({b})", ("_int",)),
+    "div": ("_cdiv(_int({a}), _int({b}))", ("_cdiv", "_int")),
+    "mod": ("_cmod(_int({a}), _int({b}))", ("_cmod", "_int")),
+    "fadd": ("_float({a}) + _float({b})", ("_float",)),
+    "fsub": ("_float({a}) - _float({b})", ("_float",)),
+    "fmul": ("_float({a}) * _float({b})", ("_float",)),
+    "lt": ("1 if {a} < {b} else 0", ()),
+    "le": ("1 if {a} <= {b} else 0", ()),
+    "gt": ("1 if {a} > {b} else 0", ()),
+    "ge": ("1 if {a} >= {b} else 0", ()),
+    "eq": ("1 if {a} == {b} else 0", ()),
+    "ne": ("1 if {a} != {b} else 0", ()),
+    "and": ("1 if ({a} != 0 and {b} != 0) else 0", ()),
+    "or": ("1 if ({a} != 0 or {b} != 0) else 0", ()),
+    "vmin": ("_min({a}, {b})", ("_min",)),
+    "vmax": ("_max({a}, {b})", ("_max",)),
+    "powr": ("_float({a}) ** _float({b})", ("_float",)),
+}
+
+_UN_EXPR: Dict[str, Tuple[str, Tuple[str, ...]]] = {
+    "neg": ("-_int({a})", ("_int",)),
+    "fneg": ("-_float({a})", ("_float",)),
+    "not": ("0 if {a} != 0 else 1", ()),
+    "vabs": ("_abs({a})", ("_abs",)),
+    "sqrt": ("_sqrt({a})", ("_sqrt",)),
+    "exp": ("_exp({a})", ("_exp",)),
+    "log": ("_log({a})", ("_log",)),
+    "sin": ("_sin({a})", ("_sin",)),
+    "cos": ("_cos({a})", ("_cos",)),
+    "floorr": ("_floor({a})", ("_floor",)),
+    "ceilr": ("_ceil({a})", ("_ceil",)),
+}
+
+_BUDGET_MSG = "LIR step budget exceeded"
+
+
+def _first_branch(block: Block) -> Optional[int]:
+    """Position of the first control-transfer instruction, or None."""
+    for pos, instr in enumerate(block.instrs):
+        if instr.op in ("br", "brf", "brt"):
+            return pos
+    return None
+
+
+def _self_loops(module: Module) -> set:
+    """Names of blocks that are fusable bottom-test self-loops.
+
+    The backend emits innermost loops as a single rotated block ending
+    in ``brt``/``brf`` back to itself: the whole iteration is one
+    straight-line body with the continue test at the bottom.  Such a
+    block can run its entire trip count inside one generated function.
+    Outer loops of a nest never take this shape (their body spans
+    several blocks), so fusion applies exactly where the iteration
+    count concentrates.  Entries from other blocks are unaffected —
+    they dispatch into the fused function, which handles every
+    back-edge internally and returns on fallthrough.
+    """
+    loops = set()
+    for name, block in module.blocks.items():
+        if not block.instrs:
+            continue
+        last = len(block.instrs) - 1
+        instr = block.instrs[last]
+        if (
+            instr.op in ("brf", "brt")
+            and instr.label == name
+            and _first_branch(block) == last
+        ):
+            loops.add(name)
+    return loops
+
+
+class _BlockCodegen:
+    """Generates the fused source + constants tuple for one block (or a
+    cond+body loop superblock)."""
+
+    def __init__(
+        self,
+        block: Block,
+        module: Module,
+        machine: MachineModel,
+        amap: AddressMap,
+        profiles: Dict[str, _BlockProfile],
+    ):
+        self.block = block
+        self.module = module
+        self.machine = machine
+        self.amap = amap
+        self.profiles = profiles
+        self.K: List[Any] = []
+        self.body: List[str] = []
+        self.helpers: List[str] = []  # first-use order
+        self.regmap: Dict[str, str] = {}
+        self.arrmap: Dict[str, str] = {}
+        self.written: List[str] = []  # register names, first-write order
+        # Registers whose first touch is a read need an ``R.get``
+        # preload; ones defined before any read start life as plain
+        # locals (their pre-block value is dead).
+        self.preloaded: List[str] = []
+        self.has_probe = False
+        # Derived machine constants (folded exactly as the observers
+        # compute them).
+        cache = machine.cache
+        self.word = cache.word_bytes
+        self.line = cache.line_bytes
+        self.nlines = cache.num_lines
+        self.miss_energy = (
+            machine.power.energy_cache_miss
+            + cache.miss_penalty * machine.power.energy_per_cycle
+        )
+
+    # -- symbol helpers -------------------------------------------------
+    def k(self, value: Any) -> str:
+        """Spell a constant in the generated source.
+
+        Plain ints and finite floats are inlined as literals: their
+        ``repr`` round-trips exactly, LOAD_CONST beats the closure-cell
+        load inside fused loops, and the ``kN = K[N]`` preamble was a
+        measurable slice of what the sweep spends in ``compile``.
+        (Lifting bought almost no code-object sharing in practice —
+        register naming already forks the source per machine.)
+        Negative values are parenthesized so they drop into any
+        expression context.  Everything else — non-finite floats have
+        no literal spelling, bools must stay distinct from ints —
+        still rides the per-instance ``K`` tuple.
+        """
+        if type(value) is int or (
+            type(value) is float and math.isfinite(value)
+        ):
+            text = repr(value)
+            return f"({text})" if text.startswith("-") else text
+        self.K.append(value)
+        return f"k{len(self.K) - 1}"
+
+    def helper(self, name: str) -> None:
+        if name not in self.helpers:
+            self.helpers.append(name)
+
+    def reg(self, name: str) -> str:
+        local = self.regmap.get(name)
+        if local is None:
+            local = f"r{len(self.regmap)}"
+            self.regmap[name] = local
+            self.preloaded.append(name)
+        return local
+
+    def wreg(self, name: str) -> str:
+        local = self.regmap.get(name)
+        if local is None:
+            local = f"r{len(self.regmap)}"
+            self.regmap[name] = local
+        if name not in self.written:
+            self.written.append(name)
+        return local
+
+    def arr(self, name: str) -> str:
+        local = self.arrmap.get(name)
+        if local is None:
+            local = f"A{len(self.arrmap)}"
+            self.arrmap[name] = local
+        return local
+
+    # -- accounting fragments -------------------------------------------
+    def emit_probe(self, line_expr: str, slot_expr: str) -> None:
+        """Inline DirectMappedCache.access + the miss charge."""
+        self.has_probe = True
+        kme = self.k(self.miss_energy)
+        self.body += [
+            f"if T[{slot_expr}] == {line_expr}:",
+            "    h = h + 1",
+            "else:",
+            f"    T[{slot_expr}] = {line_expr}",
+            "    m = m + 1",
+            f"    e = e + {kme}",
+        ]
+
+    def emit_const_probe(self, flat: int, array: str) -> None:
+        addr = self.amap.bases[array] + flat * self.word
+        line = addr // self.line
+        slot = line % self.nlines
+        self.emit_probe(self.k(line), self.k(slot))
+
+    def emit_var_probe(self, array: str) -> None:
+        """Probe for a runtime flat index held in ``_i``.
+
+        ``_i`` is bounds-checked non-negative and the base is
+        non-negative, so when the geometry is a power of two the
+        div/mod collapse to shift/mask (value-identical for
+        non-negative ints).  Power-of-two geometry is emitted as
+        literals — it forks the source per cache shape, but the
+        code-object cache still dedups within a machine and the
+        strength-reduced probe is what the innermost loops run.
+        """
+        kb = self.k(self.amap.bases[array])
+        word, line, nlines = self.word, self.line, self.nlines
+        if word & (word - 1) == 0 and line & (line - 1) == 0:
+            wshift = word.bit_length() - 1
+            lshift = line.bit_length() - 1
+            self.body.append(f"_l = ({kb} + (_i << {wshift})) >> {lshift}")
+        else:
+            kw = self.k(word)
+            kl = self.k(line)
+            self.body.append(f"_l = ({kb} + _i * {kw}) // {kl}")
+        if nlines & (nlines - 1) == 0:
+            self.body.append(f"_s = _l & {nlines - 1}")
+        else:
+            kn = self.k(nlines)
+            self.body.append(f"_s = _l % {kn}")
+        self.emit_probe("_l", "_s")
+
+    # -- memory instructions --------------------------------------------
+    def emit_ld_st(self, instr) -> None:
+        is_store = instr.op == "st"
+        name = instr.array
+        disp = instr.disp
+        rv = None
+        if is_store:
+            rv = self.reg(instr.srcs[0])
+            idx_reg = instr.srcs[1] if len(instr.srcs) > 1 else None
+        else:
+            idx_reg = instr.srcs[0] if instr.srcs else None
+
+        if name == "__spill":
+            # Spill accesses skip bounds checks but do probe the cache
+            # (the spill region sits past the arrays in address space).
+            self.emit_const_probe(disp, "__spill")
+            kd = self.k(disp)
+            if is_store:
+                self.body.append(f"S[{kd}] = {rv}")
+            else:
+                self.body.append(f"{self.wreg(instr.dst)} = S.get({kd}, 0)")
+            return
+
+        dims, _typ = self.module.arrays[name]
+        size = 1
+        for d in dims:
+            size *= d
+        a = self.arr(name)
+        word = "st" if is_store else "ld"
+
+        if idx_reg is None:
+            if not 0 <= disp < size:
+                msg = f"{word} out of bounds: {name}[{disp}] (size {size})"
+                self.body.append(f"raise InterpError({msg!r})")
+                return
+            self.emit_const_probe(disp, name)
+            kf = self.k(disp)
+            if is_store:
+                self.body.append(f"{a}[{kf}] = {rv}")
+            else:
+                self.body.append(f"{self.wreg(instr.dst)} = {a}.item({kf})")
+            return
+
+        self.helper("_int")
+        kd = self.k(disp)
+        ks = self.k(size)
+        self.body += [
+            f"_i = {kd} + _int({self.reg(idx_reg)})",
+            f"if not 0 <= _i < {ks}:",
+            "    raise InterpError("
+            f"f\"{word} out of bounds: {name}[{{_i}}] (size {{{ks}}})\")",
+        ]
+        self.emit_var_probe(name)
+        if is_store:
+            self.body.append(f"{a}[_i] = {rv}")
+        else:
+            self.body.append(f"{self.wreg(instr.dst)} = {a}.item(_i)")
+
+    # -- straight-line emission ------------------------------------------
+    def emit_body(self, block: Block) -> Tuple[List[str], Optional[tuple]]:
+        """Emit ``block``'s executed prefix; returns (statements,
+        terminator) where terminator is ``("br", label)`` or
+        ``(op, label, cond_local)`` or ``None`` (fallthrough)."""
+        self.body = []
+        terminator: Optional[tuple] = None
+        for instr in block.instrs:
+            op = instr.op
+            if op == "br":
+                terminator = ("br", instr.label)
+                break
+            if op in ("brf", "brt"):
+                # _executed_prefix guarantees these are block-final.
+                terminator = (op, instr.label, self.reg(instr.srcs[0]))
+                break
+            self.emit_instr(instr)
+        return self.body, terminator
+
+    def emit_instr(self, instr) -> None:
+        op = instr.op
+        body = self.body
+        if op == "movi":
+            body.append(f"{self.wreg(instr.dst)} = {self.k(instr.imm)}")
+            return
+        if op == "mov":
+            src = self.reg(instr.srcs[0])
+            body.append(f"{self.wreg(instr.dst)} = {src}")
+            return
+        if op == "trunc":
+            self.helper("_int")
+            src = self.reg(instr.srcs[0])
+            body.append(f"{self.wreg(instr.dst)} = _int({src})")
+            return
+        if op in ("ld", "st"):
+            self.emit_ld_st(instr)
+            return
+        if op == "fma":
+            self.helper("_float")
+            a, b, c = (self.reg(s) for s in instr.srcs)
+            body.append(
+                f"{self.wreg(instr.dst)} = "
+                f"_float({a}) * _float({b}) + _float({c})"
+            )
+            return
+        if op == "select":
+            cond, a, b = (self.reg(s) for s in instr.srcs)
+            body.append(
+                f"{self.wreg(instr.dst)} = {a} if {cond} != 0 else {b}"
+            )
+            return
+        if op == "call":
+            fname = instr.name or ""
+            msg = f"call to unknown function {fname!r}"
+            args = ", ".join(self.reg(s) for s in instr.srcs)
+            body += [
+                f"_f = F.get({fname!r})",
+                "if _f is None:",
+                f"    raise InterpError({msg!r})",
+            ]
+            if instr.dst is not None:
+                body.append(f"{self.wreg(instr.dst)} = _f({args})")
+            else:
+                body.append(f"_f({args})")
+            return
+        if op == "fdiv":
+            self.helper("_float")
+            a, b = (self.reg(s) for s in instr.srcs)
+            body += [
+                f"_d = _float({b})",
+                "if _d == 0.0:",
+                "    raise InterpError('float division by zero')",
+                f"{self.wreg(instr.dst)} = _float({a}) / _d",
+            ]
+            return
+        template = _BIN_EXPR.get(op)
+        if template is not None:
+            expr, helpers = template
+            for h in helpers:
+                self.helper(h)
+            a, b = (self.reg(s) for s in instr.srcs)
+            body.append(
+                f"{self.wreg(instr.dst)} = " + expr.format(a=a, b=b)
+            )
+            return
+        template = _UN_EXPR.get(op)
+        if template is not None:
+            expr, helpers = template
+            for h in helpers:
+                self.helper(h)
+            a = self.reg(instr.srcs[0])
+            body.append(f"{self.wreg(instr.dst)} = " + expr.format(a=a))
+            return
+        # Unknown ops raise lazily iff executed, like the closure path.
+        body.append(f"raise InterpError({f'unknown LIR op {op!r}'!r})")
+
+    # -- assembly ---------------------------------------------------------
+    def _assemble(self, inner: List[str]) -> str:
+        pre = ["def _make(R, S, mem, F, T, HM, E, ST, CN, TO, K):"]
+        for name in self.helpers:
+            pre.append(f"    {name} = {_HELPERS[name]}")
+        for name, local in self.arrmap.items():
+            pre.append(f"    {local} = mem[{name!r}]")
+        for i in range(len(self.K)):
+            pre.append(f"    k{i} = K[{i}]")
+        if self.preloaded:
+            pre.append("    Rg = R.get")
+        pre.append("    def _block():")
+        lines = [
+            f"        {self.regmap[name]} = Rg({name!r}, 0)"
+            for name in self.preloaded
+        ]
+        lines += inner
+        lines.append("    return _block")
+        # Emission uses 4-space levels for readability; the compiled
+        # form squeezes each level to a single space.  ``compile`` time
+        # is proportional to source bytes and indentation is a double-
+        # digit percentage of them; no generated line starts inside a
+        # string literal, so leading whitespace is always layout.
+        out = []
+        for line in pre + lines:
+            n = len(line) - len(line.lstrip(" "))
+            out.append(" " * (n // 4) + line[n:])
+        return "\n".join(out) + "\n"
+
+    def _writebacks(self) -> List[str]:
+        return [
+            f"R[{name!r}] = {self.regmap[name]}" for name in self.written
+        ]
+
+    def generate(self) -> Tuple[str, Tuple[Any, ...]]:
+        """Single-block fused function."""
+        kpe = self.k(self.profiles[self.block.name].energy)
+        stmts, terminator = self.emit_body(self.block)
+        inner: List[str] = []
+        if self.has_probe:
+            inner += ["h = 0", "m = 0", f"e = E[0] + {kpe}"]
+        else:
+            inner.append(f"E[0] = E[0] + {kpe}")
+        inner += stmts
+        if self.has_probe:
+            inner += ["E[0] = e", "HM[0] = HM[0] + h", "HM[1] = HM[1] + m"]
+        inner += self._writebacks()
+        if terminator is None:
+            inner.append("return None")
+        elif terminator[0] == "br":
+            inner.append(f"return {terminator[1]!r}")
+        else:
+            cmp = "==" if terminator[0] == "brf" else "!="
+            inner += [
+                f"if {terminator[2]} {cmp} 0:",
+                f"    return {terminator[1]!r}",
+                "return None",
+            ]
+        return (
+            self._assemble(["        " + s for s in inner]),
+            tuple(self.K),
+        )
+
+    def generate_self_loop(
+        self, block_idx: int, max_steps: int
+    ) -> Tuple[str, Tuple[Any, ...]]:
+        """Loop superblock for a bottom-test self-loop.
+
+        The caller's dispatch loop charges the first entry (steps,
+        budget, counts); every back-edge re-entry is charged here, in
+        the same order the per-block loop would: charge+check, count,
+        block energy, block body.  Registers stay in Python locals
+        across iterations; the register file is only read on entry and
+        written on exit.
+        """
+        block = self.block
+        kpe = self.k(self.profiles[block.name].energy)
+        stmts, term = self.emit_body(block)
+        assert term is not None and term[0] in ("brf", "brt")
+        assert term[1] == block.name
+        # The branch back to self is taken on falsy (brf) / truthy
+        # (brt); the loop exits via fallthrough when it is NOT taken.
+        cmp = "!=" if term[0] == "brf" else "=="
+        ks = self.k(len(block.instrs))
+        ki = self.k(block_idx)
+        kmax = self.k(max_steps)
+
+        inner: List[str] = []
+        if self.has_probe:
+            inner += ["h = 0", "m = 0"]
+        inner.append(f"e = E[0] + {kpe}")
+        # Steps and the per-block count accumulate in locals across
+        # iterations; the shared cells are only read on entry and
+        # written on exit — and, for steps, at the budget raise, where
+        # the failing iteration is charged but (as in the dispatch
+        # loop) not counted.
+        inner += ["_st = ST[0]", "_cn = 0"]
+        inner.append("while True:")
+        loop: List[str] = []
+        loop += stmts
+        loop += [f"if {term[2]} {cmp} 0:", "    break"]
+        loop += [
+            f"_st = _st + {ks}",
+            f"if _st > {kmax}:",
+            "    ST[0] = _st",
+            f"    CN[{ki}] = CN[{ki}] + _cn",
+            f"    raise InterpError({_BUDGET_MSG!r})",
+            "_cn = _cn + 1",
+            f"e = e + {kpe}",
+        ]
+        inner += ["    " + s for s in loop]
+        inner += ["ST[0] = _st", f"CN[{ki}] = CN[{ki}] + _cn"]
+        inner.append("E[0] = e")
+        if self.has_probe:
+            inner += ["HM[0] = HM[0] + h", "HM[1] = HM[1] + m"]
+        inner += self._writebacks()
+        inner.append("return None")
+        return (
+            self._assemble(["        " + s for s in inner]),
+            tuple(self.K),
+        )
+
+
+class ExecCompiledInterpreter(LIRInterpreter):
+    """LIR interpreter whose blocks are exec-compiled fused functions.
+
+    Produces the final state via :meth:`run` and the accounting via
+    :meth:`metrics`, both strictly equal to running the closure
+    interpreter under ``executor._TimingObserver``.
+    """
+
+    def __init__(
+        self,
+        module: Module,
+        machine: MachineModel,
+        profiles: Optional[Dict[str, _BlockProfile]] = None,
+        env: Optional[Mapping[str, Any]] = None,
+        functions: Optional[Mapping[str, Callable[..., Any]]] = None,
+        max_steps: int = 50_000_000,
+    ):
+        if profiles is None:
+            profiles = _profile_blocks(module, machine)
+        if profiles is None:
+            raise ValueError(
+                "module has path-dependent blocks; exec codegen requires "
+                "static accounting"
+            )
+        self.machine = machine
+        self._profiles = profiles
+        self._amap = AddressMap(
+            module.arrays,
+            word_bytes=machine.cache.word_bytes,
+            line_bytes=machine.cache.line_bytes,
+        )
+        # Tags as a dense list with a -1 sentinel: line numbers are
+        # always >= 0, so this is observationally the empty tags dict.
+        self._tags: List[int] = [-1] * machine.cache.num_lines
+        self._hm: List[int] = [0, 0]  # hits, misses
+        self._energy: List[float] = [0.0]
+        self._steps_cell: List[int] = [0]
+        self._exec_counts: List[int] = [0] * len(module.order)
+        self._touched: List[int] = []
+        self._self_loops = _self_loops(module)
+        super().__init__(
+            module, env=env, functions=functions, max_steps=max_steps
+        )
+        self._fused: List[Callable[[], Optional[str]]] = [
+            ops[0] for ops in self._program
+        ]
+
+    # Called by the base __init__ for each block in module.order.
+    def _compile_block(
+        self, block: Block, wants_instr: bool, wants_mem: bool
+    ) -> List[Callable[[], Optional[str]]]:
+        gen = _BlockCodegen(
+            block, self.module, self.machine, self._amap, self._profiles
+        )
+        if block.name in self._self_loops:
+            # _block_index is not built yet when the base constructor
+            # compiles blocks; order.index is fine at this frequency.
+            source, K = gen.generate_self_loop(
+                self.module.order.index(block.name), self.max_steps
+            )
+        else:
+            source, K = gen.generate()
+        code = _CODE_CACHE.get(source)
+        if code is None:
+            if len(_CODE_CACHE) >= _CODE_CACHE_LIMIT:
+                _CODE_CACHE.clear()
+            code = compile(source, "<slms-codegen>", "exec")
+            _CODE_CACHE[source] = code
+        namespace = dict(_EXEC_GLOBALS)
+        exec(code, namespace)
+        fn = namespace["_make"](
+            self.regs, self.spill, self.memory, self.functions,
+            self._tags, self._hm, self._energy, self._steps_cell,
+            self._exec_counts, self._touched, K,
+        )
+        return [fn]
+
+    def run(self) -> Dict[str, Any]:
+        fused = self._fused
+        block_index = self._block_index
+        block_steps = self._block_steps
+        counts = self._exec_counts
+        touched = self._touched
+        max_steps = self.max_steps
+        steps_cell = self._steps_cell
+        steps_cell[0] = self.steps
+        idx = 0
+        n = len(fused)
+        try:
+            while 0 <= idx < n:
+                steps = steps_cell[0] + block_steps[idx]
+                steps_cell[0] = steps
+                if steps > max_steps:
+                    raise InterpError(_BUDGET_MSG)
+                if not counts[idx]:
+                    touched.append(idx)
+                counts[idx] += 1
+                jump = fused[idx]()
+                if jump is None:
+                    idx += 1
+                else:
+                    target = block_index.get(jump)
+                    if target is None:
+                        raise InterpError(
+                            f"branch to unknown block {jump!r}"
+                        )
+                    idx = target
+        finally:
+            self.steps = steps_cell[0]
+        return self.state()
+
+    def metrics(self) -> ExecutionMetrics:
+        """Assemble ExecutionMetrics equal to the observer path's.
+
+        Integer totals are linear in per-block execution counts; dict
+        insertion order is reconstructed from first-execution order.
+        """
+        hits, misses = self._hm
+        cycles = misses * self.machine.cache.miss_penalty
+        instructions = 0
+        op_counts: Dict[str, int] = {}
+        block_executions: Dict[str, int] = {}
+        order = self.module.order
+        for idx in self._touched:
+            name = order[idx]
+            profile = self._profiles[name]
+            count = self._exec_counts[idx]
+            block_executions[name] = count
+            cycles += profile.cost * count
+            instructions += profile.instructions * count
+            for cls, per_exec in profile.op_items:
+                op_counts[cls] = op_counts.get(cls, 0) + per_exec * count
+        return ExecutionMetrics(
+            cycles=cycles,
+            instructions=instructions,
+            mem_accesses=hits + misses,
+            cache_hits=hits,
+            cache_misses=misses,
+            energy_pj=self._energy[0],
+            op_counts=op_counts,
+            block_executions=block_executions,
+        )

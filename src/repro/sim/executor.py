@@ -260,6 +260,7 @@ def execute(
     functions: Optional[Mapping[str, Any]] = None,
     max_steps: int = 50_000_000,
     accounting: str = "auto",
+    codegen: str = "auto",
 ) -> ExecutionResult:
     """Functionally execute ``module`` while accounting cycles/energy.
 
@@ -267,19 +268,29 @@ def execute(
     per-block charging whenever the module allows it, ``"static"``
     requires it, ``"dynamic"`` forces the per-instruction reference
     path (primarily for cross-checking the fast path in tests).
+
+    ``codegen`` selects the interpreter for the static path:
+    ``"auto"`` exec-compiles each block into a fused Python function
+    (:mod:`repro.sim.codegen_exec`) whenever static accounting is in
+    effect, ``"exec"`` requires that, ``"closure"`` forces the
+    per-instruction closure interpreter + observer (the reference the
+    fused path is pinned against).  Dynamic accounting always uses the
+    closure path — the per-instruction observer needs real callbacks.
     """
     if accounting not in ("auto", "static", "dynamic"):
         raise ValueError(f"unknown accounting mode {accounting!r}")
+    if codegen not in ("auto", "exec", "closure"):
+        raise ValueError(f"unknown codegen mode {codegen!r}")
     profiles = (
         _profile_blocks(module, machine) if accounting != "dynamic" else None
     )
     if accounting == "static" and profiles is None:
         raise ValueError("module has path-dependent blocks; use auto/dynamic")
-    observer: _MemObserverMixin = (
-        _TimingObserver(module, machine, profiles)
-        if profiles is not None
-        else _DynamicTimingObserver(module, machine)
-    )
+    if codegen == "exec" and profiles is None:
+        raise ValueError(
+            "exec codegen requires static accounting (path-invariant blocks)"
+        )
+    use_exec = profiles is not None and codegen in ("auto", "exec")
     from repro.obs import get_metrics, get_tracer
 
     tracer = get_tracer()
@@ -288,15 +299,34 @@ def execute(
         machine=machine.name,
         accounting="static" if profiles is not None else "dynamic",
     ) as span:
-        interp = LIRInterpreter(
-            module,
-            env=env,
-            functions=functions,
-            observer=observer,
-            max_steps=max_steps,
-        )
-        state = interp.run()
-        metrics = observer.metrics
+        if use_exec:
+            from repro.sim.codegen_exec import ExecCompiledInterpreter
+
+            exec_interp = ExecCompiledInterpreter(
+                module,
+                machine,
+                profiles=profiles,
+                env=env,
+                functions=functions,
+                max_steps=max_steps,
+            )
+            state = exec_interp.run()
+            metrics = exec_interp.metrics()
+        else:
+            observer: _MemObserverMixin = (
+                _TimingObserver(module, machine, profiles)
+                if profiles is not None
+                else _DynamicTimingObserver(module, machine)
+            )
+            interp = LIRInterpreter(
+                module,
+                env=env,
+                functions=functions,
+                observer=observer,
+                max_steps=max_steps,
+            )
+            state = interp.run()
+            metrics = observer.metrics
         if tracer.enabled:
             span.set(
                 cycles=metrics.cycles,

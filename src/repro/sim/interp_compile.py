@@ -1,0 +1,551 @@
+"""Compiled source-level oracle: the verify phase's fast path.
+
+The tree-walking :class:`~repro.sim.interp.Interpreter` is the
+project's semantics reference, but the harness runs it on every cold
+verify, where its per-node dispatch dominates the phase.  This module
+compiles a whole :class:`~repro.lang.ast_nodes.Program` into one Python
+function — statements become statements, expressions become
+expressions, bounds checks and step ticks are inlined — and
+:func:`run_program_fast` executes that instead, falling back to
+:func:`~repro.sim.interp.run_program` whenever the program (or the
+calling convention) steps outside the compilable subset.
+
+Equivalence contract — the generated code replays the reference
+interpreter exactly:
+
+* evaluation order is preserved: operands left to right, an array
+  store's value before its indices, each index ``int()``-coerced as it
+  is evaluated, bounds checked per axis in order *after* all indices;
+  any operand that precedes a statement-emitting sibling is spilled to
+  a temporary first, so the first runtime error is the same error;
+* scalars live in an insertion-ordered dict exactly like
+  ``Interpreter.scalars`` (the final state's key order matters to
+  callers that digest it), with per-site coercion resolved statically
+  from the governing ``Decl`` — sites with no governing declaration
+  use the reference's dynamic ``isinstance`` coercion verbatim;
+* the step budget ticks once per executed statement plus once per loop
+  iteration, checked immediately, with the reference's message;
+* ``InterpError`` messages are byte-identical, including per-axis
+  bounds text, division guards, unknown-function and unbound-variable
+  reads (the latter surface as ``KeyError`` from the scalar dict and
+  are re-labelled by the driver; user-function ``KeyError``\\ s are
+  tagged at the call site so they propagate untouched).
+
+The compiler *bails* (returns ``None``) rather than approximate: any
+construct whose static story is unclear — arrays used before or
+without their declaration, scalars assigned before a later ``Decl``,
+names that are both array and scalar, ``break`` outside a loop —
+falls back to the tree-walker, which is always correct.  An
+environment also forces the fallback: env-seeded arrays take their
+bounds and dtypes from the *runtime* values, which this compiler
+resolves statically from declarations.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.lang.ast_nodes import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Break,
+    Call,
+    Continue,
+    Decl,
+    Expr,
+    ExprStmt,
+    FloatLit,
+    For,
+    If,
+    IntLit,
+    ParGroup,
+    Program,
+    Stmt,
+    Ternary,
+    UnaryOp,
+    Var,
+    While,
+)
+from repro.sim.interp import _BUILTINS, InterpError, _c_div, _c_mod, run_program
+
+_EXEC_GLOBALS = {
+    "InterpError": InterpError,
+    "_c_div": _c_div,
+    "_c_mod": _c_mod,
+}
+
+_CMP = {"<": "<", "<=": "<=", ">": ">", ">=": ">=", "==": "==", "!=": "!="}
+_ARITH = {"+": "+", "-": "-", "*": "*"}
+
+# Compiled programs are usually executed once (the verify oracle builds
+# each program fresh), so the cache is a small recency backstop for
+# callers that re-run the same object (tests, notebooks).  Entries hold
+# a strong reference to the keyed program: ``id()`` is only unique
+# among *live* objects, so the key must keep its object alive.
+_FN_CACHE: Dict[int, Tuple[Program, Any, Optional[tuple]]] = {}
+_FN_CACHE_LIMIT = 64
+
+
+class _Bail(Exception):
+    """Program is outside the compilable subset."""
+
+
+class _ProgramCodegen:
+    def __init__(self, program: Program):
+        self.program = program
+        self.lines: List[str] = []
+        self.indent = 1
+        self.K: List[Any] = []
+        self.temps = 0
+        self.fns: Dict[str, str] = {}  # call target name -> preamble local
+        self.arrays: Dict[str, Tuple[str, Tuple[int, ...], str]] = {}
+        self.scalar_types: Dict[str, Optional[str]] = {}
+        # Loop context for break/continue: ("for", step|None) / ("while",)
+        self.loops: List[tuple] = []
+        self._analyze()
+
+    # -- static pre-pass ------------------------------------------------
+    def _analyze(self) -> None:
+        """Resolve declarations statically; bail when program order does
+        not pin them down."""
+        pos = 0
+        array_decl_at: Dict[str, int] = {}
+        scalar_decl_at: Dict[str, int] = {}
+        first_use: Dict[str, int] = {}
+        first_assign: Dict[str, int] = {}
+        scalar_type: Dict[str, str] = {}
+
+        def walk(node, depth: int) -> None:
+            nonlocal pos
+            pos += 1
+            here = pos
+            if isinstance(node, Decl):
+                if depth > 0:
+                    # A nested declaration may execute conditionally (or
+                    # repeatedly), which the static decl map cannot model.
+                    raise _Bail("declaration below program top level")
+                if node.dims:
+                    prev = self.arrays.get(node.name)
+                    shape = tuple(node.dims)
+                    if prev is not None and (prev[1], prev[2]) != (shape, node.type):
+                        raise _Bail("conflicting array declarations")
+                    if prev is None:
+                        array_decl_at.setdefault(node.name, here)
+                        self.arrays[node.name] = (
+                            f"_A{len(self.arrays)}", shape, node.type,
+                        )
+                else:
+                    if scalar_type.get(node.name, node.type) != node.type:
+                        raise _Bail("scalar re-declared with another type")
+                    scalar_type[node.name] = node.type
+                    scalar_decl_at.setdefault(node.name, here)
+            elif isinstance(node, ArrayRef):
+                first_use.setdefault(node.name, here)
+            elif isinstance(node, Assign) and isinstance(node.target, Var):
+                first_assign.setdefault(node.target.name, here)
+            for child in node.children():
+                walk(child, depth + 1)
+
+        for stmt in self.program.body:
+            walk(stmt, 0)
+
+        for name, use_at in first_use.items():
+            decl_at = array_decl_at.get(name)
+            if decl_at is None or decl_at > use_at:
+                raise _Bail(f"array {name!r} used before/without declaration")
+        for name in self.arrays:
+            if name in scalar_type or name in first_assign:
+                raise _Bail(f"{name!r} is both array and scalar")
+        for name, decl_at in scalar_decl_at.items():
+            if first_assign.get(name, decl_at) < decl_at:
+                raise _Bail(f"scalar {name!r} assigned before declaration")
+        # A Var read before its Decl reads the unbound (or dynamically
+        # typed) name; only *assignments* need the static type, and the
+        # checks above pin every assignment after its declaration.
+        for name, typ in scalar_type.items():
+            self.scalar_types[name] = typ
+
+    # -- emission helpers -----------------------------------------------
+    def emit(self, line: str) -> None:
+        self.lines.append("    " * self.indent + line)
+
+    def temp(self) -> str:
+        self.temps += 1
+        return f"_t{self.temps}"
+
+    def k(self, value: Any) -> str:
+        self.K.append(value)
+        return f"_k{len(self.K) - 1}"
+
+    def fn_local(self, name: str) -> str:
+        local = self.fns.get(name)
+        if local is None:
+            local = f"_f{len(self.fns)}"
+            self.fns[name] = local
+        return local
+
+    def tick(self) -> None:
+        self.emit("_ST += 1")
+        self.emit("if _ST > MS:")
+        self.emit("    raise InterpError(_BMSG)")
+
+    @staticmethod
+    def _atomic(s: str) -> bool:
+        """Expression strings that cannot raise or observe state."""
+        return (
+            s.startswith(("_t", "_k"))
+            and s[2:].isdigit()
+            or s.lstrip("-").isdigit()
+        )
+
+    def spill(self, s: str) -> str:
+        if self._atomic(s):
+            return s
+        t = self.temp()
+        self.emit(f"{t} = {s}")
+        return t
+
+    @staticmethod
+    def needs_stmts(e: Expr) -> bool:
+        if isinstance(e, (IntLit, FloatLit, Var)):
+            return False
+        if isinstance(e, (ArrayRef, Call, Ternary)):
+            return True
+        if isinstance(e, BinOp):
+            if e.op in ("&&", "||", "/", "%"):
+                return True
+            return _ProgramCodegen.needs_stmts(e.left) or _ProgramCodegen.needs_stmts(e.right)
+        if isinstance(e, UnaryOp):
+            return _ProgramCodegen.needs_stmts(e.operand)
+        raise _Bail(f"cannot compile {type(e).__name__}")
+
+    # -- expressions ----------------------------------------------------
+    def ex(self, e: Expr) -> str:
+        """Emit evaluation code; returns the value as an expression
+        string (possibly a temp)."""
+        if isinstance(e, IntLit):
+            return repr(e.value)
+        if isinstance(e, FloatLit):
+            return self.k(e.value)
+        if isinstance(e, Var):
+            return f"S[{e.name!r}]"
+        if isinstance(e, ArrayRef):
+            return self._load(e)
+        if isinstance(e, BinOp):
+            return self._binop(e)
+        if isinstance(e, UnaryOp):
+            if e.op == "!":
+                v = self.ex(e.operand)
+                return f"(0 if ({v}) != 0 else 1)"
+            v = self.ex(e.operand)
+            if e.op == "-":
+                return f"(-({v}))"
+            return f"({v})"
+        if isinstance(e, Ternary):
+            c = self.ex(e.cond)
+            t = self.temp()
+            self.emit(f"if ({c}) != 0:")
+            self.indent += 1
+            self.emit(f"{t} = {self.ex(e.then)}")
+            self.indent -= 1
+            self.emit("else:")
+            self.indent += 1
+            self.emit(f"{t} = {self.ex(e.els)}")
+            self.indent -= 1
+            return t
+        if isinstance(e, Call):
+            local = self.fn_local(e.name)
+            self.emit(f"if {local} is None:")
+            self.emit(
+                f"    raise InterpError({f'call to unknown function {e.name!r}'!r})"
+            )
+            # Every argument is forced to a value *before* the guarded
+            # call: an unbound-variable KeyError in an argument must
+            # surface as the driver's InterpError, never as the
+            # user-function KeyError the except-block tags.
+            args = [self.spill(self.ex(a)) for a in e.args]
+            t = self.temp()
+            self.emit("try:")
+            self.emit(f"    {t} = {local}({', '.join(args)})")
+            self.emit("except KeyError as _ke:")
+            self.emit("    _ke._slms_user = True")
+            self.emit("    raise")
+            return t
+        raise _Bail(f"cannot compile {type(e).__name__}")
+
+    def _binop(self, e: BinOp) -> str:
+        op = e.op
+        if op == "&&" or op == "||":
+            lv = self.ex(e.left)
+            t = self.temp()
+            if op == "&&":
+                self.emit(f"{t} = 0")
+                self.emit(f"if ({lv}) != 0:")
+            else:
+                self.emit(f"{t} = 1")
+                self.emit(f"if ({lv}) == 0:")
+            self.indent += 1
+            rv = self.ex(e.right)
+            self.emit(f"{t} = 1 if ({rv}) != 0 else 0")
+            self.indent -= 1
+            return t
+        if op in ("/", "%"):
+            lv = self.ex(e.left)
+            if self.needs_stmts(e.right) and not self._atomic(lv):
+                lv = self.spill(lv)
+            rv = self.ex(e.right)
+            lv = self.spill(lv)
+            rv = self.spill(rv)
+            t = self.temp()
+            self.emit(
+                f"if isinstance({lv}, (bool, int, _npi)) "
+                f"and isinstance({rv}, (bool, int, _npi)):"
+            )
+            if op == "/":
+                self.emit(f"    {t} = _c_div(int({lv}), int({rv}))")
+                self.emit("else:")
+                self.emit(f"    if float({rv}) == 0.0:")
+                self.emit("        raise InterpError('float division by zero')")
+                self.emit(f"    {t} = {lv} / {rv}")
+            else:
+                self.emit(f"    {t} = _c_mod(int({lv}), int({rv}))")
+                self.emit("else:")
+                self.emit(
+                    "    raise InterpError('% requires integer operands')"
+                )
+            return t
+        lv = self.ex(e.left)
+        if self.needs_stmts(e.right) and not self._atomic(lv):
+            lv = self.spill(lv)
+        rv = self.ex(e.right)
+        if op in _CMP:
+            return f"(1 if ({lv}) {op} ({rv}) else 0)"
+        if op in _ARITH:
+            return f"(({lv}) {op} ({rv}))"
+        raise _Bail(f"unknown operator {op!r}")
+
+    def _indices(self, ref: ArrayRef) -> List[str]:
+        local, shape, _typ = self.arrays[ref.name]
+        if len(ref.indices) != len(shape):
+            raise _Bail("index arity mismatch")
+        idx = []
+        rest = ref.indices
+        for i, e in enumerate(rest):
+            later = any(self.needs_stmts(x) for x in rest[i + 1:])
+            v = self.ex(e)
+            t = self.temp()
+            self.emit(f"{t} = int({v})")
+            idx.append(t)
+        for axis, (t, size) in enumerate(zip(idx, shape)):
+            self.emit(f"if not 0 <= {t} < {size}:")
+            self.emit(
+                "    raise InterpError(f\"index {%s} out of bounds for "
+                "axis %d of %r (size %d)\")" % (t, axis, ref.name, size)
+            )
+        return idx
+
+    def _load(self, ref: ArrayRef) -> str:
+        local, shape, typ = self.arrays[ref.name]
+        idx = self._indices(ref)
+        t = self.temp()
+        self.emit(f"{t} = {local}.item({', '.join(idx)})")
+        return t
+
+    # -- statements -----------------------------------------------------
+    def st(self, stmt: Stmt) -> None:
+        self.tick()
+        if isinstance(stmt, Decl):
+            self._decl(stmt)
+        elif isinstance(stmt, Assign):
+            self._assign(stmt)
+        elif isinstance(stmt, ExprStmt):
+            v = self.ex(stmt.expr)
+            self.emit(f"{v}")
+        elif isinstance(stmt, If):
+            c = self.ex(stmt.cond)
+            self.emit(f"if ({c}) != 0:")
+            self.indent += 1
+            self.block(stmt.then)
+            self.indent -= 1
+            if stmt.els:
+                self.emit("else:")
+                self.indent += 1
+                self.block(stmt.els)
+                self.indent -= 1
+        elif isinstance(stmt, While):
+            self.loops.append(("while",))
+            self.emit("while True:")
+            self.indent += 1
+            c = self.ex(stmt.cond)
+            self.emit(f"if ({c}) == 0:")
+            self.emit("    break")
+            self.tick()
+            self.block(stmt.body)
+            self.indent -= 1
+            self.loops.pop()
+        elif isinstance(stmt, For):
+            if stmt.init is not None:
+                self.st(stmt.init)
+            self.loops.append(("for", stmt.step))
+            self.emit("while True:")
+            self.indent += 1
+            if stmt.cond is not None:
+                c = self.ex(stmt.cond)
+                self.emit(f"if ({c}) == 0:")
+                self.emit("    break")
+            self.tick()
+            self.block(stmt.body)
+            if stmt.step is not None:
+                self.st(stmt.step)
+            self.indent -= 1
+            self.loops.pop()
+        elif isinstance(stmt, ParGroup):
+            self.block(stmt.stmts)
+        elif isinstance(stmt, Break):
+            if not self.loops:
+                raise _Bail("break outside loop")
+            self.emit("break")
+        elif isinstance(stmt, Continue):
+            if not self.loops:
+                raise _Bail("continue outside loop")
+            kind = self.loops[-1]
+            if kind[0] == "for" and kind[1] is not None:
+                # The reference runs the step before re-testing.
+                self.st(kind[1])
+            self.emit("continue")
+        else:
+            raise _Bail(f"cannot compile {type(stmt).__name__}")
+
+    def block(self, stmts) -> None:
+        if not stmts:
+            self.emit("pass")
+            return
+        for stmt in stmts:
+            self.st(stmt)
+
+    def _decl(self, decl: Decl) -> None:
+        if decl.dims:
+            local, shape, typ = self.arrays[decl.name]
+            dtype = "_np.int64" if typ == "int" else "_np.float64"
+            self.emit(f"if {local} is None:")
+            self.emit(
+                f"    {local} = A[{decl.name!r}] = "
+                f"_np.zeros({shape!r}, dtype={dtype})"
+            )
+            return
+        if decl.init is not None:
+            v = self.ex(decl.init)
+            self._coerced_store(decl.name, v, decl.type)
+        else:
+            default = "0" if decl.type == "int" else "0.0"
+            self.emit(f"if {decl.name!r} not in S:")
+            self.emit(f"    S[{decl.name!r}] = {default}")
+
+    def _coerced_store(self, name: str, value: str, typ: Optional[str]) -> None:
+        if typ == "int":
+            self.emit(f"S[{name!r}] = int({value})")
+        elif typ == "float":
+            self.emit(f"S[{name!r}] = float({value})")
+        else:
+            t = self.spill(value)
+            self.emit(
+                f"S[{name!r}] = int({t}) "
+                f"if isinstance({t}, (bool, int, _npi)) else float({t})"
+            )
+
+    def _assign(self, stmt: Assign) -> None:
+        value_expr = stmt.expanded_value()
+        if isinstance(stmt.target, Var):
+            v = self.ex(value_expr)
+            self._coerced_store(
+                stmt.target.name, v, self.scalar_types.get(stmt.target.name)
+            )
+            return
+        ref = stmt.target
+        if not isinstance(ref, ArrayRef) or ref.name not in self.arrays:
+            raise _Bail("unsupported assignment target")
+        # Reference order: value first, then indices, then bounds.
+        v = self.spill(self.ex(value_expr))
+        local, shape, _typ = self.arrays[ref.name]
+        idx = self._indices(ref)
+        self.emit(f"{local}[{', '.join(idx)}] = {v}")
+
+    # -- assembly -------------------------------------------------------
+    def generate(self) -> Tuple[str, tuple]:
+        body_start = len(self.lines)
+        for stmt in self.program.body:
+            self.st(stmt)
+        body = self.lines[body_start:]
+
+        pre = ["def _run(S, A, F, MS, K, _np):"]
+        pre.append("    _npi = _np.integer")
+        pre.append('    _BMSG = f"step budget exceeded ({MS})"')
+        for i in range(len(self.K)):
+            pre.append(f"    _k{i} = K[{i}]")
+        for name, local in self.fns.items():
+            pre.append(f"    {local} = F.get({name!r})")
+        for local, _shape, _typ in self.arrays.values():
+            pre.append(f"    {local} = None")
+        pre.append("    _ST = 0")
+        return "\n".join(pre + body) + "\n", tuple(self.K)
+
+
+def compile_program(program: Program):
+    """Compile ``program`` to ``(fn, K)``, or ``None`` when it falls
+    outside the compilable subset."""
+    cached = _FN_CACHE.get(id(program))
+    if cached is not None and cached[0] is program:
+        return None if cached[1] is None else (cached[1], cached[2])
+    try:
+        gen = _ProgramCodegen(program)
+        source, K = gen.generate()
+        namespace = dict(_EXEC_GLOBALS)
+        exec(compile(source, "<slms-oracle>", "exec"), namespace)
+        result: Optional[Tuple[Any, tuple]] = (namespace["_run"], K)
+    except _Bail:
+        result = None
+    if len(_FN_CACHE) >= _FN_CACHE_LIMIT:
+        _FN_CACHE.clear()
+    _FN_CACHE[id(program)] = (
+        (program,) + result if result is not None else (program, None, None)
+    )
+    return result
+
+
+def run_program_fast(
+    program: Program,
+    env: Optional[Mapping[str, Any]] = None,
+    functions: Optional[Mapping[str, Callable[..., Any]]] = None,
+    max_steps: int = 2_000_000,
+) -> Dict[str, Any]:
+    """Drop-in :func:`~repro.sim.interp.run_program` with the compiled
+    fast path; identical states, errors and messages.
+
+    Environments force the tree-walking fallback: env-seeded arrays
+    take bounds/dtype from the runtime value, not the declaration.
+    """
+    compiled = None if env else compile_program(program)
+    if compiled is None:
+        return run_program(
+            program, env=env, functions=functions, max_steps=max_steps
+        )
+    fn, K = compiled
+    scalars: Dict[str, Any] = {}
+    arrays: Dict[str, np.ndarray] = {}
+    table: Dict[str, Callable[..., Any]] = dict(_BUILTINS)
+    if functions:
+        table.update(functions)
+    try:
+        fn(scalars, arrays, table, max_steps, K, np)
+    except KeyError as exc:
+        if getattr(exc, "_slms_user", False):
+            raise
+        name = exc.args[0] if exc.args else "?"
+        raise InterpError(f"read of unbound variable {name!r}") from None
+    out: Dict[str, Any] = dict(scalars)
+    for name, array in arrays.items():
+        out[name] = array.copy()
+    return out

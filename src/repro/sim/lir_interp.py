@@ -150,6 +150,15 @@ class LIRInterpreter:
         self._block_index: Dict[str, int] = {
             name: idx for idx, name in enumerate(module.order)
         }
+        # Step budget charged per block entry (full static length — dead
+        # instructions after an unconditional ``br`` still count, exactly
+        # as the ``steps += len(ops)`` accounting always has).  Kept as a
+        # separate list so subclasses that fuse a block into a single
+        # callable (see :mod:`repro.sim.codegen_exec`) charge the same
+        # budget as the closure path.
+        self._block_steps: List[int] = [
+            len(module.blocks[name].instrs) for name in module.order
+        ]
 
     # ------------------------------------------------------------------
     def _get(self, reg: str) -> Any:
@@ -400,6 +409,7 @@ class LIRInterpreter:
         """Execute from the entry block; returns the final state."""
         program = self._program
         block_index = self._block_index
+        block_steps = self._block_steps
         order = self.module.order
         module = self.module
         on_block = self.observer.on_block
@@ -411,7 +421,7 @@ class LIRInterpreter:
             while 0 <= idx < n:
                 on_block(order[idx], module)
                 ops = program[idx]
-                steps += len(ops)
+                steps += block_steps[idx]
                 if steps > max_steps:
                     raise InterpError("LIR step budget exceeded")
                 jump: Optional[str] = None

@@ -210,9 +210,14 @@ def _flatten(stmts: List[Stmt], var: str, env: Dict[str, int], out: List[Stmt]) 
             raise _FlattenBailout("emitted while loop cannot be replayed")
         else:
             if var in env:
-                event = substitute_expr(stmt.clone(), var, IntLit(env[var]))
+                # The rewriters never mutate their input, and with
+                # ``reuse`` the event shares unchanged interior nodes
+                # with the emitted statement — safe because replay
+                # treats every tree as read-only, and it makes the
+                # canonical-key memo hit across iterations.
+                event = substitute_expr(stmt, var, IntLit(env[var]), reuse=True)
             else:
-                event = fold_constants(stmt.clone())
+                event = fold_constants(stmt, reuse=True)
             out.append(event)  # type: ignore[arg-type]
             if len(out) > _MAX_EVENTS:
                 raise _FlattenBailout("flattening event budget exceeded")
@@ -223,10 +228,37 @@ def _flatten(stmts: List[Stmt], var: str, env: Dict[str, int], out: List[Stmt]) 
 # ---------------------------------------------------------------------------
 
 
-def _canon(node: Node, wildcard_arrays: Set[str]) -> object:
+def _canon(
+    node: Node,
+    wildcard_arrays: Set[str],
+    memo: Optional[Dict[int, object]] = None,
+) -> object:
     """Rename-insensitive structural key: scalars (and renamed arrays)
     collapse to a wildcard; literals, operators, and original array
-    names stay, which is where the matching selectivity comes from."""
+    names stay, which is where the matching selectivity comes from.
+
+    ``memo`` maps ``id(node)`` to its key.  The rewriters share
+    unchanged subtrees between instances, so one matching session
+    canonicalizes the same subtree objects many times over; a shared
+    memo turns those into O(1) lookups.  Only valid while every
+    canonicalized root stays referenced (ids must not be recycled) —
+    callers keep instances/events alive for the whole session.
+    """
+    if memo is not None:
+        hit = memo.get(id(node))
+        if hit is not None:
+            return hit
+        res = _canon_compute(node, wildcard_arrays, memo)
+        memo[id(node)] = res
+        return res
+    return _canon_compute(node, wildcard_arrays, None)
+
+
+def _canon_compute(
+    node: Node,
+    wildcard_arrays: Set[str],
+    memo: Optional[Dict[int, object]],
+) -> object:
     if isinstance(node, Var):
         return "□"
     if isinstance(node, IntLit):
@@ -236,38 +268,38 @@ def _canon(node: Node, wildcard_arrays: Set[str]) -> object:
     if isinstance(node, ArrayRef):
         if node.name in wildcard_arrays:
             return "□"
-        return ("ref", node.name, tuple(_canon(i, wildcard_arrays) for i in node.indices))
+        return ("ref", node.name, tuple(_canon(i, wildcard_arrays, memo) for i in node.indices))
     if isinstance(node, BinOp):
-        return ("b", node.op, _canon(node.left, wildcard_arrays), _canon(node.right, wildcard_arrays))
+        return ("b", node.op, _canon(node.left, wildcard_arrays, memo), _canon(node.right, wildcard_arrays, memo))
     if isinstance(node, UnaryOp):
-        return ("u", node.op, _canon(node.operand, wildcard_arrays))
+        return ("u", node.op, _canon(node.operand, wildcard_arrays, memo))
     if isinstance(node, Ternary):
         return (
             "t",
-            _canon(node.cond, wildcard_arrays),
-            _canon(node.then, wildcard_arrays),
-            _canon(node.els, wildcard_arrays),
+            _canon(node.cond, wildcard_arrays, memo),
+            _canon(node.then, wildcard_arrays, memo),
+            _canon(node.els, wildcard_arrays, memo),
         )
     if isinstance(node, Call):
-        return ("call", node.name, tuple(_canon(a, wildcard_arrays) for a in node.args))
+        return ("call", node.name, tuple(_canon(a, wildcard_arrays, memo) for a in node.args))
     if isinstance(node, Assign):
         return (
             "=",
             node.op,
-            _canon(node.target, wildcard_arrays),
-            _canon(node.value, wildcard_arrays),
+            _canon(node.target, wildcard_arrays, memo),
+            _canon(node.value, wildcard_arrays, memo),
         )
     if isinstance(node, If):
         return (
             "if",
-            _canon(node.cond, wildcard_arrays),
-            tuple(_canon(s, wildcard_arrays) for s in node.then),
-            tuple(_canon(s, wildcard_arrays) for s in node.els),
+            _canon(node.cond, wildcard_arrays, memo),
+            tuple(_canon(s, wildcard_arrays, memo) for s in node.then),
+            tuple(_canon(s, wildcard_arrays, memo) for s in node.els),
         )
     if isinstance(node, ExprStmt):
-        return ("e", _canon(node.expr, wildcard_arrays))
+        return ("e", _canon(node.expr, wildcard_arrays, memo))
     if isinstance(node, ParGroup):
-        return ("par", tuple(_canon(s, wildcard_arrays) for s in node.stmts))
+        return ("par", tuple(_canon(s, wildcard_arrays, memo) for s in node.stmts))
     return ("?", type(node).__name__)
 
 
@@ -630,19 +662,25 @@ def _structural_replay(
     report.structural = True
 
     # ---- index every MI instance by canonical key -----------------------
+    # The memos live exactly as long as the trees they key (instances /
+    # events hold every root for the whole session), so id-keyed
+    # lookups are safe; instances share subtrees across iterations,
+    # which is where the memo pays off.
+    mi_memo: Dict[int, object] = {}
+    event_memo: Dict[int, object] = {}
     instances: Dict[Tuple[int, int], Stmt] = {}
     index: Dict[object, List[Tuple[int, int]]] = {}
     for m, mi in enumerate(mis):
         if info.var in collect_vars(mi):
             for g in range(trips):
                 inst = substitute_expr(
-                    mi.clone(), info.var, IntLit(lo + g * info.step)
+                    mi, info.var, IntLit(lo + g * info.step), reuse=True
                 )
                 instances[(m, g)] = inst  # type: ignore[assignment]
-                index.setdefault(_canon(inst, set()), []).append((m, g))
+                index.setdefault(_canon(inst, set(), mi_memo), []).append((m, g))
         else:
-            inst = fold_constants(mi.clone())
-            key = _canon(inst, set())
+            inst = fold_constants(mi, reuse=True)
+            key = _canon(inst, set(), mi_memo)
             for g in range(trips):
                 instances[(m, g)] = inst  # type: ignore[assignment]
                 index.setdefault(key, []).append((m, g))
@@ -670,7 +708,7 @@ def _structural_replay(
     per_mi_iters: Dict[int, List[int]] = {m: [] for m in range(len(mis))}
 
     for pos, event in enumerate(events):
-        key = _canon(event, rename_arrays)
+        key = _canon(event, rename_arrays, event_memo)
         # Structurally aliased instances are possible (``A[8] = s`` is
         # both MI3 of iteration 5 and MI4 of iteration 0 when the MIs
         # store the same scalar at offsets 3 and 8), so collect every

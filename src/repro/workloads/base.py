@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.lang.ast_nodes import Program
-from repro.lang.parser import parse_program
+from repro.lang.parser import parse_program_cached
 
 
 @dataclass(frozen=True)
@@ -29,10 +29,10 @@ class Workload:
         return self.setup + "\n" + self.kernel
 
     def full_program(self) -> Program:
-        return parse_program(self.full_source())
+        return parse_program_cached(self.full_source())
 
     def setup_program(self) -> Program:
-        return parse_program(self.setup)
+        return parse_program_cached(self.setup)
 
     def validate(self) -> None:
         """Parse + dry-run the full program (raises on any error)."""

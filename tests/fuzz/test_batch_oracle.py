@@ -1,0 +1,129 @@
+"""Batched multi-env interpretation must be verdict-neutral.
+
+``OracleConfig.batch_envs`` routes the oracle's n_envs randomized
+stores through one lockstep interpreter pass
+(:func:`repro.sim.interp.run_program_batched`) instead of n_envs
+separate tree walks.  That is purely an optimization: every corpus
+entry — and a spread of generated cases across all profiles, including
+those whose data-dependent control flow forces the per-env fallback —
+must classify *identically* in both modes, down to the failure class
+and detail strings.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fuzz.generator import generate_case
+from repro.fuzz.oracle import check_source, default_config, make_env, run_case
+from repro.fuzz.reduce import load_corpus
+from repro.lang.parser import parse_program
+from repro.sim.interp import InterpError, run_program, run_program_batched
+
+ENTRIES = load_corpus()
+
+
+class TestCorpusParity:
+    @pytest.mark.parametrize(
+        "entry", ENTRIES, ids=[e.path.name for e in ENTRIES]
+    )
+    def test_corpus_entry_classifies_identically(self, entry):
+        per_env = check_source(
+            entry.source,
+            seed=entry.expect_seed,
+            config=default_config(batch_envs=False),
+        )
+        batched = check_source(
+            entry.source,
+            seed=entry.expect_seed,
+            config=default_config(batch_envs=True),
+        )
+        assert per_env.to_dict() == batched.to_dict()
+
+
+class TestGeneratedParity:
+    @pytest.mark.parametrize(
+        "profile", ["default", "control", "oob", "tiny", "scalars"]
+    )
+    def test_generated_cases_classify_identically(self, profile):
+        for seed in range(8):
+            case = generate_case(seed * 7919 + 13, profile)
+            a = run_case(case, default_config(batch_envs=False))
+            b = run_case(case, default_config(batch_envs=True))
+            assert a.to_dict() == b.to_dict(), (profile, seed)
+
+
+class TestRunProgramBatched:
+    def test_lockstep_states_match_sequential(self):
+        case = generate_case(4242, "default")
+        program = parse_program(case.source)
+        envs = [make_env(case, j) for j in range(3)]
+        outcomes = run_program_batched(
+            program.clone(), [dict(e) for e in envs]
+        )
+        assert len(outcomes) == 3
+        for env, out in zip(envs, outcomes):
+            ref = run_program(program.clone(), env)
+            assert not isinstance(out, InterpError)
+            assert sorted(ref) == sorted(out)
+            for name in ref:
+                if isinstance(ref[name], np.ndarray):
+                    assert np.array_equal(ref[name], out[name])
+                else:
+                    assert ref[name] == out[name]
+
+    def test_divergent_control_flow_falls_back(self):
+        # env-dependent branch: the lockstep pass must abandon and the
+        # per-env replay must still produce exact per-env results.
+        source = "if (a[0] > 0) { b[0] = 1; } else { b[0] = 2; }"
+        program = parse_program(source)
+        envs = [
+            {"a": np.array([5], dtype=np.int64),
+             "b": np.zeros(1, dtype=np.int64)},
+            {"a": np.array([-5], dtype=np.int64),
+             "b": np.zeros(1, dtype=np.int64)},
+        ]
+        outcomes = run_program_batched(program, envs)
+        assert outcomes[0]["b"][0] == 1
+        assert outcomes[1]["b"][0] == 2
+
+    def test_per_env_errors_preserved(self):
+        # One env traps out of bounds, the other completes; outcomes
+        # must mirror what sequential run_program produces, message
+        # included.
+        source = "b[0] = a[a[0]];"
+        program = parse_program(source)
+        good = {
+            "a": np.array([1, 7], dtype=np.int64),
+            "b": np.zeros(1, dtype=np.int64),
+        }
+        bad = {
+            "a": np.array([9, 7], dtype=np.int64),
+            "b": np.zeros(1, dtype=np.int64),
+        }
+        outcomes = run_program_batched(
+            program.clone(), [dict(good), dict(bad)]
+        )
+        assert outcomes[0]["b"][0] == 7
+        assert isinstance(outcomes[1], InterpError)
+        with pytest.raises(InterpError) as excinfo:
+            run_program(program.clone(), bad)
+        assert str(outcomes[1]) == str(excinfo.value)
+
+    def test_uniform_budget_exhaustion(self):
+        source = "for (i = 0; i < 1000; i++) { s = s + i; }"
+        program = parse_program(source)
+        envs = [{"s": 0}, {"s": 100}]
+        outcomes = run_program_batched(
+            program.clone(), [dict(e) for e in envs], max_steps=50
+        )
+        for env, out in zip(envs, outcomes):
+            assert isinstance(out, InterpError)
+            with pytest.raises(InterpError) as excinfo:
+                run_program(program.clone(), env, max_steps=50)
+            assert str(out) == str(excinfo.value)
+
+    def test_empty_and_single_env(self):
+        program = parse_program("x = 1;")
+        assert run_program_batched(program.clone(), []) == []
+        (only,) = run_program_batched(program.clone(), [{"x": 0}])
+        assert only["x"] == 1

@@ -38,6 +38,7 @@ def _result_payload(result) -> str:
     """Everything except wall-clock timing, as canonical JSON."""
     data = result.to_dict()
     data.pop("phase_times")
+    data.pop("cached_phase_times")
     return json.dumps(data, sort_keys=True)
 
 

@@ -1,0 +1,142 @@
+"""Pin the exec-compiled LIR fast path to the closure interpreter.
+
+The fused block functions (:mod:`repro.sim.codegen_exec`) must be a
+pure performance transform: every workload, on every machine, must
+produce *bit-identical* final state and metrics versus both the
+closure interpreter with the static observer and the per-instruction
+dynamic observer.  Equality here is strict — exact ints, exact float
+``repr`` for energy, and identical dict insertion order for
+``op_counts``/``block_executions`` — because the sweep digest gate
+depends on all of it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backend.compiler import FinalCompiler
+from repro.machines import machine_by_name
+from repro.sim.codegen_exec import ExecCompiledInterpreter, _self_loops
+from repro.sim.executor import _profile_blocks, execute
+from repro.sim.lir_interp import InterpError
+from repro.workloads import all_workloads, get_workload
+
+WORKLOADS = all_workloads()
+
+
+def _compile(workload_name: str, machine_name: str = "itanium2",
+             compiler: str = "gcc_O3"):
+    machine = machine_by_name(machine_name)
+    wl = get_workload(workload_name)
+    compiled = FinalCompiler(machine, compiler).compile(wl.full_program())
+    return compiled.module, machine
+
+
+def _assert_states_identical(a, b):
+    assert list(a.keys()) == list(b.keys())
+    for key in a:
+        va, vb = a[key], b[key]
+        if isinstance(va, np.ndarray):
+            assert isinstance(vb, np.ndarray)
+            assert va.dtype == vb.dtype and va.shape == vb.shape
+            assert va.tobytes() == vb.tobytes(), key
+        else:
+            assert repr(va) == repr(vb), key
+
+
+def _assert_metrics_identical(ma, mb):
+    da, db = ma.to_dict(), mb.to_dict()
+    assert repr(da["energy_pj"]) == repr(db["energy_pj"])
+    assert list(da["op_counts"].items()) == list(db["op_counts"].items())
+    assert list(da["block_executions"].items()) == list(
+        db["block_executions"].items()
+    )
+    assert da == db
+
+
+class TestEquivalenceAllWorkloads:
+    @pytest.mark.parametrize(
+        "workload", [wl.name for wl in WORKLOADS]
+    )
+    def test_exec_matches_closure_and_dynamic(self, workload):
+        module, machine = _compile(workload)
+        r_exec = execute(module, machine, codegen="exec")
+        r_closure = execute(module, machine, codegen="closure")
+        r_dynamic = execute(module, machine, accounting="dynamic")
+        for reference in (r_closure, r_dynamic):
+            _assert_states_identical(r_exec.state, reference.state)
+            _assert_metrics_identical(r_exec.metrics, reference.metrics)
+
+    @pytest.mark.parametrize(
+        "machine_name,compiler",
+        [
+            ("pentium", "gcc_O3"),
+            ("power4", "xlc_O3"),
+            ("arm7tdmi", "arm_gcc"),
+        ],
+    )
+    def test_exec_matches_closure_across_machines(
+        self, machine_name, compiler
+    ):
+        for workload in ("mxm", "daxpy", "kernel21"):
+            module, machine = _compile(workload, machine_name, compiler)
+            r_exec = execute(module, machine, codegen="exec")
+            r_closure = execute(module, machine, codegen="closure")
+            _assert_states_identical(r_exec.state, r_closure.state)
+            _assert_metrics_identical(r_exec.metrics, r_closure.metrics)
+
+
+class TestSelfLoopFusion:
+    def test_fused_loops_detected(self):
+        # mxm's innermost loops are bottom-test self-loops; the codegen
+        # must fuse them (that's where the fast path's speedup lives).
+        module, _ = _compile("mxm")
+        assert _self_loops(module), "no self-loops found in mxm"
+
+    def test_fused_loop_counts_every_entry(self):
+        module, machine = _compile("mxm")
+        r_exec = execute(module, machine, codegen="exec")
+        r_closure = execute(module, machine, codegen="closure")
+        # Per-iteration block_executions must survive fusion exactly.
+        assert (
+            r_exec.metrics.block_executions
+            == r_closure.metrics.block_executions
+        )
+
+
+class TestStepBudgetParity:
+    @pytest.mark.parametrize("max_steps", [10, 137, 1003, 50_000])
+    def test_budget_error_and_steps_match(self, max_steps):
+        module, machine = _compile("mxm")
+        profiles = _profile_blocks(module, machine)
+        outcomes = []
+        for codegen in ("exec", "closure"):
+            try:
+                execute(
+                    module, machine, max_steps=max_steps, codegen=codegen
+                )
+                outcomes.append(("ok", None))
+            except InterpError as exc:
+                outcomes.append(("err", str(exc)))
+        assert outcomes[0] == outcomes[1]
+        assert outcomes[0][0] == "err"  # mxm needs far more steps
+        # The interpreter-visible step counter agrees at the moment of
+        # the raise, not just the error text.
+        exec_interp = ExecCompiledInterpreter(
+            module, machine, profiles=profiles, max_steps=max_steps
+        )
+        with pytest.raises(InterpError):
+            exec_interp.run()
+        from repro.sim.lir_interp import LIRInterpreter
+
+        ref = LIRInterpreter(module, max_steps=max_steps)
+        with pytest.raises(InterpError):
+            ref.run()
+        assert exec_interp.steps == ref.steps
+
+
+class TestExecRequiresStaticAccounting:
+    def test_exec_mode_rejects_dynamic_modules(self):
+        module, machine = _compile("mxm")
+        # Forcing dynamic accounting with exec codegen is contradictory.
+        with pytest.raises(ValueError):
+            execute(module, machine, accounting="dynamic", codegen="exec")

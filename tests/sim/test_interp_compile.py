@@ -1,0 +1,191 @@
+"""Pin the compiled AST oracle to the reference interpreter.
+
+``run_program_fast`` compiles a whole source-level Program to one
+Python function and is used as the verify-phase oracle, so it must be
+a pure performance transform of :func:`repro.sim.interp.run_program`:
+bit-identical final state (values, dtypes, and dict insertion order),
+identical step accounting at the budget boundary, and the exact
+``InterpError`` messages on every trap.  Any divergence here would
+silently change experiment digests, so equality is strict.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.fuzz.generator import generate_case
+from repro.lang.parser import parse_program
+from repro.sim.interp import InterpError, run_program
+from repro.sim.interp_compile import compile_program, run_program_fast
+from repro.workloads import all_workloads
+
+WORKLOADS = all_workloads()
+
+
+def _assert_states_identical(a, b):
+    # Insertion order is part of the contract (state digests hash the
+    # JSON in key order), so compare key sequences, not just sets.
+    assert list(a.keys()) == list(b.keys())
+    for key in a:
+        va, vb = a[key], b[key]
+        if isinstance(va, np.ndarray):
+            assert isinstance(vb, np.ndarray)
+            assert va.dtype == vb.dtype and va.shape == vb.shape
+            assert np.array_equal(va, vb, equal_nan=True), key
+        else:
+            assert type(va) is type(vb), key
+            if isinstance(va, float) and math.isnan(va):
+                assert math.isnan(vb), key
+            else:
+                assert va == vb, key
+
+
+def _outcomes(program, max_steps=2_000_000, functions=None):
+    """Run both interpreters; return ((state, error_str), ...)."""
+    results = []
+    for runner in (run_program, run_program_fast):
+        try:
+            state = runner(
+                program, functions=functions, max_steps=max_steps
+            )
+            results.append((state, None))
+        except InterpError as exc:
+            results.append((None, str(exc)))
+    return results
+
+
+def _assert_parity(source, max_steps=2_000_000, functions=None):
+    program = parse_program(source)
+    (ref_state, ref_err), (fast_state, fast_err) = _outcomes(
+        program, max_steps=max_steps, functions=functions
+    )
+    assert ref_err == fast_err
+    if ref_err is None:
+        _assert_states_identical(ref_state, fast_state)
+
+
+# ---------------------------------------------------------------------------
+# Every workload, no silent fallback
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("wl", WORKLOADS, ids=lambda w: w.name)
+def test_workload_compiles_and_matches(wl):
+    program = parse_program(wl.full_source())
+    # The sweep's verify phase leans on the compiled path actually
+    # engaging; a bail here would silently fall back and hide a perf
+    # regression, so pin compilability itself.
+    assert compile_program(program) is not None, "compile bailed"
+    ref = run_program(program)
+    fast = run_program_fast(program)
+    _assert_states_identical(ref, fast)
+
+
+# ---------------------------------------------------------------------------
+# Generated programs, including trapping ones
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("profile", ["default", "control", "scalars", "oob"])
+@pytest.mark.parametrize("seed", range(8))
+def test_fuzz_parity(profile, seed):
+    case = generate_case(seed, profile)
+    _assert_parity(case.source)
+
+
+@pytest.mark.parametrize("seed", range(4))
+@pytest.mark.parametrize("max_steps", [1, 5, 17, 100, 1000])
+def test_fuzz_budget_parity(seed, max_steps):
+    # The failing statement must be charged (not retroactively
+    # uncharged) and the message must carry the budget, exactly like
+    # the reference's per-statement tick.
+    case = generate_case(seed, "default")
+    _assert_parity(case.source, max_steps=max_steps)
+
+
+# ---------------------------------------------------------------------------
+# Hand-written trap and coercion edges
+# ---------------------------------------------------------------------------
+
+EDGE_SOURCES = [
+    # out of bounds, constant and computed
+    "float A[4]; A[7] = 1.0;",
+    "int i; float A[4]; for (i = 0; i < 9; i += 1) { A[i] = 1.0; }",
+    # division and modulo
+    "int a; a = 1 / 0;",
+    "float x; x = 1.0 / 0.0;",
+    "float x; x = 5.0 % 2.0;",
+    "int a; a = 7 / 2; a = a + (-7) / 2;",
+    # unknown function
+    "float x; x = mystery(1.0);",
+    # break / continue in both loop forms
+    "int i; int s; s = 0; for (i = 0; i < 10; i += 1) { if (i == 3) { break; } s = s + i; }",
+    "int i; int s; s = 0; for (i = 0; i < 10; i += 1) { if (i == 3) { continue; } s = s + i; }",
+    "int i; int s; s = 0; i = 0; while (i < 10) { i = i + 1; if (i == 4) { continue; } s = s + i; }",
+    # ternary laziness: untaken arm must not trap
+    "float A[2]; int i; i = 5; A[0] = (i < 2) ? A[7] : 1.0;",
+    # short-circuit: right operand must not evaluate
+    "float A[2]; int i; i = 0; if (i != 0 && A[9] > 0.0) { A[0] = 1.0; }",
+    "float A[2]; int i; i = 1; if (i == 1 || A[9] > 0.0) { A[0] = 2.0; }",
+    # float value stored into int array coerces
+    "int A[2]; A[0] = 3.9;",
+    # declared-type coercion on scalar assignment
+    "int a; a = 2.5; a = a + 1;",
+    # float scalar holding int value
+    "float x; x = 3; x = x + 0.5;",
+    # nested subscript out of bounds inside an expression
+    "float A[3]; float B[3]; B[0] = A[0] + A[5];",
+    # trap inside the right operand of a binop
+    "float A[3]; A[0] = 1.0 + A[8];",
+]
+
+
+@pytest.mark.parametrize("source", EDGE_SOURCES)
+def test_edge_parity(source):
+    _assert_parity(source)
+
+
+def test_builtin_domain_error_propagates_raw():
+    # math.sqrt's ValueError is not an interpreter trap; neither path
+    # may wrap it.
+    src = "float x; x = sqrt(0.0 - 1.0);"
+    with pytest.raises(ValueError):
+        run_program(parse_program(src))
+    with pytest.raises(ValueError):
+        run_program_fast(parse_program(src))
+
+
+def test_user_function_keyerror_propagates_raw():
+    # A KeyError raised by a *user-supplied* function must not be
+    # misread as an unbound-variable read and rewritten into
+    # InterpError: both paths surface it unchanged.
+    def boom(x):
+        raise KeyError("user payload")
+
+    program = parse_program("float x; x = f(1.0);")
+    with pytest.raises(KeyError):
+        run_program(program, functions={"f": boom})
+    with pytest.raises(KeyError):
+        run_program_fast(program, functions={"f": boom})
+
+
+# ---------------------------------------------------------------------------
+# Bail conditions fall back, never diverge
+# ---------------------------------------------------------------------------
+
+
+def test_env_falls_back_to_reference():
+    src = "float A[2]; A[0] = A[1] + 1.0;"
+    program = parse_program(src)
+    env = {"A": np.array([0.0, 41.0])}
+    ref = run_program(program, env=env)
+    fast = run_program_fast(program, env={"A": np.array([0.0, 41.0])})
+    _assert_states_identical(ref, fast)
+
+
+def test_nested_decl_bails_but_matches():
+    src = "int i; for (i = 0; i < 2; i += 1) { int t; t = i; }"
+    program = parse_program(src)
+    assert compile_program(program) is None
+    _assert_parity(src)
