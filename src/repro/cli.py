@@ -70,6 +70,24 @@ Subcommands
     actionable suggestions.  The same advisor backs ``slms explain``'s
     advice section.
 
+``slms report``
+    Dashboard over the run ledger: every ``sweep``/``bench``/``fuzz``/
+    ``trace`` invocation appends one ``slms-ledger/1`` record (under
+    ``$SLMS_LEDGER_DIR``; disable with ``SLMS_LEDGER=0``), and this
+    renders the trajectory — wall clock, result digests, cache-tier
+    rates, fault counts — as a terminal table or a self-contained
+    HTML file (``--html``); ``--trace-in`` folds a JSON trace into a
+    profiler table, ``--journal`` summarizes a checkpoint journal.
+
+``slms obs ledger|diff|bench-export``
+    Ledger tools: ``ledger`` lists recorded runs (``--verify`` re-checks
+    content addresses); ``diff`` is the regression sentinel — it
+    compares two entries (``HEAD~1 HEAD`` by default, or ``--bench``
+    against the BENCH_sweep.json trajectory), hard-fails on result-
+    digest changes, tolerance-gates wall/phase drift, and exits 1 on
+    regression; ``bench-export`` emits a BENCH-schema history entry
+    from a sweep ledger record.
+
 Bad input never produces a traceback, and exit codes are uniform
 across subcommands: **0** success, **1** failures (failed experiments,
 fuzz findings, ``check`` errors, or an internal error — set
@@ -317,6 +335,30 @@ def _print_phases(phase_totals, file=None) -> None:
             print(f"  {phase:<10} {phase_totals[phase]:8.3f} s", file=file)
 
 
+def _ledger_append(entry) -> None:
+    """Best-effort ledger recording: observability must never take a
+    CLI run down (or even print), so every failure is swallowed."""
+    try:
+        from repro.obs import RunLedger, ledger_enabled
+
+        if not ledger_enabled():
+            return
+        RunLedger().append(entry)
+    except Exception:
+        pass
+
+
+def _result_digest(result) -> str:
+    """Content digest of one experiment result, timing excluded (two
+    identical runs differ only in wall clock, never in digest)."""
+    from repro.obs import digest_of
+
+    payload = result.to_dict()
+    payload.pop("phase_times", None)
+    payload.pop("cached_phase_times", None)
+    return digest_of(payload)
+
+
 def _print_tier_rates(stats, file=None) -> None:
     """Phase-cache traffic for freshly-run experiments in one engine
     call (nothing to print when every result came from the full cache)."""
@@ -443,6 +485,28 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     print(f"machine MS: before={res.ims_base} after={res.ims_slms}")
     if args.profile:
         _print_phases(res.phase_times)
+
+    from repro.obs import make_entry
+
+    _ledger_append(
+        make_entry(
+            "bench",
+            f"{res.workload}@{res.machine}/{res.compiler}",
+            config={
+                "workload": res.workload,
+                "machine": res.machine,
+                "compiler": res.compiler,
+            },
+            result_digest=_result_digest(res),
+            experiments=1,
+            workers=1,
+            wall_s=res.phase_times.get(
+                "total", sum(res.phase_times.values())
+            ),
+            phase_times=res.phase_times,
+            cached_phase_times=res.cached_phase_times,
+        )
+    )
     return 0
 
 
@@ -517,6 +581,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         if args.profile:
             _print_phases(stats.phase_totals, file=sys.stderr)
             _print_tier_rates(stats, file=sys.stderr)
+            print(
+                f"worker utilization: {stats.utilization:.1%} "
+                f"(busy {stats.phase_totals.get('total', 0.0):.3f} s over "
+                f"{stats.workers} worker(s) × {stats.wall_s:.3f} s wall)",
+                file=sys.stderr,
+            )
     if args.bench_json:
         label = "sweep:" + (
             ",".join(workloads) if workloads else "all_workloads"
@@ -524,6 +594,36 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         with open(args.bench_json, "w", encoding="utf-8") as handle:
             json.dump(bench_record(sweep, label=label), handle, indent=2)
             handle.write("\n")
+
+    if stats is not None:
+        import hashlib
+
+        from repro.obs import entry_from_stats, profile_results
+
+        try:
+            folded = profile_results(sweep.results)
+        except Exception:
+            folded = {}
+        # Raw-bytes sha256 of to_json(): byte-comparable with the
+        # frozen result_digest_sha256 pinned in BENCH_sweep.json.
+        digest = hashlib.sha256(
+            sweep.to_json().encode("utf-8")
+        ).hexdigest()
+        _ledger_append(
+            entry_from_stats(
+                "sweep",
+                "sweep:" + (",".join(workloads) if workloads else "all"),
+                stats.to_dict(),
+                config={
+                    "workloads": list(workloads) or "all",
+                    "pairs": (
+                        [f"{m}/{c}" for m, c in pairs] if pairs else "default"
+                    ),
+                },
+                result_digest=digest,
+                latency=folded.get("latency"),
+            )
+        )
     if sweep.failures:
         print(f"# {len(sweep.failures)} experiment(s) FAILED:",
               file=sys.stderr)
@@ -572,6 +672,30 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         write_json_trace(trace, args.trace_out)
     if args.chrome_out:
         write_chrome_trace(trace, args.chrome_out)
+
+    from repro.obs import make_entry, result_payload
+
+    timing = result_payload(res)
+    _ledger_append(
+        make_entry(
+            "trace",
+            f"{res.workload}@{res.machine}/{res.compiler}",
+            config={
+                "workload": res.workload,
+                "machine": res.machine,
+                "compiler": res.compiler,
+                "verify": not args.no_verify,
+            },
+            result_digest=_result_digest(res),
+            experiments=1,
+            workers=1,
+            wall_s=res.phase_times.get(
+                "total", sum(res.phase_times.values())
+            ),
+            phase_times=res.phase_times,
+            cached_phase_times=res.cached_phase_times,
+        )
+    )
     if args.json:
         print(
             json.dumps(
@@ -583,6 +707,10 @@ def _cmd_trace(args: argparse.Namespace) -> int:
                     "slms_reason": res.slms_reason,
                     "ii": res.ii,
                     "speedup": round(res.speedup, 6),
+                    # Symmetric timing shape: both keys always present
+                    # (a cache hit would report phase_times={"cache":…}
+                    # and its original work under cached_phase_times).
+                    **timing,
                     "trace": trace,
                     "metrics": metrics,
                 },
@@ -633,12 +761,42 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         oracle=oracle,
         reduce_failures=not args.no_reduce,
     )
+    import time as _time
+
+    t_start = _time.perf_counter()
     with _Observed(args):
         report = run_fuzz_session(
             config,
             journal_path=args.resume or args.journal,
             resume=bool(args.resume),
         )
+    fuzz_wall = _time.perf_counter() - t_start
+
+    import hashlib
+
+    from repro.obs import make_entry
+
+    _ledger_append(
+        make_entry(
+            "fuzz",
+            f"fuzz:seed={config.master_seed},n={config.iterations}",
+            config={
+                "master_seed": config.master_seed,
+                "iterations": config.iterations,
+                "profile": config.profile,
+                "oracle": config.oracle.to_dict(),
+            },
+            # The report is byte-deterministic, so its sha256 is the
+            # session's result digest (any drift is a real change).
+            result_digest=hashlib.sha256(
+                report.to_json().encode("utf-8")
+            ).hexdigest(),
+            experiments=config.iterations,
+            workers=config.workers or 1,
+            wall_s=fuzz_wall,
+            faults={"failures": len(report.failures)},
+        )
+    )
 
     if args.json:
         with open(args.json, "w") as fh:
@@ -726,6 +884,136 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             removed = phases.clear(phase_tiers)
             cleared = ", ".join(phase_tiers or PhaseCache.TIERS)
             print(f"removed {removed} phase entr(ies) [{cleared}]")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Dashboard over the run ledger: terminal view and/or HTML file."""
+    from repro.obs import (
+        RunLedger,
+        build_report,
+        fold_trace,
+        render_report_html,
+        render_report_text,
+        summarize_journal,
+    )
+
+    ledger = RunLedger(args.ledger_dir)
+    entries = ledger.entries(kind=args.kind, limit=args.limit)
+    profile = None
+    if args.trace_in:
+        with open(args.trace_in, "r", encoding="utf-8") as handle:
+            profile = fold_trace(json.load(handle)).to_dict()
+    journal = summarize_journal(args.journal) if args.journal else None
+    report = build_report(entries, profile=profile, journal=journal)
+    if args.html:
+        with open(args.html, "w", encoding="utf-8") as handle:
+            handle.write(render_report_html(report) + "\n")
+        print(f"# report written to {args.html}", file=sys.stderr)
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=1)
+            handle.write("\n")
+        print(f"# report JSON written to {args.json_out}", file=sys.stderr)
+    if not args.html or args.text:
+        print(render_report_text(report))
+    return 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    """Ledger maintenance and the regression sentinel."""
+    from repro.obs import (
+        RunLedger,
+        diff_against_bench,
+        diff_entries,
+        diff_payload,
+        has_failures,
+        render_diff,
+        render_entries,
+    )
+
+    ledger = RunLedger(args.ledger_dir)
+
+    if args.action == "ledger":
+        entries = ledger.entries(kind=args.kind, limit=args.limit)
+        if args.verify:
+            problems = ledger.verify()
+            for problem in problems:
+                print(f"error: {problem}", file=sys.stderr)
+            if problems:
+                return 1
+            print(f"# {len(entries)} entr(ies), all content addresses ok",
+                  file=sys.stderr)
+        if not entries:
+            print(f"# ledger at {ledger.path} is empty", file=sys.stderr)
+            return 0
+        print(render_entries(entries))
+        return 0
+
+    if args.action == "diff":
+        kind = args.kind or "sweep"
+        new = ledger.resolve(args.new, kind=kind)
+        if args.bench:
+            with open(args.bench, "r", encoding="utf-8") as handle:
+                bench = json.load(handle)
+            findings = diff_against_bench(
+                new, bench,
+                wall_tol=args.wall_tol, phase_tol=args.phase_tol,
+            )
+            old_label = args.bench
+            old = {"id": bench.get("result_digest_sha256", "")}
+        else:
+            old = ledger.resolve(args.old, kind=kind)
+            findings = diff_entries(
+                old, new,
+                wall_tol=args.wall_tol,
+                phase_tol=args.phase_tol,
+                allow_config_drift=args.allow_config_drift,
+            )
+            old_label = f"{args.old} ({str(old.get('id', ''))[:12]})"
+        if args.json:
+            print(json.dumps(diff_payload(findings, old, new), indent=2))
+        else:
+            print(
+                render_diff(
+                    findings,
+                    old_label=old_label,
+                    new_label=f"{args.new} ({str(new.get('id', ''))[:12]})",
+                )
+            )
+        return 1 if has_failures(findings) else 0
+
+    # bench-export: a BENCH_sweep.json history entry from the ledger,
+    # so future PRs stop hand-writing phase totals.
+    entry = ledger.resolve(args.ref, kind="sweep")
+    tiers = entry.get("tiers") or {}
+    record = {
+        "pr": args.pr,
+        "label": args.label or entry.get("label", ""),
+        "engine_version": (entry.get("env") or {}).get("engine_version", ""),
+        "experiments": entry.get("experiments", 0),
+        "cache_hits": (entry.get("cache") or {}).get("hits", 0),
+        "cache_misses": (entry.get("cache") or {}).get("misses", 0),
+        "cache_hit_rate": (entry.get("cache") or {}).get("hit_rate", 0.0),
+        "workers": entry.get("workers", 1),
+        "wall_s": round(float(entry.get("wall_s", 0.0)), 3),
+        "phase_totals_s": {
+            phase: round(float(seconds), 3)
+            for phase, seconds in (entry.get("phase_times") or {}).items()
+        },
+        "phase_cache_hit_rates": {
+            tier: rec.get("hit_rate", 0.0) for tier, rec in tiers.items()
+        },
+    }
+    if args.pr is None:
+        record.pop("pr")
+    payload = json.dumps(record, indent=1)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+        print(f"# bench entry written to {args.out}", file=sys.stderr)
+    else:
+        print(payload)
     return 0
 
 
@@ -947,6 +1235,98 @@ def main(argv: Optional[List[str]] = None) -> int:
                          "(full,transform,compile,simulate,verify); "
                          "default clears everything")
     p_cache.set_defaults(func=_cmd_cache)
+
+    p_report = sub.add_parser(
+        "report", help="dashboard over the run ledger (terminal + HTML)"
+    )
+    p_report.add_argument("--html", metavar="PATH",
+                          help="write a self-contained HTML dashboard")
+    p_report.add_argument("--json-out", metavar="PATH",
+                          help="write the slms-report/1 payload as JSON")
+    p_report.add_argument("--text", action="store_true",
+                          help="print the terminal view even when --html "
+                          "is given")
+    p_report.add_argument("--kind", choices=["sweep", "bench", "fuzz",
+                                             "trace"],
+                          default=None,
+                          help="restrict to one run kind (default: all)")
+    p_report.add_argument("--limit", type=int, default=None, metavar="N",
+                          help="only the newest N ledger entries")
+    p_report.add_argument("--trace-in", metavar="PATH",
+                          help="fold an slms-trace/1 JSON file into a "
+                          "profiler table")
+    p_report.add_argument("--journal", metavar="PATH",
+                          help="summarize an slms-journal/1 checkpoint file")
+    p_report.add_argument("--ledger-dir", default=None,
+                          help="ledger directory (default: $SLMS_LEDGER_DIR "
+                          "or ~/.cache/slms/ledger)")
+    p_report.set_defaults(func=_cmd_report)
+
+    p_obs = sub.add_parser(
+        "obs", help="run-ledger tools: listing, regression diff, "
+        "BENCH export"
+    )
+    obs_sub = p_obs.add_subparsers(dest="action", required=True)
+
+    o_ledger = obs_sub.add_parser(
+        "ledger", help="list recorded runs (newest last)"
+    )
+    o_ledger.add_argument("--kind", choices=["sweep", "bench", "fuzz",
+                                             "trace"],
+                          default=None)
+    o_ledger.add_argument("--limit", type=int, default=None, metavar="N")
+    o_ledger.add_argument("--verify", action="store_true",
+                          help="re-derive every entry's content address")
+    o_ledger.add_argument("--ledger-dir", default=None)
+    o_ledger.set_defaults(func=_cmd_obs)
+
+    o_diff = obs_sub.add_parser(
+        "diff", help="regression sentinel: compare two ledger entries "
+        "(exit 1 on regression)"
+    )
+    o_diff.add_argument("old", nargs="?", default="HEAD~1",
+                        help="baseline entry: HEAD, HEAD~N or an id prefix "
+                        "(default HEAD~1)")
+    o_diff.add_argument("new", nargs="?", default="HEAD",
+                        help="candidate entry (default HEAD)")
+    o_diff.add_argument("--bench", metavar="PATH",
+                        help="compare NEW against a BENCH_sweep.json "
+                        "trajectory instead of another entry")
+    o_diff.add_argument("--kind", choices=["sweep", "bench", "fuzz",
+                                           "trace"],
+                        default=None,
+                        help="entry kind to resolve refs against "
+                        "(default sweep)")
+    o_diff.add_argument("--wall-tol", type=float, default=1.0,
+                        metavar="FRAC",
+                        help="allowed relative wall-clock growth "
+                        "(default 1.0 = 2x)")
+    o_diff.add_argument("--phase-tol", type=float, default=1.0,
+                        metavar="FRAC",
+                        help="allowed relative per-phase growth "
+                        "(default 1.0 = 2x)")
+    o_diff.add_argument("--allow-config-drift", action="store_true",
+                        help="compare entries even when their config "
+                        "digests differ")
+    o_diff.add_argument("--json", action="store_true",
+                        help="emit the slms-diff/1 payload")
+    o_diff.add_argument("--ledger-dir", default=None)
+    o_diff.set_defaults(func=_cmd_obs)
+
+    o_export = obs_sub.add_parser(
+        "bench-export", help="emit a BENCH_sweep.json history entry from "
+        "a sweep ledger record"
+    )
+    o_export.add_argument("--ref", default="HEAD",
+                          help="sweep entry to export (default HEAD)")
+    o_export.add_argument("--pr", type=int, default=None,
+                          help="PR number for the history entry")
+    o_export.add_argument("--label", default=None,
+                          help="override the entry's label")
+    o_export.add_argument("--out", metavar="PATH",
+                          help="write to PATH instead of stdout")
+    o_export.add_argument("--ledger-dir", default=None)
+    o_export.set_defaults(func=_cmd_obs)
 
     args = parser.parse_args(argv)
     from repro.lang.errors import FrontendError

@@ -188,6 +188,10 @@ class EngineStats:
     workers: int = 1
     wall_s: float = 0.0
     phase_totals: Dict[str, float] = field(default_factory=dict)
+    # Seconds *served from caches* this run (the work the entries
+    # originally cost), aggregated from results' cached_phase_times —
+    # the counterpart of phase_totals, which is work actually done.
+    cached_phase_totals: Dict[str, float] = field(default_factory=dict)
     # Phase-cache tier traffic aggregated from freshly-run experiments
     # (full-cache hits and journal replays contribute nothing — their
     # tier traffic was counted when they originally ran).
@@ -224,6 +228,10 @@ class EngineStats:
             "phase_totals_s": {
                 phase: round(seconds, 3)
                 for phase, seconds in self.phase_totals.items()
+            },
+            "cached_phase_totals_s": {
+                phase: round(seconds, 3)
+                for phase, seconds in self.cached_phase_totals.items()
             },
             "phase_cache": {
                 tier: {
@@ -599,11 +607,18 @@ def run_experiments(
                             stats.timeouts += 1
 
             totals: Dict[str, float] = {}
+            cached_totals: Dict[str, float] = {}
             for result in results:
                 for phase, seconds in (
                     getattr(result, "phase_times", None) or {}
                 ).items():
                     totals[phase] = totals.get(phase, 0.0) + seconds
+                for phase, seconds in (
+                    getattr(result, "cached_phase_times", None) or {}
+                ).items():
+                    cached_totals[phase] = (
+                        cached_totals.get(phase, 0.0) + seconds
+                    )
                 for tier, rec in (
                     getattr(result, "cache_tiers", None) or {}
                 ).items():
@@ -614,6 +629,7 @@ def run_experiments(
                         stats.tier_misses.get(tier, 0) + rec.get("misses", 0)
                     )
             stats.phase_totals = totals
+            stats.cached_phase_totals = cached_totals
             if cache is not None:
                 stats.cache_evictions = cache.evictions
                 cache.flush_counters()
@@ -674,6 +690,24 @@ def run_experiments(
                 )
                 if stats.failures:
                     engine_span.set(failures=stats.failures)
+                # Aggregate tier traffic as trace events, one hit + one
+                # miss event per tier in PHASE_TIERS order — emitted
+                # parent-side after spec-order aggregation, so the
+                # sequence stays worker-count-invariant.  (Traced runs
+                # disable the phase cache, so live counts here are zero;
+                # the events exist so absorbed pre-recorded payloads and
+                # future always-on consumers see a stable shape.)
+                for tier in PHASE_TIERS:
+                    tracer.event(
+                        "cache.tier.hit",
+                        tier=tier,
+                        count=stats.tier_hits.get(tier, 0),
+                    )
+                    tracer.event(
+                        "cache.tier.miss",
+                        tier=tier,
+                        count=stats.tier_misses.get(tier, 0),
+                    )
     finally:
         if journal is not None:
             journal.close()

@@ -458,6 +458,14 @@ def run_experiment(
                 slms_applied=bool([s for s in summaries if s.applied]),
                 base_cycles=base_cycles,
                 slms_cycles=slms_cycles,
+                # Timing attrs mirror the result's phase_times /
+                # cached_phase_times split so Chrome/profiler exports
+                # see the same work-vs-served story as the JSON forms.
+                work_s=round(times["total"], 6),
+                cached_s=round(
+                    sum(memo.credits.values()) if memo is not None else 0.0,
+                    6,
+                ),
             )
 
     def kernel_ims(compiled) -> bool:

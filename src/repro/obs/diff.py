@@ -1,0 +1,328 @@
+"""Regression sentinel: compare two ledger entries (or HEAD vs. BENCH).
+
+``slms obs diff`` is the machine gate the BENCH_sweep.json trajectory
+has so far been by hand: given two ``slms-ledger/1`` records it
+distinguishes
+
+* **correctness changes** — a differing ``result_digest`` is a *hard
+  fail*, no tolerance: the engine's contract is that simulated results
+  never drift;
+* **comparability problems** — differing ``config_digest`` or
+  experiment counts mean the two runs measured different things, which
+  is a fail unless explicitly allowed;
+* **performance drift** — wall clock and per-phase *work* seconds are
+  tolerance-gated: ``new > old × (1 + tol)`` fails, faster is reported
+  as an improvement, and phases below a noise floor are ignored (a
+  0.01 s parse phase tripling is measurement noise, not a regression);
+* **reliability drift** — failures/timeouts/quarantines appearing
+  where the baseline had none.
+
+:func:`diff_entries` returns structured :class:`DiffFinding`\\ s;
+``fail`` severity is what makes the CLI exit nonzero.
+:func:`diff_against_bench` runs the same comparison against the
+hand-maintained ``BENCH_sweep.json`` trajectory (digest against the
+frozen ``result_digest_sha256``, wall against the latest comparable
+history entry), closing the loop until ``slms obs bench-export``
+replaces the hand-written appends entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional
+
+DIFF_SCHEMA = "slms-diff/1"
+
+#: Phases whose baseline is below this many seconds are not
+#: tolerance-checked (pure measurement noise at that scale).
+PHASE_NOISE_FLOOR_S = 0.05
+
+#: Default relative tolerances: wall may double before the sentinel
+#: trips (shared CI runners jitter ±25% routinely; a genuine 3× hang
+#: or algorithmic regression still fails), phases get the same slack.
+DEFAULT_WALL_TOL = 1.0
+DEFAULT_PHASE_TOL = 1.0
+
+SEVERITIES = ("fail", "warn", "info")
+
+
+@dataclass
+class DiffFinding:
+    """One comparison outcome; ``fail`` drives the nonzero exit."""
+
+    severity: str  # fail | warn | info
+    kind: str      # result-digest | config | wall | phase.<name> | faults | …
+    message: str
+
+    def to_dict(self) -> Dict[str, str]:
+        return {
+            "severity": self.severity,
+            "kind": self.kind,
+            "message": self.message,
+        }
+
+
+def _ratio_finding(
+    kind: str,
+    what: str,
+    old: float,
+    new: float,
+    tol: float,
+) -> Optional[DiffFinding]:
+    if old <= 0.0:
+        return None
+    ratio = new / old
+    if new > old * (1.0 + tol):
+        return DiffFinding(
+            "fail",
+            kind,
+            f"{what} regressed: {old:.3f}s → {new:.3f}s "
+            f"({ratio:.2f}×, tolerance {1.0 + tol:.2f}×)",
+        )
+    if new < old / (1.0 + tol):
+        return DiffFinding(
+            "info",
+            kind,
+            f"{what} improved: {old:.3f}s → {new:.3f}s ({ratio:.2f}×)",
+        )
+    return None
+
+
+def diff_entries(
+    old: Mapping[str, Any],
+    new: Mapping[str, Any],
+    *,
+    wall_tol: float = DEFAULT_WALL_TOL,
+    phase_tol: float = DEFAULT_PHASE_TOL,
+    allow_config_drift: bool = False,
+) -> List[DiffFinding]:
+    """Compare ``new`` against the ``old`` baseline entry."""
+    findings: List[DiffFinding] = []
+
+    # -- comparability -------------------------------------------------
+    if old.get("kind") != new.get("kind"):
+        findings.append(
+            DiffFinding(
+                "fail",
+                "config",
+                f"run kinds differ: {old.get('kind')!r} vs "
+                f"{new.get('kind')!r} — not comparable",
+            )
+        )
+        return findings
+    if old.get("config_digest") != new.get("config_digest"):
+        severity = "warn" if allow_config_drift else "fail"
+        findings.append(
+            DiffFinding(
+                severity,
+                "config",
+                "config digests differ "
+                f"({str(old.get('config_digest'))[:12]}… vs "
+                f"{str(new.get('config_digest'))[:12]}…); the runs "
+                "measured different inputs"
+                + ("" if allow_config_drift
+                   else " (pass --allow-config-drift to compare anyway)"),
+            )
+        )
+        if not allow_config_drift:
+            return findings
+    if old.get("experiments") != new.get("experiments"):
+        findings.append(
+            DiffFinding(
+                "fail",
+                "experiments",
+                f"experiment counts differ: {old.get('experiments')} vs "
+                f"{new.get('experiments')}",
+            )
+        )
+
+    # -- correctness: the hard gate ------------------------------------
+    old_digest, new_digest = old.get("result_digest"), new.get("result_digest")
+    if old_digest and new_digest:
+        if old_digest != new_digest:
+            findings.append(
+                DiffFinding(
+                    "fail",
+                    "result-digest",
+                    f"result digests differ: {old_digest[:12]}… → "
+                    f"{new_digest[:12]}… — simulated results changed "
+                    "(hard fail, no tolerance)",
+                )
+            )
+        else:
+            findings.append(
+                DiffFinding(
+                    "info",
+                    "result-digest",
+                    f"result digest unchanged ({new_digest[:12]}…)",
+                )
+            )
+    elif old_digest or new_digest:
+        findings.append(
+            DiffFinding(
+                "warn",
+                "result-digest",
+                "only one entry carries a result digest; correctness "
+                "not compared",
+            )
+        )
+
+    # -- performance: tolerance-gated ----------------------------------
+    finding = _ratio_finding(
+        "wall",
+        "wall clock",
+        float(old.get("wall_s", 0.0)),
+        float(new.get("wall_s", 0.0)),
+        wall_tol,
+    )
+    if finding:
+        findings.append(finding)
+    old_phases = old.get("phase_times") or {}
+    new_phases = new.get("phase_times") or {}
+    for phase in sorted(set(old_phases) & set(new_phases)):
+        old_s = float(old_phases[phase])
+        if old_s < PHASE_NOISE_FLOOR_S:
+            continue
+        finding = _ratio_finding(
+            f"phase.{phase}",
+            f"phase {phase!r}",
+            old_s,
+            float(new_phases[phase]),
+            phase_tol,
+        )
+        if finding:
+            findings.append(finding)
+
+    # -- reliability ---------------------------------------------------
+    old_faults = old.get("faults") or {}
+    new_faults = new.get("faults") or {}
+    for name in ("failures", "timeouts", "quarantined"):
+        before, after = old_faults.get(name, 0), new_faults.get(name, 0)
+        if after > before:
+            findings.append(
+                DiffFinding(
+                    "fail",
+                    "faults",
+                    f"{name} went {before} → {after}",
+                )
+            )
+    return findings
+
+
+def diff_against_bench(
+    entry: Mapping[str, Any],
+    bench: Mapping[str, Any],
+    *,
+    wall_tol: float = DEFAULT_WALL_TOL,
+    phase_tol: float = DEFAULT_PHASE_TOL,
+) -> List[DiffFinding]:
+    """Compare a sweep ledger entry against ``BENCH_sweep.json``.
+
+    The frozen ``result_digest_sha256`` is the hard gate; wall/phase
+    drift is checked against the most recent history entry with the
+    same experiment count (earlier engines are trajectory context, not
+    a baseline).  An entry whose experiment count matches nothing in
+    the history gets an ``info`` — a 2-workload smoke sweep is not
+    comparable to the 235-experiment corpus record.
+    """
+    findings: List[DiffFinding] = []
+    frozen = bench.get("result_digest_sha256")
+    history = [h for h in (bench.get("history") or []) if isinstance(h, dict)]
+    comparable = [
+        h for h in history
+        if h.get("experiments") == entry.get("experiments")
+    ]
+    if not comparable:
+        findings.append(
+            DiffFinding(
+                "info",
+                "config",
+                f"no BENCH history entry runs {entry.get('experiments')} "
+                "experiment(s); digest and wall not compared",
+            )
+        )
+        return findings
+    if frozen and entry.get("result_digest"):
+        if entry["result_digest"] != frozen:
+            findings.append(
+                DiffFinding(
+                    "fail",
+                    "result-digest",
+                    f"result digest {str(entry['result_digest'])[:12]}… does "
+                    f"not match the frozen BENCH digest {frozen[:12]}… "
+                    "(hard fail)",
+                )
+            )
+        else:
+            findings.append(
+                DiffFinding(
+                    "info",
+                    "result-digest",
+                    f"result digest matches the frozen BENCH digest "
+                    f"({frozen[:12]}…)",
+                )
+            )
+    baseline = comparable[-1]
+    # Cold baselines compare against cold runs; a warm (all-hits) run
+    # against a cold baseline would only ever "improve".
+    synthetic = {
+        "kind": entry.get("kind"),
+        "config_digest": entry.get("config_digest"),
+        "experiments": baseline.get("experiments"),
+        "wall_s": baseline.get("wall_s", 0.0),
+        "phase_times": baseline.get("phase_totals_s") or {},
+        "faults": {},
+    }
+    findings.extend(
+        diff_entries(
+            synthetic,
+            {**entry, "config_digest": entry.get("config_digest")},
+            wall_tol=wall_tol,
+            phase_tol=phase_tol,
+            allow_config_drift=True,
+        )
+    )
+    # The synthetic baseline has no digest of its own; drop the
+    # resulting "only one entry carries a digest" warning — the frozen
+    # digest check above is the real gate.
+    return [
+        f for f in findings
+        if not (f.severity == "warn" and f.kind == "result-digest")
+    ]
+
+
+def has_failures(findings: List[DiffFinding]) -> bool:
+    return any(f.severity == "fail" for f in findings)
+
+
+def render_diff(
+    findings: List[DiffFinding],
+    old_label: str = "old",
+    new_label: str = "new",
+) -> str:
+    lines = [f"comparing {old_label} → {new_label}"]
+    if not findings:
+        lines.append("  ok: no differences beyond tolerance")
+    for finding in findings:
+        lines.append(
+            f"  [{finding.severity.upper():<4}] {finding.kind}: "
+            f"{finding.message}"
+        )
+    verdict = "REGRESSION" if has_failures(findings) else "PASS"
+    lines.append(f"verdict: {verdict}")
+    return "\n".join(lines)
+
+
+def diff_payload(
+    findings: List[DiffFinding],
+    old: Mapping[str, Any],
+    new: Mapping[str, Any],
+) -> Dict[str, Any]:
+    """Machine-readable diff (``slms-diff/1``)."""
+    return {
+        "schema": DIFF_SCHEMA,
+        "old": str(old.get("id", ""))[:16],
+        "new": str(new.get("id", ""))[:16],
+        "regression": has_failures(findings),
+        "findings": [f.to_dict() for f in findings],
+    }

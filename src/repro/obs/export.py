@@ -202,6 +202,29 @@ def render_trace(trace: Mapping[str, Any], events_only: bool = False) -> str:
     return "\n".join("  " * max(d, 0) + text for _, _, _, d, text in entries)
 
 
+def result_payload(result: Any) -> Dict[str, Any]:
+    """Symmetric timing payload for one experiment result.
+
+    Cache-hit experiments report ``phase_times={"cache": lookup_s}``
+    while the work the entry originally did lives in schema-2's
+    ``cached_phase_times`` — exports that include one without the other
+    read as "the run did no work" or "the cache served nothing".  This
+    helper always emits **both** keys (empty dicts when absent) so every
+    consumer — ``slms trace --json``, Chrome exports, the ledger — sees
+    the same shape for hits and misses alike.
+    """
+    if isinstance(result, Mapping):
+        times = result.get("phase_times") or {}
+        cached = result.get("cached_phase_times") or {}
+    else:
+        times = getattr(result, "phase_times", None) or {}
+        cached = getattr(result, "cached_phase_times", None) or {}
+    return {
+        "phase_times": {k: float(v) for k, v in times.items()},
+        "cached_phase_times": {k: float(v) for k, v in cached.items()},
+    }
+
+
 def format_metrics(metrics: Mapping[str, Any]) -> str:
     """Flat text dump of ``MetricsRegistry.to_dict()``."""
     lines: List[str] = []

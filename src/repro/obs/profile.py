@@ -1,0 +1,224 @@
+"""Deterministic profiler: fold span trees into per-name tables.
+
+A raw ``slms-trace/1`` payload is an event soup; what a human (and the
+``slms report`` dashboard) wants is the classic profiler view:
+
+* **per-span-name rows** — call count, *total* (inclusive) time and
+  *self* time (total minus the direct children's totals), min/max —
+  produced by :func:`fold_trace`;
+* **latency percentiles** — p50/p90/p99 over the per-experiment wall
+  clocks of a harness run, produced by :func:`latency_percentiles` /
+  :func:`profile_results`.
+
+Determinism contract, matching the rest of the obs layer: the folded
+*structure* — row names, call counts, parent/child attribution — is a
+pure function of the merged event sequence, which the engine makes
+worker-count-invariant by absorbing worker payloads in spec order.  So
+``workers=1`` and ``workers=4`` fold to the same rows with the same
+counts (wall-clock magnitudes differ; nothing else does), and the
+percentile fold uses the deterministic nearest-rank definition (no
+interpolation) so equal inputs give bit-equal outputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+PROFILE_SCHEMA = "slms-profile/1"
+
+#: The percentile levels every profile reports.
+PERCENTILES = (50, 90, 99)
+
+
+@dataclass
+class ProfileRow:
+    """Aggregate of every span sharing one name."""
+
+    name: str
+    count: int = 0
+    total_ns: int = 0
+    self_ns: int = 0
+    min_ns: Optional[int] = None
+    max_ns: Optional[int] = None
+
+    def observe(self, dur_ns: int, self_ns: int) -> None:
+        self.count += 1
+        self.total_ns += dur_ns
+        self.self_ns += self_ns
+        if self.min_ns is None or dur_ns < self.min_ns:
+            self.min_ns = dur_ns
+        if self.max_ns is None or dur_ns > self.max_ns:
+            self.max_ns = dur_ns
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "count": self.count,
+            "total_ms": round(self.total_ns / 1e6, 6),
+            "self_ms": round(self.self_ns / 1e6, 6),
+            "min_ms": round((self.min_ns or 0) / 1e6, 6),
+            "max_ms": round((self.max_ns or 0) / 1e6, 6),
+        }
+
+
+@dataclass
+class Profile:
+    """The folded view of one trace (or one result list)."""
+
+    rows: List[ProfileRow] = field(default_factory=list)
+    event_counts: Dict[str, int] = field(default_factory=dict)
+    latency: Dict[str, float] = field(default_factory=dict)
+
+    def row(self, name: str) -> Optional[ProfileRow]:
+        for row in self.rows:
+            if row.name == name:
+                return row
+        return None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": PROFILE_SCHEMA,
+            "rows": [row.to_dict() for row in self.rows],
+            "event_counts": dict(sorted(self.event_counts.items())),
+            "latency": dict(self.latency),
+        }
+
+
+def fold_trace(trace: Mapping[str, Any]) -> Profile:
+    """Fold an ``slms-trace/1`` payload into a :class:`Profile`.
+
+    Self time is inclusive duration minus the inclusive durations of
+    *direct* children (clamped at zero: absorbed worker batches are
+    time-shifted to the absorb instant, so a child can nominally
+    outlast its parent).  Rows are ordered by descending total time
+    with name as the deterministic tie-break.
+    """
+    spans = list(trace.get("spans") or [])
+    events = list(trace.get("events") or [])
+    child_ns: Dict[int, int] = {}
+    durations: List[Tuple[str, int]] = []
+    for span in spans:
+        dur = max(int(span["end_ns"]) - int(span["start_ns"]), 0)
+        durations.append((span["name"], dur))
+        parent = span.get("parent", -1)
+        if parent is not None and parent >= 0:
+            child_ns[parent] = child_ns.get(parent, 0) + dur
+
+    table: Dict[str, ProfileRow] = {}
+    for span, (name, dur) in zip(spans, durations):
+        row = table.get(name)
+        if row is None:
+            row = table[name] = ProfileRow(name)
+        row.observe(dur, max(dur - child_ns.get(span["id"], 0), 0))
+
+    profile = Profile(
+        rows=sorted(
+            table.values(), key=lambda row: (-row.total_ns, row.name)
+        )
+    )
+    for event in events:
+        name = event["name"]
+        profile.event_counts[name] = profile.event_counts.get(name, 0) + 1
+
+    # Per-experiment latency: every `experiment` span is one harness
+    # comparison, so its inclusive duration is the run's latency.
+    exp_ns = [dur for name, dur in durations if name == "experiment"]
+    if exp_ns:
+        profile.latency = latency_percentiles(
+            [ns / 1e9 for ns in exp_ns]
+        )
+    return profile
+
+
+def latency_percentiles(
+    values: Sequence[float], levels: Sequence[int] = PERCENTILES
+) -> Dict[str, float]:
+    """Nearest-rank percentiles (deterministic, no interpolation).
+
+    The nearest-rank definition — the smallest value with at least
+    ``p%`` of the sample at or below it — always returns a member of
+    the sample, so two identical runs can be compared bit-for-bit.
+    """
+    if not values:
+        return {}
+    ordered = sorted(values)
+    out: Dict[str, float] = {"n": len(ordered)}
+    for level in levels:
+        rank = max(
+            1, -(-level * len(ordered) // 100)  # ceil without floats
+        )
+        out[f"p{level}"] = round(ordered[rank - 1], 6)
+    out["mean"] = round(sum(ordered) / len(ordered), 6)
+    out["max"] = round(ordered[-1], 6)
+    return out
+
+
+def profile_results(results: Sequence[Any]) -> Dict[str, Any]:
+    """Phase totals + latency percentiles over experiment results.
+
+    Accepts anything carrying ``phase_times`` / ``cached_phase_times``
+    mappings (``ExperimentResult`` or its dict form).  A cache hit's
+    latency is its lookup time — ``phase_times["cache"]`` — because
+    that *is* what the run cost; the work the entry originally did is
+    aggregated separately under ``cached_phase_totals``.
+    """
+    phase_totals: Dict[str, float] = {}
+    cached_totals: Dict[str, float] = {}
+    latencies: List[float] = []
+    for result in results:
+        times = _mapping_field(result, "phase_times")
+        cached = _mapping_field(result, "cached_phase_times")
+        for phase, seconds in times.items():
+            phase_totals[phase] = phase_totals.get(phase, 0.0) + seconds
+        for phase, seconds in cached.items():
+            cached_totals[phase] = cached_totals.get(phase, 0.0) + seconds
+        latency = times.get("total", times.get("cache"))
+        if latency is not None:
+            latencies.append(latency)
+    return {
+        "phase_totals": {
+            k: round(v, 6) for k, v in sorted(phase_totals.items())
+        },
+        "cached_phase_totals": {
+            k: round(v, 6) for k, v in sorted(cached_totals.items())
+        },
+        "latency": latency_percentiles(latencies),
+    }
+
+
+def _mapping_field(result: Any, name: str) -> Dict[str, float]:
+    if isinstance(result, Mapping):
+        value = result.get(name)
+    else:
+        value = getattr(result, name, None)
+    return dict(value or {})
+
+
+def render_profile(profile: Profile, top: int = 20) -> str:
+    """Terminal table: the classic count/total/self profiler view."""
+    lines = [
+        f"{'span':<24} {'count':>7} {'total ms':>12} {'self ms':>12} "
+        f"{'mean ms':>10}"
+    ]
+    for row in profile.rows[:top]:
+        mean_ms = row.total_ns / row.count / 1e6 if row.count else 0.0
+        lines.append(
+            f"{row.name:<24} {row.count:>7} {row.total_ns / 1e6:>12.3f} "
+            f"{row.self_ns / 1e6:>12.3f} {mean_ms:>10.3f}"
+        )
+    if len(profile.rows) > top:
+        lines.append(f"… {len(profile.rows) - top} more row(s)")
+    if profile.latency:
+        lines.append("")
+        lines.append(
+            "experiment latency: "
+            + "  ".join(
+                f"{key}={profile.latency[key] * 1000:.2f} ms"
+                if key.startswith("p") or key in ("mean", "max")
+                else f"{key}={profile.latency[key]}"
+                for key in ("n", "p50", "p90", "p99", "mean", "max")
+                if key in profile.latency
+            )
+        )
+    return "\n".join(lines)

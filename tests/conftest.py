@@ -1,0 +1,14 @@
+"""Suite-wide fixtures.
+
+The run ledger records every CLI engine run by default; tests must not
+append to the developer's real ledger (or read state from it), so the
+whole suite runs against a per-test temporary ledger directory.  Tests
+that exercise the ledger deliberately just use the same variable.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _isolated_ledger(tmp_path, monkeypatch):
+    monkeypatch.setenv("SLMS_LEDGER_DIR", str(tmp_path / "ledger"))

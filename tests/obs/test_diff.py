@@ -1,0 +1,157 @@
+"""Regression sentinel: digest hard-fails, tolerance-gated drift."""
+
+from repro.obs import (
+    diff_against_bench,
+    diff_entries,
+    diff_payload,
+    has_failures,
+    make_entry,
+    render_diff,
+)
+
+
+def _entry(wall=1.0, digest="d" * 64, config=None, phases=None, faults=None,
+           experiments=10, kind="sweep"):
+    return make_entry(
+        kind,
+        "run",
+        config=config or {"workloads": "all"},
+        result_digest=digest,
+        experiments=experiments,
+        wall_s=wall,
+        phase_times=phases or {"simulate": 0.5, "total": 0.9},
+        faults=faults,
+    )
+
+
+class TestDiffEntries:
+    def test_identical_runs_pass(self):
+        findings = diff_entries(_entry(), _entry())
+        assert not has_failures(findings)
+        assert any(f.kind == "result-digest" and f.severity == "info"
+                   for f in findings)
+
+    def test_result_digest_change_is_hard_fail(self):
+        findings = diff_entries(_entry(), _entry(digest="e" * 64))
+        fails = [f for f in findings if f.severity == "fail"]
+        assert [f.kind for f in fails] == ["result-digest"]
+        assert "hard fail" in fails[0].message
+
+    def test_wall_regression_beyond_tolerance_fails(self):
+        findings = diff_entries(_entry(wall=1.0), _entry(wall=3.0))
+        assert has_failures(findings)
+        assert any(f.kind == "wall" and "3.00×" in f.message
+                   for f in findings)
+
+    def test_wall_within_tolerance_passes(self):
+        assert not has_failures(
+            diff_entries(_entry(wall=1.0), _entry(wall=1.9))
+        )
+
+    def test_improvement_is_info_not_failure(self):
+        findings = diff_entries(_entry(wall=4.0), _entry(wall=1.0))
+        assert not has_failures(findings)
+        assert any(f.kind == "wall" and "improved" in f.message
+                   for f in findings)
+
+    def test_custom_tolerance(self):
+        old, new = _entry(wall=1.0), _entry(wall=1.4)
+        assert not has_failures(diff_entries(old, new))
+        assert has_failures(diff_entries(old, new, wall_tol=0.2))
+
+    def test_phase_regression_fails_above_noise_floor(self):
+        old = _entry(phases={"simulate": 0.5, "total": 0.9})
+        new = _entry(phases={"simulate": 2.0, "total": 0.9})
+        findings = diff_entries(old, new)
+        assert any(f.kind == "phase.simulate" and f.severity == "fail"
+                   for f in findings)
+
+    def test_noise_floor_ignores_tiny_phases(self):
+        old = _entry(phases={"parse": 0.001})
+        new = _entry(phases={"parse": 0.04})  # 40x but still noise
+        assert not has_failures(diff_entries(old, new))
+
+    def test_config_drift_is_fail_unless_allowed(self):
+        old = _entry(config={"workloads": ["daxpy"]})
+        new = _entry(config={"workloads": ["dscal"]})
+        findings = diff_entries(old, new)
+        assert has_failures(findings)
+        relaxed = diff_entries(old, new, allow_config_drift=True)
+        assert not has_failures(relaxed)
+        assert any(f.severity == "warn" for f in relaxed)
+
+    def test_kind_mismatch_not_comparable(self):
+        findings = diff_entries(_entry(), _entry(kind="fuzz"))
+        assert has_failures(findings)
+        assert "not comparable" in findings[0].message
+
+    def test_experiment_count_mismatch_fails(self):
+        findings = diff_entries(
+            _entry(experiments=10), _entry(experiments=4)
+        )
+        assert any(f.kind == "experiments" and f.severity == "fail"
+                   for f in findings)
+
+    def test_new_faults_fail(self):
+        findings = diff_entries(
+            _entry(), _entry(faults={"failures": 2})
+        )
+        assert any(f.kind == "faults" for f in findings)
+        assert has_failures(findings)
+
+
+class TestBenchDiff:
+    BENCH = {
+        "result_digest_sha256": "f" * 64,
+        "history": [
+            {"pr": 6, "experiments": 235, "wall_s": 10.0,
+             "phase_totals_s": {"simulate": 6.0}},
+            {"pr": 7, "experiments": 235, "wall_s": 8.0,
+             "phase_totals_s": {"simulate": 5.0}},
+        ],
+    }
+
+    def test_matching_digest_and_wall_passes(self):
+        entry = _entry(wall=9.0, digest="f" * 64, experiments=235,
+                       phases={"simulate": 5.5})
+        findings = diff_against_bench(entry, self.BENCH)
+        assert not has_failures(findings)
+        assert any("matches the frozen" in f.message for f in findings)
+
+    def test_digest_mismatch_hard_fails(self):
+        entry = _entry(digest="0" * 64, experiments=235)
+        assert has_failures(diff_against_bench(entry, self.BENCH))
+
+    def test_wall_compared_against_latest_comparable(self):
+        # 3x the PR-7 baseline (8.0s) regresses; the PR-6 10s entry is
+        # history, not the baseline.
+        entry = _entry(wall=24.0, digest="f" * 64, experiments=235)
+        findings = diff_against_bench(entry, self.BENCH)
+        assert any(f.kind == "wall" and f.severity == "fail"
+                   for f in findings)
+
+    def test_smoke_sweep_not_compared(self):
+        entry = _entry(experiments=2, digest="0" * 64)
+        findings = diff_against_bench(entry, self.BENCH)
+        assert not has_failures(findings)
+        assert any("not compared" in f.message for f in findings)
+
+
+class TestRendering:
+    def test_render_and_payload(self):
+        findings = diff_entries(_entry(), _entry(wall=5.0))
+        text = render_diff(findings, "HEAD~1", "HEAD")
+        assert text.startswith("comparing HEAD~1 → HEAD")
+        assert "verdict: REGRESSION" in text
+        payload = diff_payload(findings, {"id": "a" * 64}, {"id": "b" * 64})
+        assert payload["schema"] == "slms-diff/1"
+        assert payload["regression"] is True
+        assert payload["old"] == "a" * 16
+        assert all(
+            set(f) == {"severity", "kind", "message"}
+            for f in payload["findings"]
+        )
+
+    def test_pass_verdict(self):
+        text = render_diff(diff_entries(_entry(), _entry()))
+        assert "verdict: PASS" in text

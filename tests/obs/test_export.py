@@ -2,10 +2,12 @@
 
 import json
 
+from repro.harness.experiment import ExperimentResult
 from repro.obs import (
     Tracer,
     format_metrics,
     render_trace,
+    result_payload,
     to_chrome_trace,
     validate_trace,
     write_chrome_trace,
@@ -85,6 +87,103 @@ class TestChrome:
         assert json.loads(json_path.read_text()) == trace
         loaded = json.loads(chrome_path.read_text())
         assert loaded == to_chrome_trace(trace)
+
+    def test_empty_trace_converts(self):
+        chrome = to_chrome_trace(
+            {"schema": "slms-trace/1", "spans": [], "events": []}
+        )
+        assert chrome == {"traceEvents": [], "displayTimeUnit": "ms"}
+
+    def test_absorbed_multi_worker_payloads(self):
+        """Two absorbed batches: ids offset, tracks distinct, refs valid."""
+        batches = []
+        for workload in ("daxpy", "dscal"):
+            worker = Tracer()
+            with worker.span("experiment", workload=workload):
+                with worker.span("phase.simulate"):
+                    worker.event("sim.done", workload=workload)
+            batches.append(worker.to_dict())
+
+        parent = Tracer()
+        with parent.span("engine.run"):
+            for batch in batches:
+                parent.absorb(batch)
+        trace = parent.to_dict()
+
+        assert validate_trace(trace) == []
+        exp_spans = [s for s in trace["spans"] if s["name"] == "experiment"]
+        # Both batches survived with distinct (offset) ids and tracks,
+        # reparented under the engine span.
+        assert len(exp_spans) == 2
+        assert exp_spans[0]["id"] != exp_spans[1]["id"]
+        assert exp_spans[0]["track"] != exp_spans[1]["track"]
+        assert all(s["parent"] == 0 for s in exp_spans)
+        # The Chrome form keeps one row (tid) per absorbed batch and
+        # every event's args survive as scalars.
+        chrome = to_chrome_trace(trace)
+        tids = {e["tid"] for e in chrome["traceEvents"] if e["ph"] == "X"}
+        assert len(tids) == 3  # parent + two worker batches
+        instants = [e for e in chrome["traceEvents"] if e["ph"] == "i"]
+        assert [e["args"]["workload"] for e in instants] == [
+            "daxpy", "dscal",
+        ]
+
+    def test_instant_events_at_identical_timestamps(self):
+        """Simultaneous instants keep emission order in every view."""
+        tr = Tracer()
+        tr._now = lambda: 1000  # freeze the clock
+        with tr.span("experiment"):
+            tr.event("first", n=1)
+            tr.event("second", n=2)
+        trace = tr.to_dict()
+        assert validate_trace(trace) == []
+        assert trace["events"][0]["ts_ns"] == trace["events"][1]["ts_ns"]
+        chrome = to_chrome_trace(trace)
+        instants = [e for e in chrome["traceEvents"] if e["ph"] == "i"]
+        assert [e["name"] for e in instants] == ["first", "second"]
+        assert instants[0]["ts"] == instants[1]["ts"]
+        # The decision log breaks the tie deterministically too.
+        log = render_trace(trace)
+        assert log.index("• first") < log.index("• second")
+
+
+class TestResultPayload:
+    """Pin the symmetric phase_times/cached_phase_times export shape."""
+
+    @staticmethod
+    def _result(phase_times, cached):
+        return ExperimentResult(
+            workload="daxpy", suite="livermore", machine="itanium2",
+            compiler="gcc_O3", base_cycles=100, slms_cycles=50,
+            base_energy=1.0, slms_energy=0.5, slms_applied=True,
+            phase_times=phase_times, cached_phase_times=cached,
+        )
+
+    def test_fresh_result_has_both_keys(self):
+        payload = result_payload(
+            self._result({"total": 1.5, "simulate": 1.0}, {})
+        )
+        assert set(payload) == {"phase_times", "cached_phase_times"}
+        assert payload["phase_times"] == {"total": 1.5, "simulate": 1.0}
+        assert payload["cached_phase_times"] == {}
+
+    def test_cache_hit_shape(self):
+        """Hits report lookup time + the work the entry originally did."""
+        payload = result_payload(
+            self._result({"cache": 0.001}, {"simulate": 2.0, "total": 2.5})
+        )
+        assert payload["phase_times"] == {"cache": 0.001}
+        assert payload["cached_phase_times"] == {
+            "simulate": 2.0, "total": 2.5,
+        }
+
+    def test_accepts_dict_form(self):
+        payload = result_payload(
+            {"phase_times": {"total": 1.0}, "cached_phase_times": None}
+        )
+        assert payload == {
+            "phase_times": {"total": 1.0}, "cached_phase_times": {},
+        }
 
 
 class TestRender:

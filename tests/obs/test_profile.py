@@ -1,0 +1,151 @@
+"""Profiler: span folding, self-time, percentiles, worker invariance."""
+
+from repro.backend.compiler import COMPILER_PRESETS
+from repro.harness.engine import ExperimentSpec, run_experiments
+from repro.machines.presets import itanium2
+from repro.obs import (
+    PROFILE_SCHEMA,
+    Tracer,
+    fold_trace,
+    latency_percentiles,
+    profile_results,
+    render_profile,
+    tracing,
+)
+from repro.workloads import get_workload
+
+
+def _make_trace():
+    tr = Tracer()
+    clock = iter(range(0, 10_000, 100))
+    tr._now = lambda: next(clock) * 1_000_000  # 100 ms ticks
+    with tr.span("experiment"):
+        with tr.span("phase.compile"):
+            pass
+        with tr.span("phase.simulate"):
+            pass
+    with tr.span("experiment"):
+        with tr.span("phase.simulate"):
+            pass
+    return tr.to_dict()
+
+
+class TestFold:
+    def test_counts_totals_and_self_time(self):
+        profile = fold_trace(_make_trace())
+        exp = profile.row("experiment")
+        sim = profile.row("phase.simulate")
+        comp = profile.row("phase.compile")
+        assert exp.count == 2
+        assert sim.count == 2
+        assert comp.count == 1
+        # Self time excludes direct children: each experiment span is
+        # its inclusive duration minus its phases'.
+        assert exp.self_ns == exp.total_ns - sim.total_ns - comp.total_ns
+        # Leaves have self == total.
+        assert sim.self_ns == sim.total_ns
+
+    def test_rows_sorted_by_total_desc(self):
+        profile = fold_trace(_make_trace())
+        totals = [row.total_ns for row in profile.rows]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_latency_from_experiment_spans(self):
+        profile = fold_trace(_make_trace())
+        assert profile.latency["n"] == 2
+        assert profile.latency["p50"] <= profile.latency["p99"]
+
+    def test_empty_trace(self):
+        profile = fold_trace(
+            {"schema": "slms-trace/1", "spans": [], "events": []}
+        )
+        assert profile.rows == []
+        assert profile.latency == {}
+        assert profile.to_dict()["schema"] == PROFILE_SCHEMA
+
+    def test_event_counts(self):
+        tr = Tracer()
+        with tr.span("experiment"):
+            tr.event("ii.found", ii=2)
+            tr.event("ii.found", ii=3)
+            tr.event("filter.verdict")
+        profile = fold_trace(tr.to_dict())
+        assert profile.event_counts == {"filter.verdict": 1, "ii.found": 2}
+
+    def test_render_profile_table(self):
+        text = render_profile(fold_trace(_make_trace()))
+        assert "experiment" in text
+        assert "phase.simulate" in text
+        assert "p50" in text
+
+
+class TestPercentiles:
+    def test_nearest_rank_is_a_sample_member(self):
+        values = [5.0, 1.0, 3.0, 2.0, 4.0]
+        stats = latency_percentiles(values)
+        assert stats["n"] == 5
+        assert stats["p50"] == 3.0
+        assert stats["p90"] == 5.0
+        assert stats["p99"] == 5.0
+        assert stats["max"] == 5.0
+        for level in ("p50", "p90", "p99"):
+            assert stats[level] in values
+
+    def test_single_value(self):
+        stats = latency_percentiles([0.25])
+        assert stats["p50"] == stats["p99"] == stats["mean"] == 0.25
+
+    def test_empty(self):
+        assert latency_percentiles([]) == {}
+
+    def test_deterministic_under_permutation(self):
+        values = [0.1, 0.9, 0.4, 0.7, 0.2, 0.5]
+        assert latency_percentiles(values) == latency_percentiles(
+            sorted(values, reverse=True)
+        )
+
+
+class TestProfileResults:
+    def test_aggregates_work_and_cached(self):
+        results = [
+            {"phase_times": {"simulate": 1.0, "total": 2.0},
+             "cached_phase_times": {}},
+            {"phase_times": {"cache": 0.01},
+             "cached_phase_times": {"simulate": 3.0, "total": 4.0}},
+        ]
+        folded = profile_results(results)
+        assert folded["phase_totals"] == {
+            "cache": 0.01, "simulate": 1.0, "total": 2.0,
+        }
+        assert folded["cached_phase_totals"] == {
+            "simulate": 3.0, "total": 4.0,
+        }
+        # A hit's latency is its lookup time; a fresh run's, its total.
+        assert folded["latency"]["n"] == 2
+        assert folded["latency"]["max"] == 2.0
+
+
+class TestWorkerInvariance:
+    def _fold(self, workers):
+        specs = [
+            ExperimentSpec(
+                workload=get_workload(name),
+                machine=itanium2(),
+                compiler=COMPILER_PRESETS["gcc_O3"],
+            )
+            for name in ("daxpy", "kernel1", "dscal")
+        ]
+        with tracing(Tracer()) as tracer:
+            run_experiments(specs, workers=workers, use_cache=False)
+        return fold_trace(tracer.to_dict())
+
+    def test_fold_identical_for_workers_1_vs_4(self):
+        p1, p4 = self._fold(1), self._fold(4)
+        # The folded *structure* — row names, call counts, event tallies
+        # — is worker-count-invariant; only wall-clock magnitudes (and
+        # hence the by-total row order) move.
+        assert sorted((r.name, r.count) for r in p1.rows) == sorted(
+            (r.name, r.count) for r in p4.rows
+        )
+        assert p1.event_counts == p4.event_counts
+        assert p1.latency["n"] == p4.latency["n"] == 3
