@@ -34,7 +34,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.backend.lir import Instr, Module
-from repro.machines.model import MachineModel
+from repro.machines.model import MachineModel, res_mii_for_counts
 
 
 @dataclass
@@ -171,18 +171,18 @@ def build_loop_dependences(
 
 
 def res_mii(instrs: List[Instr], machine: MachineModel) -> int:
-    """Resource-constrained MII: ``max over classes ⌈uses/units⌉``."""
+    """Resource-constrained MII: ``max over classes ⌈uses/units⌉``.
+
+    The census is machine-level (LIR instructions); the ceiling formula
+    is shared with the source-level resMII in ``core/schedulers``.
+    """
     counts: Dict[str, int] = {}
     for instr in instrs:
         if instr.is_branch():
             continue
         cls = instr.op_class()
         counts[cls] = counts.get(cls, 0) + 1
-    best = 1
-    for cls, count in counts.items():
-        best = max(best, ceil(count / machine.unit_count(cls)))
-    best = max(best, ceil(sum(counts.values()) / machine.issue_width))
-    return best
+    return res_mii_for_counts(machine, counts)
 
 
 def _positive_cycle(weights) -> bool:

@@ -121,6 +121,9 @@ def _cmd_transform(args: argparse.Namespace) -> int:
         expansion=args.expansion,
         reduction_lanes=args.reduction_lanes,
         allow_reassociation=args.allow_reassociation,
+        scheduler=args.scheduler,
+        sched_budget=args.sched_budget,
+        machine=args.machine,
     )
     outcome = slms(source, options)
     style = "paper" if args.paper else "c"
@@ -134,6 +137,14 @@ def _cmd_transform(args: argparse.Namespace) -> int:
                 if report.applied
                 else f"declined: {report.reason}"
             )
+            if report.applied and report.scheduler != "heuristic":
+                status += (
+                    f" scheduler={report.scheduler}"
+                    f" heuristic_ii={report.heuristic_ii}"
+                    f" proven={report.sched_proven}"
+                )
+            if report.applied and report.res_mii is not None:
+                status += f" res_mii={report.res_mii}"
             print(f" loop {idx}: {status}", file=sys.stderr)
         print("*/", file=sys.stderr)
     return 0
@@ -298,7 +309,10 @@ def _cmd_advise(args: argparse.Namespace) -> int:
     source = _read_source(args.file)
     program = parse_program(source)
     options = SLMSOptions(
-        enable_filter=not args.no_filter, force=args.force
+        enable_filter=not args.no_filter,
+        force=args.force,
+        scheduler=args.scheduler,
+        machine=args.machine,
     )
     with _Observed(args):
         advices = advise_program(program, options)
@@ -752,6 +766,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         compiler=args.compiler,
         backend=not args.no_backend,
         metamorphic=not args.no_metamorphic,
+        scheduler_oracle=args.oracle_scheduler,
     )
     config = FuzzSessionConfig(
         master_seed=args.seed,
@@ -823,6 +838,26 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
                   f"{args.save_failures}")
         return 1
     return 0
+
+
+def _cmd_sched(args: argparse.Namespace) -> int:
+    """Scheduler-backend tools (docs/SCHEDULERS.md)."""
+    from repro.core.schedulers.compare import (
+        compare_schedulers,
+        render_compare,
+    )
+
+    report = compare_schedulers(
+        workloads=args.workloads or None,
+        machine=args.machine,
+        budget=args.budget,
+    )
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json())
+        print(f"# report written to {args.json}", file=sys.stderr)
+    print(render_compare(report))
+    return 0 if report.clean else 1
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
@@ -1045,6 +1080,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="permit lane-splitting sum/product reductions "
         "(reassociates floating point)",
     )
+    p_transform.add_argument(
+        "--scheduler", default="heuristic", metavar="NAME",
+        help="scheduling backend: heuristic (paper, default) or exact "
+        "(branch-and-bound; see docs/SCHEDULERS.md)",
+    )
+    p_transform.add_argument(
+        "--sched-budget", type=int, default=50_000, metavar="N",
+        help="exact-backend placement-attempt budget (default 50000)",
+    )
+    p_transform.add_argument(
+        "--machine", default=None, metavar="NAME",
+        help="machine preset for the informational resMII floor "
+        "(default: omit)",
+    )
     p_transform.add_argument("--report", action="store_true",
                              help="print per-loop reports to stderr")
     p_transform.set_defaults(func=_cmd_transform)
@@ -1105,6 +1154,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_advise.add_argument("--no-filter", action="store_true")
     p_advise.add_argument("--json", action="store_true",
                           help="emit the per-loop predictions as JSON")
+    p_advise.add_argument(
+        "--scheduler", default="heuristic", metavar="NAME",
+        help="predict with this scheduling backend "
+        "(heuristic or exact; docs/SCHEDULERS.md)",
+    )
+    p_advise.add_argument(
+        "--machine", default=None, metavar="NAME",
+        help="machine preset for the informational resMII floor",
+    )
     _add_obs_flags(p_advise)
     p_advise.set_defaults(func=_cmd_advise)
 
@@ -1211,6 +1269,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="skip the compile+execute differential layer")
     p_fuzz.add_argument("--no-metamorphic", action="store_true",
                         help="skip reversal/unroll metamorphic checks")
+    p_fuzz.add_argument("--oracle-scheduler", action="store_true",
+                        help="differential scheduler oracle: run the "
+                        "exact backend alongside the heuristic and "
+                        "flag any loop where it loses, disagrees, or "
+                        "breaks validation (docs/SCHEDULERS.md)")
     p_fuzz.add_argument("--no-reduce", action="store_true",
                         help="keep failing cases unreduced")
     fckpt = p_fuzz.add_mutually_exclusive_group()
@@ -1222,6 +1285,29 @@ def main(argv: Optional[List[str]] = None) -> int:
                        "completed cases, re-run everything else")
     _add_obs_flags(p_fuzz)
     p_fuzz.set_defaults(func=_cmd_fuzz)
+
+    p_sched = sub.add_parser(
+        "sched", help="scheduler backends: differential heuristic-vs-"
+        "exact comparison (docs/SCHEDULERS.md)"
+    )
+    sched_sub = p_sched.add_subparsers(dest="action", required=True)
+    s_compare = sched_sub.add_parser(
+        "compare", help="run both backends over corpus workloads and "
+        "tabulate II gaps (exit 1 on any negative gap or "
+        "verdict mismatch)"
+    )
+    s_compare.add_argument("workloads", nargs="*", metavar="WORKLOAD",
+                           help="workload names (default: all 47)")
+    s_compare.add_argument("--machine", default="itanium2",
+                           help="machine preset for the resMII floor "
+                           "(default itanium2)")
+    s_compare.add_argument("--budget", type=int, default=50_000,
+                           metavar="N",
+                           help="exact-backend placement-attempt budget "
+                           "per loop (default 50000)")
+    s_compare.add_argument("--json", metavar="PATH",
+                           help="write the slms-sched/1 report to PATH")
+    s_compare.set_defaults(func=_cmd_sched)
 
     p_cache = sub.add_parser(
         "cache", help="experiment result cache maintenance"

@@ -43,6 +43,7 @@ from repro.core.mi import NotPartitionable, partition_mis
 from repro.core.mii import find_valid_ii, pmii_difmin
 from repro.core.mve import plan_rotations
 from repro.core.names import NamePool, all_names
+from repro.core.schedulers import get_scheduler
 from repro.core.pipeline import _collect_types
 from repro.core.schedule import ShortTripCount
 from repro.core.slms import SLMSOptions, _has_inner_control
@@ -61,6 +62,13 @@ class Advice:
     ii: Optional[int] = None
     stages: Optional[int] = None
     n_mis: Optional[int] = None
+    # Scheduler-backend prediction (docs/SCHEDULERS.md): mirrors the
+    # driver's placement refinement so prediction == actual holds for
+    # every backend, not just the paper's.
+    scheduler: str = "heuristic"
+    res_mii: Optional[int] = None  # source-level resMII (machine FU mix)
+    heuristic_ii: Optional[int] = None
+    sched_proven: Optional[bool] = None
     decompositions: int = 0
     expansion: Optional[str] = None  # predicted strategy when applying
     unroll: int = 1
@@ -81,6 +89,10 @@ class Advice:
             "ii": self.ii,
             "stages": self.stages,
             "n_mis": self.n_mis,
+            "scheduler": self.scheduler,
+            "res_mii": self.res_mii,
+            "heuristic_ii": self.heuristic_ii,
+            "sched_proven": self.sched_proven,
             "decompositions": self.decompositions,
             "expansion": self.expansion,
             "unroll": self.unroll,
@@ -282,12 +294,37 @@ def advise_loop(
                 trip_count=trip, memory_ref_ratio=ratio,
             )
 
+    # ---- placement refinement, mirroring slms_for_loop exactly ------------
+    heuristic_ii = ii
+    backend = get_scheduler(
+        options.scheduler, budget_nodes=options.sched_budget
+    )
+    floor = 1
+    if trip is not None and trip > 0:
+        floor = max(1, -(-len(mis) // trip))
+    sched = backend.refine(graph, heuristic_ii, min_ii=floor)
+    if not sched.is_identity:
+        mis = [mis[m] for m in sched.order]
+        graph = build_ddg(mis, info)
+    ii = sched.ii
+
+    res_mii = None
+    if options.machine is not None:
+        from repro.core.schedulers import resource_mii
+        from repro.machines.presets import machine_by_name
+
+        res_mii = resource_mii(mis, machine_by_name(options.machine), types)
+
     pmii = pmii_difmin(graph)
     stages = -(-len(mis) // ii)
     facts = dict(
         rec_mii=pmii, ii=ii, stages=stages, n_mis=len(mis),
         decompositions=decompositions, trip_count=trip,
-        memory_ref_ratio=ratio,
+        memory_ref_ratio=ratio, scheduler=options.scheduler,
+        res_mii=res_mii, heuristic_ii=heuristic_ii,
+        sched_proven=(
+            sched.proven_optimal if options.scheduler != "heuristic" else None
+        ),
     )
 
     # ---- step 6, decided arithmetically -----------------------------------
@@ -395,6 +432,20 @@ def render_advice(advice: Advice) -> str:
         lines.append(
             f"  recMII floor: {advice.rec_mii} "
             "(no decomposition or expansion can beat this)"
+        )
+    if advice.res_mii is not None:
+        lines.append(
+            f"  resMII floor: {advice.res_mii} "
+            "(machine FU mix; informational — SLMS is resource-blind)"
+        )
+    if advice.scheduler != "heuristic" and advice.applies:
+        status = (
+            "proven optimal" if advice.sched_proven else "budget-limited"
+        )
+        lines.append(
+            f"  scheduler: {advice.scheduler} "
+            f"(paper placement II {advice.heuristic_ii} -> {advice.ii}, "
+            f"{status})"
         )
     if advice.trip_count is not None:
         lines.append(f"  trip count: {advice.trip_count}")

@@ -1,0 +1,255 @@
+"""Pluggable source-level modulo schedulers (docs/SCHEDULERS.md).
+
+The paper's scheduler is *implicit*: SLMS never reorders MIs, so the
+placement is fixed (MI at list position ``m`` of iteration ``k`` sits at
+row ``k·II + m``) and "scheduling" reduces to the smallest-II search of
+:func:`repro.core.mii.find_valid_ii`.  This package makes the placement
+an explicit, pluggable decision — HatScheT-style — so an exact backend
+can answer the question the heuristic cannot: *is the paper's fixed
+placement optimal for this MI partition?*
+
+A :class:`SourceSchedule` is an II plus a permutation ``order`` of the
+MI list: ``order[r]`` is the input index of the MI placed at intra-
+iteration row offset ``r``.  Because every downstream pass (MVE, scalar
+expansion, emission, the V2xx validator) works off list position, a
+backend that returns a non-identity permutation is applied by simply
+reordering the MI list and rebuilding the DDG — the permuted body is
+sequentially equivalent (distance-0 dependences force relative order to
+be preserved; distance ≥ 1 dependences are between iterations and hold
+under any intra-iteration order).
+
+Shared minII helpers live here too: ``recurrence_mii`` (the paper's
+difMin recMII) and ``resource_mii``, a *source-level* resMII lifted from
+the machine-level formula in ``backend/ims.py`` — per-iteration op-class
+census divided by the parametric FU mix of ``machines/model.py``.  The
+paper's scheduler deliberately ignores resources (§7), so resMII is
+reported, never enforced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.ddg import DependenceGraph
+from repro.core.mii import pmii_difmin
+from repro.lang.ast_nodes import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Call,
+    Stmt,
+    Ternary,
+    UnaryOp,
+)
+from repro.lang.visitors import walk
+from repro.machines.model import MachineModel, res_mii_for_counts
+
+#: Minimum row slack SLMS's fixed placement requires per dependence
+#: kind: a flow edge must cross a row boundary; anti/output edges may
+#: share a row because rows emit oldest-iteration first (the paper's
+#: footnote-1 assumption, same constants as ``find_valid_ii``).
+EDGE_MIN_SLACK: Dict[str, int] = {"flow": 1, "anti": 0, "output": 0}
+
+
+def edge_min_slack(kind: str) -> int:
+    return EDGE_MIN_SLACK.get(kind, 1)
+
+
+@dataclass(frozen=True)
+class SourceSchedule:
+    """One scheduler answer: an II and an MI placement.
+
+    ``order`` is a permutation of ``range(n)``; ``order[r]`` is the
+    index, in the scheduler's input MI list, of the MI placed at row
+    offset ``r``.  The identity permutation is the paper's placement.
+
+    ``proven_optimal`` means the backend *proved* no smaller II admits
+    any placement (for the given MI partition).  ``exhausted`` records
+    that the node budget ran out somewhere below the returned II, so a
+    smaller II may exist — such results are never reported as optimal.
+    """
+
+    ii: int
+    order: Tuple[int, ...]
+    backend: str
+    proven_optimal: bool = False
+    exhausted: bool = False
+    nodes: int = 0
+
+    @property
+    def is_identity(self) -> bool:
+        return self.order == tuple(range(len(self.order)))
+
+
+@dataclass(frozen=True)
+class MinII:
+    """The two MII floors; ``min_ii`` is their max (HatScheT's minII)."""
+
+    rec_mii: Optional[int] = None
+    res_mii: Optional[int] = None
+
+    @property
+    def min_ii(self) -> int:
+        floors = [f for f in (self.rec_mii, self.res_mii) if f is not None]
+        return max(floors) if floors else 1
+
+
+def identity_feasible(graph: DependenceGraph, ii: int) -> bool:
+    """Is the paper's fixed (identity) placement valid at ``ii``?
+
+    Exactly :func:`repro.core.mii.find_valid_ii`'s per-edge test,
+    without the trace events or the II sweep.
+    """
+    return all(
+        edge.distance * ii + (edge.dst - edge.src)
+        >= edge_min_slack(edge.kind)
+        for edge in graph.edges
+    )
+
+
+def recurrence_mii(graph: DependenceGraph) -> Optional[int]:
+    """Recurrence MII floor (the paper's difMin iteration, §3.6)."""
+    return pmii_difmin(graph)
+
+
+def op_class_counts(
+    mis: List[Stmt], types: Optional[Dict[str, str]] = None
+) -> Dict[str, int]:
+    """Per-iteration op-class census of an MI list (source level).
+
+    Mirrors the backend's classification without lowering: every array
+    reference is one ``mem`` access (a compound store like ``A[i] += e``
+    is a load *and* a store), float add/sub is ``fadd``, float multiply
+    ``fmul``, divide/mod ``div``, and integer/compare/select arithmetic
+    ``alu``.  Scalar reads/writes are register traffic and free; the
+    loop branch is excluded, as in ``backend/ims.py``'s ``res_mii``.
+    """
+    from repro.core.slms import _infer_type
+
+    types = dict(types or {})
+    counts = {"alu": 0, "fadd": 0, "fmul": 0, "div": 0, "mem": 0}
+
+    def classify(node) -> None:
+        if isinstance(node, ArrayRef):
+            counts["mem"] += 1
+        elif isinstance(node, BinOp):
+            if node.op in ("/", "%"):
+                counts["div"] += 1
+            elif node.op in ("+", "-"):
+                if _infer_type(node, types) == "float":
+                    counts["fadd"] += 1
+                else:
+                    counts["alu"] += 1
+            elif node.op == "*":
+                if _infer_type(node, types) == "float":
+                    counts["fmul"] += 1
+                else:
+                    counts["alu"] += 1
+            else:  # comparisons, &&, ||
+                counts["alu"] += 1
+        elif isinstance(node, UnaryOp):
+            if node.op != "+":
+                counts["alu"] += 1
+        elif isinstance(node, (Ternary, Call)):
+            counts["alu"] += 1
+
+    for stmt in mis:
+        for node in walk(stmt):
+            classify(node)
+        if isinstance(stmt, Assign) and stmt.op is not None:
+            # Compound form: the operator is not a BinOp node in the
+            # AST, and an ArrayRef target is read *and* written.
+            if isinstance(stmt.target, ArrayRef):
+                counts["mem"] += 1
+            is_float = "float" in (
+                _infer_type(stmt.target, types),
+                _infer_type(stmt.value, types),
+            )
+            if stmt.op in ("/", "%"):
+                counts["div"] += 1
+            elif stmt.op in ("+", "-"):
+                counts["fadd" if is_float else "alu"] += 1
+            elif stmt.op == "*":
+                counts["fmul" if is_float else "alu"] += 1
+            else:
+                counts["alu"] += 1
+    return counts
+
+
+def resource_mii(
+    mis: List[Stmt],
+    machine: MachineModel,
+    types: Optional[Dict[str, str]] = None,
+) -> int:
+    """Source-level resMII: ``max over classes ⌈uses/units⌉`` plus the
+    issue-width bound, via the formula shared with ``backend/ims.py``."""
+    return res_mii_for_counts(machine, op_class_counts(mis, types))
+
+
+class ModuloScheduler:
+    """Interface every source-level scheduling backend implements.
+
+    ``schedule(graph, ii)`` answers the fixed-II question; ``refine``
+    is the driver's entry point: given the smallest *identity* II the
+    paper's search found, return the best placement the backend can —
+    never worse than the identity placement at ``heuristic_ii``, so
+    ``refine(...).ii <= heuristic_ii`` always holds.
+    """
+
+    name = "base"
+
+    def __init__(self, budget_nodes: Optional[int] = None):
+        self.budget_nodes = budget_nodes
+
+    def min_ii(
+        self,
+        graph: DependenceGraph,
+        machine: Optional[MachineModel] = None,
+        mis: Optional[List[Stmt]] = None,
+        types: Optional[Dict[str, str]] = None,
+    ) -> MinII:
+        res = (
+            resource_mii(mis, machine, types)
+            if machine is not None and mis is not None
+            else None
+        )
+        return MinII(rec_mii=recurrence_mii(graph), res_mii=res)
+
+    def schedule(
+        self, graph: DependenceGraph, ii: int
+    ) -> Optional[SourceSchedule]:
+        raise NotImplementedError
+
+    def find_schedule(
+        self,
+        graph: DependenceGraph,
+        n_mis: int,
+        max_ii: Optional[int] = None,
+    ) -> Optional[SourceSchedule]:
+        """Smallest-II schedule with the paper's ``II < n_mis`` bound."""
+        upper = min(max_ii, n_mis - 1) if max_ii is not None else n_mis - 1
+        for ii in range(1, upper + 1):
+            sched = self.schedule(graph, ii)
+            if sched is not None:
+                return sched
+        return None
+
+    def refine(
+        self,
+        graph: DependenceGraph,
+        heuristic_ii: int,
+        min_ii: int = 1,
+    ) -> SourceSchedule:
+        """Improve on the identity placement at ``heuristic_ii``.
+
+        ``min_ii`` is the smallest II worth returning (the driver passes
+        ``⌈n_mis/trip⌉`` so a lower II never trips the stage-count
+        emission guard).  The base implementation is the paper's answer:
+        the identity placement, unrefined.
+        """
+        return SourceSchedule(
+            ii=heuristic_ii,
+            order=tuple(range(graph.n)),
+            backend=self.name,
+        )

@@ -31,6 +31,7 @@ from repro.core.if_conversion import if_convert
 from repro.core.mi import MIPartition, NotPartitionable, partition_mis
 from repro.core.mii import find_valid_ii, pmii_difmin
 from repro.core.mve import apply_mve, plan_rotations
+from repro.core.schedulers import get_scheduler
 from repro.core.names import NamePool
 from repro.core.scalar_expansion import apply_scalar_expansion
 from repro.core.schedule import ShortTripCount, build_modulo_schedule
@@ -79,6 +80,15 @@ class SLMSOptions:
     # Run the independent schedule validator (repro.verify.schedule) on
     # every applied result and attach its diagnostics to the report.
     verify: bool = False
+    # Pluggable scheduling backend (docs/SCHEDULERS.md): "heuristic" is
+    # the paper's fixed placement; "exact" proves placement optimality
+    # by branch-and-bound within sched_budget placement attempts.
+    scheduler: str = "heuristic"
+    sched_budget: int = 50_000
+    # Machine preset name for the source-level resMII report (None
+    # skips it — the paper's scheduler is resource-blind, §7, so the
+    # floor is informational and never gates feasibility).
+    machine: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.expansion not in ("auto", "mve", "scalar", "none"):
@@ -87,6 +97,19 @@ class SLMSOptions:
             loads, arith = self.resource_limits
             if loads < 1 or arith < 1:
                 raise ValueError("resource limits must be >= 1")
+        from repro.core.schedulers import SCHEDULER_NAMES
+
+        if self.scheduler not in SCHEDULER_NAMES:
+            raise ValueError(
+                f"unknown scheduler {self.scheduler!r}; choose from "
+                + ", ".join(SCHEDULER_NAMES)
+            )
+        if self.sched_budget < 1:
+            raise ValueError("sched_budget must be >= 1")
+        if self.machine is not None:
+            from repro.machines.presets import machine_by_name
+
+            machine_by_name(self.machine)  # raises on unknown names
 
 
 @dataclass
@@ -121,6 +144,17 @@ class SLMSResult:
     # the schedule validator refuse to unify a rename of one scalar
     # against an occurrence of another.
     renames: Dict[str, str] = field(default_factory=dict)
+    # Scheduling-backend report (docs/SCHEDULERS.md): which backend
+    # placed the MIs, the resMII floor (when a machine was given), the
+    # identity II the paper's search found, and — for non-default
+    # backends — whether the II was proven optimal, the search size,
+    # and the placement permutation applied to final_mis.
+    scheduler: str = "heuristic"
+    res_mii: Optional[int] = None
+    heuristic_ii: Optional[int] = None
+    sched_proven: Optional[bool] = None
+    sched_nodes: int = 0
+    sched_order: List[int] = field(default_factory=list)
 
     @staticmethod
     def declined(reason: str, **kwargs) -> "SLMSResult":
@@ -342,6 +376,35 @@ def slms_for_loop(
                 filter_verdict=verdict,
             )
 
+    # ---- pluggable placement refinement (docs/SCHEDULERS.md) -------------
+    # The II search above IS the paper's scheduler (identity placement);
+    # a non-default backend may now find a better placement for the same
+    # MI partition.  Reordering the MI list realises the permutation —
+    # every downstream pass and the validator key off list position —
+    # and is sequentially sound because the backend enforced every
+    # distance-0 dependence direction.
+    heuristic_ii = ii
+    backend = get_scheduler(
+        options.scheduler, budget_nodes=options.sched_budget
+    )
+    floor = 1
+    if info.trip_count is not None and info.trip_count > 0:
+        # A lower II would push the stage count past the trip count and
+        # trip the emission guard, so never search below this.
+        floor = max(1, -(-len(mis) // info.trip_count))
+    sched = backend.refine(graph, heuristic_ii, min_ii=floor)
+    if not sched.is_identity:
+        mis = [mis[m] for m in sched.order]
+        graph = build_ddg(mis, info)
+    ii = sched.ii
+
+    res_mii = None
+    if options.machine is not None:
+        from repro.core.schedulers import resource_mii
+        from repro.machines.presets import machine_by_name
+
+        res_mii = resource_mii(mis, machine_by_name(options.machine), types)
+
     # Recurrence MII for the report: the difMin iterative-shortest-path
     # form (§3.6) — polynomial, unlike cycle enumeration, so dense
     # scalar-dependence graphs cannot blow up the driver.
@@ -356,6 +419,28 @@ def slms_for_loop(
             n_mis=len(mis),
             decompositions=decompositions,
         )
+        if options.scheduler != "heuristic":
+            tracer.event(
+                "sched.decision",
+                backend=sched.backend,
+                ii=sched.ii,
+                heuristic_ii=heuristic_ii,
+                proven=sched.proven_optimal,
+                exhausted=sched.exhausted,
+                nodes=sched.nodes,
+                reordered=not sched.is_identity,
+            )
+
+    sched_report = dict(
+        scheduler=options.scheduler,
+        res_mii=res_mii,
+        heuristic_ii=heuristic_ii,
+        sched_proven=(
+            sched.proven_optimal if options.scheduler != "heuristic" else None
+        ),
+        sched_nodes=sched.nodes,
+        sched_order=list(sched.order),
+    )
 
     # ---- step 6: expansion choice + emission --------------------------------
     expansion = options.expansion
@@ -398,6 +483,7 @@ def slms_for_loop(
                 renames={
                     name: p.var for p in mve.plans for name in p.names
                 },
+                **sched_report,
             )
         # fall through to plain schedule when nothing needs rotation
         expansion = "none" if expansion == "auto" else expansion
@@ -434,6 +520,7 @@ def slms_for_loop(
             partition=partition,
             final_mis=[m.clone() for m in mis],
             renames={p.array: p.var for p in expanded.plans},
+            **sched_report,
         )
 
     if expansion == "mve" and not literal_bounds:
@@ -472,4 +559,5 @@ def slms_for_loop(
         ddg=graph,
         partition=partition,
         final_mis=[m.clone() for m in mis],
+        **sched_report,
     )

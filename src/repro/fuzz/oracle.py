@@ -19,6 +19,12 @@ the same untransformed *reference interpreter* run:
    not change meaning: reversing a loop twice then pipelining behaves
    like pipelining alone, and unrolling before SLMS behaves like SLMS
    alone.
+5. **scheduler** (opt-in, ``--oracle-scheduler``) — the exact
+   branch-and-bound backend must agree with the heuristic on every
+   apply/decline verdict, never produce a larger II (its refine search
+   falls back to the heuristic's placement), pass the V2xx validator on
+   everything it applies, and preserve semantics bit-exactly.  Any
+   violation is a ``scheduler-divergence``.
 
 Verdicts are deterministic functions of ``(case, OracleConfig)``: the
 randomized stores derive from the case seed via ``numpy``'s counter
@@ -62,6 +68,8 @@ FAILURE_CLASSES: Tuple[str, ...] = (
     "backend-differential",    # compiled LIR diverges from reference
     "ir-invariant",            # V21x cross-phase IR invariant violated
     "validator-disagreement",  # V2xx validator and oracle disagree
+    "scheduler-divergence",    # exact backend loses to / disagrees with
+                               # the heuristic, or breaks validation
     "metamorphic-reversal",    # reversal o reversal then SLMS diverges
     "metamorphic-unroll",      # unroll then SLMS diverges
 )
@@ -90,6 +98,10 @@ class OracleConfig:
     # n_envs separate passes; verdict-neutral (divergent control flow
     # falls back to per-env replay automatically).
     batch_envs: bool = True
+    # Differential scheduler oracle (layer 5): re-run SLMS with the
+    # exact branch-and-bound backend and compare against the heuristic.
+    scheduler_oracle: bool = False
+    sched_budget: int = 50_000
 
     def to_dict(self) -> Dict[str, Any]:
         return asdict(self)
@@ -426,6 +438,13 @@ def _run_case_inner(case: FuzzCase, config: OracleConfig) -> CaseOutcome:
             + ", ".join(outcome.validator_codes),
         )
 
+    # ---- differential scheduler oracle -----------------------------------
+    if config.scheduler_oracle:
+        outcome.checks_run.append("scheduler")
+        problem = _scheduler_check(program, result, envs, refs, config)
+        if problem:
+            return fail("scheduler-divergence", problem)
+
     # ---- backend differential --------------------------------------------
     if config.backend:
         outcome.checks_run.append("backend")
@@ -473,6 +492,83 @@ def _lint_covers_trap(program: Program, array: str) -> str:
         f"lint did not flag any subscript of {array!r} "
         f"(bounds findings present: {flagged or 'none'})"
     )
+
+
+def _scheduler_check(
+    program: Program,
+    heuristic: ProgramSLMSResult,
+    envs: List[Dict[str, Any]],
+    refs: List[Dict[str, Any]],
+    config: OracleConfig,
+) -> str:
+    """Empty string when the exact backend agrees with the heuristic.
+
+    The refine architecture makes four properties structural; each one
+    is re-checked dynamically here so a regression in the scheduler
+    surfaces as its own failure class:
+
+    * both backends attempt the same loops and reach the same
+      apply/decline verdicts (exact refines placement only, it never
+      changes the decomposition or the filter path);
+    * on every applied loop ``exact II ≤ heuristic II`` (identity at
+      the heuristic's II is the refine fallback);
+    * the exact placement passes the V2xx schedule validator;
+    * the exact-scheduled program is bit-identical to the reference.
+    """
+    try:
+        exact = slms(
+            program.clone(),
+            SLMSOptions(
+                verify=True,
+                scheduler="exact",
+                sched_budget=config.sched_budget,
+            ),
+        )
+    except Exception as exc:
+        return f"exact slms raised {type(exc).__name__}: {exc}"
+
+    if len(exact.loops) != len(heuristic.loops):
+        return (
+            f"backends attempted different loop counts: heuristic "
+            f"{len(heuristic.loops)}, exact {len(exact.loops)}"
+        )
+    for idx, (h, e) in enumerate(zip(heuristic.loops, exact.loops)):
+        if h.applied != e.applied:
+            return (
+                f"loop {idx}: verdict mismatch — heuristic "
+                f"{'applied' if h.applied else f'declined ({h.reason})'}, "
+                f"exact "
+                f"{'applied' if e.applied else f'declined ({e.reason})'}"
+            )
+        if not h.applied:
+            continue
+        if e.ii > h.ii:
+            return (
+                f"loop {idx}: exact II {e.ii} exceeds heuristic II {h.ii}"
+            )
+    exact_codes = sorted(
+        {
+            d.code
+            for r in exact.loops
+            for d in r.diagnostics
+            if d.severity == "error"
+        }
+    )
+    if exact_codes:
+        return (
+            "exact placement fails validation: " + ", ".join(exact_codes)
+        )
+
+    outs = _program_outcomes(
+        exact.program, envs, config.max_steps, config.batch_envs
+    )
+    for j, out in enumerate(outs):
+        if isinstance(out, InterpError):
+            return f"exact/env{j}: transformed program raised: {out}"
+        problem = _divergence(refs[j], out, f"exact/env{j}")
+        if problem:
+            return problem
+    return ""
 
 
 def _backend_check(

@@ -99,3 +99,22 @@ class MachineModel:
 def resource_usage(op_class: str) -> str:
     """Identity helper kept for symmetry; op classes map 1:1 to pools."""
     return op_class
+
+
+def res_mii_for_counts(machine: MachineModel, counts: Mapping[str, int]) -> int:
+    """Resource-constrained MII for a per-iteration op-class census.
+
+    ``max over classes ⌈uses/units⌉``, plus the total-issue bound
+    ``⌈Σ uses / issue_width⌉``.  Branches ride the loop back-edge slot
+    and are excluded.  Shared by the machine-level ``backend/ims.py``
+    (counting LIR instructions) and the source-level
+    ``core/schedulers`` resMII (counting MI operations).
+    """
+    best = 1
+    total = 0
+    for cls, count in counts.items():
+        if cls == "branch" or count <= 0:
+            continue
+        total += count
+        best = max(best, -(-count // max(1, machine.unit_count(cls))))
+    return max(best, -(-total // max(1, machine.issue_width)))

@@ -36,7 +36,8 @@ def _compare(workload, options):
                 f"{tag}: reason {adv.reason!r} != {res.reason!r}"
             )
         if res.applied:
-            for field in ("ii", "stages", "expansion", "unroll"):
+            for field in ("ii", "stages", "expansion", "unroll",
+                          "res_mii", "heuristic_ii", "sched_proven"):
                 want = getattr(res, field)
                 got = getattr(adv, field)
                 if got != want:
@@ -64,10 +65,13 @@ class TestAdvisorAgreement:
             SLMSOptions(force=True),
             SLMSOptions(enable_filter=False, max_unroll=2),
             SLMSOptions(max_decompositions=0),
+            SLMSOptions(scheduler="exact"),
+            SLMSOptions(scheduler="exact", machine="itanium2"),
         ],
         ids=[
             "mve", "scalar", "none", "force",
             "nofilter-unroll2", "nodecomp",
+            "exact", "exact-itanium2",
         ],
     )
     def test_option_sweeps_exact(self, options):

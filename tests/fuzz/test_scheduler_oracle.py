@@ -1,0 +1,171 @@
+"""The differential scheduler oracle (layer 5, ``--oracle-scheduler``).
+
+The exact backend must agree with the heuristic on every verdict,
+never produce a larger II, validate, and preserve semantics; a seeded
+tampering hook proves each violation lands in the
+``scheduler-divergence`` failure class, and a pinned 500-case batch
+(slow tier) sweeps the generator's profiles with the oracle on.
+"""
+
+import pytest
+
+import repro.fuzz.oracle as oracle_mod
+from repro.fuzz.generator import FuzzCase
+from repro.fuzz.oracle import (
+    FAILURE_CLASSES,
+    OracleConfig,
+    run_case,
+)
+from repro.fuzz.session import FuzzSessionConfig, run_fuzz_session
+
+GOOD = """\
+float A[64];
+float B[64];
+int i;
+for (i = 1; i < 64; i++) {
+    A[i] = A[i - 1] * 0.5 + B[i];
+    B[i] = B[i] + 2.0;
+}
+"""
+
+# The crafted gap loop: heuristic II=2 (flow edge MI1 -> MI0 at
+# distance 1), exact II=1 after reordering to [1, 0, 2].
+GAP = """\
+float x[100];
+float y[100];
+float z[100];
+float w[100];
+float u[100];
+int i;
+for (i = 0; i < 100; i++) {
+    y[i] = 0.125 * i;
+    z[i] = 0.25 * i;
+    u[i] = 0.5 * i;
+    x[i] = 0.0;
+    w[i] = 0.0;
+}
+for (i = 1; i < 100; i = i + 1) {
+    x[i] = y[i - 1] + 1.0;
+    y[i] = z[i] * 2.0;
+    w[i] = u[i] + 3.0;
+}
+"""
+
+CONFIG = OracleConfig(
+    backend=False, metamorphic=False, scheduler_oracle=True
+)
+
+
+def _case(source, seed=5):
+    return FuzzCase.from_source(source, seed=seed)
+
+
+class TestOracleConfig:
+    def test_failure_class_registered(self):
+        assert "scheduler-divergence" in FAILURE_CLASSES
+        # More severe than the metamorphic classes, less than validator.
+        assert FAILURE_CLASSES.index(
+            "scheduler-divergence"
+        ) > FAILURE_CLASSES.index("validator-disagreement")
+
+    def test_config_roundtrips_and_defaults_off(self):
+        assert OracleConfig().scheduler_oracle is False
+        payload = CONFIG.to_dict()
+        assert payload["scheduler_oracle"] is True
+        assert OracleConfig(**payload) == CONFIG
+
+
+class TestSchedulerLayer:
+    def test_good_case_passes_with_layer_on(self):
+        outcome = run_case(_case(GOOD), CONFIG)
+        assert outcome.status == "ok", outcome.detail
+        assert "scheduler" in outcome.checks_run
+
+    def test_layer_off_by_default(self):
+        outcome = run_case(
+            _case(GOOD), OracleConfig(backend=False, metamorphic=False)
+        )
+        assert outcome.status == "ok"
+        assert "scheduler" not in outcome.checks_run
+
+    def test_exact_win_still_passes_the_oracle(self):
+        # A genuine II improvement (gap loop) is not a divergence: the
+        # invariant is exact <= heuristic, and semantics must match.
+        outcome = run_case(_case(GAP), CONFIG)
+        assert outcome.status == "ok", outcome.detail
+
+    def test_larger_exact_ii_is_scheduler_divergence(self, monkeypatch):
+        real_slms = oracle_mod.slms
+
+        def lying(program, options):
+            result = real_slms(program, options)
+            if options.scheduler == "exact":
+                for loop in result.loops:
+                    if loop.applied:
+                        loop.ii = loop.ii + 7
+            return result
+
+        monkeypatch.setattr(oracle_mod, "slms", lying)
+        outcome = run_case(_case(GOOD), CONFIG)
+        assert outcome.failure_class == "scheduler-divergence"
+        assert "exceeds heuristic II" in outcome.detail
+
+    def test_verdict_mismatch_is_scheduler_divergence(self, monkeypatch):
+        real_slms = oracle_mod.slms
+
+        def declining(program, options):
+            result = real_slms(program, options)
+            if options.scheduler == "exact":
+                for loop in result.loops:
+                    if loop.applied:
+                        loop.applied = False
+                        loop.reason = "tampered"
+            return result
+
+        monkeypatch.setattr(oracle_mod, "slms", declining)
+        outcome = run_case(_case(GOOD), CONFIG)
+        assert outcome.failure_class == "scheduler-divergence"
+        assert "verdict mismatch" in outcome.detail
+
+    def test_exact_crash_is_scheduler_divergence(self, monkeypatch):
+        real_slms = oracle_mod.slms
+
+        def exploding(program, options):
+            if options.scheduler == "exact":
+                raise RuntimeError("boom")
+            return real_slms(program, options)
+
+        monkeypatch.setattr(oracle_mod, "slms", exploding)
+        outcome = run_case(_case(GOOD), CONFIG)
+        assert outcome.failure_class == "scheduler-divergence"
+        assert "exact slms raised" in outcome.detail
+
+
+class TestSessionIntegration:
+    def test_small_session_is_clean_and_deterministic(self):
+        config = FuzzSessionConfig(
+            master_seed=23, iterations=20, oracle=CONFIG
+        )
+        first = run_fuzz_session(config)
+        second = run_fuzz_session(config)
+        assert not first.failures, [
+            (f.failure_class, f.detail) for f in first.failures
+        ]
+        assert first.to_json() == second.to_json()
+        assert first.oracle["scheduler_oracle"] is True
+
+
+@pytest.mark.slow
+@pytest.mark.fuzz
+def test_pinned_500_case_scheduler_batch():
+    """The satellite's seed-pinned sweep: 500 generated cases through
+    the scheduler oracle (source layers only, for wall-clock) must be
+    divergence-free."""
+    config = FuzzSessionConfig(
+        master_seed=1016, iterations=500, oracle=CONFIG
+    )
+    report = run_fuzz_session(config)
+    assert report.iterations == 500
+    assert not report.failures, [
+        (f.failure_class, f.seed, f.detail) for f in report.failures
+    ]
