@@ -88,13 +88,27 @@ Subcommands
     regression; ``bench-export`` emits a BENCH-schema history entry
     from a sweep ledger record.
 
+``slms serve``
+    The long-running compilation service (``docs/SERVING.md``): JSON
+    protocol ``slms-serve/1`` over HTTP, request coalescing through
+    the content-addressed experiment key, bounded admission with 429
+    shedding, per-request timeouts/retry via the fault layer, poison-
+    request quarantine, ``/healthz`` + ``/statsz``, and SIGTERM
+    draining.  ``slms serve-bench`` is the concurrent-client load
+    harness (writes ``BENCH_serve.json``).
+
 Bad input never produces a traceback, and exit codes are uniform
 across subcommands: **0** success, **1** failures (failed experiments,
 fuzz findings, ``check`` errors, or an internal error — set
 ``SLMS_DEBUG=1`` for the traceback), **2** usage/input errors (bad
 flags, unknown names, ``file:line:col: error: …`` frontend
-diagnostics), **130** on Ctrl-C (with a note that checkpointed partial
-results can be resumed via ``--resume``).
+diagnostics), **130** on Ctrl-C and **143** on SIGTERM (both with a
+note that checkpointed partial results can be resumed via
+``--resume``).
+
+Every user-facing operation is a thin rendering shell over
+:class:`repro.serve.session.Session` — the same request→response API
+the server dispatches to — so CLI and service behavior cannot drift.
 """
 
 from __future__ import annotations
@@ -112,20 +126,23 @@ def _read_source(path: str) -> str:
 
 
 def _cmd_transform(args: argparse.Namespace) -> int:
-    from repro import SLMSOptions, slms, to_source
+    from repro import to_source
+    from repro.serve.session import Session, options_from_params
 
     source = _read_source(args.file)
-    options = SLMSOptions(
-        enable_filter=not args.no_filter,
-        force=args.force,
-        expansion=args.expansion,
-        reduction_lanes=args.reduction_lanes,
-        allow_reassociation=args.allow_reassociation,
-        scheduler=args.scheduler,
-        sched_budget=args.sched_budget,
-        machine=args.machine,
+    options = options_from_params(
+        {
+            "enable_filter": not args.no_filter,
+            "force": args.force,
+            "expansion": args.expansion,
+            "reduction_lanes": args.reduction_lanes,
+            "allow_reassociation": args.allow_reassociation,
+            "scheduler": args.scheduler,
+            "sched_budget": args.sched_budget,
+            "machine": args.machine,
+        }
     )
-    outcome = slms(source, options)
+    outcome = Session().compile_outcome(source, options)
     style = "paper" if args.paper else "c"
     print(to_source(outcome.program, style=style))
     if args.report:
@@ -302,20 +319,20 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 def _cmd_advise(args: argparse.Namespace) -> int:
     """Static SLMS applicability report: predicted verdict, recMII floor,
     and actionable suggestions — without running the scheduler."""
-    from repro.core.advisor import advise_program, render_advice
-    from repro.core.slms import SLMSOptions
-    from repro.lang.parser import parse_program
+    from repro.core.advisor import render_advice
+    from repro.serve.session import Session, options_from_params
 
     source = _read_source(args.file)
-    program = parse_program(source)
-    options = SLMSOptions(
-        enable_filter=not args.no_filter,
-        force=args.force,
-        scheduler=args.scheduler,
-        machine=args.machine,
+    options = options_from_params(
+        {
+            "enable_filter": not args.no_filter,
+            "force": args.force,
+            "scheduler": args.scheduler,
+            "machine": args.machine,
+        }
     )
     with _Observed(args):
-        advices = advise_program(program, options)
+        advices = Session().advise_objects(source, options)
 
     if args.json:
         print(
@@ -482,12 +499,11 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from repro.harness.experiment import run_experiment
-    from repro.workloads import get_workload
+    from repro.serve.session import Session
 
     with _Observed(args):
-        res = run_experiment(
-            get_workload(args.workload), args.machine, args.compiler
+        res = Session().bench_result(
+            args.workload, args.machine, args.compiler
         )
     print(f"workload:  {res.workload} ({res.suite})")
     print(f"machine:   {res.machine}   compiler: {res.compiler}")
@@ -525,7 +541,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    from repro.harness.sweep import bench_record, run_sweep
+    from repro.harness.sweep import bench_record
+    from repro.serve.session import Session, SessionConfig
     from repro.workloads import by_suite
 
     workloads = list(args.workloads)
@@ -542,13 +559,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 )
             pairs.append((machine, compiler))
 
+    session = Session(
+        SessionConfig(use_cache=not args.no_cache, workers=args.workers)
+    )
     journal_path = args.resume or args.journal
     with _Observed(args):
-        sweep = run_sweep(
-            workloads or None,
-            pairs=pairs,
-            workers=args.workers,
-            use_cache=not args.no_cache,
+        sweep = session.sweep_result(
+            {"workloads": workloads, "pairs": pairs},
             task_timeout_s=args.timeout,
             journal_path=journal_path,
             resume=bool(args.resume),
@@ -610,19 +627,17 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             handle.write("\n")
 
     if stats is not None:
-        import hashlib
-
         from repro.obs import entry_from_stats, profile_results
+        from repro.serve.session import sweep_digest
 
         try:
             folded = profile_results(sweep.results)
         except Exception:
             folded = {}
         # Raw-bytes sha256 of to_json(): byte-comparable with the
-        # frozen result_digest_sha256 pinned in BENCH_sweep.json.
-        digest = hashlib.sha256(
-            sweep.to_json().encode("utf-8")
-        ).hexdigest()
+        # frozen result_digest_sha256 pinned in BENCH_sweep.json (and
+        # with the digest the serve layer reports for the same sweep).
+        digest = sweep_digest(sweep)
         _ledger_append(
             entry_from_stats(
                 "sweep",
@@ -660,36 +675,27 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 def _cmd_trace(args: argparse.Namespace) -> int:
     """One traced workload comparison: the introspection entry point."""
-    from repro.harness.experiment import run_experiment
     from repro.obs import (
-        MetricsRegistry,
-        Tracer,
         format_metrics,
-        metrics_scope,
         render_trace,
-        tracing,
         write_chrome_trace,
         write_json_trace,
     )
-    from repro.workloads import get_workload
+    from repro.serve.session import Session
 
-    workload = get_workload(args.workload)
     # Deliberately bypasses the engine cache: a trace of a cache lookup
     # would show none of the decisions the user is here to see.
-    with tracing(Tracer()) as tracer, metrics_scope(MetricsRegistry()) as reg:
-        res = run_experiment(
-            workload, args.machine, args.compiler, verify=not args.no_verify
-        )
-    trace = tracer.to_dict()
-    metrics = reg.to_dict()
+    res, trace, metrics = Session().trace_result(
+        args.workload, args.machine, args.compiler,
+        verify=not args.no_verify,
+    )
     if args.trace_out:
         write_json_trace(trace, args.trace_out)
     if args.chrome_out:
         write_chrome_trace(trace, args.chrome_out)
 
-    from repro.obs import make_entry, result_payload
+    from repro.obs import make_entry
 
-    timing = result_payload(res)
     _ledger_append(
         make_entry(
             "trace",
@@ -711,26 +717,9 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         )
     )
     if args.json:
-        print(
-            json.dumps(
-                {
-                    "workload": res.workload,
-                    "machine": res.machine,
-                    "compiler": res.compiler,
-                    "slms_applied": res.slms_applied,
-                    "slms_reason": res.slms_reason,
-                    "ii": res.ii,
-                    "speedup": round(res.speedup, 6),
-                    # Symmetric timing shape: both keys always present
-                    # (a cache hit would report phase_times={"cache":…}
-                    # and its original work under cached_phase_times).
-                    **timing,
-                    "trace": trace,
-                    "metrics": metrics,
-                },
-                indent=1,
-            )
-        )
+        from repro.serve.session import trace_payload
+
+        print(json.dumps(trace_payload(res, trace, metrics), indent=1))
         return 0
     print(f"== trace: {res.workload} on {res.machine}/{res.compiler} ==")
     print(render_trace(trace))
@@ -1052,6 +1041,117 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the long-lived compilation service (docs/SERVING.md)."""
+    from repro.harness.faults import FaultPlan
+    from repro.serve.server import ServeConfig, serve_forever
+    from repro.serve.session import SessionConfig
+
+    session = SessionConfig(
+        machine=args.machine,
+        compiler=args.compiler,
+        use_cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+        verify=not args.no_verify,
+    )
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        queue_limit=args.queue_limit,
+        timeout_s=args.timeout if args.timeout and args.timeout > 0 else None,
+        crash_strikes=args.crash_strikes,
+        isolation=not args.no_isolation,
+        fault_plan=FaultPlan.from_env(),
+        session=session,
+        enable_sleep=args.enable_sleep,
+        trace_out=args.trace_out,
+    )
+    return serve_forever(config)
+
+
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    """Concurrent-client load harness over in-process servers."""
+    from repro.serve.loadgen import run_serve_bench
+
+    record = run_serve_bench(
+        out_path=args.out,
+        clients=args.clients,
+        per_client=args.requests,
+        chaos=not args.no_chaos,
+        full=args.full,
+        sweep_workers=args.sweep_workers,
+        cache_dir=args.cache_dir,
+    )
+
+    from repro.obs import make_entry
+
+    _ledger_append(
+        make_entry(
+            "serve",
+            record["label"],
+            config={
+                "clients": args.clients,
+                "requests_per_client": args.requests,
+                "chaos": not args.no_chaos,
+                "full": args.full,
+            },
+            result_digest=(
+                record.get("digest_phase", {}).get("result_digest_sha256")
+            ),
+            experiments=record["latency_phase"]["requests"],
+            wall_s=record["latency_phase"]["wall_s"],
+            latency=record["latency"],
+            faults={
+                "shed": record["shed_count"],
+                "chaos_failed": record.get("chaos_phase", {}).get(
+                    "failed", 0
+                ),
+            },
+            extra={"throughput_rps": record["throughput_rps"],
+                   "coalesce_rate": record["coalesce_rate"]},
+        )
+    )
+    print(
+        f"serve-bench: {record['latency_phase']['requests']} requests, "
+        f"p50={record['latency']['p50']:.3f}s "
+        f"p99={record['latency']['p99']:.3f}s "
+        f"{record['throughput_rps']:.1f} req/s, "
+        f"coalesce_rate={record['coalesce_rate']:.2f}, "
+        f"shed={record['shed_count']}"
+    )
+    if args.expect_digest:
+        got = record.get("digest_phase", {}).get("result_digest_sha256")
+        if got != args.expect_digest:
+            print(
+                f"error: served sweep digest {got} != expected "
+                f"{args.expect_digest}",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"# served sweep digest matches {got[:16]}…")
+    return 0
+
+
+class _Terminated(BaseException):
+    """SIGTERM, surfaced as an exception for the exit-code boundary.
+
+    A ``BaseException`` (like ``KeyboardInterrupt``) so no library
+    ``except Exception`` handler can swallow a termination request.
+    """
+
+
+def _install_sigterm() -> None:
+    import signal
+
+    def raise_terminated(signum, frame):
+        raise _Terminated()
+
+    try:
+        signal.signal(signal.SIGTERM, raise_terminated)
+    except ValueError:  # pragma: no cover - not the main thread
+        pass
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="slms",
@@ -1309,6 +1409,75 @@ def main(argv: Optional[List[str]] = None) -> int:
                            help="write the slms-sched/1 report to PATH")
     s_compare.set_defaults(func=_cmd_sched)
 
+    p_serve = sub.add_parser(
+        "serve", help="long-running compilation service "
+        "(slms-serve/1; docs/SERVING.md)"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8787,
+                         help="listen port (0 = ephemeral; the bound "
+                         "URL is printed on startup)")
+    p_serve.add_argument("--queue-limit", type=int, default=16,
+                         metavar="N",
+                         help="max distinct in-flight requests before "
+                         "429 shedding (default 16)")
+    p_serve.add_argument("--timeout", type=float, default=120.0,
+                         metavar="SECS",
+                         help="per-request wall-clock limit "
+                         "(0 = unlimited; default 120)")
+    p_serve.add_argument("--crash-strikes", type=int, default=2,
+                         metavar="N",
+                         help="worker crashes before a request key is "
+                         "quarantined (default 2)")
+    p_serve.add_argument("--no-isolation", action="store_true",
+                         help="execute requests in-process (no real "
+                         "hang/crash containment; faster)")
+    p_serve.add_argument("--machine", default="itanium2",
+                         help="session default machine")
+    p_serve.add_argument("--compiler", default="gcc_O3",
+                         help="session default compiler preset")
+    p_serve.add_argument("--no-cache", action="store_true",
+                         help="bypass the experiment result cache")
+    p_serve.add_argument("--cache-dir", default=None)
+    p_serve.add_argument("--no-verify", action="store_true",
+                         help="skip the interpreter oracle on "
+                         "experiment requests")
+    p_serve.add_argument("--enable-sleep", action="store_true",
+                         help="expose the deterministic sleep debug op "
+                         "(load/chaos testing)")
+    p_serve.add_argument("--trace-out", metavar="PATH",
+                         help="write the per-request span trace on "
+                         "shutdown")
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_sbench = sub.add_parser(
+        "serve-bench", help="concurrent-client load harness for the "
+        "serving layer (writes BENCH_serve.json)"
+    )
+    p_sbench.add_argument("--clients", type=int, default=8, metavar="N",
+                          help="concurrent clients (default 8)")
+    p_sbench.add_argument("--requests", type=int, default=3, metavar="M",
+                          help="latency-phase requests per client "
+                          "(default 3)")
+    p_sbench.add_argument("--out", default="BENCH_serve.json",
+                          metavar="PATH",
+                          help="record path (default BENCH_serve.json)")
+    p_sbench.add_argument("--no-chaos", action="store_true",
+                          help="skip the injected crash+hang phase")
+    p_sbench.add_argument("--full", action="store_true",
+                          help="also run the whole-corpus sweep through "
+                          "the service and record its result digest")
+    p_sbench.add_argument("--sweep-workers", type=int, default=None,
+                          metavar="N",
+                          help="engine workers for the --full sweep")
+    p_sbench.add_argument("--cache-dir", default=None,
+                          help="experiment cache directory for the "
+                          "benchmark servers")
+    p_sbench.add_argument("--expect-digest", metavar="SHA256",
+                          help="fail unless the --full sweep digest "
+                          "matches (the frozen baseline check)")
+    p_sbench.set_defaults(func=_cmd_serve_bench)
+
     p_cache = sub.add_parser(
         "cache", help="experiment result cache maintenance"
     )
@@ -1333,7 +1502,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                           help="print the terminal view even when --html "
                           "is given")
     p_report.add_argument("--kind", choices=["sweep", "bench", "fuzz",
-                                             "trace"],
+                                             "trace", "serve"],
                           default=None,
                           help="restrict to one run kind (default: all)")
     p_report.add_argument("--limit", type=int, default=None, metavar="N",
@@ -1358,7 +1527,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "ledger", help="list recorded runs (newest last)"
     )
     o_ledger.add_argument("--kind", choices=["sweep", "bench", "fuzz",
-                                             "trace"],
+                                             "trace", "serve"],
                           default=None)
     o_ledger.add_argument("--limit", type=int, default=None, metavar="N")
     o_ledger.add_argument("--verify", action="store_true",
@@ -1379,7 +1548,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="compare NEW against a BENCH_sweep.json "
                         "trajectory instead of another entry")
     o_diff.add_argument("--kind", choices=["sweep", "bench", "fuzz",
-                                           "trace"],
+                                           "trace", "serve"],
                         default=None,
                         help="entry kind to resolve refs against "
                         "(default sweep)")
@@ -1417,10 +1586,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     from repro.lang.errors import FrontendError
 
+    # SIGTERM gets the same graceful treatment as Ctrl-C (exit 143 and
+    # a resume hint instead of a raw traceback); ``slms serve``
+    # installs its own draining handler on top of this one.
+    _install_sigterm()
+
     # Top-level exception boundary: no subcommand ever dumps a raw
     # traceback, and exit codes are uniform — 0 ok, 1 failures/internal
     # error, 2 usage or input error (argparse's own convention), 130
-    # interrupted.  SLMS_DEBUG=1 re-raises for debugging.
+    # interrupted, 143 terminated.  SLMS_DEBUG=1 re-raises for
+    # debugging.
     try:
         return args.func(args)
     except KeyboardInterrupt:
@@ -1430,6 +1605,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             file=sys.stderr,
         )
         return 130
+    except _Terminated:
+        print(
+            "\nterminated (SIGTERM); partial results may have been "
+            "checkpointed (re-run with --resume to continue)",
+            file=sys.stderr,
+        )
+        return 143
     except FrontendError as exc:
         path = getattr(args, "file", None)
         print(exc.format(path), file=sys.stderr)

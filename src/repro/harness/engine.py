@@ -414,6 +414,7 @@ def run_experiments(
     task_timeout_s: Optional[float] = None,
     journal_path: Optional[str] = None,
     resume: Optional[bool] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> Tuple[List[ExperimentResult], EngineStats]:
     """Run every spec; returns results in spec order plus stats.
 
@@ -445,6 +446,8 @@ def run_experiments(
         overrides["journal_path"] = journal_path
     if resume is not None:
         overrides["resume"] = resume
+    if fault_plan is not None:
+        overrides["fault_plan"] = fault_plan
     if overrides:
         base = replace(base, **overrides)
 

@@ -128,6 +128,26 @@ def experiment_key(
     return _digest(payload)
 
 
+def request_key(op: str, params: Any, context: Any = None) -> str:
+    """Content hash identifying one serve-layer request.
+
+    The serve layer (docs/SERVING.md) coalesces concurrent identical
+    requests through this key: same (op, params, session context) →
+    same key → one execution.  ``params`` and ``context`` go through
+    the same canonicalisation as the experiment keys, so dataclasses,
+    dicts, and nested lists all hash stably.
+    """
+    return _digest(
+        {
+            "tier": "request",
+            "engine": ENGINE_VERSION,
+            "op": str(op),
+            "params": _jsonable(params),
+            "context": _jsonable(context),
+        }
+    )
+
+
 # -- per-phase keys ------------------------------------------------------
 def transform_key(workload: Workload, options: Optional[SLMSOptions]) -> str:
     """The transform tier reads only the sources and the options."""

@@ -250,11 +250,12 @@ def is_failed(result: Any) -> bool:
 
 #: Ops a :class:`FaultRule` can perform.  ``crash``/``hang``/
 #: ``transient``/``fail``/``oom`` fire inside the task; ``corrupt-cache``
-#: (mangle the entry the task just cached) and ``abort`` (kill the
-#: *parent* after N completions, simulating SIGKILL mid-sweep) are
-#: applied by the engine on the parent side.
+#: (mangle the entry the task just cached), ``abort`` (kill the
+#: *parent* after N completions, simulating SIGKILL mid-sweep) and
+#: ``reject`` (shed the request at admission, before any worker runs)
+#: are applied by the dispatching layer on the parent side.
 PLAN_OPS = ("crash", "hang", "transient", "fail", "oom",
-            "corrupt-cache", "abort")
+            "corrupt-cache", "abort", "reject")
 
 _DEFAULT_TIMES = {"transient": 1, "hang": 1}  # others: every attempt
 
@@ -378,6 +379,10 @@ class FaultPlan:
                 return rule.index
         return None
 
+    def reject_indices(self) -> frozenset:
+        """Admission-side shed points: requests refused before dispatch."""
+        return frozenset(r.index for r in self.rules if r.op == "reject")
+
     def apply(self, index: int, attempt: int, in_process: bool = False):
         """Fire any in-task rules for (task ``index``, ``attempt``).
 
@@ -388,7 +393,9 @@ class FaultPlan:
         :class:`TaskError` instead of sleeping forever.
         """
         for rule in self.rules:
-            if rule.index != index or rule.op in ("corrupt-cache", "abort"):
+            if rule.index != index or rule.op in (
+                "corrupt-cache", "abort", "reject",
+            ):
                 continue
             if rule.times and attempt >= rule.times:
                 continue
@@ -515,6 +522,10 @@ def _call(fn, arg, index, attempt, plan, traced, in_process):
     except KeyboardInterrupt:
         raise
     except BaseException as exc:
+        if in_process and not isinstance(exc, Exception):
+            # SIGTERM (the CLI's _Terminated), SystemExit, …: these must
+            # unwind the host process, not be classified as task faults.
+            raise
         return ("err", _error_info(exc), None, None)
 
 

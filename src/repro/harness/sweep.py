@@ -17,7 +17,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.core.slms import SLMSOptions
 from repro.harness.engine import EngineStats, ExperimentSpec, run_experiments
 from repro.harness.experiment import ExperimentResult
-from repro.harness.faults import FailedResult, is_failed
+from repro.harness.faults import FailedResult, FaultPlan, is_failed
 from repro.machines.presets import ALL_MACHINES, machine_by_name
 from repro.backend.compiler import COMPILER_PRESETS
 from repro.workloads import all_workloads, get_workload
@@ -161,6 +161,7 @@ def run_sweep(
     task_timeout_s: Optional[float] = None,
     journal_path: Optional[str] = None,
     resume: Optional[bool] = None,
+    fault_plan: Optional["FaultPlan"] = None,
 ) -> SweepResult:
     """Run every workload on every (machine, compiler) pair.
 
@@ -205,6 +206,7 @@ def run_sweep(
         task_timeout_s=task_timeout_s,
         journal_path=journal_path,
         resume=resume,
+        fault_plan=fault_plan,
     )
     return SweepResult(
         results=[r for r in results if not is_failed(r)],

@@ -53,7 +53,7 @@ from typing import Any, Dict, Iterable, List, Mapping, Optional
 LEDGER_SCHEMA = "slms-ledger/1"
 
 #: The run kinds a ledger entry may carry.
-LEDGER_KINDS = ("sweep", "bench", "fuzz", "trace")
+LEDGER_KINDS = ("sweep", "bench", "fuzz", "trace", "serve")
 
 
 def default_ledger_dir() -> Path:

@@ -1,0 +1,50 @@
+"""The serving layer: ``slms serve`` / ``slms serve-bench``.
+
+Turns the one-shot CLI into an always-on compilation service
+(docs/SERVING.md).  The package splits into:
+
+:mod:`repro.serve.session`
+    The :class:`Session` request→response API shared by the CLI and
+    the server, so the two entry points cannot drift.
+
+:mod:`repro.serve.server`
+    A zero-dependency HTTP server (stdlib ``http.server``, JSON
+    protocol ``slms-serve/1``) with request coalescing, bounded
+    admission, per-request timeouts/retry via the fault layer,
+    poison-request quarantine, and SIGTERM draining.
+
+:mod:`repro.serve.client`
+    A tiny stdlib client (``urllib``) used by the load harness, the
+    CI smoke job, and the tests.
+
+:mod:`repro.serve.loadgen`
+    The concurrent-client load harness behind ``slms serve-bench``
+    (produces ``BENCH_serve.json``).
+"""
+
+from repro.serve.session import (  # noqa: F401
+    RequestError,
+    Session,
+    SessionConfig,
+    sweep_digest,
+)
+from repro.serve.server import (  # noqa: F401
+    SERVE_SCHEMA,
+    ServeConfig,
+    SlmsServer,
+    serve_forever,
+)
+from repro.serve.client import ServeClient, ServeError  # noqa: F401
+
+__all__ = [
+    "RequestError",
+    "Session",
+    "SessionConfig",
+    "sweep_digest",
+    "SERVE_SCHEMA",
+    "ServeConfig",
+    "SlmsServer",
+    "serve_forever",
+    "ServeClient",
+    "ServeError",
+]

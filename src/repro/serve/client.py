@@ -1,0 +1,88 @@
+"""Minimal stdlib client for the ``slms-serve/1`` protocol.
+
+Used by the load harness (:mod:`repro.serve.loadgen`), the CI smoke
+job, and the tests.  One :class:`ServeClient` is cheap and
+thread-safe; concurrent callers just share the base URL (each request
+opens its own connection).
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Optional, Tuple
+
+
+class ServeError(RuntimeError):
+    """A non-200 response, carrying the structured envelope."""
+
+    def __init__(self, status: int, envelope: Dict[str, Any]):
+        self.status = status
+        self.envelope = envelope
+        error = envelope.get("error") or {}
+        super().__init__(
+            f"HTTP {status}: [{error.get('kind', 'unknown')}] "
+            f"{error.get('message', '')}"
+        )
+
+    @property
+    def kind(self) -> str:
+        return (self.envelope.get("error") or {}).get("kind", "unknown")
+
+
+class ServeClient:
+    """``post``/``call`` against one server; raises only on transport."""
+
+    def __init__(self, base_url: str, timeout: Optional[float] = 300.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def _fetch(self, request) -> Tuple[int, Dict[str, Any]]:
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                return response.status, json.loads(response.read() or b"{}")
+        except urllib.error.HTTPError as exc:
+            # Non-2xx still carries the JSON envelope.
+            try:
+                payload = json.loads(exc.read() or b"{}")
+            except ValueError:
+                payload = {"ok": False,
+                           "error": {"kind": "transport",
+                                     "message": str(exc)}}
+            return exc.code, payload
+
+    def get(self, path: str) -> Tuple[int, Dict[str, Any]]:
+        return self._fetch(
+            urllib.request.Request(self.base_url + path, method="GET")
+        )
+
+    def post(
+        self, op: str, params: Optional[Dict[str, Any]] = None
+    ) -> Tuple[int, Dict[str, Any]]:
+        """(status, envelope) for one ``POST /v1/<op>``; never raises
+        for protocol-level failures (400/429/500/503)."""
+        body = json.dumps(params or {}).encode("utf-8")
+        request = urllib.request.Request(
+            f"{self.base_url}/v1/{op}",
+            data=body,
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        return self._fetch(request)
+
+    def call(self, op: str, params: Optional[Dict[str, Any]] = None) -> Any:
+        """The ``result`` payload of a successful request, else raise
+        :class:`ServeError` with the structured envelope."""
+        status, envelope = self.post(op, params)
+        if status != 200 or not envelope.get("ok"):
+            raise ServeError(status, envelope)
+        return envelope["result"]
+
+    def healthz(self) -> Dict[str, Any]:
+        return self.get("/healthz")[1]
+
+    def statsz(self) -> Dict[str, Any]:
+        return self.get("/statsz")[1]

@@ -139,6 +139,21 @@ class TestFaultPlan:
         assert plan.needs_isolation()
         assert not FaultPlan.parse("fail:0;transient:1").needs_isolation()
 
+    def test_reject_round_trip_and_indices(self):
+        plan = FaultPlan.parse("reject:1;reject:4;crash:0")
+        assert plan.rules[0] == FaultRule("reject", 1)
+        assert FaultPlan.parse(plan.spec()) == plan
+        assert plan.reject_indices() == frozenset({1, 4})
+        assert FaultPlan.parse("crash:0").reject_indices() == frozenset()
+
+    def test_reject_is_admission_side_only(self):
+        # ``apply`` runs inside a worker; reject fires at admission,
+        # before dispatch, so the worker-side hook must ignore it.
+        plan = FaultPlan.parse("reject:0")
+        plan.apply(0, 0, in_process=True)
+        plan.apply(0, 0, in_process=False)
+        assert not plan.needs_isolation()
+
     def test_times_limits_attempts(self):
         plan = FaultPlan.parse("transient:0x2")
         for attempt in (0, 1):

@@ -1,0 +1,50 @@
+"""Serve-suite fixtures: ephemeral in-process servers."""
+
+import threading
+from contextlib import contextmanager
+
+import pytest
+
+from repro.serve.server import ServeConfig, SlmsServer
+from repro.serve.session import SessionConfig
+
+
+@pytest.fixture()
+def cache_dir(tmp_path, monkeypatch):
+    path = tmp_path / "cache"
+    monkeypatch.setenv("SLMS_CACHE_DIR", str(path))
+    return str(path)
+
+
+@pytest.fixture()
+def running_server(cache_dir):
+    """Factory context manager: ``with running_server(**cfg) as server``."""
+
+    @contextmanager
+    def factory(**overrides):
+        overrides.setdefault("port", 0)
+        overrides.setdefault("enable_sleep", True)
+        overrides.setdefault(
+            "session", SessionConfig(cache_dir=cache_dir)
+        )
+        server = SlmsServer(ServeConfig(**overrides))
+        thread = threading.Thread(
+            target=server.serve_forever, kwargs={"poll_interval": 0.02}
+        )
+        thread.start()
+        try:
+            yield server
+        finally:
+            server.shutdown()
+            thread.join(timeout=30)
+            server.server_close()
+
+    return factory
+
+
+SOURCE = """
+float A[64], B[64];
+float s = 0.0, t;
+for (i = 0; i < 64; i++) { A[i] = i; B[i] = 2.0; }
+for (i = 0; i < 64; i++) { t = A[i] * B[i]; s = s + t; }
+"""

@@ -1,0 +1,53 @@
+"""serve-bench load harness: record shape and phase guarantees."""
+
+from repro.serve.loadgen import BENCH_SCHEMA, run_serve_bench
+
+
+class TestServeBench:
+    def test_small_run_record(self, tmp_path, cache_dir):
+        out = tmp_path / "BENCH_serve.json"
+        record = run_serve_bench(
+            out_path=str(out),
+            clients=3,
+            per_client=1,
+            chaos=True,
+            cache_dir=cache_dir,
+            quiet=True,
+        )
+        assert record["schema"] == BENCH_SCHEMA
+        assert out.exists()
+
+        latency = record["latency_phase"]
+        assert latency["requests"] == 3
+        assert latency["latency"]["n"] == 3
+        assert latency["throughput_rps"] > 0
+        assert set(record["latency"]) >= {"p50", "p99", "mean"}
+
+        coalesce = record["coalesce_phase"]
+        assert coalesce["ok"] == 3
+        # Barrier-released identical requests: at least some must ride
+        # the leader (exact counts are timing-dependent on 1 CPU).
+        assert coalesce["executions"] + coalesce["coalesced"] == 3
+        assert coalesce["executions"] < 3
+
+        shed = record["shed_phase"]
+        assert shed["ok"] + shed["shed"] == shed["burst"]
+        assert shed["shed"] >= shed["burst"] - shed["queue_limit"] - 1
+        assert record["shed_count"] == shed["shed"]
+
+        chaos = record["chaos_phase"]
+        assert chaos["ok"] + chaos["failed"] == chaos["burst"]
+        assert chaos["failed"] == 2
+        assert chaos["failed_kinds"] == ["crash", "timeout"]
+
+    def test_no_chaos_skips_phase(self, tmp_path, cache_dir):
+        record = run_serve_bench(
+            out_path=None,
+            clients=2,
+            per_client=1,
+            chaos=False,
+            cache_dir=cache_dir,
+            quiet=True,
+        )
+        assert "chaos_phase" not in record
+        assert not (tmp_path / "BENCH_serve.json").exists()

@@ -1,0 +1,152 @@
+"""Session API: validation, payloads, and CLI parity."""
+
+import json
+
+import pytest
+
+from repro.serve.session import (
+    RequestError,
+    Session,
+    SessionConfig,
+    options_from_params,
+    sweep_digest,
+)
+from tests.serve.conftest import SOURCE
+
+
+class TestValidate:
+    def test_unknown_op(self):
+        with pytest.raises(RequestError, match="unknown op"):
+            Session().validate("frobnicate", {})
+
+    def test_unknown_param(self):
+        with pytest.raises(RequestError, match="unknown parameter"):
+            Session().validate("compile", {"source": "", "bogus": 1})
+
+    def test_missing_required(self):
+        with pytest.raises(RequestError, match="missing required"):
+            Session().validate("compile", {})
+
+    def test_bad_machine_name(self):
+        with pytest.raises(RequestError, match="unknown machine"):
+            Session().validate(
+                "bench", {"workload": "daxpy", "machine": "vax"}
+            )
+
+    def test_bad_sweep_pair(self):
+        with pytest.raises(RequestError, match="unknown compiler"):
+            Session().validate(
+                "sweep", {"pairs": [["itanium2", "tcc"]]}
+            )
+
+    def test_params_must_be_object(self):
+        with pytest.raises(RequestError, match="JSON object"):
+            Session().validate("compile", ["not", "a", "dict"])
+
+    def test_ok(self):
+        Session().validate("compile", {"source": SOURCE, "force": True})
+        Session().validate("sleep", {"seconds": 0.1})
+
+
+class TestOptions:
+    def test_maps_keys(self):
+        options = options_from_params(
+            {"force": True, "scheduler": "exact", "reduction_lanes": 2}
+        )
+        assert options.force and options.scheduler == "exact"
+        assert options.reduction_lanes == 2
+
+    def test_bad_value_is_request_error(self):
+        with pytest.raises(RequestError, match="scheduler"):
+            options_from_params({"scheduler": "llvm"})
+
+
+class TestPayloads:
+    def test_compile(self):
+        payload = Session().compile({"source": SOURCE})
+        assert payload["applied"] == 1
+        assert "for (i = 0; i < 62; i += 2)" in payload["source"]
+        applied = [loop for loop in payload["loops"] if loop["applied"]]
+        assert applied and applied[0]["ii"] == 1
+
+    def test_compile_paper_style(self):
+        payload = Session().compile({"source": SOURCE, "style": "paper"})
+        assert "||" in payload["source"]
+
+    def test_compile_bad_style(self):
+        with pytest.raises(RequestError, match="style"):
+            Session().compile({"source": SOURCE, "style": "fortran"})
+
+    def test_advise(self):
+        payload = Session().advise({"source": SOURCE})
+        assert payload["schema"] == "slms-advise/1"
+        assert len(payload["loops"]) == 2
+
+    def test_bench(self):
+        payload = Session().bench({"workload": "daxpy"})
+        assert payload["slms_applied"] is True
+        assert payload["speedup"] > 1.0
+
+    def test_bench_unknown_workload(self):
+        with pytest.raises(RequestError, match="unknown workload"):
+            Session().bench({"workload": "does-not-exist"})
+
+    def test_trace(self):
+        payload = Session().trace({"workload": "daxpy"})
+        assert payload["slms_applied"] is True
+        assert payload["trace"]["spans"]
+        assert "phase_times" in payload and "cached_phase_times" in payload
+
+    def test_sleep(self):
+        assert Session().sleep({"seconds": 0}) == {"slept_s": 0.0}
+
+    def test_handle_dispatches(self):
+        payload = Session().handle("advise", {"source": SOURCE})
+        assert payload["schema"] == "slms-advise/1"
+
+
+class TestSweep:
+    def test_sweep_payload_digest_matches_result(self, tmp_path):
+        session = Session(SessionConfig(cache_dir=str(tmp_path / "c")))
+        params = {"workloads": ["daxpy"], "pairs": [["itanium2", "gcc_O3"]]}
+        payload = session.sweep(params)
+        sweep = session.sweep_result(params)
+        assert payload["experiments"] == 1
+        assert payload["failures"] == 0
+        assert payload["result_digest"] == sweep_digest(sweep)
+        assert payload["results"] == json.loads(sweep.to_json())
+
+    def test_sweep_digest_parity_with_cli(self, tmp_path, monkeypatch,
+                                          capsys):
+        """The served digest and the CLI digest are the same bytes."""
+        from repro.cli import main
+        from repro.obs import RunLedger
+
+        monkeypatch.setenv("SLMS_CACHE_DIR", str(tmp_path / "cache"))
+        served = Session(
+            SessionConfig(cache_dir=str(tmp_path / "cache"))
+        ).sweep({"workloads": ["daxpy", "dscal"]})
+
+        assert main(["sweep", "daxpy", "dscal", "--workers", "1"]) == 0
+        capsys.readouterr()
+        entry = RunLedger().entries(kind="sweep")[-1]
+        assert entry["result_digest"] == served["result_digest"]
+
+    def test_sweep_unknown_suite(self):
+        with pytest.raises(RequestError, match="unknown suite"):
+            Session().sweep_result({"suites": ["specfp"]})
+
+    def test_serve_context_ignores_ambient_faults(self, tmp_path,
+                                                  monkeypatch):
+        """With ambient_faults off, SLMS_FAULTS must not leak into the
+        engine tasks running inside a request."""
+        monkeypatch.setenv("SLMS_FAULTS", "fail:0")
+        session = Session(
+            SessionConfig(
+                cache_dir=str(tmp_path / "c"), ambient_faults=False
+            )
+        )
+        sweep = session.sweep_result(
+            {"workloads": ["daxpy"], "pairs": [["itanium2", "gcc_O3"]]}
+        )
+        assert not sweep.failures

@@ -1,0 +1,112 @@
+"""SIGTERM semantics, end to end in real subprocesses.
+
+* ``slms serve`` drains: in-flight requests complete, exit code 0.
+* ``slms sweep`` (and every CLI command) exits 143 with a resume hint.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.request
+
+import pytest
+
+SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+
+
+def _spawn(args, tmp_path, **env_extra):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.abspath(SRC)
+    env["SLMS_CACHE_DIR"] = str(tmp_path / "cache")
+    env["SLMS_LEDGER_DIR"] = str(tmp_path / "ledger")
+    env.pop("SLMS_FAULTS", None)
+    env.update(env_extra)
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", *args],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+
+
+def _post(url, op, params, timeout=60):
+    request = urllib.request.Request(
+        f"{url}/v1/{op}",
+        data=json.dumps(params).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return response.status, json.loads(response.read().decode("utf-8"))
+
+
+@pytest.mark.slow
+class TestServeDrain:
+    def test_sigterm_drains_inflight_and_exits_zero(self, tmp_path):
+        proc = _spawn(
+            ["serve", "--port", "0", "--enable-sleep", "--timeout", "30"],
+            tmp_path,
+        )
+        try:
+            banner = proc.stdout.readline()
+            assert "# serving on " in banner
+            url = banner.split("# serving on ")[1].split(" ")[0].strip()
+
+            inflight = {}
+
+            def request():
+                inflight["response"] = _post(
+                    url, "sleep", {"seconds": 2.0}
+                )
+
+            thread = threading.Thread(target=request)
+            thread.start()
+            deadline = time.time() + 10
+            while time.time() < deadline:
+                with urllib.request.urlopen(
+                    f"{url}/statsz", timeout=10
+                ) as response:
+                    stats = json.loads(response.read().decode("utf-8"))
+                if stats["queue"]["inflight"] >= 1:
+                    break
+                time.sleep(0.05)
+            else:
+                raise AssertionError("request never became in-flight")
+
+            proc.send_signal(signal.SIGTERM)
+            thread.join(timeout=30)
+            assert proc.wait(timeout=30) == 0
+
+            # The admitted request rode out the drain and completed.
+            status, envelope = inflight["response"]
+            assert status == 200
+            assert envelope["result"]["slept_s"] == 2.0
+            out = proc.stdout.read()
+            assert "draining (SIGTERM)" in out
+            assert "drained; exiting" in out
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+
+
+@pytest.mark.slow
+class TestCliSigterm:
+    def test_sweep_exits_143_with_resume_hint(self, tmp_path):
+        proc = _spawn(["sweep", "--workers", "1"], tmp_path)
+        try:
+            time.sleep(1.5)
+            proc.send_signal(signal.SIGTERM)
+            out, _ = proc.communicate(timeout=30)
+            assert proc.returncode == 143
+            assert "terminated (SIGTERM)" in out
+            assert "--resume" in out
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
